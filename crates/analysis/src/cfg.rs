@@ -1,0 +1,325 @@
+//! CFG orderings, dominators, and natural loops.
+
+use ccra_ir::{BlockId, EntityVec, Function};
+
+/// Reverse postorder of the blocks reachable from the entry.
+///
+/// Unreachable blocks are omitted; every analysis in this crate treats them
+/// as dead.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let n = f.num_blocks();
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+    let entry = f.entry();
+    visited[entry.index()] = true;
+    stack.push((entry, f.successors(entry).collect(), 0));
+    while let Some((bb, succs, i)) = stack.last_mut() {
+        if let Some(&next) = succs.get(*i) {
+            *i += 1;
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                stack.push((next, f.successors(next).collect(), 0));
+            }
+        } else {
+            postorder.push(*bb);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// The dominator tree of a function, computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block; the entry's idom is itself, and
+    /// unreachable blocks have `None`.
+    idom: EntityVec<BlockId, Option<BlockId>>,
+    rpo_index: EntityVec<BlockId, Option<u32>>,
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree.
+    pub fn compute(f: &Function) -> Self {
+        let rpo = reverse_postorder(f);
+        let mut rpo_index: EntityVec<BlockId, Option<u32>> =
+            f.block_ids().map(|_| None).collect();
+        for (i, &bb) in rpo.iter().enumerate() {
+            rpo_index[bb] = Some(i as u32);
+        }
+        let preds = f.predecessors();
+        let mut idom: EntityVec<BlockId, Option<BlockId>> = f.block_ids().map(|_| None).collect();
+        let entry = f.entry();
+        idom[entry] = Some(entry);
+
+        let intersect = |idom: &EntityVec<BlockId, Option<BlockId>>,
+                         rpo_index: &EntityVec<BlockId, Option<u32>>,
+                         mut a: BlockId,
+                         mut b: BlockId| {
+            while a != b {
+                while rpo_index[a].unwrap() > rpo_index[b].unwrap() {
+                    a = idom[a].unwrap();
+                }
+                while rpo_index[b].unwrap() > rpo_index[a].unwrap() {
+                    b = idom[b].unwrap();
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[bb] {
+                    if idom[p].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[bb] != new_idom {
+                    idom[bb] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, rpo_index, rpo }
+    }
+
+    /// The immediate dominator of `bb` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, bb: BlockId) -> Option<BlockId> {
+        match self.idom[bb] {
+            Some(d) if d != bb => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` dominates `b` (every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[b].is_none() || self.rpo_index[a].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether `bb` is reachable from the entry.
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.rpo_index[bb].is_some()
+    }
+
+    /// The reverse postorder used for the computation.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+/// The natural-loop nesting structure of a function.
+///
+/// Loops are discovered from back edges `latch -> header` where the header
+/// dominates the latch; irreducible flow (which our builders never produce)
+/// would simply not be recognised as a loop.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    depth: EntityVec<BlockId, u32>,
+    headers: Vec<BlockId>,
+}
+
+impl LoopInfo {
+    /// Computes loop nesting depths for every block.
+    pub fn compute(f: &Function, dom: &DomTree) -> Self {
+        let preds = f.predecessors();
+        let mut depth: EntityVec<BlockId, u32> = f.block_ids().map(|_| 0).collect();
+        let mut headers = Vec::new();
+        // For each back edge, walk the natural loop body backwards from the
+        // latch and bump every member's depth.
+        for (bb, block) in f.blocks() {
+            if !dom.is_reachable(bb) {
+                continue;
+            }
+            for succ in block.term.successors() {
+                if dom.dominates(succ, bb) {
+                    // bb -> succ is a back edge; succ is the header.
+                    if !headers.contains(&succ) {
+                        headers.push(succ);
+                    }
+                    let header = succ;
+                    let mut body = vec![header];
+                    let mut stack = vec![bb];
+                    while let Some(x) = stack.pop() {
+                        if body.contains(&x) {
+                            continue;
+                        }
+                        body.push(x);
+                        for &p in &preds[x] {
+                            if dom.is_reachable(p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    for member in body {
+                        depth[member] += 1;
+                    }
+                }
+            }
+        }
+        LoopInfo { depth, headers }
+    }
+
+    /// The loop nesting depth of a block (0 = outside any loop).
+    pub fn depth(&self, bb: BlockId) -> u32 {
+        self.depth[bb]
+    }
+
+    /// All loop headers found.
+    pub fn headers(&self) -> &[BlockId] {
+        &self.headers
+    }
+
+    /// The maximum loop depth in the function.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_ir::{CmpOp, FunctionBuilder, RegClass};
+
+    /// entry -> head -> (body -> head | exit)
+    fn single_loop() -> Function {
+        let mut b = FunctionBuilder::new("loop");
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(i, 0);
+        b.iconst(n, 10);
+        b.iconst(one, 1);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.binary(ccra_ir::BinOp::Add, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = single_loop();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let f = single_loop();
+        let dom = DomTree::compute(&f);
+        let entry = f.entry();
+        let head = BlockId(1);
+        let body = BlockId(2);
+        let exit = BlockId(3);
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(head), Some(entry));
+        assert_eq!(dom.idom(body), Some(head));
+        assert_eq!(dom.idom(exit), Some(head));
+        assert!(dom.dominates(entry, exit));
+        assert!(dom.dominates(head, body));
+        assert!(!dom.dominates(body, exit));
+        assert!(dom.dominates(body, body));
+    }
+
+    #[test]
+    fn loop_depths() {
+        let f = single_loop();
+        let dom = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dom);
+        assert_eq!(li.depth(f.entry()), 0);
+        assert_eq!(li.depth(BlockId(1)), 1); // header
+        assert_eq!(li.depth(BlockId(2)), 1); // body
+        assert_eq!(li.depth(BlockId(3)), 0); // exit
+        assert_eq!(li.headers(), &[BlockId(1)]);
+        assert_eq!(li.max_depth(), 1);
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        let mut b = FunctionBuilder::new("nest");
+        let c = b.new_vreg(RegClass::Int);
+        b.iconst(c, 1);
+        let h1 = b.reserve_block();
+        let h2 = b.reserve_block();
+        let l2 = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(h1);
+        b.switch_to(h1);
+        b.branch(c, h2, exit);
+        b.switch_to(h2);
+        b.branch(c, l2, h1);
+        b.switch_to(l2);
+        b.jump(h2);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let dom = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dom);
+        assert_eq!(li.depth(BlockId(1)), 1);
+        assert_eq!(li.depth(BlockId(2)), 2);
+        assert_eq!(li.depth(BlockId(3)), 2);
+        assert_eq!(li.depth(BlockId(4)), 0);
+        assert_eq!(li.max_depth(), 2);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut b = FunctionBuilder::new("straight");
+        b.ret(None);
+        let f = b.finish();
+        let dom = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dom);
+        assert_eq!(li.max_depth(), 0);
+        assert!(li.headers().is_empty());
+    }
+
+    #[test]
+    fn unreachable_block_handled() {
+        let mut b = FunctionBuilder::new("unreach");
+        let dead = b.reserve_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let dom = DomTree::compute(&f);
+        assert!(dom.is_reachable(f.entry()));
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(dead, f.entry()));
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo.len(), 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Execution-frequency information — the weights of every cost function.
+//!
+//! The paper evaluates every allocator under two weightings: *static*
+//! (compiler estimates from loop structure) and *dynamic* (profiles). Both
+//! are represented as a [`FrequencyInfo`]: absolute per-block execution
+//! counts plus per-function invocation counts.
+
+use ccra_ir::{BlockId, Callee, EntityVec, FuncId, Function, Inst, Program};
+
+use crate::cfg::{DomTree, LoopInfo};
+use crate::interp::{run, InterpConfig, InterpError};
+
+/// How the frequencies were obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqMode {
+    /// Compiler estimates: loop depth × branch probabilities.
+    Static,
+    /// Profile counts from actually executing the program.
+    Dynamic,
+}
+
+impl std::fmt::Display for FreqMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreqMode::Static => write!(f, "static"),
+            FreqMode::Dynamic => write!(f, "dynamic"),
+        }
+    }
+}
+
+/// Frequencies for one function.
+#[derive(Debug, Clone)]
+pub struct FuncFreq {
+    /// How many times the function is entered over the whole run.
+    pub invocations: f64,
+    /// Absolute execution count of each block.
+    pub block_freq: EntityVec<BlockId, f64>,
+}
+
+impl FuncFreq {
+    /// The frequency of the block, i.e. of every instruction in it.
+    pub fn block(&self, bb: BlockId) -> f64 {
+        self.block_freq[bb]
+    }
+}
+
+/// Whole-program execution frequencies.
+#[derive(Debug, Clone)]
+pub struct FrequencyInfo {
+    mode: FreqMode,
+    funcs: EntityVec<FuncId, FuncFreq>,
+}
+
+/// Estimated iterations per loop level for static estimates (the classic
+/// "a loop runs 10 times" heuristic).
+const LOOP_MULTIPLIER: f64 = 10.0;
+/// Cap for invocation estimates in (mutually) recursive programs.
+const INVOCATION_CAP: f64 = 1e12;
+
+/// Relative per-block frequencies for one function (entry = 1.0):
+/// forward propagation on the acyclic CFG with even branch splits and a
+/// ×10 boost at every loop header.
+fn relative_freqs(f: &Function) -> EntityVec<BlockId, f64> {
+    let dom = DomTree::compute(f);
+    let loops = LoopInfo::compute(f, &dom);
+    let rpo = dom.rpo().to_vec();
+    let preds = f.predecessors();
+
+    let mut rel: EntityVec<BlockId, f64> = f.block_ids().map(|_| 0.0).collect();
+    for &bb in &rpo {
+        let mut incoming = 0.0;
+        for &p in &preds[bb] {
+            if !dom.is_reachable(p) || dom.dominates(bb, p) {
+                continue; // skip back edges (p is inside bb's loop)
+            }
+            let nsucc = f.successors(p).count().max(1) as f64;
+            incoming += rel[p] / nsucc;
+        }
+        if bb == f.entry() {
+            incoming = 1.0;
+        }
+        if loops.headers().contains(&bb) {
+            incoming *= LOOP_MULTIPLIER;
+        }
+        rel[bb] = incoming;
+    }
+    rel
+}
+
+impl FrequencyInfo {
+    /// Static estimates: relative block frequencies from loop structure,
+    /// scaled by estimated function invocation counts propagated over the
+    /// call graph from `main` (1 invocation).
+    pub fn estimate(program: &Program) -> Self {
+        let rels: EntityVec<FuncId, EntityVec<BlockId, f64>> =
+            program.functions().map(|(_, f)| relative_freqs(f)).collect();
+
+        // Relative call-site weight per (caller, callee).
+        let mut call_weights: Vec<(FuncId, FuncId, f64)> = Vec::new();
+        for (caller, f) in program.functions() {
+            for (bb, block) in f.blocks() {
+                for inst in &block.insts {
+                    if let Inst::Call { callee: Callee::Internal(target), .. } = inst {
+                        call_weights.push((caller, *target, rels[caller][bb]));
+                    }
+                }
+            }
+        }
+
+        // Fixpoint propagation of invocation counts (bounded for recursion).
+        let mut inv: EntityVec<FuncId, f64> = program.func_ids().map(|_| 0.0).collect();
+        if let Some(main) = program.main() {
+            inv[main] = 1.0;
+        }
+        for _ in 0..program.num_functions().max(4) {
+            let mut next: EntityVec<FuncId, f64> = program.func_ids().map(|_| 0.0).collect();
+            if let Some(main) = program.main() {
+                next[main] = 1.0;
+            }
+            for &(caller, callee, w) in &call_weights {
+                next[callee] = (next[callee] + inv[caller] * w).min(INVOCATION_CAP);
+            }
+            if program
+                .func_ids()
+                .all(|id| (next[id] - inv[id]).abs() <= 1e-9 * inv[id].abs().max(1.0))
+            {
+                inv = next;
+                break;
+            }
+            inv = next;
+        }
+
+        let funcs = program
+            .func_ids()
+            .map(|id| FuncFreq {
+                invocations: inv[id],
+                block_freq: rels[id].iter().map(|(_, &r)| r * inv[id]).collect(),
+            })
+            .collect();
+        FrequencyInfo { mode: FreqMode::Static, funcs }
+    }
+
+    /// Dynamic profile: executes the program and uses the observed counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] if the program cannot be executed.
+    pub fn profile(program: &Program) -> Result<Self, InterpError> {
+        Self::profile_with(program, &InterpConfig::default())
+    }
+
+    /// Like [`FrequencyInfo::profile`] with explicit interpreter limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] if the program cannot be executed.
+    pub fn profile_with(program: &Program, config: &InterpConfig) -> Result<Self, InterpError> {
+        let stats = run(program, config)?;
+        let funcs = program
+            .func_ids()
+            .map(|id| FuncFreq {
+                invocations: stats.entry_counts[id] as f64,
+                block_freq: stats.block_counts[id].iter().map(|(_, &c)| c as f64).collect(),
+            })
+            .collect();
+        Ok(FrequencyInfo { mode: FreqMode::Dynamic, funcs })
+    }
+
+    /// How the frequencies were obtained.
+    pub fn mode(&self) -> FreqMode {
+        self.mode
+    }
+
+    /// The frequencies of one function.
+    pub fn func(&self, id: FuncId) -> &FuncFreq {
+        &self.funcs[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_ir::{BinOp, CmpOp, FunctionBuilder, Program, RegClass};
+
+    fn loop_program(trip: i64) -> (Program, FuncId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("main");
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(i, 0);
+        b.iconst(n, trip);
+        b.iconst(one, 1);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.binary(BinOp::Add, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        (p, id, head, body)
+    }
+
+    #[test]
+    fn static_loop_estimate_is_times_ten() {
+        let (p, id, head, body) = loop_program(10);
+        let fi = FrequencyInfo::estimate(&p);
+        assert_eq!(fi.mode(), FreqMode::Static);
+        let ff = fi.func(id);
+        assert_eq!(ff.invocations, 1.0);
+        assert!((ff.block(head) - 10.0).abs() < 1e-9);
+        // body gets half of head's outflow (even branch split) — the
+        // estimate is deliberately rough; it must just be loop-scaled.
+        assert!(ff.block(body) > 1.0);
+    }
+
+    #[test]
+    fn dynamic_profile_matches_execution() {
+        let (p, id, head, body) = loop_program(25);
+        let fi = FrequencyInfo::profile(&p).unwrap();
+        assert_eq!(fi.mode(), FreqMode::Dynamic);
+        let ff = fi.func(id);
+        assert_eq!(ff.invocations, 1.0);
+        assert_eq!(ff.block(head), 26.0);
+        assert_eq!(ff.block(body), 25.0);
+    }
+
+    #[test]
+    fn invocations_propagate_through_call_graph() {
+        // main calls leaf inside a loop: static invocation estimate for
+        // leaf should be ≈ the loop frequency of the call block.
+        let mut p = Program::new();
+        let mut leaf = FunctionBuilder::new("leaf");
+        let a = leaf.new_vreg(RegClass::Int);
+        leaf.set_params(vec![a]);
+        leaf.ret(Some(a));
+        let leaf_id = p.add_function(leaf.finish());
+
+        let mut b = FunctionBuilder::new("main");
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(i, 0);
+        b.iconst(n, 5);
+        b.iconst(one, 1);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let r = b.new_vreg(RegClass::Int);
+        b.call(Callee::Internal(leaf_id), vec![i], Some(r));
+        b.binary(BinOp::Add, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let main_id = p.add_function(b.finish());
+        p.set_main(main_id);
+
+        let fi = FrequencyInfo::estimate(&p);
+        let leaf_inv = fi.func(leaf_id).invocations;
+        assert!(leaf_inv > 1.0, "leaf called from a loop: {leaf_inv}");
+
+        let dyn_fi = FrequencyInfo::profile(&p).unwrap();
+        assert_eq!(dyn_fi.func(leaf_id).invocations, 5.0);
+    }
+
+    #[test]
+    fn branch_split_halves_flow() {
+        let mut b = FunctionBuilder::new("main");
+        let c = b.new_vreg(RegClass::Int);
+        b.iconst(c, 1);
+        let t = b.reserve_block();
+        let e = b.reserve_block();
+        let j = b.reserve_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let fi = FrequencyInfo::estimate(&p);
+        let ff = fi.func(id);
+        assert!((ff.block(t) - 0.5).abs() < 1e-9);
+        assert!((ff.block(e) - 0.5).abs() < 1e-9);
+        assert!((ff.block(j) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,659 @@
+//! A deterministic IR interpreter: the profiler and the overhead meter.
+//!
+//! The interpreter plays two roles in the reproduction:
+//!
+//! 1. **Profiling** — executing a program yields per-block execution counts,
+//!    the "dynamic information" of the paper's experiments (the paper used
+//!    SPEC profiles; we run the synthetic programs themselves).
+//! 2. **Measuring** — after register allocation rewrites a function with
+//!    explicit [`ccra_ir::Inst::Overhead`] markers, re-running the program
+//!    *counts* the overhead operations that the allocator's cost functions
+//!    only *estimated*.
+
+use ccra_ir::{
+    BinOp, BlockId, Callee, CmpOp, EntityVec, FuncId, Inst, OverheadKind, Program, Terminator,
+    UnOp, VReg,
+};
+
+/// A runtime value: one machine word of either bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// An integer-bank value.
+    Int(i64),
+    /// A float-bank value.
+    Float(f64),
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float (the verifier rules this out for
+    /// well-formed programs).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Float(v) => panic!("expected int value, found float {v}"),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer.
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Float(v) => v,
+            Value::Int(v) => panic!("expected float value, found int {v}"),
+        }
+    }
+}
+
+/// Interpreter limits.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpConfig {
+    /// Maximum executed instructions before aborting.
+    pub step_limit: u64,
+    /// Data-memory size in words; addresses wrap modulo this size.
+    pub mem_words: usize,
+    /// Maximum call depth.
+    pub call_depth_limit: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { step_limit: 200_000_000, mem_words: 1 << 16, call_depth_limit: 512 }
+    }
+}
+
+/// An execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step limit was exceeded.
+    StepLimit,
+    /// The call-depth limit was exceeded.
+    CallDepth,
+    /// A register was read before any write.
+    UndefinedRead {
+        /// The function in which the read happened.
+        func: String,
+        /// The register read.
+        vreg: VReg,
+    },
+    /// The program has no main function.
+    NoMain,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::StepLimit => write!(f, "step limit exceeded"),
+            InterpError::CallDepth => write!(f, "call depth limit exceeded"),
+            InterpError::UndefinedRead { func, vreg } => {
+                write!(f, "read of undefined register {vreg} in `{func}`")
+            }
+            InterpError::NoMain => write!(f, "program has no main function"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// What a run observed.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Executed useful (non-overhead) instructions, terminators included.
+    pub steps: u64,
+    /// Executed overhead operations, indexed by
+    /// [`OverheadKind::ALL`] order (spill, caller-save, callee-save,
+    /// shuffle).
+    pub overhead_ops: [u64; 4],
+    /// Per-function, per-block execution counts.
+    pub block_counts: EntityVec<FuncId, EntityVec<BlockId, u64>>,
+    /// Per-function invocation counts.
+    pub entry_counts: EntityVec<FuncId, u64>,
+    /// The value returned by `main`, if any.
+    pub result: Option<Value>,
+}
+
+impl RunStats {
+    /// Total executed overhead operations across all kinds.
+    pub fn total_overhead(&self) -> u64 {
+        self.overhead_ops.iter().sum()
+    }
+
+    /// Executed overhead operations of one kind.
+    pub fn overhead(&self, kind: OverheadKind) -> u64 {
+        let idx = OverheadKind::ALL.iter().position(|&k| k == kind).unwrap();
+        self.overhead_ops[idx]
+    }
+}
+
+struct Machine<'p> {
+    program: &'p Program,
+    config: InterpConfig,
+    memory: Vec<i64>,
+    steps: u64,
+    overhead_ops: [u64; 4],
+    block_counts: EntityVec<FuncId, EntityVec<BlockId, u64>>,
+    entry_counts: EntityVec<FuncId, u64>,
+}
+
+/// A cheap deterministic mixer for external-call results.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut h = seed ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h
+}
+
+impl<'p> Machine<'p> {
+    fn addr(&self, base: i64, offset: i64) -> usize {
+        let m = self.config.mem_words as i64;
+        (((base.wrapping_add(offset)) % m + m) % m) as usize
+    }
+
+    fn call(&mut self, func: FuncId, args: &[Value], depth: usize) -> Result<Option<Value>, InterpError> {
+        if depth > self.config.call_depth_limit {
+            return Err(InterpError::CallDepth);
+        }
+        let f = self.program.function(func);
+        self.entry_counts[func] += 1;
+        let mut regs: Vec<Option<Value>> = vec![None; f.num_vregs()];
+        let mut slots: Vec<Option<Value>> = vec![None; f.num_spill_slots() as usize];
+        for (i, &p) in f.params().iter().enumerate() {
+            let v = args.get(i).copied().unwrap_or(match f.class_of(p) {
+                ccra_ir::RegClass::Int => Value::Int(i as i64 + 1),
+                ccra_ir::RegClass::Float => Value::Float(i as f64 + 1.0),
+            });
+            regs[p.index()] = Some(v);
+        }
+
+        let read = |regs: &Vec<Option<Value>>, v: VReg| -> Result<Value, InterpError> {
+            regs[v.index()].ok_or_else(|| InterpError::UndefinedRead {
+                func: f.name().to_string(),
+                vreg: v,
+            })
+        };
+
+        let mut bb = f.entry();
+        loop {
+            self.block_counts[func][bb] += 1;
+            let block = f.block(bb);
+            for inst in &block.insts {
+                match inst {
+                    Inst::Overhead { kind, ops } => {
+                        let idx = OverheadKind::ALL.iter().position(|k| k == kind).unwrap();
+                        self.overhead_ops[idx] += *ops as u64;
+                        continue;
+                    }
+                    Inst::SpillStore { slot, src } => {
+                        slots[slot.index()] = Some(read(&regs, *src)?);
+                        self.overhead_ops[0] += 1; // OverheadKind::Spill
+                        continue;
+                    }
+                    Inst::SpillLoad { dst, slot } => {
+                        regs[dst.index()] = Some(slots[slot.index()].unwrap_or_else(|| {
+                            panic!("spill load from never-written {slot} in `{}`", f.name())
+                        }));
+                        self.overhead_ops[0] += 1; // OverheadKind::Spill
+                        continue;
+                    }
+                    _ => {
+                        self.steps += 1;
+                        if self.steps > self.config.step_limit {
+                            return Err(InterpError::StepLimit);
+                        }
+                    }
+                }
+                match inst {
+                    Inst::IConst { dst, value } => regs[dst.index()] = Some(Value::Int(*value)),
+                    Inst::FConst { dst, value } => regs[dst.index()] = Some(Value::Float(*value)),
+                    Inst::Binary { op, dst, lhs, rhs } => {
+                        let result = if op.is_float() {
+                            let (a, b) = (read(&regs, *lhs)?.as_float(), read(&regs, *rhs)?.as_float());
+                            Value::Float(match op {
+                                BinOp::FAdd => a + b,
+                                BinOp::FSub => a - b,
+                                BinOp::FMul => a * b,
+                                BinOp::FDiv => {
+                                    if b == 0.0 {
+                                        0.0
+                                    } else {
+                                        a / b
+                                    }
+                                }
+                                _ => unreachable!(),
+                            })
+                        } else {
+                            let (a, b) = (read(&regs, *lhs)?.as_int(), read(&regs, *rhs)?.as_int());
+                            Value::Int(match op {
+                                BinOp::Add => a.wrapping_add(b),
+                                BinOp::Sub => a.wrapping_sub(b),
+                                BinOp::Mul => a.wrapping_mul(b),
+                                BinOp::Div => {
+                                    if b == 0 {
+                                        0
+                                    } else {
+                                        a.wrapping_div(b)
+                                    }
+                                }
+                                BinOp::Rem => {
+                                    if b == 0 {
+                                        0
+                                    } else {
+                                        a.wrapping_rem(b)
+                                    }
+                                }
+                                BinOp::And => a & b,
+                                BinOp::Or => a | b,
+                                BinOp::Xor => a ^ b,
+                                BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                                BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+                                _ => unreachable!(),
+                            })
+                        };
+                        regs[dst.index()] = Some(result);
+                    }
+                    Inst::Unary { op, dst, src } => {
+                        let v = read(&regs, *src)?;
+                        let result = match op {
+                            UnOp::Neg => Value::Int(v.as_int().wrapping_neg()),
+                            UnOp::Not => Value::Int(!v.as_int()),
+                            UnOp::FNeg => Value::Float(-v.as_float()),
+                            UnOp::IntToFloat => Value::Float(v.as_int() as f64),
+                            UnOp::FloatToInt => Value::Int(v.as_float() as i64),
+                        };
+                        regs[dst.index()] = Some(result);
+                    }
+                    Inst::Cmp { op, dst, lhs, rhs } => {
+                        let (a, b) = (read(&regs, *lhs)?.as_int(), read(&regs, *rhs)?.as_int());
+                        let r = match op {
+                            CmpOp::Eq => a == b,
+                            CmpOp::Ne => a != b,
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Gt => a > b,
+                            CmpOp::Ge => a >= b,
+                        };
+                        regs[dst.index()] = Some(Value::Int(r as i64));
+                    }
+                    Inst::Load { dst, addr, offset } => {
+                        let a = self.addr(read(&regs, *addr)?.as_int(), *offset);
+                        let word = self.memory[a];
+                        regs[dst.index()] = Some(match f.class_of(*dst) {
+                            ccra_ir::RegClass::Int => Value::Int(word),
+                            ccra_ir::RegClass::Float => Value::Float(f64::from_bits(word as u64)),
+                        });
+                    }
+                    Inst::Store { src, addr, offset } => {
+                        let a = self.addr(read(&regs, *addr)?.as_int(), *offset);
+                        self.memory[a] = match read(&regs, *src)? {
+                            Value::Int(v) => v,
+                            Value::Float(v) => v.to_bits() as i64,
+                        };
+                    }
+                    Inst::Copy { dst, src } => {
+                        regs[dst.index()] = Some(read(&regs, *src)?);
+                    }
+                    Inst::Call { callee, args, ret } => {
+                        let mut vals = Vec::with_capacity(args.len());
+                        for &a in args {
+                            vals.push(read(&regs, a)?);
+                        }
+                        let result = match callee {
+                            Callee::Internal(id) => self.call(*id, &vals, depth + 1)?,
+                            Callee::External(name) => {
+                                // Deterministic pseudo-function of the
+                                // arguments and the name.
+                                let mut h = name
+                                    .bytes()
+                                    .fold(0xcbf2_9ce4_8422_2325u64, |acc, b| mix(acc, b as u64));
+                                for v in &vals {
+                                    h = mix(
+                                        h,
+                                        match v {
+                                            Value::Int(x) => *x as u64,
+                                            Value::Float(x) => x.to_bits(),
+                                        },
+                                    );
+                                }
+                                ret.map(|r| match f.class_of(r) {
+                                    ccra_ir::RegClass::Int => Value::Int((h % 1_000_003) as i64),
+                                    ccra_ir::RegClass::Float => {
+                                        Value::Float((h % 1_000_003) as f64 / 997.0)
+                                    }
+                                })
+                            }
+                        };
+                        if let Some(r) = ret {
+                            regs[r.index()] = result.or(Some(match f.class_of(*r) {
+                                ccra_ir::RegClass::Int => Value::Int(0),
+                                ccra_ir::RegClass::Float => Value::Float(0.0),
+                            }));
+                        }
+                    }
+                    Inst::Overhead { .. } | Inst::SpillStore { .. } | Inst::SpillLoad { .. } => {
+                        unreachable!("handled above")
+                    }
+                }
+            }
+            self.steps += 1;
+            if self.steps > self.config.step_limit {
+                return Err(InterpError::StepLimit);
+            }
+            match &block.term {
+                Terminator::Jump(t) => bb = *t,
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    bb = if read(&regs, *cond)?.as_int() != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Return(v) => {
+                    return Ok(match v {
+                        Some(v) => Some(read(&regs, *v)?),
+                        None => None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Executes `program` from its main function.
+///
+/// # Errors
+///
+/// Returns an [`InterpError`] if the program has no main, exceeds a limit,
+/// or reads an undefined register.
+pub fn run(program: &Program, config: &InterpConfig) -> Result<RunStats, InterpError> {
+    let main = program.main().ok_or(InterpError::NoMain)?;
+    let mut machine = Machine {
+        program,
+        config: *config,
+        memory: vec![0; config.mem_words],
+        steps: 0,
+        overhead_ops: [0; 4],
+        block_counts: program
+            .functions()
+            .map(|(_, f)| f.block_ids().map(|_| 0u64).collect())
+            .collect(),
+        entry_counts: program.func_ids().map(|_| 0u64).collect(),
+    };
+    let result = machine.call(main, &[], 0)?;
+    Ok(RunStats {
+        steps: machine.steps,
+        overhead_ops: machine.overhead_ops,
+        block_counts: machine.block_counts,
+        entry_counts: machine.entry_counts,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_ir::{FunctionBuilder, Program, RegClass};
+
+    fn run_main(f: ccra_ir::Function) -> RunStats {
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        p.set_main(id);
+        run(&p, &InterpConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        b.iconst(x, 6);
+        b.iconst(y, 7);
+        b.binary(BinOp::Mul, x, x, y);
+        b.ret(Some(x));
+        let stats = run_main(b.finish());
+        assert_eq!(stats.result, Some(Value::Int(42)));
+        assert_eq!(stats.steps, 4); // 3 insts + 1 terminator
+    }
+
+    #[test]
+    fn counted_loop_executes_n_times() {
+        let mut b = FunctionBuilder::new("main");
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(i, 0);
+        b.iconst(n, 10);
+        b.iconst(one, 1);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.binary(BinOp::Add, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        p.set_main(id);
+        let stats = run(&p, &InterpConfig::default()).unwrap();
+        assert_eq!(stats.result, Some(Value::Int(10)));
+        assert_eq!(stats.block_counts[id][head], 11);
+        assert_eq!(stats.block_counts[id][body], 10);
+        assert_eq!(stats.block_counts[id][exit], 1);
+        assert_eq!(stats.entry_counts[id], 1);
+    }
+
+    #[test]
+    fn internal_calls_are_counted() {
+        let mut p = Program::new();
+        let mut leaf = FunctionBuilder::new("leaf");
+        let a = leaf.new_vreg(RegClass::Int);
+        let r = leaf.new_vreg(RegClass::Int);
+        leaf.set_params(vec![a]);
+        leaf.binary(BinOp::Add, r, a, a);
+        leaf.ret(Some(r));
+        let leaf_id = p.add_function(leaf.finish());
+
+        let mut main = FunctionBuilder::new("main");
+        let x = main.new_vreg(RegClass::Int);
+        let y = main.new_vreg(RegClass::Int);
+        main.iconst(x, 21);
+        main.call(Callee::Internal(leaf_id), vec![x], Some(y));
+        main.ret(Some(y));
+        let main_id = p.add_function(main.finish());
+        p.set_main(main_id);
+
+        let stats = run(&p, &InterpConfig::default()).unwrap();
+        assert_eq!(stats.result, Some(Value::Int(42)));
+        assert_eq!(stats.entry_counts[leaf_id], 1);
+        assert_eq!(stats.entry_counts[main_id], 1);
+    }
+
+    #[test]
+    fn external_calls_are_deterministic() {
+        let build = || {
+            let mut b = FunctionBuilder::new("main");
+            let x = b.new_vreg(RegClass::Int);
+            let r = b.new_vreg(RegClass::Int);
+            b.iconst(x, 5);
+            b.call(Callee::External("magic"), vec![x], Some(r));
+            b.ret(Some(r));
+            b.finish()
+        };
+        let a = run_main(build()).result;
+        let b = run_main(build()).result;
+        assert_eq!(a, b);
+        assert!(matches!(a, Some(Value::Int(_))));
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut b = FunctionBuilder::new("main");
+        let addr = b.new_vreg(RegClass::Int);
+        let v = b.new_vreg(RegClass::Float);
+        let out = b.new_vreg(RegClass::Float);
+        b.iconst(addr, 100);
+        b.fconst(v, 2.5);
+        b.store(v, addr, 4);
+        b.load(out, addr, 4);
+        b.ret(Some(out));
+        let stats = run_main(b.finish());
+        assert_eq!(stats.result, Some(Value::Float(2.5)));
+    }
+
+    #[test]
+    fn overhead_markers_counted_not_stepped() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        // Hand-inserted overhead markers as the rewriter would emit.
+        let f = {
+            b.ret(Some(x));
+            let mut f = b.finish();
+            let entry = f.entry();
+            f.block_mut(entry)
+                .insts
+                .insert(1, Inst::Overhead { kind: OverheadKind::Spill, ops: 3 });
+            f.block_mut(entry)
+                .insts
+                .insert(2, Inst::Overhead { kind: OverheadKind::CalleeSave, ops: 2 });
+            f
+        };
+        let stats = run_main(f);
+        assert_eq!(stats.overhead(OverheadKind::Spill), 3);
+        assert_eq!(stats.overhead(OverheadKind::CalleeSave), 2);
+        assert_eq!(stats.overhead(OverheadKind::CallerSave), 0);
+        assert_eq!(stats.total_overhead(), 5);
+        assert_eq!(stats.steps, 2); // iconst + ret only
+    }
+
+    #[test]
+    fn undefined_read_reported() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        b.ret(Some(x));
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let err = run(&p, &InterpConfig::default()).unwrap_err();
+        assert!(matches!(err, InterpError::UndefinedRead { .. }));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut b = FunctionBuilder::new("main");
+        let head = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        b.jump(head);
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let cfg = InterpConfig { step_limit: 1000, ..Default::default() };
+        assert_eq!(run(&p, &cfg).unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn shift_amounts_are_masked() {
+        // Shifting by ≥ 64 must not panic: amounts are taken modulo 64.
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let s = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        b.iconst(s, 65); // 65 & 63 == 1
+        b.binary(BinOp::Shl, x, x, s);
+        b.ret(Some(x));
+        assert_eq!(run_main(b.finish()).result, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn negative_addresses_wrap_into_memory() {
+        let mut b = FunctionBuilder::new("main");
+        let addr = b.new_vreg(RegClass::Int);
+        let v = b.new_vreg(RegClass::Int);
+        let out = b.new_vreg(RegClass::Int);
+        b.iconst(addr, -5);
+        b.iconst(v, 99);
+        b.store(v, addr, 0);
+        b.load(out, addr, 0);
+        b.ret(Some(out));
+        assert_eq!(run_main(b.finish()).result, Some(Value::Int(99)));
+    }
+
+    #[test]
+    fn float_int_conversions() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let f = b.new_vreg(RegClass::Float);
+        let y = b.new_vreg(RegClass::Int);
+        b.iconst(x, -7);
+        b.unary(UnOp::IntToFloat, f, x);
+        b.binary(BinOp::FMul, f, f, f); // 49.0
+        b.unary(UnOp::FloatToInt, y, f);
+        b.ret(Some(y));
+        assert_eq!(run_main(b.finish()).result, Some(Value::Int(49)));
+    }
+
+    #[test]
+    fn wrapping_arithmetic_does_not_panic() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        b.iconst(x, i64::MAX);
+        b.iconst(y, 1);
+        b.binary(BinOp::Add, x, x, y); // wraps to i64::MIN
+        b.binary(BinOp::Mul, x, x, x);
+        b.unary(UnOp::Neg, x, x);
+        b.ret(Some(x));
+        assert!(matches!(run_main(b.finish()).result, Some(Value::Int(_))));
+    }
+
+    #[test]
+    fn min_div_minus_one_wraps() {
+        // i64::MIN / -1 overflows in Rust; the interpreter must wrap.
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        b.iconst(x, i64::MIN);
+        b.iconst(y, -1);
+        b.binary(BinOp::Div, x, x, y);
+        b.ret(Some(x));
+        assert_eq!(run_main(b.finish()).result, Some(Value::Int(i64::MIN)));
+    }
+
+    #[test]
+    fn call_depth_limit_enforced() {
+        // A recursive function blows the depth limit rather than the stack.
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("rec");
+        let a = b.new_vreg(RegClass::Int);
+        b.set_params(vec![a]);
+        let r = b.new_vreg(RegClass::Int);
+        b.call(Callee::Internal(ccra_ir::FuncId(0)), vec![a], Some(r));
+        b.ret(Some(r));
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let cfg = InterpConfig { call_depth_limit: 32, ..Default::default() };
+        assert_eq!(run(&p, &cfg).unwrap_err(), InterpError::CallDepth);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let z = b.new_vreg(RegClass::Int);
+        b.iconst(x, 5);
+        b.iconst(z, 0);
+        b.binary(BinOp::Div, x, x, z);
+        b.ret(Some(x));
+        assert_eq!(run_main(b.finish()).result, Some(Value::Int(0)));
+    }
+}

@@ -1,0 +1,57 @@
+//! Program analyses for the call-cost register-allocation study.
+//!
+//! This crate supplies everything the allocators in `ccra-regalloc` consume:
+//!
+//! * [`mod@cfg`] — reverse postorder, dominators ([`DomTree`]), and natural
+//!   loops ([`LoopInfo`]);
+//! * [`Liveness`] — classic backward liveness over virtual registers;
+//! * [`Webs`] — def-use webs, the live ranges of Chaitin-style allocation;
+//! * [`FrequencyInfo`] — static (loop-based) or dynamic (profiled)
+//!   execution frequencies, the weights of every benefit/cost function in
+//!   the paper;
+//! * [`interp`] — a deterministic interpreter used both as the profiler and
+//!   as the post-allocation overhead meter.
+//!
+//! # Example
+//!
+//! ```
+//! use ccra_ir::{FunctionBuilder, Program, RegClass};
+//! use ccra_analysis::{FrequencyInfo, Liveness, Webs};
+//!
+//! let mut b = FunctionBuilder::new("main");
+//! let x = b.new_vreg(RegClass::Int);
+//! b.iconst(x, 3);
+//! b.ret(Some(x));
+//! let f = b.finish();
+//!
+//! let live = Liveness::compute(&f);
+//! let webs = Webs::compute(&f);
+//! assert_eq!(webs.len(), 1);
+//! assert!(live.live_in(f.entry()).is_empty());
+//!
+//! let mut p = Program::new();
+//! let id = p.add_function(f);
+//! p.set_main(id);
+//! let freq = FrequencyInfo::profile(&p)?;
+//! assert_eq!(freq.func(id).invocations, 1.0);
+//! # Ok::<(), ccra_analysis::InterpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+pub mod cfg;
+mod freq;
+pub mod interp;
+mod liveness;
+#[cfg(test)]
+mod tests_props;
+mod webs;
+
+pub use bitset::BitSet;
+pub use cfg::{reverse_postorder, DomTree, LoopInfo};
+pub use freq::{FreqMode, FrequencyInfo, FuncFreq};
+pub use interp::{run, InterpConfig, InterpError, RunStats, Value};
+pub use liveness::Liveness;
+pub use webs::{InstIdx, WebData, WebId, Webs};

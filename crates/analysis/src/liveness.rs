@@ -1,0 +1,202 @@
+//! Backward liveness dataflow over virtual registers.
+
+use crate::bitset::BitSet;
+use ccra_ir::{BlockId, EntityVec, Function, VReg};
+
+/// Per-block live-in/live-out sets of virtual registers.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: EntityVec<BlockId, BitSet>,
+    live_out: EntityVec<BlockId, BitSet>,
+    num_vregs: usize,
+}
+
+impl Liveness {
+    /// Computes liveness for a function with the classic backward fixpoint.
+    pub fn compute(f: &Function) -> Self {
+        let nv = f.num_vregs();
+        let mut use_set: EntityVec<BlockId, BitSet> =
+            f.block_ids().map(|_| BitSet::new(nv)).collect();
+        let mut def_set: EntityVec<BlockId, BitSet> =
+            f.block_ids().map(|_| BitSet::new(nv)).collect();
+
+        let mut uses_buf = Vec::new();
+        for (bb, block) in f.blocks() {
+            let (us, ds) = (&mut use_set[bb], &mut def_set[bb]);
+            for inst in &block.insts {
+                uses_buf.clear();
+                inst.collect_uses(&mut uses_buf);
+                for &u in &uses_buf {
+                    if !ds.contains(u.index()) {
+                        us.insert(u.index());
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    ds.insert(d.index());
+                }
+            }
+            if let Some(u) = block.term.use_reg() {
+                if !ds.contains(u.index()) {
+                    us.insert(u.index());
+                }
+            }
+        }
+
+        let mut live_in: EntityVec<BlockId, BitSet> =
+            f.block_ids().map(|_| BitSet::new(nv)).collect();
+        let mut live_out: EntityVec<BlockId, BitSet> =
+            f.block_ids().map(|_| BitSet::new(nv)).collect();
+
+        // Iterate to fixpoint, visiting blocks in reverse id order (a decent
+        // approximation of postorder for builder-generated CFGs).
+        let ids: Vec<BlockId> = f.block_ids().collect();
+        let mut changed = true;
+        let mut out_buf = BitSet::new(nv);
+        while changed {
+            changed = false;
+            for &bb in ids.iter().rev() {
+                out_buf.clear();
+                for succ in f.successors(bb) {
+                    out_buf.union_with(&live_in[succ]);
+                }
+                if out_buf != live_out[bb] {
+                    live_out[bb] = out_buf.clone();
+                }
+                // in = use ∪ (out − def)
+                let mut new_in = live_out[bb].clone();
+                new_in.subtract(&def_set[bb]);
+                new_in.union_with(&use_set[bb]);
+                if new_in != live_in[bb] {
+                    live_in[bb] = new_in;
+                    changed = true;
+                }
+            }
+        }
+
+        Liveness { live_in, live_out, num_vregs: nv }
+    }
+
+    /// The registers live on entry to `bb`.
+    pub fn live_in(&self, bb: BlockId) -> &BitSet {
+        &self.live_in[bb]
+    }
+
+    /// The registers live on exit from `bb`.
+    pub fn live_out(&self, bb: BlockId) -> &BitSet {
+        &self.live_out[bb]
+    }
+
+    /// Whether `v` is live on entry to `bb`.
+    pub fn is_live_in(&self, bb: BlockId, v: VReg) -> bool {
+        self.live_in[bb].contains(v.index())
+    }
+
+    /// Whether `v` is live on exit from `bb`.
+    pub fn is_live_out(&self, bb: BlockId, v: VReg) -> bool {
+        self.live_out[bb].contains(v.index())
+    }
+
+    /// The number of virtual registers this analysis covers.
+    pub fn num_vregs(&self) -> usize {
+        self.num_vregs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_ir::{BinOp, Callee, CmpOp, FunctionBuilder, RegClass};
+
+    #[test]
+    fn straight_line_liveness() {
+        // x = 1; y = x + x; ret y
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        b.binary(BinOp::Add, y, x, x);
+        b.ret(Some(y));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        assert!(!lv.is_live_in(f.entry(), x));
+        assert!(!lv.is_live_out(f.entry(), y));
+        assert!(lv.live_in(f.entry()).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_loop() {
+        // acc is defined before the loop, updated in the body, used after.
+        let mut b = FunctionBuilder::new("f");
+        let acc = b.new_vreg(RegClass::Int);
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(acc, 0);
+        b.iconst(i, 0);
+        b.iconst(n, 10);
+        b.iconst(one, 1);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.binary(BinOp::Add, acc, acc, i);
+        b.binary(BinOp::Add, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        // acc is live through head, body, and into exit.
+        assert!(lv.is_live_in(head, acc));
+        assert!(lv.is_live_out(head, acc));
+        assert!(lv.is_live_in(body, acc));
+        assert!(lv.is_live_in(exit, acc));
+        // the condition is consumed by the branch, dead after head.
+        assert!(!lv.is_live_out(head, c));
+        // i is loop-carried too.
+        assert!(lv.is_live_out(body, i));
+    }
+
+    #[test]
+    fn call_args_and_results() {
+        let mut b = FunctionBuilder::new("f");
+        let a = b.new_vreg(RegClass::Int);
+        let r = b.new_vreg(RegClass::Int);
+        b.iconst(a, 3);
+        b.call(Callee::External("g"), vec![a], Some(r));
+        b.ret(Some(r));
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        // Single block: nothing live at boundaries.
+        assert!(lv.live_in(f.entry()).is_empty());
+        assert!(lv.live_out(f.entry()).is_empty());
+        assert_eq!(lv.num_vregs(), 2);
+    }
+
+    #[test]
+    fn branch_condition_live_into_block_when_defined_earlier() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.new_vreg(RegClass::Int);
+        b.iconst(c, 1);
+        let mid = b.reserve_block();
+        let t = b.reserve_block();
+        let e = b.reserve_block();
+        b.jump(mid);
+        b.switch_to(mid);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        assert!(lv.is_live_in(mid, c));
+        assert!(lv.is_live_out(f.entry(), c));
+        assert!(!lv.is_live_in(t, c));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for [`crate::BitSet`] against a `HashSet` model.
+
+#![cfg(test)]
+
+use crate::BitSet;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    Clear,
+}
+
+fn op_strategy(cap: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..cap).prop_map(Op::Insert),
+        4 => (0..cap).prop_map(Op::Remove),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    /// A BitSet behaves exactly like a HashSet under arbitrary operation
+    /// sequences.
+    #[test]
+    fn bitset_matches_hashset(ops in proptest::collection::vec(op_strategy(200), 1..120)) {
+        let mut bs = BitSet::new(200);
+        let mut model: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(i) => {
+                    prop_assert_eq!(bs.insert(i), model.insert(i));
+                }
+                Op::Remove(i) => {
+                    prop_assert_eq!(bs.remove(i), model.remove(&i));
+                }
+                Op::Clear => {
+                    bs.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(bs.len(), model.len());
+            prop_assert_eq!(bs.is_empty(), model.is_empty());
+        }
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_model: Vec<usize> = model.into_iter().collect();
+        from_model.sort_unstable();
+        from_bs.sort_unstable();
+        prop_assert_eq!(from_bs, from_model);
+    }
+
+    /// Union matches the model and reports change correctly.
+    #[test]
+    fn union_matches_model(
+        a in proptest::collection::hash_set(0usize..150, 0..60),
+        b in proptest::collection::hash_set(0usize..150, 0..60),
+    ) {
+        let mut ba = BitSet::new(150);
+        let mut bb = BitSet::new(150);
+        for &i in &a { ba.insert(i); }
+        for &i in &b { bb.insert(i); }
+        let grows = !b.is_subset(&a);
+        prop_assert_eq!(ba.union_with(&bb), grows);
+        let union: HashSet<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(ba.iter().collect::<HashSet<_>>(), union);
+    }
+
+    /// Subtraction matches set difference.
+    #[test]
+    fn subtract_matches_model(
+        a in proptest::collection::hash_set(0usize..150, 0..60),
+        b in proptest::collection::hash_set(0usize..150, 0..60),
+    ) {
+        let mut ba = BitSet::new(150);
+        let mut bb = BitSet::new(150);
+        for &i in &a { ba.insert(i); }
+        for &i in &b { bb.insert(i); }
+        ba.subtract(&bb);
+        let diff: HashSet<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(ba.iter().collect::<HashSet<_>>(), diff);
+    }
+}

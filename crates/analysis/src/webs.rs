@@ -1,0 +1,508 @@
+//! Def-use webs: the live-range construction of Chaitin-style allocators.
+//!
+//! A *web* groups together the defs and uses of a virtual register that must
+//! share a storage location: a use belongs with every def that reaches it,
+//! and defs reaching a common use are transitively merged. Webs are the unit
+//! of register allocation — two disjoint lifetimes of the same virtual
+//! register become two independently allocatable live ranges.
+
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+use ccra_ir::{BlockId, EntityVec, Function, VReg};
+
+/// Identifies a live range (web) within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WebId(pub u32);
+
+impl WebId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for WebId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lr{}", self.0)
+    }
+}
+
+/// A position inside a block: instruction index, or the terminator.
+///
+/// Terminators are represented as index `block.insts.len()`; [`Webs`] uses
+/// plain `u32` indices with that convention.
+pub type InstIdx = u32;
+
+/// Per-web reference information.
+#[derive(Debug, Clone)]
+pub struct WebData {
+    /// The virtual register this web belongs to.
+    pub vreg: VReg,
+    /// Instructions (deduplicated) that define the web.
+    pub defs: Vec<(BlockId, InstIdx)>,
+    /// Instructions (deduplicated) that use the web; the terminator counts
+    /// as index `insts.len()`.
+    pub uses: Vec<(BlockId, InstIdx)>,
+    /// Whether this web is defined by a function parameter.
+    pub is_param: bool,
+}
+
+impl WebData {
+    fn new(vreg: VReg) -> Self {
+        WebData { vreg, defs: Vec::new(), uses: Vec::new(), is_param: false }
+    }
+
+    /// Total number of referencing instructions (defs + uses).
+    pub fn ref_count(&self) -> usize {
+        self.defs.len() + self.uses.len()
+    }
+}
+
+/// The webs (live ranges) of one function.
+#[derive(Debug, Clone)]
+pub struct Webs {
+    webs: Vec<WebData>,
+    def_web: HashMap<(BlockId, InstIdx, VReg), WebId>,
+    use_web: HashMap<(BlockId, InstIdx, VReg), WebId>,
+    param_web: HashMap<VReg, WebId>,
+    live_in_web: HashMap<(BlockId, VReg), WebId>,
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// A def site of some vreg: a parameter, or an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DefSite {
+    Param,
+    Inst(BlockId, InstIdx),
+}
+
+impl Webs {
+    /// Builds the webs of `f` using per-vreg reaching-definitions.
+    pub fn compute(f: &Function) -> Self {
+        // Enumerate all def sites globally so one union-find covers them.
+        let mut defs_of: EntityVec<VReg, Vec<u32>> = f.vreg_ids().map(|_| Vec::new()).collect();
+        let mut def_sites: Vec<(VReg, DefSite)> = Vec::new();
+        for &p in f.params() {
+            defs_of[p].push(def_sites.len() as u32);
+            def_sites.push((p, DefSite::Param));
+        }
+        for (bb, block) in f.blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Some(d) = inst.def() {
+                    defs_of[d].push(def_sites.len() as u32);
+                    def_sites.push((d, DefSite::Inst(bb, i as InstIdx)));
+                }
+            }
+        }
+
+        let mut uf = UnionFind::new(def_sites.len());
+        // use site -> a representative def id (or None if undefined use)
+        let mut use_reaching: HashMap<(BlockId, InstIdx, VReg), Option<u32>> = HashMap::new();
+        // (block, vreg) -> representative def id reaching block entry
+        let mut entry_reaching: HashMap<(BlockId, VReg), u32> = HashMap::new();
+
+        let block_ids: Vec<BlockId> = f.block_ids().collect();
+        let preds = f.predecessors();
+
+        let mut uses_buf = Vec::new();
+        for v in f.vreg_ids() {
+            let my_defs = &defs_of[v];
+            let nd = my_defs.len();
+            // Map global def id -> local index for the bitset.
+            let local_of: HashMap<u32, usize> =
+                my_defs.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+
+            // Per-block gen/kill for this vreg: the *last* def in the block
+            // wins; a block with any def kills everything incoming.
+            let mut last_def: EntityVec<BlockId, Option<u32>> =
+                f.block_ids().map(|_| None).collect();
+            for &g in my_defs {
+                if let (_, DefSite::Inst(bb, _)) = def_sites[g as usize] {
+                    // Defs are enumerated in block order, so later wins.
+                    last_def[bb] = Some(g);
+                }
+            }
+            let param_def: Option<u32> = my_defs
+                .iter()
+                .copied()
+                .find(|&g| matches!(def_sites[g as usize].1, DefSite::Param));
+
+            let mut reach_in: EntityVec<BlockId, BitSet> =
+                f.block_ids().map(|_| BitSet::new(nd)).collect();
+            let mut reach_out: EntityVec<BlockId, BitSet> =
+                f.block_ids().map(|_| BitSet::new(nd)).collect();
+
+            // Seed: param def reaches entry's reach_in.
+            if let Some(pd) = param_def {
+                reach_in[f.entry()].insert(local_of[&pd]);
+            }
+
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &bb in &block_ids {
+                    let mut rin = reach_in[bb].clone();
+                    for &p in &preds[bb] {
+                        rin.union_with(&reach_out[p]);
+                    }
+                    if rin != reach_in[bb] {
+                        reach_in[bb] = rin;
+                    }
+                    let rout = match last_def[bb] {
+                        Some(g) => {
+                            let mut s = BitSet::new(nd);
+                            s.insert(local_of[&g]);
+                            s
+                        }
+                        None => reach_in[bb].clone(),
+                    };
+                    if rout != reach_out[bb] {
+                        reach_out[bb] = rout;
+                        changed = true;
+                    }
+                }
+            }
+
+            // Record entry-reaching representative and resolve uses.
+            for &bb in &block_ids {
+                if let Some(local) = reach_in[bb].iter().next() {
+                    entry_reaching.insert((bb, v), my_defs[local]);
+                    // All defs reaching a block entry where v may be used
+                    // downstream could belong together; they merge only via
+                    // actual uses below.
+                }
+                // Walk the block tracking the current reaching set.
+                let mut current: Vec<u32> = reach_in[bb].iter().map(|l| my_defs[l]).collect();
+                let block = f.block(bb);
+                for (i, inst) in block.insts.iter().enumerate() {
+                    uses_buf.clear();
+                    inst.collect_uses(&mut uses_buf);
+                    if uses_buf.contains(&v) {
+                        let rep = current.first().copied();
+                        for w in current.windows(2) {
+                            uf.union(w[0], w[1]);
+                        }
+                        use_reaching.insert((bb, i as InstIdx, v), rep);
+                    }
+                    if inst.def() == Some(v) {
+                        if let Some(g) = my_defs
+                            .iter()
+                            .copied()
+                            .find(|&g| def_sites[g as usize].1 == DefSite::Inst(bb, i as InstIdx))
+                        {
+                            current = vec![g];
+                        }
+                    }
+                }
+                if block.term.use_reg() == Some(v) {
+                    let rep = current.first().copied();
+                    for w in current.windows(2) {
+                        uf.union(w[0], w[1]);
+                    }
+                    use_reaching.insert((bb, block.insts.len() as InstIdx, v), rep);
+                }
+            }
+        }
+
+        // Assign dense web ids to union-find roots (and to undefined uses).
+        let mut web_of_root: HashMap<u32, WebId> = HashMap::new();
+        let mut webs: Vec<WebData> = Vec::new();
+        let mut def_web = HashMap::new();
+        let mut use_web = HashMap::new();
+        let mut param_web = HashMap::new();
+
+        let mut web_for = |root: u32, vreg: VReg, webs: &mut Vec<WebData>| -> WebId {
+            *web_of_root.entry(root).or_insert_with(|| {
+                let id = WebId(webs.len() as u32);
+                webs.push(WebData::new(vreg));
+                id
+            })
+        };
+
+        for (g, &(v, site)) in def_sites.iter().enumerate() {
+            let root = uf.find(g as u32);
+            let id = web_for(root, v, &mut webs);
+            match site {
+                DefSite::Param => {
+                    webs[id.index()].is_param = true;
+                    param_web.insert(v, id);
+                }
+                DefSite::Inst(bb, i) => {
+                    if !webs[id.index()].defs.contains(&(bb, i)) {
+                        webs[id.index()].defs.push((bb, i));
+                    }
+                    def_web.insert((bb, i, v), id);
+                }
+            }
+        }
+        for (&(bb, i, v), &rep) in &use_reaching {
+            let id = match rep {
+                Some(g) => {
+                    let root = uf.find(g);
+                    web_for(root, v, &mut webs)
+                }
+                None => {
+                    // Undefined use: give it a fresh singleton web.
+                    let id = WebId(webs.len() as u32);
+                    webs.push(WebData::new(v));
+                    id
+                }
+            };
+            if !webs[id.index()].uses.contains(&(bb, i)) {
+                webs[id.index()].uses.push((bb, i));
+            }
+            use_web.insert((bb, i, v), id);
+        }
+
+        // Map entry-reaching defs to final web ids for live-in queries.
+        let mut live_in_web = HashMap::new();
+        for (&(bb, v), &g) in &entry_reaching {
+            let root = uf.find(g);
+            if let Some(&id) = web_of_root.get(&root) {
+                live_in_web.insert((bb, v), id);
+            }
+        }
+
+        Webs { webs, def_web, use_web, param_web, live_in_web }
+    }
+
+    /// The number of webs.
+    pub fn len(&self) -> usize {
+        self.webs.len()
+    }
+
+    /// Whether there are no webs.
+    pub fn is_empty(&self) -> bool {
+        self.webs.is_empty()
+    }
+
+    /// The data of web `id`.
+    pub fn web(&self, id: WebId) -> &WebData {
+        &self.webs[id.index()]
+    }
+
+    /// Iterates over `(id, data)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (WebId, &WebData)> {
+        self.webs.iter().enumerate().map(|(i, w)| (WebId(i as u32), w))
+    }
+
+    /// The web defined by instruction `(bb, idx)` writing `v`, if any.
+    pub fn def_web(&self, bb: BlockId, idx: InstIdx, v: VReg) -> Option<WebId> {
+        self.def_web.get(&(bb, idx, v)).copied()
+    }
+
+    /// The web read by instruction `(bb, idx)` (terminator = `insts.len()`)
+    /// through register `v`, if any.
+    pub fn use_web(&self, bb: BlockId, idx: InstIdx, v: VReg) -> Option<WebId> {
+        self.use_web.get(&(bb, idx, v)).copied()
+    }
+
+    /// The web of parameter `v`, if `v` is a parameter.
+    pub fn param_web(&self, v: VReg) -> Option<WebId> {
+        self.param_web.get(&v).copied()
+    }
+
+    /// The web of `v` live on entry to `bb`, if a definition reaches there.
+    pub fn live_in_web(&self, bb: BlockId, v: VReg) -> Option<WebId> {
+        self.live_in_web.get(&(bb, v)).copied()
+    }
+
+    /// Remaps every recorded instruction index through `map(bb, old_idx)`.
+    ///
+    /// Used by incremental graph reconstruction after spill-code insertion
+    /// shifts instructions within blocks. Terminator indices (recorded as
+    /// the original block length) must be remapped to the new block length
+    /// by the supplied function.
+    pub fn remap_indices(&mut self, map: impl Fn(BlockId, InstIdx) -> InstIdx) {
+        for web in &mut self.webs {
+            for (bb, i) in web.defs.iter_mut().chain(web.uses.iter_mut()) {
+                *i = map(*bb, *i);
+            }
+        }
+        self.def_web = self
+            .def_web
+            .drain()
+            .map(|((bb, i, v), w)| ((bb, map(bb, i), v), w))
+            .collect();
+        self.use_web = self
+            .use_web
+            .drain()
+            .map(|((bb, i, v), w)| ((bb, map(bb, i), v), w))
+            .collect();
+    }
+
+    /// Registers a synthetic single-reference web (a spill temporary) and
+    /// returns its id. `site` uses the same `(block, index)` convention as
+    /// the rest of the structure.
+    pub fn add_synthetic(&mut self, vreg: VReg, site: (BlockId, InstIdx), is_def: bool) -> WebId {
+        let id = WebId(self.webs.len() as u32);
+        let mut data = WebData::new(vreg);
+        if is_def {
+            data.defs.push(site);
+            self.def_web.insert((site.0, site.1, vreg), id);
+        } else {
+            data.uses.push(site);
+            self.use_web.insert((site.0, site.1, vreg), id);
+        }
+        self.webs.push(data);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_ir::{BinOp, CmpOp, FunctionBuilder, RegClass};
+
+    #[test]
+    fn disjoint_lifetimes_split_into_two_webs() {
+        // v is used as two unrelated temporaries.
+        let mut b = FunctionBuilder::new("f");
+        let v = b.new_vreg(RegClass::Int);
+        let s = b.new_vreg(RegClass::Int);
+        b.iconst(v, 1); // def A
+        b.copy(s, v); // use of A
+        b.iconst(v, 2); // def B (kills A)
+        b.binary(BinOp::Add, s, s, v); // use of B
+        b.ret(Some(s));
+        let f = b.finish();
+        let webs = Webs::compute(&f);
+        let wa = webs.def_web(f.entry(), 0, v).unwrap();
+        let wb = webs.def_web(f.entry(), 2, v).unwrap();
+        assert_ne!(wa, wb, "disjoint lifetimes must be separate webs");
+        assert_eq!(webs.use_web(f.entry(), 1, v), Some(wa));
+        assert_eq!(webs.use_web(f.entry(), 3, v), Some(wb));
+    }
+
+    #[test]
+    fn defs_merging_at_join_are_one_web() {
+        // if (c) v = 1 else v = 2; use v  -> single web with two defs
+        let mut b = FunctionBuilder::new("f");
+        let c = b.new_vreg(RegClass::Int);
+        let v = b.new_vreg(RegClass::Int);
+        b.iconst(c, 1);
+        let t = b.reserve_block();
+        let e = b.reserve_block();
+        let j = b.reserve_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.iconst(v, 1);
+        b.jump(j);
+        b.switch_to(e);
+        b.iconst(v, 2);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(v));
+        let f = b.finish();
+        let webs = Webs::compute(&f);
+        let wt = webs.def_web(t, 0, v).unwrap();
+        let we = webs.def_web(e, 0, v).unwrap();
+        assert_eq!(wt, we, "defs joining at a common use are one web");
+        assert_eq!(webs.use_web(j, 0, v), Some(wt));
+        assert_eq!(webs.live_in_web(j, v), Some(wt));
+    }
+
+    #[test]
+    fn params_are_defs() {
+        let mut b = FunctionBuilder::new("f");
+        let p = b.new_vreg(RegClass::Int);
+        b.set_params(vec![p]);
+        let r = b.new_vreg(RegClass::Int);
+        b.binary(BinOp::Add, r, p, p);
+        b.ret(Some(r));
+        let f = b.finish();
+        let webs = Webs::compute(&f);
+        let pw = webs.param_web(p).unwrap();
+        assert!(webs.web(pw).is_param);
+        assert_eq!(webs.use_web(f.entry(), 0, p), Some(pw));
+    }
+
+    #[test]
+    fn loop_carried_web_spans_loop() {
+        let mut b = FunctionBuilder::new("f");
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(i, 0);
+        b.iconst(n, 3);
+        b.iconst(one, 1);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.binary(BinOp::Add, i, i, one); // def of i merges with initial def
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = b.finish();
+        let webs = Webs::compute(&f);
+        let init = webs.def_web(f.entry(), 0, i).unwrap();
+        let upd = webs.def_web(body, 0, i).unwrap();
+        assert_eq!(init, upd, "loop-carried variable is one web");
+        assert_eq!(webs.live_in_web(head, i), Some(init));
+        assert_eq!(webs.live_in_web(exit, i), Some(init));
+        assert_eq!(webs.web(init).defs.len(), 2);
+    }
+
+    #[test]
+    fn ref_counts_dedupe_per_instruction() {
+        let mut b = FunctionBuilder::new("f");
+        let v = b.new_vreg(RegClass::Int);
+        let r = b.new_vreg(RegClass::Int);
+        b.iconst(v, 2);
+        b.binary(BinOp::Mul, r, v, v); // v used twice by one instruction
+        b.ret(Some(r));
+        let f = b.finish();
+        let webs = Webs::compute(&f);
+        let w = webs.def_web(f.entry(), 0, v).unwrap();
+        assert_eq!(webs.web(w).uses.len(), 1, "one referencing instruction");
+        assert_eq!(webs.web(w).ref_count(), 2); // 1 def + 1 use
+    }
+
+    #[test]
+    fn terminator_use_is_recorded() {
+        let mut b = FunctionBuilder::new("f");
+        let v = b.new_vreg(RegClass::Int);
+        b.iconst(v, 9);
+        b.ret(Some(v));
+        let f = b.finish();
+        let webs = Webs::compute(&f);
+        let w = webs.def_web(f.entry(), 0, v).unwrap();
+        // Terminator index = insts.len() = 1.
+        assert_eq!(webs.use_web(f.entry(), 1, v), Some(w));
+    }
+}

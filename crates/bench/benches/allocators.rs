@@ -1,0 +1,78 @@
+//! Allocator throughput: time one full `allocate_program` per allocator
+//! family on representative workloads (call-heavy int, pressure-heavy FP).
+
+use ccra_analysis::FrequencyInfo;
+use ccra_bench::BENCH_SCALE;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::{allocate_program, AllocatorConfig, PriorityOrdering};
+use ccra_workloads::{spec_program_scaled, Scale, SpecProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocators");
+    g.sample_size(20);
+    let file = RegisterFile::new(9, 7, 3, 3);
+    let configs = [
+        ("base", AllocatorConfig::base()),
+        ("improved", AllocatorConfig::improved()),
+        ("optimistic", AllocatorConfig::optimistic()),
+        ("priority", AllocatorConfig::priority(PriorityOrdering::Sorting)),
+        ("cbh", AllocatorConfig::cbh()),
+    ];
+    for prog in [SpecProgram::Sc, SpecProgram::Fpppp] {
+        let ir = spec_program_scaled(prog, Scale(BENCH_SCALE));
+        let freq = FrequencyInfo::profile(&ir).expect("workload runs");
+        for (name, config) in &configs {
+            g.bench_with_input(
+                BenchmarkId::new(*name, prog.name()),
+                &(&ir, &freq),
+                |b, (ir, freq)| b.iter(|| allocate_program(ir, freq, file, config)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_register_pressure_scaling(c: &mut Criterion) {
+    // Allocation time vs register count: fewer registers mean more spill
+    // rounds, so the sweep's left end is the expensive one.
+    let mut g = c.benchmark_group("pressure_scaling");
+    g.sample_size(20);
+    let ir = spec_program_scaled(SpecProgram::Fpppp, Scale(BENCH_SCALE));
+    let freq = FrequencyInfo::profile(&ir).expect("workload runs");
+    for file in [
+        RegisterFile::minimum(),
+        RegisterFile::new(9, 7, 3, 3),
+        RegisterFile::mips_full(),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(file), &file, |b, &file| {
+            b.iter(|| allocate_program(&ir, &freq, file, &AllocatorConfig::improved()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_reconstruction(c: &mut Criterion) {
+    // Figure 1's graph-reconstruction phase is a compile-time optimization:
+    // compare full rebuilds against incremental updates at moderate
+    // pressure (a few spill rounds over a large function). At extreme
+    // pressure the conservative temp edges cause extra spill rounds that
+    // eat the per-round savings.
+    let mut g = c.benchmark_group("reconstruction");
+    g.sample_size(20);
+    let ir = spec_program_scaled(SpecProgram::Fpppp, Scale(BENCH_SCALE));
+    let freq = FrequencyInfo::profile(&ir).expect("workload runs");
+    let file = RegisterFile::new(9, 7, 3, 3);
+    g.bench_function("rebuild_each_round", |b| {
+        b.iter(|| allocate_program(&ir, &freq, file, &AllocatorConfig::improved()))
+    });
+    g.bench_function("incremental_reconstruction", |b| {
+        b.iter(|| {
+            allocate_program(&ir, &freq, file, &AllocatorConfig::improved().with_reconstruction())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_register_pressure_scaling, bench_graph_reconstruction);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Analysis-substrate micro-benchmarks: liveness, webs, context building
+//! (interference + coalescing), frequency estimation, and profiling.
+
+use ccra_analysis::{DomTree, FrequencyInfo, InterpConfig, Liveness, LoopInfo, Webs};
+use ccra_bench::BENCH_SCALE;
+use ccra_machine::CostModel;
+use ccra_regalloc::build_context;
+use ccra_workloads::{spec_program_scaled, Scale, SpecProgram};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_analyses(c: &mut Criterion) {
+    let ir = spec_program_scaled(SpecProgram::Fpppp, Scale(BENCH_SCALE));
+    // The biggest function (twoel) is the interesting one.
+    let twoel = ir.function(ir.find("twoel").expect("fpppp has twoel"));
+    let freq = FrequencyInfo::profile(&ir).expect("workload runs");
+    let twoel_freq = freq.func(ir.find("twoel").unwrap());
+
+    let mut g = c.benchmark_group("analyses");
+    g.bench_function("liveness", |b| b.iter(|| Liveness::compute(twoel)));
+    g.bench_function("webs", |b| b.iter(|| Webs::compute(twoel)));
+    g.bench_function("dominators_loops", |b| {
+        b.iter(|| {
+            let dom = DomTree::compute(twoel);
+            LoopInfo::compute(twoel, &dom)
+        })
+    });
+    g.bench_function("build_context", |b| {
+        b.iter(|| build_context(twoel, twoel_freq, &CostModel::paper()))
+    });
+    g.bench_function("static_frequency_estimate", |b| {
+        b.iter(|| FrequencyInfo::estimate(&ir))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("profiling");
+    g.sample_size(10);
+    let small = spec_program_scaled(SpecProgram::Eqntott, Scale(0.05));
+    g.bench_function("interpreter_profile", |b| {
+        b.iter(|| ccra_analysis::run(&small, &InterpConfig::default()).expect("runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! One bench per paper table/figure: times the regeneration of each
+//! experiment's full data series at a reduced workload scale. The printed
+//! tables themselves come from the `ccra-eval` binaries
+//! (`cargo run --release -p ccra-eval --bin fig2`, …).
+
+use ccra_analysis::FreqMode;
+use ccra_bench::BENCH_SCALE;
+use ccra_eval::experiments::{ablations, fig10, fig11, fig2, fig6, fig7, fig9, tab2_tab3, tab4};
+use ccra_workloads::{Scale, SpecProgram};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn scale() -> Scale {
+    Scale(BENCH_SCALE)
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    g.bench_function("fig2_cost_components", |b| {
+        b.iter(|| fig2::run_one(SpecProgram::Eqntott, scale()))
+    });
+    g.bench_function("fig6_improvement_combinations", |b| {
+        b.iter(|| fig6::run_one(SpecProgram::Nasa7, FreqMode::Dynamic, scale()))
+    });
+    g.bench_function("fig7_improved_overhead", |b| {
+        b.iter(|| fig7::run_one(SpecProgram::Ear, scale()))
+    });
+    g.bench_function("tab2_optimistic_static", |b| {
+        b.iter(|| tab2_tab3::run_mode(FreqMode::Static, Scale(0.05)))
+    });
+    g.bench_function("tab3_optimistic_dynamic", |b| {
+        b.iter(|| tab2_tab3::run_mode(FreqMode::Dynamic, Scale(0.05)))
+    });
+    g.bench_function("fig9_fpppp_optimistic", |b| {
+        b.iter(|| fig9::run_one(SpecProgram::Fpppp, FreqMode::Static, scale()))
+    });
+    g.bench_function("fig10_priority_vs_improved", |b| {
+        b.iter(|| fig10::run_one(SpecProgram::Alvinn, scale()))
+    });
+    g.bench_function("fig11_cbh_vs_improved", |b| {
+        b.iter(|| fig11::run_one(SpecProgram::Matrix300, scale()))
+    });
+    g.bench_function("tab4_cycle_speedup", |b| {
+        b.iter(|| tab4::speedup_percent(SpecProgram::Li, Scale(0.05)))
+    });
+    g.bench_function("ablation_priority_orderings", |b| {
+        b.iter(|| ablations::priority_orderings(Scale(0.03)))
+    });
+    g.bench_function("ablation_callee_cost_models", |b| {
+        b.iter(|| ablations::callee_cost_models(Scale(0.03)))
+    });
+    g.bench_function("ablation_bs_keys", |b| {
+        b.iter(|| ablations::bs_keys(Scale(0.03)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

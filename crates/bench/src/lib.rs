@@ -1,0 +1,14 @@
+//! Benchmark support for the call-cost register-allocation study.
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! * `experiments` — one bench per paper table/figure, timing the full
+//!   regeneration of its data series at a reduced scale (the printed
+//!   tables come from the `ccra-eval` binaries);
+//! * `allocators` — allocator throughput on representative workloads;
+//! * `analyses` — the analysis substrate (liveness, webs, interference
+//!   construction, coalescing) on the largest workload functions.
+
+/// A reduced workload scale that keeps benches brisk while exercising the
+/// whole pipeline.
+pub const BENCH_SCALE: f64 = 0.1;

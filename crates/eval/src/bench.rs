@@ -1,0 +1,96 @@
+//! Workload loading and allocation helpers shared by all experiments.
+
+use ccra_analysis::{FreqMode, FrequencyInfo};
+use ccra_ir::Program;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::{allocate_program, AllocatorConfig, Overhead};
+use ccra_workloads::{spec_program_scaled, Scale, SpecProgram};
+
+/// A loaded workload: its IR plus both frequency weightings.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// Which SPEC92-like program this is.
+    pub program: SpecProgram,
+    /// The IR.
+    pub ir: Program,
+    /// Static (loop-estimate) frequencies.
+    pub static_freq: FrequencyInfo,
+    /// Dynamic (profiled) frequencies.
+    pub dynamic_freq: FrequencyInfo,
+}
+
+impl Bench {
+    /// Builds and profiles a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to execute — all shipped workloads
+    /// terminate deterministically.
+    pub fn load(program: SpecProgram, scale: Scale) -> Self {
+        let ir = spec_program_scaled(program, scale);
+        let static_freq = FrequencyInfo::estimate(&ir);
+        let dynamic_freq = FrequencyInfo::profile(&ir)
+            .unwrap_or_else(|e| panic!("{program} failed to profile: {e}"));
+        Bench { program, ir, static_freq, dynamic_freq }
+    }
+
+    /// The frequencies for a mode.
+    pub fn freq(&self, mode: FreqMode) -> &FrequencyInfo {
+        match mode {
+            FreqMode::Static => &self.static_freq,
+            FreqMode::Dynamic => &self.dynamic_freq,
+        }
+    }
+
+    /// Allocates the whole program and returns the weighted overhead.
+    pub fn overhead(
+        &self,
+        mode: FreqMode,
+        file: RegisterFile,
+        config: &AllocatorConfig,
+    ) -> Overhead {
+        allocate_program(&self.ir, self.freq(mode), file, config).overhead
+    }
+}
+
+/// Loads every workload at the given scale.
+pub fn load_all(scale: Scale) -> Vec<Bench> {
+    SpecProgram::ALL.iter().map(|&p| Bench::load(p, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_allocate_one() {
+        let bench = Bench::load(SpecProgram::Tomcatv, Scale(0.05));
+        let file = RegisterFile::new(8, 6, 2, 2);
+        let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base());
+        let improved = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::improved());
+        // tomcatv has no calls: zero caller-save cost, and the only call
+        // cost possible is the one-off entry/exit save of callee-save
+        // registers in the once-invoked main (bounded by the bank size).
+        assert_eq!(base.caller_save, 0.0);
+        assert_eq!(improved.caller_save, 0.0);
+        assert!(base.callee_save <= 2.0 * (2 + 2) as f64);
+        assert!(improved.call_cost() <= base.call_cost());
+    }
+
+    #[test]
+    fn static_and_dynamic_modes_differ() {
+        let bench = Bench::load(SpecProgram::Fpppp, Scale(0.05));
+        assert_eq!(bench.freq(FreqMode::Static).mode(), FreqMode::Static);
+        assert_eq!(bench.freq(FreqMode::Dynamic).mode(), FreqMode::Dynamic);
+    }
+
+    #[test]
+    fn load_all_covers_every_program() {
+        let benches = load_all(Scale(0.02));
+        assert_eq!(benches.len(), SpecProgram::ALL.len());
+        for (bench, &prog) in benches.iter().zip(SpecProgram::ALL.iter()) {
+            assert_eq!(bench.program, prog);
+            assert!(bench.ir.verify().is_ok());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs every experiment of the paper in sequence. Flags: `--scale <f64>`,
+//! `--format text|csv|json|chart`.
+fn main() {
+    let scale = ccra_eval::scale_from_args();
+    let format = ccra_eval::format_from_args();
+    use ccra_eval::experiments::*;
+    let mut tables = Vec::new();
+    tables.extend(fig2::run(scale));
+    tables.extend(fig6::run(scale));
+    tables.extend(fig7::run(scale));
+    tables.extend(tab2_tab3::run(scale));
+    tables.extend(fig9::run(scale));
+    tables.extend(fig10::run(scale));
+    tables.extend(fig11::run(scale));
+    tables.extend(tab4::run(scale));
+    tables.push(ablations::priority_orderings(scale));
+    tables.push(ablations::callee_cost_models(scale));
+    tables.push(ablations::bs_keys(scale));
+    ccra_eval::emit(&tables, format);
+}

@@ -1,0 +1,5 @@
+//! Ablation: the two benefit-driven simplification keys (§5).
+fn main() {
+    let t = ccra_eval::experiments::ablations::bs_keys(ccra_eval::scale_from_args());
+    ccra_eval::emit(&[t], ccra_eval::format_from_args());
+}

@@ -1,0 +1,5 @@
+//! Ablation: first-user vs shared callee-save cost models (§4).
+fn main() {
+    let t = ccra_eval::experiments::ablations::callee_cost_models(ccra_eval::scale_from_args());
+    ccra_eval::emit(&[t], ccra_eval::format_from_args());
+}

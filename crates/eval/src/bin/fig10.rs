@@ -1,0 +1,6 @@
+//! Regenerates Fig10 of the paper. Flags: `--scale <f64>`,
+//! `--format text|csv|json|chart`.
+fn main() {
+    let tables = ccra_eval::experiments::fig10::run(ccra_eval::scale_from_args());
+    ccra_eval::emit(&tables, ccra_eval::format_from_args());
+}

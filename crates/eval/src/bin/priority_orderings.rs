@@ -1,0 +1,5 @@
+//! Ablation: the three priority-based color orderings (§9.1).
+fn main() {
+    let t = ccra_eval::experiments::ablations::priority_orderings(ccra_eval::scale_from_args());
+    ccra_eval::emit(&[t], ccra_eval::format_from_args());
+}

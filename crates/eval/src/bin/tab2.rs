@@ -1,0 +1,9 @@
+//! Regenerates Table 2 of the paper (static information). Flags:
+//! `--scale <f64>`, `--format text|csv|json|chart`.
+fn main() {
+    let t = ccra_eval::experiments::tab2_tab3::run_mode(
+        ccra_analysis::FreqMode::Static,
+        ccra_eval::scale_from_args(),
+    );
+    ccra_eval::emit(&[t], ccra_eval::format_from_args());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 3 of the paper (dynamic information). Flags:
+//! `--scale <f64>`, `--format text|csv|json|chart`.
+fn main() {
+    let t = ccra_eval::experiments::tab2_tab3::run_mode(
+        ccra_analysis::FreqMode::Dynamic,
+        ccra_eval::scale_from_args(),
+    );
+    ccra_eval::emit(&[t], ccra_eval::format_from_args());
+}

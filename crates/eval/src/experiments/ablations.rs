@@ -1,0 +1,105 @@
+//! Ablations the paper discusses in prose rather than in a numbered
+//! figure:
+//!
+//! * Section 9.1 — the three color orderings of priority-based coloring
+//!   (nearly identical for most programs; "sorting" wins for ear and
+//!   espresso);
+//! * Section 4 — first-user vs shared callee-save cost attribution in
+//!   storage-class analysis (shared is never worse);
+//! * Section 5 — the two benefit-driven simplification keys (the delta key
+//!   beats the priority-style max key for Chaitin-style coloring).
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::{AllocatorConfig, BsKey, CalleeCostModel, PriorityOrdering};
+use ccra_workloads::{Scale, SpecProgram};
+
+use crate::bench::Bench;
+use crate::table::{ratio, Table};
+
+/// §9.1: compare the three priority-based color orderings.
+pub fn priority_orderings(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "§9.1 — priority-based color orderings (cells are base/X, geometric mean over sweep)",
+        vec![
+            "program".into(),
+            "removing-unconstrained".into(),
+            "sorting-unconstrained".into(),
+            "sorting".into(),
+        ],
+    );
+    let sweep = RegisterFile::paper_sweep();
+    for prog in SpecProgram::ALL {
+        let bench = Bench::load(prog, scale);
+        let mut row = vec![prog.to_string()];
+        for ordering in [
+            PriorityOrdering::RemovingUnconstrained,
+            PriorityOrdering::SortingUnconstrained,
+            PriorityOrdering::Sorting,
+        ] {
+            let config = AllocatorConfig::priority(ordering);
+            let mut log_sum = 0.0;
+            let mut count = 0usize;
+            for &file in &sweep {
+                let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base());
+                let x = bench.overhead(FreqMode::Dynamic, file, &config);
+                if x.total() > 0.0 && base.total() > 0.0 {
+                    log_sum += (base.total() / x.total()).ln();
+                    count += 1;
+                }
+            }
+            let gm = if count > 0 { (log_sum / count as f64).exp() } else { 1.0 };
+            row.push(format!("{gm:.2}"));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// §4: first-user vs shared callee-save cost model.
+pub fn callee_cost_models(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "§4 — callee-save cost models under SC (cells are base/X at (10,8,4,4), dynamic)",
+        vec!["program".into(), "first-user".into(), "shared".into()],
+    );
+    let file = RegisterFile::new(10, 8, 4, 4);
+    for prog in SpecProgram::ALL {
+        let bench = Bench::load(prog, scale);
+        let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base()).total();
+        let mut row = vec![prog.to_string()];
+        for model in [CalleeCostModel::FirstUser, CalleeCostModel::Shared] {
+            let config = AllocatorConfig {
+                callee_cost_model: model,
+                ..AllocatorConfig::with_improvements(true, false, false)
+            };
+            let x = bench.overhead(FreqMode::Dynamic, file, &config).total();
+            row.push(ratio(base, x));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// §5: the two benefit-driven simplification keys.
+pub fn bs_keys(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "§5 — benefit-driven simplification keys (cells are base/X at (9,7,3,3), dynamic)",
+        vec!["program".into(), "max-benefit".into(), "benefit-delta".into()],
+    );
+    let file = RegisterFile::new(9, 7, 3, 3);
+    for prog in SpecProgram::ALL {
+        let bench = Bench::load(prog, scale);
+        let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base()).total();
+        let mut row = vec![prog.to_string()];
+        for key in [BsKey::MaxBenefit, BsKey::BenefitDelta] {
+            let config = AllocatorConfig {
+                benefit_simplify: Some(key),
+                ..AllocatorConfig::with_improvements(true, true, true)
+            };
+            let x = bench.overhead(FreqMode::Dynamic, file, &config).total();
+            row.push(ratio(base, x));
+        }
+        table.push_row(row);
+    }
+    table
+}

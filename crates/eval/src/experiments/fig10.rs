@@ -1,0 +1,58 @@
+//! Figure 10: priority-based coloring (Chow, no splitting, sorting order)
+//! versus improved Chaitin-style coloring, static and dynamic.
+//!
+//! Expected shapes: the two tie for alvinn/eqntott/gcc/li; improved
+//! Chaitin wins for compress/ear/sc/doduc/nasa7/spice/tomcatv (priority
+//! coloring packs live ranges less densely); no clear winner for
+//! espresso/matrix300/fpppp.
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::{AllocatorConfig, PriorityOrdering};
+use ccra_workloads::{Scale, SpecProgram};
+
+use crate::bench::Bench;
+use crate::table::{ratio, Table};
+
+/// Runs the Figure 10 sweep for one program: both allocators, both modes,
+/// every cell `base / X` (bigger = fewer overhead operations).
+pub fn run_one(program: SpecProgram, scale: Scale) -> Table {
+    let bench = Bench::load(program, scale);
+    let mut table = Table::new(
+        format!("Figure 10 — {program}: priority-based vs improved Chaitin (cells are base/X)"),
+        vec![
+            "(Ri,Rf,Ei,Ef)".into(),
+            "improved(static)".into(),
+            "priority(static)".into(),
+            "improved(dynamic)".into(),
+            "priority(dynamic)".into(),
+        ],
+    );
+    let priority = AllocatorConfig::priority(PriorityOrdering::Sorting);
+    for file in RegisterFile::paper_sweep() {
+        let mut row = vec![file.to_string()];
+        for mode in [FreqMode::Static, FreqMode::Dynamic] {
+            let base = bench.overhead(mode, file, &AllocatorConfig::base()).total();
+            let imp = bench.overhead(mode, file, &AllocatorConfig::improved()).total();
+            let pri = bench.overhead(mode, file, &priority).total();
+            row.push(ratio(base, imp));
+            row.push(ratio(base, pri));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Runs Figure 10 for the programs the paper plots.
+pub fn run(scale: Scale) -> Vec<Table> {
+    [
+        SpecProgram::Alvinn,
+        SpecProgram::Nasa7,
+        SpecProgram::Fpppp,
+        SpecProgram::Espresso,
+        SpecProgram::Gcc,
+    ]
+    .iter()
+    .map(|&p| run_one(p, scale))
+    .collect()
+}

@@ -1,0 +1,57 @@
+//! Figure 11: improved Chaitin-style coloring versus the CBH cost model.
+//!
+//! Expected shapes: CBH over-constrains register allocation when
+//! callee-save registers are scarce (call-crossing live ranges may not use
+//! caller-save registers at all), catching up only at generous callee-save
+//! counts; improved Chaitin stays ahead for most programs because it can
+//! pay caller-save cost on occasionally executed paths.
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::AllocatorConfig;
+use ccra_workloads::{Scale, SpecProgram};
+
+use crate::bench::Bench;
+use crate::table::{ratio, Table};
+
+/// Runs the Figure 11 sweep for one program: cells are `base / X`.
+pub fn run_one(program: SpecProgram, scale: Scale) -> Table {
+    let bench = Bench::load(program, scale);
+    let mut table = Table::new(
+        format!("Figure 11 — {program}: improved Chaitin vs CBH (cells are base/X)"),
+        vec![
+            "(Ri,Rf,Ei,Ef)".into(),
+            "improved(static)".into(),
+            "CBH(static)".into(),
+            "improved(dynamic)".into(),
+            "CBH(dynamic)".into(),
+        ],
+    );
+    for file in RegisterFile::paper_sweep() {
+        let mut row = vec![file.to_string()];
+        for mode in [FreqMode::Static, FreqMode::Dynamic] {
+            let base = bench.overhead(mode, file, &AllocatorConfig::base()).total();
+            let imp = bench.overhead(mode, file, &AllocatorConfig::improved()).total();
+            let cbh = bench.overhead(mode, file, &AllocatorConfig::cbh()).total();
+            row.push(ratio(base, imp));
+            row.push(ratio(base, cbh));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Runs Figure 11 for the programs the paper plots.
+pub fn run(scale: Scale) -> Vec<Table> {
+    [
+        SpecProgram::Alvinn,
+        SpecProgram::Ear,
+        SpecProgram::Li,
+        SpecProgram::Matrix300,
+        SpecProgram::Nasa7,
+        SpecProgram::Gcc,
+    ]
+    .iter()
+    .map(|&p| run_one(p, scale))
+    .collect()
+}

@@ -1,0 +1,50 @@
+//! Figure 2: register-allocation cost for eqntott and ear across register
+//! combinations, split into the spill / caller-save / callee-save (and
+//! shuffle) components, under the *base* Chaitin-style allocator.
+//!
+//! The paper's observations this experiment must reproduce:
+//! * spill cost collapses once a moderate number of registers is available;
+//! * call cost then *dominates* the remaining overhead;
+//! * giving the base allocator more (callee-save) registers can make the
+//!   total cost *worse*.
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::AllocatorConfig;
+use ccra_workloads::{Scale, SpecProgram};
+
+use crate::bench::Bench;
+use crate::table::Table;
+
+/// Runs the Figure 2 sweep for one program.
+pub fn run_one(program: SpecProgram, scale: Scale) -> Table {
+    let bench = Bench::load(program, scale);
+    let mut table = Table::new(
+        format!("Figure 2 — {} register-allocation cost (base Chaitin, dynamic)", program),
+        vec![
+            "(Ri,Rf,Ei,Ef)".into(),
+            "spill".into(),
+            "caller-save".into(),
+            "callee-save".into(),
+            "shuffle".into(),
+            "total".into(),
+        ],
+    );
+    for file in RegisterFile::paper_sweep() {
+        let o = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base());
+        table.push_row(vec![
+            file.to_string(),
+            format!("{:.0}", o.spill),
+            format!("{:.0}", o.caller_save),
+            format!("{:.0}", o.callee_save),
+            format!("{:.0}", o.shuffle),
+            format!("{:.0}", o.total()),
+        ]);
+    }
+    table
+}
+
+/// Runs Figure 2 for both of the paper's programs (eqntott and ear).
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_one(SpecProgram::Eqntott, scale), run_one(SpecProgram::Ear, scale)]
+}

@@ -1,0 +1,73 @@
+//! Figure 6: the improvement of each enhancement combination (SC, BS, PR,
+//! SC+BS, SC+PR, SC+BS+PR) over the base allocator, as a function of
+//! register pressure.
+//!
+//! Every cell is `overhead(base) / overhead(combination)` — bigger is
+//! better, 1.00 means no effect. The paper plots nasa7, ear, li, sc,
+//! eqntott, and espresso; tomcatv (class 4) stays flat at 1.0.
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::AllocatorConfig;
+use ccra_workloads::{Scale, SpecProgram};
+
+use crate::bench::Bench;
+use crate::table::{ratio, Table};
+
+/// The combinations plotted in Figure 6, with their labels.
+pub fn combinations() -> Vec<(String, AllocatorConfig)> {
+    let combos = [
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+        (true, true, false),
+        (true, false, true),
+        (true, true, true),
+    ];
+    combos
+        .iter()
+        .map(|&(sc, bs, pr)| {
+            let config = AllocatorConfig::with_improvements(sc, bs, pr);
+            (config.label(), config)
+        })
+        .collect()
+}
+
+/// Runs the Figure 6 sweep for one program under one frequency mode.
+pub fn run_one(program: SpecProgram, mode: FreqMode, scale: Scale) -> Table {
+    let bench = Bench::load(program, scale);
+    let combos = combinations();
+    let mut headers = vec!["(Ri,Rf,Ei,Ef)".into()];
+    headers.extend(combos.iter().map(|(l, _)| l.clone()));
+    let mut table = Table::new(
+        format!("Figure 6 — {program} base/improved overhead ratio ({mode})"),
+        headers,
+    );
+    for file in RegisterFile::paper_sweep() {
+        let base = bench.overhead(mode, file, &AllocatorConfig::base()).total();
+        let mut row = vec![file.to_string()];
+        for (_, config) in &combos {
+            let improved = bench.overhead(mode, file, config).total();
+            row.push(ratio(base, improved));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Runs Figure 6 for the paper's representative programs (dynamic mode, as
+/// in the paper's main plots).
+pub fn run(scale: Scale) -> Vec<Table> {
+    [
+        SpecProgram::Nasa7,
+        SpecProgram::Ear,
+        SpecProgram::Li,
+        SpecProgram::Sc,
+        SpecProgram::Eqntott,
+        SpecProgram::Espresso,
+        SpecProgram::Tomcatv,
+    ]
+    .iter()
+    .map(|&p| run_one(p, FreqMode::Dynamic, scale))
+    .collect()
+}

@@ -1,0 +1,47 @@
+//! Figure 7: the register overhead of *improved* register allocation for
+//! ear and eqntott — the counterpart of Figure 2, demonstrating the
+//! 45–66× reduction the paper reports at generous register counts.
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::AllocatorConfig;
+use ccra_workloads::{Scale, SpecProgram};
+
+use crate::bench::Bench;
+use crate::table::{ratio, Table};
+
+/// Runs Figure 7 for one program.
+pub fn run_one(program: SpecProgram, scale: Scale) -> Table {
+    let bench = Bench::load(program, scale);
+    let mut table = Table::new(
+        format!("Figure 7 — {program} overhead under improved allocation (dynamic)"),
+        vec![
+            "(Ri,Rf,Ei,Ef)".into(),
+            "spill".into(),
+            "caller-save".into(),
+            "callee-save".into(),
+            "shuffle".into(),
+            "total".into(),
+            "base/improved".into(),
+        ],
+    );
+    for file in RegisterFile::paper_sweep() {
+        let improved = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::improved());
+        let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base());
+        table.push_row(vec![
+            file.to_string(),
+            format!("{:.0}", improved.spill),
+            format!("{:.0}", improved.caller_save),
+            format!("{:.0}", improved.callee_save),
+            format!("{:.0}", improved.shuffle),
+            format!("{:.0}", improved.total()),
+            ratio(base.total(), improved.total()),
+        ]);
+    }
+    table
+}
+
+/// Runs Figure 7 for ear and eqntott.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_one(SpecProgram::Ear, scale), run_one(SpecProgram::Eqntott, scale)]
+}

@@ -1,0 +1,48 @@
+//! Figure 9: optimistic vs improved vs improved+optimistic coloring for
+//! fpppp under static estimates.
+//!
+//! Expected shape: optimistic coloring helps at *small* register counts
+//! (spilling dominates), improved Chaitin-style coloring helps at *large*
+//! register counts (call cost dominates), and their combination shows each
+//! effect in its regime.
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::AllocatorConfig;
+use ccra_workloads::{Scale, SpecProgram};
+
+use crate::bench::Bench;
+use crate::table::{ratio, Table};
+
+/// Runs the Figure 9 sweep.
+pub fn run_one(program: SpecProgram, mode: FreqMode, scale: Scale) -> Table {
+    let bench = Bench::load(program, scale);
+    let mut table = Table::new(
+        format!("Figure 9 — {program}: optimistic vs improved ({mode}); cells are base/X"),
+        vec![
+            "(Ri,Rf,Ei,Ef)".into(),
+            "optimistic".into(),
+            "improved".into(),
+            "improved+optimistic".into(),
+        ],
+    );
+    for file in RegisterFile::paper_sweep() {
+        let base = bench.overhead(mode, file, &AllocatorConfig::base()).total();
+        let opt = bench.overhead(mode, file, &AllocatorConfig::optimistic()).total();
+        let imp = bench.overhead(mode, file, &AllocatorConfig::improved()).total();
+        let both =
+            bench.overhead(mode, file, &AllocatorConfig::improved_optimistic()).total();
+        table.push_row(vec![
+            file.to_string(),
+            ratio(base, opt),
+            ratio(base, imp),
+            ratio(base, both),
+        ]);
+    }
+    table
+}
+
+/// Runs Figure 9 as in the paper (fpppp, static information).
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_one(SpecProgram::Fpppp, FreqMode::Static, scale)]
+}

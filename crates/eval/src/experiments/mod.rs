@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper, plus two ablations.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod tab2_tab3;
+pub mod tab4;
+
+mod smoke_tests;

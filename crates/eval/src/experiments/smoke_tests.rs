@@ -1,0 +1,86 @@
+//! Smoke tests: every experiment driver runs end-to-end at a tiny scale
+//! and produces structurally complete tables.
+
+#![cfg(test)]
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_workloads::{Scale, SpecProgram};
+
+use super::*;
+
+const S: Scale = Scale(0.03);
+
+fn assert_full_sweep(table: &crate::Table, cols: usize) {
+    assert_eq!(table.rows.len(), RegisterFile::paper_sweep().len(), "{}", table.title);
+    for row in &table.rows {
+        assert_eq!(row.len(), cols, "{}: ragged row {row:?}", table.title);
+    }
+}
+
+#[test]
+fn fig2_produces_component_breakdown() {
+    let t = fig2::run_one(SpecProgram::Eqntott, S);
+    assert_full_sweep(&t, 6);
+    // total = sum of components in every row.
+    for row in &t.rows {
+        let vals: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+        let total: f64 = vals[..4].iter().sum();
+        assert!((total - vals[4]).abs() <= 2.0, "components don't sum: {row:?}");
+    }
+}
+
+#[test]
+fn fig6_has_six_combinations() {
+    let t = fig6::run_one(SpecProgram::Li, FreqMode::Dynamic, S);
+    assert_full_sweep(&t, 7);
+    assert_eq!(fig6::combinations().len(), 6);
+}
+
+#[test]
+fn fig7_ratio_column_is_positive() {
+    let t = fig7::run_one(SpecProgram::Ear, S);
+    assert_full_sweep(&t, 7);
+    for row in &t.rows {
+        let ratio: f64 = row[6].parse().unwrap();
+        assert!(ratio > 0.0);
+    }
+}
+
+#[test]
+fn tables_2_and_3_cover_all_programs() {
+    for mode in [FreqMode::Static, FreqMode::Dynamic] {
+        let t = tab2_tab3::run_mode(mode, S);
+        assert_eq!(t.rows.len(), SpecProgram::ALL.len());
+        assert_eq!(t.headers.len(), 1 + RegisterFile::paper_sweep().len());
+    }
+}
+
+#[test]
+fn fig9_to_fig11_run() {
+    assert_full_sweep(&fig9::run_one(SpecProgram::Fpppp, FreqMode::Static, S), 4);
+    assert_full_sweep(&fig10::run_one(SpecProgram::Alvinn, S), 5);
+    assert_full_sweep(&fig11::run_one(SpecProgram::Li, S), 5);
+}
+
+#[test]
+fn tab4_produces_percentages() {
+    let tables = tab4::run(S);
+    assert_eq!(tables.len(), 1);
+    let row = &tables[0].rows[0];
+    assert_eq!(row.len(), 5);
+    for cell in row {
+        assert!(cell.ends_with('%'), "{cell}");
+    }
+}
+
+#[test]
+fn ablations_cover_all_programs() {
+    for t in [
+        ablations::priority_orderings(S),
+        ablations::callee_cost_models(S),
+        ablations::bs_keys(S),
+    ] {
+        assert_eq!(t.rows.len(), SpecProgram::ALL.len(), "{}", t.title);
+    }
+}

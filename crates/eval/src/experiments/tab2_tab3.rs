@@ -1,0 +1,46 @@
+//! Tables 2 and 3: base-Chaitin / optimistic overhead ratios for every
+//! program across the register sweep, under static (Table 2) and dynamic
+//! (Table 3) frequency information.
+//!
+//! The paper's headline observation: once call cost is part of the cost
+//! model, optimistic coloring *often makes things worse* (ratios < 1.00),
+//! and even its wins are small except for fpppp under static estimates.
+
+use ccra_analysis::FreqMode;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::AllocatorConfig;
+use ccra_workloads::{Scale, SpecProgram};
+
+use crate::bench::Bench;
+use crate::table::{ratio, Table};
+
+/// Runs one of the two tables.
+pub fn run_mode(mode: FreqMode, scale: Scale) -> Table {
+    let sweep = RegisterFile::paper_sweep();
+    let number = match mode {
+        FreqMode::Static => 2,
+        FreqMode::Dynamic => 3,
+    };
+    let mut headers = vec!["program".into()];
+    headers.extend(sweep.iter().map(|f| f.to_string()));
+    let mut table = Table::new(
+        format!("Table {number} — base-Chaitin / optimistic overhead ({mode})"),
+        headers,
+    );
+    for prog in SpecProgram::ALL {
+        let bench = Bench::load(prog, scale);
+        let mut row = vec![prog.to_string()];
+        for &file in &sweep {
+            let base = bench.overhead(mode, file, &AllocatorConfig::base()).total();
+            let optimistic = bench.overhead(mode, file, &AllocatorConfig::optimistic()).total();
+            row.push(ratio(base, optimistic));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Runs both tables.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_mode(FreqMode::Static, scale), run_mode(FreqMode::Dynamic, scale)]
+}

@@ -1,0 +1,157 @@
+//! ASCII line charts for the figure experiments.
+//!
+//! The paper's figures plot ratio or cost series against the register
+//! sweep; [`render_chart`] draws the same series in the terminal so the
+//! *shape* (crossovers, plateaus, blow-ups) is visible at a glance.
+
+/// One plotted series: a short label and one value per x position.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot glyph.
+    pub label: String,
+    /// The y values, one per x tick (NaN values are skipped).
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Series { label: label.into(), values }
+    }
+}
+
+/// Renders series as an ASCII chart with `height` rows.
+///
+/// The y axis is linear from 0 (or the minimum, if negative) to the
+/// maximum across all series; each series is drawn with the first
+/// character of its label, later series overwrite earlier ones where they
+/// collide.
+///
+/// # Example
+///
+/// ```
+/// use ccra_eval::plot::{render_chart, Series};
+///
+/// let chart = render_chart(
+///     "demo",
+///     &["a".into(), "b".into(), "c".into()],
+///     &[Series::new("x", vec![1.0, 2.0, 3.0])],
+///     5,
+/// );
+/// assert!(chart.contains("demo"));
+/// assert!(chart.contains('x'));
+/// ```
+pub fn render_chart(title: &str, x_labels: &[String], series: &[Series], height: usize) -> String {
+    let height = height.max(2);
+    let n = x_labels.len();
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .filter(|v| v.is_finite())
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    if !max.is_finite() || n == 0 {
+        return format!("{title}\n(no data)\n");
+    }
+    let span = (max - min).max(1e-12);
+    let col_width = 4usize;
+    let mut grid = vec![vec![' '; n * col_width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for (x, &v) in s.values.iter().enumerate().take(n) {
+            if !v.is_finite() {
+                continue;
+            }
+            let row = ((v - min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][x * col_width + col_width / 2] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let y = max - (r as f64 / (height - 1) as f64) * span;
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{y:>10.2} |{}\n", line.trim_end()));
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(n * col_width)));
+    // x tick labels, every few ticks to stay readable.
+    let step = (n / 6).max(1);
+    let mut ticks = String::new();
+    for i in (0..n).step_by(step) {
+        let pos = i * col_width;
+        if pos >= ticks.len() {
+            ticks.push_str(&" ".repeat(pos - ticks.len()));
+            ticks.push_str(&x_labels[i]);
+        }
+    }
+    out.push_str(&format!("{:>10}  {}\n", "", ticks));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} = {}", s.label.chars().next().unwrap_or('*'), s.label))
+        .collect();
+    out.push_str(&format!("{:>10}  [{}]\n", "", legend.join(", ")));
+    out
+}
+
+/// Extracts a numeric column from a [`crate::Table`] as chart input
+/// (non-numeric cells become NaN).
+pub fn column_series(table: &crate::Table, column: usize) -> Series {
+    let label = table.headers.get(column).cloned().unwrap_or_else(|| format!("col{column}"));
+    let values = table
+        .rows
+        .iter()
+        .map(|r| r.get(column).and_then(|c| c.parse::<f64>().ok()).unwrap_or(f64::NAN))
+        .collect();
+    Series { label, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series() {
+        let chart = render_chart(
+            "t",
+            &(0..10).map(|i| format!("x{i}")).collect::<Vec<_>>(),
+            &[Series::new("up", (0..10).map(f64::from).collect())],
+            8,
+        );
+        // The glyph must appear on several distinct rows.
+        let rows_with_glyph =
+            chart.lines().filter(|l| l.contains('u') && l.contains('|')).count();
+        assert!(rows_with_glyph >= 4, "{chart}");
+        assert!(chart.contains("u = up"));
+    }
+
+    #[test]
+    fn handles_empty_and_nan() {
+        let chart = render_chart("t", &[], &[], 5);
+        assert!(chart.contains("no data"));
+        let chart = render_chart(
+            "t",
+            &["a".into()],
+            &[Series::new("s", vec![f64::NAN])],
+            5,
+        );
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn column_extraction() {
+        let mut t = crate::Table::new("T", vec!["x".into(), "ratio".into()]);
+        t.push_row(vec!["(6,4,0,0)".into(), "1.25".into()]);
+        t.push_row(vec!["(7,5,1,1)".into(), "oops".into()]);
+        let s = column_series(&t, 1);
+        assert_eq!(s.label, "ratio");
+        assert_eq!(s.values[0], 1.25);
+        assert!(s.values[1].is_nan());
+    }
+}

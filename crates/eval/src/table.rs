@@ -1,0 +1,169 @@
+//! Plain-text result tables.
+
+use serde::Serialize;
+
+/// A titled table of strings, rendered with aligned columns.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// The table's caption (e.g. `Figure 2 — eqntott (dynamic)`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; ragged rows are padded when rendering.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Serialises tables to a JSON array (hand-rolled; the tables are plain
+/// strings, so no serialisation framework is needed).
+pub(crate) fn tables_to_json(tables: &[Table]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    fn arr(items: &[String]) -> String {
+        format!("[{}]", items.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","))
+    }
+    let body: Vec<String> = tables
+        .iter()
+        .map(|t| {
+            let rows: Vec<String> = t.rows.iter().map(|r| arr(r)).collect();
+            format!(
+                "{{\"title\":{},\"headers\":{},\"rows\":[{}]}}",
+                esc(&t.title),
+                arr(&t.headers),
+                rows.join(",")
+            )
+        })
+        .collect();
+    format!("[{}]", body.join(",\n"))
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let fmt_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            let mut line = String::new();
+            for (i, &w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        fmt_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+        writeln!(f, "{}", "-".repeat(total.min(120)))?;
+        for row in &self.rows {
+            fmt_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio the way the paper's figures read (2 decimal places).
+pub fn ratio(base: f64, other: f64) -> String {
+    if other == 0.0 {
+        if base == 0.0 {
+            "1.00".to_string()
+        } else {
+            "inf".to_string()
+        }
+    } else {
+        format!("{:.2}", base / other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", vec!["a".into(), "long".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("T\n"));
+        assert!(s.contains("333"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("T", vec!["a,b".into()]);
+        t.push_row(vec!["x\"y".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn json_serialisation() {
+        let mut t = Table::new("A \"quoted\" title", vec!["h1".into()]);
+        t.push_row(vec!["va\nlue".into()]);
+        let json = tables_to_json(&[t]);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("va\\nlue"));
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(10.0, 4.0), "2.50");
+        assert_eq!(ratio(0.0, 0.0), "1.00");
+        assert_eq!(ratio(5.0, 0.0), "inf");
+    }
+}

@@ -1,0 +1,271 @@
+//! A convenient builder for constructing [`Function`]s block by block.
+
+use crate::entity::{BlockId, EntityVec, VReg};
+use crate::function::{Block, Function, VRegData};
+use crate::inst::{BinOp, Callee, CmpOp, Inst, Terminator, UnOp};
+use crate::RegClass;
+
+/// Builds a [`Function`] incrementally.
+///
+/// The builder maintains a *current block*; instruction-emitting methods
+/// append to it, and terminator methods ([`jump`](Self::jump),
+/// [`branch`](Self::branch), [`ret`](Self::ret)) seal it. Blocks for
+/// forward control flow are created ahead of time with
+/// [`reserve_block`](Self::reserve_block) and later targeted with
+/// [`switch_to`](Self::switch_to).
+///
+/// # Example
+///
+/// A counted loop `for i in 0..10 { acc += i }`:
+///
+/// ```
+/// use ccra_ir::{FunctionBuilder, RegClass, BinOp, CmpOp};
+///
+/// let mut b = FunctionBuilder::new("sum");
+/// let i = b.new_vreg(RegClass::Int);
+/// let acc = b.new_vreg(RegClass::Int);
+/// let ten = b.new_vreg(RegClass::Int);
+/// let one = b.new_vreg(RegClass::Int);
+/// b.iconst(i, 0);
+/// b.iconst(acc, 0);
+/// b.iconst(ten, 10);
+/// b.iconst(one, 1);
+///
+/// let head = b.reserve_block();
+/// let body = b.reserve_block();
+/// let exit = b.reserve_block();
+/// b.jump(head);
+///
+/// b.switch_to(head);
+/// let cond = b.new_vreg(RegClass::Int);
+/// b.cmp(CmpOp::Lt, cond, i, ten);
+/// b.branch(cond, body, exit);
+///
+/// b.switch_to(body);
+/// b.binary(BinOp::Add, acc, acc, i);
+/// b.binary(BinOp::Add, i, i, one);
+/// b.jump(head);
+///
+/// b.switch_to(exit);
+/// b.ret(Some(acc));
+/// let f = b.finish();
+/// assert_eq!(f.num_blocks(), 4);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<VReg>,
+    blocks: EntityVec<BlockId, Option<Block>>,
+    vregs: EntityVec<VReg, VRegData>,
+    current: BlockId,
+    pending: Vec<Inst>,
+    sealed: bool,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function; the entry block is current.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut blocks = EntityVec::new();
+        let entry = blocks.push(None);
+        FunctionBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            blocks,
+            vregs: EntityVec::new(),
+            current: entry,
+            pending: Vec::new(),
+            sealed: false,
+        }
+    }
+
+    /// Declares the parameter registers (must already exist).
+    pub fn set_params(&mut self, params: Vec<VReg>) -> &mut Self {
+        self.params = params;
+        self
+    }
+
+    /// Creates a fresh virtual register of the given class.
+    pub fn new_vreg(&mut self, class: RegClass) -> VReg {
+        self.vregs.push(VRegData { class, is_spill_temp: false })
+    }
+
+    /// Reserves a block id for forward control flow.
+    pub fn reserve_block(&mut self) -> BlockId {
+        self.blocks.push(None)
+    }
+
+    /// The block currently being filled.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Makes a previously reserved (and not yet filled) block current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block has not been sealed with a terminator,
+    /// or if `block` was already filled.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(self.sealed, "current block {:?} has no terminator yet", self.current);
+        assert!(self.blocks[block].is_none(), "block {block:?} was already filled");
+        self.current = block;
+        self.pending.clear();
+        self.sealed = false;
+    }
+
+    fn emit(&mut self, inst: Inst) -> &mut Self {
+        assert!(!self.sealed, "block {:?} is already terminated", self.current);
+        self.pending.push(inst);
+        self
+    }
+
+    /// Emits `dst = value` (integer constant).
+    pub fn iconst(&mut self, dst: VReg, value: i64) -> &mut Self {
+        self.emit(Inst::IConst { dst, value })
+    }
+
+    /// Emits `dst = value` (float constant).
+    pub fn fconst(&mut self, dst: VReg, value: f64) -> &mut Self {
+        self.emit(Inst::FConst { dst, value })
+    }
+
+    /// Emits `dst = lhs op rhs`.
+    pub fn binary(&mut self, op: BinOp, dst: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.emit(Inst::Binary { op, dst, lhs, rhs })
+    }
+
+    /// Emits `dst = op src`.
+    pub fn unary(&mut self, op: UnOp, dst: VReg, src: VReg) -> &mut Self {
+        self.emit(Inst::Unary { op, dst, src })
+    }
+
+    /// Emits `dst = lhs cmp rhs`.
+    pub fn cmp(&mut self, op: CmpOp, dst: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.emit(Inst::Cmp { op, dst, lhs, rhs })
+    }
+
+    /// Emits `dst = mem[addr + offset]`.
+    pub fn load(&mut self, dst: VReg, addr: VReg, offset: i64) -> &mut Self {
+        self.emit(Inst::Load { dst, addr, offset })
+    }
+
+    /// Emits `mem[addr + offset] = src`.
+    pub fn store(&mut self, src: VReg, addr: VReg, offset: i64) -> &mut Self {
+        self.emit(Inst::Store { src, addr, offset })
+    }
+
+    /// Emits `dst = src`.
+    pub fn copy(&mut self, dst: VReg, src: VReg) -> &mut Self {
+        self.emit(Inst::Copy { dst, src })
+    }
+
+    /// Emits `ret = call callee(args...)`.
+    pub fn call(&mut self, callee: Callee, args: Vec<VReg>, ret: Option<VReg>) -> &mut Self {
+        self.emit(Inst::Call { callee, args, ret })
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        assert!(!self.sealed, "block {:?} is already terminated", self.current);
+        let insts = std::mem::take(&mut self.pending);
+        self.blocks[self.current] = Some(Block { insts, term });
+        self.sealed = true;
+    }
+
+    /// Seals the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.seal(Terminator::Jump(target));
+    }
+
+    /// Seals the current block with a two-way branch.
+    pub fn branch(&mut self, cond: VReg, then_bb: BlockId, else_bb: BlockId) {
+        self.seal(Terminator::Branch { cond, then_bb, else_bb });
+    }
+
+    /// Seals the current block with a return.
+    pub fn ret(&mut self, value: Option<VReg>) {
+        self.seal(Terminator::Return(value));
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is unterminated or any reserved block was
+    /// never filled.
+    pub fn finish(self) -> Function {
+        assert!(self.sealed, "current block {:?} has no terminator", self.current);
+        let blocks: EntityVec<BlockId, Block> = self
+            .blocks
+            .iter()
+            .map(|(id, b)| b.clone().unwrap_or_else(|| panic!("block {id:?} was reserved but never filled")))
+            .collect();
+        Function::from_parts(self.name, self.params, BlockId(0), blocks, self.vregs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 42);
+        b.ret(Some(x));
+        let f = b.finish();
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.block(f.entry()).insts.len(), 1);
+        assert_eq!(f.block(f.entry()).term, Terminator::Return(Some(x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn unterminated_entry_panics() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved but never filled")]
+    fn unfilled_reserved_block_panics() {
+        let mut b = FunctionBuilder::new("f");
+        let _orphan = b.reserve_block();
+        b.ret(None);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn emitting_after_seal_panics() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg(RegClass::Int);
+        b.ret(None);
+        b.iconst(x, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already filled")]
+    fn switching_to_filled_block_panics() {
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        let entry = b.current_block();
+        b.switch_to(entry);
+    }
+
+    #[test]
+    fn float_ops_build() {
+        let mut b = FunctionBuilder::new("fp");
+        let x = b.new_vreg(RegClass::Float);
+        let y = b.new_vreg(RegClass::Float);
+        b.fconst(x, 1.5);
+        b.unary(UnOp::FNeg, y, x);
+        b.binary(BinOp::FMul, y, y, x);
+        b.ret(Some(y));
+        let f = b.finish();
+        assert_eq!(f.num_insts(), 3);
+        assert_eq!(f.class_of(y), RegClass::Float);
+    }
+}

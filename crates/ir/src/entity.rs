@@ -1,0 +1,255 @@
+//! Typed entity indices and a small index-addressed vector.
+//!
+//! Compiler data structures are full of parallel arrays indexed by entity
+//! ids. Newtyped indices ([`VReg`], [`BlockId`], [`FuncId`]) keep the id
+//! spaces from being confused, and [`EntityVec`] gives `vec[id]` indexing
+//! without casts at every use site.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A trait for entity index newtypes backed by a `u32`.
+pub trait EntityId: Copy + Eq {
+    /// Build an id from a raw index.
+    fn from_index(index: usize) -> Self;
+    /// The raw index of this id.
+    fn index(self) -> usize;
+}
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl EntityId for $name {
+            fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                $name(index as u32)
+            }
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl $name {
+            /// The raw index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id! {
+    /// A virtual register. Allocators map these to physical registers or
+    /// memory (spill slots).
+    VReg, "v"
+}
+
+entity_id! {
+    /// A basic block within one [`crate::Function`].
+    BlockId, "bb"
+}
+
+entity_id! {
+    /// A function within one [`crate::Program`].
+    FuncId, "fn"
+}
+
+/// A vector addressed by an entity id instead of a bare `usize`.
+///
+/// # Example
+///
+/// ```
+/// use ccra_ir::{EntityVec, VReg};
+///
+/// let mut names: EntityVec<VReg, &str> = EntityVec::new();
+/// let a = names.push("alpha");
+/// assert_eq!(names[a], "alpha");
+/// assert_eq!(names.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct EntityVec<K, V> {
+    items: Vec<V>,
+    _marker: PhantomData<K>,
+}
+
+impl<K: EntityId, V> EntityVec<K, V> {
+    /// Creates an empty entity vector.
+    pub fn new() -> Self {
+        EntityVec { items: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty entity vector with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EntityVec { items: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Appends a value and returns its id.
+    pub fn push(&mut self, value: V) -> K {
+        let id = K::from_index(self.items.len());
+        self.items.push(value);
+        id
+    }
+
+    /// The number of entities stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no entities are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns the value for `id`, or `None` if out of range.
+    pub fn get(&self, id: K) -> Option<&V> {
+        self.items.get(id.index())
+    }
+
+    /// Whether `id` is a valid index into this vector.
+    pub fn contains_id(&self, id: K) -> bool {
+        id.index() < self.items.len()
+    }
+
+    /// Iterates over `(id, &value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.items.iter().enumerate().map(|(i, v)| (K::from_index(i), v))
+    }
+
+    /// Iterates over `(id, &mut value)` pairs in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
+        self.items.iter_mut().enumerate().map(|(i, v)| (K::from_index(i), v))
+    }
+
+    /// Iterates over all ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = K> + '_ {
+        (0..self.items.len()).map(K::from_index)
+    }
+
+    /// Iterates over the stored values in id order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.items.iter()
+    }
+
+    /// The id the next `push` would return.
+    pub fn next_id(&self) -> K {
+        K::from_index(self.items.len())
+    }
+}
+
+impl<K: EntityId, V> Default for EntityVec<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: EntityId, V> std::ops::Index<K> for EntityVec<K, V> {
+    type Output = V;
+    fn index(&self, id: K) -> &V {
+        &self.items[id.index()]
+    }
+}
+
+impl<K: EntityId, V> std::ops::IndexMut<K> for EntityVec<K, V> {
+    fn index_mut(&mut self, id: K) -> &mut V {
+        &mut self.items[id.index()]
+    }
+}
+
+impl<K: EntityId, V: fmt::Debug> fmt::Debug for EntityVec<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+impl<K: EntityId, V> FromIterator<V> for EntityVec<K, V> {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        EntityVec { items: iter.into_iter().collect(), _marker: PhantomData }
+    }
+}
+
+impl<K: EntityId, V> Extend<V> for EntityVec<K, V> {
+    fn extend<I: IntoIterator<Item = V>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index() {
+        let mut v: EntityVec<VReg, i32> = EntityVec::new();
+        let a = v.push(10);
+        let b = v.push(20);
+        assert_eq!(a, VReg(0));
+        assert_eq!(b, VReg(1));
+        assert_eq!(v[a], 10);
+        assert_eq!(v[b], 20);
+        v[a] = 15;
+        assert_eq!(v[a], 15);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v: EntityVec<BlockId, char> = EntityVec::new();
+        for c in ['a', 'b', 'c'] {
+            v.push(c);
+        }
+        let ids: Vec<BlockId> = v.ids().collect();
+        assert_eq!(ids, vec![BlockId(0), BlockId(1), BlockId(2)]);
+        let pairs: Vec<(BlockId, char)> = v.iter().map(|(k, &c)| (k, c)).collect();
+        assert_eq!(pairs[2], (BlockId(2), 'c'));
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let mut v: EntityVec<FuncId, u8> = EntityVec::new();
+        let a = v.push(1);
+        assert_eq!(v.get(a), Some(&1));
+        assert_eq!(v.get(FuncId(9)), None);
+        assert!(v.contains_id(a));
+        assert!(!v.contains_id(FuncId(9)));
+    }
+
+    #[test]
+    fn next_id_tracks_len() {
+        let mut v: EntityVec<VReg, ()> = EntityVec::new();
+        assert_eq!(v.next_id(), VReg(0));
+        v.push(());
+        assert_eq!(v.next_id(), VReg(1));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut v: EntityVec<VReg, u32> = (0..3u32).collect();
+        assert_eq!(v.len(), 3);
+        v.extend([7, 8]);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[VReg(4)], 8);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let v: EntityVec<VReg, u32> = EntityVec::new();
+        assert_eq!(format!("{v:?}"), "[]");
+        assert_eq!(format!("{:?}", VReg(3)), "v3");
+        assert_eq!(format!("{}", BlockId(1)), "bb1");
+        assert_eq!(format!("{}", FuncId(2)), "fn2");
+    }
+}

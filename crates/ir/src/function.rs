@@ -1,0 +1,251 @@
+//! Functions, basic blocks, and virtual-register metadata.
+
+use crate::entity::{BlockId, EntityVec, VReg};
+use crate::inst::{Inst, Terminator};
+use crate::RegClass;
+
+/// Per-virtual-register metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VRegData {
+    /// The register class (bank) of this virtual register.
+    pub class: RegClass,
+    /// Whether this register was created by spill-code insertion. Spill
+    /// temporaries are tiny live ranges that must not themselves be spilled
+    /// again, so allocators give them effectively infinite spill cost.
+    pub is_spill_temp: bool,
+}
+
+/// A basic block: a straight-line instruction sequence plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The instructions of the block, in execution order.
+    pub insts: Vec<Inst>,
+    /// The control-flow terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates a block with no instructions and the given terminator.
+    pub fn new(term: Terminator) -> Self {
+        Block { insts: Vec::new(), term }
+    }
+}
+
+/// A single function: a CFG of [`Block`]s over a set of virtual registers.
+///
+/// Construct functions with [`crate::FunctionBuilder`]; the register
+/// allocators consume and rewrite them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    name: String,
+    params: Vec<VReg>,
+    entry: BlockId,
+    blocks: EntityVec<BlockId, Block>,
+    vregs: EntityVec<VReg, VRegData>,
+    num_spill_slots: u32,
+}
+
+impl Function {
+    /// Creates a function from raw parts. Prefer [`crate::FunctionBuilder`].
+    pub fn from_parts(
+        name: String,
+        params: Vec<VReg>,
+        entry: BlockId,
+        blocks: EntityVec<BlockId, Block>,
+        vregs: EntityVec<VReg, VRegData>,
+    ) -> Self {
+        Function { name, params, entry, blocks, vregs, num_spill_slots: 0 }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter registers, defined on entry.
+    pub fn params(&self) -> &[VReg] {
+        &self.params
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The number of virtual registers.
+    pub fn num_vregs(&self) -> usize {
+        self.vregs.len()
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id]
+    }
+
+    /// Mutable access to the block with the given id.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id]
+    }
+
+    /// Iterates over `(id, block)` pairs in id order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter()
+    }
+
+    /// All block ids in order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks.ids()
+    }
+
+    /// The metadata of a virtual register.
+    pub fn vreg(&self, v: VReg) -> &VRegData {
+        &self.vregs[v]
+    }
+
+    /// The register class of a virtual register.
+    pub fn class_of(&self, v: VReg) -> RegClass {
+        self.vregs[v].class
+    }
+
+    /// All virtual-register ids in order.
+    pub fn vreg_ids(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.vregs.ids()
+    }
+
+    /// Creates a fresh virtual register of the given class.
+    pub fn new_vreg(&mut self, class: RegClass) -> VReg {
+        self.vregs.push(VRegData { class, is_spill_temp: false })
+    }
+
+    /// Creates a fresh spill-temporary register of the given class.
+    ///
+    /// Spill temporaries carry effectively infinite spill cost so that the
+    /// iterated allocator never spills the code it just inserted.
+    pub fn new_spill_temp(&mut self, class: RegClass) -> VReg {
+        self.vregs.push(VRegData { class, is_spill_temp: true })
+    }
+
+    /// Appends a new block and returns its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        self.blocks.push(block)
+    }
+
+    /// The number of spill slots created so far.
+    pub fn num_spill_slots(&self) -> u32 {
+        self.num_spill_slots
+    }
+
+    /// Creates a fresh spill slot.
+    pub fn new_spill_slot(&mut self) -> crate::SpillSlot {
+        let slot = crate::SpillSlot(self.num_spill_slots);
+        self.num_spill_slots += 1;
+        slot
+    }
+
+    /// The successor blocks of `id`.
+    pub fn successors(&self, id: BlockId) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks[id].term.successors()
+    }
+
+    /// Computes the predecessor lists of every block.
+    pub fn predecessors(&self) -> EntityVec<BlockId, Vec<BlockId>> {
+        let mut preds: EntityVec<BlockId, Vec<BlockId>> =
+            self.blocks.ids().map(|_| Vec::new()).collect();
+        for (id, block) in self.blocks.iter() {
+            for succ in block.term.successors() {
+                preds[succ].push(id);
+            }
+        }
+        preds
+    }
+
+    /// Total number of instructions (terminators excluded).
+    pub fn num_insts(&self) -> usize {
+        self.blocks.values().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterates over every call instruction as `(block, index-in-block)`.
+    pub fn call_sites(&self) -> Vec<(BlockId, usize)> {
+        let mut sites = Vec::new();
+        for (bb, block) in self.blocks.iter() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if inst.is_call() {
+                    sites.push((bb, i));
+                }
+            }
+        }
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Callee};
+    use crate::FunctionBuilder;
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("sample");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        b.set_params(vec![x]);
+        b.iconst(y, 1);
+        let z = b.new_vreg(RegClass::Int);
+        b.binary(BinOp::Add, z, x, y);
+        b.call(Callee::External("f"), vec![z], None);
+        b.ret(Some(z));
+        b.finish()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let f = sample();
+        assert_eq!(f.name(), "sample");
+        assert_eq!(f.params().len(), 1);
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_vregs(), 3);
+        assert_eq!(f.num_insts(), 3);
+        assert_eq!(f.class_of(VReg(0)), RegClass::Int);
+    }
+
+    #[test]
+    fn call_sites_found() {
+        let f = sample();
+        let sites = f.call_sites();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0], (f.entry(), 2));
+    }
+
+    #[test]
+    fn predecessors_of_diamond() {
+        let mut b = FunctionBuilder::new("diamond");
+        let c = b.new_vreg(RegClass::Int);
+        b.iconst(c, 1);
+        let (then_bb, else_bb, join) = (b.reserve_block(), b.reserve_block(), b.reserve_block());
+        b.branch(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.jump(join);
+        b.switch_to(else_bb);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        let f = b.finish();
+        let preds = f.predecessors();
+        assert_eq!(preds[join].len(), 2);
+        assert_eq!(preds[f.entry()].len(), 0);
+    }
+
+    #[test]
+    fn spill_temp_flag() {
+        let mut f = sample();
+        let t = f.new_spill_temp(RegClass::Float);
+        assert!(f.vreg(t).is_spill_temp);
+        assert_eq!(f.class_of(t), RegClass::Float);
+        assert!(!f.vreg(VReg(0)).is_spill_temp);
+    }
+}

@@ -1,0 +1,427 @@
+//! Instructions and block terminators.
+
+use crate::entity::{BlockId, FuncId, VReg};
+
+/// Integer and floating-point binary operations.
+///
+/// Integer ops operate on [`crate::RegClass::Int`] registers, `F`-prefixed
+/// ops on [`crate::RegClass::Float`] registers. Comparison results are
+/// integers (0 or 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Integer division (wrapping; division by zero yields 0).
+    Div,
+    /// Integer remainder (remainder by zero yields 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Arithmetic shift right (shift amount taken modulo 64).
+    Shr,
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+}
+
+impl BinOp {
+    /// Whether the operation reads and writes the floating-point bank.
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation (wrapping).
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Floating-point negation.
+    FNeg,
+    /// Convert an integer to floating point (defines a float register).
+    IntToFloat,
+    /// Truncate a floating-point value to an integer (defines an int register).
+    FloatToInt,
+}
+
+impl UnOp {
+    /// The register class of the *result*.
+    pub fn result_class(self) -> crate::RegClass {
+        match self {
+            UnOp::Neg | UnOp::Not | UnOp::FloatToInt => crate::RegClass::Int,
+            UnOp::FNeg | UnOp::IntToFloat => crate::RegClass::Float,
+        }
+    }
+
+    /// The register class of the *operand*.
+    pub fn operand_class(self) -> crate::RegClass {
+        match self {
+            UnOp::Neg | UnOp::Not | UnOp::IntToFloat => crate::RegClass::Int,
+            UnOp::FNeg | UnOp::FloatToInt => crate::RegClass::Float,
+        }
+    }
+}
+
+/// Comparison operators for [`Inst::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed less than or equal.
+    Le,
+    /// Signed greater than.
+    Gt,
+    /// Signed greater than or equal.
+    Ge,
+}
+
+/// The target of a call instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A function in the same [`crate::Program`]; the profiler executes it.
+    Internal(FuncId),
+    /// An opaque external routine. The interpreter models it as a cheap
+    /// deterministic function of its arguments; for register allocation it
+    /// behaves exactly like any other call (it clobbers caller-save state).
+    External(&'static str),
+}
+
+/// The kind of register-allocation overhead an [`Inst::Overhead`]
+/// pseudo-instruction accounts for.
+///
+/// After allocation, the rewriting phases insert explicit overhead markers
+/// into the instruction stream so the interpreter can *measure* (rather than
+/// estimate) the overhead-operation counts of Section 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverheadKind {
+    /// A spill load or store (a live range resides in memory).
+    Spill,
+    /// A caller-save save/restore around a call.
+    CallerSave,
+    /// A callee-save save/restore at function entry/exit.
+    CalleeSave,
+    /// A shuffle move between two live ranges in different locations.
+    Shuffle,
+}
+
+impl OverheadKind {
+    /// All overhead kinds, in a fixed order.
+    pub const ALL: [OverheadKind; 4] = [
+        OverheadKind::Spill,
+        OverheadKind::CallerSave,
+        OverheadKind::CalleeSave,
+        OverheadKind::Shuffle,
+    ];
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = value` — integer constant.
+    IConst {
+        /// Destination (int class).
+        dst: VReg,
+        /// The constant.
+        value: i64,
+    },
+    /// `dst = value` — floating-point constant.
+    FConst {
+        /// Destination (float class).
+        dst: VReg,
+        /// The constant.
+        value: f64,
+    },
+    /// `dst = lhs op rhs`.
+    Binary {
+        /// The operation.
+        op: BinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// `dst = op src`.
+    Unary {
+        /// The operation.
+        op: UnOp,
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        src: VReg,
+    },
+    /// `dst = lhs cmp rhs` — integer comparison producing 0 or 1.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Destination (int class).
+        dst: VReg,
+        /// Left operand (int class).
+        lhs: VReg,
+        /// Right operand (int class).
+        rhs: VReg,
+    },
+    /// `dst = mem[addr + offset]` — load from program data memory.
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Base address (int class).
+        addr: VReg,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// `mem[addr + offset] = src` — store to program data memory.
+    Store {
+        /// Value to store.
+        src: VReg,
+        /// Base address (int class).
+        addr: VReg,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// `dst = src` — a register move and a coalescing candidate. Remaining
+    /// (uncoalesced) copies whose operands land in different locations
+    /// contribute *shuffle cost*.
+    Copy {
+        /// Destination.
+        dst: VReg,
+        /// Source (same class as `dst`).
+        src: VReg,
+    },
+    /// `ret = call callee(args...)`.
+    Call {
+        /// The call target.
+        callee: Callee,
+        /// Argument registers, read by the call.
+        args: Vec<VReg>,
+        /// Optional return-value register, defined by the call.
+        ret: Option<VReg>,
+    },
+    /// `slot = src` — spill a value to a stack slot. Inserted by spill-code
+    /// insertion; executes semantically (the slot holds the value) and
+    /// counts as one [`OverheadKind::Spill`] operation.
+    SpillStore {
+        /// The spill slot written.
+        slot: SpillSlot,
+        /// The value spilled.
+        src: VReg,
+    },
+    /// `dst = slot` — reload a value from a stack slot. Counts as one
+    /// [`OverheadKind::Spill`] operation.
+    SpillLoad {
+        /// The destination register.
+        dst: VReg,
+        /// The spill slot read.
+        slot: SpillSlot,
+    },
+    /// A semantically inert marker counting `ops` overhead operations of
+    /// `kind` each time it executes. Inserted by save/restore- and
+    /// shuffle-code insertion after register allocation; never present in
+    /// pre-allocation IR.
+    Overhead {
+        /// What kind of overhead this marker accounts for.
+        kind: OverheadKind,
+        /// How many overhead operations executing this marker costs.
+        ops: u32,
+    },
+}
+
+/// A per-function stack slot created by spill-code insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpillSlot(pub u32);
+
+impl SpillSlot {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SpillSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match *self {
+            Inst::IConst { dst, .. }
+            | Inst::FConst { dst, .. }
+            | Inst::Binary { dst, .. }
+            | Inst::Unary { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::SpillLoad { dst, .. } => Some(dst),
+            Inst::Call { ret, .. } => ret,
+            Inst::Store { .. } | Inst::SpillStore { .. } | Inst::Overhead { .. } => None,
+        }
+    }
+
+    /// Appends the registers read by this instruction to `out`.
+    pub fn collect_uses(&self, out: &mut Vec<VReg>) {
+        match self {
+            Inst::IConst { .. }
+            | Inst::FConst { .. }
+            | Inst::Overhead { .. }
+            | Inst::SpillLoad { .. } => {}
+            Inst::SpillStore { src, .. } => out.push(*src),
+            Inst::Binary { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                out.push(*lhs);
+                out.push(*rhs);
+            }
+            Inst::Unary { src, .. } | Inst::Copy { src, .. } => out.push(*src),
+            Inst::Load { addr, .. } => out.push(*addr),
+            Inst::Store { src, addr, .. } => {
+                out.push(*src);
+                out.push(*addr);
+            }
+            Inst::Call { args, .. } => out.extend(args.iter().copied()),
+        }
+    }
+
+    /// The registers read by this instruction, as a fresh vector.
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut v = Vec::new();
+        self.collect_uses(&mut v);
+        v
+    }
+
+    /// Whether this instruction is a call (the event caller-save cost
+    /// attaches to).
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call { .. })
+    }
+
+    /// Whether this is a copy (a coalescing candidate).
+    pub fn is_copy(&self) -> bool {
+        matches!(self, Inst::Copy { .. })
+    }
+}
+
+/// The control-flow terminator ending every basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch: goes to `then_bb` when `cond != 0`, else `else_bb`.
+    Branch {
+        /// The condition register (int class).
+        cond: VReg,
+        /// Successor when the condition is non-zero.
+        then_bb: BlockId,
+        /// Successor when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Return from the function, optionally with a value.
+    Return(Option<VReg>),
+}
+
+impl Terminator {
+    /// The successor blocks of this terminator.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match *self {
+            Terminator::Jump(t) => (Some(t), None),
+            Terminator::Branch { then_bb, else_bb, .. } => (Some(then_bb), Some(else_bb)),
+            Terminator::Return(_) => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// The register read by this terminator, if any.
+    pub fn use_reg(&self) -> Option<VReg> {
+        match *self {
+            Terminator::Branch { cond, .. } => Some(cond),
+            Terminator::Return(v) => v,
+            Terminator::Jump(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Inst::Binary { op: BinOp::Add, dst: VReg(2), lhs: VReg(0), rhs: VReg(1) };
+        assert_eq!(i.def(), Some(VReg(2)));
+        assert_eq!(i.uses(), vec![VReg(0), VReg(1)]);
+
+        let s = Inst::Store { src: VReg(3), addr: VReg(4), offset: 8 };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![VReg(3), VReg(4)]);
+
+        let c = Inst::Call {
+            callee: Callee::External("sin"),
+            args: vec![VReg(5)],
+            ret: Some(VReg(6)),
+        };
+        assert_eq!(c.def(), Some(VReg(6)));
+        assert_eq!(c.uses(), vec![VReg(5)]);
+        assert!(c.is_call());
+
+        let o = Inst::Overhead { kind: OverheadKind::Spill, ops: 1 };
+        assert_eq!(o.def(), None);
+        assert!(o.uses().is_empty());
+    }
+
+    #[test]
+    fn call_without_return_defines_nothing() {
+        let c = Inst::Call { callee: Callee::Internal(FuncId(0)), args: vec![], ret: None };
+        assert_eq!(c.def(), None);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let j = Terminator::Jump(BlockId(3));
+        assert_eq!(j.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
+
+        let b = Terminator::Branch { cond: VReg(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(b.use_reg(), Some(VReg(0)));
+
+        let r = Terminator::Return(Some(VReg(7)));
+        assert_eq!(r.successors().count(), 0);
+        assert_eq!(r.use_reg(), Some(VReg(7)));
+    }
+
+    #[test]
+    fn binop_classes() {
+        assert!(BinOp::FMul.is_float());
+        assert!(!BinOp::Add.is_float());
+        assert_eq!(UnOp::IntToFloat.result_class(), crate::RegClass::Float);
+        assert_eq!(UnOp::IntToFloat.operand_class(), crate::RegClass::Int);
+        assert_eq!(UnOp::FloatToInt.result_class(), crate::RegClass::Int);
+    }
+
+    #[test]
+    fn copy_is_copy() {
+        assert!(Inst::Copy { dst: VReg(0), src: VReg(1) }.is_copy());
+        assert!(!Inst::IConst { dst: VReg(0), value: 3 }.is_copy());
+    }
+}

@@ -1,0 +1,251 @@
+//! Human-readable (and machine-parseable) IR printing.
+//!
+//! The format round-trips through [`crate::parse_function`]:
+//!
+//! ```text
+//! func tiny(v0) {
+//!   int v0, v1
+//!   float v2
+//!   slots 1
+//! bb0:
+//!   v1 = iconst 5
+//!   ret v1
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::function::Function;
+use crate::inst::{BinOp, Callee, CmpOp, Inst, Terminator, UnOp};
+use crate::RegClass;
+
+pub(crate) fn binop_mnemonic(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::FAdd => "fadd",
+        BinOp::FSub => "fsub",
+        BinOp::FMul => "fmul",
+        BinOp::FDiv => "fdiv",
+    }
+}
+
+pub(crate) fn unop_mnemonic(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Not => "not",
+        UnOp::FNeg => "fneg",
+        UnOp::IntToFloat => "i2f",
+        UnOp::FloatToInt => "f2i",
+    }
+}
+
+pub(crate) fn cmp_mnemonic(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn write_inst(out: &mut String, inst: &Inst) {
+    match inst {
+        Inst::IConst { dst, value } => {
+            let _ = writeln!(out, "  {dst} = iconst {value}");
+        }
+        Inst::FConst { dst, value } => {
+            let _ = writeln!(out, "  {dst} = fconst {value:?}");
+        }
+        Inst::Binary { op, dst, lhs, rhs } => {
+            let _ = writeln!(out, "  {dst} = {} {lhs}, {rhs}", binop_mnemonic(*op));
+        }
+        Inst::Unary { op, dst, src } => {
+            let _ = writeln!(out, "  {dst} = {} {src}", unop_mnemonic(*op));
+        }
+        Inst::Cmp { op, dst, lhs, rhs } => {
+            let _ = writeln!(out, "  {dst} = cmp.{} {lhs}, {rhs}", cmp_mnemonic(*op));
+        }
+        Inst::Load { dst, addr, offset } => {
+            let _ = writeln!(out, "  {dst} = load [{addr}+{offset}]");
+        }
+        Inst::Store { src, addr, offset } => {
+            let _ = writeln!(out, "  store [{addr}+{offset}], {src}");
+        }
+        Inst::Copy { dst, src } => {
+            let _ = writeln!(out, "  {dst} = copy {src}");
+        }
+        Inst::Call { callee, args, ret } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            let target = match callee {
+                Callee::Internal(id) => format!("{id}"),
+                Callee::External(name) => format!("@{name}"),
+            };
+            match ret {
+                Some(r) => {
+                    let _ = writeln!(out, "  {r} = call {target}({})", args.join(", "));
+                }
+                None => {
+                    let _ = writeln!(out, "  call {target}({})", args.join(", "));
+                }
+            }
+        }
+        Inst::SpillStore { slot, src } => {
+            let _ = writeln!(out, "  {slot} = spill_store {src}");
+        }
+        Inst::SpillLoad { dst, slot } => {
+            let _ = writeln!(out, "  {dst} = spill_load {slot}");
+        }
+        Inst::Overhead { kind, ops } => {
+            let kind = match kind {
+                crate::OverheadKind::Spill => "spill",
+                crate::OverheadKind::CallerSave => "caller_save",
+                crate::OverheadKind::CalleeSave => "callee_save",
+                crate::OverheadKind::Shuffle => "shuffle",
+            };
+            let _ = writeln!(out, "  overhead {kind} x{ops}");
+        }
+    }
+}
+
+/// Renders a function as text; [`crate::parse_function`] parses it back.
+///
+/// # Example
+///
+/// ```
+/// use ccra_ir::{FunctionBuilder, RegClass, display_function};
+///
+/// let mut b = FunctionBuilder::new("tiny");
+/// let x = b.new_vreg(RegClass::Int);
+/// b.iconst(x, 5);
+/// b.ret(Some(x));
+/// let text = display_function(&b.finish());
+/// assert!(text.contains("func tiny"));
+/// assert!(text.contains("v0 = iconst 5"));
+/// ```
+pub fn display_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.params().iter().map(|p| p.to_string()).collect();
+    let _ = writeln!(out, "func {}({}) {{", f.name(), params.join(", "));
+    // Class declarations.
+    for class in RegClass::ALL {
+        let members: Vec<String> = f
+            .vreg_ids()
+            .filter(|&v| f.class_of(v) == class)
+            .map(|v| {
+                if f.vreg(v).is_spill_temp {
+                    format!("{v}!")
+                } else {
+                    v.to_string()
+                }
+            })
+            .collect();
+        if !members.is_empty() {
+            let _ = writeln!(out, "  {class} {}", members.join(", "));
+        }
+    }
+    if f.num_spill_slots() > 0 {
+        let _ = writeln!(out, "  slots {}", f.num_spill_slots());
+    }
+    for (id, block) in f.blocks() {
+        let _ = writeln!(out, "{id}:");
+        for inst in &block.insts {
+            write_inst(&mut out, inst);
+        }
+        match &block.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  jump {t}");
+            }
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                let _ = writeln!(out, "  br {cond} ? {then_bb} : {else_bb}");
+            }
+            Terminator::Return(Some(v)) => {
+                let _ = writeln!(out, "  ret {v}");
+            }
+            Terminator::Return(None) => {
+                let _ = writeln!(out, "  ret");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, RegClass};
+
+    #[test]
+    fn prints_all_inst_kinds() {
+        let mut b = FunctionBuilder::new("all");
+        let i = b.new_vreg(RegClass::Int);
+        let j = b.new_vreg(RegClass::Int);
+        let x = b.new_vreg(RegClass::Float);
+        b.iconst(i, 3);
+        b.fconst(x, 2.5);
+        b.binary(BinOp::Add, j, i, i);
+        b.unary(UnOp::Neg, j, j);
+        b.cmp(CmpOp::Lt, j, i, j);
+        b.load(i, j, 4);
+        b.store(i, j, 8);
+        b.copy(i, j);
+        b.call(Callee::External("puts"), vec![i], Some(j));
+        b.ret(Some(j));
+        let text = display_function(&b.finish());
+        for needle in [
+            "func all()",
+            "int v0, v1",
+            "float v2",
+            "iconst",
+            "fconst",
+            "add",
+            "neg",
+            "cmp.lt",
+            "load",
+            "store",
+            "copy",
+            "call @puts",
+            "ret v1",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn prints_branches_and_slots() {
+        let mut b = FunctionBuilder::new("br");
+        let c = b.new_vreg(RegClass::Int);
+        b.iconst(c, 0);
+        let t = b.reserve_block();
+        let e = b.reserve_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(e);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        let slot = f.new_spill_slot();
+        let temp = f.new_spill_temp(RegClass::Int);
+        let entry = f.entry();
+        f.block_mut(entry).insts.push(crate::Inst::SpillStore { slot, src: c });
+        f.block_mut(entry).insts.push(crate::Inst::SpillLoad { dst: temp, slot });
+        let text = display_function(&f);
+        assert!(text.contains("br v0 ? bb1 : bb2"));
+        assert!(text.contains("jump bb2"));
+        assert!(text.contains("slots 1"));
+        assert!(text.contains("slot0 = spill_store v0"));
+        assert!(text.contains("v1! = spill_load slot0") || text.contains("v1 = spill_load slot0"));
+        assert!(text.contains("v1!"), "spill temps are marked: {text}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Whole programs: a set of functions plus an entry point.
+
+use crate::entity::{EntityVec, FuncId};
+use crate::function::Function;
+use crate::inst::{Callee, Inst};
+
+/// A whole program: functions plus a designated `main`.
+///
+/// Register allocation is intra-procedural (one [`Function`] at a time, as in
+/// the paper), but frequency estimation and profiling are whole-program: how
+/// often a function is *entered* determines its callee-save cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    functions: EntityVec<FuncId, Function>,
+    main: Option<FuncId>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program { functions: EntityVec::new(), main: None }
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(f)
+    }
+
+    /// Sets the entry function executed by the profiler.
+    pub fn set_main(&mut self, id: FuncId) {
+        assert!(self.functions.contains_id(id), "unknown function {id:?}");
+        self.main = Some(id);
+    }
+
+    /// The entry function, if one was set.
+    pub fn main(&self) -> Option<FuncId> {
+        self.main
+    }
+
+    /// The function with the given id.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id]
+    }
+
+    /// Mutable access to the function with the given id.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id]
+    }
+
+    /// The number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Iterates over `(id, function)` pairs.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions.iter()
+    }
+
+    /// All function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        self.functions.ids()
+    }
+
+    /// Finds a function id by name, if present.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().find(|(_, f)| f.name() == name).map(|(id, _)| id)
+    }
+
+    /// The static call edges `(caller, callee)` for internal calls.
+    pub fn call_edges(&self) -> Vec<(FuncId, FuncId)> {
+        let mut edges = Vec::new();
+        for (caller, f) in self.functions.iter() {
+            for (_, block) in f.blocks() {
+                for inst in &block.insts {
+                    if let Inst::Call { callee: Callee::Internal(target), .. } = inst {
+                        edges.push((caller, *target));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Verifies every function and the entry point. See [`crate::verify_program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`crate::VerifyError`] found.
+    pub fn verify(&self) -> Result<(), crate::VerifyError> {
+        crate::verify_program(self)
+    }
+
+    /// Total instruction count across all functions.
+    pub fn num_insts(&self) -> usize {
+        self.functions.values().map(|f| f.num_insts()).sum()
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, RegClass};
+
+    fn leaf(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 7);
+        b.ret(Some(x));
+        b.finish()
+    }
+
+    #[test]
+    fn add_and_find() {
+        let mut p = Program::new();
+        let a = p.add_function(leaf("a"));
+        let b = p.add_function(leaf("b"));
+        assert_eq!(p.num_functions(), 2);
+        assert_eq!(p.find("a"), Some(a));
+        assert_eq!(p.find("b"), Some(b));
+        assert_eq!(p.find("zzz"), None);
+    }
+
+    #[test]
+    fn main_selection() {
+        let mut p = Program::new();
+        let a = p.add_function(leaf("a"));
+        assert_eq!(p.main(), None);
+        p.set_main(a);
+        assert_eq!(p.main(), Some(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown function")]
+    fn set_main_validates() {
+        let mut p = Program::new();
+        p.set_main(FuncId(3));
+    }
+
+    #[test]
+    fn call_edges_found() {
+        let mut p = Program::new();
+        let callee = p.add_function(leaf("callee"));
+        let mut b = FunctionBuilder::new("caller");
+        let r = b.new_vreg(RegClass::Int);
+        b.call(Callee::Internal(callee), vec![], Some(r));
+        b.call(Callee::External("ext"), vec![], None);
+        b.ret(Some(r));
+        let caller = p.add_function(b.finish());
+        let edges = p.call_edges();
+        assert_eq!(edges, vec![(caller, callee)]);
+    }
+}

@@ -1,0 +1,323 @@
+//! IR well-formedness checking.
+//!
+//! The verifier enforces the structural invariants every later phase relies
+//! on: in-range ids, class-correct operands, and sane control flow. Running
+//! it after construction and after every rewriting phase turns silent
+//! miscompiles into loud errors.
+
+use crate::entity::{BlockId, VReg};
+use crate::function::Function;
+use crate::inst::{Callee, Inst, Terminator};
+use crate::program::Program;
+use crate::RegClass;
+
+/// An IR well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block id referenced by a terminator does not exist.
+    UnknownBlock {
+        /// The function name.
+        func: String,
+        /// The offending target.
+        target: BlockId,
+    },
+    /// A virtual register referenced by an instruction does not exist.
+    UnknownVReg {
+        /// The function name.
+        func: String,
+        /// The offending register.
+        vreg: VReg,
+    },
+    /// An operand has the wrong register class.
+    ClassMismatch {
+        /// The function name.
+        func: String,
+        /// The offending register.
+        vreg: VReg,
+        /// The class the context requires.
+        expected: RegClass,
+        /// The class the register actually has.
+        actual: RegClass,
+    },
+    /// An internal call targets a function id not present in the program.
+    UnknownCallee {
+        /// The calling function's name.
+        func: String,
+        /// The missing callee id.
+        callee: crate::FuncId,
+    },
+    /// A spill instruction references a slot the function never created.
+    UnknownSlot {
+        /// The function name.
+        func: String,
+        /// The missing slot.
+        slot: crate::SpillSlot,
+    },
+    /// A program has no `main` set.
+    NoMain,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::UnknownBlock { func, target } => {
+                write!(f, "function `{func}`: terminator targets unknown block {target}")
+            }
+            VerifyError::UnknownVReg { func, vreg } => {
+                write!(f, "function `{func}`: reference to unknown vreg {vreg}")
+            }
+            VerifyError::ClassMismatch { func, vreg, expected, actual } => write!(
+                f,
+                "function `{func}`: {vreg} has class {actual} where {expected} is required"
+            ),
+            VerifyError::UnknownCallee { func, callee } => {
+                write!(f, "function `{func}`: call to unknown function {callee}")
+            }
+            VerifyError::UnknownSlot { func, slot } => {
+                write!(f, "function `{func}`: reference to unknown spill slot {slot}")
+            }
+            VerifyError::NoMain => write!(f, "program has no main function"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Checker<'a> {
+    f: &'a Function,
+    num_funcs: Option<usize>,
+}
+
+impl<'a> Checker<'a> {
+    fn vreg(&self, v: VReg) -> Result<RegClass, VerifyError> {
+        if v.index() < self.f.num_vregs() {
+            Ok(self.f.class_of(v))
+        } else {
+            Err(VerifyError::UnknownVReg { func: self.f.name().to_string(), vreg: v })
+        }
+    }
+
+    fn expect_class(&self, v: VReg, expected: RegClass) -> Result<(), VerifyError> {
+        let actual = self.vreg(v)?;
+        if actual == expected {
+            Ok(())
+        } else {
+            Err(VerifyError::ClassMismatch {
+                func: self.f.name().to_string(),
+                vreg: v,
+                expected,
+                actual,
+            })
+        }
+    }
+
+    fn slot(&self, s: crate::SpillSlot) -> Result<(), VerifyError> {
+        if s.index() < self.f.num_spill_slots() as usize {
+            Ok(())
+        } else {
+            Err(VerifyError::UnknownSlot { func: self.f.name().to_string(), slot: s })
+        }
+    }
+
+    fn block(&self, b: BlockId) -> Result<(), VerifyError> {
+        if b.index() < self.f.num_blocks() {
+            Ok(())
+        } else {
+            Err(VerifyError::UnknownBlock { func: self.f.name().to_string(), target: b })
+        }
+    }
+
+    fn check_inst(&self, inst: &Inst) -> Result<(), VerifyError> {
+        match inst {
+            Inst::IConst { dst, .. } => self.expect_class(*dst, RegClass::Int),
+            Inst::FConst { dst, .. } => self.expect_class(*dst, RegClass::Float),
+            Inst::Binary { op, dst, lhs, rhs } => {
+                let class = if op.is_float() { RegClass::Float } else { RegClass::Int };
+                self.expect_class(*dst, class)?;
+                self.expect_class(*lhs, class)?;
+                self.expect_class(*rhs, class)
+            }
+            Inst::Unary { op, dst, src } => {
+                self.expect_class(*dst, op.result_class())?;
+                self.expect_class(*src, op.operand_class())
+            }
+            Inst::Cmp { dst, lhs, rhs, .. } => {
+                self.expect_class(*dst, RegClass::Int)?;
+                self.expect_class(*lhs, RegClass::Int)?;
+                self.expect_class(*rhs, RegClass::Int)
+            }
+            Inst::Load { dst, addr, .. } => {
+                self.vreg(*dst)?;
+                self.expect_class(*addr, RegClass::Int)
+            }
+            Inst::Store { src, addr, .. } => {
+                self.vreg(*src)?;
+                self.expect_class(*addr, RegClass::Int)
+            }
+            Inst::Copy { dst, src } => {
+                let dc = self.vreg(*dst)?;
+                self.expect_class(*src, dc)
+            }
+            Inst::Call { callee, args, ret } => {
+                for a in args {
+                    self.vreg(*a)?;
+                }
+                if let Some(r) = ret {
+                    self.vreg(*r)?;
+                }
+                if let (Callee::Internal(id), Some(n)) = (callee, self.num_funcs) {
+                    if id.index() >= n {
+                        return Err(VerifyError::UnknownCallee {
+                            func: self.f.name().to_string(),
+                            callee: *id,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Inst::SpillStore { slot, src } => {
+                self.vreg(*src)?;
+                self.slot(*slot)
+            }
+            Inst::SpillLoad { dst, slot } => {
+                self.vreg(*dst)?;
+                self.slot(*slot)
+            }
+            Inst::Overhead { .. } => Ok(()),
+        }
+    }
+
+    fn check_term(&self, term: &Terminator) -> Result<(), VerifyError> {
+        match term {
+            Terminator::Jump(t) => self.block(*t),
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                self.expect_class(*cond, RegClass::Int)?;
+                self.block(*then_bb)?;
+                self.block(*else_bb)
+            }
+            Terminator::Return(v) => {
+                if let Some(v) = v {
+                    self.vreg(*v)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn run(&self) -> Result<(), VerifyError> {
+        for p in self.f.params() {
+            self.vreg(*p)?;
+        }
+        for (_, block) in self.f.blocks() {
+            for inst in &block.insts {
+                self.check_inst(inst)?;
+            }
+            self.check_term(&block.term)?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies a single function in isolation (internal call targets are not
+/// resolvable and are skipped).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    Checker { f, num_funcs: None }.run()
+}
+
+/// Verifies every function of a program, including internal call targets
+/// and the presence of a `main`.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_program(p: &Program) -> Result<(), VerifyError> {
+    if p.main().is_none() {
+        return Err(VerifyError::NoMain);
+    }
+    let n = p.num_functions();
+    for (_, f) in p.functions() {
+        Checker { f, num_funcs: Some(n) }.run()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, FunctionBuilder, Program};
+
+    #[test]
+    fn good_function_verifies() {
+        let mut b = FunctionBuilder::new("ok");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Float);
+        b.iconst(x, 1);
+        b.unary(crate::UnOp::IntToFloat, y, x);
+        b.ret(Some(x));
+        assert!(verify_function(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn class_mismatch_detected() {
+        let mut b = FunctionBuilder::new("bad");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Float);
+        b.binary(BinOp::Add, x, x, y); // float operand to int add
+        b.ret(None);
+        let err = verify_function(&b.finish()).unwrap_err();
+        assert!(matches!(err, VerifyError::ClassMismatch { .. }));
+        assert!(err.to_string().contains("class"));
+    }
+
+    #[test]
+    fn copy_requires_same_class() {
+        let mut b = FunctionBuilder::new("badcopy");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Float);
+        b.copy(x, y);
+        b.ret(None);
+        assert!(matches!(
+            verify_function(&b.finish()),
+            Err(VerifyError::ClassMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_callee_detected() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("m");
+        b.call(Callee::Internal(crate::FuncId(42)), vec![], None);
+        b.ret(None);
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        assert!(matches!(p.verify(), Err(VerifyError::UnknownCallee { .. })));
+    }
+
+    #[test]
+    fn no_main_detected() {
+        let p = Program::new();
+        assert_eq!(verify_program(&p), Err(VerifyError::NoMain));
+    }
+
+    #[test]
+    fn branch_cond_must_be_int() {
+        let mut b = FunctionBuilder::new("badbr");
+        let c = b.new_vreg(RegClass::Float);
+        b.fconst(c, 1.0);
+        let t = b.reserve_block();
+        let e = b.reserve_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        assert!(matches!(
+            verify_function(&b.finish()),
+            Err(VerifyError::ClassMismatch { .. })
+        ));
+    }
+}

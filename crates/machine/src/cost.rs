@@ -1,0 +1,112 @@
+//! Overhead-operation and cycle cost weights.
+
+/// The overhead-operation weights of the paper's cost model (Section 3).
+///
+/// The register-allocation cost of a function is the weighted number of
+/// *overhead operations* — operations a perfect allocator with unbounded
+/// registers would not execute:
+///
+/// * **spill** — a load before each use and a store after each def of a live
+///   range kept in memory;
+/// * **caller-save** — a store before and a load after every call a live
+///   range in a caller-save register spans;
+/// * **callee-save** — a store at entry and a load at exit of every function
+///   that uses a callee-save register;
+/// * **shuffle** — a move between the different locations assigned to
+///   copy-related live ranges.
+///
+/// All weights default to the operation counts the paper uses (each memory
+/// touch is one overhead operation; a save/restore *pair* is two).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Overhead operations per executed spill load or store.
+    pub spill_ref_ops: f64,
+    /// Overhead operations per call crossed by a caller-save live range
+    /// (one save + one restore).
+    pub caller_save_pair_ops: f64,
+    /// Overhead operations per function invocation per callee-save register
+    /// used (one save at entry + one restore at exit).
+    pub callee_save_pair_ops: f64,
+    /// Overhead operations per executed shuffle move.
+    pub shuffle_move_ops: f64,
+}
+
+impl CostModel {
+    /// The paper's cost model: 1 op per memory touch, 2 per save/restore
+    /// pair, 1 per move.
+    pub fn paper() -> Self {
+        CostModel {
+            spill_ref_ops: 1.0,
+            caller_save_pair_ops: 2.0,
+            callee_save_pair_ops: 2.0,
+            shuffle_move_ops: 1.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+/// The simple cycle model used to reproduce the execution-time experiment
+/// (Table 4).
+///
+/// The paper measured wall-clock time on a DECstation 5000; we model a
+/// single-issue in-order RISC where every useful instruction costs one cycle
+/// and every overhead operation that touches memory costs
+/// [`CycleModel::memory_op_cycles`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    /// Cycles per executed (non-overhead) instruction.
+    pub inst_cycles: f64,
+    /// Cycles per overhead operation that touches memory (spill,
+    /// caller-save, callee-save).
+    pub memory_op_cycles: f64,
+    /// Cycles per register-register shuffle move.
+    pub move_cycles: f64,
+}
+
+impl CycleModel {
+    /// A DECstation-like model: 1 cycle per instruction, 2 per memory
+    /// overhead operation, 1 per move.
+    pub fn decstation() -> Self {
+        CycleModel { inst_cycles: 1.0, memory_op_cycles: 2.0, move_cycles: 1.0 }
+    }
+
+    /// Total simulated cycles for a run that executed `insts` useful
+    /// instructions, `memory_ops` memory-touching overhead operations, and
+    /// `moves` shuffle moves.
+    pub fn cycles(&self, insts: f64, memory_ops: f64, moves: f64) -> f64 {
+        insts * self.inst_cycles + memory_ops * self.memory_op_cycles + moves * self.move_cycles
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel::decstation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weights() {
+        let m = CostModel::paper();
+        assert_eq!(m.spill_ref_ops, 1.0);
+        assert_eq!(m.caller_save_pair_ops, 2.0);
+        assert_eq!(m.callee_save_pair_ops, 2.0);
+        assert_eq!(m.shuffle_move_ops, 1.0);
+        assert_eq!(CostModel::default(), m);
+    }
+
+    #[test]
+    fn cycle_totals() {
+        let c = CycleModel::decstation();
+        assert_eq!(c.cycles(100.0, 10.0, 5.0), 100.0 + 20.0 + 5.0);
+        assert_eq!(CycleModel::default(), c);
+    }
+}

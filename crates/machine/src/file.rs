@@ -1,0 +1,245 @@
+//! Register-file combinations `(Ri, Rf, Ei, Ef)` and the paper's sweeps.
+
+use crate::reg::{PhysReg, SaveKind};
+use ccra_ir::RegClass;
+use std::fmt;
+
+/// One register combination: how many caller-save and callee-save registers
+/// each bank offers to the allocator.
+///
+/// Written `(Ri, Rf, Ei, Ef)` as in the paper: `Ri`/`Rf` caller-save
+/// integer/float registers, `Ei`/`Ef` callee-save integer/float registers.
+///
+/// The MIPS calling convention dedicates 4 integer argument registers and 2
+/// integer return-value registers, plus 2 + 2 floating-point ones — all
+/// caller-save — so every sensible combination has `Ri >= 6` and `Rf >= 4`
+/// ([`RegisterFile::minimum`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegisterFile {
+    caller_int: u8,
+    caller_float: u8,
+    callee_int: u8,
+    callee_float: u8,
+}
+
+impl RegisterFile {
+    /// Maximum caller-save integer registers on the modelled MIPS (the full
+    /// machine has 26 allocatable integer registers).
+    pub const MAX_CALLER_INT: u8 = 17;
+    /// Maximum caller-save float registers (16 allocatable in total).
+    pub const MAX_CALLER_FLOAT: u8 = 10;
+    /// Maximum callee-save integer registers (`$s0..$s8`).
+    pub const MAX_CALLEE_INT: u8 = 9;
+    /// Maximum callee-save float registers (`$f20..$f30`, even pairs).
+    pub const MAX_CALLEE_FLOAT: u8 = 6;
+
+    /// Creates a register combination `(Ri, Rf, Ei, Ef)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination is below the calling-convention minimum
+    /// `(6,4,0,0)` — the argument/return registers always exist and are
+    /// caller-save.
+    pub fn new(caller_int: u8, caller_float: u8, callee_int: u8, callee_float: u8) -> Self {
+        assert!(
+            caller_int >= 6 && caller_float >= 4,
+            "register combination ({caller_int},{caller_float},{callee_int},{callee_float}) \
+             is below the MIPS calling-convention minimum (6,4,0,0)"
+        );
+        RegisterFile { caller_int, caller_float, callee_int, callee_float }
+    }
+
+    /// The calling-convention minimum `(6,4,0,0)`: only the argument and
+    /// return registers are allocatable.
+    pub fn minimum() -> Self {
+        RegisterFile::new(6, 4, 0, 0)
+    }
+
+    /// The full modelled MIPS machine: 26 integer (17 caller + 9 callee) and
+    /// 16 floating-point (10 caller + 6 callee) registers, as used for the
+    /// execution-time experiment (Table 4: "all registers (26 int, 16
+    /// float)").
+    pub fn mips_full() -> Self {
+        RegisterFile::new(
+            Self::MAX_CALLER_INT,
+            Self::MAX_CALLER_FLOAT,
+            Self::MAX_CALLEE_INT,
+            Self::MAX_CALLEE_FLOAT,
+        )
+    }
+
+    /// The number of registers of the given bank and save kind.
+    pub fn count(&self, class: RegClass, kind: SaveKind) -> usize {
+        (match (class, kind) {
+            (RegClass::Int, SaveKind::CallerSave) => self.caller_int,
+            (RegClass::Int, SaveKind::CalleeSave) => self.callee_int,
+            (RegClass::Float, SaveKind::CallerSave) => self.caller_float,
+            (RegClass::Float, SaveKind::CalleeSave) => self.callee_float,
+        }) as usize
+    }
+
+    /// The total number of registers in a bank — the `N` of graph coloring
+    /// for live ranges of that class.
+    pub fn bank_size(&self, class: RegClass) -> usize {
+        self.count(class, SaveKind::CallerSave) + self.count(class, SaveKind::CalleeSave)
+    }
+
+    /// All registers of a bank, caller-save first.
+    pub fn regs(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
+        self.regs_of(class, SaveKind::CallerSave).chain(self.regs_of(class, SaveKind::CalleeSave))
+    }
+
+    /// The registers of a bank with the given save kind.
+    pub fn regs_of(&self, class: RegClass, kind: SaveKind) -> impl Iterator<Item = PhysReg> + '_ {
+        (0..self.count(class, kind) as u8).map(move |i| PhysReg::new(class, kind, i))
+    }
+
+    /// Dense index of `reg` within its bank (caller-save first), for array
+    /// addressing.
+    pub fn dense_index(&self, reg: PhysReg) -> usize {
+        reg.dense_index(self.count(reg.class, SaveKind::CallerSave) as u8)
+    }
+
+    /// The register combination sequence used as the x-axis of the paper's
+    /// figures: start at the calling-convention minimum, then
+    ///
+    /// 1. grow all four groups in lock step — `(7,5,1,1)` … `(10,8,4,4)`;
+    /// 2. grow the callee-save groups to their maxima;
+    /// 3. grow the caller-save groups to the full machine.
+    ///
+    /// This yields a monotone 17-point sweep from `(6,4,0,0)` to the full
+    /// `(17,10,9,6)` machine, matching the shape (register pressure relief
+    /// first, then callee-save abundance, then caller-save abundance) of the
+    /// paper's x-axes.
+    pub fn paper_sweep() -> Vec<RegisterFile> {
+        let mut sweep = vec![RegisterFile::minimum()];
+        let mut cur = RegisterFile::minimum();
+        // Phase 1: lock-step growth.
+        for _ in 0..4 {
+            cur = RegisterFile::new(
+                cur.caller_int + 1,
+                cur.caller_float + 1,
+                cur.callee_int + 1,
+                cur.callee_float + 1,
+            );
+            sweep.push(cur);
+        }
+        // Phase 2: callee-save growth to maxima.
+        while cur.callee_int < Self::MAX_CALLEE_INT || cur.callee_float < Self::MAX_CALLEE_FLOAT {
+            cur = RegisterFile::new(
+                cur.caller_int,
+                cur.caller_float,
+                (cur.callee_int + 1).min(Self::MAX_CALLEE_INT),
+                (cur.callee_float + 1).min(Self::MAX_CALLEE_FLOAT),
+            );
+            sweep.push(cur);
+        }
+        // Phase 3: caller-save growth to the full machine.
+        while cur.caller_int < Self::MAX_CALLER_INT || cur.caller_float < Self::MAX_CALLER_FLOAT {
+            cur = RegisterFile::new(
+                (cur.caller_int + 1).min(Self::MAX_CALLER_INT),
+                (cur.caller_float + 1).min(Self::MAX_CALLER_FLOAT),
+                cur.callee_int,
+                cur.callee_float,
+            );
+            sweep.push(cur);
+        }
+        sweep
+    }
+
+    /// A short 5-point sweep for quick tests and examples.
+    pub fn short_sweep() -> Vec<RegisterFile> {
+        vec![
+            RegisterFile::new(6, 4, 0, 0),
+            RegisterFile::new(8, 6, 2, 2),
+            RegisterFile::new(10, 8, 4, 4),
+            RegisterFile::new(10, 8, 9, 6),
+            RegisterFile::mips_full(),
+        ]
+    }
+
+    /// The four components `(Ri, Rf, Ei, Ef)`.
+    pub fn components(&self) -> (u8, u8, u8, u8) {
+        (self.caller_int, self.caller_float, self.callee_int, self.callee_float)
+    }
+}
+
+impl fmt::Display for RegisterFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({},{},{},{})",
+            self.caller_int, self.caller_float, self.callee_int, self.callee_float
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_bank_sizes() {
+        let f = RegisterFile::new(9, 7, 3, 3);
+        assert_eq!(f.count(RegClass::Int, SaveKind::CallerSave), 9);
+        assert_eq!(f.count(RegClass::Int, SaveKind::CalleeSave), 3);
+        assert_eq!(f.count(RegClass::Float, SaveKind::CallerSave), 7);
+        assert_eq!(f.count(RegClass::Float, SaveKind::CalleeSave), 3);
+        assert_eq!(f.bank_size(RegClass::Int), 12);
+        assert_eq!(f.bank_size(RegClass::Float), 10);
+    }
+
+    #[test]
+    fn full_machine_is_26_int_16_float() {
+        let f = RegisterFile::mips_full();
+        assert_eq!(f.bank_size(RegClass::Int), 26);
+        assert_eq!(f.bank_size(RegClass::Float), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the MIPS calling-convention minimum")]
+    fn below_minimum_rejected() {
+        let _ = RegisterFile::new(5, 4, 0, 0);
+    }
+
+    #[test]
+    fn regs_iterates_caller_first() {
+        let f = RegisterFile::new(6, 4, 2, 1);
+        let int_regs: Vec<PhysReg> = f.regs(RegClass::Int).collect();
+        assert_eq!(int_regs.len(), 8);
+        assert_eq!(int_regs[0], PhysReg::new(RegClass::Int, SaveKind::CallerSave, 0));
+        assert_eq!(int_regs[6], PhysReg::new(RegClass::Int, SaveKind::CalleeSave, 0));
+        let dense: Vec<usize> = int_regs.iter().map(|&r| f.dense_index(r)).collect();
+        assert_eq!(dense, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paper_sweep_shape() {
+        let sweep = RegisterFile::paper_sweep();
+        assert_eq!(sweep[0], RegisterFile::minimum());
+        assert_eq!(*sweep.last().unwrap(), RegisterFile::mips_full());
+        // Monotone in every component.
+        for w in sweep.windows(2) {
+            let (a, b) = (w[0].components(), w[1].components());
+            assert!(b.0 >= a.0 && b.1 >= a.1 && b.2 >= a.2 && b.3 >= a.3, "{a:?} -> {b:?}");
+            assert_ne!(a, b);
+        }
+        // The lock-step prefix the paper quotes explicitly.
+        assert!(sweep.contains(&RegisterFile::new(9, 7, 3, 3)));
+        assert!(sweep.contains(&RegisterFile::new(10, 8, 4, 4)));
+        assert_eq!(sweep.len(), 17);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(RegisterFile::new(10, 8, 4, 4).to_string(), "(10,8,4,4)");
+    }
+
+    #[test]
+    fn short_sweep_is_monotone_subset() {
+        let sweep = RegisterFile::short_sweep();
+        for w in sweep.windows(2) {
+            assert!(w[1].bank_size(RegClass::Int) >= w[0].bank_size(RegClass::Int));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The target machine model: a MIPS-like RISC with two register banks.
+//!
+//! The paper's measurements are parameterised over *register combinations*
+//! `(Ri, Rf, Ei, Ef)` — the number of caller-save integer, caller-save
+//! floating-point, callee-save integer, and callee-save floating-point
+//! registers (Section 3.2, Figure 2). This crate provides:
+//!
+//! * [`RegisterFile`] — one such combination, plus the paper's fixed points
+//!   ([`RegisterFile::minimum`] `(6,4,0,0)` and [`RegisterFile::mips_full`]
+//!   with 26 integer / 16 floating-point registers);
+//! * [`RegisterFile::paper_sweep`] — the monotone sequence of combinations
+//!   used as the x-axis of the paper's figures;
+//! * [`PhysReg`] / [`SaveKind`] — physical registers tagged with their
+//!   storage class;
+//! * [`CostModel`] — the overhead-operation weights of Section 3 and the
+//!   cycle weights used for the execution-time experiment (Table 4).
+//!
+//! # Example
+//!
+//! ```
+//! use ccra_machine::{RegisterFile, SaveKind};
+//! use ccra_ir::RegClass;
+//!
+//! let file = RegisterFile::new(9, 7, 3, 3);
+//! assert_eq!(file.bank_size(RegClass::Int), 12);
+//! assert_eq!(file.count(RegClass::Float, SaveKind::CalleeSave), 3);
+//! assert_eq!(file.to_string(), "(9,7,3,3)");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod file;
+mod reg;
+
+pub use cost::{CostModel, CycleModel};
+pub use file::RegisterFile;
+pub use reg::{PhysReg, SaveKind};

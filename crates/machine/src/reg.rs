@@ -1,0 +1,118 @@
+//! Physical registers and their save discipline.
+
+use ccra_ir::RegClass;
+use std::fmt;
+
+/// Who is responsible for preserving a register's value across a call.
+///
+/// This is the *storage class* distinction at the heart of the paper: a live
+/// range in a caller-save register pays save/restore operations around every
+/// call it spans; a live range in a callee-save register pays one
+/// save/restore pair at the entry/exit of the function that uses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SaveKind {
+    /// The caller preserves the register (a.k.a. scratch / temporary).
+    CallerSave,
+    /// The callee preserves the register (a.k.a. saved).
+    CalleeSave,
+}
+
+impl SaveKind {
+    /// Both save kinds, in a fixed order.
+    pub const ALL: [SaveKind; 2] = [SaveKind::CallerSave, SaveKind::CalleeSave];
+
+    /// The other kind.
+    pub fn other(self) -> SaveKind {
+        match self {
+            SaveKind::CallerSave => SaveKind::CalleeSave,
+            SaveKind::CalleeSave => SaveKind::CallerSave,
+        }
+    }
+}
+
+impl fmt::Display for SaveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaveKind::CallerSave => write!(f, "caller-save"),
+            SaveKind::CalleeSave => write!(f, "callee-save"),
+        }
+    }
+}
+
+/// A physical register: a bank, a save discipline, and an index within that
+/// `(bank, kind)` group.
+///
+/// Registers print MIPS-style: caller-save integer registers as `$t<n>`,
+/// callee-save integer registers as `$s<n>`, and floating-point registers as
+/// `$ft<n>` / `$fs<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg {
+    /// The register bank.
+    pub class: RegClass,
+    /// Caller-save or callee-save.
+    pub kind: SaveKind,
+    /// Index within the `(class, kind)` group, starting at 0.
+    pub index: u8,
+}
+
+impl PhysReg {
+    /// Creates a physical register.
+    pub fn new(class: RegClass, kind: SaveKind, index: u8) -> Self {
+        PhysReg { class, kind, index }
+    }
+
+    /// A dense index usable as an array key, given the owning register file
+    /// layout: caller-save registers first, then callee-save, per bank.
+    pub fn dense_index(self, caller_count: u8) -> usize {
+        match self.kind {
+            SaveKind::CallerSave => self.index as usize,
+            SaveKind::CalleeSave => caller_count as usize + self.index as usize,
+        }
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix = match (self.class, self.kind) {
+            (RegClass::Int, SaveKind::CallerSave) => "$t",
+            (RegClass::Int, SaveKind::CalleeSave) => "$s",
+            (RegClass::Float, SaveKind::CallerSave) => "$ft",
+            (RegClass::Float, SaveKind::CalleeSave) => "$fs",
+        };
+        write!(f, "{prefix}{}", self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_mips_flavoured() {
+        assert_eq!(PhysReg::new(RegClass::Int, SaveKind::CallerSave, 3).to_string(), "$t3");
+        assert_eq!(PhysReg::new(RegClass::Int, SaveKind::CalleeSave, 0).to_string(), "$s0");
+        assert_eq!(PhysReg::new(RegClass::Float, SaveKind::CallerSave, 2).to_string(), "$ft2");
+        assert_eq!(PhysReg::new(RegClass::Float, SaveKind::CalleeSave, 5).to_string(), "$fs5");
+    }
+
+    #[test]
+    fn other_kind_flips() {
+        assert_eq!(SaveKind::CallerSave.other(), SaveKind::CalleeSave);
+        assert_eq!(SaveKind::CalleeSave.other(), SaveKind::CallerSave);
+    }
+
+    #[test]
+    fn dense_index_layout() {
+        let caller = PhysReg::new(RegClass::Int, SaveKind::CallerSave, 2);
+        let callee = PhysReg::new(RegClass::Int, SaveKind::CalleeSave, 1);
+        assert_eq!(caller.dense_index(6), 2);
+        assert_eq!(callee.dense_index(6), 7);
+    }
+
+    #[test]
+    fn ordering_groups_caller_before_callee() {
+        let a = PhysReg::new(RegClass::Int, SaveKind::CallerSave, 9);
+        let b = PhysReg::new(RegClass::Int, SaveKind::CalleeSave, 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the register-file model.
+
+use ccra_ir::RegClass;
+use ccra_machine::{PhysReg, RegisterFile, SaveKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Dense indices enumerate a bank without gaps or collisions.
+    #[test]
+    fn dense_index_is_a_bijection(
+        ri in 6u8..=RegisterFile::MAX_CALLER_INT,
+        rf in 4u8..=RegisterFile::MAX_CALLER_FLOAT,
+        ei in 0u8..=RegisterFile::MAX_CALLEE_INT,
+        ef in 0u8..=RegisterFile::MAX_CALLEE_FLOAT,
+    ) {
+        let file = RegisterFile::new(ri, rf, ei, ef);
+        for class in RegClass::ALL {
+            let regs: Vec<PhysReg> = file.regs(class).collect();
+            prop_assert_eq!(regs.len(), file.bank_size(class));
+            let mut seen = vec![false; regs.len()];
+            for r in regs {
+                let d = file.dense_index(r);
+                prop_assert!(d < seen.len());
+                prop_assert!(!seen[d], "dense index collision at {}", d);
+                seen[d] = true;
+            }
+        }
+    }
+
+    /// Counts always decompose the bank size.
+    #[test]
+    fn counts_decompose_bank(
+        ri in 6u8..=RegisterFile::MAX_CALLER_INT,
+        rf in 4u8..=RegisterFile::MAX_CALLER_FLOAT,
+        ei in 0u8..=RegisterFile::MAX_CALLEE_INT,
+        ef in 0u8..=RegisterFile::MAX_CALLEE_FLOAT,
+    ) {
+        let file = RegisterFile::new(ri, rf, ei, ef);
+        for class in RegClass::ALL {
+            prop_assert_eq!(
+                file.bank_size(class),
+                file.count(class, SaveKind::CallerSave) + file.count(class, SaveKind::CalleeSave)
+            );
+        }
+    }
+
+    /// The display notation carries the exact components.
+    #[test]
+    fn display_roundtrips_components(
+        ri in 6u8..=RegisterFile::MAX_CALLER_INT,
+        rf in 4u8..=RegisterFile::MAX_CALLER_FLOAT,
+        ei in 0u8..=RegisterFile::MAX_CALLEE_INT,
+        ef in 0u8..=RegisterFile::MAX_CALLEE_FLOAT,
+    ) {
+        let file = RegisterFile::new(ri, rf, ei, ef);
+        prop_assert_eq!(file.to_string(), format!("({ri},{rf},{ei},{ef})"));
+        prop_assert_eq!(file.components(), (ri, rf, ei, ef));
+    }
+}
+
+#[test]
+fn paper_sweep_never_shrinks_any_bank() {
+    let sweep = RegisterFile::paper_sweep();
+    for w in sweep.windows(2) {
+        for class in RegClass::ALL {
+            assert!(w[1].bank_size(class) >= w[0].bank_size(class));
+            for kind in SaveKind::ALL {
+                assert!(w[1].count(class, kind) >= w[0].count(class, kind));
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_registers_are_valid_members() {
+    for file in RegisterFile::paper_sweep() {
+        for class in RegClass::ALL {
+            for reg in file.regs(class) {
+                assert_eq!(reg.class, class);
+                assert!((reg.index as usize) < file.count(class, reg.kind));
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Overhead accounting: the register-allocation cost of Section 3.
+//!
+//! The analytic accounting walks the fully rewritten function (spill
+//! instructions plus overhead markers) and weights each overhead event by
+//! the execution frequency of its block. Under dynamic (profiled)
+//! frequencies this matches what the interpreter *measures* exactly,
+//! because neither spill-code nor marker insertion changes control flow.
+
+use ccra_analysis::{FuncFreq, RunStats};
+use ccra_ir::{Function, Inst, OverheadKind};
+
+use crate::types::Overhead;
+
+/// Computes the weighted overhead of a rewritten function.
+pub fn weighted_overhead(f: &Function, freq: &FuncFreq) -> Overhead {
+    let mut overhead = Overhead::zero();
+    for (bb, block) in f.blocks() {
+        let w = freq.block(bb);
+        for inst in &block.insts {
+            match inst {
+                Inst::SpillLoad { .. } | Inst::SpillStore { .. } => overhead.spill += w,
+                Inst::Overhead { kind, ops } => {
+                    let ops = w * f64::from(*ops);
+                    match kind {
+                        OverheadKind::Spill => overhead.spill += ops,
+                        OverheadKind::CallerSave => overhead.caller_save += ops,
+                        OverheadKind::CalleeSave => overhead.callee_save += ops,
+                        OverheadKind::Shuffle => overhead.shuffle += ops,
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    overhead
+}
+
+/// Converts the interpreter's measured overhead counters into an
+/// [`Overhead`] (whole-program totals).
+pub fn measured_overhead(stats: &RunStats) -> Overhead {
+    Overhead {
+        spill: stats.overhead(OverheadKind::Spill) as f64,
+        caller_save: stats.overhead(OverheadKind::CallerSave) as f64,
+        callee_save: stats.overhead(OverheadKind::CalleeSave) as f64,
+        shuffle: stats.overhead(OverheadKind::Shuffle) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_analysis::{FrequencyInfo, InterpConfig};
+    use ccra_ir::{FunctionBuilder, Program, RegClass};
+
+    #[test]
+    fn weighted_overhead_counts_markers_and_spills() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let slot = f.new_spill_slot();
+        let entry = f.entry();
+        f.block_mut(entry).insts.insert(
+            0,
+            Inst::Overhead { kind: OverheadKind::CalleeSave, ops: 3 },
+        );
+        f.block_mut(entry).insts.push(Inst::SpillStore { slot, src: x });
+        f.block_mut(entry)
+            .insts
+            .push(Inst::Overhead { kind: OverheadKind::Shuffle, ops: 1 });
+
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let overhead = weighted_overhead(p.function(id), freq.func(id));
+        assert_eq!(overhead.callee_save, 3.0);
+        assert_eq!(overhead.spill, 1.0);
+        assert_eq!(overhead.shuffle, 1.0);
+        assert_eq!(overhead.total(), 5.0);
+
+        // Measured == analytic for a profile of the same run.
+        let stats = ccra_analysis::run(&p, &InterpConfig::default()).unwrap();
+        let measured = measured_overhead(&stats);
+        assert_eq!(measured, overhead);
+    }
+}

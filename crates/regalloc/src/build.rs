@@ -1,0 +1,488 @@
+//! Graph construction and live-range coalescing (the first two phases of
+//! the register-allocation framework, Figure 1 of the paper).
+
+use std::collections::{HashMap, HashSet};
+
+use ccra_analysis::{FuncFreq, Liveness, WebId, Webs};
+use ccra_ir::{BlockId, Function, Inst, RegClass, VReg};
+use ccra_machine::CostModel;
+
+use crate::graph::InterferenceGraph;
+use crate::node::{CallSite, NodeInfo, SPILL_TEMP_COST};
+
+/// Everything one allocation pass needs about a function: coalesced nodes,
+/// their interference graph, and the call sites.
+#[derive(Debug, Clone)]
+pub struct FuncContext {
+    /// The allocation nodes (coalesced live ranges).
+    pub nodes: Vec<NodeInfo>,
+    /// Interference between nodes; only same-bank nodes ever interfere.
+    pub graph: InterferenceGraph,
+    /// The call sites of the function, with frequencies.
+    pub callsites: Vec<CallSite>,
+    /// How many times the function is invoked (the callee-save cost basis).
+    pub entry_freq: f64,
+    /// Map from web to its node.
+    pub web_node: HashMap<WebId, u32>,
+    /// The webs of the current function body (for operand → node lookup).
+    pub webs: Webs,
+}
+
+impl FuncContext {
+    /// The node a web belongs to.
+    pub fn node_of(&self, web: WebId) -> u32 {
+        self.web_node[&web]
+    }
+
+    /// The node ids of the given bank.
+    pub fn bank_nodes(&self, class: RegClass) -> Vec<u32> {
+        (0..self.nodes.len() as u32).filter(|&n| self.nodes[n as usize].class == class).collect()
+    }
+
+    /// The node defined by instruction `(bb, idx)` writing `v`, if any.
+    pub fn def_node(&self, bb: BlockId, idx: u32, v: VReg) -> Option<u32> {
+        self.webs.def_web(bb, idx, v).map(|w| self.web_node[&w])
+    }
+
+    /// The node read by instruction `(bb, idx)` through `v`, if any.
+    pub fn use_node(&self, bb: BlockId, idx: u32, v: VReg) -> Option<u32> {
+        self.webs.use_web(bb, idx, v).map(|w| self.web_node[&w])
+    }
+}
+
+struct WebScan {
+    graph: InterferenceGraph,
+    calls_crossed: Vec<HashSet<u32>>,
+    blocks_spanned: Vec<HashSet<BlockId>>,
+    copies: Vec<(WebId, WebId)>,
+    callsites: Vec<CallSite>,
+}
+
+/// Backward scan computing web-level interference, call crossings, block
+/// spans, and copy pairs.
+fn scan_webs(f: &Function, live: &Liveness, webs: &Webs, freq: &FuncFreq) -> WebScan {
+    let nw = webs.len();
+    let mut graph = InterferenceGraph::new(nw);
+    let mut calls_crossed: Vec<HashSet<u32>> = vec![HashSet::new(); nw];
+    let mut blocks_spanned: Vec<HashSet<BlockId>> = vec![HashSet::new(); nw];
+    let mut copies: Vec<(WebId, WebId)> = Vec::new();
+
+    // Enumerate call sites in block/instruction order.
+    let mut callsites = Vec::new();
+    let mut site_index: HashMap<(BlockId, u32), u32> = HashMap::new();
+    for (bb, idx) in f.call_sites() {
+        site_index.insert((bb, idx as u32), callsites.len() as u32);
+        callsites.push(CallSite { bb, idx: idx as u32, freq: freq.block(bb) });
+    }
+
+    // Last def index of each vreg per block, to resolve live-out webs.
+    let mut last_def: HashMap<(BlockId, VReg), u32> = HashMap::new();
+    for (bb, block) in f.blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(d) = inst.def() {
+                last_def.insert((bb, d), i as u32);
+            }
+        }
+    }
+
+    let mut uses_buf = Vec::new();
+    for (bb, block) in f.blocks() {
+        let mut live_webs: HashSet<WebId> = HashSet::new();
+        for v_idx in live.live_out(bb).iter() {
+            let v = VReg(v_idx as u32);
+            let w = match last_def.get(&(bb, v)) {
+                Some(&i) => webs.def_web(bb, i, v),
+                None => webs.live_in_web(bb, v),
+            };
+            if let Some(w) = w {
+                live_webs.insert(w);
+            }
+        }
+        let mut touched: HashSet<WebId> = live_webs.clone();
+
+        // Terminator use.
+        if let Some(u) = block.term.use_reg() {
+            if let Some(w) = webs.use_web(bb, block.insts.len() as u32, u) {
+                live_webs.insert(w);
+                touched.insert(w);
+            }
+        }
+
+        for (i, inst) in block.insts.iter().enumerate().rev() {
+            // The def interferes with everything live after it — except,
+            // for a copy, the source web (the coalescing special case).
+            if let Some(d) = inst.def() {
+                let w = webs
+                    .def_web(bb, i as u32, d)
+                    .unwrap_or_else(|| panic!("missing def web for {d} at {bb}:{i}"));
+                let exclude = match inst {
+                    Inst::Copy { src, .. } => webs.use_web(bb, i as u32, *src),
+                    _ => None,
+                };
+                for &l in &live_webs {
+                    if l != w && Some(l) != exclude {
+                        graph.add_edge(w.0, l.0);
+                    }
+                }
+                live_webs.remove(&w);
+                touched.insert(w);
+            }
+            // Everything still live here is live across a call.
+            if inst.is_call() {
+                let site = site_index[&(bb, i as u32)];
+                for &l in &live_webs {
+                    calls_crossed[l.index()].insert(site);
+                }
+            }
+            // Record copy pairs for coalescing.
+            if let Inst::Copy { dst, src } = inst {
+                if let (Some(dw), Some(sw)) = (
+                    webs.def_web(bb, i as u32, *dst),
+                    webs.use_web(bb, i as u32, *src),
+                ) {
+                    copies.push((dw, sw));
+                }
+            }
+            // Uses become live above this instruction.
+            uses_buf.clear();
+            inst.collect_uses(&mut uses_buf);
+            for &u in &uses_buf {
+                if let Some(w) = webs.use_web(bb, i as u32, u) {
+                    live_webs.insert(w);
+                    touched.insert(w);
+                }
+            }
+        }
+
+        // Parameters are all defined simultaneously on entry: the webs live
+        // at the top of the entry block form a clique.
+        if bb == f.entry() {
+            let at_top: Vec<WebId> = live_webs.iter().copied().collect();
+            for (ai, &a) in at_top.iter().enumerate() {
+                for &b in &at_top[ai + 1..] {
+                    graph.add_edge(a.0, b.0);
+                }
+            }
+        }
+
+        for w in touched {
+            blocks_spanned[w.index()].insert(bb);
+        }
+    }
+
+    WebScan { graph, calls_crossed, blocks_spanned, copies, callsites }
+}
+
+/// Aggressive coalescing: merge copy-related webs that do not interfere,
+/// iterating to a fixpoint (the coalescing phase of Figure 1).
+fn coalesce(nw: usize, scan: &WebScan) -> Vec<u32> {
+    let mut parent: Vec<u32> = (0..nw as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        let mut c = x;
+        while parent[c as usize] != r {
+            let n = parent[c as usize];
+            parent[c as usize] = r;
+            c = n;
+        }
+        r
+    }
+
+    // classes_interfere: any member pair interferes.
+    let mut members: Vec<Vec<u32>> = (0..nw as u32).map(|i| vec![i]).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(a, b) in &scan.copies {
+            let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+            if ra == rb {
+                continue;
+            }
+            let conflict = members[ra as usize].iter().any(|&x| {
+                members[rb as usize].iter().any(|&y| scan.graph.interferes(x, y))
+            });
+            if !conflict {
+                parent[rb as usize] = ra;
+                let moved = std::mem::take(&mut members[rb as usize]);
+                members[ra as usize].extend(moved);
+                changed = true;
+            }
+        }
+    }
+    (0..nw as u32).map(|i| find(&mut parent, i)).collect()
+}
+
+/// Builds the full allocation context for one function.
+///
+/// This runs the *graph construction* and *live-range coalescing* phases:
+/// liveness, webs, web-level interference, aggressive coalescing, and the
+/// per-node cost attributes (spill / caller-save / callee-save cost, block
+/// span, calls crossed).
+pub fn build_context(f: &Function, freq: &FuncFreq, cost: &CostModel) -> FuncContext {
+    let live = Liveness::compute(f);
+    let webs = Webs::compute(f);
+    let scan = scan_webs(f, &live, &webs, freq);
+    let roots = coalesce(webs.len(), &scan);
+
+    // Dense node ids per root.
+    let mut node_of_root: HashMap<u32, u32> = HashMap::new();
+    let mut web_node: HashMap<WebId, u32> = HashMap::new();
+    let mut node_webs: Vec<Vec<WebId>> = Vec::new();
+    for (w, &root) in roots.iter().enumerate() {
+        let n = *node_of_root.entry(root).or_insert_with(|| {
+            node_webs.push(Vec::new());
+            (node_webs.len() - 1) as u32
+        });
+        node_webs[n as usize].push(WebId(w as u32));
+        web_node.insert(WebId(w as u32), n);
+    }
+
+    let entry_freq = freq.invocations;
+    let mut nodes: Vec<NodeInfo> = Vec::with_capacity(node_webs.len());
+    for webs_in_node in &node_webs {
+        let mut spill_cost = 0.0;
+        let mut crossed: HashSet<u32> = HashSet::new();
+        let mut blocks: HashSet<BlockId> = HashSet::new();
+        let mut is_spill_temp = false;
+        let mut class = RegClass::Int;
+        let mut defs = Vec::new();
+        let mut uses = Vec::new();
+        let mut param_vregs = Vec::new();
+        for &w in webs_in_node {
+            let data = webs.web(w);
+            class = f.class_of(data.vreg);
+            if f.vreg(data.vreg).is_spill_temp {
+                is_spill_temp = true;
+            }
+            for &(bb, i) in &data.defs {
+                spill_cost += freq.block(bb) * cost.spill_ref_ops;
+                defs.push((bb, i, data.vreg));
+            }
+            for &(bb, i) in &data.uses {
+                spill_cost += freq.block(bb) * cost.spill_ref_ops;
+                uses.push((bb, i, data.vreg));
+            }
+            if data.is_param {
+                // The entry store a spilled parameter would need is itself
+                // a spill operation.
+                spill_cost += freq.invocations * cost.spill_ref_ops;
+                param_vregs.push(data.vreg);
+            }
+            crossed.extend(scan.calls_crossed[w.index()].iter().copied());
+            blocks.extend(scan.blocks_spanned[w.index()].iter().copied());
+        }
+        if is_spill_temp {
+            spill_cost = SPILL_TEMP_COST;
+        }
+        let mut calls_crossed: Vec<u32> = crossed.into_iter().collect();
+        calls_crossed.sort_unstable();
+        let caller_cost: f64 = calls_crossed
+            .iter()
+            .map(|&s| scan.callsites[s as usize].freq * cost.caller_save_pair_ops)
+            .sum();
+        let callee_cost = entry_freq * cost.callee_save_pair_ops;
+        nodes.push(NodeInfo {
+            class,
+            spill_cost,
+            caller_cost,
+            callee_cost,
+            size: blocks.len().max(1) as u32,
+            calls_crossed,
+            webs: webs_in_node.clone(),
+            is_spill_temp,
+            defs,
+            uses,
+            param_vregs,
+        });
+    }
+
+    // Node-level interference graph.
+    let mut graph = InterferenceGraph::new(nodes.len());
+    for a in 0..webs.len() as u32 {
+        for &b in scan.graph.neighbors(a) {
+            if a < b {
+                let (na, nb) = (web_node[&WebId(a)], web_node[&WebId(b)]);
+                if na != nb && nodes[na as usize].class == nodes[nb as usize].class {
+                    graph.add_edge(na, nb);
+                }
+            }
+        }
+    }
+
+    FuncContext { nodes, graph, callsites: scan.callsites, entry_freq, web_node, webs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_analysis::FrequencyInfo;
+    use ccra_ir::{BinOp, Callee, FunctionBuilder, Program};
+
+    fn ctx_for(f: Function) -> (FuncContext, Program, ccra_ir::FuncId) {
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        (ctx, p, id)
+    }
+
+    #[test]
+    fn simultaneously_live_values_interfere() {
+        // x and y both live across the add -> interfere.
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        let z = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        b.iconst(y, 2);
+        b.binary(BinOp::Add, z, x, y);
+        b.binary(BinOp::Add, z, z, y);
+        b.ret(Some(z));
+        let (ctx, ..) = ctx_for(b.finish());
+        // Webs: x, y, and *two* z webs (the second `z = z + y` def starts a
+        // fresh lifetime joined only with the return's use).
+        assert_eq!(ctx.nodes.len(), 4);
+        // x and y are simultaneously live before the first add, and y is
+        // live when the first z lifetime is defined.
+        assert!(ctx.graph.num_edges() >= 2, "edges: {}", ctx.graph.num_edges());
+        assert_eq!(ctx.callsites.len(), 0);
+        assert_eq!(ctx.entry_freq, 1.0);
+    }
+
+    #[test]
+    fn copy_related_nonconflicting_webs_coalesce() {
+        // y = copy x; x dead after -> coalesced into one node.
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        b.iconst(x, 5);
+        b.copy(y, x);
+        b.ret(Some(y));
+        let (ctx, ..) = ctx_for(b.finish());
+        assert_eq!(ctx.nodes.len(), 1, "copy-related webs must coalesce");
+        assert_eq!(ctx.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn conflicting_copy_webs_do_not_coalesce() {
+        // y = copy x, but x is used again after y is redefined... make x
+        // live while y live: y = copy x; z = x + y -> x live after copy.
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        let z = b.new_vreg(RegClass::Int);
+        b.iconst(x, 5);
+        b.copy(y, x);
+        b.binary(BinOp::Add, y, y, y);
+        b.binary(BinOp::Add, z, x, y);
+        b.ret(Some(z));
+        let (ctx, ..) = ctx_for(b.finish());
+        // x and y interfere (y redefined while x live) so cannot merge.
+        assert!(ctx.nodes.len() >= 2);
+    }
+
+    #[test]
+    fn call_crossing_recorded_with_frequency() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let r = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        b.call(Callee::External("g"), vec![], Some(r));
+        b.binary(BinOp::Add, r, r, x); // x live across the call
+        b.ret(Some(r));
+        let (ctx, ..) = ctx_for(b.finish());
+        assert_eq!(ctx.callsites.len(), 1);
+        let x_node = ctx
+            .nodes
+            .iter()
+            .position(|n| n.crosses_calls())
+            .expect("some node crosses the call");
+        let n = &ctx.nodes[x_node];
+        assert_eq!(n.calls_crossed, vec![0]);
+        assert_eq!(n.caller_cost, 2.0); // one call, freq 1, pair = 2 ops
+        assert_eq!(n.callee_cost, 2.0); // one invocation
+    }
+
+    #[test]
+    fn call_args_and_results_do_not_cross() {
+        let mut b = FunctionBuilder::new("main");
+        let a = b.new_vreg(RegClass::Int);
+        let r = b.new_vreg(RegClass::Int);
+        b.iconst(a, 1);
+        b.call(Callee::External("g"), vec![a], Some(r));
+        b.ret(Some(r));
+        let (ctx, ..) = ctx_for(b.finish());
+        assert!(
+            ctx.nodes.iter().all(|n| !n.crosses_calls()),
+            "arg dies at the call; result is born at it"
+        );
+    }
+
+    #[test]
+    fn different_banks_never_interfere() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let f1 = b.new_vreg(RegClass::Float);
+        let f2 = b.new_vreg(RegClass::Float);
+        b.iconst(x, 1);
+        b.fconst(f1, 1.0);
+        b.binary(BinOp::FAdd, f2, f1, f1);
+        b.binary(BinOp::Add, x, x, x);
+        b.binary(BinOp::FAdd, f2, f2, f1);
+        b.ret(Some(x));
+        let (ctx, ..) = ctx_for(b.finish());
+        for a in 0..ctx.nodes.len() as u32 {
+            for &bn in ctx.graph.neighbors(a) {
+                assert_eq!(
+                    ctx.nodes[a as usize].class, ctx.nodes[bn as usize].class,
+                    "cross-bank interference edge"
+                );
+            }
+        }
+        let ints = ctx.bank_nodes(RegClass::Int);
+        let floats = ctx.bank_nodes(RegClass::Float);
+        assert!(!ints.is_empty() && !floats.is_empty());
+    }
+
+    #[test]
+    fn spill_cost_is_frequency_weighted() {
+        // A value referenced inside a loop has a higher spill cost than one
+        // referenced once outside.
+        let mut b = FunctionBuilder::new("main");
+        let hot = b.new_vreg(RegClass::Int);
+        let cold = b.new_vreg(RegClass::Int);
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(hot, 3);
+        b.iconst(cold, 4);
+        b.iconst(i, 0);
+        b.iconst(n, 50);
+        b.iconst(one, 1);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(ccra_ir::CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.binary(BinOp::Add, i, i, hot); // hot used 50x
+        b.jump(head);
+        b.switch_to(exit);
+        b.binary(BinOp::Add, i, i, cold); // cold used once
+        b.ret(Some(i));
+        let (ctx, ..) = ctx_for(b.finish());
+        let hot_cost = ctx
+            .nodes
+            .iter()
+            .map(|n| n.spill_cost)
+            .fold(0.0f64, f64::max);
+        assert!(hot_cost >= 51.0, "hot value: def(1) + 50 uses, got {hot_cost}");
+    }
+}

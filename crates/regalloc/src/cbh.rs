@@ -1,0 +1,272 @@
+//! The CBH (Chaitin/Briggs-Hierarchical) call-cost model of Section 10.
+//!
+//! CBH extends Chaitin-style coloring with an *explicit* encoding of the
+//! calling convention:
+//!
+//! * live ranges that cross calls interfere with **all caller-save
+//!   registers** — only callee-save registers (or memory) can hold them;
+//! * each callee-save register is represented by a **callee-save-register
+//!   live range** spanning the whole function, whose spill cost is the
+//!   entry/exit save/restore cost. Spilling it "frees" the register for
+//!   ordinary live ranges at that price.
+
+use std::collections::{HashMap, HashSet};
+
+use ccra_ir::RegClass;
+use ccra_machine::{PhysReg, RegisterFile, SaveKind};
+
+use crate::build::FuncContext;
+use crate::chaitin::BankResult;
+
+/// Runs CBH coloring on one register bank.
+pub fn allocate_bank_cbh(
+    ctx: &FuncContext,
+    class: RegClass,
+    file: &RegisterFile,
+) -> BankResult {
+    let bank = ctx.bank_nodes(class);
+    let n_caller = file.count(class, SaveKind::CallerSave);
+    let n_callee = file.count(class, SaveKind::CalleeSave);
+    if n_caller + n_callee == 0 {
+        return BankResult { colors: HashMap::new(), spilled: bank };
+    }
+
+    // The save/restore cost of one callee-save-register live range.
+    let callee_range_cost = ctx.entry_freq * 2.0;
+
+    let mut alive: HashSet<u32> = bank.iter().copied().collect();
+    let mut degree: HashMap<u32, usize> = bank
+        .iter()
+        .map(|&n| (n, ctx.graph.neighbors(n).iter().filter(|m| alive.contains(m)).count()))
+        .collect();
+    // Callee-save-register live ranges still alive (index < n_callee).
+    let mut synthetic_alive: HashSet<u8> = (0..n_callee as u8).collect();
+    // Callee-save registers freed by spilling their synthetic live range.
+    let mut freed: Vec<PhysReg> = Vec::new();
+
+    let allowed_count = |crossing: bool, freed: usize| -> usize {
+        if crossing {
+            freed
+        } else {
+            n_caller + freed
+        }
+    };
+
+    let mut stack: Vec<u32> = Vec::new();
+    let mut spilled: Vec<u32> = Vec::new();
+
+    while !alive.is_empty() {
+        // Unconstrained ordinary node: its ordinary degree is below the
+        // number of registers it could currently legally use.
+        let mut pick: Option<u32> = None;
+        {
+            let mut ids: Vec<u32> = alive.iter().copied().collect();
+            ids.sort_unstable();
+            for n in ids {
+                let crossing = ctx.nodes[n as usize].crosses_calls();
+                if degree[&n] < allowed_count(crossing, freed.len()) {
+                    pick = Some(n);
+                    break;
+                }
+            }
+        }
+        if let Some(n) = pick {
+            alive.remove(&n);
+            for &m in ctx.graph.neighbors(n) {
+                if alive.contains(&m) {
+                    *degree.get_mut(&m).unwrap() -= 1;
+                }
+            }
+            stack.push(n);
+            continue;
+        }
+
+        // Blocked: choose the least-spill-cost live range among the
+        // remaining ordinary *and* callee-save-register live ranges
+        // (Section 10: "one live range with the least spill cost is
+        // chosen ... including the callee-save-register live ranges").
+        let ordinary_victim = alive.iter().copied().min_by(|&a, &b| {
+            ctx.nodes[a as usize]
+                .spill_cost
+                .partial_cmp(&ctx.nodes[b as usize].spill_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let synthetic_victim = synthetic_alive.iter().copied().min();
+
+        let spill_synthetic = match (ordinary_victim, synthetic_victim) {
+            (Some(o), Some(_)) => callee_range_cost <= ctx.nodes[o as usize].spill_cost,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => unreachable!("alive is non-empty"),
+        };
+
+        if spill_synthetic {
+            let s = synthetic_victim.unwrap();
+            synthetic_alive.remove(&s);
+            freed.push(PhysReg::new(class, SaveKind::CalleeSave, s));
+        } else {
+            let v = ordinary_victim.unwrap();
+            alive.remove(&v);
+            for &m in ctx.graph.neighbors(v) {
+                if alive.contains(&m) {
+                    *degree.get_mut(&m).unwrap() -= 1;
+                }
+            }
+            spilled.push(v);
+        }
+    }
+
+    // Color assignment: callee-save registers are usable only if freed;
+    // call-crossing nodes may not use caller-save registers at all.
+    let mut colors: HashMap<u32, PhysReg> = HashMap::new();
+    for &n in stack.iter().rev() {
+        let node = &ctx.nodes[n as usize];
+        let taken: HashSet<PhysReg> =
+            ctx.graph.neighbors(n).iter().filter_map(|m| colors.get(m).copied()).collect();
+        let crossing = node.crosses_calls();
+        let callee_free = freed.iter().copied().find(|r| !taken.contains(r));
+        let caller_free = if crossing {
+            None
+        } else {
+            file.regs_of(class, SaveKind::CallerSave).find(|r| !taken.contains(r))
+        };
+        // Non-crossing live ranges prefer caller-save registers; crossing
+        // ones have no choice.
+        let reg = if crossing { callee_free } else { caller_free.or(callee_free) };
+        match reg {
+            Some(r) => {
+                colors.insert(n, r);
+            }
+            None => spilled.push(n),
+        }
+    }
+
+    BankResult { colors, spilled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_context;
+    use ccra_analysis::FrequencyInfo;
+    use ccra_ir::{BinOp, Callee, CmpOp, FunctionBuilder, Program};
+    use ccra_machine::CostModel;
+
+    fn ctx_for(f: ccra_ir::Function) -> FuncContext {
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        build_context(p.function(id), freq.func(id), &CostModel::paper())
+    }
+
+    /// `k` hot values live across a call inside a loop.
+    fn crossing_pressure(k: usize, trips: i64) -> ccra_ir::Function {
+        let mut b = FunctionBuilder::new("main");
+        let vs: Vec<_> = (0..k).map(|_| b.new_vreg(RegClass::Int)).collect();
+        for (j, &v) in vs.iter().enumerate() {
+            b.iconst(v, j as i64 + 1);
+        }
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        let acc = b.new_vreg(RegClass::Int);
+        b.iconst(i, 0);
+        b.iconst(n, trips);
+        b.iconst(one, 1);
+        b.iconst(acc, 0);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.call(Callee::External("g"), vec![], None);
+        for &v in &vs {
+            b.binary(BinOp::Add, acc, acc, v);
+        }
+        b.binary(BinOp::Add, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        b.finish()
+    }
+
+    #[test]
+    fn crossing_ranges_never_get_caller_save() {
+        let ctx = ctx_for(crossing_pressure(3, 40));
+        let file = RegisterFile::new(10, 4, 5, 0);
+        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file);
+        for (&n, &reg) in &res.colors {
+            if ctx.nodes[n as usize].crosses_calls() {
+                assert_eq!(
+                    reg.kind,
+                    SaveKind::CalleeSave,
+                    "CBH put crossing node {n} in caller-save {reg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scarce_callee_saves_force_spills() {
+        // 6 hot crossing values but only 2 callee-save registers: CBH must
+        // spill crossing values even though caller-save registers sit idle.
+        let ctx = ctx_for(crossing_pressure(6, 40));
+        let file = RegisterFile::new(10, 4, 2, 0);
+        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file);
+        let spilled_crossing = res
+            .spilled
+            .iter()
+            .filter(|&&n| ctx.nodes[n as usize].crosses_calls())
+            .count();
+        assert!(
+            spilled_crossing >= 4,
+            "with 2 callee-save registers, ≥4 of 6 crossing values spill \
+             (got {spilled_crossing})"
+        );
+    }
+
+    #[test]
+    fn coloring_is_conflict_free() {
+        let ctx = ctx_for(crossing_pressure(4, 10));
+        let file = RegisterFile::new(8, 4, 3, 0);
+        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file);
+        for (&a, &ra) in &res.colors {
+            for (&b, &rb) in &res.colors {
+                if a != b && ctx.graph.interferes(a, b) {
+                    assert_ne!(ra, rb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn callee_register_freed_only_when_worth_it() {
+        // A single cold crossing value in a function entered once: the
+        // callee-save-register live range costs 2 ops, the value's spill
+        // cost is 2 ops — CBH spills whichever is cheaper, but must not
+        // free more callee registers than needed.
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        let r = b.new_vreg(RegClass::Int);
+        b.call(Callee::External("g"), vec![], Some(r));
+        b.binary(BinOp::Add, r, r, x);
+        b.ret(Some(r));
+        let ctx = ctx_for(b.finish());
+        let file = RegisterFile::new(6, 4, 4, 0);
+        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file);
+        let callee_used: HashSet<PhysReg> = res
+            .colors
+            .values()
+            .copied()
+            .filter(|r| r.kind == SaveKind::CalleeSave)
+            .collect();
+        assert!(callee_used.len() <= 1, "at most one callee register is needed");
+    }
+}

@@ -1,0 +1,130 @@
+//! The interference graph.
+
+use ccra_analysis::BitSet;
+
+/// An undirected interference graph over dense node indices.
+///
+/// Construction is two-phase: add all edges, then query adjacency lists and
+/// degrees. Membership queries use a triangular bit matrix, so duplicate
+/// `add_edge` calls are cheap and idempotent.
+#[derive(Debug, Clone)]
+pub struct InterferenceGraph {
+    n: usize,
+    adj: Vec<Vec<u32>>,
+    matrix: BitSet,
+}
+
+impl InterferenceGraph {
+    /// Creates an edgeless graph over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        InterferenceGraph { n, adj: vec![Vec::new(); n], matrix: BitSet::new(n * (n + 1) / 2) }
+    }
+
+    fn tri_index(&self, a: usize, b: usize) -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        hi * (hi + 1) / 2 + lo
+    }
+
+    /// The number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds an (undirected) interference edge between `a` and `b`.
+    /// Self-loops and duplicates are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        let (a, b) = (a as usize, b as usize);
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range {}", self.n);
+        if a == b {
+            return;
+        }
+        let idx = self.tri_index(a, b);
+        if self.matrix.insert(idx) {
+            self.adj[a].push(b as u32);
+            self.adj[b].push(a as u32);
+        }
+    }
+
+    /// Whether `a` and `b` interfere.
+    pub fn interferes(&self, a: u32, b: u32) -> bool {
+        let (a, b) = (a as usize, b as usize);
+        if a == b || a >= self.n || b >= self.n {
+            return false;
+        }
+        self.matrix.contains(self.tri_index(a, b))
+    }
+
+    /// The neighbors of `a`.
+    pub fn neighbors(&self, a: u32) -> &[u32] {
+        &self.adj[a as usize]
+    }
+
+    /// The full degree of `a` (not adjusted for removed nodes).
+    pub fn degree(&self, a: u32) -> usize {
+        self.adj[a as usize].len()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_symmetric_and_deduped() {
+        let mut g = InterferenceGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        assert!(g.interferes(0, 1));
+        assert!(g.interferes(1, 0));
+        assert!(!g.interferes(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = InterferenceGraph::new(2);
+        g.add_edge(1, 1);
+        assert_eq!(g.degree(1), 0);
+        assert!(!g.interferes(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = InterferenceGraph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn clique() {
+        let n = 10u32;
+        let mut g = InterferenceGraph::new(n as usize);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b);
+            }
+        }
+        assert_eq!(g.num_edges(), 45);
+        for a in 0..n {
+            assert_eq!(g.degree(a), 9);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Call-cost directed register allocation — the primary contribution of
+//! Lueh & Gross, *Call-Cost Directed Register Allocation* (PLDI 1997).
+//!
+//! The crate implements the paper's register-allocation framework
+//! (Figure 1) and five allocators on top of it:
+//!
+//! * **base Chaitin-style** coloring with the simple call-cost model of
+//!   Section 3.1 ([`AllocatorConfig::base`]);
+//! * **improved Chaitin-style** coloring with the paper's three
+//!   enhancements ([`AllocatorConfig::improved`]): storage-class analysis
+//!   (Section 4), benefit-driven simplification (Section 5), and preference
+//!   decision (Section 6) — each independently toggleable
+//!   ([`AllocatorConfig::with_improvements`]);
+//! * **optimistic (Briggs)** coloring ([`AllocatorConfig::optimistic`]),
+//!   also composable with the improvements (Section 8);
+//! * **priority-based (Chow)** coloring without splitting, with the three
+//!   color orderings of Section 9.1 ([`AllocatorConfig::priority`]);
+//! * the **CBH** model of Section 10 ([`AllocatorConfig::cbh`]).
+//!
+//! Every allocator runs through the same pipeline: graph construction and
+//! aggressive coalescing ([`build_context`]), color ordering and assignment,
+//! iterated spill-code insertion and graph reconstruction, and finally
+//! shuffle-/save-restore-code insertion. The cost of the result is an
+//! [`Overhead`]: weighted spill, caller-save, callee-save, and shuffle
+//! operations (Section 3) — both computable analytically
+//! ([`weighted_overhead`]) and measurable by executing the rewritten
+//! program ([`measured_overhead`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ccra_ir::{FunctionBuilder, Program, RegClass, BinOp, Callee};
+//! use ccra_analysis::FrequencyInfo;
+//! use ccra_machine::RegisterFile;
+//! use ccra_regalloc::{allocate_program, AllocatorConfig};
+//!
+//! // x is live across a call; the allocators decide whether it belongs in
+//! // a caller-save register, a callee-save register, or memory.
+//! let mut b = FunctionBuilder::new("main");
+//! let x = b.new_vreg(RegClass::Int);
+//! b.iconst(x, 1);
+//! let r = b.new_vreg(RegClass::Int);
+//! b.call(Callee::External("g"), vec![], Some(r));
+//! b.binary(BinOp::Add, r, r, x);
+//! b.ret(Some(r));
+//! let mut program = Program::new();
+//! let id = program.add_function(b.finish());
+//! program.set_main(id);
+//!
+//! let freq = FrequencyInfo::profile(&program)?;
+//! let out = allocate_program(&program, &freq, RegisterFile::new(8, 4, 2, 2),
+//!                            &AllocatorConfig::improved());
+//! assert!(out.overhead.total() >= 0.0);
+//! # Ok::<(), ccra_analysis::InterpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accounting;
+mod build;
+mod cbh;
+mod chaitin;
+mod graph;
+mod node;
+mod pipeline;
+mod priority;
+mod reconstruct;
+mod rewrite;
+mod spill;
+mod types;
+
+pub use accounting::{measured_overhead, weighted_overhead};
+pub use build::{build_context, FuncContext};
+pub use cbh::allocate_bank_cbh;
+pub use chaitin::{allocate_bank_chaitin, preference_decision, BankResult};
+pub use graph::InterferenceGraph;
+pub use node::{CallSite, NodeInfo, SPILL_TEMP_COST};
+pub use pipeline::{
+    allocate_function, allocate_program, allocate_program_with, count_kinds, FuncAllocation,
+    ProgramAllocation, RangeSummary,
+};
+pub use priority::allocate_bank_priority;
+pub use reconstruct::reconstruct_context;
+pub use rewrite::{insert_overhead_markers, FinalAssignment};
+pub use spill::{insert_spill_code, insert_spill_code_traced, SpillRewrite, TempRef};
+pub use types::{
+    AllocatorConfig, AllocatorKind, BsKey, CalleeCostModel, Loc, Overhead, PriorityOrdering,
+};

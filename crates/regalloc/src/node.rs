@@ -1,0 +1,163 @@
+//! Allocation nodes: coalesced live ranges with their cost attributes.
+
+use ccra_analysis::WebId;
+use ccra_ir::{BlockId, RegClass, VReg};
+
+/// The effectively-infinite spill cost given to spill temporaries, so the
+/// iterated allocator never re-spills the code it just inserted.
+pub const SPILL_TEMP_COST: f64 = 1e18;
+
+/// A call site within one function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallSite {
+    /// The block containing the call.
+    pub bb: BlockId,
+    /// The instruction index within the block.
+    pub idx: u32,
+    /// The weighted execution frequency of the call.
+    pub freq: f64,
+}
+
+/// One allocation node: a set of coalesced webs plus the cost attributes the
+/// paper's benefit functions are built from.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// The register bank this node competes in.
+    pub class: RegClass,
+    /// Weighted reference count — the load/store operations spilling this
+    /// node would execute ([`SPILL_TEMP_COST`] for spill temporaries).
+    pub spill_cost: f64,
+    /// Weighted caller-save cost: save/restore pairs around every call this
+    /// node spans.
+    pub caller_cost: f64,
+    /// Weighted callee-save cost: one save/restore pair per invocation of
+    /// the containing function.
+    pub callee_cost: f64,
+    /// Number of basic blocks the node spans (the denominator of the
+    /// priority function of priority-based coloring).
+    pub size: u32,
+    /// Indices into the function's call-site list of the calls this node is
+    /// live across.
+    pub calls_crossed: Vec<u32>,
+    /// The webs merged into this node.
+    pub webs: Vec<WebId>,
+    /// Whether any member web is a spill temporary.
+    pub is_spill_temp: bool,
+    /// Defining instructions `(block, index, written vreg)`, for spill-code
+    /// insertion.
+    pub defs: Vec<(BlockId, u32, VReg)>,
+    /// Using instructions `(block, index, read vreg)`; the terminator uses
+    /// index `insts.len()`.
+    pub uses: Vec<(BlockId, u32, VReg)>,
+    /// Parameters among this node's webs (defined on function entry).
+    pub param_vregs: Vec<VReg>,
+}
+
+impl NodeInfo {
+    /// `benefit_caller(lr)`: loads/stores saved by a caller-save register
+    /// over memory residence (Section 4).
+    pub fn benefit_caller(&self) -> f64 {
+        self.spill_cost - self.caller_cost
+    }
+
+    /// `benefit_callee(lr)`: loads/stores saved by a callee-save register
+    /// over memory residence (Section 4).
+    pub fn benefit_callee(&self) -> f64 {
+        self.spill_cost - self.callee_cost
+    }
+
+    /// Whether the node is live across at least one call.
+    pub fn crosses_calls(&self) -> bool {
+        !self.calls_crossed.is_empty()
+    }
+
+    /// The priority function of priority-based coloring:
+    /// `max(benefit_caller, benefit_callee) / size` (Section 9.1).
+    pub fn priority(&self) -> f64 {
+        self.benefit_caller().max(self.benefit_callee()) / f64::from(self.size.max(1))
+    }
+
+    /// The Chaitin spill heuristic: `spill_cost / degree` (lower = spilled
+    /// first).
+    pub fn spill_metric(&self, degree: usize) -> f64 {
+        self.spill_cost / (degree.max(1) as f64)
+    }
+
+    /// The benefit-driven-simplification key (Section 5). Smaller keys are
+    /// simplified (removed) earlier and therefore colored later.
+    pub fn bs_key(&self, key: crate::BsKey) -> f64 {
+        let (bc, be) = (self.benefit_caller(), self.benefit_callee());
+        match key {
+            crate::BsKey::MaxBenefit => bc.max(be),
+            crate::BsKey::BenefitDelta => {
+                if bc >= 0.0 && be > 0.0 {
+                    (bc - be).abs()
+                } else {
+                    bc.max(be)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BsKey;
+
+    fn node(spill: f64, caller: f64, callee: f64) -> NodeInfo {
+        NodeInfo {
+            class: RegClass::Int,
+            spill_cost: spill,
+            caller_cost: caller,
+            callee_cost: callee,
+            size: 2,
+            calls_crossed: if caller > 0.0 { vec![0] } else { vec![] },
+            webs: vec![],
+            is_spill_temp: false,
+            defs: vec![],
+            uses: vec![],
+            param_vregs: vec![],
+        }
+    }
+
+    #[test]
+    fn benefits() {
+        let n = node(4000.0, 1000.0, 500.0);
+        assert_eq!(n.benefit_caller(), 3000.0);
+        assert_eq!(n.benefit_callee(), 3500.0);
+        assert!(n.crosses_calls());
+        assert_eq!(n.priority(), 1750.0);
+    }
+
+    #[test]
+    fn bs_key_strategies_match_figure_4() {
+        // Figure 4 of the paper: lr_x/lr_y have (bc, be) = (1800, 2000),
+        // lr_z has (500, 1500). Key 1 ranks x,y above z; key 2 ranks z on
+        // top because its wrong-kind penalty is larger.
+        let xy = node(3000.0, 1200.0, 1000.0); // bc=1800, be=2000
+        let z = node(2000.0, 1500.0, 500.0); // bc=500, be=1500
+        assert_eq!(xy.bs_key(BsKey::MaxBenefit), 2000.0);
+        assert_eq!(z.bs_key(BsKey::MaxBenefit), 1500.0);
+        assert_eq!(xy.bs_key(BsKey::BenefitDelta), 200.0);
+        assert_eq!(z.bs_key(BsKey::BenefitDelta), 1000.0);
+        // With key 2, z has the larger key -> removed later -> colored
+        // earlier, matching the paper's better allocation.
+        assert!(z.bs_key(BsKey::BenefitDelta) > xy.bs_key(BsKey::BenefitDelta));
+    }
+
+    #[test]
+    fn bs_key_falls_back_when_benefit_negative() {
+        let n = node(100.0, 500.0, 50.0); // bc=-400, be=50
+        assert_eq!(n.bs_key(BsKey::BenefitDelta), 50.0);
+        let m = node(100.0, 500.0, 600.0); // bc=-400, be=-500
+        assert_eq!(m.bs_key(BsKey::BenefitDelta), -400.0);
+    }
+
+    #[test]
+    fn spill_metric_prefers_cheap_high_degree() {
+        let n = node(1000.0, 0.0, 0.0);
+        assert!(n.spill_metric(10) < n.spill_metric(2));
+        assert_eq!(n.spill_metric(0), 1000.0); // degree clamped to 1
+    }
+}

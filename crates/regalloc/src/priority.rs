@@ -1,0 +1,325 @@
+//! Priority-based coloring (Chow & Hennessy) without live-range splitting,
+//! as compared against in Section 9 of the paper.
+
+use std::collections::{HashMap, HashSet};
+
+use ccra_ir::RegClass;
+use ccra_machine::{PhysReg, RegisterFile, SaveKind};
+
+use crate::build::FuncContext;
+use crate::chaitin::BankResult;
+use crate::types::PriorityOrdering;
+
+/// Sorts node ids ascending by priority (ties broken by id for
+/// determinism). Pushed in this order, the highest-priority node ends on
+/// top of the color stack and is colored first.
+fn sort_by_priority(ctx: &FuncContext, nodes: &mut [u32]) {
+    nodes.sort_by(|&a, &b| {
+        ctx.nodes[a as usize]
+            .priority()
+            .partial_cmp(&ctx.nodes[b as usize].priority())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.cmp(&a))
+    });
+}
+
+/// Runs priority-based coloring on one register bank.
+///
+/// The priority function is `max(benefit_caller, benefit_callee) / size`
+/// (Section 9.1). The three color orderings differ in how unconstrained
+/// live ranges are stacked; in every case constrained live ranges are
+/// colored from highest to lowest priority and spilled (not split) when no
+/// legal color remains.
+pub fn allocate_bank_priority(
+    ctx: &FuncContext,
+    class: RegClass,
+    file: &RegisterFile,
+    ordering: PriorityOrdering,
+) -> BankResult {
+    let bank = ctx.bank_nodes(class);
+    let n_colors = file.bank_size(class);
+    if n_colors == 0 {
+        return BankResult { colors: HashMap::new(), spilled: bank };
+    }
+
+    // Build the color stack bottom-to-top.
+    let mut stack: Vec<u32> = Vec::with_capacity(bank.len());
+    match ordering {
+        PriorityOrdering::Sorting => {
+            let mut all = bank.clone();
+            sort_by_priority(ctx, &mut all);
+            stack = all;
+        }
+        PriorityOrdering::RemovingUnconstrained | PriorityOrdering::SortingUnconstrained => {
+            // Iteratively remove unconstrained nodes (they are pushed first,
+            // i.e. colored last — they can always find *some* register).
+            let mut alive: HashSet<u32> = bank.iter().copied().collect();
+            let mut degree: HashMap<u32, usize> = bank
+                .iter()
+                .map(|&n| {
+                    (n, ctx.graph.neighbors(n).iter().filter(|m| alive.contains(m)).count())
+                })
+                .collect();
+            loop {
+                let mut unconstrained: Vec<u32> =
+                    alive.iter().copied().filter(|n| degree[n] < n_colors).collect();
+                if unconstrained.is_empty() {
+                    break;
+                }
+                match ordering {
+                    PriorityOrdering::RemovingUnconstrained => unconstrained.sort_unstable(),
+                    PriorityOrdering::SortingUnconstrained => {
+                        sort_by_priority(ctx, &mut unconstrained)
+                    }
+                    PriorityOrdering::Sorting => unreachable!(),
+                }
+                let n = unconstrained[0];
+                alive.remove(&n);
+                for &m in ctx.graph.neighbors(n) {
+                    if alive.contains(&m) {
+                        *degree.get_mut(&m).unwrap() -= 1;
+                    }
+                }
+                stack.push(n);
+            }
+            // Remaining constrained nodes: least priority first (highest on
+            // top of the stack, colored first).
+            let mut constrained: Vec<u32> = alive.into_iter().collect();
+            sort_by_priority(ctx, &mut constrained);
+            stack.extend(constrained);
+        }
+    }
+
+    // Color assignment: highest priority first; spill on failure.
+    let mut colors: HashMap<u32, PhysReg> = HashMap::new();
+    let mut spilled: Vec<u32> = Vec::new();
+    let mut callee_used: HashSet<PhysReg> = HashSet::new();
+
+    for &n in stack.iter().rev() {
+        let node = &ctx.nodes[n as usize];
+        // A live range whose best benefit is negative is cheaper in memory
+        // than in any kind of register.
+        if node.priority() < 0.0 && !node.is_spill_temp {
+            spilled.push(n);
+            continue;
+        }
+        let taken: HashSet<PhysReg> =
+            ctx.graph.neighbors(n).iter().filter_map(|m| colors.get(m).copied()).collect();
+        let free_of =
+            |kind: SaveKind| -> Option<PhysReg> { file.regs_of(class, kind).find(|r| !taken.contains(r)) };
+        let prefer_callee = node.benefit_callee() > node.benefit_caller();
+        let (first, second) = if prefer_callee {
+            (SaveKind::CalleeSave, SaveKind::CallerSave)
+        } else {
+            (SaveKind::CallerSave, SaveKind::CalleeSave)
+        };
+        let Some(reg) = free_of(first).or_else(|| free_of(second)) else {
+            spilled.push(n);
+            continue;
+        };
+        // Chow's callee-save handling: the first user of a callee-save
+        // register pays the save/restore cost — if that cost exceeds the
+        // live range's spill cost, spilling is preferable.
+        if reg.kind == SaveKind::CalleeSave
+            && !callee_used.contains(&reg)
+            && node.benefit_callee() < 0.0
+            && !node.is_spill_temp
+        {
+            spilled.push(n);
+            continue;
+        }
+        if reg.kind == SaveKind::CalleeSave {
+            callee_used.insert(reg);
+        }
+        colors.insert(n, reg);
+    }
+
+    BankResult { colors, spilled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_context;
+    use ccra_analysis::FrequencyInfo;
+    use ccra_ir::{BinOp, CmpOp, FunctionBuilder, Program};
+    use ccra_machine::CostModel;
+
+    fn ctx_for(f: ccra_ir::Function) -> FuncContext {
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        build_context(p.function(id), freq.func(id), &CostModel::paper())
+    }
+
+    /// k values live at once, with value j referenced `w[j]` times inside a
+    /// loop so priorities differ.
+    fn weighted_pressure(weights: &[i64]) -> ccra_ir::Function {
+        let mut b = FunctionBuilder::new("main");
+        let vs: Vec<_> = weights.iter().map(|_| b.new_vreg(RegClass::Int)).collect();
+        for (i, &v) in vs.iter().enumerate() {
+            b.iconst(v, i as i64 + 1);
+        }
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        let acc = b.new_vreg(RegClass::Int);
+        b.iconst(i, 0);
+        b.iconst(n, 20);
+        b.iconst(one, 1);
+        b.iconst(acc, 0);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        for (j, &v) in vs.iter().enumerate() {
+            for _ in 0..weights[j] {
+                b.binary(BinOp::Add, acc, acc, v);
+            }
+        }
+        b.binary(BinOp::Add, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        let mut total = acc;
+        for &v in &vs {
+            let t = b.new_vreg(RegClass::Int);
+            b.binary(BinOp::Add, t, total, v);
+            total = t;
+        }
+        b.ret(Some(total));
+        b.finish()
+    }
+
+    #[test]
+    fn all_orderings_produce_legal_colorings() {
+        let ctx = ctx_for(weighted_pressure(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        let file = RegisterFile::new(6, 4, 1, 0);
+        for ordering in [
+            PriorityOrdering::RemovingUnconstrained,
+            PriorityOrdering::SortingUnconstrained,
+            PriorityOrdering::Sorting,
+        ] {
+            let res = allocate_bank_priority(&ctx, RegClass::Int, &file, ordering);
+            for (&a, &ra) in &res.colors {
+                for (&b, &rb) in &res.colors {
+                    if a != b && ctx.graph.interferes(a, b) {
+                        assert_ne!(ra, rb, "{ordering:?} produced a conflict");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_priority_ranges_survive_spilling() {
+        // More live values than registers: priority-based coloring must
+        // keep the hottest values in registers and spill the coldest.
+        let ctx = ctx_for(weighted_pressure(&[1, 1, 1, 1, 1, 1, 1, 10, 10, 10]));
+        let file = RegisterFile::new(6, 4, 0, 0);
+        let res =
+            allocate_bank_priority(&ctx, RegClass::Int, &file, PriorityOrdering::Sorting);
+        assert!(!res.spilled.is_empty());
+        let hottest = ctx
+            .bank_nodes(RegClass::Int)
+            .into_iter()
+            .max_by(|&a, &b| {
+                ctx.nodes[a as usize]
+                    .priority()
+                    .partial_cmp(&ctx.nodes[b as usize].priority())
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            res.colors.contains_key(&hottest),
+            "the highest-priority node must receive a register"
+        );
+        for &s in &res.spilled {
+            assert!(
+                ctx.nodes[s as usize].priority() <= ctx.nodes[hottest as usize].priority()
+            );
+        }
+    }
+
+    #[test]
+    fn negative_priority_nodes_are_spilled() {
+        // A value in a frequently-invoked function, defined at entry, live
+        // across a call, but *used* only on a rare path: its spill cost
+        // falls below both the caller-save cost (it crosses a call every
+        // invocation) and the callee-save cost (paid every invocation), so
+        // its priority is negative and priority-based coloring spills it.
+        let mut p = Program::new();
+        let mut g = FunctionBuilder::new("g");
+        let par = g.new_vreg(RegClass::Int);
+        g.set_params(vec![par]);
+        let x = g.new_vreg(RegClass::Int);
+        g.binary(BinOp::Add, x, par, par); // def of x, every invocation
+        g.call(ccra_ir::Callee::External("ext"), vec![], None); // x crosses
+        let seven = g.new_vreg(RegClass::Int);
+        g.iconst(seven, 7);
+        let m = g.new_vreg(RegClass::Int);
+        g.binary(BinOp::Rem, m, par, seven);
+        let c = g.new_vreg(RegClass::Int);
+        g.cmp(CmpOp::Eq, c, m, seven); // true never (par % 7 != 7)
+        let rare = g.reserve_block();
+        let common = g.reserve_block();
+        let join = g.reserve_block();
+        g.branch(c, rare, common);
+        g.switch_to(rare);
+        let r1 = g.new_vreg(RegClass::Int);
+        g.binary(BinOp::Add, r1, x, par); // the only use of x: never runs
+        g.jump(join);
+        g.switch_to(common);
+        g.jump(join);
+        g.switch_to(join);
+        g.ret(Some(par));
+        let g_id = p.add_function(g.finish());
+
+        let mut b = FunctionBuilder::new("main");
+        let i = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(i, 0);
+        b.iconst(n, 30);
+        b.iconst(one, 1);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.call(ccra_ir::Callee::Internal(g_id), vec![i], None);
+        b.binary(BinOp::Add, i, i, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let main_id = p.add_function(b.finish());
+        p.set_main(main_id);
+
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let ctx = build_context(p.function(g_id), freq.func(g_id), &CostModel::paper());
+        // x is defined by the first instruction of g's entry block.
+        let x_node = ctx
+            .def_node(p.function(g_id).entry(), 0, x)
+            .expect("x has a node");
+        assert!(ctx.nodes[x_node as usize].crosses_calls());
+        assert!(
+            ctx.nodes[x_node as usize].priority() < 0.0,
+            "x: spill={} caller={} callee={}",
+            ctx.nodes[x_node as usize].spill_cost,
+            ctx.nodes[x_node as usize].caller_cost,
+            ctx.nodes[x_node as usize].callee_cost
+        );
+        let file = RegisterFile::new(8, 4, 4, 0);
+        let res = allocate_bank_priority(&ctx, RegClass::Int, &file, PriorityOrdering::Sorting);
+        assert!(res.spilled.contains(&x_node));
+    }
+}

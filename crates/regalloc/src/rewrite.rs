@@ -1,0 +1,197 @@
+//! Shuffle- and save/restore-code insertion (the last phase of Figure 1).
+//!
+//! After the final coloring round (no remaining spills), this pass makes
+//! every remaining overhead event explicit in the instruction stream:
+//!
+//! * an [`ccra_ir::Inst::Overhead`] marker with kind `CallerSave` before
+//!   every call, counting two operations (save + restore) per caller-save
+//!   register live across it;
+//! * `CalleeSave` markers at function entry and before every return,
+//!   counting one operation per callee-save register used;
+//! * a `Shuffle` marker before every remaining copy whose source and
+//!   destination ended up in different registers.
+//!
+//! Running the rewritten function in the interpreter then *measures* the
+//! register-allocation overhead the cost functions estimated.
+
+use std::collections::{HashMap, HashSet};
+
+use ccra_ir::{BlockId, Function, Inst, OverheadKind, Terminator};
+use ccra_machine::{PhysReg, SaveKind};
+
+use crate::build::FuncContext;
+
+/// A summary of the final assignment used by the rewriter and accounting.
+#[derive(Debug, Clone)]
+pub struct FinalAssignment {
+    /// node → register (every non-spilled node; the final round has no
+    /// spills).
+    pub colors: HashMap<u32, PhysReg>,
+}
+
+impl FinalAssignment {
+    /// The distinct callee-save registers in use.
+    pub fn callee_regs_used(&self) -> HashSet<PhysReg> {
+        self.colors.values().copied().filter(|r| r.kind == SaveKind::CalleeSave).collect()
+    }
+}
+
+/// Inserts overhead markers into `f` according to the final assignment.
+///
+/// `ctx` must describe the *current* body of `f`. Returns the number of
+/// marker instructions inserted.
+pub fn insert_overhead_markers(
+    f: &mut Function,
+    ctx: &FuncContext,
+    assignment: &FinalAssignment,
+) -> usize {
+    // Caller-save pairs per call site: 2 ops per crossing caller-save node.
+    let mut call_ops: HashMap<(BlockId, u32), u32> = HashMap::new();
+    for (n, node) in ctx.nodes.iter().enumerate() {
+        let Some(reg) = assignment.colors.get(&(n as u32)) else { continue };
+        if reg.kind != SaveKind::CallerSave {
+            continue;
+        }
+        for &s in &node.calls_crossed {
+            let site = ctx.callsites[s as usize];
+            *call_ops.entry((site.bb, site.idx)).or_insert(0) += 2;
+        }
+    }
+
+    let callee_count = assignment.callee_regs_used().len() as u32;
+
+    let mut inserted = 0usize;
+    let blocks: Vec<BlockId> = f.block_ids().collect();
+    for bb in blocks {
+        let old = std::mem::take(&mut f.block_mut(bb).insts);
+        let mut new_insts: Vec<Inst> = Vec::with_capacity(old.len() + 2);
+
+        // Callee-save saves at entry.
+        if bb == f.entry() && callee_count > 0 {
+            new_insts.push(Inst::Overhead { kind: OverheadKind::CalleeSave, ops: callee_count });
+            inserted += 1;
+        }
+
+        for (i, inst) in old.into_iter().enumerate() {
+            // Caller-save save/restore around calls.
+            if let Some(&ops) = call_ops.get(&(bb, i as u32)) {
+                new_insts.push(Inst::Overhead { kind: OverheadKind::CallerSave, ops });
+                inserted += 1;
+            }
+            // Shuffle moves: copies whose ends live in different registers.
+            if let Inst::Copy { dst, src } = inst {
+                let dn = ctx.def_node(bb, i as u32, dst);
+                let sn = ctx.use_node(bb, i as u32, src);
+                if let (Some(dn), Some(sn)) = (dn, sn) {
+                    let (dr, sr) = (assignment.colors.get(&dn), assignment.colors.get(&sn));
+                    if let (Some(dr), Some(sr)) = (dr, sr) {
+                        if dr != sr {
+                            new_insts
+                                .push(Inst::Overhead { kind: OverheadKind::Shuffle, ops: 1 });
+                            inserted += 1;
+                        }
+                    }
+                }
+            }
+            new_insts.push(inst);
+        }
+
+        // Callee-save restores before returns.
+        if callee_count > 0 && matches!(f.block(bb).term, Terminator::Return(_)) {
+            new_insts.push(Inst::Overhead { kind: OverheadKind::CalleeSave, ops: callee_count });
+            inserted += 1;
+        }
+
+        f.block_mut(bb).insts = new_insts;
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_context;
+    use ccra_analysis::FrequencyInfo;
+    use ccra_ir::{BinOp, Callee, FunctionBuilder, Program, RegClass};
+    use ccra_machine::{CostModel, RegisterFile};
+
+    #[test]
+    fn caller_save_marker_before_call() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        let r = b.new_vreg(RegClass::Int);
+        b.call(Callee::External("g"), vec![], Some(r));
+        b.binary(BinOp::Add, r, r, x);
+        b.ret(Some(r));
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let file = RegisterFile::minimum();
+        let res = crate::chaitin::allocate_bank_chaitin(
+            &ctx,
+            RegClass::Int,
+            &file,
+            &crate::AllocatorConfig::base(),
+        );
+        assert!(res.spilled.is_empty());
+        let assignment = FinalAssignment { colors: res.colors };
+        let mut f = p.function(id).clone();
+        let inserted = insert_overhead_markers(&mut f, &ctx, &assignment);
+        // x crosses the call in a caller-save register (no callee regs
+        // exist at the ABI minimum), so exactly one marker appears.
+        assert_eq!(inserted, 1);
+        let entry = f.entry();
+        let call_pos = f
+            .block(entry)
+            .insts
+            .iter()
+            .position(|i| i.is_call())
+            .unwrap();
+        assert!(matches!(
+            f.block(entry).insts[call_pos - 1],
+            Inst::Overhead { kind: OverheadKind::CallerSave, ops: 2 }
+        ));
+    }
+
+    #[test]
+    fn callee_save_markers_at_entry_and_exit() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        let r = b.new_vreg(RegClass::Int);
+        b.call(Callee::External("g"), vec![], Some(r));
+        b.binary(BinOp::Add, r, r, x);
+        b.ret(Some(r));
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        // With callee-save registers available, the base allocator parks
+        // the crossing value in one.
+        let file = RegisterFile::new(6, 4, 2, 2);
+        let res = crate::chaitin::allocate_bank_chaitin(
+            &ctx,
+            RegClass::Int,
+            &file,
+            &crate::AllocatorConfig::base(),
+        );
+        let assignment = FinalAssignment { colors: res.colors };
+        assert_eq!(assignment.callee_regs_used().len(), 1);
+        let mut f = p.function(id).clone();
+        insert_overhead_markers(&mut f, &ctx, &assignment);
+        let entry = f.entry();
+        let insts = &f.block(entry).insts;
+        assert!(matches!(
+            insts[0],
+            Inst::Overhead { kind: OverheadKind::CalleeSave, ops: 1 }
+        ));
+        assert!(matches!(
+            insts[insts.len() - 1],
+            Inst::Overhead { kind: OverheadKind::CalleeSave, ops: 1 }
+        ));
+    }
+}

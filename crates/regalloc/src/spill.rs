@@ -1,0 +1,349 @@
+//! Spill-code insertion (the penultimate phase of Figure 1).
+//!
+//! Each spilled node gets one stack slot (its member webs never overlap, so
+//! they can share it, exactly as they would have shared a register). Every
+//! def is redirected to a fresh spill temporary followed by a
+//! [`ccra_ir::Inst::SpillStore`]; every use is preceded by a
+//! [`ccra_ir::Inst::SpillLoad`] into a fresh temporary. The register
+//! allocator then rebuilds the graph and restarts from coalescing.
+
+use std::collections::HashMap;
+
+use ccra_ir::{BlockId, Function, Inst, SpillSlot, Terminator, VReg};
+
+use crate::build::FuncContext;
+
+/// Replaces every *use* of `from` in `inst` with `to`.
+fn replace_uses(inst: &mut Inst, from: VReg, to: VReg) {
+    let sub = |v: &mut VReg| {
+        if *v == from {
+            *v = to;
+        }
+    };
+    match inst {
+        Inst::IConst { .. }
+        | Inst::FConst { .. }
+        | Inst::Overhead { .. }
+        | Inst::SpillLoad { .. } => {}
+        Inst::Binary { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+            sub(lhs);
+            sub(rhs);
+        }
+        Inst::Unary { src, .. } | Inst::Copy { src, .. } | Inst::SpillStore { src, .. } => {
+            sub(src)
+        }
+        Inst::Load { addr, .. } => sub(addr),
+        Inst::Store { src, addr, .. } => {
+            sub(src);
+            sub(addr);
+        }
+        Inst::Call { args, .. } => args.iter_mut().for_each(sub),
+    }
+}
+
+/// Redirects the *def* of `inst` to `to`.
+///
+/// # Panics
+///
+/// Panics if the instruction defines nothing.
+fn replace_def(inst: &mut Inst, to: VReg) {
+    match inst {
+        Inst::IConst { dst, .. }
+        | Inst::FConst { dst, .. }
+        | Inst::Binary { dst, .. }
+        | Inst::Unary { dst, .. }
+        | Inst::Cmp { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::Copy { dst, .. }
+        | Inst::SpillLoad { dst, .. } => *dst = to,
+        Inst::Call { ret, .. } => {
+            *ret.as_mut().expect("call has no return register to replace") = to;
+        }
+        Inst::Store { .. } | Inst::SpillStore { .. } | Inst::Overhead { .. } => {
+            panic!("instruction has no def to replace")
+        }
+    }
+}
+
+/// A spill temporary created by spill-code insertion, with its location in
+/// the *rewritten* instruction stream — the input to graph reconstruction.
+#[derive(Debug, Clone, Copy)]
+pub struct TempRef {
+    /// The block containing the rewritten reference.
+    pub bb: BlockId,
+    /// The index (in the new stream) of the instruction referencing the
+    /// temporary (the original instruction, not the spill load/store).
+    /// `u32::MAX` marks the terminator.
+    pub idx: u32,
+    /// The temporary register.
+    pub vreg: VReg,
+    /// The node that was spilled (in the pre-rewrite context's node ids).
+    pub parent: u32,
+    /// Whether the temporary receives the instruction's def (else it feeds
+    /// a use).
+    pub is_def: bool,
+}
+
+/// Everything graph reconstruction needs to know about one spill round.
+#[derive(Debug, Clone, Default)]
+pub struct SpillRewrite {
+    /// Spill instructions inserted.
+    pub inserted: usize,
+    /// Per block: new index of each original instruction.
+    pub index_maps: HashMap<BlockId, Vec<u32>>,
+    /// The temporaries created, with their (new) locations.
+    pub temps: Vec<TempRef>,
+}
+
+/// Inserts spill code for every node in `spilled`, rewriting `f` in place.
+///
+/// Returns the number of spill instructions inserted. `ctx` must have been
+/// built from the *current* body of `f` (indices in its node refs address
+/// the pre-rewrite instruction stream). For incremental graph
+/// reconstruction use [`insert_spill_code_traced`].
+pub fn insert_spill_code(f: &mut Function, ctx: &FuncContext, spilled: &[u32]) -> usize {
+    insert_spill_code_traced(f, ctx, spilled).inserted
+}
+
+/// Like [`insert_spill_code`], additionally reporting the index remapping
+/// and the temporaries created, so the interference graph can be updated
+/// incrementally (the *graph reconstruction* phase of Figure 1).
+pub fn insert_spill_code_traced(
+    f: &mut Function,
+    ctx: &FuncContext,
+    spilled: &[u32],
+) -> SpillRewrite {
+    let slots: HashMap<u32, SpillSlot> =
+        spilled.iter().map(|&n| (n, f.new_spill_slot())).collect();
+
+    // Original block lengths: terminator uses carry index == insts.len().
+    let orig_len: HashMap<BlockId, u32> =
+        f.blocks().map(|(bb, b)| (bb, b.insts.len() as u32)).collect();
+
+    type Key = (BlockId, u32);
+    let mut use_plan: HashMap<Key, Vec<(VReg, SpillSlot, u32)>> = HashMap::new();
+    let mut def_plan: HashMap<Key, (VReg, SpillSlot, u32)> = HashMap::new();
+    let mut param_stores: Vec<(VReg, SpillSlot)> = Vec::new();
+
+    for &n in spilled {
+        let node = &ctx.nodes[n as usize];
+        let slot = slots[&n];
+        for &(bb, i, v) in &node.uses {
+            use_plan.entry((bb, i)).or_default().push((v, slot, n));
+        }
+        for &(bb, i, v) in &node.defs {
+            let prev = def_plan.insert((bb, i), (v, slot, n));
+            debug_assert!(prev.is_none(), "two spilled defs at one instruction");
+        }
+        for &p in &node.param_vregs {
+            param_stores.push((p, slot));
+        }
+    }
+
+    let mut rewrite = SpillRewrite::default();
+    let blocks: Vec<BlockId> = f.block_ids().collect();
+    for bb in blocks {
+        let old = std::mem::take(&mut f.block_mut(bb).insts);
+        let mut term = f.block(bb).term.clone();
+        let mut new_insts: Vec<Inst> = Vec::with_capacity(old.len());
+        let mut index_map: Vec<u32> = Vec::with_capacity(old.len());
+
+        // Spilled parameters are stored to their slots on entry.
+        if bb == f.entry() {
+            for &(p, slot) in &param_stores {
+                new_insts.push(Inst::SpillStore { slot, src: p });
+                rewrite.inserted += 1;
+            }
+        }
+
+        for (i, mut inst) in old.into_iter().enumerate() {
+            let key = (bb, i as u32);
+            if let Some(loads) = use_plan.get(&key) {
+                for &(v, slot, parent) in loads {
+                    let t = f.new_spill_temp(f.class_of(v));
+                    new_insts.push(Inst::SpillLoad { dst: t, slot });
+                    rewrite.inserted += 1;
+                    replace_uses(&mut inst, v, t);
+                    rewrite.temps.push(TempRef {
+                        bb,
+                        idx: u32::MAX, // patched below once the index is known
+                        vreg: t,
+                        parent,
+                        is_def: false,
+                    });
+                }
+            }
+            let inst_idx = new_insts.len() as u32;
+            index_map.push(inst_idx);
+            // Patch the pending use temps with the final instruction index.
+            for t in rewrite.temps.iter_mut().rev() {
+                if t.idx == u32::MAX && t.bb == bb && !t.is_def {
+                    t.idx = inst_idx;
+                } else if t.idx != u32::MAX {
+                    break;
+                }
+            }
+            match def_plan.get(&key) {
+                Some(&(v, slot, parent)) => {
+                    let t = f.new_spill_temp(f.class_of(v));
+                    replace_def(&mut inst, t);
+                    new_insts.push(inst);
+                    new_insts.push(Inst::SpillStore { slot, src: t });
+                    rewrite.inserted += 1;
+                    rewrite.temps.push(TempRef {
+                        bb,
+                        idx: inst_idx,
+                        vreg: t,
+                        parent,
+                        is_def: true,
+                    });
+                }
+                None => new_insts.push(inst),
+            }
+        }
+
+        // Terminator use: recorded with index == original insts.len().
+        if let Some(loads) = use_plan.get(&(bb, orig_len[&bb])) {
+            for &(v, slot, parent) in loads {
+                let t = f.new_spill_temp(f.class_of(v));
+                new_insts.push(Inst::SpillLoad { dst: t, slot });
+                rewrite.inserted += 1;
+                rewrite.temps.push(TempRef { bb, idx: u32::MAX, vreg: t, parent, is_def: false });
+                match &mut term {
+                    Terminator::Branch { cond, .. } if *cond == v => *cond = t,
+                    Terminator::Return(Some(r)) if *r == v => *r = t,
+                    _ => {}
+                }
+            }
+        }
+
+        rewrite.index_maps.insert(bb, index_map);
+        let block = f.block_mut(bb);
+        block.insts = new_insts;
+        block.term = term;
+    }
+    rewrite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_context;
+    use ccra_analysis::{FrequencyInfo, InterpConfig, Value};
+    use ccra_ir::{BinOp, FunctionBuilder, Program, RegClass};
+    use ccra_machine::CostModel;
+
+    /// Spilling a node must preserve program semantics exactly.
+    #[test]
+    fn spilling_preserves_semantics() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        let z = b.new_vreg(RegClass::Int);
+        b.iconst(x, 6);
+        b.iconst(y, 7);
+        b.binary(BinOp::Mul, z, x, y);
+        b.binary(BinOp::Add, z, z, x);
+        b.ret(Some(z));
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let before = ccra_analysis::run(&p, &InterpConfig::default()).unwrap();
+        assert_eq!(before.result, Some(Value::Int(48)));
+
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        // Spill every node.
+        let all: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
+        let mut f = p.function(id).clone();
+        let inserted = insert_spill_code(&mut f, &ctx, &all);
+        assert!(inserted > 0);
+        ccra_ir::verify_function(&f).unwrap();
+
+        let mut p2 = Program::new();
+        let id2 = p2.add_function(f);
+        p2.set_main(id2);
+        let after = ccra_analysis::run(&p2, &InterpConfig::default()).unwrap();
+        assert_eq!(after.result, Some(Value::Int(48)));
+        assert_eq!(after.overhead(ccra_ir::OverheadKind::Spill) as usize, inserted);
+    }
+
+    #[test]
+    fn spilled_param_stored_at_entry() {
+        let mut b = FunctionBuilder::new("main");
+        let par = b.new_vreg(RegClass::Int);
+        b.set_params(vec![par]);
+        let r = b.new_vreg(RegClass::Int);
+        b.binary(BinOp::Add, r, par, par);
+        b.ret(Some(r));
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let param_node = (0..ctx.nodes.len() as u32)
+            .find(|&n| !ctx.nodes[n as usize].param_vregs.is_empty())
+            .unwrap();
+        let mut f = p.function(id).clone();
+        insert_spill_code(&mut f, &ctx, &[param_node]);
+        let entry = f.entry();
+        assert!(matches!(f.block(entry).insts[0], Inst::SpillStore { .. }));
+        ccra_ir::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn terminator_use_reloaded() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 9);
+        b.ret(Some(x));
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let mut f = p.function(id).clone();
+        insert_spill_code(&mut f, &ctx, &[0]);
+        // ret operand must now be a spill temp, reloaded just before.
+        let entry = f.entry();
+        let last = f.block(entry).insts.last().unwrap();
+        assert!(matches!(last, Inst::SpillLoad { .. }));
+        if let Terminator::Return(Some(r)) = f.block(entry).term {
+            assert!(f.vreg(r).is_spill_temp);
+        } else {
+            panic!("expected return with value");
+        }
+        let mut p2 = Program::new();
+        let id2 = p2.add_function(f);
+        p2.set_main(id2);
+        let stats = ccra_analysis::run(&p2, &InterpConfig::default()).unwrap();
+        assert_eq!(stats.result, Some(Value::Int(9)));
+    }
+
+    /// `v = v + 1` with v spilled: reload, add, store back.
+    #[test]
+    fn def_and_use_same_instruction() {
+        let mut b = FunctionBuilder::new("main");
+        let v = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        b.iconst(v, 10);
+        b.iconst(one, 1);
+        b.binary(BinOp::Add, v, v, one);
+        b.binary(BinOp::Add, v, v, one);
+        b.ret(Some(v));
+        let mut p = Program::new();
+        let id = p.add_function(b.finish());
+        p.set_main(id);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let all: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
+        let mut f = p.function(id).clone();
+        insert_spill_code(&mut f, &ctx, &all);
+        ccra_ir::verify_function(&f).unwrap();
+        let mut p2 = Program::new();
+        let id2 = p2.add_function(f);
+        p2.set_main(id2);
+        let stats = ccra_analysis::run(&p2, &InterpConfig::default()).unwrap();
+        assert_eq!(stats.result, Some(Value::Int(12)));
+    }
+}

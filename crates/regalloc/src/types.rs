@@ -1,0 +1,326 @@
+//! Allocator configuration and result types.
+
+use ccra_machine::PhysReg;
+use std::ops::{Add, AddAssign};
+
+/// Where a live range ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register.
+    Reg(PhysReg),
+    /// Memory (a spill slot).
+    Spilled,
+}
+
+impl Loc {
+    /// The physical register, if any.
+    pub fn reg(self) -> Option<PhysReg> {
+        match self {
+            Loc::Reg(r) => Some(r),
+            Loc::Spilled => None,
+        }
+    }
+
+    /// Whether the live range was spilled to memory.
+    pub fn is_spilled(self) -> bool {
+        matches!(self, Loc::Spilled)
+    }
+}
+
+/// Which coloring algorithm drives the allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocatorKind {
+    /// Chaitin-style coloring: simplify, spill when blocked (Section 3.1).
+    Chaitin,
+    /// Optimistic (Briggs) coloring: never spill during simplification;
+    /// spill only when color assignment actually fails (Section 8).
+    Optimistic,
+    /// Priority-based (Chow, without live-range splitting) coloring with
+    /// the given color ordering (Section 9).
+    Priority(PriorityOrdering),
+    /// The CBH (Chaitin/Briggs-Hierarchical) call-cost model: call-crossing
+    /// live ranges interfere with all caller-save registers, and each
+    /// callee-save register is a spillable whole-function live range
+    /// (Section 10).
+    Cbh,
+}
+
+/// Color orderings for priority-based coloring (Section 9.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityOrdering {
+    /// Unconstrained live ranges are simplified away in arbitrary order and
+    /// colored last; constrained ones are colored in priority order.
+    RemovingUnconstrained,
+    /// Like `RemovingUnconstrained`, but the unconstrained live ranges are
+    /// also ordered by priority among themselves.
+    SortingUnconstrained,
+    /// Every live range is colored in pure priority order. The ordering the
+    /// paper adopts for its priority-based comparison.
+    Sorting,
+}
+
+/// How callee-save cost is attributed when deciding whether live ranges are
+/// worth a callee-save register (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalleeCostModel {
+    /// The first live range to use a callee-save register pays the whole
+    /// save/restore cost; later users ride for free.
+    FirstUser,
+    /// The cost is shared by all live ranges packed into the register: at
+    /// the end of color assignment, the share set δ(r) is spilled as a whole
+    /// iff its summed spill cost is below the register's callee-save cost.
+    /// The model the paper finds superior.
+    Shared,
+}
+
+/// The simplification key of benefit-driven simplification (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BsKey {
+    /// `max(benefit_caller, benefit_callee)` — the priority-style key the
+    /// paper rejects for Chaitin-style coloring.
+    MaxBenefit,
+    /// `|benefit_caller − benefit_callee|` when both benefits are positive,
+    /// else `max(benefit_caller, benefit_callee)` — the key the paper
+    /// adopts: what matters is the penalty of getting the *wrong kind* of
+    /// register.
+    BenefitDelta,
+}
+
+/// Full configuration of one register-allocation run.
+///
+/// # Example
+///
+/// ```
+/// use ccra_regalloc::{AllocatorConfig, AllocatorKind};
+///
+/// let improved = AllocatorConfig::improved();
+/// assert_eq!(improved.kind, AllocatorKind::Chaitin);
+/// assert!(improved.storage_class && improved.preference);
+/// assert!(improved.benefit_simplify.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocatorConfig {
+    /// The coloring algorithm.
+    pub kind: AllocatorKind,
+    /// Storage-class analysis (Section 4): spill live ranges whose register
+    /// residence would cost more than their spill cost.
+    pub storage_class: bool,
+    /// Callee-save cost attribution used by storage-class analysis.
+    pub callee_cost_model: CalleeCostModel,
+    /// Benefit-driven simplification (Section 5) with the given key.
+    pub benefit_simplify: Option<BsKey>,
+    /// Preference decision (Section 6): pre-resolve competition for
+    /// callee-save registers at frequent call sites.
+    pub preference: bool,
+    /// Update the interference graph incrementally after spill rounds
+    /// instead of rebuilding it (the *graph reconstruction* phase of
+    /// Figure 1; a compile-time optimization — see
+    /// [`crate::reconstruct_context`]).
+    pub incremental_reconstruction: bool,
+}
+
+impl AllocatorConfig {
+    /// The base Chaitin-style allocator with the simple cost model of
+    /// Section 3.1 (the denominator of every ratio in the paper).
+    pub fn base() -> Self {
+        AllocatorConfig {
+            kind: AllocatorKind::Chaitin,
+            storage_class: false,
+            callee_cost_model: CalleeCostModel::Shared,
+            benefit_simplify: None,
+            preference: false,
+            incremental_reconstruction: false,
+        }
+    }
+
+    /// Improved Chaitin-style coloring: SC + BS + PR, the paper's
+    /// contribution (Sections 4–6).
+    pub fn improved() -> Self {
+        AllocatorConfig {
+            kind: AllocatorKind::Chaitin,
+            storage_class: true,
+            callee_cost_model: CalleeCostModel::Shared,
+            benefit_simplify: Some(BsKey::BenefitDelta),
+            preference: true,
+            incremental_reconstruction: false,
+        }
+    }
+
+    /// Optimistic (Briggs) coloring on the base cost model.
+    pub fn optimistic() -> Self {
+        AllocatorConfig { kind: AllocatorKind::Optimistic, ..Self::base() }
+    }
+
+    /// Optimistic coloring combined with all three improvements (Section 8).
+    pub fn improved_optimistic() -> Self {
+        AllocatorConfig { kind: AllocatorKind::Optimistic, ..Self::improved() }
+    }
+
+    /// Priority-based coloring (Chow, no splitting) with the given ordering.
+    pub fn priority(ordering: PriorityOrdering) -> Self {
+        AllocatorConfig { kind: AllocatorKind::Priority(ordering), ..Self::base() }
+    }
+
+    /// The CBH call-cost model (Section 10).
+    pub fn cbh() -> Self {
+        AllocatorConfig { kind: AllocatorKind::Cbh, ..Self::base() }
+    }
+
+    /// The base allocator with a chosen subset of the three improvements —
+    /// the combinations plotted in Figure 6.
+    pub fn with_improvements(sc: bool, bs: bool, pr: bool) -> Self {
+        AllocatorConfig {
+            kind: AllocatorKind::Chaitin,
+            storage_class: sc,
+            callee_cost_model: CalleeCostModel::Shared,
+            benefit_simplify: if bs { Some(BsKey::BenefitDelta) } else { None },
+            preference: pr,
+            incremental_reconstruction: false,
+        }
+    }
+
+    /// Returns this configuration with incremental graph reconstruction
+    /// enabled.
+    pub fn with_reconstruction(self) -> Self {
+        AllocatorConfig { incremental_reconstruction: true, ..self }
+    }
+
+    /// A short label like `SC+BS+PR` for tables.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        match self.kind {
+            AllocatorKind::Chaitin => {}
+            AllocatorKind::Optimistic => parts.push("OPT"),
+            AllocatorKind::Priority(_) => parts.push("PRIO"),
+            AllocatorKind::Cbh => parts.push("CBH"),
+        }
+        if self.storage_class {
+            parts.push("SC");
+        }
+        if self.benefit_simplify.is_some() {
+            parts.push("BS");
+        }
+        if self.preference {
+            parts.push("PR");
+        }
+        if parts.is_empty() {
+            "base".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        Self::base()
+    }
+}
+
+/// Weighted overhead-operation counts, split into the paper's components
+/// (Section 3): spill, caller-save, callee-save, and shuffle cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Overhead {
+    /// Spill loads/stores of memory-resident live ranges.
+    pub spill: f64,
+    /// Save/restore pairs around calls for caller-save registers.
+    pub caller_save: f64,
+    /// Entry/exit save/restore pairs for callee-save registers.
+    pub callee_save: f64,
+    /// Moves between differently-located copy-related live ranges.
+    pub shuffle: f64,
+}
+
+impl Overhead {
+    /// An all-zero overhead.
+    pub fn zero() -> Self {
+        Overhead::default()
+    }
+
+    /// Total weighted overhead operations.
+    pub fn total(&self) -> f64 {
+        self.spill + self.caller_save + self.callee_save + self.shuffle
+    }
+
+    /// The call-cost component (caller-save + callee-save).
+    pub fn call_cost(&self) -> f64 {
+        self.caller_save + self.callee_save
+    }
+}
+
+impl Add for Overhead {
+    type Output = Overhead;
+    fn add(self, rhs: Overhead) -> Overhead {
+        Overhead {
+            spill: self.spill + rhs.spill,
+            caller_save: self.caller_save + rhs.caller_save,
+            callee_save: self.callee_save + rhs.callee_save,
+            shuffle: self.shuffle + rhs.shuffle,
+        }
+    }
+}
+
+impl AddAssign for Overhead {
+    fn add_assign(&mut self, rhs: Overhead) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::fmt::Display for Overhead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spill={:.0} caller={:.0} callee={:.0} shuffle={:.0} total={:.0}",
+            self.spill,
+            self.caller_save,
+            self.callee_save,
+            self.shuffle,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(AllocatorConfig::base().label(), "base");
+        assert_eq!(AllocatorConfig::improved().label(), "SC+BS+PR");
+        assert_eq!(AllocatorConfig::optimistic().label(), "OPT");
+        assert_eq!(AllocatorConfig::improved_optimistic().label(), "OPT+SC+BS+PR");
+        assert_eq!(AllocatorConfig::cbh().label(), "CBH");
+        assert_eq!(
+            AllocatorConfig::priority(PriorityOrdering::Sorting).label(),
+            "PRIO"
+        );
+        assert_eq!(AllocatorConfig::with_improvements(true, false, true).label(), "SC+PR");
+        assert_eq!(AllocatorConfig::default(), AllocatorConfig::base());
+    }
+
+    #[test]
+    fn overhead_arithmetic() {
+        let a = Overhead { spill: 1.0, caller_save: 2.0, callee_save: 3.0, shuffle: 4.0 };
+        let b = Overhead { spill: 10.0, ..Overhead::zero() };
+        let c = a + b;
+        assert_eq!(c.spill, 11.0);
+        assert_eq!(c.total(), 20.0);
+        assert_eq!(c.call_cost(), 5.0);
+        let mut d = Overhead::zero();
+        d += a;
+        assert_eq!(d, a);
+        assert!(format!("{a}").contains("total=10"));
+    }
+
+    #[test]
+    fn loc_accessors() {
+        use ccra_ir::RegClass;
+        use ccra_machine::SaveKind;
+        let r = PhysReg::new(RegClass::Int, SaveKind::CallerSave, 0);
+        assert_eq!(Loc::Reg(r).reg(), Some(r));
+        assert!(Loc::Spilled.is_spilled());
+        assert!(!Loc::Reg(r).is_spilled());
+        assert_eq!(Loc::Spilled.reg(), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Property tests for the interference graph against a set-of-pairs model.
+
+use ccra_regalloc::InterferenceGraph;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn graph_matches_pair_set(
+        n in 1usize..60,
+        edges in proptest::collection::vec((0u32..60, 0u32..60), 0..200),
+    ) {
+        let mut g = InterferenceGraph::new(n);
+        let mut model: HashSet<(u32, u32)> = HashSet::new();
+        for (a, b) in edges {
+            let (a, b) = (a % n as u32, b % n as u32);
+            g.add_edge(a, b);
+            if a != b {
+                model.insert((a.min(b), a.max(b)));
+            }
+        }
+        prop_assert_eq!(g.num_edges(), model.len());
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                prop_assert_eq!(
+                    g.interferes(a, b),
+                    a != b && model.contains(&(a.min(b), a.max(b)))
+                );
+            }
+            // Neighbor lists are duplicate-free and consistent.
+            let nb: HashSet<u32> = g.neighbors(a).iter().copied().collect();
+            prop_assert_eq!(nb.len(), g.degree(a));
+            for &b in &nb {
+                prop_assert!(g.interferes(a, b));
+            }
+        }
+    }
+}

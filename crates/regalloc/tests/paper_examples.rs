@@ -1,0 +1,263 @@
+//! The paper's worked examples (Figures 3, 5, and 8), encoded directly as
+//! hand-built interference graphs and checked against the allocators.
+
+use std::collections::HashMap;
+
+use ccra_ir::{BlockId, FunctionBuilder, RegClass};
+use ccra_machine::{RegisterFile, SaveKind};
+use ccra_regalloc::{
+    allocate_bank_chaitin, build_context, AllocatorConfig, BankResult, CallSite, FuncContext,
+    InterferenceGraph, NodeInfo,
+};
+
+/// A synthetic context over hand-specified nodes and edges. The paper's
+/// figures describe live ranges purely by their benefit functions and
+/// interference, so that is all we populate.
+fn synthetic_ctx(
+    specs: &[(f64, f64, f64, &[u32])], // (spill, caller, callee, crossed sites)
+    edges: &[(u32, u32)],
+    callsites: usize,
+    entry_freq: f64,
+) -> FuncContext {
+    let nodes: Vec<NodeInfo> = specs
+        .iter()
+        .map(|&(spill, caller, callee, crossed)| NodeInfo {
+            class: RegClass::Int,
+            spill_cost: spill,
+            caller_cost: caller,
+            callee_cost: callee,
+            size: 1,
+            calls_crossed: crossed.to_vec(),
+            webs: vec![],
+            is_spill_temp: false,
+            defs: vec![],
+            uses: vec![],
+            param_vregs: vec![],
+        })
+        .collect();
+    let mut graph = InterferenceGraph::new(nodes.len());
+    for &(a, b) in edges {
+        graph.add_edge(a, b);
+    }
+    // A dummy function supplies the (empty) web structure.
+    let mut b = FunctionBuilder::new("synthetic");
+    b.ret(None);
+    let f = b.finish();
+    let freq = ccra_analysis::FrequencyInfo::estimate(&{
+        let mut p = ccra_ir::Program::new();
+        let id = p.add_function(f.clone());
+        p.set_main(id);
+        p
+    });
+    let dummy = build_context(&f, freq.func(ccra_ir::FuncId(0)), &ccra_machine::CostModel::paper());
+    FuncContext {
+        nodes,
+        graph,
+        callsites: (0..callsites)
+            .map(|i| CallSite { bb: BlockId(0), idx: i as u32, freq: 1.0 })
+            .collect(),
+        entry_freq,
+        web_node: HashMap::new(),
+        webs: dummy.webs,
+    }
+}
+
+/// Total load/store operations *saved* by an assignment relative to
+/// spilling everything: the benefit of the granted register kind.
+fn savings(ctx: &FuncContext, result: &BankResult) -> f64 {
+    result
+        .colors
+        .iter()
+        .map(|(&n, reg)| {
+            let node = &ctx.nodes[n as usize];
+            match reg.kind {
+                SaveKind::CallerSave => node.benefit_caller(),
+                SaveKind::CalleeSave => node.benefit_callee(),
+            }
+        })
+        .sum()
+}
+
+/// Figure 3: three mutually-interfering live ranges, all preferring
+/// callee-save registers, with 2 callee-save + 1 caller-save registers.
+/// The simplification *order* decides who gets the precious callee-save
+/// registers: the best order saves 4100 load/store operations, the worst
+/// 3200. Benefit-driven simplification must find the best one.
+#[test]
+fn figure_3_simplification_order() {
+    // lr_x, lr_y: benefit_caller = 1000, benefit_callee = 2000.
+    // lr_z:       benefit_caller =  100, benefit_callee =  200.
+    // (spill costs chosen so the benefits come out exactly as in the paper)
+    let ctx = synthetic_ctx(
+        &[
+            (3000.0, 2000.0, 1000.0, &[0]), // x
+            (3000.0, 2000.0, 1000.0, &[0]), // y
+            (300.0, 200.0, 100.0, &[0]),    // z
+        ],
+        &[(0, 1), (1, 2), (0, 2)],
+        1,
+        1.0,
+    );
+    let file = RegisterFile::new(7, 4, 2, 0); // bank: 9 int = 7 caller + 2 callee
+    // Storage-class analysis alone decides kinds by benefit; with N large
+    // enough everything is unconstrained, and without BS the removal order
+    // is arbitrary (ascending ids: x, y, z — z ends on top and steals a
+    // callee-save register).
+    let sc_only = AllocatorConfig::with_improvements(true, false, false);
+    let without_bs = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &sc_only);
+    assert_eq!(savings(&ctx, &without_bs), 2000.0 + 200.0 + 1000.0, "the paper's 3200");
+
+    let with_bs = AllocatorConfig::with_improvements(true, true, false);
+    let best = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &with_bs);
+    assert_eq!(
+        savings(&ctx, &best),
+        2000.0 + 2000.0 + 100.0,
+        "benefit-driven simplification finds the paper's 4100"
+    );
+}
+
+/// Figure 4 (the priority-key comparison) lives in
+/// `ccra-regalloc/src/node.rs` as `bs_key_strategies_match_figure_4`; this
+/// test checks the end-to-end consequence: with the max-benefit key the
+/// wrong live range can end on top of the stack.
+#[test]
+fn figure_4_key_choice_changes_savings() {
+    // lr_x, lr_y: bc = 1800, be = 2000 (key1 = 2000, key2 = 200).
+    // lr_z:       bc =  500, be = 1500 (key1 = 1500, key2 = 1000).
+    let ctx = synthetic_ctx(
+        &[
+            (3800.0, 2000.0, 1800.0, &[0]),
+            (3800.0, 2000.0, 1800.0, &[0]),
+            (2000.0, 1500.0, 500.0, &[0]),
+        ],
+        &[(0, 1), (1, 2), (0, 2)],
+        1,
+        1.0,
+    );
+    let file = RegisterFile::new(7, 4, 2, 0);
+    let key1 = AllocatorConfig {
+        benefit_simplify: Some(ccra_regalloc::BsKey::MaxBenefit),
+        ..AllocatorConfig::with_improvements(true, true, false)
+    };
+    let key2 = AllocatorConfig {
+        benefit_simplify: Some(ccra_regalloc::BsKey::BenefitDelta),
+        ..AllocatorConfig::with_improvements(true, true, false)
+    };
+    let r1 = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &key1);
+    let r2 = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &key2);
+    // Key 1 gives the callee-save registers to x and y: 2000+2000+500 = 4500.
+    assert_eq!(savings(&ctx, &r1), 4500.0);
+    // Key 2 protects z (its wrong-kind penalty is largest): 2000+1800+1500 = 5300.
+    assert_eq!(savings(&ctx, &r2), 5300.0, "the paper's better allocation");
+    assert!(savings(&ctx, &r2) > savings(&ctx, &r1));
+}
+
+/// Figure 5 (in spirit — the printed benefit table is partly illegible in
+/// our source): five live ranges compete for one callee-save register
+/// across a hot call. Without the preference decision, color-assignment
+/// order lets a low-stakes live range take the callee-save register away
+/// from the high-stakes one; the preference pass forces the cheap one to
+/// caller-save preference and the savings jump.
+#[test]
+fn figure_5_preference_decision() {
+    // ids: u=0 (huge callee benefit), t=1, x=2, y=3 (caller-preferring
+    // fillers), z=4 (modest callee preference). u and z cross call site 0
+    // and interfere; the fillers interfere with both.
+    let specs: Vec<(f64, f64, f64, &[u32])> = vec![
+        (4000.0, 3900.0, 100.0, &[0]), // u: bc=100, be=3900
+        (1200.0, 200.0, 1100.0, &[]),  // t: bc=1000, be=100
+        (1200.0, 200.0, 1100.0, &[]),  // x
+        (1200.0, 200.0, 1100.0, &[]),  // y
+        (600.0, 300.0, 100.0, &[0]),   // z: bc=300, be=500
+    ];
+    let edges = [(0, 4), (0, 1), (0, 2), (0, 3), (4, 1), (4, 2), (4, 3)];
+    let ctx = synthetic_ctx(&specs, &edges, 1, 1.0);
+    let file = RegisterFile::new(6, 4, 1, 0); // one precious callee-save reg
+
+    // SC without PR: the arbitrary (ascending-id) removal order pops z
+    // first; z grabs the callee-save register and u is left with
+    // caller-save.
+    let without_pr = allocate_bank_chaitin(
+        &ctx,
+        RegClass::Int,
+        &file,
+        &AllocatorConfig::with_improvements(true, false, false),
+    );
+    // With PR: z is the cheaper of the two candidates (caller_cost 300 vs
+    // 3900), so it is forced to prefer caller-save and u gets the register.
+    let with_pr = allocate_bank_chaitin(
+        &ctx,
+        RegClass::Int,
+        &file,
+        &AllocatorConfig::with_improvements(true, false, true),
+    );
+    let (s_without, s_with) = (savings(&ctx, &without_pr), savings(&ctx, &with_pr));
+    assert!(
+        s_with > s_without + 3000.0,
+        "preference decision must rescue u: {s_without} -> {s_with}"
+    );
+    assert_eq!(with_pr.colors[&0].kind, SaveKind::CalleeSave, "u gets the callee-save register");
+    assert_eq!(with_pr.colors[&4].kind, SaveKind::CallerSave, "z is forced to caller-save");
+}
+
+/// Figure 8: a four-cycle with N = 2 (1 callee-save + 1 caller-save).
+/// Chaitin-style simplification blocks (every degree is 2) and spills the
+/// cheapest live range; optimistic coloring colors all four — and parks
+/// the high-caller-cost one in the caller-save register, an inferior
+/// result once call cost is counted.
+#[test]
+fn figure_8_optimistic_wrong_kind() {
+    // The paper's graph is a 4-cycle with N = 2 (1 callee + 1 caller
+    // register); our ABI minimum is 6 caller registers, so the instance is
+    // scaled up: the same 4-cycle (x, y, z, w) plus six hot pressure nodes
+    // forming a clique with everything, against a bank of 8 (7 caller + 1
+    // callee). Every degree is ≥ 8, so Chaitin blocks exactly as in the
+    // figure, while the graph stays 8-colorable for optimistic coloring.
+    //
+    // x, y, w: healthy crossing values; z: cold (spill cost 200) with a
+    // huge caller-save cost — the live range optimistic coloring should
+    // NOT rescue.
+    let mut specs: Vec<(f64, f64, f64, &[u32])> = vec![
+        (2000.0, 900.0, 400.0, &[0]),
+        (2000.0, 900.0, 400.0, &[0]),
+        (200.0, 5000.0, 400.0, &[0]),
+        (2000.0, 900.0, 400.0, &[0]),
+    ];
+    // Six hot pressure nodes forming a clique with everything.
+    for _ in 0..6 {
+        specs.push((50_000.0, 100.0, 400.0, &[0]));
+    }
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+    for p in 4..10u32 {
+        for q in 0..10u32 {
+            if p != q {
+                edges.push((p.min(q), p.max(q)));
+            }
+        }
+    }
+    let ctx = synthetic_ctx(&specs, &edges, 1, 1.0);
+    // Bank of 8: 7 caller + 1 callee. Cycle nodes have degree 2 + 6 = 8 ≥ 8,
+    // pressure nodes have degree 9 ≥ 8: simplification blocks immediately.
+    let file = RegisterFile::new(7, 4, 1, 0);
+
+    let chaitin = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base());
+    assert!(
+        chaitin.spilled.contains(&2),
+        "Chaitin spills the cheapest live range (z): {:?}",
+        chaitin.spilled
+    );
+
+    let optimistic =
+        allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::optimistic());
+    assert!(optimistic.spilled.is_empty(), "the graph is 8-colorable");
+    let z_reg = optimistic.colors[&2];
+    assert_eq!(
+        z_reg.kind,
+        SaveKind::CallerSave,
+        "optimistic parks z in a caller-save register"
+    );
+    // The paper's point: z in a caller-save register costs 5000 operations
+    // where spilling it costs 200 — optimistic coloring made it worse.
+    let z = &ctx.nodes[2];
+    assert!(z.caller_cost > z.spill_cost * 10.0);
+}

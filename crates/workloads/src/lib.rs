@@ -1,0 +1,226 @@
+//! Synthetic SPEC92-like workloads for the call-cost register-allocation
+//! experiments.
+//!
+//! The paper evaluates on fourteen SPEC92 programs compiled by cmcc. We
+//! have neither cmcc nor the SPEC sources, so this crate generates fourteen
+//! deterministic IR programs that reproduce each benchmark's
+//! *register-allocation-relevant* structure: loop nesting, per-bank
+//! register pressure, call-site placement (hot vs cold paths), and the
+//! reference density of call-crossing live ranges. The paper's own
+//! characterisations anchor each shape (tomcatv "consists of only one big
+//! function and no calls"; fpppp is dominated by enormous straight-line
+//! floating-point blocks; li and sc are call-heavy interpreters; and so
+//! on — see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use ccra_workloads::{spec_program, SpecProgram};
+//! use ccra_analysis::FrequencyInfo;
+//!
+//! let program = spec_program(SpecProgram::Tomcatv);
+//! program.verify()?;
+//! let profile = FrequencyInfo::profile(&program).expect("workloads terminate");
+//! assert_eq!(profile.func(program.main().unwrap()).invocations, 1.0);
+//! # Ok::<(), ccra_ir::VerifyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fuzz;
+mod programs;
+mod shape;
+
+pub use fuzz::{random_program, FuzzConfig};
+pub use shape::Shaper;
+
+use ccra_ir::Program;
+
+/// A scale factor for workload sizes: `Scale(1.0)` is the default
+/// experiment size; smaller values shrink loop trip counts proportionally
+/// (useful for fast tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}
+
+/// The fourteen SPEC92 programs of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum SpecProgram {
+    Alvinn,
+    Compress,
+    Doduc,
+    Ear,
+    Eqntott,
+    Espresso,
+    Fpppp,
+    Gcc,
+    Li,
+    Matrix300,
+    Nasa7,
+    Sc,
+    Spice,
+    Tomcatv,
+}
+
+impl SpecProgram {
+    /// All fourteen programs, in alphabetical order.
+    pub const ALL: [SpecProgram; 14] = [
+        SpecProgram::Alvinn,
+        SpecProgram::Compress,
+        SpecProgram::Doduc,
+        SpecProgram::Ear,
+        SpecProgram::Eqntott,
+        SpecProgram::Espresso,
+        SpecProgram::Fpppp,
+        SpecProgram::Gcc,
+        SpecProgram::Li,
+        SpecProgram::Matrix300,
+        SpecProgram::Nasa7,
+        SpecProgram::Sc,
+        SpecProgram::Spice,
+        SpecProgram::Tomcatv,
+    ];
+
+    /// The SPEC92 benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecProgram::Alvinn => "alvinn",
+            SpecProgram::Compress => "compress",
+            SpecProgram::Doduc => "doduc",
+            SpecProgram::Ear => "ear",
+            SpecProgram::Eqntott => "eqntott",
+            SpecProgram::Espresso => "espresso",
+            SpecProgram::Fpppp => "fpppp",
+            SpecProgram::Gcc => "gcc",
+            SpecProgram::Li => "li",
+            SpecProgram::Matrix300 => "matrix300",
+            SpecProgram::Nasa7 => "nasa7",
+            SpecProgram::Sc => "sc",
+            SpecProgram::Spice => "spice",
+            SpecProgram::Tomcatv => "tomcatv",
+        }
+    }
+
+    /// The improvement class the paper sorts this program into (Section 7):
+    ///
+    /// 1. every technique contributes;
+    /// 2. only storage-class analysis has a dramatic effect;
+    /// 3. preference decision makes no difference;
+    /// 4. no technique matters (negligible call cost).
+    pub fn paper_class(self) -> u8 {
+        match self {
+            SpecProgram::Nasa7 | SpecProgram::Ear => 1,
+            SpecProgram::Li | SpecProgram::Sc | SpecProgram::Matrix300 => 2,
+            SpecProgram::Eqntott
+            | SpecProgram::Espresso
+            | SpecProgram::Compress
+            | SpecProgram::Spice
+            | SpecProgram::Fpppp
+            | SpecProgram::Doduc => 3,
+            SpecProgram::Tomcatv => 4,
+            // The paper does not classify the remaining programs explicitly;
+            // they behave like class 3.
+            SpecProgram::Alvinn | SpecProgram::Gcc => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for SpecProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a workload at the default experiment scale.
+pub fn spec_program(program: SpecProgram) -> Program {
+    programs::build(program, Scale::default())
+}
+
+/// Builds a workload at a reduced (or enlarged) scale.
+pub fn spec_program_scaled(program: SpecProgram, scale: Scale) -> Program {
+    programs::build(program, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_analysis::{run, FrequencyInfo, InterpConfig};
+
+    const TEST_SCALE: Scale = Scale(0.1);
+
+    #[test]
+    fn all_programs_verify_and_terminate() {
+        for prog in SpecProgram::ALL {
+            let p = spec_program_scaled(prog, TEST_SCALE);
+            p.verify().unwrap_or_else(|e| panic!("{prog}: {e}"));
+            let stats = run(&p, &InterpConfig::default())
+                .unwrap_or_else(|e| panic!("{prog}: {e}"));
+            assert!(stats.steps > 100, "{prog} too trivial: {} steps", stats.steps);
+            assert_eq!(stats.total_overhead(), 0, "{prog}: pre-allocation overhead");
+        }
+    }
+
+    #[test]
+    fn programs_are_deterministic() {
+        for prog in [SpecProgram::Eqntott, SpecProgram::Fpppp, SpecProgram::Gcc] {
+            let a = run(&spec_program_scaled(prog, TEST_SCALE), &InterpConfig::default())
+                .unwrap();
+            let b = run(&spec_program_scaled(prog, TEST_SCALE), &InterpConfig::default())
+                .unwrap();
+            assert_eq!(a.result, b.result, "{prog}");
+            assert_eq!(a.steps, b.steps, "{prog}");
+        }
+    }
+
+    #[test]
+    fn tomcatv_is_one_function_no_calls() {
+        let p = spec_program_scaled(SpecProgram::Tomcatv, TEST_SCALE);
+        assert_eq!(p.num_functions(), 1);
+        let f = p.function(p.main().unwrap());
+        assert!(f.call_sites().is_empty());
+    }
+
+    #[test]
+    fn call_heavy_programs_have_hot_functions() {
+        for prog in [SpecProgram::Eqntott, SpecProgram::Li, SpecProgram::Sc] {
+            let p = spec_program_scaled(prog, TEST_SCALE);
+            let freq = FrequencyInfo::profile(&p).unwrap();
+            let max_inv = p
+                .func_ids()
+                .map(|id| freq.func(id).invocations)
+                .fold(0.0f64, f64::max);
+            assert!(max_inv > 50.0, "{prog}: hottest function invoked {max_inv} times");
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_execution() {
+        let small = run(
+            &spec_program_scaled(SpecProgram::Eqntott, Scale(0.05)),
+            &InterpConfig::default(),
+        )
+        .unwrap();
+        let large = run(
+            &spec_program_scaled(SpecProgram::Eqntott, Scale(0.2)),
+            &InterpConfig::default(),
+        )
+        .unwrap();
+        assert!(large.steps > small.steps * 2);
+    }
+
+    #[test]
+    fn names_and_classes() {
+        assert_eq!(SpecProgram::Eqntott.name(), "eqntott");
+        assert_eq!(SpecProgram::Tomcatv.paper_class(), 4);
+        assert_eq!(SpecProgram::Nasa7.paper_class(), 1);
+        assert_eq!(SpecProgram::ALL.len(), 14);
+        assert_eq!(format!("{}", SpecProgram::Fpppp), "fpppp");
+    }
+}

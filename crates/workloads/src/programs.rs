@@ -1,0 +1,673 @@
+//! The fourteen synthetic SPEC92-like workload programs.
+//!
+//! Each program reproduces the *register-allocation-relevant* structure the
+//! paper describes or implies for its SPEC92 counterpart — loop nesting,
+//! register pressure per bank, call-site placement (hot path vs cold path),
+//! and the reference density of call-crossing live ranges — not the
+//! original computation. See `DESIGN.md` for the substitution argument.
+
+use ccra_ir::{BinOp, FuncId, Program, RegClass, VReg};
+
+use crate::shape::Shaper;
+use crate::{Scale, SpecProgram};
+
+fn trips(scale: Scale, n: i64) -> i64 {
+    ((n as f64 * scale.0).round() as i64).max(2)
+}
+
+/// A hot leaf/near-leaf function exhibiting the paper's central scenario:
+/// live ranges on the *most frequently executed path* that also cross call
+/// sites on a *rarely executed* path.
+///
+/// The `cross_set` values are hot (defined at entry, folded after the
+/// conditional join on every invocation) and live across the rare path's
+/// calls. The base allocator sees "crosses calls" and prefers callee-save
+/// registers — paying an entry/exit save/restore pair on *every*
+/// invocation. The improved allocator compares benefits and picks
+/// caller-save registers, paying only around the rare calls.
+#[allow(clippy::too_many_arguments)]
+fn hot_fn_with_cold_path(
+    p: &mut Program,
+    name: &'static str,
+    seed: u64,
+    class: RegClass,
+    common_set: usize,
+    common_ops: usize,
+    cross_set: usize,
+    cold_calls: usize,
+    rare_mod: i64,
+    work: (i64, usize),
+) -> FuncId {
+    let mut s = Shaper::new(name, seed);
+    let par = s.int_params(1)[0];
+
+    // Hot values that will cross the rare calls.
+    let (cross_i, cross_f): (Vec<VReg>, Vec<VReg>) = match class {
+        RegClass::Int => (s.int_set(cross_set), vec![]),
+        RegClass::Float => (vec![], s.float_set(cross_set)),
+    };
+
+    // The hot common path's own working set.
+    let acc = s.int_acc();
+    let facc = s.float_acc();
+    let set: Vec<VReg> = match class {
+        RegClass::Int => s.int_set(common_set),
+        RegClass::Float => s.float_set(common_set),
+    };
+
+    s.cond_mod(
+        par,
+        rare_mod,
+        |s| {
+            // Rare path: the calls the crossing values are live over.
+            for c in 0..cold_calls {
+                let names = ["aux0", "aux1", "aux2", "aux3"];
+                s.call_ext(names[c % names.len()], vec![par]);
+            }
+        },
+        |s| {
+            // Common path: plain compute over the local working set.
+            match class {
+                RegClass::Int => {
+                    s.fold_int(acc, &set, common_ops);
+                    let t = s.int_chain(par, 3);
+                    s.b.binary(BinOp::Add, acc, acc, t);
+                }
+                RegClass::Float => {
+                    s.fold_float(facc, &set, common_ops);
+                    let t = s.float_chain(facc, 2);
+                    s.b.binary(BinOp::FAdd, facc, facc, t);
+                }
+            }
+        },
+    );
+    // Useful work: keeps the overhead share of total cycles realistic
+    // (real hot functions compute something).
+    let (work_trips, work_ops) = work;
+    if work_trips > 0 {
+        match class {
+            RegClass::Int => s.work_loop_int(acc, &set, work_trips, work_ops),
+            RegClass::Float => s.work_loop_float(facc, &set, work_trips, work_ops),
+        }
+    }
+    // The crossing values are referenced on every invocation *after* the
+    // join, which makes every one of them live across the rare calls.
+    match class {
+        RegClass::Int => s.fold_each_int(acc, &cross_i),
+        RegClass::Float => s.fold_each_float(facc, &cross_f),
+    }
+    let ret = match class {
+        RegClass::Int => {
+            s.b.binary(BinOp::Add, acc, acc, par);
+            acc
+        }
+        RegClass::Float => {
+            let r = s.float_to_int(facc);
+            let out = s.b.new_vreg(RegClass::Int);
+            s.b.binary(BinOp::Add, out, r, par);
+            out
+        }
+    };
+    p.add_function(s.finish_ret(Some(ret)))
+}
+
+/// A small pure leaf: params in, arithmetic, result out. No calls.
+fn small_leaf(p: &mut Program, name: &'static str, seed: u64, pressure: usize) -> FuncId {
+    let mut s = Shaper::new(name, seed);
+    let par = s.int_params(2);
+    let set = s.int_set(pressure);
+    let acc = s.int_acc();
+    s.b.binary(BinOp::Add, acc, par[0], par[1]);
+    s.fold_int(acc, &set, pressure * 2);
+    let t = s.int_chain(acc, 2);
+    p.add_function(s.finish_ret(Some(t)))
+}
+
+/// A driver main: a loop of `n` iterations calling `hot` each time, with a
+/// working set of its own crossing the (hot) call site.
+fn driver_main(
+    p: &mut Program,
+    seed: u64,
+    n: i64,
+    hot: FuncId,
+    main_set: usize,
+) -> FuncId {
+    let mut s = Shaper::new("main", seed);
+    let set = s.int_set(main_set);
+    let acc = s.int_acc();
+    s.counted_loop(n, |s, i| {
+        let r = s.b.new_vreg(RegClass::Int);
+        s.call_fn(hot, vec![i], Some(r));
+        s.b.binary(BinOp::Add, acc, acc, r);
+        s.fold_int(acc, &set, 2);
+    });
+    s.fold_int(acc, &set, main_set);
+    let id = p.add_function(s.finish_ret(Some(acc)));
+    p.set_main(id);
+    id
+}
+
+/// eqntott: a tiny hot comparison routine invoked enormously often, with a
+/// rare maintenance path whose values must not be given callee-save
+/// registers (Figure 2's "more registers may worsen the cost").
+fn eqntott(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let hot = hot_fn_with_cold_path(
+        &mut p,
+        "cmppt",
+        11,
+        RegClass::Int,
+        5,   // common working set
+        8,   // common ops
+        7,   // hot values crossing the rare calls
+        2,   // rare-path calls
+        128, // rare: 1/128 invocations
+        (100, 6), // useful inner work
+    );
+    driver_main(&mut p, 12, trips(scale, 12000), hot, 4);
+    p
+}
+
+/// ear: the floating-point analogue — a hot FP filter kernel with a rare
+/// adaptation path, plus real FP pressure so spill cost dominates at the
+/// register-starved end of the sweep.
+fn ear(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let hot = hot_fn_with_cold_path(
+        &mut p,
+        "fil4",
+        21,
+        RegClass::Float,
+        2, // small enough that the hot path fits the full caller-save bank
+        10,
+        5,
+        2,
+        100,
+        (20, 5),
+    );
+    driver_main(&mut p, 22, trips(scale, 8000), hot, 3);
+    p
+}
+
+/// li: an interpreter — the hot eval routine makes helper calls on its
+/// *common* path; several entry-defined, cold-used values cross them.
+/// Memory beats both register kinds for those values: only storage-class
+/// analysis helps (the paper's second program class).
+fn li(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let lookup = small_leaf(&mut p, "lookup", 31, 4);
+    let apply = small_leaf(&mut p, "apply", 32, 5);
+    let mut s = Shaper::new("eval", 33);
+    let par = s.int_params(1)[0];
+    // Entry-defined environment pointers: touched only on the rare path,
+    // but live across the common path's helper calls. Memory is cheaper
+    // for them than either register kind — only SC gets this right.
+    let cold = s.int_set(6);
+    // Hot interpreter state crossing only the rare path's gc call: CBH
+    // denies it caller-save registers, improved Chaitin does not.
+    let hot_cross = s.int_set(3);
+    // Common path: two helper calls chained through arguments (each result
+    // dies at the next call).
+    let r1 = s.b.new_vreg(RegClass::Int);
+    s.call_fn(lookup, vec![par, par], Some(r1));
+    let r2 = s.b.new_vreg(RegClass::Int);
+    s.call_fn(apply, vec![par, r1], Some(r2));
+    let acc = s.int_acc();
+    s.b.binary(BinOp::Add, acc, acc, r2);
+    // Useful interpretation work.
+    let work = s.int_set(3);
+    s.work_loop_int(acc, &work, 55, 4);
+    // Rare: collect garbage and touch the environment.
+    s.cond_mod(
+        par,
+        48,
+        |s| {
+            s.call_ext("gc", vec![par]);
+            s.fold_each_int(acc, &cold);
+        },
+        |s| {
+            let t = s.int_chain(par, 4);
+            s.b.binary(BinOp::Add, acc, acc, t);
+        },
+    );
+    s.fold_each_int(acc, &hot_cross);
+    let eval = p.add_function(s.finish_ret(Some(acc)));
+    driver_main(&mut p, 34, trips(scale, 5000), eval, 3);
+    p
+}
+
+/// sc: spreadsheet recalculation — like li but with more helper call sites
+/// and a wider cold environment.
+fn sc(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let getcell = small_leaf(&mut p, "getcell", 41, 3);
+    let update = small_leaf(&mut p, "update", 42, 4);
+    let format = small_leaf(&mut p, "format", 43, 3);
+    let mut s = Shaper::new("recalc", 44);
+    let par = s.int_params(1)[0];
+    // A wide spreadsheet environment crossing the helper calls: the
+    // storage-class-analysis showcase.
+    let cold = s.int_set(8);
+    // Hot sheet state crossing only the rare reformat path.
+    let hot_cross = s.int_set(3);
+    let mut carry = par;
+    for f in [getcell, update, getcell, format] {
+        let r = s.b.new_vreg(RegClass::Int);
+        s.call_fn(f, vec![par, carry], Some(r));
+        carry = r;
+    }
+    let acc = s.int_acc();
+    s.b.binary(BinOp::Add, acc, acc, carry);
+    let work = s.int_set(3);
+    s.work_loop_int(acc, &work, 110, 4);
+    s.cond_mod(
+        par,
+        32,
+        |s| {
+            s.call_ext("reformat", vec![par]);
+            s.fold_each_int(acc, &cold);
+        },
+        |s| {
+            let t = s.int_chain(par, 3);
+            s.b.binary(BinOp::Xor, acc, acc, t);
+        },
+    );
+    s.fold_each_int(acc, &hot_cross);
+    let recalc = p.add_function(s.finish_ret(Some(acc)));
+    driver_main(&mut p, 45, trips(scale, 4000), recalc, 3);
+    p
+}
+
+/// tomcatv: one big function, deep FP loop nest, no calls at all — the
+/// paper's fourth class, where no call-cost technique changes anything.
+fn tomcatv(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let mut s = Shaper::new("main", 51);
+    let grid = s.float_set(10);
+    let coef = s.float_set(4);
+    let facc = s.float_acc();
+    let iacc = s.int_acc();
+    s.counted_loop(trips(scale, 60), |s, _i| {
+        s.counted_loop(trips(scale, 25), |s, j| {
+            s.fold_float(facc, &grid, 6);
+            s.fold_float(facc, &coef, 2);
+            let t = s.float_chain(facc, 3);
+            s.b.binary(BinOp::FAdd, facc, facc, t);
+            let k = s.int_chain(j, 2);
+            s.b.binary(BinOp::Add, iacc, iacc, k);
+        });
+        s.fold_float(facc, &grid, 4);
+    });
+    let r = s.float_to_int(facc);
+    s.b.binary(BinOp::Add, iacc, iacc, r);
+    let id = p.add_function(s.finish_ret(Some(iacc)));
+    p.set_main(id);
+    p
+}
+
+/// fpppp: enormous straight-line floating-point basic blocks — register
+/// pressure far beyond the float bank, so spilling dominates and optimistic
+/// coloring matters most (Figure 9). Branch probabilities are skewed so
+/// static estimates diverge from profiles.
+fn fpppp(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let mut s = Shaper::new("twoel", 61);
+    let par = s.int_params(1)[0];
+    // Integer bookkeeping that crosses the rare helper call but is hot.
+    let book = s.int_set(4);
+    let iacc = s.int_acc();
+    // Phase 1: a wide clique of simultaneously-live floats.
+    let wide = s.float_set(14);
+    let facc = s.float_acc();
+    s.fold_float(facc, &wide, 40);
+    // Skewed branch: statically 50/50, dynamically 1/16.
+    s.cond_mod(
+        par,
+        16,
+        |s| {
+            s.call_ext("dgemm_helper", vec![par]);
+            s.fold_float(facc, &wide, 10);
+        },
+        |s| {
+            s.fold_float(facc, &wide, 8);
+        },
+    );
+    s.fold_float(facc, &wide, 20);
+    s.fold_each_int(iacc, &book);
+    // Staircased cliques: degree exceeds the bank size while the graph
+    // stays colorable — pessimistic (Chaitin) spilling loses to optimistic
+    // coloring here, most visibly at small register counts (Figure 9).
+    s.staircase_float(facc, 7);
+    s.staircase_float(facc, 5);
+    // Phase 2: a second clique whose lifetimes start after phase 1 ends.
+    let wide2 = s.float_set(10);
+    s.fold_float(facc, &wide2, 30);
+    let r = s.float_to_int(facc);
+    s.b.binary(BinOp::Add, iacc, iacc, r);
+    let twoel = p.add_function(s.finish_ret(Some(iacc)));
+    driver_main(&mut p, 62, trips(scale, 250), twoel, 2);
+    p
+}
+
+/// matrix300: a blocked matrix-multiply-like triple nest with bookkeeping
+/// that crosses a rare reporting call — the workload where CBH starves for
+/// callee-save registers (Figure 11).
+fn matrix300(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let mut s = Shaper::new("sgemm", 71);
+    let par = s.int_params(1)[0];
+    let tile = s.float_set(8);
+    let facc = s.float_acc();
+    let book = s.int_set(5); // bookkeeping, live across the rare call
+    let iacc = s.int_acc();
+    s.counted_loop(trips(scale, 16), |s, j| {
+        s.fold_float(facc, &tile, 8);
+        let t = s.float_chain(facc, 2);
+        s.b.binary(BinOp::FAdd, facc, facc, t);
+        s.cond_mod(
+            j,
+            64,
+            |s| {
+                s.call_ext("report", vec![par]);
+                s.fold_int(iacc, &book, book.len());
+            },
+            |s| {
+                s.fold_int(iacc, &book[..1], 1);
+            },
+        );
+    });
+    let r = s.float_to_int(facc);
+    s.b.binary(BinOp::Add, iacc, iacc, r);
+    let sgemm = p.add_function(s.finish_ret(Some(iacc)));
+    driver_main(&mut p, 72, trips(scale, 400), sgemm, 3);
+    p
+}
+
+/// nasa7: seven-kernels-in-one — FP loop kernels plus a hot call site where
+/// more live ranges prefer callee-save registers than exist, so every
+/// technique (SC, BS, PR) contributes (the paper's first class).
+fn nasa7(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let fft = small_leaf(&mut p, "cfft2d", 81, 5);
+    let mut s = Shaper::new("kernel", 82);
+    let par = s.int_params(1)[0];
+    let fset = s.float_set(7);
+    let facc = s.float_acc();
+    // Crossing values with heterogeneous reference densities: competition
+    // for callee-save registers that preference decision resolves.
+    let hot_cross = s.int_set(3);
+    let cold_cross = s.int_set(4);
+    let iacc = s.int_acc();
+    s.counted_loop(trips(scale, 12), |s, j| {
+        s.fold_float(facc, &fset, 6);
+        let r = s.b.new_vreg(RegClass::Int);
+        s.call_fn(fft, vec![par, j], Some(r));
+        s.b.binary(BinOp::Add, iacc, iacc, r);
+        s.fold_int(iacc, &hot_cross, 3);
+        s.cond_mod(
+            j,
+            16,
+            |s| s.fold_int(iacc, &cold_cross, cold_cross.len()),
+            |s| {
+                let t = s.int_chain(j, 2);
+                s.b.binary(BinOp::Add, iacc, iacc, t);
+            },
+        );
+    });
+    let r = s.float_to_int(facc);
+    s.b.binary(BinOp::Add, iacc, iacc, r);
+    let kernel = p.add_function(s.finish_ret(Some(iacc)));
+    driver_main(&mut p, 83, trips(scale, 350), kernel, 3);
+    p
+}
+
+/// alvinn: neural-net training — two FP-heavy routines called alternately;
+/// dense packing matters at small register counts, call cost is modest
+/// (priority-based and improved Chaitin tie, Figure 10).
+fn alvinn(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let mut fw = Shaper::new("forward", 91);
+    let fpar = fw.int_params(1)[0];
+    let w1 = fw.float_set(9);
+    let fa = fw.float_acc();
+    fw.counted_loop(8, |s, _| {
+        s.fold_float(fa, &w1, 7);
+    });
+    let fr = fw.float_to_int(fa);
+    let fw_ret = fw.b.new_vreg(RegClass::Int);
+    fw.b.binary(BinOp::Add, fw_ret, fr, fpar);
+    let forward = p.add_function(fw.finish_ret(Some(fw_ret)));
+
+    let mut bw = Shaper::new("backward", 92);
+    let bpar = bw.int_params(1)[0];
+    let w2 = bw.float_set(8);
+    let ba = bw.float_acc();
+    bw.counted_loop(6, |s, _| {
+        s.fold_float(ba, &w2, 6);
+    });
+    let br = bw.float_to_int(ba);
+    let bw_ret = bw.b.new_vreg(RegClass::Int);
+    bw.b.binary(BinOp::Add, bw_ret, br, bpar);
+    let backward = p.add_function(bw.finish_ret(Some(bw_ret)));
+
+    let mut s = Shaper::new("main", 93);
+    let acc = s.int_acc();
+    s.counted_loop(trips(scale, 400), |s, i| {
+        let r1 = s.b.new_vreg(RegClass::Int);
+        s.call_fn(forward, vec![i], Some(r1));
+        let r2 = s.b.new_vreg(RegClass::Int);
+        s.call_fn(backward, vec![r1], Some(r2));
+        s.b.binary(BinOp::Add, acc, acc, r2);
+    });
+    let id = p.add_function(s.finish_ret(Some(acc)));
+    p.set_main(id);
+    p
+}
+
+/// compress: one hot hashing routine with bit-twiddling chains; output is
+/// flushed through a call on a moderately rare path (every 8th call).
+fn compress(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let hot = hot_fn_with_cold_path(
+        &mut p,
+        "compress_block",
+        101,
+        RegClass::Int,
+        5,
+        10,
+        6,
+        2,
+        8,
+        (90, 5),
+    );
+    driver_main(&mut p, 102, trips(scale, 5000), hot, 3);
+    p
+}
+
+/// espresso: boolean-minimisation loops — two hot int routines with real
+/// pressure but few crossing live ranges per call site, so preference
+/// decision has nothing to resolve (the paper's third class).
+fn espresso(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let expand = small_leaf(&mut p, "expand", 111, 7);
+    let mut s = Shaper::new("minimize", 112);
+    let par = s.int_params(1)[0];
+    let cubes = s.int_set(8);
+    let acc = s.int_acc();
+    s.counted_loop(trips(scale, 10), |s, j| {
+        s.fold_int(acc, &cubes, 6);
+        let t = s.int_chain(j, 4);
+        s.b.binary(BinOp::Xor, acc, acc, t);
+        s.cond_mod(
+            j,
+            24,
+            |s| {
+                let r = s.b.new_vreg(RegClass::Int);
+                s.call_fn(expand, vec![par, j], Some(r));
+                s.b.binary(BinOp::Add, acc, acc, r);
+            },
+            |s| {
+                let t2 = s.int_chain(j, 2);
+                s.b.binary(BinOp::Or, acc, acc, t2);
+            },
+        );
+    });
+    let minimize = p.add_function(s.finish_ret(Some(acc)));
+    driver_main(&mut p, 113, trips(scale, 700), minimize, 4);
+    p
+}
+
+/// gcc: many medium functions, call-graph depth three, a bit of everything
+/// — int-dominated with mild pressure everywhere.
+fn gcc(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let fold = small_leaf(&mut p, "fold_const", 121, 5);
+    let canon = small_leaf(&mut p, "canon_rtx", 122, 6);
+    let mut s = Shaper::new("cse_insn", 123);
+    let par = s.int_params(1)[0];
+    let env = s.int_set(5);
+    let acc = s.int_acc();
+    let r1 = s.b.new_vreg(RegClass::Int);
+    s.call_fn(fold, vec![par, acc], Some(r1));
+    s.b.binary(BinOp::Add, acc, acc, r1);
+    s.cond_mod(
+        par,
+        6,
+        |s| {
+            let r = s.b.new_vreg(RegClass::Int);
+            s.call_fn(canon, vec![par, acc], Some(r));
+            s.b.binary(BinOp::Xor, acc, acc, r);
+        },
+        |s| {
+            let t = s.int_chain(par, 5);
+            s.b.binary(BinOp::Add, acc, acc, t);
+        },
+    );
+    s.fold_int(acc, &env, 4);
+    let cse = p.add_function(s.finish_ret(Some(acc)));
+
+    let mut top = Shaper::new("compile_pass", 124);
+    let tpar = top.int_params(1)[0];
+    let tenv = top.int_set(4);
+    let tacc = top.int_acc();
+    top.counted_loop(trips(scale, 8), |s, j| {
+        let r = s.b.new_vreg(RegClass::Int);
+        let arg = s.b.new_vreg(RegClass::Int);
+        s.b.binary(BinOp::Add, arg, tpar, j);
+        s.call_fn(cse, vec![arg], Some(r));
+        s.b.binary(BinOp::Add, tacc, tacc, r);
+        s.fold_int(tacc, &tenv, 2);
+    });
+    let pass = p.add_function(top.finish_ret(Some(tacc)));
+    driver_main(&mut p, 125, trips(scale, 350), pass, 3);
+    p
+}
+
+/// doduc: Monte-Carlo-ish FP simulation — FP loops with moderately frequent
+/// calls and mixed-temperature crossing values.
+fn doduc(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let rand_leaf = small_leaf(&mut p, "ranf", 131, 3);
+    let mut s = Shaper::new("integrate", 132);
+    let par = s.int_params(1)[0];
+    let state = s.float_set(6);
+    let facc = s.float_acc();
+    let cold = s.int_set(4);
+    let iacc = s.int_acc();
+    s.counted_loop(trips(scale, 14), |s, j| {
+        let r = s.b.new_vreg(RegClass::Int);
+        s.call_fn(rand_leaf, vec![par, j], Some(r));
+        s.b.binary(BinOp::Add, iacc, iacc, r);
+        s.fold_float(facc, &state, 5);
+        s.cond_mod(
+            j,
+            20,
+            |s| s.fold_int(iacc, &cold, cold.len()),
+            |s| {
+                let t = s.float_chain(facc, 2);
+                s.b.binary(BinOp::FAdd, facc, facc, t);
+            },
+        );
+    });
+    // A ring of cold device-state values crossing sampling calls: the
+    // structure where optimistic coloring can be *worse* than spilling
+    // (Tables 2–3's shaded cells; Figure 8 of the paper).
+    s.ring_loop_float_window(facc, 4, 9, 3);
+    let r = s.float_to_int(facc);
+    s.b.binary(BinOp::Add, iacc, iacc, r);
+    let integrate = p.add_function(s.finish_ret(Some(iacc)));
+    driver_main(&mut p, 133, trips(scale, 300), integrate, 3);
+    p
+}
+
+/// spice: circuit simulation — a deep loop nest evaluating device models,
+/// with rare error/reporting calls crossed by cold values.
+fn spice(scale: Scale) -> Program {
+    let mut p = Program::new();
+    let model = small_leaf(&mut p, "diode_model", 141, 4);
+    let mut s = Shaper::new("step", 142);
+    let par = s.int_params(1)[0];
+    let mat = s.float_set(8);
+    let facc = s.float_acc();
+    let cold = s.int_set(5);
+    // Hot values crossing only the rare reporting call.
+    let hot_cross = s.int_set(2);
+    let iacc = s.int_acc();
+    s.counted_loop(trips(scale, 10), |s, j| {
+        s.counted_loop(40, |s, _| {
+            s.fold_float(facc, &mat, 5);
+        });
+        let r = s.b.new_vreg(RegClass::Int);
+        let _ = &model;
+        s.b.binary(BinOp::Add, iacc, iacc, j);
+        let t = s.int_chain(j, 2);
+        s.b.binary(BinOp::Add, iacc, iacc, t);
+        let _ = r;
+        s.cond_mod(
+            j,
+            40,
+            |s| {
+                s.call_ext("report_nonconv", vec![j]);
+                s.fold_each_int(iacc, &cold);
+            },
+            |s| {
+                let t = s.int_chain(j, 2);
+                s.b.binary(BinOp::Add, iacc, iacc, t);
+            },
+        );
+        s.fold_each_int(iacc, &hot_cross);
+    });
+    // One device-model evaluation per step.
+    let r = s.b.new_vreg(RegClass::Int);
+    s.call_fn(model, vec![par, par], Some(r));
+    s.b.binary(BinOp::Add, iacc, iacc, r);
+    // Convergence-check ring (see doduc): a Figure 8 structure.
+    s.ring_loop_float_window(facc, 3, 9, 3);
+    let r = s.float_to_int(facc);
+    s.b.binary(BinOp::Add, iacc, iacc, r);
+    let step = p.add_function(s.finish_ret(Some(iacc)));
+    driver_main(&mut p, 143, trips(scale, 250), step, 3);
+    p
+}
+
+/// Builds the given workload at the given scale.
+pub fn build(program: SpecProgram, scale: Scale) -> Program {
+    let p = match program {
+        SpecProgram::Alvinn => alvinn(scale),
+        SpecProgram::Compress => compress(scale),
+        SpecProgram::Doduc => doduc(scale),
+        SpecProgram::Ear => ear(scale),
+        SpecProgram::Eqntott => eqntott(scale),
+        SpecProgram::Espresso => espresso(scale),
+        SpecProgram::Fpppp => fpppp(scale),
+        SpecProgram::Gcc => gcc(scale),
+        SpecProgram::Li => li(scale),
+        SpecProgram::Matrix300 => matrix300(scale),
+        SpecProgram::Nasa7 => nasa7(scale),
+        SpecProgram::Sc => sc(scale),
+        SpecProgram::Spice => spice(scale),
+        SpecProgram::Tomcatv => tomcatv(scale),
+    };
+    debug_assert!(p.verify().is_ok(), "{program:?} failed verification");
+    p
+}

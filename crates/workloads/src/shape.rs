@@ -1,0 +1,385 @@
+//! Program-shape building blocks for the synthetic SPEC92 workloads.
+//!
+//! [`Shaper`] wraps a [`FunctionBuilder`] with the structured idioms the
+//! workload programs are made of: counted loops, rarely/commonly taken
+//! conditionals, long-lived working sets, and short-lived compute chains.
+//! Everything is seeded and deterministic.
+
+use ccra_ir::{BinOp, Callee, CmpOp, FuncId, FunctionBuilder, RegClass, VReg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded, structured function builder.
+#[derive(Debug)]
+pub struct Shaper {
+    /// The underlying builder (exposed for custom shapes).
+    pub b: FunctionBuilder,
+    rng: StdRng,
+}
+
+impl Shaper {
+    /// Starts a function; the seed makes all filler code deterministic.
+    pub fn new(name: &str, seed: u64) -> Self {
+        Shaper { b: FunctionBuilder::new(name), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Declares `k` integer parameters.
+    pub fn int_params(&mut self, k: usize) -> Vec<VReg> {
+        let params: Vec<VReg> = (0..k).map(|_| self.b.new_vreg(RegClass::Int)).collect();
+        self.b.set_params(params.clone());
+        params
+    }
+
+    /// Creates `k` integer values initialised with distinct constants — a
+    /// long-lived working set.
+    pub fn int_set(&mut self, k: usize) -> Vec<VReg> {
+        (0..k)
+            .map(|_| {
+                let v = self.b.new_vreg(RegClass::Int);
+                let c = self.rng.gen_range(1..100);
+                self.b.iconst(v, c);
+                v
+            })
+            .collect()
+    }
+
+    /// Creates `k` float values initialised with distinct constants.
+    pub fn float_set(&mut self, k: usize) -> Vec<VReg> {
+        (0..k)
+            .map(|_| {
+                let v = self.b.new_vreg(RegClass::Float);
+                let c = self.rng.gen_range(1.0..8.0);
+                self.b.fconst(v, c);
+                v
+            })
+            .collect()
+    }
+
+    /// Emits `ops` integer operations folding the working set into `acc`,
+    /// keeping every member of `set` live through the region.
+    pub fn fold_int(&mut self, acc: VReg, set: &[VReg], ops: usize) {
+        for _ in 0..ops {
+            let v = set[self.rng.gen_range(0..set.len())];
+            let op = [BinOp::Add, BinOp::Xor, BinOp::Sub, BinOp::Or][self.rng.gen_range(0..4)];
+            self.b.binary(op, acc, acc, v);
+        }
+    }
+
+    /// Emits `ops` float operations folding the working set into `acc`.
+    pub fn fold_float(&mut self, acc: VReg, set: &[VReg], ops: usize) {
+        for _ in 0..ops {
+            let v = set[self.rng.gen_range(0..set.len())];
+            let op = [BinOp::FAdd, BinOp::FMul, BinOp::FSub][self.rng.gen_range(0..3)];
+            self.b.binary(op, acc, acc, v);
+        }
+    }
+
+    /// Folds *every* member of the working set into `acc` exactly once —
+    /// guarantees each member is referenced (and therefore live) here.
+    pub fn fold_each_int(&mut self, acc: VReg, set: &[VReg]) {
+        for &v in set {
+            let op = [BinOp::Add, BinOp::Xor][self.rng.gen_range(0..2)];
+            self.b.binary(op, acc, acc, v);
+        }
+    }
+
+    /// Float analogue of [`Shaper::fold_each_int`].
+    pub fn fold_each_float(&mut self, acc: VReg, set: &[VReg]) {
+        for &v in set {
+            let op = [BinOp::FAdd, BinOp::FMul][self.rng.gen_range(0..2)];
+            self.b.binary(op, acc, acc, v);
+        }
+    }
+
+    /// Emits a chain of `len` short-lived integer temporaries seeded from
+    /// `seed_val`, returning the final link. Creates register pressure that
+    /// dies quickly.
+    pub fn int_chain(&mut self, seed_val: VReg, len: usize) -> VReg {
+        let mut cur = seed_val;
+        for _ in 0..len {
+            let t = self.b.new_vreg(RegClass::Int);
+            let op = [BinOp::Add, BinOp::Mul, BinOp::Xor][self.rng.gen_range(0..3)];
+            self.b.binary(op, t, cur, cur);
+            cur = t;
+        }
+        cur
+    }
+
+    /// Emits a chain of `len` short-lived float temporaries.
+    pub fn float_chain(&mut self, seed_val: VReg, len: usize) -> VReg {
+        let mut cur = seed_val;
+        for _ in 0..len {
+            let t = self.b.new_vreg(RegClass::Float);
+            let op = [BinOp::FAdd, BinOp::FMul][self.rng.gen_range(0..2)];
+            self.b.binary(op, t, cur, cur);
+            cur = t;
+        }
+        cur
+    }
+
+    /// Emits a two-clique "staircase" of float lifetimes: a first clique of
+    /// `n` values, then `n` new values defined one-by-one while the old
+    /// ones die one-by-one. Every node's degree reaches `n + 2`-ish while
+    /// the graph stays `n + 2`-colorable — the pattern where optimistic
+    /// (Briggs) coloring beats Chaitin's pessimistic spilling.
+    pub fn staircase_float(&mut self, facc: VReg, n: usize) {
+        let a = self.float_set(n);
+        // All of `a` live together (the first clique).
+        self.fold_each_float(facc, &a);
+        let mut b = Vec::with_capacity(n);
+        for &ai in &a {
+            let bi = self.b.new_vreg(RegClass::Float);
+            let c = self.rng.gen_range(1.0..4.0);
+            self.b.fconst(bi, c);
+            // Last use of ai after bi is defined: edge (ai, bi) and beyond.
+            self.b.binary(BinOp::FAdd, facc, facc, ai);
+            b.push(bi);
+        }
+        self.fold_each_float(facc, &b);
+    }
+
+    /// Emits a loop whose body recomputes a ring of `n` float values, each
+    /// defined from the previous two, with an external call after every
+    /// definition. The resulting interference graph is a circulant ring:
+    /// every value has degree ~4 yet the graph is 4-colorable, and every
+    /// value crosses two calls with only three references — the Figure 8
+    /// scenario where optimistic coloring recovers a live range into a
+    /// register whose call cost exceeds its spill cost.
+    pub fn ring_loop_float(&mut self, facc: VReg, trips: i64, n: usize) {
+        self.ring_loop_float_window(facc, trips, n, 2);
+    }
+
+    /// Like [`Shaper::ring_loop_float`] with an explicit overlap window:
+    /// each value is recomputed from the previous `window` values, giving
+    /// every node degree ≈ `2 × window` in the interference graph while the
+    /// graph stays `window + 1`-colorable.
+    pub fn ring_loop_float_window(&mut self, facc: VReg, trips: i64, n: usize, window: usize) {
+        assert!(n >= 2 * window && window >= 2, "ring too small for its window");
+        let v = self.float_set(n);
+        self.counted_loop(trips, |s, i| {
+            for k in 0..n {
+                let mut t = v[(k + n - 1) % n];
+                for w in 2..=window {
+                    let next = s.b.new_vreg(RegClass::Float);
+                    s.b.binary(BinOp::FSub, next, t, v[(k + n - w) % n]);
+                    t = next;
+                }
+                s.b.binary(BinOp::FAdd, v[k], t, v[(k + n - 1) % n]);
+                s.call_ext("ring_step", vec![i]);
+            }
+        });
+        self.fold_each_float(facc, &v);
+    }
+
+    /// Emits an inner loop of useful work: `trips` iterations folding the
+    /// set with `ops` operations each. Keeps the useful-instruction to
+    /// overhead-operation ratio realistic without bloating the IR.
+    pub fn work_loop_int(&mut self, acc: VReg, set: &[VReg], trips: i64, ops: usize) {
+        let set = set.to_vec();
+        self.counted_loop(trips, |s, _| {
+            s.fold_int(acc, &set, ops);
+        });
+    }
+
+    /// Float analogue of [`Shaper::work_loop_int`].
+    pub fn work_loop_float(&mut self, acc: VReg, set: &[VReg], trips: i64, ops: usize) {
+        let set = set.to_vec();
+        self.counted_loop(trips, |s, _| {
+            s.fold_float(acc, &set, ops);
+        });
+    }
+
+    /// Emits a counted loop running `trips` times. The body closure
+    /// receives the induction variable.
+    pub fn counted_loop(&mut self, trips: i64, body: impl FnOnce(&mut Self, VReg)) {
+        let i = self.b.new_vreg(RegClass::Int);
+        let n = self.b.new_vreg(RegClass::Int);
+        let one = self.b.new_vreg(RegClass::Int);
+        self.b.iconst(i, 0);
+        self.b.iconst(n, trips);
+        self.b.iconst(one, 1);
+        let head = self.b.reserve_block();
+        let body_bb = self.b.reserve_block();
+        let exit = self.b.reserve_block();
+        self.b.jump(head);
+        self.b.switch_to(head);
+        let c = self.b.new_vreg(RegClass::Int);
+        self.b.cmp(CmpOp::Lt, c, i, n);
+        self.b.branch(c, body_bb, exit);
+        self.b.switch_to(body_bb);
+        body(self, i);
+        self.b.binary(BinOp::Add, i, i, one);
+        self.b.jump(head);
+        self.b.switch_to(exit);
+    }
+
+    /// Emits `if (selector % modulus == 0) { rare } else { common }`.
+    /// With a loop induction variable as selector, the rare arm runs once
+    /// every `modulus` iterations.
+    pub fn cond_mod(
+        &mut self,
+        selector: VReg,
+        modulus: i64,
+        rare: impl FnOnce(&mut Self),
+        common: impl FnOnce(&mut Self),
+    ) {
+        let m = self.b.new_vreg(RegClass::Int);
+        let z = self.b.new_vreg(RegClass::Int);
+        let c = self.b.new_vreg(RegClass::Int);
+        self.b.iconst(m, modulus);
+        self.b.binary(BinOp::Rem, z, selector, m);
+        let zero = self.b.new_vreg(RegClass::Int);
+        self.b.iconst(zero, 0);
+        self.b.cmp(CmpOp::Eq, c, z, zero);
+        let rare_bb = self.b.reserve_block();
+        let common_bb = self.b.reserve_block();
+        let join = self.b.reserve_block();
+        self.b.branch(c, rare_bb, common_bb);
+        self.b.switch_to(rare_bb);
+        rare(self);
+        self.b.jump(join);
+        self.b.switch_to(common_bb);
+        common(self);
+        self.b.jump(join);
+        self.b.switch_to(join);
+    }
+
+    /// Calls an external routine (deterministic pseudo-function).
+    pub fn call_ext(&mut self, name: &'static str, args: Vec<VReg>) -> VReg {
+        let r = self.b.new_vreg(RegClass::Int);
+        self.b.call(Callee::External(name), args, Some(r));
+        r
+    }
+
+    /// Calls an internal function.
+    pub fn call_fn(&mut self, f: FuncId, args: Vec<VReg>, ret: Option<VReg>) {
+        self.b.call(Callee::Internal(f), args, ret);
+    }
+
+    /// A fresh zero-initialised integer accumulator.
+    pub fn int_acc(&mut self) -> VReg {
+        let v = self.b.new_vreg(RegClass::Int);
+        self.b.iconst(v, 0);
+        v
+    }
+
+    /// A fresh zero-initialised float accumulator.
+    pub fn float_acc(&mut self) -> VReg {
+        let v = self.b.new_vreg(RegClass::Float);
+        self.b.fconst(v, 0.0);
+        v
+    }
+
+    /// Folds a float accumulator into an int result (so float work is
+    /// observable through an int return).
+    pub fn float_to_int(&mut self, facc: VReg) -> VReg {
+        let r = self.b.new_vreg(RegClass::Int);
+        self.b.unary(ccra_ir::UnOp::FloatToInt, r, facc);
+        r
+    }
+
+    /// Finishes the function with a return.
+    pub fn finish_ret(mut self, value: Option<VReg>) -> ccra_ir::Function {
+        self.b.ret(value);
+        self.b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_analysis::{run, InterpConfig, Value};
+    use ccra_ir::Program;
+
+    fn exec(f: ccra_ir::Function) -> ccra_analysis::RunStats {
+        let mut p = Program::new();
+        let id = p.add_function(f);
+        p.set_main(id);
+        p.verify().unwrap();
+        run(&p, &InterpConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn counted_loop_runs_exactly() {
+        let mut s = Shaper::new("main", 1);
+        let acc = s.int_acc();
+        let one = s.int_set(1);
+        s.counted_loop(17, |s, _i| {
+            s.fold_int(acc, &one, 1);
+        });
+        let stats = exec(s.finish_ret(Some(acc)));
+        assert!(matches!(stats.result, Some(Value::Int(_))));
+        // Body executed 17 times: the accumulator folded 17 ops.
+        assert!(stats.steps > 17);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut s = Shaper::new("main", 2);
+        let acc = s.int_acc();
+        let set = s.int_set(2);
+        s.counted_loop(5, |s, _| {
+            s.counted_loop(7, |s, _| {
+                s.fold_int(acc, &set, 1);
+            });
+        });
+        let stats = exec(s.finish_ret(Some(acc)));
+        assert!(stats.steps >= 35);
+    }
+
+    #[test]
+    fn cond_mod_rare_path_frequency() {
+        let mut s = Shaper::new("main", 3);
+        let rare_count = s.int_acc();
+        let common_count = s.int_acc();
+        let one = s.b.new_vreg(RegClass::Int);
+        s.b.iconst(one, 1);
+        s.counted_loop(30, |s, i| {
+            s.cond_mod(
+                i,
+                10,
+                |s| {
+                    s.b.binary(BinOp::Add, rare_count, rare_count, one);
+                },
+                |s| {
+                    s.b.binary(BinOp::Add, common_count, common_count, one);
+                },
+            );
+        });
+        // Return rare*1000 + common to observe both counts.
+        let thousand = s.b.new_vreg(RegClass::Int);
+        s.b.iconst(thousand, 1000);
+        let scaled = s.b.new_vreg(RegClass::Int);
+        s.b.binary(BinOp::Mul, scaled, rare_count, thousand);
+        let total = s.b.new_vreg(RegClass::Int);
+        s.b.binary(BinOp::Add, total, scaled, common_count);
+        let stats = exec(s.finish_ret(Some(total)));
+        // Rare arm runs for i = 0, 10, 20; common for the other 27.
+        assert_eq!(stats.result, Some(Value::Int(3 * 1000 + 27)));
+    }
+
+    #[test]
+    fn chains_and_folds_are_deterministic() {
+        let build = || {
+            let mut s = Shaper::new("main", 42);
+            let set = s.int_set(4);
+            let acc = s.int_acc();
+            s.fold_int(acc, &set, 10);
+            let t = s.int_chain(acc, 5);
+            s.finish_ret(Some(t))
+        };
+        assert_eq!(exec(build()).result, exec(build()).result);
+    }
+
+    #[test]
+    fn float_work_observable() {
+        let mut s = Shaper::new("main", 7);
+        let fs = s.float_set(3);
+        let facc = s.float_acc();
+        s.fold_float(facc, &fs, 6);
+        let t = s.float_chain(facc, 2);
+        let r = s.float_to_int(t);
+        let stats = exec(s.finish_ret(Some(r)));
+        assert!(matches!(stats.result, Some(Value::Int(_))));
+    }
+}

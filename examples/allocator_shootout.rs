@@ -1,0 +1,62 @@
+//! Shootout: run all five allocator families over the fourteen SPEC92-like
+//! workloads and print a league table of total overhead operations.
+//!
+//! ```text
+//! cargo run --release --example allocator_shootout [-- --scale 0.25]
+//! ```
+
+use call_cost_regalloc::prelude::*;
+use ccra_analysis::FreqMode;
+use ccra_eval::{Bench, Table};
+use ccra_regalloc::PriorityOrdering;
+use ccra_workloads::Scale;
+
+fn main() {
+    let scale = parse_scale().unwrap_or(Scale(0.25));
+    let file = RegisterFile::new(9, 7, 3, 3);
+    let configs = [
+        ("base", AllocatorConfig::base()),
+        ("improved", AllocatorConfig::improved()),
+        ("optimistic", AllocatorConfig::optimistic()),
+        ("priority", AllocatorConfig::priority(PriorityOrdering::Sorting)),
+        ("CBH", AllocatorConfig::cbh()),
+    ];
+
+    let mut headers = vec!["program".to_string()];
+    headers.extend(configs.iter().map(|(n, _)| n.to_string()));
+    headers.push("best".to_string());
+    let mut table = Table::new(
+        format!("Total overhead operations at {file} (dynamic frequencies, scale {})", scale.0),
+        headers,
+    );
+
+    let mut wins = vec![0usize; configs.len()];
+    for prog in SpecProgram::ALL {
+        let bench = Bench::load(prog, scale);
+        let totals: Vec<f64> = configs
+            .iter()
+            .map(|(_, c)| bench.overhead(FreqMode::Dynamic, file, c).total())
+            .collect();
+        let best = totals
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        wins[best] += 1;
+        let mut row = vec![prog.to_string()];
+        row.extend(totals.iter().map(|t| format!("{t:.0}")));
+        row.push(configs[best].0.to_string());
+        table.push_row(row);
+    }
+    println!("{table}");
+    for ((name, _), w) in configs.iter().zip(&wins) {
+        println!("{name:>12}: best on {w} programs");
+    }
+}
+
+fn parse_scale() -> Option<Scale> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--scale")?;
+    args.get(i + 1)?.parse::<f64>().ok().map(Scale)
+}

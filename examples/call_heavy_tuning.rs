@@ -1,0 +1,48 @@
+//! Calling-convention tuning: for a call-heavy interpreter workload, how
+//! should a machine's registers be split between caller-save and
+//! callee-save? This is the design question behind the paper's register
+//! sweeps, turned around: fix the total register count, vary the split.
+//!
+//! ```text
+//! cargo run --release --example call_heavy_tuning
+//! ```
+
+use call_cost_regalloc::prelude::*;
+use ccra_analysis::FreqMode;
+use ccra_eval::{Bench, Table};
+use ccra_workloads::Scale;
+
+fn main() {
+    let bench = Bench::load(SpecProgram::Li, Scale(0.25));
+    // 16 integer + 10 float registers total; sweep the callee-save share.
+    let mut table = Table::new(
+        "li (interpreter): fixed 16-int/10-float machine, varying callee-save share",
+        vec![
+            "split".into(),
+            "base".into(),
+            "improved".into(),
+            "improved wins by".into(),
+        ],
+    );
+    for callee_int in 0..=9u8 {
+        let callee_float = (callee_int * 10 / 16).min(6);
+        let file = RegisterFile::new(16 - callee_int, 10 - callee_float, callee_int, callee_float);
+        let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base()).total();
+        let improved =
+            bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::improved()).total();
+        table.push_row(vec![
+            file.to_string(),
+            format!("{base:.0}"),
+            format!("{improved:.0}"),
+            format!("{:.2}x", base / improved.max(1e-9)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Reading: the base allocator is hostage to the split — it parks\n\
+         call-crossing values in whatever callee-save registers exist. The\n\
+         improved allocator's storage-class analysis spills what isn't worth\n\
+         a register, flattening the curve: calling-convention design matters\n\
+         much less once the allocator is call-cost aware (Section 12)."
+    );
+}

@@ -1,0 +1,46 @@
+//! Bring your own target and cost model: allocate for a hypothetical
+//! embedded core with few registers and expensive memory, and compare
+//! against the default MIPS-like model.
+//!
+//! ```text
+//! cargo run --release --example custom_target
+//! ```
+
+use call_cost_regalloc::prelude::*;
+use ccra_machine::CostModel;
+use ccra_regalloc::allocate_program_with;
+use ccra_workloads::{spec_program_scaled, Scale};
+
+fn main() {
+    let program = spec_program_scaled(SpecProgram::Compress, Scale(0.25));
+    let freq = FrequencyInfo::profile(&program).expect("workload runs");
+
+    // A small embedded core: 8 integer registers (6 caller + 2 callee),
+    // 4 caller-save float registers.
+    let tiny = RegisterFile::new(6, 4, 2, 0);
+
+    // Memory is 4× as expensive as on the MIPS model (slow SRAM): every
+    // spill touch costs 4 overhead units, and save/restore pairs cost 8.
+    let slow_memory = CostModel {
+        spill_ref_ops: 4.0,
+        caller_save_pair_ops: 8.0,
+        callee_save_pair_ops: 8.0,
+        shuffle_move_ops: 1.0,
+    };
+
+    println!("compress on a tiny embedded core {tiny}:\n");
+    for (label, cost) in [("MIPS-like cost model", CostModel::paper()), ("slow-memory cost model", slow_memory)]
+    {
+        for config in [AllocatorConfig::base(), AllocatorConfig::improved()] {
+            let out = allocate_program_with(&program, &freq, tiny, &config, &cost);
+            println!("  {label:<24} {:<9} -> {}", config.label(), out.overhead);
+        }
+        println!();
+    }
+
+    println!(
+        "Reading: with expensive memory the improved allocator's storage-class\n\
+         analysis spills less aggressively — the spill/call-cost trade-off is\n\
+         re-balanced by the cost model, not hard-coded in the algorithm."
+    );
+}

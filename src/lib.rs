@@ -1,0 +1,49 @@
+//! Call-cost directed register allocation — a full reproduction of
+//! Lueh & Gross, *Call-Cost Directed Register Allocation*, PLDI 1997.
+//!
+//! This façade crate re-exports the public API of the workspace:
+//!
+//! * [`ir`] — the RISC-style IR substrate ([`ccra_ir`]);
+//! * [`analysis`] — CFG analyses, liveness, frequency estimation, and the
+//!   profiling interpreter ([`ccra_analysis`]);
+//! * [`machine`] — the two-bank register file with caller-/callee-save
+//!   splits ([`ccra_machine`]);
+//! * [`regalloc`] — the paper's contribution: the enhanced Chaitin-style
+//!   allocator plus optimistic, priority-based, and CBH comparators
+//!   ([`ccra_regalloc`]);
+//! * [`workloads`] — synthetic SPEC92-like benchmark programs
+//!   ([`ccra_workloads`]);
+//! * [`eval`] — experiment drivers for every table and figure
+//!   ([`ccra_eval`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use call_cost_regalloc::prelude::*;
+//!
+//! // Build a workload, profile it, and allocate with the improved
+//! // Chaitin-style allocator of the paper.
+//! let program = ccra_workloads::spec_program(SpecProgram::Eqntott);
+//! let profile = FrequencyInfo::profile(&program).expect("program runs");
+//! let file = RegisterFile::mips_full();
+//! let outcome = allocate_program(&program, &profile, file, &AllocatorConfig::improved());
+//! assert!(outcome.overhead.total() >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ccra_analysis as analysis;
+pub use ccra_eval as eval;
+pub use ccra_ir as ir;
+pub use ccra_machine as machine;
+pub use ccra_regalloc as regalloc;
+pub use ccra_workloads as workloads;
+
+/// Commonly used items, one `use` away.
+pub mod prelude {
+    pub use ccra_analysis::FrequencyInfo;
+    pub use ccra_ir::{Function, FunctionBuilder, Program, RegClass};
+    pub use ccra_machine::{RegisterFile, SaveKind};
+    pub use ccra_regalloc::{allocate_program, AllocatorConfig, AllocatorKind, Overhead};
+    pub use ccra_workloads::SpecProgram;
+}

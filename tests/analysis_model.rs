@@ -1,0 +1,181 @@
+//! Model-based tests for the analyses: the production dataflow
+//! implementations are checked against independent, obviously-correct
+//! (and much slower) reference implementations on random programs.
+
+use ccra_analysis::{DomTree, Liveness};
+use ccra_ir::{BlockId, Function, VReg};
+use ccra_workloads::{random_program, FuzzConfig};
+use proptest::prelude::*;
+
+/// Reference liveness: `v` is live-in at `b` iff some CFG path from the
+/// start of `b` reaches a use of `v` with no intervening def, computed by a
+/// naive per-vreg fixpoint over "upward-exposed use" / "kills" summaries.
+fn naive_live_in(f: &Function, v: VReg) -> Vec<bool> {
+    let n = f.num_blocks();
+    // Per block: does it use v before any def? does it def v at all?
+    let mut exposed = vec![false; n];
+    let mut kills = vec![false; n];
+    for (bb, block) in f.blocks() {
+        let mut defined = false;
+        for inst in &block.insts {
+            if !defined && inst.uses().contains(&v) {
+                exposed[bb.index()] = true;
+            }
+            if inst.def() == Some(v) {
+                defined = true;
+            }
+        }
+        if !defined && block.term.use_reg() == Some(v) {
+            exposed[bb.index()] = true;
+        }
+        kills[bb.index()] = defined;
+    }
+    // live_in(b) = exposed(b) ∨ (¬kills(b) ∧ ∃ succ s: live_in(s))
+    let mut live = exposed.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (bb, _) in f.blocks() {
+            if live[bb.index()] || kills[bb.index()] {
+                continue;
+            }
+            if f.successors(bb).any(|s| live[s.index()]) {
+                live[bb.index()] = true;
+                changed = true;
+            }
+        }
+    }
+    live
+}
+
+/// Reference dominance: `a` dominates `b` iff removing `a` disconnects `b`
+/// from the entry (checked by DFS that avoids `a`).
+fn naive_dominates(f: &Function, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    // Can we reach b from entry without passing through a?
+    let mut visited = vec![false; f.num_blocks()];
+    let mut stack = vec![f.entry()];
+    if f.entry() == a {
+        return true; // entry dominates everything reachable
+    }
+    while let Some(x) = stack.pop() {
+        if x == b {
+            return false; // reached b while avoiding a
+        }
+        if visited[x.index()] || x == a {
+            continue;
+        }
+        visited[x.index()] = true;
+        for s in f.successors(x) {
+            if s != a {
+                stack.push(s);
+            }
+        }
+    }
+    // b unreachable while avoiding a: a dominates b if b is reachable at all.
+    reachable(f, b)
+}
+
+fn reachable(f: &Function, b: BlockId) -> bool {
+    let mut visited = vec![false; f.num_blocks()];
+    let mut stack = vec![f.entry()];
+    while let Some(x) = stack.pop() {
+        if x == b {
+            return true;
+        }
+        if visited[x.index()] {
+            continue;
+        }
+        visited[x.index()] = true;
+        stack.extend(f.successors(x));
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// The bitset dataflow liveness agrees with the naive per-vreg fixpoint
+    /// on every (block, vreg) pair.
+    #[test]
+    fn liveness_matches_reference(seed in 0u64..100_000) {
+        let p = random_program(seed, &FuzzConfig { functions: 1, ..Default::default() });
+        let f = p.function(p.main().unwrap());
+        let live = Liveness::compute(f);
+        for v in f.vreg_ids() {
+            let reference = naive_live_in(f, v);
+            for bb in f.block_ids() {
+                // The reference marks unreachable blocks too; restrict the
+                // comparison to reachable ones (dead blocks never execute).
+                if !reachable(f, bb) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    live.is_live_in(bb, v),
+                    reference[bb.index()],
+                    "seed {}: live_in({}, {}) disagrees", seed, bb, v
+                );
+            }
+        }
+    }
+
+    /// The CHK dominator tree agrees with path-based dominance.
+    #[test]
+    fn dominators_match_reference(seed in 0u64..100_000) {
+        let p = random_program(seed, &FuzzConfig { functions: 1, stmts_per_fn: 15, ..Default::default() });
+        let f = p.function(p.main().unwrap());
+        let dom = DomTree::compute(f);
+        for a in f.block_ids() {
+            for b in f.block_ids() {
+                if !reachable(f, a) || !reachable(f, b) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    naive_dominates(f, a, b),
+                    "seed {}: dominates({}, {}) disagrees", seed, a, b
+                );
+            }
+        }
+    }
+
+    /// Webs partition references: every def/use site of the function
+    /// belongs to exactly one web, and webs of the same vreg never share a
+    /// reference site.
+    #[test]
+    fn webs_partition_references(seed in 0u64..100_000) {
+        use std::collections::HashSet;
+        let p = random_program(seed, &FuzzConfig { functions: 1, ..Default::default() });
+        let f = p.function(p.main().unwrap());
+        let webs = ccra_analysis::Webs::compute(f);
+        let mut seen_defs: HashSet<(u32, u32, u32)> = HashSet::new();
+        let mut seen_uses: HashSet<(u32, u32, u32)> = HashSet::new();
+        for (_, data) in webs.iter() {
+            for &(bb, i) in &data.defs {
+                prop_assert!(
+                    seen_defs.insert((bb.0, i, data.vreg.0)),
+                    "def site claimed by two webs"
+                );
+            }
+            for &(bb, i) in &data.uses {
+                prop_assert!(
+                    seen_uses.insert((bb.0, i, data.vreg.0)),
+                    "use site claimed by two webs"
+                );
+            }
+        }
+        // Every def in the code is claimed by some web.
+        for (bb, block) in f.blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Some(d) = inst.def() {
+                    prop_assert!(
+                        webs.def_web(bb, i as u32, d).is_some(),
+                        "unclaimed def at {}:{}", bb, i
+                    );
+                }
+            }
+        }
+    }
+}

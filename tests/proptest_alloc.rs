@@ -1,0 +1,113 @@
+//! Property-based tests: random programs through the whole pipeline.
+
+use call_cost_regalloc::prelude::*;
+use ccra_analysis::{run, InterpConfig};
+use ccra_regalloc::PriorityOrdering;
+use ccra_workloads::{random_program, FuzzConfig};
+use proptest::prelude::*;
+
+fn interp() -> InterpConfig {
+    InterpConfig { step_limit: 5_000_000, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any allocator, any register file: the rewritten program verifies and
+    /// computes the same result as the original.
+    #[test]
+    fn allocation_preserves_semantics(
+        seed in 0u64..10_000,
+        ri in 6u8..12,
+        rf in 4u8..9,
+        ei in 0u8..6,
+        ef in 0u8..4,
+        which in 0usize..6,
+    ) {
+        let program = random_program(seed, &FuzzConfig::default());
+        let expect = run(&program, &interp()).unwrap().result;
+        let freq = FrequencyInfo::profile(&program).unwrap();
+        let file = RegisterFile::new(ri, rf, ei, ef);
+        let config = [
+            AllocatorConfig::base(),
+            AllocatorConfig::improved(),
+            AllocatorConfig::optimistic(),
+            AllocatorConfig::improved_optimistic(),
+            AllocatorConfig::priority(PriorityOrdering::Sorting),
+            AllocatorConfig::cbh(),
+        ][which];
+        let out = ccra_regalloc::allocate_program(&program, &freq, file, &config);
+        prop_assert!(out.program.verify().is_ok());
+        let got = run(&out.program, &interp()).unwrap().result;
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Overhead is never negative and decomposes into its components.
+    #[test]
+    fn overhead_decomposition(seed in 0u64..10_000) {
+        let program = random_program(seed, &FuzzConfig { stmts_per_fn: 15, ..Default::default() });
+        let freq = FrequencyInfo::profile(&program).unwrap();
+        let out = ccra_regalloc::allocate_program(
+            &program,
+            &freq,
+            RegisterFile::new(6, 4, 2, 2),
+            &AllocatorConfig::improved(),
+        );
+        let o = out.overhead;
+        prop_assert!(o.spill >= 0.0 && o.caller_save >= 0.0);
+        prop_assert!(o.callee_save >= 0.0 && o.shuffle >= 0.0);
+        let total = o.spill + o.caller_save + o.callee_save + o.shuffle;
+        prop_assert!((o.total() - total).abs() < 1e-9);
+    }
+
+    /// The measured (interpreter) overhead equals the analytic overhead for
+    /// profiles of the same input — on arbitrary programs, not just the
+    /// curated workloads.
+    #[test]
+    fn measured_equals_analytic(seed in 0u64..10_000, which in 0usize..3) {
+        let program = random_program(seed, &FuzzConfig::default());
+        let freq = FrequencyInfo::profile(&program).unwrap();
+        let config = [
+            AllocatorConfig::base(),
+            AllocatorConfig::improved(),
+            AllocatorConfig::cbh(),
+        ][which];
+        let out = ccra_regalloc::allocate_program(
+            &program,
+            &freq,
+            RegisterFile::new(7, 5, 1, 1),
+            &config,
+        );
+        let stats = run(&out.program, &interp()).unwrap();
+        let measured = ccra_regalloc::measured_overhead(&stats);
+        prop_assert!((measured.total() - out.overhead.total()).abs() < 1e-6,
+            "measured {} vs analytic {}", measured.total(), out.overhead.total());
+    }
+
+    /// Allocation is deterministic: same inputs, same overhead and program.
+    #[test]
+    fn allocation_is_deterministic(seed in 0u64..10_000) {
+        let program = random_program(seed, &FuzzConfig { stmts_per_fn: 12, ..Default::default() });
+        let freq = FrequencyInfo::profile(&program).unwrap();
+        let file = RegisterFile::new(8, 6, 2, 2);
+        let a = ccra_regalloc::allocate_program(&program, &freq, file, &AllocatorConfig::improved());
+        let b = ccra_regalloc::allocate_program(&program, &freq, file, &AllocatorConfig::improved());
+        prop_assert_eq!(a.overhead.total(), b.overhead.total());
+        prop_assert_eq!(a.program, b.program);
+    }
+
+    /// More registers never increase the *spill* component under the base
+    /// allocator (call cost may go up — that is the paper's point — but
+    /// spilling itself is monotone).
+    #[test]
+    fn base_spill_cost_monotone_in_registers(seed in 0u64..5_000) {
+        let program = random_program(seed, &FuzzConfig { stmts_per_fn: 20, ..Default::default() });
+        let freq = FrequencyInfo::profile(&program).unwrap();
+        let small = ccra_regalloc::allocate_program(
+            &program, &freq, RegisterFile::new(6, 4, 0, 0), &AllocatorConfig::base());
+        let large = ccra_regalloc::allocate_program(
+            &program, &freq, RegisterFile::mips_full(), &AllocatorConfig::base());
+        prop_assert!(large.overhead.spill <= small.overhead.spill + 1e-9,
+            "spill grew from {} to {}", small.overhead.spill, large.overhead.spill);
+    }
+}

@@ -1,0 +1,78 @@
+//! Textual IR round-trips: display → parse → display is the identity, for
+//! every workload function and for random programs.
+
+use ccra_ir::{display_function, parse_function, parse_program};
+use ccra_workloads::{random_program, spec_program_scaled, FuzzConfig, Scale, SpecProgram};
+use proptest::prelude::*;
+
+#[test]
+fn all_workload_functions_roundtrip() {
+    for prog in SpecProgram::ALL {
+        let p = spec_program_scaled(prog, Scale(0.05));
+        for (_, f) in p.functions() {
+            let text = display_function(f);
+            let parsed = parse_function(&text)
+                .unwrap_or_else(|e| panic!("{prog}/{}: {e}\n{text}", f.name()));
+            assert_eq!(
+                text,
+                display_function(&parsed),
+                "{prog}/{} did not round-trip",
+                f.name()
+            );
+            ccra_ir::verify_function(&parsed).unwrap();
+        }
+    }
+}
+
+#[test]
+fn allocated_functions_roundtrip() {
+    // Rewritten functions contain spill slots, temporaries, and overhead
+    // markers — the parser must handle all of them.
+    use call_cost_regalloc::prelude::*;
+    let p = spec_program_scaled(SpecProgram::Li, Scale(0.05));
+    let freq = FrequencyInfo::profile(&p).unwrap();
+    let out = ccra_regalloc::allocate_program(
+        &p,
+        &freq,
+        RegisterFile::new(6, 4, 1, 1),
+        &AllocatorConfig::improved(),
+    );
+    for (_, f) in out.program.functions() {
+        let text = display_function(f);
+        let parsed = parse_function(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(text, display_function(&parsed));
+    }
+}
+
+#[test]
+fn whole_programs_roundtrip_and_run_identically() {
+    use ccra_analysis::{run, InterpConfig};
+    for seed in 0..10u64 {
+        let p = random_program(seed, &FuzzConfig::default());
+        let mut text = String::new();
+        for (_, f) in p.functions() {
+            text.push_str(&display_function(f));
+        }
+        text.push_str("main main\n");
+        let reparsed = parse_program(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let a = run(&p, &InterpConfig::default()).unwrap();
+        let b = run(&reparsed, &InterpConfig::default()).unwrap();
+        assert_eq!(a.result, b.result, "seed {seed}");
+        assert_eq!(a.steps, b.steps, "seed {seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_functions_roundtrip(seed in 0u64..100_000) {
+        let p = random_program(seed, &FuzzConfig { functions: 1, ..Default::default() });
+        let f = p.function(p.main().unwrap());
+        let text = display_function(f);
+        let parsed = parse_function(&text).map_err(|e| {
+            TestCaseError::fail(format!("{e}\n{text}"))
+        })?;
+        prop_assert_eq!(text, display_function(&parsed));
+    }
+}

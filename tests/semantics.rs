@@ -1,0 +1,76 @@
+//! End-to-end semantic preservation: every workload, rewritten by every
+//! allocator, must verify and compute exactly the same result.
+
+use call_cost_regalloc::prelude::*;
+use ccra_analysis::{run, InterpConfig};
+use ccra_regalloc::PriorityOrdering;
+use ccra_workloads::{spec_program_scaled, Scale};
+
+const SCALE: Scale = Scale(0.05);
+
+fn all_configs() -> Vec<AllocatorConfig> {
+    vec![
+        AllocatorConfig::base(),
+        AllocatorConfig::improved(),
+        AllocatorConfig::optimistic(),
+        AllocatorConfig::improved_optimistic(),
+        AllocatorConfig::priority(PriorityOrdering::RemovingUnconstrained),
+        AllocatorConfig::priority(PriorityOrdering::SortingUnconstrained),
+        AllocatorConfig::priority(PriorityOrdering::Sorting),
+        AllocatorConfig::cbh(),
+        AllocatorConfig::with_improvements(true, false, false),
+        AllocatorConfig::with_improvements(false, true, false),
+        AllocatorConfig::with_improvements(false, false, true),
+    ]
+}
+
+#[test]
+fn every_workload_survives_every_allocator() {
+    let files = [
+        ccra_machine::RegisterFile::minimum(),
+        ccra_machine::RegisterFile::new(8, 6, 2, 2),
+        ccra_machine::RegisterFile::mips_full(),
+    ];
+    for prog in SpecProgram::ALL {
+        let ir = spec_program_scaled(prog, SCALE);
+        let expect = run(&ir, &InterpConfig::default())
+            .unwrap_or_else(|e| panic!("{prog}: {e}"))
+            .result;
+        let freq = FrequencyInfo::profile(&ir).unwrap();
+        for config in all_configs() {
+            for file in files {
+                let out = ccra_regalloc::allocate_program(&ir, &freq, file, &config);
+                out.program
+                    .verify()
+                    .unwrap_or_else(|e| panic!("{prog}/{}/{file}: {e}", config.label()));
+                let got = run(&out.program, &InterpConfig::default())
+                    .unwrap_or_else(|e| panic!("{prog}/{}/{file}: {e}", config.label()))
+                    .result;
+                assert_eq!(
+                    got,
+                    expect,
+                    "{prog} under {} at {file} changed semantics",
+                    config.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn static_frequencies_also_preserve_semantics() {
+    // Allocation decisions differ under static estimates; semantics must not.
+    for prog in [SpecProgram::Eqntott, SpecProgram::Fpppp, SpecProgram::Gcc] {
+        let ir = spec_program_scaled(prog, SCALE);
+        let expect = run(&ir, &InterpConfig::default()).unwrap().result;
+        let freq = FrequencyInfo::estimate(&ir);
+        let out = ccra_regalloc::allocate_program(
+            &ir,
+            &freq,
+            ccra_machine::RegisterFile::new(7, 5, 1, 1),
+            &AllocatorConfig::improved(),
+        );
+        let got = run(&out.program, &InterpConfig::default()).unwrap().result;
+        assert_eq!(got, expect, "{prog}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Structural checks tying each synthetic workload to the paper's
+//! characterisation of its SPEC92 counterpart.
+
+use call_cost_regalloc::prelude::*;
+use ccra_ir::{Inst, RegClass};
+use ccra_workloads::{spec_program_scaled, Scale};
+
+const SCALE: Scale = Scale(0.1);
+
+fn count_float_insts(p: &ccra_ir::Program) -> (usize, usize) {
+    let (mut float, mut total) = (0usize, 0usize);
+    for (_, f) in p.functions() {
+        for (_, block) in f.blocks() {
+            for inst in &block.insts {
+                total += 1;
+                if let Inst::Binary { op, .. } = inst {
+                    if op.is_float() {
+                        float += 1;
+                    }
+                }
+            }
+        }
+    }
+    (float, total)
+}
+
+/// tomcatv: "consists of only one big function and no calls".
+#[test]
+fn tomcatv_structure() {
+    let p = spec_program_scaled(SpecProgram::Tomcatv, SCALE);
+    assert_eq!(p.num_functions(), 1);
+    assert!(p.function(p.main().unwrap()).call_sites().is_empty());
+    let (float, total) = count_float_insts(&p);
+    assert!(float * 3 > total, "tomcatv is floating-point dominated");
+}
+
+/// fpppp: enormous straight-line floating-point code — its biggest block
+/// dwarfs every other workload's.
+#[test]
+fn fpppp_has_huge_basic_blocks() {
+    let p = spec_program_scaled(SpecProgram::Fpppp, SCALE);
+    let biggest = p
+        .functions()
+        .flat_map(|(_, f)| f.blocks().map(|(_, b)| b.insts.len()).collect::<Vec<_>>())
+        .max()
+        .unwrap();
+    assert!(biggest >= 60, "fpppp's biggest block has {biggest} instructions");
+    // And its float pressure is high enough to force spilling through the
+    // middle of the register sweep.
+    let freq = FrequencyInfo::profile(&p).unwrap();
+    let out = ccra_regalloc::allocate_program(
+        &p,
+        &freq,
+        RegisterFile::new(9, 7, 3, 3),
+        &AllocatorConfig::base(),
+    );
+    assert!(out.overhead.spill > 0.0, "fpppp spills at (9,7,3,3)");
+}
+
+/// The interpreters (li, sc) make helper calls on their *common* paths:
+/// their hot functions contain call sites executed on most invocations.
+#[test]
+fn interpreters_call_on_the_common_path() {
+    for prog in [SpecProgram::Li, SpecProgram::Sc] {
+        let p = spec_program_scaled(prog, SCALE);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        // The hottest *calling* function (the leaves it calls are entered
+        // even more often, but have no call sites themselves).
+        let (hot_id, hot_freq) = p
+            .func_ids()
+            .filter(|&id| !p.function(id).call_sites().is_empty())
+            .map(|id| (id, freq.func(id).invocations))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let f = p.function(hot_id);
+        let common_calls = f
+            .call_sites()
+            .iter()
+            .filter(|&&(bb, _)| freq.func(hot_id).block(bb) >= hot_freq * 0.9)
+            .count();
+        assert!(common_calls >= 2, "{prog}: hot function has {common_calls} hot call sites");
+    }
+}
+
+/// eqntott/ear/compress: the hot function has a *rare* path containing
+/// calls (the cold-calls scenario of the paper's Section 3.2).
+#[test]
+fn hot_functions_have_rare_call_paths() {
+    for prog in [SpecProgram::Eqntott, SpecProgram::Ear, SpecProgram::Compress] {
+        let p = spec_program_scaled(prog, SCALE);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let (hot_id, hot_freq) = p
+            .func_ids()
+            .map(|id| (id, freq.func(id).invocations))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let f = p.function(hot_id);
+        let rare_calls = f
+            .call_sites()
+            .iter()
+            .filter(|&&(bb, _)| {
+                let w = freq.func(hot_id).block(bb);
+                w > 0.0 && w <= hot_freq * 0.2
+            })
+            .count();
+        assert!(rare_calls >= 1, "{prog}: no rare call path in the hot function");
+    }
+}
+
+/// Int-dominated vs float-dominated programs match their SPEC subsets
+/// (eqntott/li/sc/compress/gcc/espresso are CINT92; ear/fpppp/tomcatv/
+/// matrix300/nasa7/alvinn/doduc/spice are CFP92).
+#[test]
+fn integer_vs_float_suites() {
+    let int_suite = [
+        SpecProgram::Compress,
+        SpecProgram::Eqntott,
+        SpecProgram::Espresso,
+        SpecProgram::Gcc,
+        SpecProgram::Li,
+        SpecProgram::Sc,
+    ];
+    let float_suite = [
+        SpecProgram::Alvinn,
+        SpecProgram::Ear,
+        SpecProgram::Fpppp,
+        SpecProgram::Matrix300,
+        SpecProgram::Nasa7,
+        SpecProgram::Tomcatv,
+    ];
+    for prog in int_suite {
+        let (float, total) = count_float_insts(&spec_program_scaled(prog, SCALE));
+        assert!(float * 4 < total, "{prog} should be integer-dominated ({float}/{total})");
+    }
+    for prog in float_suite {
+        let (float, _) = count_float_insts(&spec_program_scaled(prog, SCALE));
+        assert!(float >= 5, "{prog} should have substantial float work ({float})");
+    }
+}
+
+/// Every workload exercises both register banks somewhere (the sweeps vary
+/// both), and all fourteen differ from each other.
+#[test]
+fn workloads_are_distinct() {
+    use std::collections::HashSet;
+    let mut signatures = HashSet::new();
+    for prog in SpecProgram::ALL {
+        let p = spec_program_scaled(prog, SCALE);
+        let sig = (
+            p.num_functions(),
+            p.num_insts(),
+            p.functions().map(|(_, f)| f.num_blocks()).sum::<usize>(),
+        );
+        assert!(signatures.insert(sig), "{prog} duplicates another workload: {sig:?}");
+    }
+}
+
+/// Driver mains exist and are entered exactly once.
+#[test]
+fn mains_run_once() {
+    for prog in SpecProgram::ALL {
+        let p = spec_program_scaled(prog, SCALE);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        assert_eq!(freq.func(p.main().unwrap()).invocations, 1.0, "{prog}");
+    }
+}
+
+/// The float bank matters: allocating with a starved float bank must cost
+/// more than the full machine for the CFP-like programs.
+#[test]
+fn float_bank_pressure_is_real() {
+    for prog in [SpecProgram::Ear, SpecProgram::Tomcatv, SpecProgram::Matrix300] {
+        let p = spec_program_scaled(prog, SCALE);
+        let freq = FrequencyInfo::profile(&p).unwrap();
+        let starved = ccra_regalloc::allocate_program(
+            &p,
+            &freq,
+            RegisterFile::minimum(),
+            &AllocatorConfig::improved(),
+        );
+        let full = ccra_regalloc::allocate_program(
+            &p,
+            &freq,
+            RegisterFile::mips_full(),
+            &AllocatorConfig::improved(),
+        );
+        assert!(
+            starved.overhead.total() > full.overhead.total(),
+            "{prog}: starved {} vs full {}",
+            starved.overhead.total(),
+            full.overhead.total()
+        );
+    }
+    // Cross-check: float instructions exist in those programs' hot paths.
+    let p = spec_program_scaled(SpecProgram::Ear, SCALE);
+    let hot = p.find("fil4").expect("ear has its filter kernel");
+    let f = p.function(hot);
+    let has_float = f.vreg_ids().any(|v| f.class_of(v) == RegClass::Float);
+    assert!(has_float);
+}
