@@ -10,7 +10,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set with room for `capacity` elements.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// The capacity this set was created with.
@@ -24,7 +27,11 @@ impl BitSet {
     ///
     /// Panics if `i >= capacity`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;

@@ -46,8 +46,7 @@ impl DomTree {
     /// Computes the dominator tree.
     pub fn compute(f: &Function) -> Self {
         let rpo = reverse_postorder(f);
-        let mut rpo_index: EntityVec<BlockId, Option<u32>> =
-            f.block_ids().map(|_| None).collect();
+        let mut rpo_index: EntityVec<BlockId, Option<u32>> = f.block_ids().map(|_| None).collect();
         for (i, &bb) in rpo.iter().enumerate() {
             rpo_index[bb] = Some(i as u32);
         }
@@ -91,7 +90,11 @@ impl DomTree {
                 }
             }
         }
-        DomTree { idom, rpo_index, rpo }
+        DomTree {
+            idom,
+            rpo_index,
+            rpo,
+        }
     }
 
     /// The immediate dominator of `bb` (`None` for the entry and for

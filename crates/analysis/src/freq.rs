@@ -92,15 +92,21 @@ impl FrequencyInfo {
     /// scaled by estimated function invocation counts propagated over the
     /// call graph from `main` (1 invocation).
     pub fn estimate(program: &Program) -> Self {
-        let rels: EntityVec<FuncId, EntityVec<BlockId, f64>> =
-            program.functions().map(|(_, f)| relative_freqs(f)).collect();
+        let rels: EntityVec<FuncId, EntityVec<BlockId, f64>> = program
+            .functions()
+            .map(|(_, f)| relative_freqs(f))
+            .collect();
 
         // Relative call-site weight per (caller, callee).
         let mut call_weights: Vec<(FuncId, FuncId, f64)> = Vec::new();
         for (caller, f) in program.functions() {
             for (bb, block) in f.blocks() {
                 for inst in &block.insts {
-                    if let Inst::Call { callee: Callee::Internal(target), .. } = inst {
+                    if let Inst::Call {
+                        callee: Callee::Internal(target),
+                        ..
+                    } = inst
+                    {
                         call_weights.push((caller, *target, rels[caller][bb]));
                     }
                 }
@@ -137,7 +143,10 @@ impl FrequencyInfo {
                 block_freq: rels[id].iter().map(|(_, &r)| r * inv[id]).collect(),
             })
             .collect();
-        FrequencyInfo { mode: FreqMode::Static, funcs }
+        FrequencyInfo {
+            mode: FreqMode::Static,
+            funcs,
+        }
     }
 
     /// Dynamic profile: executes the program and uses the observed counts.
@@ -160,10 +169,16 @@ impl FrequencyInfo {
             .func_ids()
             .map(|id| FuncFreq {
                 invocations: stats.entry_counts[id] as f64,
-                block_freq: stats.block_counts[id].iter().map(|(_, &c)| c as f64).collect(),
+                block_freq: stats.block_counts[id]
+                    .iter()
+                    .map(|(_, &c)| c as f64)
+                    .collect(),
             })
             .collect();
-        Ok(FrequencyInfo { mode: FreqMode::Dynamic, funcs })
+        Ok(FrequencyInfo {
+            mode: FreqMode::Dynamic,
+            funcs,
+        })
     }
 
     /// How the frequencies were obtained.

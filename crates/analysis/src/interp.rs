@@ -64,7 +64,11 @@ pub struct InterpConfig {
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        InterpConfig { step_limit: 200_000_000, mem_words: 1 << 16, call_depth_limit: 512 }
+        InterpConfig {
+            step_limit: 200_000_000,
+            mem_words: 1 << 16,
+            call_depth_limit: 512,
+        }
     }
 }
 
@@ -156,7 +160,12 @@ impl<'p> Machine<'p> {
         (((base.wrapping_add(offset)) % m + m) % m) as usize
     }
 
-    fn call(&mut self, func: FuncId, args: &[Value], depth: usize) -> Result<Option<Value>, InterpError> {
+    fn call(
+        &mut self,
+        func: FuncId,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Option<Value>, InterpError> {
         if depth > self.config.call_depth_limit {
             return Err(InterpError::CallDepth);
         }
@@ -214,7 +223,8 @@ impl<'p> Machine<'p> {
                     Inst::FConst { dst, value } => regs[dst.index()] = Some(Value::Float(*value)),
                     Inst::Binary { op, dst, lhs, rhs } => {
                         let result = if op.is_float() {
-                            let (a, b) = (read(&regs, *lhs)?.as_float(), read(&regs, *rhs)?.as_float());
+                            let (a, b) =
+                                (read(&regs, *lhs)?.as_float(), read(&regs, *rhs)?.as_float());
                             Value::Float(match op {
                                 BinOp::FAdd => a + b,
                                 BinOp::FSub => a - b,
@@ -347,8 +357,16 @@ impl<'p> Machine<'p> {
             }
             match &block.term {
                 Terminator::Jump(t) => bb = *t,
-                Terminator::Branch { cond, then_bb, else_bb } => {
-                    bb = if read(&regs, *cond)?.as_int() != 0 { *then_bb } else { *else_bb };
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    bb = if read(&regs, *cond)?.as_int() != 0 {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
                 }
                 Terminator::Return(v) => {
                     return Ok(match v {
@@ -519,12 +537,20 @@ mod tests {
             b.ret(Some(x));
             let mut f = b.finish();
             let entry = f.entry();
-            f.block_mut(entry)
-                .insts
-                .insert(1, Inst::Overhead { kind: OverheadKind::Spill, ops: 3 });
-            f.block_mut(entry)
-                .insts
-                .insert(2, Inst::Overhead { kind: OverheadKind::CalleeSave, ops: 2 });
+            f.block_mut(entry).insts.insert(
+                1,
+                Inst::Overhead {
+                    kind: OverheadKind::Spill,
+                    ops: 3,
+                },
+            );
+            f.block_mut(entry).insts.insert(
+                2,
+                Inst::Overhead {
+                    kind: OverheadKind::CalleeSave,
+                    ops: 2,
+                },
+            );
             f
         };
         let stats = run_main(f);
@@ -557,7 +583,10 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let cfg = InterpConfig { step_limit: 1000, ..Default::default() };
+        let cfg = InterpConfig {
+            step_limit: 1000,
+            ..Default::default()
+        };
         assert_eq!(run(&p, &cfg).unwrap_err(), InterpError::StepLimit);
     }
 
@@ -641,7 +670,10 @@ mod tests {
         b.ret(Some(r));
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let cfg = InterpConfig { call_depth_limit: 32, ..Default::default() };
+        let cfg = InterpConfig {
+            call_depth_limit: 32,
+            ..Default::default()
+        };
         assert_eq!(run(&p, &cfg).unwrap_err(), InterpError::CallDepth);
     }
 

@@ -73,7 +73,11 @@ impl Liveness {
             }
         }
 
-        Liveness { live_in, live_out, num_vregs: nv }
+        Liveness {
+            live_in,
+            live_out,
+            num_vregs: nv,
+        }
     }
 
     /// The registers live on entry to `bb`.

@@ -50,7 +50,12 @@ pub struct WebData {
 
 impl WebData {
     fn new(vreg: VReg) -> Self {
-        WebData { vreg, defs: Vec::new(), uses: Vec::new(), is_param: false }
+        WebData {
+            vreg,
+            defs: Vec::new(),
+            uses: Vec::new(),
+            is_param: false,
+        }
     }
 
     /// Total number of referencing instructions (defs + uses).
@@ -75,7 +80,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
     fn find(&mut self, x: u32) -> u32 {
         let mut root = x;
@@ -292,7 +299,13 @@ impl Webs {
             }
         }
 
-        Webs { webs, def_web, use_web, param_web, live_in_web }
+        Webs {
+            webs,
+            def_web,
+            use_web,
+            param_web,
+            live_in_web,
+        }
     }
 
     /// The number of webs.
@@ -312,7 +325,10 @@ impl Webs {
 
     /// Iterates over `(id, data)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (WebId, &WebData)> {
-        self.webs.iter().enumerate().map(|(i, w)| (WebId(i as u32), w))
+        self.webs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (WebId(i as u32), w))
     }
 
     /// The web defined by instruction `(bb, idx)` writing `v`, if any.

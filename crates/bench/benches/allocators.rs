@@ -16,7 +16,10 @@ fn bench_allocators(c: &mut Criterion) {
         ("base", AllocatorConfig::base()),
         ("improved", AllocatorConfig::improved()),
         ("optimistic", AllocatorConfig::optimistic()),
-        ("priority", AllocatorConfig::priority(PriorityOrdering::Sorting)),
+        (
+            "priority",
+            AllocatorConfig::priority(PriorityOrdering::Sorting),
+        ),
         ("cbh", AllocatorConfig::cbh()),
     ];
     for prog in [SpecProgram::Sc, SpecProgram::Fpppp] {
@@ -68,11 +71,21 @@ fn bench_graph_reconstruction(c: &mut Criterion) {
     });
     g.bench_function("incremental_reconstruction", |b| {
         b.iter(|| {
-            allocate_program(&ir, &freq, file, &AllocatorConfig::improved().with_reconstruction())
+            allocate_program(
+                &ir,
+                &freq,
+                file,
+                &AllocatorConfig::improved().with_reconstruction(),
+            )
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_allocators, bench_register_pressure_scaling, bench_graph_reconstruction);
+criterion_group!(
+    benches,
+    bench_allocators,
+    bench_register_pressure_scaling,
+    bench_graph_reconstruction
+);
 criterion_main!(benches);

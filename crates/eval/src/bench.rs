@@ -31,7 +31,12 @@ impl Bench {
         let static_freq = FrequencyInfo::estimate(&ir);
         let dynamic_freq = FrequencyInfo::profile(&ir)
             .unwrap_or_else(|e| panic!("{program} failed to profile: {e}"));
-        Bench { program, ir, static_freq, dynamic_freq }
+        Bench {
+            program,
+            ir,
+            static_freq,
+            dynamic_freq,
+        }
     }
 
     /// The frequencies for a mode.
@@ -55,7 +60,10 @@ impl Bench {
 
 /// Loads every workload at the given scale.
 pub fn load_all(scale: Scale) -> Vec<Bench> {
-    SpecProgram::ALL.iter().map(|&p| Bench::load(p, scale)).collect()
+    SpecProgram::ALL
+        .iter()
+        .map(|&p| Bench::load(p, scale))
+        .collect()
 }
 
 #[cfg(test)]

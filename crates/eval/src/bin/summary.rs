@@ -18,10 +18,17 @@ fn main() {
     );
 
     // Claim 1: improved Chaitin cuts ear/eqntott overhead by a large factor.
-    for (prog, paper) in [(SpecProgram::Ear, "45x (55x)"), (SpecProgram::Eqntott, "66x")] {
+    for (prog, paper) in [
+        (SpecProgram::Ear, "45x (55x)"),
+        (SpecProgram::Eqntott, "66x"),
+    ] {
         let b = Bench::load(prog, scale);
-        let base = b.overhead(FreqMode::Dynamic, full, &AllocatorConfig::base()).total();
-        let imp = b.overhead(FreqMode::Dynamic, full, &AllocatorConfig::improved()).total();
+        let base = b
+            .overhead(FreqMode::Dynamic, full, &AllocatorConfig::base())
+            .total();
+        let imp = b
+            .overhead(FreqMode::Dynamic, full, &AllocatorConfig::improved())
+            .total();
         t.push_row(vec![
             format!("{prog}: base/improved at full machine"),
             paper.into(),
@@ -34,7 +41,10 @@ fn main() {
         let b = Bench::load(SpecProgram::Eqntott, scale);
         let totals: Vec<f64> = RegisterFile::paper_sweep()
             .iter()
-            .map(|&f| b.overhead(FreqMode::Dynamic, f, &AllocatorConfig::base()).total())
+            .map(|&f| {
+                b.overhead(FreqMode::Dynamic, f, &AllocatorConfig::base())
+                    .total()
+            })
             .collect();
         let worsens = totals.windows(2).any(|w| w[1] > w[0] * 1.001);
         t.push_row(vec![
@@ -58,8 +68,12 @@ fn main() {
     // Claim 4: optimistic coloring changes little under the call-cost model.
     {
         let b = Bench::load(SpecProgram::Li, scale);
-        let base = b.overhead(FreqMode::Dynamic, full, &AllocatorConfig::base()).total();
-        let opt = b.overhead(FreqMode::Dynamic, full, &AllocatorConfig::optimistic()).total();
+        let base = b
+            .overhead(FreqMode::Dynamic, full, &AllocatorConfig::base())
+            .total();
+        let opt = b
+            .overhead(FreqMode::Dynamic, full, &AllocatorConfig::optimistic())
+            .total();
         t.push_row(vec![
             "li: base/optimistic at full machine".into(),
             "~1.00".into(),
@@ -70,9 +84,17 @@ fn main() {
     // Claim 5: tomcatv is untouched by every technique.
     {
         let b = Bench::load(SpecProgram::Tomcatv, scale);
-        let base = b.overhead(FreqMode::Dynamic, full, &AllocatorConfig::base()).total();
-        let imp = b.overhead(FreqMode::Dynamic, full, &AllocatorConfig::improved()).total();
-        let ratio = if imp == 0.0 && base == 0.0 { 1.0 } else { base / imp.max(1e-9) };
+        let base = b
+            .overhead(FreqMode::Dynamic, full, &AllocatorConfig::base())
+            .total();
+        let imp = b
+            .overhead(FreqMode::Dynamic, full, &AllocatorConfig::improved())
+            .total();
+        let ratio = if imp == 0.0 && base == 0.0 {
+            1.0
+        } else {
+            base / imp.max(1e-9)
+        };
         t.push_row(vec![
             "tomcatv: base/improved (class 4)".into(),
             "1.00".into(),
@@ -84,8 +106,12 @@ fn main() {
     {
         let b = Bench::load(SpecProgram::Matrix300, scale);
         let file = RegisterFile::new(7, 5, 1, 1);
-        let base = b.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base()).total();
-        let cbh = b.overhead(FreqMode::Dynamic, file, &AllocatorConfig::cbh()).total();
+        let base = b
+            .overhead(FreqMode::Dynamic, file, &AllocatorConfig::base())
+            .total();
+        let cbh = b
+            .overhead(FreqMode::Dynamic, file, &AllocatorConfig::cbh())
+            .total();
         t.push_row(vec![
             "matrix300: base/CBH with scarce callee-saves".into(),
             "< 1.00".into(),

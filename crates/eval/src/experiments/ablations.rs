@@ -48,7 +48,11 @@ pub fn priority_orderings(scale: Scale) -> Table {
                     count += 1;
                 }
             }
-            let gm = if count > 0 { (log_sum / count as f64).exp() } else { 1.0 };
+            let gm = if count > 0 {
+                (log_sum / count as f64).exp()
+            } else {
+                1.0
+            };
             row.push(format!("{gm:.2}"));
         }
         table.push_row(row);
@@ -65,7 +69,9 @@ pub fn callee_cost_models(scale: Scale) -> Table {
     let file = RegisterFile::new(10, 8, 4, 4);
     for prog in SpecProgram::ALL {
         let bench = Bench::load(prog, scale);
-        let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base()).total();
+        let base = bench
+            .overhead(FreqMode::Dynamic, file, &AllocatorConfig::base())
+            .total();
         let mut row = vec![prog.to_string()];
         for model in [CalleeCostModel::FirstUser, CalleeCostModel::Shared] {
             let config = AllocatorConfig {
@@ -84,12 +90,18 @@ pub fn callee_cost_models(scale: Scale) -> Table {
 pub fn bs_keys(scale: Scale) -> Table {
     let mut table = Table::new(
         "§5 — benefit-driven simplification keys (cells are base/X at (9,7,3,3), dynamic)",
-        vec!["program".into(), "max-benefit".into(), "benefit-delta".into()],
+        vec![
+            "program".into(),
+            "max-benefit".into(),
+            "benefit-delta".into(),
+        ],
     );
     let file = RegisterFile::new(9, 7, 3, 3);
     for prog in SpecProgram::ALL {
         let bench = Bench::load(prog, scale);
-        let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base()).total();
+        let base = bench
+            .overhead(FreqMode::Dynamic, file, &AllocatorConfig::base())
+            .total();
         let mut row = vec![prog.to_string()];
         for key in [BsKey::MaxBenefit, BsKey::BenefitDelta] {
             let config = AllocatorConfig {

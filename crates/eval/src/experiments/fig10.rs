@@ -33,7 +33,9 @@ pub fn run_one(program: SpecProgram, scale: Scale) -> Table {
         let mut row = vec![file.to_string()];
         for mode in [FreqMode::Static, FreqMode::Dynamic] {
             let base = bench.overhead(mode, file, &AllocatorConfig::base()).total();
-            let imp = bench.overhead(mode, file, &AllocatorConfig::improved()).total();
+            let imp = bench
+                .overhead(mode, file, &AllocatorConfig::improved())
+                .total();
             let pri = bench.overhead(mode, file, &priority).total();
             row.push(ratio(base, imp));
             row.push(ratio(base, pri));

@@ -20,7 +20,10 @@ use crate::table::Table;
 pub fn run_one(program: SpecProgram, scale: Scale) -> Table {
     let bench = Bench::load(program, scale);
     let mut table = Table::new(
-        format!("Figure 2 — {} register-allocation cost (base Chaitin, dynamic)", program),
+        format!(
+            "Figure 2 — {} register-allocation cost (base Chaitin, dynamic)",
+            program
+        ),
         vec![
             "(Ri,Rf,Ei,Ef)".into(),
             "spill".into(),
@@ -46,5 +49,8 @@ pub fn run_one(program: SpecProgram, scale: Scale) -> Table {
 
 /// Runs Figure 2 for both of the paper's programs (eqntott and ear).
 pub fn run(scale: Scale) -> Vec<Table> {
-    vec![run_one(SpecProgram::Eqntott, scale), run_one(SpecProgram::Ear, scale)]
+    vec![
+        run_one(SpecProgram::Eqntott, scale),
+        run_one(SpecProgram::Ear, scale),
+    ]
 }

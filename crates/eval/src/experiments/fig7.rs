@@ -43,5 +43,8 @@ pub fn run_one(program: SpecProgram, scale: Scale) -> Table {
 
 /// Runs Figure 7 for ear and eqntott.
 pub fn run(scale: Scale) -> Vec<Table> {
-    vec![run_one(SpecProgram::Ear, scale), run_one(SpecProgram::Eqntott, scale)]
+    vec![
+        run_one(SpecProgram::Ear, scale),
+        run_one(SpecProgram::Eqntott, scale),
+    ]
 }

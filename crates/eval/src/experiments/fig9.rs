@@ -28,10 +28,15 @@ pub fn run_one(program: SpecProgram, mode: FreqMode, scale: Scale) -> Table {
     );
     for file in RegisterFile::paper_sweep() {
         let base = bench.overhead(mode, file, &AllocatorConfig::base()).total();
-        let opt = bench.overhead(mode, file, &AllocatorConfig::optimistic()).total();
-        let imp = bench.overhead(mode, file, &AllocatorConfig::improved()).total();
-        let both =
-            bench.overhead(mode, file, &AllocatorConfig::improved_optimistic()).total();
+        let opt = bench
+            .overhead(mode, file, &AllocatorConfig::optimistic())
+            .total();
+        let imp = bench
+            .overhead(mode, file, &AllocatorConfig::improved())
+            .total();
+        let both = bench
+            .overhead(mode, file, &AllocatorConfig::improved_optimistic())
+            .total();
         table.push_row(vec![
             file.to_string(),
             ratio(base, opt),

@@ -12,7 +12,12 @@ use super::*;
 const S: Scale = Scale(0.03);
 
 fn assert_full_sweep(table: &crate::Table, cols: usize) {
-    assert_eq!(table.rows.len(), RegisterFile::paper_sweep().len(), "{}", table.title);
+    assert_eq!(
+        table.rows.len(),
+        RegisterFile::paper_sweep().len(),
+        "{}",
+        table.title
+    );
     for row in &table.rows {
         assert_eq!(row.len(), cols, "{}: ragged row {row:?}", table.title);
     }
@@ -26,7 +31,10 @@ fn fig2_produces_component_breakdown() {
     for row in &t.rows {
         let vals: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
         let total: f64 = vals[..4].iter().sum();
-        assert!((total - vals[4]).abs() <= 2.0, "components don't sum: {row:?}");
+        assert!(
+            (total - vals[4]).abs() <= 2.0,
+            "components don't sum: {row:?}"
+        );
     }
 }
 

@@ -32,7 +32,9 @@ pub fn run_mode(mode: FreqMode, scale: Scale) -> Table {
         let mut row = vec![prog.to_string()];
         for &file in &sweep {
             let base = bench.overhead(mode, file, &AllocatorConfig::base()).total();
-            let optimistic = bench.overhead(mode, file, &AllocatorConfig::optimistic()).total();
+            let optimistic = bench
+                .overhead(mode, file, &AllocatorConfig::optimistic())
+                .total();
             row.push(ratio(base, optimistic));
         }
         table.push_row(row);
@@ -42,5 +44,8 @@ pub fn run_mode(mode: FreqMode, scale: Scale) -> Table {
 
 /// Runs both tables.
 pub fn run(scale: Scale) -> Vec<Table> {
-    vec![run_mode(FreqMode::Static, scale), run_mode(FreqMode::Dynamic, scale)]
+    vec![
+        run_mode(FreqMode::Static, scale),
+        run_mode(FreqMode::Dynamic, scale),
+    ]
 }

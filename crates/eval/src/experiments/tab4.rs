@@ -19,8 +19,8 @@ use crate::table::Table;
 /// Simulated cycles of a fully allocated program.
 pub fn simulated_cycles(bench: &Bench, config: &AllocatorConfig, file: RegisterFile) -> f64 {
     let out = allocate_program(&bench.ir, bench.freq(FreqMode::Dynamic), file, config);
-    let stats = interp_run(&out.program, &InterpConfig::default())
-        .expect("allocated program executes");
+    let stats =
+        interp_run(&out.program, &InterpConfig::default()).expect("allocated program executes");
     let memory_ops = (stats.overhead(OverheadKind::Spill)
         + stats.overhead(OverheadKind::CallerSave)
         + stats.overhead(OverheadKind::CalleeSave)) as f64;

@@ -7,6 +7,11 @@
 //! and `all_experiments`) print them. Every binary accepts an optional
 //! `--scale <f64>` argument that shrinks the workloads proportionally.
 //!
+//! The `trace` binary is different: it runs one allocation with telemetry
+//! enabled and emits the raw event stream as JSON Lines (see
+//! [`telemetry`]), optionally diffing the run against a checked-in
+//! baseline and failing on overhead regressions.
+//!
 //! | Experiment | Paper content | Module |
 //! |---|---|---|
 //! | Figure 2 | base-allocator cost split by component, eqntott/ear | [`experiments::fig2`] |
@@ -37,6 +42,7 @@ pub mod bench;
 pub mod experiments;
 pub mod plot;
 mod table;
+pub mod telemetry;
 
 pub use bench::{load_all, Bench};
 pub use table::{ratio, Table};

@@ -16,7 +16,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
-        Series { label: label.into(), values }
+        Series {
+            label: label.into(),
+            values,
+        }
     }
 }
 
@@ -103,11 +106,19 @@ pub fn render_chart(title: &str, x_labels: &[String], series: &[Series], height:
 /// Extracts a numeric column from a [`crate::Table`] as chart input
 /// (non-numeric cells become NaN).
 pub fn column_series(table: &crate::Table, column: usize) -> Series {
-    let label = table.headers.get(column).cloned().unwrap_or_else(|| format!("col{column}"));
+    let label = table
+        .headers
+        .get(column)
+        .cloned()
+        .unwrap_or_else(|| format!("col{column}"));
     let values = table
         .rows
         .iter()
-        .map(|r| r.get(column).and_then(|c| c.parse::<f64>().ok()).unwrap_or(f64::NAN))
+        .map(|r| {
+            r.get(column)
+                .and_then(|c| c.parse::<f64>().ok())
+                .unwrap_or(f64::NAN)
+        })
         .collect();
     Series { label, values }
 }
@@ -125,8 +136,10 @@ mod tests {
             8,
         );
         // The glyph must appear on several distinct rows.
-        let rows_with_glyph =
-            chart.lines().filter(|l| l.contains('u') && l.contains('|')).count();
+        let rows_with_glyph = chart
+            .lines()
+            .filter(|l| l.contains('u') && l.contains('|'))
+            .count();
         assert!(rows_with_glyph >= 4, "{chart}");
         assert!(chart.contains("u = up"));
     }
@@ -135,12 +148,7 @@ mod tests {
     fn handles_empty_and_nan() {
         let chart = render_chart("t", &[], &[], 5);
         assert!(chart.contains("no data"));
-        let chart = render_chart(
-            "t",
-            &["a".into()],
-            &[Series::new("s", vec![f64::NAN])],
-            5,
-        );
+        let chart = render_chart("t", &["a".into()], &[Series::new("s", vec![f64::NAN])], 5);
         assert!(chart.contains("no data"));
     }
 

@@ -16,7 +16,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
-        Table { title: title.into(), headers, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -34,7 +38,14 @@ impl Table {
                 s.to_string()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -64,7 +75,10 @@ pub(crate) fn tables_to_json(tables: &[Table]) -> String {
         out
     }
     fn arr(items: &[String]) -> String {
-        format!("[{}]", items.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","))
+        format!(
+            "[{}]",
+            items.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+        )
     }
     let body: Vec<String> = tables
         .iter()
@@ -83,7 +97,10 @@ pub(crate) fn tables_to_json(tables: &[Table]) -> String {
 
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

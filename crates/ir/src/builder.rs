@@ -86,7 +86,10 @@ impl FunctionBuilder {
 
     /// Creates a fresh virtual register of the given class.
     pub fn new_vreg(&mut self, class: RegClass) -> VReg {
-        self.vregs.push(VRegData { class, is_spill_temp: false })
+        self.vregs.push(VRegData {
+            class,
+            is_spill_temp: false,
+        })
     }
 
     /// Reserves a block id for forward control flow.
@@ -106,15 +109,26 @@ impl FunctionBuilder {
     /// Panics if the current block has not been sealed with a terminator,
     /// or if `block` was already filled.
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!(self.sealed, "current block {:?} has no terminator yet", self.current);
-        assert!(self.blocks[block].is_none(), "block {block:?} was already filled");
+        assert!(
+            self.sealed,
+            "current block {:?} has no terminator yet",
+            self.current
+        );
+        assert!(
+            self.blocks[block].is_none(),
+            "block {block:?} was already filled"
+        );
         self.current = block;
         self.pending.clear();
         self.sealed = false;
     }
 
     fn emit(&mut self, inst: Inst) -> &mut Self {
-        assert!(!self.sealed, "block {:?} is already terminated", self.current);
+        assert!(
+            !self.sealed,
+            "block {:?} is already terminated",
+            self.current
+        );
         self.pending.push(inst);
         self
     }
@@ -165,7 +179,11 @@ impl FunctionBuilder {
     }
 
     fn seal(&mut self, term: Terminator) {
-        assert!(!self.sealed, "block {:?} is already terminated", self.current);
+        assert!(
+            !self.sealed,
+            "block {:?} is already terminated",
+            self.current
+        );
         let insts = std::mem::take(&mut self.pending);
         self.blocks[self.current] = Some(Block { insts, term });
         self.sealed = true;
@@ -178,7 +196,11 @@ impl FunctionBuilder {
 
     /// Seals the current block with a two-way branch.
     pub fn branch(&mut self, cond: VReg, then_bb: BlockId, else_bb: BlockId) {
-        self.seal(Terminator::Branch { cond, then_bb, else_bb });
+        self.seal(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Seals the current block with a return.
@@ -193,11 +215,18 @@ impl FunctionBuilder {
     /// Panics if the current block is unterminated or any reserved block was
     /// never filled.
     pub fn finish(self) -> Function {
-        assert!(self.sealed, "current block {:?} has no terminator", self.current);
+        assert!(
+            self.sealed,
+            "current block {:?} has no terminator",
+            self.current
+        );
         let blocks: EntityVec<BlockId, Block> = self
             .blocks
             .iter()
-            .map(|(id, b)| b.clone().unwrap_or_else(|| panic!("block {id:?} was reserved but never filled")))
+            .map(|(id, b)| {
+                b.clone()
+                    .unwrap_or_else(|| panic!("block {id:?} was reserved but never filled"))
+            })
             .collect();
         Function::from_parts(self.name, self.params, BlockId(0), blocks, self.vregs)
     }

@@ -90,12 +90,18 @@ pub struct EntityVec<K, V> {
 impl<K: EntityId, V> EntityVec<K, V> {
     /// Creates an empty entity vector.
     pub fn new() -> Self {
-        EntityVec { items: Vec::new(), _marker: PhantomData }
+        EntityVec {
+            items: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty entity vector with preallocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EntityVec { items: Vec::with_capacity(cap), _marker: PhantomData }
+        EntityVec {
+            items: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
     }
 
     /// Appends a value and returns its id.
@@ -127,12 +133,18 @@ impl<K: EntityId, V> EntityVec<K, V> {
 
     /// Iterates over `(id, &value)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
-        self.items.iter().enumerate().map(|(i, v)| (K::from_index(i), v))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
     }
 
     /// Iterates over `(id, &mut value)` pairs in id order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
-        self.items.iter_mut().enumerate().map(|(i, v)| (K::from_index(i), v))
+        self.items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
     }
 
     /// Iterates over all ids in order.
@@ -178,7 +190,10 @@ impl<K: EntityId, V: fmt::Debug> fmt::Debug for EntityVec<K, V> {
 
 impl<K: EntityId, V> FromIterator<V> for EntityVec<K, V> {
     fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
-        EntityVec { items: iter.into_iter().collect(), _marker: PhantomData }
+        EntityVec {
+            items: iter.into_iter().collect(),
+            _marker: PhantomData,
+        }
     }
 }
 

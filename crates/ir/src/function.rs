@@ -27,7 +27,10 @@ pub struct Block {
 impl Block {
     /// Creates a block with no instructions and the given terminator.
     pub fn new(term: Terminator) -> Self {
-        Block { insts: Vec::new(), term }
+        Block {
+            insts: Vec::new(),
+            term,
+        }
     }
 }
 
@@ -54,7 +57,14 @@ impl Function {
         blocks: EntityVec<BlockId, Block>,
         vregs: EntityVec<VReg, VRegData>,
     ) -> Self {
-        Function { name, params, entry, blocks, vregs, num_spill_slots: 0 }
+        Function {
+            name,
+            params,
+            entry,
+            blocks,
+            vregs,
+            num_spill_slots: 0,
+        }
     }
 
     /// The function's name.
@@ -119,7 +129,10 @@ impl Function {
 
     /// Creates a fresh virtual register of the given class.
     pub fn new_vreg(&mut self, class: RegClass) -> VReg {
-        self.vregs.push(VRegData { class, is_spill_temp: false })
+        self.vregs.push(VRegData {
+            class,
+            is_spill_temp: false,
+        })
     }
 
     /// Creates a fresh spill-temporary register of the given class.
@@ -127,7 +140,10 @@ impl Function {
     /// Spill temporaries carry effectively infinite spill cost so that the
     /// iterated allocator never spills the code it just inserted.
     pub fn new_spill_temp(&mut self, class: RegClass) -> VReg {
-        self.vregs.push(VRegData { class, is_spill_temp: true })
+        self.vregs.push(VRegData {
+            class,
+            is_spill_temp: true,
+        })
     }
 
     /// Appends a new block and returns its id.

@@ -346,7 +346,9 @@ impl Terminator {
     pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
         let (a, b) = match *self {
             Terminator::Jump(t) => (Some(t), None),
-            Terminator::Branch { then_bb, else_bb, .. } => (Some(then_bb), Some(else_bb)),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => (Some(then_bb), Some(else_bb)),
             Terminator::Return(_) => (None, None),
         };
         a.into_iter().chain(b)
@@ -368,11 +370,20 @@ mod tests {
 
     #[test]
     fn defs_and_uses() {
-        let i = Inst::Binary { op: BinOp::Add, dst: VReg(2), lhs: VReg(0), rhs: VReg(1) };
+        let i = Inst::Binary {
+            op: BinOp::Add,
+            dst: VReg(2),
+            lhs: VReg(0),
+            rhs: VReg(1),
+        };
         assert_eq!(i.def(), Some(VReg(2)));
         assert_eq!(i.uses(), vec![VReg(0), VReg(1)]);
 
-        let s = Inst::Store { src: VReg(3), addr: VReg(4), offset: 8 };
+        let s = Inst::Store {
+            src: VReg(3),
+            addr: VReg(4),
+            offset: 8,
+        };
         assert_eq!(s.def(), None);
         assert_eq!(s.uses(), vec![VReg(3), VReg(4)]);
 
@@ -385,14 +396,21 @@ mod tests {
         assert_eq!(c.uses(), vec![VReg(5)]);
         assert!(c.is_call());
 
-        let o = Inst::Overhead { kind: OverheadKind::Spill, ops: 1 };
+        let o = Inst::Overhead {
+            kind: OverheadKind::Spill,
+            ops: 1,
+        };
         assert_eq!(o.def(), None);
         assert!(o.uses().is_empty());
     }
 
     #[test]
     fn call_without_return_defines_nothing() {
-        let c = Inst::Call { callee: Callee::Internal(FuncId(0)), args: vec![], ret: None };
+        let c = Inst::Call {
+            callee: Callee::Internal(FuncId(0)),
+            args: vec![],
+            ret: None,
+        };
         assert_eq!(c.def(), None);
     }
 
@@ -401,8 +419,15 @@ mod tests {
         let j = Terminator::Jump(BlockId(3));
         assert_eq!(j.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
 
-        let b = Terminator::Branch { cond: VReg(0), then_bb: BlockId(1), else_bb: BlockId(2) };
-        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        let b = Terminator::Branch {
+            cond: VReg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(
+            b.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
         assert_eq!(b.use_reg(), Some(VReg(0)));
 
         let r = Terminator::Return(Some(VReg(7)));
@@ -421,7 +446,15 @@ mod tests {
 
     #[test]
     fn copy_is_copy() {
-        assert!(Inst::Copy { dst: VReg(0), src: VReg(1) }.is_copy());
-        assert!(!Inst::IConst { dst: VReg(0), value: 3 }.is_copy());
+        assert!(Inst::Copy {
+            dst: VReg(0),
+            src: VReg(1)
+        }
+        .is_copy());
+        assert!(!Inst::IConst {
+            dst: VReg(0),
+            value: 3
+        }
+        .is_copy());
     }
 }

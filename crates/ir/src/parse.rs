@@ -47,7 +47,10 @@ struct Parser<'a> {
 }
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_vreg(line: usize, tok: &str) -> Result<VReg, ParseError> {
@@ -59,14 +62,22 @@ fn parse_vreg(line: usize, tok: &str) -> Result<VReg, ParseError> {
 }
 
 fn parse_block_id(line: usize, tok: &str) -> Result<BlockId, ParseError> {
-    match tok.trim().strip_prefix("bb").and_then(|n| n.parse::<u32>().ok()) {
+    match tok
+        .trim()
+        .strip_prefix("bb")
+        .and_then(|n| n.parse::<u32>().ok())
+    {
         Some(n) => Ok(BlockId(n)),
         None => err(line, format!("expected block id, found `{tok}`")),
     }
 }
 
 fn parse_slot(line: usize, tok: &str) -> Result<SpillSlot, ParseError> {
-    match tok.trim().strip_prefix("slot").and_then(|n| n.parse::<u32>().ok()) {
+    match tok
+        .trim()
+        .strip_prefix("slot")
+        .and_then(|n| n.parse::<u32>().ok())
+    {
         Some(n) => Ok(SpillSlot(n)),
         None => err(line, format!("expected spill slot, found `{tok}`")),
     }
@@ -121,15 +132,19 @@ fn parse_mem(line: usize, tok: &str) -> Result<(VReg, i64), ParseError> {
         .trim()
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| ParseError { line, message: format!("expected [vN+off], found `{tok}`") })?;
-    let plus = inner
-        .rfind('+')
-        .ok_or_else(|| ParseError { line, message: format!("expected +offset in `{tok}`") })?;
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected [vN+off], found `{tok}`"),
+        })?;
+    let plus = inner.rfind('+').ok_or_else(|| ParseError {
+        line,
+        message: format!("expected +offset in `{tok}`"),
+    })?;
     let addr = parse_vreg(line, &inner[..plus])?;
-    let offset: i64 = inner[plus + 1..]
-        .trim()
-        .parse()
-        .map_err(|_| ParseError { line, message: format!("bad offset in `{tok}`") })?;
+    let offset: i64 = inner[plus + 1..].trim().parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad offset in `{tok}`"),
+    })?;
     Ok((addr, offset))
 }
 
@@ -139,18 +154,23 @@ fn parse_call(
     rest: &str,
     funcs: &HashMap<String, FuncId>,
 ) -> Result<(Callee, Vec<VReg>), ParseError> {
-    let open = rest
-        .find('(')
-        .ok_or_else(|| ParseError { line, message: "call needs (args)".into() })?;
-    let close = rest
-        .rfind(')')
-        .ok_or_else(|| ParseError { line, message: "call needs closing )".into() })?;
+    let open = rest.find('(').ok_or_else(|| ParseError {
+        line,
+        message: "call needs (args)".into(),
+    })?;
+    let close = rest.rfind(')').ok_or_else(|| ParseError {
+        line,
+        message: "call needs closing )".into(),
+    })?;
     let target = rest[..open].trim();
     let callee = if let Some(name) = target.strip_prefix('@') {
         // External names must be 'static; intern via a leaked string (test
         // and tooling use only).
         Callee::External(Box::leak(name.to_string().into_boxed_str()))
-    } else if let Some(n) = target.strip_prefix("fn").and_then(|n| n.parse::<u32>().ok()) {
+    } else if let Some(n) = target
+        .strip_prefix("fn")
+        .and_then(|n| n.parse::<u32>().ok())
+    {
         Callee::Internal(FuncId(n))
     } else if let Some(&id) = funcs.get(target) {
         Callee::Internal(id)
@@ -175,16 +195,21 @@ fn parse_inst(
     // Statements without a destination first.
     if let Some(rest) = text.strip_prefix("store ") {
         // store [vA+off], vS
-        let comma = rest
-            .rfind(',')
-            .ok_or_else(|| ParseError { line, message: "store needs `, src`".into() })?;
+        let comma = rest.rfind(',').ok_or_else(|| ParseError {
+            line,
+            message: "store needs `, src`".into(),
+        })?;
         let (addr, offset) = parse_mem(line, &rest[..comma])?;
         let src = parse_vreg(line, &rest[comma + 1..])?;
         return Ok(Inst::Store { src, addr, offset });
     }
     if let Some(rest) = text.strip_prefix("call ") {
         let (callee, args) = parse_call(line, rest, funcs)?;
-        return Ok(Inst::Call { callee, args, ret: None });
+        return Ok(Inst::Call {
+            callee,
+            args,
+            ret: None,
+        });
     }
     if let Some(rest) = text.strip_prefix("overhead ") {
         let mut parts = rest.split_whitespace();
@@ -199,22 +224,30 @@ fn parse_inst(
             .next()
             .and_then(|t| t.strip_prefix('x'))
             .and_then(|n| n.parse::<u32>().ok())
-            .ok_or_else(|| ParseError { line, message: "overhead needs xN".into() })?;
+            .ok_or_else(|| ParseError {
+                line,
+                message: "overhead needs xN".into(),
+            })?;
         return Ok(Inst::Overhead { kind, ops });
     }
 
     // `<lhs> = <op> ...`
-    let eq = text
-        .find('=')
-        .ok_or_else(|| ParseError { line, message: format!("unrecognised instruction `{text}`") })?;
+    let eq = text.find('=').ok_or_else(|| ParseError {
+        line,
+        message: format!("unrecognised instruction `{text}`"),
+    })?;
     let lhs = text[..eq].trim();
     let rest = text[eq + 1..].trim();
 
     if let Ok(slot) = parse_slot(line, lhs) {
-        let src = rest
-            .strip_prefix("spill_store")
-            .ok_or_else(|| ParseError { line, message: "slot target needs spill_store".into() })?;
-        return Ok(Inst::SpillStore { slot, src: parse_vreg(line, src)? });
+        let src = rest.strip_prefix("spill_store").ok_or_else(|| ParseError {
+            line,
+            message: "slot target needs spill_store".into(),
+        })?;
+        return Ok(Inst::SpillStore {
+            slot,
+            src: parse_vreg(line, src)?,
+        });
     }
     let dst = parse_vreg(line, lhs)?;
     let (op, tail) = match rest.find(' ') {
@@ -222,21 +255,24 @@ fn parse_inst(
         None => (rest, ""),
     };
     if op == "iconst" {
-        let value: i64 = tail
-            .parse()
-            .map_err(|_| ParseError { line, message: format!("bad int constant `{tail}`") })?;
+        let value: i64 = tail.parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad int constant `{tail}`"),
+        })?;
         return Ok(Inst::IConst { dst, value });
     }
     if op == "fconst" {
-        let value: f64 = tail
-            .parse()
-            .map_err(|_| ParseError { line, message: format!("bad float constant `{tail}`") })?;
+        let value: f64 = tail.parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad float constant `{tail}`"),
+        })?;
         return Ok(Inst::FConst { dst, value });
     }
     if let Some(b) = binop_of(op) {
-        let comma = tail
-            .find(',')
-            .ok_or_else(|| ParseError { line, message: "binary op needs two operands".into() })?;
+        let comma = tail.find(',').ok_or_else(|| ParseError {
+            line,
+            message: "binary op needs two operands".into(),
+        })?;
         return Ok(Inst::Binary {
             op: b,
             dst,
@@ -245,12 +281,17 @@ fn parse_inst(
         });
     }
     if let Some(u) = unop_of(op) {
-        return Ok(Inst::Unary { op: u, dst, src: parse_vreg(line, tail)? });
+        return Ok(Inst::Unary {
+            op: u,
+            dst,
+            src: parse_vreg(line, tail)?,
+        });
     }
     if let Some(c) = op.strip_prefix("cmp.").and_then(cmp_of) {
-        let comma = tail
-            .find(',')
-            .ok_or_else(|| ParseError { line, message: "cmp needs two operands".into() })?;
+        let comma = tail.find(',').ok_or_else(|| ParseError {
+            line,
+            message: "cmp needs two operands".into(),
+        })?;
         return Ok(Inst::Cmp {
             op: c,
             dst,
@@ -259,15 +300,25 @@ fn parse_inst(
         });
     }
     match op {
-        "copy" => Ok(Inst::Copy { dst, src: parse_vreg(line, tail)? }),
+        "copy" => Ok(Inst::Copy {
+            dst,
+            src: parse_vreg(line, tail)?,
+        }),
         "load" => {
             let (addr, offset) = parse_mem(line, tail)?;
             Ok(Inst::Load { dst, addr, offset })
         }
-        "spill_load" => Ok(Inst::SpillLoad { dst, slot: parse_slot(line, tail)? }),
+        "spill_load" => Ok(Inst::SpillLoad {
+            dst,
+            slot: parse_slot(line, tail)?,
+        }),
         "call" => {
             let (callee, args) = parse_call(line, tail, funcs)?;
-            Ok(Inst::Call { callee, args, ret: Some(dst) })
+            Ok(Inst::Call {
+                callee,
+                args,
+                ret: Some(dst),
+            })
         }
         _ => err(line, format!("unknown operation `{op}`")),
     }
@@ -279,9 +330,14 @@ fn parse_term(line: usize, text: &str) -> Result<Option<Terminator>, ParseError>
     }
     if let Some(rest) = text.strip_prefix("br ") {
         // br vC ? bbT : bbE
-        let q = rest.find('?').ok_or_else(|| ParseError { line, message: "br needs ?".into() })?;
-        let colon =
-            rest.rfind(':').ok_or_else(|| ParseError { line, message: "br needs :".into() })?;
+        let q = rest.find('?').ok_or_else(|| ParseError {
+            line,
+            message: "br needs ?".into(),
+        })?;
+        let colon = rest.rfind(':').ok_or_else(|| ParseError {
+            line,
+            message: "br needs :".into(),
+        })?;
         return Ok(Some(Terminator::Branch {
             cond: parse_vreg(line, &rest[..q])?,
             then_bb: parse_block_id(line, &rest[q + 1..colon])?,
@@ -319,18 +375,22 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_function(&mut self, funcs: &HashMap<String, FuncId>) -> Result<Function, ParseError> {
-        let (line, header) = self
-            .next()
-            .ok_or_else(|| ParseError { line: 0, message: "expected `func`".into() })?;
-        let header = header
-            .strip_prefix("func ")
-            .ok_or_else(|| ParseError { line, message: "expected `func <name>(…) {`".into() })?;
-        let open = header
-            .find('(')
-            .ok_or_else(|| ParseError { line, message: "func needs (params)".into() })?;
-        let close = header
-            .find(')')
-            .ok_or_else(|| ParseError { line, message: "func needs closing )".into() })?;
+        let (line, header) = self.next().ok_or_else(|| ParseError {
+            line: 0,
+            message: "expected `func`".into(),
+        })?;
+        let header = header.strip_prefix("func ").ok_or_else(|| ParseError {
+            line,
+            message: "expected `func <name>(…) {`".into(),
+        })?;
+        let open = header.find('(').ok_or_else(|| ParseError {
+            line,
+            message: "func needs (params)".into(),
+        })?;
+        let close = header.find(')').ok_or_else(|| ParseError {
+            line,
+            message: "func needs closing )".into(),
+        })?;
         if !header[close..].contains('{') {
             return err(line, "func needs opening {");
         }
@@ -368,10 +428,10 @@ impl<'a> Parser<'a> {
                 }
                 self.pos += 1;
             } else if let Some(n) = text.strip_prefix("slots ") {
-                slots = n
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError { line, message: "bad slot count".into() })?;
+                slots = n.trim().parse().map_err(|_| ParseError {
+                    line,
+                    message: "bad slot count".into(),
+                })?;
                 self.pos += 1;
             } else {
                 break;
@@ -379,12 +439,22 @@ impl<'a> Parser<'a> {
         }
 
         // Dense vreg table.
-        let max = classes.keys().map(|v| v.index()).max().map(|m| m + 1).unwrap_or(0);
+        let max = classes
+            .keys()
+            .map(|v| v.index())
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
         let mut vregs: EntityVec<VReg, VRegData> = EntityVec::new();
         for i in 0..max {
-            let (class, is_spill_temp) =
-                classes.get(&VReg(i as u32)).copied().unwrap_or((RegClass::Int, false));
-            vregs.push(VRegData { class, is_spill_temp });
+            let (class, is_spill_temp) = classes
+                .get(&VReg(i as u32))
+                .copied()
+                .unwrap_or((RegClass::Int, false));
+            vregs.push(VRegData {
+                class,
+                is_spill_temp,
+            });
         }
 
         // Blocks.
@@ -406,7 +476,10 @@ impl<'a> Parser<'a> {
                 }
                 let id = parse_block_id(line, label)?;
                 if id.index() != blocks.len() {
-                    return err(line, format!("blocks must be dense: expected bb{}", blocks.len()));
+                    return err(
+                        line,
+                        format!("blocks must be dense: expected bb{}", blocks.len()),
+                    );
                 }
                 current = Some((id, Vec::new()));
                 continue;
@@ -479,12 +552,14 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         names.insert(name, id);
     }
     let main = match main_directive {
-        Some((line, name)) => Some(
-            *names
-                .get(&name)
-                .ok_or_else(|| ParseError { line, message: format!("unknown main `{name}`") })?,
-        ),
-        None => names.get("main").copied().or_else(|| program.func_ids().last()),
+        Some((line, name)) => Some(*names.get(&name).ok_or_else(|| ParseError {
+            line,
+            message: format!("unknown main `{name}`"),
+        })?),
+        None => names
+            .get("main")
+            .copied()
+            .or_else(|| program.func_ids().last()),
     };
     if let Some(main) = main {
         program.set_main(main);
@@ -499,8 +574,7 @@ mod tests {
 
     #[test]
     fn parse_minimal() {
-        let f = parse_function("func f() {\n  int v0\nbb0:\n  v0 = iconst 7\n  ret v0\n}")
-            .unwrap();
+        let f = parse_function("func f() {\n  int v0\nbb0:\n  v0 = iconst 7\n  ret v0\n}").unwrap();
         assert_eq!(f.name(), "f");
         assert_eq!(f.num_vregs(), 1);
         crate::verify_function(&f).unwrap();
@@ -508,8 +582,7 @@ mod tests {
 
     #[test]
     fn parse_errors_carry_line_numbers() {
-        let e = parse_function("func f() {\n  int v0\nbb0:\n  v0 = bogus 7\n  ret\n}")
-            .unwrap_err();
+        let e = parse_function("func f() {\n  int v0\nbb0:\n  v0 = bogus 7\n  ret\n}").unwrap_err();
         assert_eq!(e.line, 4);
         assert!(e.to_string().contains("bogus"));
 
@@ -525,8 +598,8 @@ mod tests {
 
     fn roundtrip(f: &crate::Function) {
         let text = display_function(f);
-        let parsed = parse_function(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        let parsed =
+            parse_function(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
         let text2 = display_function(&parsed);
         assert_eq!(text, text2, "round-trip mismatch");
     }
@@ -562,11 +635,16 @@ mod tests {
         let slot = f.new_spill_slot();
         let temp = f.new_spill_temp(RegClass::Float);
         let entry = f.entry();
-        f.block_mut(entry).insts.push(Inst::SpillStore { slot, src: p });
-        f.block_mut(entry).insts.push(Inst::SpillLoad { dst: temp, slot });
         f.block_mut(entry)
             .insts
-            .push(Inst::Overhead { kind: crate::OverheadKind::CallerSave, ops: 4 });
+            .push(Inst::SpillStore { slot, src: p });
+        f.block_mut(entry)
+            .insts
+            .push(Inst::SpillLoad { dst: temp, slot });
+        f.block_mut(entry).insts.push(Inst::Overhead {
+            kind: crate::OverheadKind::CallerSave,
+            ops: 4,
+        });
         roundtrip(&f);
     }
 

@@ -166,7 +166,11 @@ pub fn display_function(f: &Function) -> String {
             Terminator::Jump(t) => {
                 let _ = writeln!(out, "  jump {t}");
             }
-            Terminator::Branch { cond, then_bb, else_bb } => {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let _ = writeln!(out, "  br {cond} ? {then_bb} : {else_bb}");
             }
             Terminator::Return(Some(v)) => {
@@ -238,8 +242,12 @@ mod tests {
         let slot = f.new_spill_slot();
         let temp = f.new_spill_temp(RegClass::Int);
         let entry = f.entry();
-        f.block_mut(entry).insts.push(crate::Inst::SpillStore { slot, src: c });
-        f.block_mut(entry).insts.push(crate::Inst::SpillLoad { dst: temp, slot });
+        f.block_mut(entry)
+            .insts
+            .push(crate::Inst::SpillStore { slot, src: c });
+        f.block_mut(entry)
+            .insts
+            .push(crate::Inst::SpillLoad { dst: temp, slot });
         let text = display_function(&f);
         assert!(text.contains("br v0 ? bb1 : bb2"));
         assert!(text.contains("jump bb2"));

@@ -18,7 +18,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program.
     pub fn new() -> Self {
-        Program { functions: EntityVec::new(), main: None }
+        Program {
+            functions: EntityVec::new(),
+            main: None,
+        }
     }
 
     /// Adds a function and returns its id.
@@ -64,7 +67,10 @@ impl Program {
 
     /// Finds a function id by name, if present.
     pub fn find(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().find(|(_, f)| f.name() == name).map(|(id, _)| id)
+        self.functions
+            .iter()
+            .find(|(_, f)| f.name() == name)
+            .map(|(id, _)| id)
     }
 
     /// The static call edges `(caller, callee)` for internal calls.
@@ -73,7 +79,11 @@ impl Program {
         for (caller, f) in self.functions.iter() {
             for (_, block) in f.blocks() {
                 for inst in &block.insts {
-                    if let Inst::Call { callee: Callee::Internal(target), .. } = inst {
+                    if let Inst::Call {
+                        callee: Callee::Internal(target),
+                        ..
+                    } = inst
+                    {
                         edges.push((caller, *target));
                     }
                 }

@@ -61,12 +61,20 @@ impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerifyError::UnknownBlock { func, target } => {
-                write!(f, "function `{func}`: terminator targets unknown block {target}")
+                write!(
+                    f,
+                    "function `{func}`: terminator targets unknown block {target}"
+                )
             }
             VerifyError::UnknownVReg { func, vreg } => {
                 write!(f, "function `{func}`: reference to unknown vreg {vreg}")
             }
-            VerifyError::ClassMismatch { func, vreg, expected, actual } => write!(
+            VerifyError::ClassMismatch {
+                func,
+                vreg,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "function `{func}`: {vreg} has class {actual} where {expected} is required"
             ),
@@ -74,7 +82,10 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "function `{func}`: call to unknown function {callee}")
             }
             VerifyError::UnknownSlot { func, slot } => {
-                write!(f, "function `{func}`: reference to unknown spill slot {slot}")
+                write!(
+                    f,
+                    "function `{func}`: reference to unknown spill slot {slot}"
+                )
             }
             VerifyError::NoMain => write!(f, "program has no main function"),
         }
@@ -93,7 +104,10 @@ impl<'a> Checker<'a> {
         if v.index() < self.f.num_vregs() {
             Ok(self.f.class_of(v))
         } else {
-            Err(VerifyError::UnknownVReg { func: self.f.name().to_string(), vreg: v })
+            Err(VerifyError::UnknownVReg {
+                func: self.f.name().to_string(),
+                vreg: v,
+            })
         }
     }
 
@@ -115,7 +129,10 @@ impl<'a> Checker<'a> {
         if s.index() < self.f.num_spill_slots() as usize {
             Ok(())
         } else {
-            Err(VerifyError::UnknownSlot { func: self.f.name().to_string(), slot: s })
+            Err(VerifyError::UnknownSlot {
+                func: self.f.name().to_string(),
+                slot: s,
+            })
         }
     }
 
@@ -123,7 +140,10 @@ impl<'a> Checker<'a> {
         if b.index() < self.f.num_blocks() {
             Ok(())
         } else {
-            Err(VerifyError::UnknownBlock { func: self.f.name().to_string(), target: b })
+            Err(VerifyError::UnknownBlock {
+                func: self.f.name().to_string(),
+                target: b,
+            })
         }
     }
 
@@ -132,7 +152,11 @@ impl<'a> Checker<'a> {
             Inst::IConst { dst, .. } => self.expect_class(*dst, RegClass::Int),
             Inst::FConst { dst, .. } => self.expect_class(*dst, RegClass::Float),
             Inst::Binary { op, dst, lhs, rhs } => {
-                let class = if op.is_float() { RegClass::Float } else { RegClass::Int };
+                let class = if op.is_float() {
+                    RegClass::Float
+                } else {
+                    RegClass::Int
+                };
                 self.expect_class(*dst, class)?;
                 self.expect_class(*lhs, class)?;
                 self.expect_class(*rhs, class)
@@ -190,7 +214,11 @@ impl<'a> Checker<'a> {
     fn check_term(&self, term: &Terminator) -> Result<(), VerifyError> {
         match term {
             Terminator::Jump(t) => self.block(*t),
-            Terminator::Branch { cond, then_bb, else_bb } => {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 self.expect_class(*cond, RegClass::Int)?;
                 self.block(*then_bb)?;
                 self.block(*else_bb)
@@ -240,7 +268,11 @@ pub fn verify_program(p: &Program) -> Result<(), VerifyError> {
     }
     let n = p.num_functions();
     for (_, f) in p.functions() {
-        Checker { f, num_funcs: Some(n) }.run()?;
+        Checker {
+            f,
+            num_funcs: Some(n),
+        }
+        .run()?;
     }
     Ok(())
 }

@@ -72,7 +72,11 @@ impl CycleModel {
     /// A DECstation-like model: 1 cycle per instruction, 2 per memory
     /// overhead operation, 1 per move.
     pub fn decstation() -> Self {
-        CycleModel { inst_cycles: 1.0, memory_op_cycles: 2.0, move_cycles: 1.0 }
+        CycleModel {
+            inst_cycles: 1.0,
+            memory_op_cycles: 2.0,
+            move_cycles: 1.0,
+        }
     }
 
     /// Total simulated cycles for a run that executed `insts` useful

@@ -46,7 +46,12 @@ impl RegisterFile {
             "register combination ({caller_int},{caller_float},{callee_int},{callee_float}) \
              is below the MIPS calling-convention minimum (6,4,0,0)"
         );
-        RegisterFile { caller_int, caller_float, callee_int, callee_float }
+        RegisterFile {
+            caller_int,
+            caller_float,
+            callee_int,
+            callee_float,
+        }
     }
 
     /// The calling-convention minimum `(6,4,0,0)`: only the argument and
@@ -86,7 +91,8 @@ impl RegisterFile {
 
     /// All registers of a bank, caller-save first.
     pub fn regs(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
-        self.regs_of(class, SaveKind::CallerSave).chain(self.regs_of(class, SaveKind::CalleeSave))
+        self.regs_of(class, SaveKind::CallerSave)
+            .chain(self.regs_of(class, SaveKind::CalleeSave))
     }
 
     /// The registers of a bank with the given save kind.
@@ -160,7 +166,12 @@ impl RegisterFile {
 
     /// The four components `(Ri, Rf, Ei, Ef)`.
     pub fn components(&self) -> (u8, u8, u8, u8) {
-        (self.caller_int, self.caller_float, self.callee_int, self.callee_float)
+        (
+            self.caller_int,
+            self.caller_float,
+            self.callee_int,
+            self.callee_float,
+        )
     }
 }
 
@@ -207,8 +218,14 @@ mod tests {
         let f = RegisterFile::new(6, 4, 2, 1);
         let int_regs: Vec<PhysReg> = f.regs(RegClass::Int).collect();
         assert_eq!(int_regs.len(), 8);
-        assert_eq!(int_regs[0], PhysReg::new(RegClass::Int, SaveKind::CallerSave, 0));
-        assert_eq!(int_regs[6], PhysReg::new(RegClass::Int, SaveKind::CalleeSave, 0));
+        assert_eq!(
+            int_regs[0],
+            PhysReg::new(RegClass::Int, SaveKind::CallerSave, 0)
+        );
+        assert_eq!(
+            int_regs[6],
+            PhysReg::new(RegClass::Int, SaveKind::CalleeSave, 0)
+        );
         let dense: Vec<usize> = int_regs.iter().map(|&r| f.dense_index(r)).collect();
         assert_eq!(dense, (0..8).collect::<Vec<_>>());
     }
@@ -221,7 +238,10 @@ mod tests {
         // Monotone in every component.
         for w in sweep.windows(2) {
             let (a, b) = (w[0].components(), w[1].components());
-            assert!(b.0 >= a.0 && b.1 >= a.1 && b.2 >= a.2 && b.3 >= a.3, "{a:?} -> {b:?}");
+            assert!(
+                b.0 >= a.0 && b.1 >= a.1 && b.2 >= a.2 && b.3 >= a.3,
+                "{a:?} -> {b:?}"
+            );
             assert_ne!(a, b);
         }
         // The lock-step prefix the paper quotes explicitly.

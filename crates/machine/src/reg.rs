@@ -89,10 +89,22 @@ mod tests {
 
     #[test]
     fn display_is_mips_flavoured() {
-        assert_eq!(PhysReg::new(RegClass::Int, SaveKind::CallerSave, 3).to_string(), "$t3");
-        assert_eq!(PhysReg::new(RegClass::Int, SaveKind::CalleeSave, 0).to_string(), "$s0");
-        assert_eq!(PhysReg::new(RegClass::Float, SaveKind::CallerSave, 2).to_string(), "$ft2");
-        assert_eq!(PhysReg::new(RegClass::Float, SaveKind::CalleeSave, 5).to_string(), "$fs5");
+        assert_eq!(
+            PhysReg::new(RegClass::Int, SaveKind::CallerSave, 3).to_string(),
+            "$t3"
+        );
+        assert_eq!(
+            PhysReg::new(RegClass::Int, SaveKind::CalleeSave, 0).to_string(),
+            "$s0"
+        );
+        assert_eq!(
+            PhysReg::new(RegClass::Float, SaveKind::CallerSave, 2).to_string(),
+            "$ft2"
+        );
+        assert_eq!(
+            PhysReg::new(RegClass::Float, SaveKind::CalleeSave, 5).to_string(),
+            "$fs5"
+        );
     }
 
     #[test]

@@ -63,12 +63,18 @@ mod tests {
         let entry = f.entry();
         f.block_mut(entry).insts.insert(
             0,
-            Inst::Overhead { kind: OverheadKind::CalleeSave, ops: 3 },
+            Inst::Overhead {
+                kind: OverheadKind::CalleeSave,
+                ops: 3,
+            },
         );
-        f.block_mut(entry).insts.push(Inst::SpillStore { slot, src: x });
         f.block_mut(entry)
             .insts
-            .push(Inst::Overhead { kind: OverheadKind::Shuffle, ops: 1 });
+            .push(Inst::SpillStore { slot, src: x });
+        f.block_mut(entry).insts.push(Inst::Overhead {
+            kind: OverheadKind::Shuffle,
+            ops: 1,
+        });
 
         let mut p = Program::new();
         let id = p.add_function(f);

@@ -36,7 +36,9 @@ impl FuncContext {
 
     /// The node ids of the given bank.
     pub fn bank_nodes(&self, class: RegClass) -> Vec<u32> {
-        (0..self.nodes.len() as u32).filter(|&n| self.nodes[n as usize].class == class).collect()
+        (0..self.nodes.len() as u32)
+            .filter(|&n| self.nodes[n as usize].class == class)
+            .collect()
     }
 
     /// The node defined by instruction `(bb, idx)` writing `v`, if any.
@@ -72,7 +74,11 @@ fn scan_webs(f: &Function, live: &Liveness, webs: &Webs, freq: &FuncFreq) -> Web
     let mut site_index: HashMap<(BlockId, u32), u32> = HashMap::new();
     for (bb, idx) in f.call_sites() {
         site_index.insert((bb, idx as u32), callsites.len() as u32);
-        callsites.push(CallSite { bb, idx: idx as u32, freq: freq.block(bb) });
+        callsites.push(CallSite {
+            bb,
+            idx: idx as u32,
+            freq: freq.block(bb),
+        });
     }
 
     // Last def index of each vreg per block, to resolve live-out webs.
@@ -170,7 +176,13 @@ fn scan_webs(f: &Function, live: &Liveness, webs: &Webs, freq: &FuncFreq) -> Web
         }
     }
 
-    WebScan { graph, calls_crossed, blocks_spanned, copies, callsites }
+    WebScan {
+        graph,
+        calls_crossed,
+        blocks_spanned,
+        copies,
+        callsites,
+    }
 }
 
 /// Aggressive coalescing: merge copy-related webs that do not interfere,
@@ -202,7 +214,9 @@ fn coalesce(nw: usize, scan: &WebScan) -> Vec<u32> {
                 continue;
             }
             let conflict = members[ra as usize].iter().any(|&x| {
-                members[rb as usize].iter().any(|&y| scan.graph.interferes(x, y))
+                members[rb as usize]
+                    .iter()
+                    .any(|&y| scan.graph.interferes(x, y))
             });
             if !conflict {
                 parent[rb as usize] = ra;
@@ -222,9 +236,26 @@ fn coalesce(nw: usize, scan: &WebScan) -> Vec<u32> {
 /// per-node cost attributes (spill / caller-save / callee-save cost, block
 /// span, calls crossed).
 pub fn build_context(f: &Function, freq: &FuncFreq, cost: &CostModel) -> FuncContext {
+    let mut sink = crate::trace::NoopSink;
+    let mut tr = crate::trace::TraceCtx::new(&mut sink, f.name(), 1);
+    build_context_traced(f, freq, cost, &mut tr)
+}
+
+/// Like [`build_context`], emitting `build` and `coalesce` phase spans
+/// through the trace context.
+pub fn build_context_traced(
+    f: &Function,
+    freq: &FuncFreq,
+    cost: &CostModel,
+    tr: &mut crate::trace::TraceCtx<'_>,
+) -> FuncContext {
+    let span = tr.span();
     let live = Liveness::compute(f);
     let webs = Webs::compute(f);
     let scan = scan_webs(f, &live, &webs, freq);
+    tr.span_end(span, crate::trace::Phase::Build);
+
+    let span = tr.span();
     let roots = coalesce(webs.len(), &scan);
 
     // Dense node ids per root.
@@ -312,7 +343,16 @@ pub fn build_context(f: &Function, freq: &FuncFreq, cost: &CostModel) -> FuncCon
         }
     }
 
-    FuncContext { nodes, graph, callsites: scan.callsites, entry_freq, web_node, webs }
+    let ctx = FuncContext {
+        nodes,
+        graph,
+        callsites: scan.callsites,
+        entry_freq,
+        web_node,
+        webs,
+    };
+    tr.span_end(span, crate::trace::Phase::Coalesce);
+    ctx
 }
 
 #[cfg(test)]
@@ -348,7 +388,11 @@ mod tests {
         assert_eq!(ctx.nodes.len(), 4);
         // x and y are simultaneously live before the first add, and y is
         // live when the first z lifetime is defined.
-        assert!(ctx.graph.num_edges() >= 2, "edges: {}", ctx.graph.num_edges());
+        assert!(
+            ctx.graph.num_edges() >= 2,
+            "edges: {}",
+            ctx.graph.num_edges()
+        );
         assert_eq!(ctx.callsites.len(), 0);
         assert_eq!(ctx.entry_freq, 1.0);
     }
@@ -483,6 +527,9 @@ mod tests {
             .iter()
             .map(|n| n.spill_cost)
             .fold(0.0f64, f64::max);
-        assert!(hot_cost >= 51.0, "hot value: def(1) + 50 uses, got {hot_cost}");
+        assert!(
+            hot_cost >= 51.0,
+            "hot value: def(1) + 50 uses, got {hot_cost}"
+        );
     }
 }

@@ -16,20 +16,47 @@ use ccra_ir::RegClass;
 use ccra_machine::{PhysReg, RegisterFile, SaveKind};
 
 use crate::build::FuncContext;
-use crate::chaitin::BankResult;
+use crate::chaitin::{emit_bank_decisions, BankResult, DecisionMeta};
+use crate::trace::{Phase, TraceCtx};
+
+/// Per-spill reasons collected during assignment, only when tracing.
+type Reasons = Vec<(u32, &'static str)>;
 
 /// Runs CBH coloring on one register bank.
-pub fn allocate_bank_cbh(
+pub fn allocate_bank_cbh(ctx: &FuncContext, class: RegClass, file: &RegisterFile) -> BankResult {
+    let mut sink = crate::trace::NoopSink;
+    let mut tr = TraceCtx::new(&mut sink, "", 1);
+    allocate_bank_cbh_traced(ctx, class, file, &mut tr)
+}
+
+/// Like [`allocate_bank_cbh`], emitting `simplify`/`select` phase spans and
+/// one decision record per live range through the trace context.
+pub fn allocate_bank_cbh_traced(
     ctx: &FuncContext,
     class: RegClass,
     file: &RegisterFile,
+    tr: &mut TraceCtx<'_>,
 ) -> BankResult {
     let bank = ctx.bank_nodes(class);
     let n_caller = file.count(class, SaveKind::CallerSave);
     let n_callee = file.count(class, SaveKind::CalleeSave);
     if n_caller + n_callee == 0 {
-        return BankResult { colors: HashMap::new(), spilled: bank };
+        let result = BankResult {
+            colors: HashMap::new(),
+            spilled: bank,
+        };
+        if tr.enabled() {
+            let reasons: Reasons = result.spilled.iter().map(|&n| (n, "bank_empty")).collect();
+            let meta = DecisionMeta {
+                bs: None,
+                forced: None,
+            };
+            emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
+        }
+        return result;
     }
+    let span = tr.span();
+    let mut reasons: Option<Reasons> = tr.enabled().then(Vec::new);
 
     // The save/restore cost of one callee-save-register live range.
     let callee_range_cost = ctx.entry_freq * 2.0;
@@ -37,7 +64,16 @@ pub fn allocate_bank_cbh(
     let mut alive: HashSet<u32> = bank.iter().copied().collect();
     let mut degree: HashMap<u32, usize> = bank
         .iter()
-        .map(|&n| (n, ctx.graph.neighbors(n).iter().filter(|m| alive.contains(m)).count()))
+        .map(|&n| {
+            (
+                n,
+                ctx.graph
+                    .neighbors(n)
+                    .iter()
+                    .filter(|m| alive.contains(m))
+                    .count(),
+            )
+        })
         .collect();
     // Callee-save-register live ranges still alive (index < n_callee).
     let mut synthetic_alive: HashSet<u8> = (0..n_callee as u8).collect();
@@ -114,35 +150,63 @@ pub fn allocate_bank_cbh(
                 }
             }
             spilled.push(v);
+            if let Some(r) = reasons.as_mut() {
+                r.push((v, "pressure_spill"));
+            }
         }
     }
+    tr.span_end(span, Phase::Simplify);
 
     // Color assignment: callee-save registers are usable only if freed;
     // call-crossing nodes may not use caller-save registers at all.
+    let span = tr.span();
     let mut colors: HashMap<u32, PhysReg> = HashMap::new();
     for &n in stack.iter().rev() {
         let node = &ctx.nodes[n as usize];
-        let taken: HashSet<PhysReg> =
-            ctx.graph.neighbors(n).iter().filter_map(|m| colors.get(m).copied()).collect();
+        let taken: HashSet<PhysReg> = ctx
+            .graph
+            .neighbors(n)
+            .iter()
+            .filter_map(|m| colors.get(m).copied())
+            .collect();
         let crossing = node.crosses_calls();
         let callee_free = freed.iter().copied().find(|r| !taken.contains(r));
         let caller_free = if crossing {
             None
         } else {
-            file.regs_of(class, SaveKind::CallerSave).find(|r| !taken.contains(r))
+            file.regs_of(class, SaveKind::CallerSave)
+                .find(|r| !taken.contains(r))
         };
         // Non-crossing live ranges prefer caller-save registers; crossing
         // ones have no choice.
-        let reg = if crossing { callee_free } else { caller_free.or(callee_free) };
+        let reg = if crossing {
+            callee_free
+        } else {
+            caller_free.or(callee_free)
+        };
         match reg {
             Some(r) => {
                 colors.insert(n, r);
             }
-            None => spilled.push(n),
+            None => {
+                spilled.push(n);
+                if let Some(r) = reasons.as_mut() {
+                    r.push((n, "no_color"));
+                }
+            }
         }
     }
+    tr.span_end(span, Phase::Select);
 
-    BankResult { colors, spilled }
+    let result = BankResult { colors, spilled };
+    if let Some(reasons) = reasons {
+        let meta = DecisionMeta {
+            bs: None,
+            forced: None,
+        };
+        emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -267,6 +331,9 @@ mod tests {
             .copied()
             .filter(|r| r.kind == SaveKind::CalleeSave)
             .collect();
-        assert!(callee_used.len() <= 1, "at most one callee register is needed");
+        assert!(
+            callee_used.len() <= 1,
+            "at most one callee register is needed"
+        );
     }
 }

@@ -8,7 +8,11 @@ use ccra_ir::RegClass;
 use ccra_machine::{PhysReg, RegisterFile, SaveKind};
 
 use crate::build::FuncContext;
-use crate::types::{AllocatorConfig, AllocatorKind, CalleeCostModel};
+use crate::trace::{AllocEvent, Decision, Phase, TraceCtx};
+use crate::types::{AllocatorConfig, AllocatorKind, BsKey, CalleeCostModel, Loc};
+
+/// Per-spill reasons collected during assignment, only when tracing.
+type Reasons = Vec<(u32, &'static str)>;
 
 /// The outcome of coloring one register bank.
 #[derive(Debug, Clone, Default)]
@@ -85,7 +89,9 @@ pub fn preference_decision(
                     node.spill_cost
                 }
             };
-            key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal)
+            key(a)
+                .partial_cmp(&key(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for &n in candidates.iter().take(l - m) {
             forced.insert(n);
@@ -111,14 +117,21 @@ fn simplify(
     let mut alive: HashSet<u32> = bank.iter().copied().collect();
     let mut degree: HashMap<u32, usize> = bank
         .iter()
-        .map(|&n| (n, ctx.graph.neighbors(n).iter().filter(|&&m| alive.contains(&m)).count()))
+        .map(|&n| {
+            (
+                n,
+                ctx.graph
+                    .neighbors(n)
+                    .iter()
+                    .filter(|&&m| alive.contains(&m))
+                    .count(),
+            )
+        })
         .collect();
     let mut stack: Vec<(u32, Removal)> = Vec::new();
     let mut pre_spilled: Vec<u32> = Vec::new();
 
-    let remove = |n: u32,
-                      alive: &mut HashSet<u32>,
-                      degree: &mut HashMap<u32, usize>| {
+    let remove = |n: u32, alive: &mut HashSet<u32>, degree: &mut HashMap<u32, usize>| {
         alive.remove(&n);
         for &m in ctx.graph.neighbors(n) {
             if alive.contains(&m) {
@@ -135,14 +148,21 @@ fn simplify(
                 .copied()
                 .filter(|n| degree[n] < n_colors)
                 .min_by(|&a, &b| {
-                    let (ka, kb) =
-                        (ctx.nodes[a as usize].bs_key(key), ctx.nodes[b as usize].bs_key(key));
-                    ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+                    let (ka, kb) = (
+                        ctx.nodes[a as usize].bs_key(key),
+                        ctx.nodes[b as usize].bs_key(key),
+                    );
+                    ka.partial_cmp(&kb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
                 }),
             None => {
                 // Deterministic arbitrary order: lowest id first.
-                let mut ids: Vec<u32> =
-                    alive.iter().copied().filter(|n| degree[n] < n_colors).collect();
+                let mut ids: Vec<u32> = alive
+                    .iter()
+                    .copied()
+                    .filter(|n| degree[n] < n_colors)
+                    .collect();
                 ids.sort_unstable();
                 ids.first().copied()
             }
@@ -161,7 +181,9 @@ fn simplify(
             .min_by(|&a, &b| {
                 let ma = ctx.nodes[a as usize].spill_metric(degree[&a]);
                 let mb = ctx.nodes[b as usize].spill_metric(degree[&b]);
-                ma.partial_cmp(&mb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+                ma.partial_cmp(&mb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
             })
             .expect("alive is non-empty");
         remove(victim, &mut alive, &mut degree);
@@ -175,6 +197,10 @@ fn simplify(
 }
 
 /// The color-assignment phase, including storage-class analysis.
+///
+/// `reasons` collects a spill reason per spilled node when tracing (`None`
+/// when telemetry is off, so the untraced path allocates nothing).
+#[allow(clippy::too_many_arguments)]
 fn assign(
     ctx: &FuncContext,
     class: RegClass,
@@ -183,6 +209,7 @@ fn assign(
     stack: Vec<(u32, Removal)>,
     mut spilled: Vec<u32>,
     forced_caller: &HashSet<u32>,
+    mut reasons: Option<&mut Reasons>,
 ) -> BankResult {
     let mut colors: HashMap<u32, PhysReg> = HashMap::new();
     // Share sets δ(r) for the shared callee-cost model.
@@ -218,8 +245,15 @@ fn assign(
 
         let chosen = free_of(first).or_else(|| free_of(second));
         let Some(reg) = chosen else {
-            debug_assert_eq!(removal, Removal::Optimistic, "guaranteed node found no color");
+            debug_assert_eq!(
+                removal,
+                Removal::Optimistic,
+                "guaranteed node found no color"
+            );
             spilled.push(n);
+            if let Some(r) = reasons.as_deref_mut() {
+                r.push((n, "no_color"));
+            }
             continue;
         };
 
@@ -229,6 +263,9 @@ fn assign(
                     // Caller-save residence costs more than memory: spill.
                     if node.benefit_caller() < 0.0 {
                         spilled.push(n);
+                        if let Some(r) = reasons.as_deref_mut() {
+                            r.push((n, "sc_caller_spill"));
+                        }
                         continue;
                     }
                 }
@@ -236,6 +273,9 @@ fn assign(
                     CalleeCostModel::FirstUser => {
                         if !callee_used.contains(&reg) && node.benefit_callee() < 0.0 {
                             spilled.push(n);
+                            if let Some(r) = reasons.as_deref_mut() {
+                                r.push((n, "sc_callee_first_spill"));
+                            }
                             continue;
                         }
                     }
@@ -256,16 +296,24 @@ fn assign(
     if config.storage_class && config.callee_cost_model == CalleeCostModel::Shared {
         let callee_cost = ctx.entry_freq * 2.0;
         for (_, users) in delta {
-            let users: Vec<u32> =
-                users.into_iter().filter(|n| !ctx.nodes[*n as usize].is_spill_temp).collect();
+            let users: Vec<u32> = users
+                .into_iter()
+                .filter(|n| !ctx.nodes[*n as usize].is_spill_temp)
+                .collect();
             if users.is_empty() {
                 continue;
             }
-            let sum: f64 = users.iter().map(|&n| ctx.nodes[n as usize].spill_cost).sum();
+            let sum: f64 = users
+                .iter()
+                .map(|&n| ctx.nodes[n as usize].spill_cost)
+                .sum();
             if sum < callee_cost {
                 for n in users {
                     colors.remove(&n);
                     spilled.push(n);
+                    if let Some(r) = reasons.as_deref_mut() {
+                        r.push((n, "sc_shared_spill"));
+                    }
                 }
             }
         }
@@ -281,18 +329,126 @@ pub fn allocate_bank_chaitin(
     file: &RegisterFile,
     config: &AllocatorConfig,
 ) -> BankResult {
+    let mut sink = crate::trace::NoopSink;
+    let mut tr = TraceCtx::new(&mut sink, "", 1);
+    allocate_bank_chaitin_traced(ctx, class, file, config, &mut tr)
+}
+
+/// Like [`allocate_bank_chaitin`], emitting `simplify`/`select` phase spans
+/// and one [`Decision`] per live range through the trace context.
+pub fn allocate_bank_chaitin_traced(
+    ctx: &FuncContext,
+    class: RegClass,
+    file: &RegisterFile,
+    config: &AllocatorConfig,
+    tr: &mut TraceCtx<'_>,
+) -> BankResult {
     let bank = ctx.bank_nodes(class);
     let n_colors = file.bank_size(class);
     if n_colors == 0 {
-        return BankResult { colors: HashMap::new(), spilled: bank };
+        let result = BankResult {
+            colors: HashMap::new(),
+            spilled: bank,
+        };
+        if tr.enabled() {
+            let reasons: Reasons = result.spilled.iter().map(|&n| (n, "bank_empty")).collect();
+            let meta = DecisionMeta {
+                bs: None,
+                forced: None,
+            };
+            emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
+        }
+        return result;
     }
+
+    let span = tr.span();
     let forced_caller = if config.preference {
         preference_decision(ctx, class, file)
     } else {
         HashSet::new()
     };
     let (stack, pre_spilled) = simplify(ctx, &bank, n_colors, config);
-    assign(ctx, class, file, config, stack, pre_spilled, &forced_caller)
+    tr.span_end(span, Phase::Simplify);
+
+    let span = tr.span();
+    let mut reasons: Option<Reasons> = tr
+        .enabled()
+        .then(|| pre_spilled.iter().map(|&n| (n, "pressure_spill")).collect());
+    let result = assign(
+        ctx,
+        class,
+        file,
+        config,
+        stack,
+        pre_spilled,
+        &forced_caller,
+        reasons.as_mut(),
+    );
+    tr.span_end(span, Phase::Select);
+
+    if let Some(reasons) = reasons {
+        let meta = DecisionMeta {
+            bs: config.benefit_simplify,
+            forced: Some(&forced_caller),
+        };
+        emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
+    }
+    result
+}
+
+/// What the decision emitter needs to know about the allocator: the BS key
+/// in effect (if any) and the preference-decision outcome (if it ran).
+pub(crate) struct DecisionMeta<'a> {
+    pub bs: Option<BsKey>,
+    pub forced: Option<&'a HashSet<u32>>,
+}
+
+/// Emits one [`Decision`] per node of the bank, spilled or colored.
+pub(crate) fn emit_bank_decisions(
+    tr: &mut TraceCtx<'_>,
+    ctx: &FuncContext,
+    class: RegClass,
+    result: &BankResult,
+    reasons: &[(u32, &'static str)],
+    meta: &DecisionMeta<'_>,
+) {
+    let reason_of: HashMap<u32, &'static str> = reasons.iter().copied().collect();
+    let (func, round) = (tr.func().to_string(), tr.round());
+    for n in ctx.bank_nodes(class) {
+        let node = &ctx.nodes[n as usize];
+        let loc = match result.colors.get(&n) {
+            Some(&r) => Loc::Reg(r),
+            None => Loc::Spilled,
+        };
+        let reason = match loc {
+            Loc::Reg(_) => "colored",
+            Loc::Spilled => reason_of.get(&n).copied().unwrap_or("spilled"),
+        };
+        tr.emit(AllocEvent::Decision(Decision {
+            func: func.clone(),
+            round,
+            node: n,
+            class: match class {
+                RegClass::Int => "int".to_string(),
+                RegClass::Float => "float".to_string(),
+            },
+            benefit_caller: node.benefit_caller(),
+            benefit_callee: node.benefit_callee(),
+            bs_key: match meta.bs {
+                Some(BsKey::MaxBenefit) => "max_benefit".to_string(),
+                Some(BsKey::BenefitDelta) => "benefit_delta".to_string(),
+                None => "none".to_string(),
+            },
+            bs_value: meta.bs.map(|k| node.bs_key(k)),
+            pref_votes: node.calls_crossed.len() as u32,
+            pref_forced: meta.forced.is_some_and(|f| f.contains(&n)),
+            loc: match loc {
+                Loc::Reg(r) => r.to_string(),
+                Loc::Spilled => "spilled".to_string(),
+            },
+            reason: reason.to_string(),
+        }));
+    }
 }
 
 #[cfg(test)]
@@ -356,7 +512,10 @@ mod tests {
         let ctx = ctx_for(pressure_function(10));
         let file = RegisterFile::new(6, 4, 0, 0);
         let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base());
-        assert!(!res.spilled.is_empty(), "10 simultaneous values into 6 registers");
+        assert!(
+            !res.spilled.is_empty(),
+            "10 simultaneous values into 6 registers"
+        );
     }
 
     #[test]
@@ -454,7 +613,10 @@ mod tests {
                 node.crosses_calls() && node.benefit_callee() > node.benefit_caller()
             })
             .collect();
-        assert!(candidates.len() > 1, "test needs competition for callee regs");
+        assert!(
+            candidates.len() > 1,
+            "test needs competition for callee regs"
+        );
         assert_eq!(forced.len(), candidates.len() - 1, "L - M are forced");
         for n in &forced {
             assert!(ctx.nodes[*n as usize].crosses_calls());

@@ -17,7 +17,11 @@ pub struct InterferenceGraph {
 impl InterferenceGraph {
     /// Creates an edgeless graph over `n` nodes.
     pub fn new(n: usize) -> Self {
-        InterferenceGraph { n, adj: vec![Vec::new(); n], matrix: BitSet::new(n * (n + 1) / 2) }
+        InterferenceGraph {
+            n,
+            adj: vec![Vec::new(); n],
+            matrix: BitSet::new(n * (n + 1) / 2),
+        }
     }
 
     fn tri_index(&self, a: usize, b: usize) -> usize {
@@ -43,7 +47,11 @@ impl InterferenceGraph {
     /// Panics if `a` or `b` is out of range.
     pub fn add_edge(&mut self, a: u32, b: u32) {
         let (a, b) = (a as usize, b as usize);
-        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range {}", self.n);
+        assert!(
+            a < self.n && b < self.n,
+            "edge ({a},{b}) out of range {}",
+            self.n
+        );
         if a == b {
             return;
         }

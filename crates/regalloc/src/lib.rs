@@ -68,22 +68,30 @@ mod priority;
 mod reconstruct;
 mod rewrite;
 mod spill;
+pub mod trace;
 mod types;
 
 pub use accounting::{measured_overhead, weighted_overhead};
-pub use build::{build_context, FuncContext};
-pub use cbh::allocate_bank_cbh;
-pub use chaitin::{allocate_bank_chaitin, preference_decision, BankResult};
+pub use build::{build_context, build_context_traced, FuncContext};
+pub use cbh::{allocate_bank_cbh, allocate_bank_cbh_traced};
+pub use chaitin::{
+    allocate_bank_chaitin, allocate_bank_chaitin_traced, preference_decision, BankResult,
+};
 pub use graph::InterferenceGraph;
 pub use node::{CallSite, NodeInfo, SPILL_TEMP_COST};
 pub use pipeline::{
-    allocate_function, allocate_program, allocate_program_with, count_kinds, FuncAllocation,
+    allocate_function, allocate_function_traced, allocate_program, allocate_program_traced,
+    allocate_program_with, allocate_program_with_traced, count_kinds, FuncAllocation,
     ProgramAllocation, RangeSummary,
 };
-pub use priority::allocate_bank_priority;
-pub use reconstruct::reconstruct_context;
+pub use priority::{allocate_bank_priority, allocate_bank_priority_traced};
+pub use reconstruct::{reconstruct_context, reconstruct_context_traced};
 pub use rewrite::{insert_overhead_markers, FinalAssignment};
-pub use spill::{insert_spill_code, insert_spill_code_traced, SpillRewrite, TempRef};
+pub use spill::{
+    insert_spill_code, insert_spill_code_instrumented, insert_spill_code_traced, SpillRewrite,
+    TempRef,
+};
+pub use trace::{AllocEvent, AllocSink, JsonlSink, NoopSink, RecordingSink, TraceCtx};
 pub use types::{
     AllocatorConfig, AllocatorKind, BsKey, CalleeCostModel, Loc, Overhead, PriorityOrdering,
 };

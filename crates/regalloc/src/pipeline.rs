@@ -7,11 +7,14 @@ use ccra_analysis::{FrequencyInfo, FuncFreq};
 use ccra_ir::{FuncId, Function, Program, RegClass};
 use ccra_machine::{CostModel, PhysReg, RegisterFile, SaveKind};
 
-use crate::build::{build_context, FuncContext};
-use crate::cbh::allocate_bank_cbh;
-use crate::chaitin::{allocate_bank_chaitin, BankResult};
-use crate::priority::allocate_bank_priority;
+use crate::build::{build_context_traced, FuncContext};
+use crate::cbh::allocate_bank_cbh_traced;
+use crate::chaitin::{allocate_bank_chaitin_traced, BankResult};
+use crate::priority::allocate_bank_priority_traced;
 use crate::rewrite::{insert_overhead_markers, FinalAssignment};
+use crate::trace::{
+    span_start, AllocEvent, AllocSink, FuncSummary, NoopSink, ProgramSummary, RoundStats, TraceCtx,
+};
 use crate::types::{AllocatorConfig, AllocatorKind, Loc, Overhead};
 
 /// Hard cap on spill iterations; exceeded only by pathological inputs.
@@ -34,11 +37,11 @@ pub struct RangeSummary {
     pub loc: Loc,
 }
 
-/// The result of allocating one function.
+/// The result of allocating one function. The rewritten function itself is
+/// returned alongside (by [`allocate_function`]) or moved into the
+/// rewritten [`Program`] (by [`allocate_program`]).
 #[derive(Debug, Clone)]
 pub struct FuncAllocation {
-    /// The rewritten function: spill code plus overhead markers.
-    pub function: Function,
     /// The weighted overhead (Section 3 cost) of this function.
     pub overhead: Overhead,
     /// Build→color→spill rounds executed (1 = no spilling needed).
@@ -70,21 +73,22 @@ impl ProgramAllocation {
     }
 }
 
-fn allocate_banks(
+fn allocate_banks_traced(
     ctx: &FuncContext,
     file: &RegisterFile,
     config: &AllocatorConfig,
+    tr: &mut TraceCtx<'_>,
 ) -> BankResult {
     let mut merged = BankResult::default();
     for class in RegClass::ALL {
         let res = match config.kind {
             AllocatorKind::Chaitin | AllocatorKind::Optimistic => {
-                allocate_bank_chaitin(ctx, class, file, config)
+                allocate_bank_chaitin_traced(ctx, class, file, config, tr)
             }
             AllocatorKind::Priority(ordering) => {
-                allocate_bank_priority(ctx, class, file, ordering)
+                allocate_bank_priority_traced(ctx, class, file, ordering, tr)
             }
-            AllocatorKind::Cbh => allocate_bank_cbh(ctx, class, file),
+            AllocatorKind::Cbh => allocate_bank_cbh_traced(ctx, class, file, tr),
         };
         merged.colors.extend(res.colors);
         merged.spilled.extend(res.spilled);
@@ -94,6 +98,9 @@ fn allocate_banks(
 
 /// Allocates registers for one function, iterating spill rounds until no
 /// live range needs to be spilled, then inserting overhead markers.
+///
+/// Returns the rewritten function (spill code plus overhead markers) and
+/// the allocation summary.
 ///
 /// # Panics
 ///
@@ -106,11 +113,30 @@ pub fn allocate_function(
     file: &RegisterFile,
     config: &AllocatorConfig,
     cost: &CostModel,
-) -> FuncAllocation {
+) -> (Function, FuncAllocation) {
+    let mut sink = NoopSink;
+    allocate_function_traced(f, freq, file, config, cost, &mut sink)
+}
+
+/// Like [`allocate_function`], emitting telemetry through `sink`: phase
+/// spans and round stats per spill round, one decision record per live
+/// range, spill-insertion stats, and a final [`FuncSummary`].
+pub fn allocate_function_traced(
+    f: &Function,
+    freq: &FuncFreq,
+    file: &RegisterFile,
+    config: &AllocatorConfig,
+    cost: &CostModel,
+    sink: &mut dyn AllocSink,
+) -> (Function, FuncAllocation) {
+    let name = f.name().to_string();
     let mut body = f.clone();
     let mut spilled_ranges = 0usize;
     let mut rounds = 0u32;
-    let mut ctx = build_context(&body, freq, cost);
+    let mut ctx = {
+        let mut tr = TraceCtx::new(sink, &name, 1);
+        build_context_traced(&body, freq, cost, &mut tr)
+    };
     loop {
         rounds += 1;
         assert!(
@@ -118,28 +144,64 @@ pub fn allocate_function(
             "register allocation of `{}` did not converge in {MAX_ROUNDS} rounds",
             f.name()
         );
-        let result = allocate_banks(&ctx, file, config);
+        let mut tr = TraceCtx::new(sink, &name, rounds);
+        if tr.enabled() {
+            let max_degree = (0..ctx.nodes.len() as u32)
+                .map(|n| ctx.graph.degree(n))
+                .max()
+                .unwrap_or(0);
+            tr.emit(AllocEvent::Round(RoundStats {
+                func: name.clone(),
+                round: rounds,
+                nodes: ctx.nodes.len(),
+                edges: ctx.graph.num_edges(),
+                max_degree,
+            }));
+        }
+        let result = allocate_banks_traced(&ctx, file, config, &mut tr);
         if result.spilled.is_empty() {
-            let assignment = FinalAssignment { colors: result.colors.clone() };
+            let assignment = FinalAssignment {
+                colors: result.colors.clone(),
+            };
             let callee_regs_used = assignment.callee_regs_used().len();
             insert_overhead_markers(&mut body, &ctx, &assignment);
             let overhead = crate::accounting::weighted_overhead(&body, freq);
             let ranges = summarize(&ctx, &result.colors);
-            return FuncAllocation {
-                function: body,
+            if tr.enabled() {
+                tr.emit(AllocEvent::Func(FuncSummary {
+                    func: name.clone(),
+                    rounds,
+                    spilled_ranges,
+                    callee_regs_used,
+                    spill: overhead.spill,
+                    caller_save: overhead.caller_save,
+                    callee_save: overhead.callee_save,
+                    shuffle: overhead.shuffle,
+                }));
+            }
+            let alloc = FuncAllocation {
                 overhead,
                 rounds,
                 spilled_ranges,
                 callee_regs_used,
                 ranges,
             };
+            return (body, alloc);
         }
         spilled_ranges += result.spilled.len();
-        let rewrite = crate::spill::insert_spill_code_traced(&mut body, &ctx, &result.spilled);
+        let rewrite =
+            crate::spill::insert_spill_code_instrumented(&mut body, &ctx, &result.spilled, &mut tr);
         ctx = if config.incremental_reconstruction {
-            crate::reconstruct::reconstruct_context(&ctx, &rewrite, &result.spilled, &body)
+            crate::reconstruct::reconstruct_context_traced(
+                &ctx,
+                &rewrite,
+                &result.spilled,
+                &body,
+                &mut tr,
+            )
         } else {
-            build_context(&body, freq, cost)
+            let mut tr = TraceCtx::new(sink, &name, rounds + 1);
+            build_context_traced(&body, freq, cost, &mut tr)
         };
     }
 }
@@ -184,19 +246,65 @@ pub fn allocate_program_with(
     config: &AllocatorConfig,
     cost: &CostModel,
 ) -> ProgramAllocation {
+    let mut sink = NoopSink;
+    allocate_program_with_traced(program, freq, file, config, cost, &mut sink)
+}
+
+/// Like [`allocate_program`], emitting telemetry through `sink`.
+///
+/// Uses the paper's cost model; see [`allocate_program_with_traced`] for an
+/// explicit one.
+pub fn allocate_program_traced(
+    program: &Program,
+    freq: &FrequencyInfo,
+    file: RegisterFile,
+    config: &AllocatorConfig,
+    sink: &mut dyn AllocSink,
+) -> ProgramAllocation {
+    allocate_program_with_traced(program, freq, file, config, &CostModel::paper(), sink)
+}
+
+/// Like [`allocate_program_with`], emitting telemetry through `sink`: the
+/// full per-function event stream of [`allocate_function_traced`] plus a
+/// closing [`ProgramSummary`] carrying the whole-program overhead and the
+/// total allocation wall-clock time.
+pub fn allocate_program_with_traced(
+    program: &Program,
+    freq: &FrequencyInfo,
+    file: RegisterFile,
+    config: &AllocatorConfig,
+    cost: &CostModel,
+    sink: &mut dyn AllocSink,
+) -> ProgramAllocation {
+    let start = span_start(sink);
     let mut rewritten = Program::new();
     let mut per_func = Vec::with_capacity(program.num_functions());
     let mut overhead = Overhead::zero();
     for (id, f) in program.functions() {
-        let alloc = allocate_function(f, freq.func(id), &file, config, cost);
+        let (body, alloc) = allocate_function_traced(f, freq.func(id), &file, config, cost, sink);
         overhead += alloc.overhead;
-        rewritten.add_function(alloc.function.clone());
+        rewritten.add_function(body);
         per_func.push(alloc);
     }
     if let Some(main) = program.main() {
         rewritten.set_main(main);
     }
-    ProgramAllocation { program: rewritten, per_func, overhead }
+    if let Some(t) = start {
+        sink.emit(AllocEvent::Program(ProgramSummary {
+            config: config.label(),
+            funcs: per_func.len(),
+            spill: overhead.spill,
+            caller_save: overhead.caller_save,
+            callee_save: overhead.callee_save,
+            shuffle: overhead.shuffle,
+            micros: t.elapsed().as_micros() as u64,
+        }));
+    }
+    ProgramAllocation {
+        program: rewritten,
+        per_func,
+        overhead,
+    }
 }
 
 /// Counts how many caller-save registers of each bank the final coloring
@@ -260,7 +368,9 @@ mod tests {
     #[test]
     fn allocation_preserves_semantics_under_all_allocators() {
         let p = workload(9, 13);
-        let expect = ccra_analysis::run(&p, &InterpConfig::default()).unwrap().result;
+        let expect = ccra_analysis::run(&p, &InterpConfig::default())
+            .unwrap()
+            .result;
         assert_eq!(expect, Some(Value::Int(9 * 10 / 2 * 13)));
         let freq = FrequencyInfo::profile(&p).unwrap();
         let file = RegisterFile::new(6, 4, 1, 0); // tight: forces spills
@@ -367,8 +477,12 @@ mod tests {
     fn count_kinds_reports_distinct_registers() {
         let p = workload(6, 5);
         let freq = FrequencyInfo::profile(&p).unwrap();
-        let out =
-            allocate_program(&p, &freq, RegisterFile::new(8, 6, 3, 2), &AllocatorConfig::base());
+        let out = allocate_program(
+            &p,
+            &freq,
+            RegisterFile::new(8, 6, 3, 2),
+            &AllocatorConfig::base(),
+        );
         let fa = out.func(p.main().unwrap());
         let (caller, callee) = count_kinds(fa);
         assert!(caller + callee > 0, "something must be in registers");
@@ -391,16 +505,18 @@ mod tests {
     #[test]
     fn incremental_reconstruction_preserves_semantics_and_quality() {
         let p = workload(12, 9);
-        let expect = ccra_analysis::run(&p, &InterpConfig::default()).unwrap().result;
+        let expect = ccra_analysis::run(&p, &InterpConfig::default())
+            .unwrap()
+            .result;
         let freq = FrequencyInfo::profile(&p).unwrap();
         for file in [RegisterFile::new(6, 4, 0, 0), RegisterFile::new(8, 6, 2, 2)] {
             for base_config in [AllocatorConfig::base(), AllocatorConfig::improved()] {
                 let rebuilt = allocate_program(&p, &freq, file, &base_config);
-                let recon =
-                    allocate_program(&p, &freq, file, &base_config.with_reconstruction());
+                let recon = allocate_program(&p, &freq, file, &base_config.with_reconstruction());
                 recon.program.verify().unwrap();
-                let got =
-                    ccra_analysis::run(&recon.program, &InterpConfig::default()).unwrap().result;
+                let got = ccra_analysis::run(&recon.program, &InterpConfig::default())
+                    .unwrap()
+                    .result;
                 assert_eq!(got, expect, "reconstruction changed semantics");
                 // The conservative graph may cost somewhat more, never an
                 // order of magnitude.
@@ -422,12 +538,20 @@ mod tests {
         // must never end up with a higher total.
         let p = workload(8, 10);
         let freq = FrequencyInfo::profile(&p).unwrap();
-        let base =
-            allocate_program(&p, &freq, RegisterFile::mips_full(), &AllocatorConfig::base());
+        let base = allocate_program(
+            &p,
+            &freq,
+            RegisterFile::mips_full(),
+            &AllocatorConfig::base(),
+        );
         assert_eq!(base.overhead.spill, 0.0);
         assert_eq!(base.func(p.main().unwrap()).rounds, 1);
-        let improved =
-            allocate_program(&p, &freq, RegisterFile::mips_full(), &AllocatorConfig::improved());
+        let improved = allocate_program(
+            &p,
+            &freq,
+            RegisterFile::mips_full(),
+            &AllocatorConfig::improved(),
+        );
         assert!(improved.overhead.total() <= base.overhead.total());
     }
 }

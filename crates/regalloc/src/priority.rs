@@ -7,8 +7,12 @@ use ccra_ir::RegClass;
 use ccra_machine::{PhysReg, RegisterFile, SaveKind};
 
 use crate::build::FuncContext;
-use crate::chaitin::BankResult;
+use crate::chaitin::{emit_bank_decisions, BankResult, DecisionMeta};
+use crate::trace::{Phase, TraceCtx};
 use crate::types::PriorityOrdering;
+
+/// Per-spill reasons collected during assignment, only when tracing.
+type Reasons = Vec<(u32, &'static str)>;
 
 /// Sorts node ids ascending by priority (ties broken by id for
 /// determinism). Pushed in this order, the highest-priority node ends on
@@ -36,13 +40,40 @@ pub fn allocate_bank_priority(
     file: &RegisterFile,
     ordering: PriorityOrdering,
 ) -> BankResult {
+    let mut sink = crate::trace::NoopSink;
+    let mut tr = TraceCtx::new(&mut sink, "", 1);
+    allocate_bank_priority_traced(ctx, class, file, ordering, &mut tr)
+}
+
+/// Like [`allocate_bank_priority`], emitting `simplify`/`select` phase spans
+/// and one decision record per live range through the trace context.
+pub fn allocate_bank_priority_traced(
+    ctx: &FuncContext,
+    class: RegClass,
+    file: &RegisterFile,
+    ordering: PriorityOrdering,
+    tr: &mut TraceCtx<'_>,
+) -> BankResult {
     let bank = ctx.bank_nodes(class);
     let n_colors = file.bank_size(class);
     if n_colors == 0 {
-        return BankResult { colors: HashMap::new(), spilled: bank };
+        let result = BankResult {
+            colors: HashMap::new(),
+            spilled: bank,
+        };
+        if tr.enabled() {
+            let reasons: Reasons = result.spilled.iter().map(|&n| (n, "bank_empty")).collect();
+            let meta = DecisionMeta {
+                bs: None,
+                forced: None,
+            };
+            emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
+        }
+        return result;
     }
 
     // Build the color stack bottom-to-top.
+    let span = tr.span();
     let mut stack: Vec<u32> = Vec::with_capacity(bank.len());
     match ordering {
         PriorityOrdering::Sorting => {
@@ -57,12 +88,22 @@ pub fn allocate_bank_priority(
             let mut degree: HashMap<u32, usize> = bank
                 .iter()
                 .map(|&n| {
-                    (n, ctx.graph.neighbors(n).iter().filter(|m| alive.contains(m)).count())
+                    (
+                        n,
+                        ctx.graph
+                            .neighbors(n)
+                            .iter()
+                            .filter(|m| alive.contains(m))
+                            .count(),
+                    )
                 })
                 .collect();
             loop {
-                let mut unconstrained: Vec<u32> =
-                    alive.iter().copied().filter(|n| degree[n] < n_colors).collect();
+                let mut unconstrained: Vec<u32> = alive
+                    .iter()
+                    .copied()
+                    .filter(|n| degree[n] < n_colors)
+                    .collect();
                 if unconstrained.is_empty() {
                     break;
                 }
@@ -89,8 +130,11 @@ pub fn allocate_bank_priority(
             stack.extend(constrained);
         }
     }
+    tr.span_end(span, Phase::Simplify);
 
     // Color assignment: highest priority first; spill on failure.
+    let span = tr.span();
+    let mut reasons: Option<Reasons> = tr.enabled().then(Vec::new);
     let mut colors: HashMap<u32, PhysReg> = HashMap::new();
     let mut spilled: Vec<u32> = Vec::new();
     let mut callee_used: HashSet<PhysReg> = HashSet::new();
@@ -101,12 +145,20 @@ pub fn allocate_bank_priority(
         // than in any kind of register.
         if node.priority() < 0.0 && !node.is_spill_temp {
             spilled.push(n);
+            if let Some(r) = reasons.as_mut() {
+                r.push((n, "negative_priority"));
+            }
             continue;
         }
-        let taken: HashSet<PhysReg> =
-            ctx.graph.neighbors(n).iter().filter_map(|m| colors.get(m).copied()).collect();
-        let free_of =
-            |kind: SaveKind| -> Option<PhysReg> { file.regs_of(class, kind).find(|r| !taken.contains(r)) };
+        let taken: HashSet<PhysReg> = ctx
+            .graph
+            .neighbors(n)
+            .iter()
+            .filter_map(|m| colors.get(m).copied())
+            .collect();
+        let free_of = |kind: SaveKind| -> Option<PhysReg> {
+            file.regs_of(class, kind).find(|r| !taken.contains(r))
+        };
         let prefer_callee = node.benefit_callee() > node.benefit_caller();
         let (first, second) = if prefer_callee {
             (SaveKind::CalleeSave, SaveKind::CallerSave)
@@ -115,6 +167,9 @@ pub fn allocate_bank_priority(
         };
         let Some(reg) = free_of(first).or_else(|| free_of(second)) else {
             spilled.push(n);
+            if let Some(r) = reasons.as_mut() {
+                r.push((n, "no_free_reg"));
+            }
             continue;
         };
         // Chow's callee-save handling: the first user of a callee-save
@@ -126,6 +181,9 @@ pub fn allocate_bank_priority(
             && !node.is_spill_temp
         {
             spilled.push(n);
+            if let Some(r) = reasons.as_mut() {
+                r.push((n, "callee_first_spill"));
+            }
             continue;
         }
         if reg.kind == SaveKind::CalleeSave {
@@ -133,8 +191,17 @@ pub fn allocate_bank_priority(
         }
         colors.insert(n, reg);
     }
+    tr.span_end(span, Phase::Select);
 
-    BankResult { colors, spilled }
+    let result = BankResult { colors, spilled };
+    if let Some(reasons) = reasons {
+        let meta = DecisionMeta {
+            bs: None,
+            forced: None,
+        };
+        emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -222,8 +289,7 @@ mod tests {
         // keep the hottest values in registers and spill the coldest.
         let ctx = ctx_for(weighted_pressure(&[1, 1, 1, 1, 1, 1, 1, 10, 10, 10]));
         let file = RegisterFile::new(6, 4, 0, 0);
-        let res =
-            allocate_bank_priority(&ctx, RegClass::Int, &file, PriorityOrdering::Sorting);
+        let res = allocate_bank_priority(&ctx, RegClass::Int, &file, PriorityOrdering::Sorting);
         assert!(!res.spilled.is_empty());
         let hottest = ctx
             .bank_nodes(RegClass::Int)
@@ -240,9 +306,7 @@ mod tests {
             "the highest-priority node must receive a register"
         );
         for &s in &res.spilled {
-            assert!(
-                ctx.nodes[s as usize].priority() <= ctx.nodes[hottest as usize].priority()
-            );
+            assert!(ctx.nodes[s as usize].priority() <= ctx.nodes[hottest as usize].priority());
         }
     }
 

@@ -31,6 +31,21 @@ use crate::graph::InterferenceGraph;
 use crate::node::{NodeInfo, SPILL_TEMP_COST};
 use crate::spill::SpillRewrite;
 
+/// Like [`reconstruct_context`], wrapped in a `reconstruct` phase span
+/// emitted through the trace context.
+pub fn reconstruct_context_traced(
+    ctx: &FuncContext,
+    rewrite: &SpillRewrite,
+    spilled: &[u32],
+    f: &Function,
+    tr: &mut crate::trace::TraceCtx<'_>,
+) -> FuncContext {
+    let span = tr.span();
+    let out = reconstruct_context(ctx, rewrite, spilled, f);
+    tr.span_end(span, crate::trace::Phase::Reconstruct);
+    out
+}
+
 /// Updates `ctx` in place of a full rebuild after one spill round.
 ///
 /// `spilled` and `rewrite` must come from the same round;
@@ -85,7 +100,11 @@ pub fn reconstruct_context(
     let entry_freq = ctx.entry_freq;
     let mut temp_ids: Vec<u32> = Vec::with_capacity(rewrite.temps.len());
     for t in &rewrite.temps {
-        let idx = if t.idx == u32::MAX { f.block(t.bb).insts.len() as u32 } else { t.idx };
+        let idx = if t.idx == u32::MAX {
+            f.block(t.bb).insts.len() as u32
+        } else {
+            t.idx
+        };
         let id = nodes.len() as u32;
         temp_ids.push(id);
         let (defs, uses) = if t.is_def {
@@ -114,7 +133,9 @@ pub fn reconstruct_context(
     // with its parent's surviving neighbors and with co-located temps.
     let mut graph = InterferenceGraph::new(nodes.len());
     for old_a in 0..ctx.nodes.len() as u32 {
-        let Some(&a) = new_of_old.get(&old_a) else { continue };
+        let Some(&a) = new_of_old.get(&old_a) else {
+            continue;
+        };
         for &old_b in ctx.graph.neighbors(old_a) {
             if old_a < old_b {
                 if let Some(&b) = new_of_old.get(&old_b) {
@@ -132,7 +153,9 @@ pub fn reconstruct_context(
             (t.bb, t.idx)
         };
         for &old_n in ctx.graph.neighbors(t.parent) {
-            let Some(&n) = new_of_old.get(&old_n) else { continue };
+            let Some(&n) = new_of_old.get(&old_n) else {
+                continue;
+            };
             if nodes[n as usize].class != class {
                 continue;
             }
@@ -166,7 +189,14 @@ pub fn reconstruct_context(
         }
     }
 
-    FuncContext { nodes, graph, callsites, entry_freq, web_node, webs }
+    FuncContext {
+        nodes,
+        graph,
+        callsites,
+        entry_freq,
+        web_node,
+        webs,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +264,11 @@ mod tests {
         let recon = reconstruct_context(&ctx, &rw, &spilled, &body);
         let rebuilt = build_context(&body, freq.func(id), &CostModel::paper());
 
-        assert_eq!(recon.nodes.len(), rebuilt.nodes.len(), "same node population");
+        assert_eq!(
+            recon.nodes.len(),
+            rebuilt.nodes.len(),
+            "same node population"
+        );
         // Match nodes across the two contexts by shared reference sites
         // (a (block, index, vreg) triple belongs to exactly one node; the
         // rebuild gives temporaries an extra ref at their spill load/store,
@@ -273,8 +307,9 @@ mod tests {
         let id = p.main().unwrap();
         let freq = FrequencyInfo::profile(&p).unwrap();
         let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
-        let spilled: Vec<u32> =
-            (0..2u32).filter(|&n| !ctx.nodes[n as usize].is_spill_temp).collect();
+        let spilled: Vec<u32> = (0..2u32)
+            .filter(|&n| !ctx.nodes[n as usize].is_spill_temp)
+            .collect();
         let mut body = p.function(id).clone();
         let rw = insert_spill_code_traced(&mut body, &ctx, &spilled);
         let recon = reconstruct_context(&ctx, &rw, &spilled, &body);

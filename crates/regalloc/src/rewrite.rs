@@ -32,7 +32,11 @@ pub struct FinalAssignment {
 impl FinalAssignment {
     /// The distinct callee-save registers in use.
     pub fn callee_regs_used(&self) -> HashSet<PhysReg> {
-        self.colors.values().copied().filter(|r| r.kind == SaveKind::CalleeSave).collect()
+        self.colors
+            .values()
+            .copied()
+            .filter(|r| r.kind == SaveKind::CalleeSave)
+            .collect()
     }
 }
 
@@ -48,7 +52,9 @@ pub fn insert_overhead_markers(
     // Caller-save pairs per call site: 2 ops per crossing caller-save node.
     let mut call_ops: HashMap<(BlockId, u32), u32> = HashMap::new();
     for (n, node) in ctx.nodes.iter().enumerate() {
-        let Some(reg) = assignment.colors.get(&(n as u32)) else { continue };
+        let Some(reg) = assignment.colors.get(&(n as u32)) else {
+            continue;
+        };
         if reg.kind != SaveKind::CallerSave {
             continue;
         }
@@ -68,14 +74,20 @@ pub fn insert_overhead_markers(
 
         // Callee-save saves at entry.
         if bb == f.entry() && callee_count > 0 {
-            new_insts.push(Inst::Overhead { kind: OverheadKind::CalleeSave, ops: callee_count });
+            new_insts.push(Inst::Overhead {
+                kind: OverheadKind::CalleeSave,
+                ops: callee_count,
+            });
             inserted += 1;
         }
 
         for (i, inst) in old.into_iter().enumerate() {
             // Caller-save save/restore around calls.
             if let Some(&ops) = call_ops.get(&(bb, i as u32)) {
-                new_insts.push(Inst::Overhead { kind: OverheadKind::CallerSave, ops });
+                new_insts.push(Inst::Overhead {
+                    kind: OverheadKind::CallerSave,
+                    ops,
+                });
                 inserted += 1;
             }
             // Shuffle moves: copies whose ends live in different registers.
@@ -86,8 +98,10 @@ pub fn insert_overhead_markers(
                     let (dr, sr) = (assignment.colors.get(&dn), assignment.colors.get(&sn));
                     if let (Some(dr), Some(sr)) = (dr, sr) {
                         if dr != sr {
-                            new_insts
-                                .push(Inst::Overhead { kind: OverheadKind::Shuffle, ops: 1 });
+                            new_insts.push(Inst::Overhead {
+                                kind: OverheadKind::Shuffle,
+                                ops: 1,
+                            });
                             inserted += 1;
                         }
                     }
@@ -98,7 +112,10 @@ pub fn insert_overhead_markers(
 
         // Callee-save restores before returns.
         if callee_count > 0 && matches!(f.block(bb).term, Terminator::Return(_)) {
-            new_insts.push(Inst::Overhead { kind: OverheadKind::CalleeSave, ops: callee_count });
+            new_insts.push(Inst::Overhead {
+                kind: OverheadKind::CalleeSave,
+                ops: callee_count,
+            });
             inserted += 1;
         }
 
@@ -152,7 +169,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             f.block(entry).insts[call_pos - 1],
-            Inst::Overhead { kind: OverheadKind::CallerSave, ops: 2 }
+            Inst::Overhead {
+                kind: OverheadKind::CallerSave,
+                ops: 2
+            }
         ));
     }
 
@@ -187,11 +207,17 @@ mod tests {
         let insts = &f.block(entry).insts;
         assert!(matches!(
             insts[0],
-            Inst::Overhead { kind: OverheadKind::CalleeSave, ops: 1 }
+            Inst::Overhead {
+                kind: OverheadKind::CalleeSave,
+                ops: 1
+            }
         ));
         assert!(matches!(
             insts[insts.len() - 1],
-            Inst::Overhead { kind: OverheadKind::CalleeSave, ops: 1 }
+            Inst::Overhead {
+                kind: OverheadKind::CalleeSave,
+                ops: 1
+            }
         ));
     }
 }

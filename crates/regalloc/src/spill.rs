@@ -29,9 +29,7 @@ fn replace_uses(inst: &mut Inst, from: VReg, to: VReg) {
             sub(lhs);
             sub(rhs);
         }
-        Inst::Unary { src, .. } | Inst::Copy { src, .. } | Inst::SpillStore { src, .. } => {
-            sub(src)
-        }
+        Inst::Unary { src, .. } | Inst::Copy { src, .. } | Inst::SpillStore { src, .. } => sub(src),
         Inst::Load { addr, .. } => sub(addr),
         Inst::Store { src, addr, .. } => {
             sub(src);
@@ -57,7 +55,8 @@ fn replace_def(inst: &mut Inst, to: VReg) {
         | Inst::Copy { dst, .. }
         | Inst::SpillLoad { dst, .. } => *dst = to,
         Inst::Call { ret, .. } => {
-            *ret.as_mut().expect("call has no return register to replace") = to;
+            *ret.as_mut()
+                .expect("call has no return register to replace") = to;
         }
         Inst::Store { .. } | Inst::SpillStore { .. } | Inst::Overhead { .. } => {
             panic!("instruction has no def to replace")
@@ -105,6 +104,30 @@ pub fn insert_spill_code(f: &mut Function, ctx: &FuncContext, spilled: &[u32]) -
     insert_spill_code_traced(f, ctx, spilled).inserted
 }
 
+/// Like [`insert_spill_code_traced`], additionally emitting a
+/// `spill_insert` phase span and a [`crate::trace::SpillStats`] event
+/// through the trace context.
+pub fn insert_spill_code_instrumented(
+    f: &mut Function,
+    ctx: &FuncContext,
+    spilled: &[u32],
+    tr: &mut crate::trace::TraceCtx<'_>,
+) -> SpillRewrite {
+    let span = tr.span();
+    let rewrite = insert_spill_code_traced(f, ctx, spilled);
+    tr.span_end(span, crate::trace::Phase::SpillInsert);
+    if tr.enabled() {
+        tr.emit(crate::trace::AllocEvent::Spill(crate::trace::SpillStats {
+            func: tr.func().to_string(),
+            round: tr.round(),
+            spilled: spilled.len(),
+            inserted: rewrite.inserted,
+            temps: rewrite.temps.len(),
+        }));
+    }
+    rewrite
+}
+
 /// Like [`insert_spill_code`], additionally reporting the index remapping
 /// and the temporaries created, so the interference graph can be updated
 /// incrementally (the *graph reconstruction* phase of Figure 1).
@@ -113,12 +136,13 @@ pub fn insert_spill_code_traced(
     ctx: &FuncContext,
     spilled: &[u32],
 ) -> SpillRewrite {
-    let slots: HashMap<u32, SpillSlot> =
-        spilled.iter().map(|&n| (n, f.new_spill_slot())).collect();
+    let slots: HashMap<u32, SpillSlot> = spilled.iter().map(|&n| (n, f.new_spill_slot())).collect();
 
     // Original block lengths: terminator uses carry index == insts.len().
-    let orig_len: HashMap<BlockId, u32> =
-        f.blocks().map(|(bb, b)| (bb, b.insts.len() as u32)).collect();
+    let orig_len: HashMap<BlockId, u32> = f
+        .blocks()
+        .map(|(bb, b)| (bb, b.insts.len() as u32))
+        .collect();
 
     type Key = (BlockId, u32);
     let mut use_plan: HashMap<Key, Vec<(VReg, SpillSlot, u32)>> = HashMap::new();
@@ -208,7 +232,13 @@ pub fn insert_spill_code_traced(
                 let t = f.new_spill_temp(f.class_of(v));
                 new_insts.push(Inst::SpillLoad { dst: t, slot });
                 rewrite.inserted += 1;
-                rewrite.temps.push(TempRef { bb, idx: u32::MAX, vreg: t, parent, is_def: false });
+                rewrite.temps.push(TempRef {
+                    bb,
+                    idx: u32::MAX,
+                    vreg: t,
+                    parent,
+                    is_def: false,
+                });
                 match &mut term {
                     Terminator::Branch { cond, .. } if *cond == v => *cond = t,
                     Terminator::Return(Some(r)) if *r == v => *r = t,
@@ -265,7 +295,10 @@ mod tests {
         p2.set_main(id2);
         let after = ccra_analysis::run(&p2, &InterpConfig::default()).unwrap();
         assert_eq!(after.result, Some(Value::Int(48)));
-        assert_eq!(after.overhead(ccra_ir::OverheadKind::Spill) as usize, inserted);
+        assert_eq!(
+            after.overhead(ccra_ir::OverheadKind::Spill) as usize,
+            inserted
+        );
     }
 
     #[test]

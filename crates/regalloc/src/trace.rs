@@ -1,0 +1,584 @@
+//! Allocation telemetry: typed events emitted through an [`AllocSink`].
+//!
+//! The paper's contribution is a sequence of *decisions* — storage-class
+//! benefits (SC, Section 4), benefit-driven simplification keys (BS,
+//! Section 5), preference votes at call sites (PR, Section 6) — but the
+//! pipeline's results only surface end-of-run aggregates. This module makes
+//! the decisions observable:
+//!
+//! * [`PhaseSpan`] — wall-clock time of one pipeline phase (build,
+//!   coalesce, simplify, select, spill-insert, reconstruct);
+//! * [`RoundStats`] — interference-graph shape at the start of a round;
+//! * [`Decision`] — why one live range ended up in its final [`Loc`]:
+//!   the SC benefits, the BS key and its value, the PR vote count, and a
+//!   spill-vs-promote reason;
+//! * [`SpillStats`] — what one round of spill-code insertion did;
+//! * [`FuncSummary`] / [`ProgramSummary`] — end-of-run aggregates, the
+//!   anchors for baseline comparison.
+//!
+//! Everything flows through an [`AllocSink`]. The default [`NoopSink`]
+//! reports `enabled() == false`, and every instrumentation site gates its
+//! event construction (and its `Instant::now()` calls) on that flag, so an
+//! untraced allocation does no timing, no formatting, and no allocation for
+//! telemetry. [`RecordingSink`] collects events in memory for tests and
+//! ad-hoc inspection; [`JsonlSink`] streams them as one JSON object per
+//! line, the format the `ccra-eval` `trace` binary emits and diffs.
+//!
+//! [`Loc`]: crate::Loc
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+use serde::json::{Error, Value};
+use serde::{Deserialize, Serialize};
+
+/// The instrumented pipeline phases (Figure 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Liveness, webs, and web-level interference scanning.
+    Build,
+    /// Aggressive coalescing and node construction.
+    Coalesce,
+    /// Color ordering: simplification (and preference decision).
+    Simplify,
+    /// Color assignment, including storage-class analysis.
+    Select,
+    /// Spill-code insertion.
+    SpillInsert,
+    /// Incremental graph reconstruction.
+    Reconstruct,
+}
+
+impl Phase {
+    /// The snake_case name used in serialized events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Build => "build",
+            Phase::Coalesce => "coalesce",
+            Phase::Simplify => "simplify",
+            Phase::Select => "select",
+            Phase::SpillInsert => "spill_insert",
+            Phase::Reconstruct => "reconstruct",
+        }
+    }
+}
+
+/// Wall-clock time of one pipeline phase within one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// The function being allocated.
+    pub func: String,
+    /// The spill round (1-based; round 1 is the initial coloring).
+    pub round: u32,
+    /// The phase name (see [`Phase::name`]).
+    pub phase: String,
+    /// Elapsed wall-clock microseconds.
+    pub micros: u64,
+}
+
+/// Interference-graph shape at the start of one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// The function being allocated.
+    pub func: String,
+    /// The spill round.
+    pub round: u32,
+    /// Allocation nodes (coalesced live ranges).
+    pub nodes: usize,
+    /// Interference edges.
+    pub edges: usize,
+    /// Largest node degree.
+    pub max_degree: usize,
+}
+
+/// Why one live range ended up where it did (Sections 4–6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The function being allocated.
+    pub func: String,
+    /// The spill round the decision was made in.
+    pub round: u32,
+    /// The node id within that round's context.
+    pub node: u32,
+    /// The register bank (`"int"` or `"float"`).
+    pub class: String,
+    /// `benefit_caller(lr)` — spill cost minus caller-save cost.
+    pub benefit_caller: f64,
+    /// `benefit_callee(lr)` — spill cost minus callee-save cost.
+    pub benefit_callee: f64,
+    /// The benefit-driven-simplification key in use (`"max_benefit"`,
+    /// `"benefit_delta"`, or `"none"`).
+    pub bs_key: String,
+    /// The node's value under that key (absent when BS is off).
+    pub bs_value: Option<f64>,
+    /// Call sites voting on this node's preference (the sites it crosses).
+    pub pref_votes: u32,
+    /// Whether preference decision forced the node to caller-save.
+    pub pref_forced: bool,
+    /// The final location: a register name or `"spilled"`.
+    pub loc: String,
+    /// The spill-vs-promote reason (e.g. `"colored"`, `"no_color"`,
+    /// `"sc_caller_spill"`, `"sc_shared_spill"`, `"pressure_spill"`).
+    pub reason: String,
+}
+
+/// What one round of spill-code insertion did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpillStats {
+    /// The function being allocated.
+    pub func: String,
+    /// The spill round.
+    pub round: u32,
+    /// Live ranges spilled this round.
+    pub spilled: usize,
+    /// Spill instructions inserted.
+    pub inserted: usize,
+    /// Spill temporaries created.
+    pub temps: usize,
+}
+
+/// End-of-run aggregates for one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncSummary {
+    /// The function.
+    pub func: String,
+    /// Rounds executed (1 = no spilling needed).
+    pub rounds: u32,
+    /// Live ranges spilled across all rounds.
+    pub spilled_ranges: usize,
+    /// Distinct callee-save registers used.
+    pub callee_regs_used: usize,
+    /// Weighted spill overhead.
+    pub spill: f64,
+    /// Weighted caller-save overhead.
+    pub caller_save: f64,
+    /// Weighted callee-save overhead.
+    pub callee_save: f64,
+    /// Weighted shuffle overhead.
+    pub shuffle: f64,
+}
+
+/// End-of-run aggregates for a whole program — the baseline-comparison
+/// anchor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramSummary {
+    /// The allocator configuration label (e.g. `"SC+BS+PR"`).
+    pub config: String,
+    /// Functions allocated.
+    pub funcs: usize,
+    /// Weighted spill overhead.
+    pub spill: f64,
+    /// Weighted caller-save overhead.
+    pub caller_save: f64,
+    /// Weighted callee-save overhead.
+    pub callee_save: f64,
+    /// Weighted shuffle overhead.
+    pub shuffle: f64,
+    /// Total allocation wall-clock microseconds.
+    pub micros: u64,
+}
+
+impl ProgramSummary {
+    /// Total weighted overhead operations.
+    pub fn total(&self) -> f64 {
+        self.spill + self.caller_save + self.callee_save + self.shuffle
+    }
+}
+
+/// One telemetry event. Serializes as a flat JSON object carrying an
+/// `"event"` tag (`"phase"`, `"round"`, `"decision"`, `"spill"`, `"func"`,
+/// `"program"`) alongside the variant's fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocEvent {
+    /// A [`PhaseSpan`].
+    Phase(PhaseSpan),
+    /// A [`RoundStats`].
+    Round(RoundStats),
+    /// A [`Decision`].
+    Decision(Decision),
+    /// A [`SpillStats`].
+    Spill(SpillStats),
+    /// A [`FuncSummary`].
+    Func(FuncSummary),
+    /// A [`ProgramSummary`].
+    Program(ProgramSummary),
+}
+
+impl AllocEvent {
+    /// The `"event"` tag of the serialized form.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AllocEvent::Phase(_) => "phase",
+            AllocEvent::Round(_) => "round",
+            AllocEvent::Decision(_) => "decision",
+            AllocEvent::Spill(_) => "spill",
+            AllocEvent::Func(_) => "func",
+            AllocEvent::Program(_) => "program",
+        }
+    }
+
+    /// This event with wall-clock fields zeroed — everything else the
+    /// allocator emits is deterministic, so normalized streams compare
+    /// equal across runs.
+    pub fn normalized(mut self) -> AllocEvent {
+        match &mut self {
+            AllocEvent::Phase(e) => e.micros = 0,
+            AllocEvent::Program(e) => e.micros = 0,
+            _ => {}
+        }
+        self
+    }
+}
+
+impl Serialize for AllocEvent {
+    fn to_value(&self) -> Value {
+        let inner = match self {
+            AllocEvent::Phase(e) => e.to_value(),
+            AllocEvent::Round(e) => e.to_value(),
+            AllocEvent::Decision(e) => e.to_value(),
+            AllocEvent::Spill(e) => e.to_value(),
+            AllocEvent::Func(e) => e.to_value(),
+            AllocEvent::Program(e) => e.to_value(),
+        };
+        match inner {
+            Value::Obj(mut fields) => {
+                fields.insert(0, ("event".to_string(), Value::Str(self.tag().to_string())));
+                Value::Obj(fields)
+            }
+            other => other,
+        }
+    }
+}
+
+impl Deserialize for AllocEvent {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let tag = value
+            .get("event")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::missing("event"))?;
+        match tag {
+            "phase" => PhaseSpan::from_value(value).map(AllocEvent::Phase),
+            "round" => RoundStats::from_value(value).map(AllocEvent::Round),
+            "decision" => Decision::from_value(value).map(AllocEvent::Decision),
+            "spill" => SpillStats::from_value(value).map(AllocEvent::Spill),
+            "func" => FuncSummary::from_value(value).map(AllocEvent::Func),
+            "program" => ProgramSummary::from_value(value).map(AllocEvent::Program),
+            other => Err(Error::new(format!("unknown event type `{other}`"))),
+        }
+    }
+}
+
+/// Receives allocation telemetry.
+///
+/// Instrumentation sites gate all event construction — including
+/// `Instant::now()` calls — on [`AllocSink::enabled`], so a disabled sink
+/// costs one branch per site and nothing else.
+pub trait AllocSink {
+    /// Whether instrumentation sites should construct and emit events.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. Never called when [`AllocSink::enabled`] is
+    /// false.
+    fn emit(&mut self, event: AllocEvent);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl AllocSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, _event: AllocEvent) {}
+}
+
+/// Collects events in memory (for tests and ad-hoc inspection).
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    /// The events received, in emission order.
+    pub events: Vec<AllocEvent>,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// The recorded events with wall-clock fields zeroed (see
+    /// [`AllocEvent::normalized`]).
+    pub fn normalized(&self) -> Vec<AllocEvent> {
+        self.events
+            .iter()
+            .cloned()
+            .map(AllocEvent::normalized)
+            .collect()
+    }
+}
+
+impl AllocSink for RecordingSink {
+    fn emit(&mut self, event: AllocEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Streams events as JSON Lines — one compact JSON object per event.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl JsonlSink<BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL file sink.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink {
+            writer: BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> AllocSink for JsonlSink<W> {
+    fn emit(&mut self, event: AllocEvent) {
+        // Telemetry must not abort an allocation; I/O errors surface at
+        // `finish()` via the writer's sticky error state instead.
+        let _ = writeln!(self.writer, "{}", event.to_json());
+    }
+}
+
+/// Parses a JSONL event stream (ignoring blank lines).
+pub fn parse_jsonl(text: &str) -> Result<Vec<AllocEvent>, Error> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(AllocEvent::from_json)
+        .collect()
+}
+
+/// The tracing context threaded through one round of bank allocation: the
+/// sink plus the function/round coordinates every event carries.
+pub struct TraceCtx<'a> {
+    sink: &'a mut dyn AllocSink,
+    func: &'a str,
+    round: u32,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// Binds a sink to one function and round.
+    pub fn new(sink: &'a mut dyn AllocSink, func: &'a str, round: u32) -> Self {
+        TraceCtx { sink, func, round }
+    }
+
+    /// Whether instrumentation sites should construct events.
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// The function being allocated.
+    pub fn func(&self) -> &str {
+        self.func
+    }
+
+    /// The current spill round.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Forwards one event to the sink.
+    pub fn emit(&mut self, event: AllocEvent) {
+        self.sink.emit(event);
+    }
+
+    /// Starts a wall-clock span iff the sink wants events.
+    pub fn span(&self) -> Option<Instant> {
+        span_start(self.sink)
+    }
+
+    /// Ends a span started by [`TraceCtx::span`].
+    pub fn span_end(&mut self, start: Option<Instant>, phase: Phase) {
+        span_end(self.sink, start, self.func, self.round, phase);
+    }
+}
+
+/// Starts a wall-clock span iff the sink wants events.
+pub fn span_start(sink: &dyn AllocSink) -> Option<Instant> {
+    sink.enabled().then(Instant::now)
+}
+
+/// Ends a span started by [`span_start`], emitting a [`PhaseSpan`].
+pub fn span_end(
+    sink: &mut dyn AllocSink,
+    start: Option<Instant>,
+    func: &str,
+    round: u32,
+    phase: Phase,
+) {
+    if let Some(t) = start {
+        sink.emit(AllocEvent::Phase(PhaseSpan {
+            func: func.to_string(),
+            round,
+            phase: phase.name().to_string(),
+            micros: t.elapsed().as_micros() as u64,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_decision() -> Decision {
+        Decision {
+            func: "main".into(),
+            round: 1,
+            node: 3,
+            class: "int".into(),
+            benefit_caller: 12.5,
+            benefit_callee: -4.0,
+            bs_key: "benefit_delta".into(),
+            bs_value: Some(16.5),
+            pref_votes: 2,
+            pref_forced: false,
+            loc: "$t1".into(),
+            reason: "colored".into(),
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_through_jsonl() {
+        let events = vec![
+            AllocEvent::Phase(PhaseSpan {
+                func: "f".into(),
+                round: 2,
+                phase: Phase::Simplify.name().into(),
+                micros: 41,
+            }),
+            AllocEvent::Round(RoundStats {
+                func: "f".into(),
+                round: 2,
+                nodes: 10,
+                edges: 21,
+                max_degree: 7,
+            }),
+            AllocEvent::Decision(sample_decision()),
+            AllocEvent::Spill(SpillStats {
+                func: "f".into(),
+                round: 2,
+                spilled: 3,
+                inserted: 9,
+                temps: 6,
+            }),
+            AllocEvent::Func(FuncSummary {
+                func: "f".into(),
+                rounds: 2,
+                spilled_ranges: 3,
+                callee_regs_used: 1,
+                spill: 18.0,
+                caller_save: 4.0,
+                callee_save: 2.0,
+                shuffle: 0.0,
+            }),
+            AllocEvent::Program(ProgramSummary {
+                config: "SC+BS+PR".into(),
+                funcs: 1,
+                spill: 18.0,
+                caller_save: 4.0,
+                callee_save: 2.0,
+                shuffle: 0.0,
+                micros: 1234,
+            }),
+        ];
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn serialized_events_carry_the_tag_first() {
+        let e = AllocEvent::Decision(sample_decision());
+        assert!(e.to_json().starts_with("{\"event\":\"decision\""));
+        assert_eq!(e.tag(), "decision");
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(AllocEvent::from_json("{\"event\":\"nope\"}").is_err());
+        assert!(AllocEvent::from_json("{\"round\":1}").is_err());
+    }
+
+    #[test]
+    fn normalization_zeroes_only_wall_clock() {
+        let phase = AllocEvent::Phase(PhaseSpan {
+            func: "f".into(),
+            round: 1,
+            phase: "build".into(),
+            micros: 99,
+        });
+        match phase.clone().normalized() {
+            AllocEvent::Phase(p) => assert_eq!(p.micros, 0),
+            _ => unreachable!(),
+        }
+        let d = AllocEvent::Decision(sample_decision());
+        assert_eq!(d.clone().normalized(), d);
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        assert!(span_start(&sink).is_none());
+    }
+
+    #[test]
+    fn recording_sink_collects_in_order() {
+        let mut sink = RecordingSink::new();
+        assert!(sink.enabled());
+        let start = span_start(&sink);
+        span_end(&mut sink, start, "f", 1, Phase::Build);
+        sink.emit(AllocEvent::Decision(sample_decision()));
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].tag(), "phase");
+        assert_eq!(sink.events[1].tag(), "decision");
+        let normalized = sink.normalized();
+        match &normalized[0] {
+            AllocEvent::Phase(p) => assert_eq!(p.micros, 0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(AllocEvent::Decision(sample_decision()));
+        sink.emit(AllocEvent::Round(RoundStats {
+            func: "g".into(),
+            round: 1,
+            nodes: 2,
+            edges: 1,
+            max_degree: 1,
+        }));
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], AllocEvent::Decision(sample_decision()));
+    }
+}

@@ -148,22 +148,34 @@ impl AllocatorConfig {
 
     /// Optimistic (Briggs) coloring on the base cost model.
     pub fn optimistic() -> Self {
-        AllocatorConfig { kind: AllocatorKind::Optimistic, ..Self::base() }
+        AllocatorConfig {
+            kind: AllocatorKind::Optimistic,
+            ..Self::base()
+        }
     }
 
     /// Optimistic coloring combined with all three improvements (Section 8).
     pub fn improved_optimistic() -> Self {
-        AllocatorConfig { kind: AllocatorKind::Optimistic, ..Self::improved() }
+        AllocatorConfig {
+            kind: AllocatorKind::Optimistic,
+            ..Self::improved()
+        }
     }
 
     /// Priority-based coloring (Chow, no splitting) with the given ordering.
     pub fn priority(ordering: PriorityOrdering) -> Self {
-        AllocatorConfig { kind: AllocatorKind::Priority(ordering), ..Self::base() }
+        AllocatorConfig {
+            kind: AllocatorKind::Priority(ordering),
+            ..Self::base()
+        }
     }
 
     /// The CBH call-cost model (Section 10).
     pub fn cbh() -> Self {
-        AllocatorConfig { kind: AllocatorKind::Cbh, ..Self::base() }
+        AllocatorConfig {
+            kind: AllocatorKind::Cbh,
+            ..Self::base()
+        }
     }
 
     /// The base allocator with a chosen subset of the three improvements —
@@ -182,7 +194,10 @@ impl AllocatorConfig {
     /// Returns this configuration with incremental graph reconstruction
     /// enabled.
     pub fn with_reconstruction(self) -> Self {
-        AllocatorConfig { incremental_reconstruction: true, ..self }
+        AllocatorConfig {
+            incremental_reconstruction: true,
+            ..self
+        }
     }
 
     /// A short label like `SC+BS+PR` for tables.
@@ -289,20 +304,34 @@ mod tests {
         assert_eq!(AllocatorConfig::base().label(), "base");
         assert_eq!(AllocatorConfig::improved().label(), "SC+BS+PR");
         assert_eq!(AllocatorConfig::optimistic().label(), "OPT");
-        assert_eq!(AllocatorConfig::improved_optimistic().label(), "OPT+SC+BS+PR");
+        assert_eq!(
+            AllocatorConfig::improved_optimistic().label(),
+            "OPT+SC+BS+PR"
+        );
         assert_eq!(AllocatorConfig::cbh().label(), "CBH");
         assert_eq!(
             AllocatorConfig::priority(PriorityOrdering::Sorting).label(),
             "PRIO"
         );
-        assert_eq!(AllocatorConfig::with_improvements(true, false, true).label(), "SC+PR");
+        assert_eq!(
+            AllocatorConfig::with_improvements(true, false, true).label(),
+            "SC+PR"
+        );
         assert_eq!(AllocatorConfig::default(), AllocatorConfig::base());
     }
 
     #[test]
     fn overhead_arithmetic() {
-        let a = Overhead { spill: 1.0, caller_save: 2.0, callee_save: 3.0, shuffle: 4.0 };
-        let b = Overhead { spill: 10.0, ..Overhead::zero() };
+        let a = Overhead {
+            spill: 1.0,
+            caller_save: 2.0,
+            callee_save: 3.0,
+            shuffle: 4.0,
+        };
+        let b = Overhead {
+            spill: 10.0,
+            ..Overhead::zero()
+        };
         let c = a + b;
         assert_eq!(c.spill, 11.0);
         assert_eq!(c.total(), 20.0);

@@ -49,12 +49,20 @@ fn synthetic_ctx(
         p.set_main(id);
         p
     });
-    let dummy = build_context(&f, freq.func(ccra_ir::FuncId(0)), &ccra_machine::CostModel::paper());
+    let dummy = build_context(
+        &f,
+        freq.func(ccra_ir::FuncId(0)),
+        &ccra_machine::CostModel::paper(),
+    );
     FuncContext {
         nodes,
         graph,
         callsites: (0..callsites)
-            .map(|i| CallSite { bb: BlockId(0), idx: i as u32, freq: 1.0 })
+            .map(|i| CallSite {
+                bb: BlockId(0),
+                idx: i as u32,
+                freq: 1.0,
+            })
             .collect(),
         entry_freq,
         web_node: HashMap::new(),
@@ -99,13 +107,17 @@ fn figure_3_simplification_order() {
         1.0,
     );
     let file = RegisterFile::new(7, 4, 2, 0); // bank: 9 int = 7 caller + 2 callee
-    // Storage-class analysis alone decides kinds by benefit; with N large
-    // enough everything is unconstrained, and without BS the removal order
-    // is arbitrary (ascending ids: x, y, z — z ends on top and steals a
-    // callee-save register).
+                                              // Storage-class analysis alone decides kinds by benefit; with N large
+                                              // enough everything is unconstrained, and without BS the removal order
+                                              // is arbitrary (ascending ids: x, y, z — z ends on top and steals a
+                                              // callee-save register).
     let sc_only = AllocatorConfig::with_improvements(true, false, false);
     let without_bs = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &sc_only);
-    assert_eq!(savings(&ctx, &without_bs), 2000.0 + 200.0 + 1000.0, "the paper's 3200");
+    assert_eq!(
+        savings(&ctx, &without_bs),
+        2000.0 + 200.0 + 1000.0,
+        "the paper's 3200"
+    );
 
     let with_bs = AllocatorConfig::with_improvements(true, true, false);
     let best = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &with_bs);
@@ -196,8 +208,16 @@ fn figure_5_preference_decision() {
         s_with > s_without + 3000.0,
         "preference decision must rescue u: {s_without} -> {s_with}"
     );
-    assert_eq!(with_pr.colors[&0].kind, SaveKind::CalleeSave, "u gets the callee-save register");
-    assert_eq!(with_pr.colors[&4].kind, SaveKind::CallerSave, "z is forced to caller-save");
+    assert_eq!(
+        with_pr.colors[&0].kind,
+        SaveKind::CalleeSave,
+        "u gets the callee-save register"
+    );
+    assert_eq!(
+        with_pr.colors[&4].kind,
+        SaveKind::CallerSave,
+        "z is forced to caller-save"
+    );
 }
 
 /// Figure 8: a four-cycle with N = 2 (1 callee-save + 1 caller-save).

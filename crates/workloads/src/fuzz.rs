@@ -25,7 +25,12 @@ pub struct FuzzConfig {
 
 impl Default for FuzzConfig {
     fn default() -> Self {
-        FuzzConfig { functions: 3, stmts_per_fn: 25, max_loop_depth: 2, max_trips: 8 }
+        FuzzConfig {
+            functions: 3,
+            stmts_per_fn: 25,
+            max_loop_depth: 2,
+            max_trips: 8,
+        }
     }
 }
 
@@ -88,8 +93,7 @@ fn emit_stmt(g: &mut Gen, b: &mut FunctionBuilder, callees: &[FuncId]) {
             let (x, y) = (g.float(b), g.float(b));
             let dst = b.new_vreg(RegClass::Float);
             g.floats.push(dst);
-            let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FDiv]
-                [g.rng.gen_range(0..4)];
+            let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FDiv][g.rng.gen_range(0..4)];
             b.binary(op, dst, x, y);
         }
         6 => {
@@ -198,9 +202,17 @@ pub fn random_program(seed: u64, config: &FuzzConfig) -> Program {
     let mut callees: Vec<FuncId> = Vec::new();
     for fi in 0..config.functions.max(1) {
         let is_main = fi + 1 == config.functions.max(1);
-        let name = if is_main { "main".to_string() } else { format!("f{fi}") };
+        let name = if is_main {
+            "main".to_string()
+        } else {
+            format!("f{fi}")
+        };
         let mut b = FunctionBuilder::new(name);
-        let mut g = Gen { rng: StdRng::seed_from_u64(rng.gen()), ints: vec![], floats: vec![] };
+        let mut g = Gen {
+            rng: StdRng::seed_from_u64(rng.gen()),
+            ints: vec![],
+            floats: vec![],
+        };
         // 0-2 int parameters.
         let nparams = g.rng.gen_range(0..=2);
         let params: Vec<VReg> = (0..nparams).map(|_| b.new_vreg(RegClass::Int)).collect();
@@ -231,8 +243,8 @@ mod tests {
     fn random_programs_verify_and_terminate() {
         for seed in 0..30 {
             let p = random_program(seed, &FuzzConfig::default());
-            let stats = run(&p, &InterpConfig::default())
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let stats =
+                run(&p, &InterpConfig::default()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(stats.steps > 0);
         }
     }
@@ -251,8 +263,20 @@ mod tests {
 
     #[test]
     fn bigger_configs_make_bigger_programs() {
-        let small = random_program(1, &FuzzConfig { stmts_per_fn: 5, ..Default::default() });
-        let big = random_program(1, &FuzzConfig { stmts_per_fn: 80, ..Default::default() });
+        let small = random_program(
+            1,
+            &FuzzConfig {
+                stmts_per_fn: 5,
+                ..Default::default()
+            },
+        );
+        let big = random_program(
+            1,
+            &FuzzConfig {
+                stmts_per_fn: 80,
+                ..Default::default()
+            },
+        );
         assert!(big.num_insts() > small.num_insts());
     }
 }

@@ -160,9 +160,12 @@ mod tests {
         for prog in SpecProgram::ALL {
             let p = spec_program_scaled(prog, TEST_SCALE);
             p.verify().unwrap_or_else(|e| panic!("{prog}: {e}"));
-            let stats = run(&p, &InterpConfig::default())
-                .unwrap_or_else(|e| panic!("{prog}: {e}"));
-            assert!(stats.steps > 100, "{prog} too trivial: {} steps", stats.steps);
+            let stats = run(&p, &InterpConfig::default()).unwrap_or_else(|e| panic!("{prog}: {e}"));
+            assert!(
+                stats.steps > 100,
+                "{prog} too trivial: {} steps",
+                stats.steps
+            );
             assert_eq!(stats.total_overhead(), 0, "{prog}: pre-allocation overhead");
         }
     }
@@ -170,10 +173,16 @@ mod tests {
     #[test]
     fn programs_are_deterministic() {
         for prog in [SpecProgram::Eqntott, SpecProgram::Fpppp, SpecProgram::Gcc] {
-            let a = run(&spec_program_scaled(prog, TEST_SCALE), &InterpConfig::default())
-                .unwrap();
-            let b = run(&spec_program_scaled(prog, TEST_SCALE), &InterpConfig::default())
-                .unwrap();
+            let a = run(
+                &spec_program_scaled(prog, TEST_SCALE),
+                &InterpConfig::default(),
+            )
+            .unwrap();
+            let b = run(
+                &spec_program_scaled(prog, TEST_SCALE),
+                &InterpConfig::default(),
+            )
+            .unwrap();
             assert_eq!(a.result, b.result, "{prog}");
             assert_eq!(a.steps, b.steps, "{prog}");
         }
@@ -196,7 +205,10 @@ mod tests {
                 .func_ids()
                 .map(|id| freq.func(id).invocations)
                 .fold(0.0f64, f64::max);
-            assert!(max_inv > 50.0, "{prog}: hottest function invoked {max_inv} times");
+            assert!(
+                max_inv > 50.0,
+                "{prog}: hottest function invoked {max_inv} times"
+            );
         }
     }
 

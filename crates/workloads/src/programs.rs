@@ -125,13 +125,7 @@ fn small_leaf(p: &mut Program, name: &'static str, seed: u64, pressure: usize) -
 
 /// A driver main: a loop of `n` iterations calling `hot` each time, with a
 /// working set of its own crossing the (hot) call site.
-fn driver_main(
-    p: &mut Program,
-    seed: u64,
-    n: i64,
-    hot: FuncId,
-    main_set: usize,
-) -> FuncId {
+fn driver_main(p: &mut Program, seed: u64, n: i64, hot: FuncId, main_set: usize) -> FuncId {
     let mut s = Shaper::new("main", seed);
     let set = s.int_set(main_set);
     let acc = s.int_acc();
@@ -157,11 +151,11 @@ fn eqntott(scale: Scale) -> Program {
         "cmppt",
         11,
         RegClass::Int,
-        5,   // common working set
-        8,   // common ops
-        7,   // hot values crossing the rare calls
-        2,   // rare-path calls
-        128, // rare: 1/128 invocations
+        5,        // common working set
+        8,        // common ops
+        7,        // hot values crossing the rare calls
+        2,        // rare-path calls
+        128,      // rare: 1/128 invocations
         (100, 6), // useful inner work
     );
     driver_main(&mut p, 12, trips(scale, 12000), hot, 4);

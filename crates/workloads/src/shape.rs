@@ -20,7 +20,10 @@ pub struct Shaper {
 impl Shaper {
     /// Starts a function; the seed makes all filler code deterministic.
     pub fn new(name: &str, seed: u64) -> Self {
-        Shaper { b: FunctionBuilder::new(name), rng: StdRng::seed_from_u64(seed) }
+        Shaper {
+            b: FunctionBuilder::new(name),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Declares `k` integer parameters.
@@ -154,7 +157,10 @@ impl Shaper {
     /// every node degree ≈ `2 × window` in the interference graph while the
     /// graph stays `window + 1`-colorable.
     pub fn ring_loop_float_window(&mut self, facc: VReg, trips: i64, n: usize, window: usize) {
-        assert!(n >= 2 * window && window >= 2, "ring too small for its window");
+        assert!(
+            n >= 2 * window && window >= 2,
+            "ring too small for its window"
+        );
         let v = self.float_set(n);
         self.counted_loop(trips, |s, i| {
             for k in 0..n {

@@ -55,7 +55,7 @@ fn final_colorings_are_conflict_free() {
             for (id, f) in ir.functions() {
                 // Re-run a single-function allocation so we can inspect the
                 // final context's interference relation.
-                let alloc = ccra_regalloc::allocate_function(
+                let (_body, alloc) = ccra_regalloc::allocate_function(
                     f,
                     freq.func(id),
                     &file,
@@ -65,8 +65,16 @@ fn final_colorings_are_conflict_free() {
                 // Recompute the context of the *final* body and check the
                 // summaries are structurally sane.
                 assert_eq!(
-                    alloc.ranges.iter().filter(|r| r.loc == Loc::Spilled).count()
-                        + alloc.ranges.iter().filter(|r| r.loc != Loc::Spilled).count(),
+                    alloc
+                        .ranges
+                        .iter()
+                        .filter(|r| r.loc == Loc::Spilled)
+                        .count()
+                        + alloc
+                            .ranges
+                            .iter()
+                            .filter(|r| r.loc != Loc::Spilled)
+                            .count(),
                     alloc.ranges.len()
                 );
                 for r in &alloc.ranges {

@@ -7,7 +7,10 @@ use ccra_workloads::{random_program, FuzzConfig};
 use proptest::prelude::*;
 
 fn interp() -> InterpConfig {
-    InterpConfig { step_limit: 5_000_000, ..Default::default() }
+    InterpConfig {
+        step_limit: 5_000_000,
+        ..Default::default()
+    }
 }
 
 proptest! {

@@ -1,0 +1,126 @@
+//! The telemetry layer's contract: tracing never changes an allocation,
+//! event streams are deterministic, and JSONL round-trips losslessly.
+
+use call_cost_regalloc::prelude::*;
+use ccra_regalloc::trace::parse_jsonl;
+use ccra_regalloc::PriorityOrdering;
+use ccra_regalloc::{
+    allocate_program, allocate_program_traced, AllocEvent, JsonlSink, ProgramAllocation,
+    RecordingSink,
+};
+use ccra_workloads::{spec_program_scaled, Scale};
+
+const SCALE: Scale = Scale(0.05);
+
+fn traced_run(prog: SpecProgram, config: &AllocatorConfig) -> (ProgramAllocation, RecordingSink) {
+    let ir = spec_program_scaled(prog, SCALE);
+    let freq = FrequencyInfo::profile(&ir).unwrap();
+    let mut sink = RecordingSink::new();
+    let out = allocate_program_traced(&ir, &freq, RegisterFile::mips_full(), config, &mut sink);
+    (out, sink)
+}
+
+/// Everything observable about an allocation result, for equality checks
+/// (`Program` and `FuncAllocation` do not implement `PartialEq`).
+fn fingerprint(out: &ProgramAllocation) -> Vec<(u32, usize, usize, String, Vec<String>)> {
+    out.per_func
+        .iter()
+        .map(|fa| {
+            (
+                fa.rounds,
+                fa.spilled_ranges,
+                fa.callee_regs_used,
+                format!("{}", fa.overhead),
+                fa.ranges
+                    .iter()
+                    .map(|r| format!("{:?}@{:?}", r.class, r.loc))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The no-op sink must be invisible: a traced allocation and an untraced
+/// one produce identical results, range for range.
+#[test]
+fn tracing_does_not_change_the_allocation() {
+    for config in [
+        AllocatorConfig::base(),
+        AllocatorConfig::improved(),
+        AllocatorConfig::cbh(),
+    ] {
+        let ir = spec_program_scaled(SpecProgram::Eqntott, SCALE);
+        let freq = FrequencyInfo::profile(&ir).unwrap();
+        let plain = allocate_program(&ir, &freq, RegisterFile::mips_full(), &config);
+        let (traced, sink) = traced_run(SpecProgram::Eqntott, &config);
+        assert_eq!(fingerprint(&plain), fingerprint(&traced), "{config:?}");
+        assert_eq!(
+            plain.overhead.total(),
+            traced.overhead.total(),
+            "{config:?} overhead changed under tracing"
+        );
+        assert!(!sink.events.is_empty(), "{config:?} emitted nothing");
+    }
+}
+
+/// Two runs of the same allocation emit identical event streams once
+/// wall-clock fields are zeroed.
+#[test]
+fn event_streams_are_deterministic() {
+    for config in [
+        AllocatorConfig::improved(),
+        AllocatorConfig::priority(PriorityOrdering::Sorting),
+    ] {
+        let (_, a) = traced_run(SpecProgram::Ear, &config);
+        let (_, b) = traced_run(SpecProgram::Ear, &config);
+        assert_eq!(a.normalized(), b.normalized(), "{config:?}");
+    }
+}
+
+/// The stream covers every event family and carries the paper's decision
+/// vocabulary: SC benefits, a BS key, PR votes.
+#[test]
+fn streams_cover_all_event_families() {
+    let (out, sink) = traced_run(SpecProgram::Sc, &AllocatorConfig::improved());
+    let tag_count = |tag: &str| sink.events.iter().filter(|e| e.tag() == tag).count();
+    assert!(tag_count("phase") > 0);
+    assert!(tag_count("round") > 0);
+    assert!(tag_count("decision") > 0);
+    assert_eq!(tag_count("func"), out.per_func.len());
+    assert_eq!(tag_count("program"), 1);
+    let has_bs_key = sink.events.iter().any(|e| match e {
+        AllocEvent::Decision(d) => d.bs_key == "benefit_delta",
+        _ => false,
+    });
+    assert!(
+        has_bs_key,
+        "improved config must stamp its BS key on decisions"
+    );
+    match sink.events.last().unwrap() {
+        AllocEvent::Program(s) => {
+            assert_eq!(s.config, AllocatorConfig::improved().label());
+            assert!((s.total() - out.overhead.total()).abs() < 1e-9);
+        }
+        other => panic!("stream must close with a program summary, got {other:?}"),
+    }
+}
+
+/// Events survive a serialize → JSONL → parse round trip unchanged.
+#[test]
+fn events_roundtrip_through_jsonl() {
+    let (_, sink) = traced_run(SpecProgram::Compress, &AllocatorConfig::improved());
+    let mut jsonl = JsonlSink::new(Vec::new());
+    for e in &sink.events {
+        use ccra_regalloc::AllocSink;
+        jsonl.emit(e.clone());
+    }
+    let text = String::from_utf8(jsonl.finish().unwrap()).unwrap();
+    let parsed = parse_jsonl(&text).unwrap();
+    assert_eq!(parsed, sink.events);
+
+    // And a line-by-line check that each event is one self-describing
+    // object.
+    for (line, event) in text.lines().zip(&sink.events) {
+        assert!(line.starts_with(&format!("{{\"event\":\"{}\"", event.tag())));
+    }
+}

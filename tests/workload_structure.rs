@@ -44,7 +44,10 @@ fn fpppp_has_huge_basic_blocks() {
         .flat_map(|(_, f)| f.blocks().map(|(_, b)| b.insts.len()).collect::<Vec<_>>())
         .max()
         .unwrap();
-    assert!(biggest >= 60, "fpppp's biggest block has {biggest} instructions");
+    assert!(
+        biggest >= 60,
+        "fpppp's biggest block has {biggest} instructions"
+    );
     // And its float pressure is high enough to force spilling through the
     // middle of the register sweep.
     let freq = FrequencyInfo::profile(&p).unwrap();
@@ -78,7 +81,10 @@ fn interpreters_call_on_the_common_path() {
             .iter()
             .filter(|&&(bb, _)| freq.func(hot_id).block(bb) >= hot_freq * 0.9)
             .count();
-        assert!(common_calls >= 2, "{prog}: hot function has {common_calls} hot call sites");
+        assert!(
+            common_calls >= 2,
+            "{prog}: hot function has {common_calls} hot call sites"
+        );
     }
 }
 
@@ -86,7 +92,11 @@ fn interpreters_call_on_the_common_path() {
 /// calls (the cold-calls scenario of the paper's Section 3.2).
 #[test]
 fn hot_functions_have_rare_call_paths() {
-    for prog in [SpecProgram::Eqntott, SpecProgram::Ear, SpecProgram::Compress] {
+    for prog in [
+        SpecProgram::Eqntott,
+        SpecProgram::Ear,
+        SpecProgram::Compress,
+    ] {
         let p = spec_program_scaled(prog, SCALE);
         let freq = FrequencyInfo::profile(&p).unwrap();
         let (hot_id, hot_freq) = p
@@ -103,7 +113,10 @@ fn hot_functions_have_rare_call_paths() {
                 w > 0.0 && w <= hot_freq * 0.2
             })
             .count();
-        assert!(rare_calls >= 1, "{prog}: no rare call path in the hot function");
+        assert!(
+            rare_calls >= 1,
+            "{prog}: no rare call path in the hot function"
+        );
     }
 }
 
@@ -130,11 +143,17 @@ fn integer_vs_float_suites() {
     ];
     for prog in int_suite {
         let (float, total) = count_float_insts(&spec_program_scaled(prog, SCALE));
-        assert!(float * 4 < total, "{prog} should be integer-dominated ({float}/{total})");
+        assert!(
+            float * 4 < total,
+            "{prog} should be integer-dominated ({float}/{total})"
+        );
     }
     for prog in float_suite {
         let (float, _) = count_float_insts(&spec_program_scaled(prog, SCALE));
-        assert!(float >= 5, "{prog} should have substantial float work ({float})");
+        assert!(
+            float >= 5,
+            "{prog} should have substantial float work ({float})"
+        );
     }
 }
 
@@ -151,7 +170,10 @@ fn workloads_are_distinct() {
             p.num_insts(),
             p.functions().map(|(_, f)| f.num_blocks()).sum::<usize>(),
         );
-        assert!(signatures.insert(sig), "{prog} duplicates another workload: {sig:?}");
+        assert!(
+            signatures.insert(sig),
+            "{prog} duplicates another workload: {sig:?}"
+        );
     }
 }
 
@@ -169,7 +191,11 @@ fn mains_run_once() {
 /// more than the full machine for the CFP-like programs.
 #[test]
 fn float_bank_pressure_is_real() {
-    for prog in [SpecProgram::Ear, SpecProgram::Tomcatv, SpecProgram::Matrix300] {
+    for prog in [
+        SpecProgram::Ear,
+        SpecProgram::Tomcatv,
+        SpecProgram::Matrix300,
+    ] {
         let p = spec_program_scaled(prog, SCALE);
         let freq = FrequencyInfo::profile(&p).unwrap();
         let starved = ccra_regalloc::allocate_program(

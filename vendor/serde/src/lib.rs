@@ -1,0 +1,174 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace forbids network access, so the real `serde` cannot be
+//! fetched. This crate keeps the familiar spelling — `use serde::Serialize`
+//! plus `#[derive(Serialize, Deserialize)]` via the `derive` feature — but
+//! serializes through a built-in JSON [`json::Value`] model instead of
+//! serde's visitor machinery. The derive macros (in the sibling
+//! `serde_derive` crate) support structs with named fields, which is all
+//! the workspace derives on.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Types renderable as a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON document.
+    fn to_value(&self) -> Value;
+
+    /// Renders `self` as compact JSON text.
+    fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+/// Types reconstructible from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `self` back from a JSON document.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Parses JSON text and reads `self` from it.
+    fn from_json(text: &str) -> Result<Self, Error> {
+        Self::from_value(&json::parse(text)?)
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let i = value.as_i64().ok_or_else(|| Error::type_mismatch("integer", value))?;
+                <$t>::try_from(i).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::type_mismatch("number", value))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::type_mismatch("bool", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::type_mismatch("string", value))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::type_mismatch("array", value)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_json(&7u32.to_json()).unwrap(), 7);
+        assert_eq!(f64::from_json(&2.5f64.to_json()).unwrap(), 2.5);
+        assert_eq!(
+            String::from_json(&"hi\n".to_string().to_json()).unwrap(),
+            "hi\n"
+        );
+        assert_eq!(
+            Vec::<i64>::from_json(&vec![1i64, -2].to_json()).unwrap(),
+            vec![1, -2]
+        );
+        assert_eq!(Option::<u32>::from_json("null").unwrap(), None);
+        assert_eq!(Option::<u32>::from_json("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn range_errors_surface() {
+        assert!(u8::from_json("300").is_err());
+        assert!(bool::from_json("1").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` crate by hand-parsing the item's token stream (no
+//! `syn`/`quote`, which the offline environment cannot fetch). Supported
+//! shape: non-generic `struct`s with named fields — which is every type the
+//! workspace derives on. Anything else panics with a clear message at
+//! compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored) for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n\
+                 ::serde::json::Value::Obj(vec![{}])\n\
+             }}\n\
+         }}",
+        entries.join(", ")
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored) for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
+                 .ok_or_else(|| ::serde::json::Error::missing(\"{f}\"))?)?"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::json::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n\
+             }}\n\
+         }}",
+        entries.join(", ")
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Extracts `(struct name, field names)` from a derive input stream.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!(
+                    "vendored serde derive supports structs only; \
+                        implement Serialize/Deserialize for enums by hand"
+                )
+            }
+            Some(other) => panic!("vendored serde derive: unexpected token `{other}`"),
+            None => panic!("vendored serde derive: no struct found"),
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde derive: expected struct name, got {other:?}"),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("vendored serde derive does not support generic structs")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            (name, field_names(g.stream()))
+        }
+        _ => panic!("vendored serde derive supports named-field structs only"),
+    }
+}
+
+/// Collects the field names of a named-field struct body.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            // Field attribute or doc comment.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                names.push(id.to_string());
+                i += 1; // past the name
+                i += 1; // past the `:`
+                        // Skip the type up to the next top-level comma. Commas
+                        // inside generic arguments hide behind angle brackets.
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("vendored serde derive: unexpected field token `{other}`"),
+        }
+    }
+    names
+}
