@@ -54,7 +54,9 @@ impl Bench {
         file: RegisterFile,
         config: &AllocatorConfig,
     ) -> Overhead {
-        allocate_program(&self.ir, self.freq(mode), file, config).overhead
+        allocate_program(&self.ir, self.freq(mode), file, config)
+            .expect("benchmark programs allocate")
+            .overhead
     }
 }
 

@@ -160,7 +160,13 @@ fn main() -> ExitCode {
     };
 
     let mut sink = RecordingSink::new();
-    let result = allocate_program_traced(&ir, &freq, args.file, &args.config, &mut sink);
+    let result = match allocate_program_traced(&ir, &freq, args.file, &args.config, &mut sink) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: allocation failed: {e}", args.program);
+            return ExitCode::FAILURE;
+        }
+    };
 
     // Emit the stream.
     match &args.out {

@@ -18,7 +18,8 @@ use crate::table::Table;
 
 /// Simulated cycles of a fully allocated program.
 pub fn simulated_cycles(bench: &Bench, config: &AllocatorConfig, file: RegisterFile) -> f64 {
-    let out = allocate_program(&bench.ir, bench.freq(FreqMode::Dynamic), file, config);
+    let out = allocate_program(&bench.ir, bench.freq(FreqMode::Dynamic), file, config)
+        .expect("benchmark programs allocate");
     let stats =
         interp_run(&out.program, &InterpConfig::default()).expect("allocated program executes");
     let memory_ops = (stats.overhead(OverheadKind::Spill)

@@ -79,7 +79,7 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(f);
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
         let overhead = weighted_overhead(p.function(id), freq.func(id));
         assert_eq!(overhead.callee_save, 3.0);
         assert_eq!(overhead.spill, 1.0);
@@ -87,7 +87,7 @@ mod tests {
         assert_eq!(overhead.total(), 5.0);
 
         // Measured == analytic for a profile of the same run.
-        let stats = ccra_analysis::run(&p, &InterpConfig::default()).unwrap();
+        let stats = ccra_analysis::run(&p, &InterpConfig::default()).expect("program runs");
         let measured = measured_overhead(&stats);
         assert_eq!(measured, overhead);
     }

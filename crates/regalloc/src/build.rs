@@ -7,6 +7,7 @@ use ccra_analysis::{FuncFreq, Liveness, WebId, Webs};
 use ccra_ir::{BlockId, Function, Inst, RegClass, VReg};
 use ccra_machine::CostModel;
 
+use crate::error::AllocError;
 use crate::graph::InterferenceGraph;
 use crate::node::{CallSite, NodeInfo, SPILL_TEMP_COST};
 
@@ -62,7 +63,12 @@ struct WebScan {
 
 /// Backward scan computing web-level interference, call crossings, block
 /// spans, and copy pairs.
-fn scan_webs(f: &Function, live: &Liveness, webs: &Webs, freq: &FuncFreq) -> WebScan {
+fn scan_webs(
+    f: &Function,
+    live: &Liveness,
+    webs: &Webs,
+    freq: &FuncFreq,
+) -> Result<WebScan, AllocError> {
     let nw = webs.len();
     let mut graph = InterferenceGraph::new(nw);
     let mut calls_crossed: Vec<HashSet<u32>> = vec![HashSet::new(); nw];
@@ -120,7 +126,11 @@ fn scan_webs(f: &Function, live: &Liveness, webs: &Webs, freq: &FuncFreq) -> Web
             if let Some(d) = inst.def() {
                 let w = webs
                     .def_web(bb, i as u32, d)
-                    .unwrap_or_else(|| panic!("missing def web for {d} at {bb}:{i}"));
+                    .ok_or(AllocError::MissingDefWeb {
+                        vreg: d,
+                        block: bb,
+                        idx: i as u32,
+                    })?;
                 let exclude = match inst {
                     Inst::Copy { src, .. } => webs.use_web(bb, i as u32, *src),
                     _ => None,
@@ -176,13 +186,13 @@ fn scan_webs(f: &Function, live: &Liveness, webs: &Webs, freq: &FuncFreq) -> Web
         }
     }
 
-    WebScan {
+    Ok(WebScan {
         graph,
         calls_crossed,
         blocks_spanned,
         copies,
         callsites,
-    }
+    })
 }
 
 /// Aggressive coalescing: merge copy-related webs that do not interfere,
@@ -235,7 +245,11 @@ fn coalesce(nw: usize, scan: &WebScan) -> Vec<u32> {
 /// liveness, webs, web-level interference, aggressive coalescing, and the
 /// per-node cost attributes (spill / caller-save / callee-save cost, block
 /// span, calls crossed).
-pub fn build_context(f: &Function, freq: &FuncFreq, cost: &CostModel) -> FuncContext {
+pub fn build_context(
+    f: &Function,
+    freq: &FuncFreq,
+    cost: &CostModel,
+) -> Result<FuncContext, AllocError> {
     let mut sink = crate::trace::NoopSink;
     let mut tr = crate::trace::TraceCtx::new(&mut sink, f.name(), 1);
     build_context_traced(f, freq, cost, &mut tr)
@@ -248,11 +262,11 @@ pub fn build_context_traced(
     freq: &FuncFreq,
     cost: &CostModel,
     tr: &mut crate::trace::TraceCtx<'_>,
-) -> FuncContext {
+) -> Result<FuncContext, AllocError> {
     let span = tr.span();
     let live = Liveness::compute(f);
     let webs = Webs::compute(f);
-    let scan = scan_webs(f, &live, &webs, freq);
+    let scan = scan_webs(f, &live, &webs, freq)?;
     tr.span_end(span, crate::trace::Phase::Build);
 
     let span = tr.span();
@@ -352,7 +366,7 @@ pub fn build_context_traced(
         webs,
     };
     tr.span_end(span, crate::trace::Phase::Coalesce);
-    ctx
+    Ok(ctx)
 }
 
 #[cfg(test)]
@@ -365,8 +379,9 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(f);
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         (ctx, p, id)
     }
 

@@ -17,13 +17,18 @@ use ccra_machine::{PhysReg, RegisterFile, SaveKind};
 
 use crate::build::FuncContext;
 use crate::chaitin::{emit_bank_decisions, BankResult, DecisionMeta};
+use crate::error::AllocError;
 use crate::trace::{Phase, TraceCtx};
 
 /// Per-spill reasons collected during assignment, only when tracing.
 type Reasons = Vec<(u32, &'static str)>;
 
 /// Runs CBH coloring on one register bank.
-pub fn allocate_bank_cbh(ctx: &FuncContext, class: RegClass, file: &RegisterFile) -> BankResult {
+pub fn allocate_bank_cbh(
+    ctx: &FuncContext,
+    class: RegClass,
+    file: &RegisterFile,
+) -> Result<BankResult, AllocError> {
     let mut sink = crate::trace::NoopSink;
     let mut tr = TraceCtx::new(&mut sink, "", 1);
     allocate_bank_cbh_traced(ctx, class, file, &mut tr)
@@ -36,7 +41,7 @@ pub fn allocate_bank_cbh_traced(
     class: RegClass,
     file: &RegisterFile,
     tr: &mut TraceCtx<'_>,
-) -> BankResult {
+) -> Result<BankResult, AllocError> {
     let bank = ctx.bank_nodes(class);
     let n_caller = file.count(class, SaveKind::CallerSave);
     let n_callee = file.count(class, SaveKind::CalleeSave);
@@ -53,7 +58,7 @@ pub fn allocate_bank_cbh_traced(
             };
             emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
         }
-        return result;
+        return Ok(result);
     }
     let span = tr.span();
     let mut reasons: Option<Reasons> = tr.enabled().then(Vec::new);
@@ -110,7 +115,15 @@ pub fn allocate_bank_cbh_traced(
             alive.remove(&n);
             for &m in ctx.graph.neighbors(n) {
                 if alive.contains(&m) {
-                    *degree.get_mut(&m).unwrap() -= 1;
+                    match degree.get_mut(&m) {
+                        Some(d) => *d -= 1,
+                        None => {
+                            return Err(AllocError::DegreeUnderflow {
+                                node: n,
+                                neighbor: m,
+                            })
+                        }
+                    }
                 }
             }
             stack.push(n);
@@ -130,28 +143,47 @@ pub fn allocate_bank_cbh_traced(
         });
         let synthetic_victim = synthetic_alive.iter().copied().min();
 
-        let spill_synthetic = match (ordinary_victim, synthetic_victim) {
-            (Some(o), Some(_)) => callee_range_cost <= ctx.nodes[o as usize].spill_cost,
-            (None, Some(_)) => true,
-            (Some(_), None) => false,
-            (None, None) => unreachable!("alive is non-empty"),
-        };
-
-        if spill_synthetic {
-            let s = synthetic_victim.unwrap();
-            synthetic_alive.remove(&s);
-            freed.push(PhysReg::new(class, SaveKind::CalleeSave, s));
-        } else {
-            let v = ordinary_victim.unwrap();
-            alive.remove(&v);
-            for &m in ctx.graph.neighbors(v) {
-                if alive.contains(&m) {
-                    *degree.get_mut(&m).unwrap() -= 1;
+        enum Victim {
+            Synthetic(u8),
+            Ordinary(u32),
+        }
+        let victim = match (ordinary_victim, synthetic_victim) {
+            (Some(o), Some(s)) => {
+                if callee_range_cost <= ctx.nodes[o as usize].spill_cost {
+                    Victim::Synthetic(s)
+                } else {
+                    Victim::Ordinary(o)
                 }
             }
-            spilled.push(v);
-            if let Some(r) = reasons.as_mut() {
-                r.push((v, "pressure_spill"));
+            (None, Some(s)) => Victim::Synthetic(s),
+            (Some(o), None) => Victim::Ordinary(o),
+            (None, None) => return Err(AllocError::NoSpillCandidate { class }),
+        };
+
+        match victim {
+            Victim::Synthetic(s) => {
+                synthetic_alive.remove(&s);
+                freed.push(PhysReg::new(class, SaveKind::CalleeSave, s));
+            }
+            Victim::Ordinary(v) => {
+                alive.remove(&v);
+                for &m in ctx.graph.neighbors(v) {
+                    if alive.contains(&m) {
+                        match degree.get_mut(&m) {
+                            Some(d) => *d -= 1,
+                            None => {
+                                return Err(AllocError::DegreeUnderflow {
+                                    node: v,
+                                    neighbor: m,
+                                })
+                            }
+                        }
+                    }
+                }
+                spilled.push(v);
+                if let Some(r) = reasons.as_mut() {
+                    r.push((v, "pressure_spill"));
+                }
             }
         }
     }
@@ -206,7 +238,7 @@ pub fn allocate_bank_cbh_traced(
         };
         emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -221,8 +253,8 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(f);
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        build_context(p.function(id), freq.func(id), &CostModel::paper())
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        build_context(p.function(id), freq.func(id), &CostModel::paper()).expect("context builds")
     }
 
     /// `k` hot values live across a call inside a loop.
@@ -264,7 +296,7 @@ mod tests {
     fn crossing_ranges_never_get_caller_save() {
         let ctx = ctx_for(crossing_pressure(3, 40));
         let file = RegisterFile::new(10, 4, 5, 0);
-        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file);
+        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file).expect("bank allocates");
         for (&n, &reg) in &res.colors {
             if ctx.nodes[n as usize].crosses_calls() {
                 assert_eq!(
@@ -282,7 +314,7 @@ mod tests {
         // spill crossing values even though caller-save registers sit idle.
         let ctx = ctx_for(crossing_pressure(6, 40));
         let file = RegisterFile::new(10, 4, 2, 0);
-        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file);
+        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file).expect("bank allocates");
         let spilled_crossing = res
             .spilled
             .iter()
@@ -299,7 +331,7 @@ mod tests {
     fn coloring_is_conflict_free() {
         let ctx = ctx_for(crossing_pressure(4, 10));
         let file = RegisterFile::new(8, 4, 3, 0);
-        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file);
+        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file).expect("bank allocates");
         for (&a, &ra) in &res.colors {
             for (&b, &rb) in &res.colors {
                 if a != b && ctx.graph.interferes(a, b) {
@@ -324,7 +356,7 @@ mod tests {
         b.ret(Some(r));
         let ctx = ctx_for(b.finish());
         let file = RegisterFile::new(6, 4, 4, 0);
-        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file);
+        let res = allocate_bank_cbh(&ctx, RegClass::Int, &file).expect("bank allocates");
         let callee_used: HashSet<PhysReg> = res
             .colors
             .values()

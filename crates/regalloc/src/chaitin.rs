@@ -8,11 +8,16 @@ use ccra_ir::RegClass;
 use ccra_machine::{PhysReg, RegisterFile, SaveKind};
 
 use crate::build::FuncContext;
+use crate::error::AllocError;
 use crate::trace::{AllocEvent, Decision, Phase, TraceCtx};
 use crate::types::{AllocatorConfig, AllocatorKind, BsKey, CalleeCostModel, Loc};
 
 /// Per-spill reasons collected during assignment, only when tracing.
 type Reasons = Vec<(u32, &'static str)>;
+
+/// Simplification output: the removal stack plus the nodes Chaitin-style
+/// simplification forced to spill outright.
+type SimplifyOutcome = (Vec<(u32, Removal)>, Vec<u32>);
 
 /// The outcome of coloring one register bank.
 #[derive(Debug, Clone, Default)]
@@ -109,10 +114,11 @@ pub fn preference_decision(
 /// near the top of the color stack.
 fn simplify(
     ctx: &FuncContext,
+    class: RegClass,
     bank: &[u32],
     n_colors: usize,
     config: &AllocatorConfig,
-) -> (Vec<(u32, Removal)>, Vec<u32>) {
+) -> Result<SimplifyOutcome, AllocError> {
     let optimistic = config.kind == AllocatorKind::Optimistic;
     let mut alive: HashSet<u32> = bank.iter().copied().collect();
     let mut degree: HashMap<u32, usize> = bank
@@ -131,13 +137,25 @@ fn simplify(
     let mut stack: Vec<(u32, Removal)> = Vec::new();
     let mut pre_spilled: Vec<u32> = Vec::new();
 
-    let remove = |n: u32, alive: &mut HashSet<u32>, degree: &mut HashMap<u32, usize>| {
+    let remove = |n: u32,
+                  alive: &mut HashSet<u32>,
+                  degree: &mut HashMap<u32, usize>|
+     -> Result<(), AllocError> {
         alive.remove(&n);
         for &m in ctx.graph.neighbors(n) {
             if alive.contains(&m) {
-                *degree.get_mut(&m).unwrap() -= 1;
+                match degree.get_mut(&m) {
+                    Some(d) => *d -= 1,
+                    None => {
+                        return Err(AllocError::DegreeUnderflow {
+                            node: n,
+                            neighbor: m,
+                        })
+                    }
+                }
             }
         }
+        Ok(())
     };
 
     while !alive.is_empty() {
@@ -169,7 +187,7 @@ fn simplify(
         };
 
         if let Some(n) = pick {
-            remove(n, &mut alive, &mut degree);
+            remove(n, &mut alive, &mut degree)?;
             stack.push((n, Removal::Guaranteed));
             continue;
         }
@@ -185,15 +203,15 @@ fn simplify(
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
             })
-            .expect("alive is non-empty");
-        remove(victim, &mut alive, &mut degree);
+            .ok_or(AllocError::NoSpillCandidate { class })?;
+        remove(victim, &mut alive, &mut degree)?;
         if optimistic {
             stack.push((victim, Removal::Optimistic));
         } else {
             pre_spilled.push(victim);
         }
     }
-    (stack, pre_spilled)
+    Ok((stack, pre_spilled))
 }
 
 /// The color-assignment phase, including storage-class analysis.
@@ -328,7 +346,7 @@ pub fn allocate_bank_chaitin(
     class: RegClass,
     file: &RegisterFile,
     config: &AllocatorConfig,
-) -> BankResult {
+) -> Result<BankResult, AllocError> {
     let mut sink = crate::trace::NoopSink;
     let mut tr = TraceCtx::new(&mut sink, "", 1);
     allocate_bank_chaitin_traced(ctx, class, file, config, &mut tr)
@@ -342,7 +360,7 @@ pub fn allocate_bank_chaitin_traced(
     file: &RegisterFile,
     config: &AllocatorConfig,
     tr: &mut TraceCtx<'_>,
-) -> BankResult {
+) -> Result<BankResult, AllocError> {
     let bank = ctx.bank_nodes(class);
     let n_colors = file.bank_size(class);
     if n_colors == 0 {
@@ -358,7 +376,7 @@ pub fn allocate_bank_chaitin_traced(
             };
             emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
         }
-        return result;
+        return Ok(result);
     }
 
     let span = tr.span();
@@ -367,7 +385,7 @@ pub fn allocate_bank_chaitin_traced(
     } else {
         HashSet::new()
     };
-    let (stack, pre_spilled) = simplify(ctx, &bank, n_colors, config);
+    let (stack, pre_spilled) = simplify(ctx, class, &bank, n_colors, config)?;
     tr.span_end(span, Phase::Simplify);
 
     let span = tr.span();
@@ -393,7 +411,7 @@ pub fn allocate_bank_chaitin_traced(
         };
         emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
     }
-    result
+    Ok(result)
 }
 
 /// What the decision emitter needs to know about the allocator: the BS key
@@ -464,8 +482,8 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(f);
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        build_context(p.function(id), freq.func(id), &CostModel::paper())
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        build_context(p.function(id), freq.func(id), &CostModel::paper()).expect("context builds")
     }
 
     /// k simultaneously-live int values, consumed one by one.
@@ -488,7 +506,8 @@ mod tests {
     fn enough_registers_means_no_spills() {
         let ctx = ctx_for(pressure_function(5));
         let file = RegisterFile::new(8, 4, 0, 0);
-        let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base());
+        let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base())
+            .expect("bank allocates");
         assert!(res.spilled.is_empty(), "spilled: {:?}", res.spilled);
         assert_eq!(res.colors.len(), ctx.bank_nodes(RegClass::Int).len());
     }
@@ -497,7 +516,8 @@ mod tests {
     fn assignment_avoids_conflicts() {
         let ctx = ctx_for(pressure_function(6));
         let file = RegisterFile::new(8, 4, 2, 0);
-        let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base());
+        let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base())
+            .expect("bank allocates");
         for (&a, &ra) in &res.colors {
             for (&b, &rb) in &res.colors {
                 if a != b && ctx.graph.interferes(a, b) {
@@ -511,7 +531,8 @@ mod tests {
     fn pressure_forces_spills_under_chaitin() {
         let ctx = ctx_for(pressure_function(10));
         let file = RegisterFile::new(6, 4, 0, 0);
-        let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base());
+        let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base())
+            .expect("bank allocates");
         assert!(
             !res.spilled.is_empty(),
             "10 simultaneous values into 6 registers"
@@ -522,9 +543,11 @@ mod tests {
     fn optimistic_never_worse_on_spill_count() {
         let ctx = ctx_for(pressure_function(10));
         let file = RegisterFile::new(6, 4, 0, 0);
-        let chaitin = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base());
+        let chaitin = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base())
+            .expect("bank allocates");
         let optimistic =
-            allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::optimistic());
+            allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::optimistic())
+                .expect("bank allocates");
         assert!(optimistic.spilled.len() <= chaitin.spilled.len());
     }
 
@@ -546,7 +569,8 @@ mod tests {
         // x crosses the call: spill_cost 2 (def+use), caller_cost 2,
         // callee_cost 2 -> all benefits <= 0; register residence is not
         // worth it.
-        let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::improved());
+        let res = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::improved())
+            .expect("bank allocates");
         let crossing: Vec<u32> = ctx
             .bank_nodes(RegClass::Int)
             .into_iter()
@@ -557,7 +581,8 @@ mod tests {
         // model spills the share set since 2 < callee_cost is false (2<2)…
         // caller: benefit == 0 not < 0. The node may stay; the important
         // invariant is that base never spills here:
-        let base = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base());
+        let base = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base())
+            .expect("bank allocates");
         assert!(base.spilled.is_empty());
         assert!(res.spilled.len() <= 1);
     }
@@ -630,7 +655,8 @@ mod tests {
         // zero (ABI minimum), so test the float bank of an int-only
         // function: no float nodes, nothing to spill.
         let file = RegisterFile::minimum();
-        let res = allocate_bank_chaitin(&ctx, RegClass::Float, &file, &AllocatorConfig::base());
+        let res = allocate_bank_chaitin(&ctx, RegClass::Float, &file, &AllocatorConfig::base())
+            .expect("bank allocates");
         assert!(res.colors.is_empty());
         assert!(res.spilled.is_empty());
     }
@@ -662,7 +688,8 @@ mod tests {
             RegClass::Int,
             &file,
             &AllocatorConfig::with_improvements(false, true, false),
-        );
+        )
+        .expect("bank allocates");
         // All three crossing nodes interfere; with N=8 they are all
         // unconstrained, so no spills — just a well-defined ordering.
         assert!(res.spilled.is_empty());

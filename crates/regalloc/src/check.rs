@@ -1,0 +1,1164 @@
+//! An independent post-allocation soundness checker.
+//!
+//! [`check_allocation`] takes the original (pre-allocation) function, the
+//! rewritten function produced by the pipeline, and the allocation summary,
+//! and verifies the allocation **without trusting any allocator
+//! internals**: it recomputes webs, liveness, and interference from the
+//! instruction streams alone and joins them against the per-reference
+//! register claims ([`crate::RefAssignment`]) the pipeline publishes.
+//!
+//! The checker enforces four invariant families (DESIGN.md §8):
+//!
+//! 1. **Register exclusivity** — no two simultaneously-live webs share a
+//!    physical register ([`CheckViolation::RegisterOverlap`]).
+//! 2. **Location consistency** — every reference of a colored web reads or
+//!    writes one single physical register of the right bank
+//!    ([`CheckViolation::InconsistentWebLocation`],
+//!    [`CheckViolation::ClassMismatch`], [`CheckViolation::UnassignedWeb`]),
+//!    and save/restore markers bracket calls and entry/exit exactly where
+//!    the crossing analysis says they must
+//!    ([`CheckViolation::CallerSaveMismatch`],
+//!    [`CheckViolation::CalleeSaveMismatch`],
+//!    [`CheckViolation::ShuffleMismatch`]).
+//! 3. **Spill-slot discipline** — every slot read is preceded by a write on
+//!    every feasible path ([`CheckViolation::SpillLoadBeforeStore`]), and a
+//!    slot never carries values of two *interfering* original webs
+//!    ([`CheckViolation::SlotAliased`]).
+//! 4. **Honest accounting** — the claimed overhead equals the overhead
+//!    recomputed from the instructions actually present
+//!    ([`CheckViolation::OverheadMismatch`]).
+//!
+//! The rewritten function must be the original plus inserted spill code and
+//! overhead markers ([`CheckViolation::SkeletonMismatch`] otherwise); the
+//! checker aligns the two streams positionally and maps rewritten webs back
+//! to original webs through that alignment.
+
+use std::collections::{HashMap, HashSet};
+
+use ccra_analysis::{FuncFreq, Liveness, WebId, Webs};
+use ccra_ir::{BlockId, Function, Inst, OverheadKind, SpillSlot, Terminator, VReg};
+use ccra_machine::{PhysReg, SaveKind};
+
+use crate::pipeline::FuncAllocation;
+
+/// One invariant violation found by [`check_allocation`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckViolation {
+    /// The rewritten function is not the original plus spill code and
+    /// overhead markers.
+    SkeletonMismatch {
+        /// The block where the streams diverge.
+        block: BlockId,
+        /// What diverged.
+        detail: String,
+    },
+    /// A web with register references has no claim in the assignment.
+    UnassignedWeb {
+        /// The web's virtual register.
+        vreg: VReg,
+        /// Block of the first unclaimed reference.
+        block: BlockId,
+        /// Instruction index of that reference.
+        idx: u32,
+    },
+    /// Two references of one web claim different physical registers.
+    InconsistentWebLocation {
+        /// The web's virtual register.
+        vreg: VReg,
+        /// Block of the disagreeing reference.
+        block: BlockId,
+        /// Instruction index of that reference.
+        idx: u32,
+        /// The register claimed first.
+        first: PhysReg,
+        /// The disagreeing register.
+        second: PhysReg,
+    },
+    /// A web is assigned a register of the wrong bank.
+    ClassMismatch {
+        /// The web's virtual register.
+        vreg: VReg,
+        /// The wrongly-banked register.
+        reg: PhysReg,
+    },
+    /// Two interfering webs share a physical register.
+    RegisterOverlap {
+        /// The shared register.
+        reg: PhysReg,
+        /// Virtual register of one web.
+        a: VReg,
+        /// Virtual register of the other.
+        b: VReg,
+    },
+    /// A spill slot is read before any write reaches it.
+    SpillLoadBeforeStore {
+        /// The slot.
+        slot: SpillSlot,
+        /// Block of the offending load.
+        block: BlockId,
+        /// Instruction index of the load.
+        idx: u32,
+    },
+    /// A spill-slot read may observe the value of an *interfering* web.
+    SlotAliased {
+        /// The slot.
+        slot: SpillSlot,
+        /// Block of the offending load.
+        block: BlockId,
+        /// Instruction index of the load.
+        idx: u32,
+    },
+    /// A call's caller-save marker disagrees with the live caller-save
+    /// registers crossing it.
+    CallerSaveMismatch {
+        /// Block of the call.
+        block: BlockId,
+        /// Instruction index of the call.
+        idx: u32,
+        /// Save/restore operations the crossing analysis requires.
+        expected: u32,
+        /// Operations the marker actually accounts.
+        got: u32,
+    },
+    /// Entry/exit callee-save markers disagree with the claimed count or
+    /// with the registers actually assigned.
+    CalleeSaveMismatch {
+        /// Block of the offending site.
+        block: BlockId,
+        /// Instruction index of the site.
+        idx: u32,
+        /// Operations expected there.
+        expected: u32,
+        /// Operations found.
+        got: u32,
+    },
+    /// A copy between differently-located webs lacks its shuffle marker, or
+    /// a shuffle marker fronts a copy that needs none.
+    ShuffleMismatch {
+        /// Block of the copy.
+        block: BlockId,
+        /// Instruction index of the copy.
+        idx: u32,
+        /// Shuffle operations expected.
+        expected: u32,
+        /// Operations found.
+        got: u32,
+    },
+    /// A claimed overhead component differs from the overhead recomputed
+    /// from the rewritten instruction stream.
+    OverheadMismatch {
+        /// Which component (`"spill"`, `"caller_save"`, `"callee_save"`,
+        /// `"shuffle"`).
+        kind: &'static str,
+        /// The component the allocation claims.
+        claimed: f64,
+        /// The component the checker recomputes.
+        actual: f64,
+    },
+}
+
+impl std::fmt::Display for CheckViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckViolation::SkeletonMismatch { block, detail } => {
+                write!(f, "skeleton mismatch in block {}: {detail}", block.0)
+            }
+            CheckViolation::UnassignedWeb { vreg, block, idx } => write!(
+                f,
+                "web of v{} has no register claim at ({}, {idx})",
+                vreg.0, block.0
+            ),
+            CheckViolation::InconsistentWebLocation {
+                vreg,
+                block,
+                idx,
+                first,
+                second,
+            } => write!(
+                f,
+                "web of v{} claims both {first} and {second} (at ({}, {idx}))",
+                vreg.0, block.0
+            ),
+            CheckViolation::ClassMismatch { vreg, reg } => {
+                write!(f, "web of v{} assigned wrong-bank register {reg}", vreg.0)
+            }
+            CheckViolation::RegisterOverlap { reg, a, b } => write!(
+                f,
+                "interfering webs of v{} and v{} both in {reg}",
+                a.0, b.0
+            ),
+            CheckViolation::SpillLoadBeforeStore { slot, block, idx } => write!(
+                f,
+                "slot {} read at ({}, {idx}) before any store",
+                slot.0, block.0
+            ),
+            CheckViolation::SlotAliased { slot, block, idx } => write!(
+                f,
+                "slot {} read at ({}, {idx}) may hold an interfering web's value",
+                slot.0, block.0
+            ),
+            CheckViolation::CallerSaveMismatch {
+                block,
+                idx,
+                expected,
+                got,
+            } => write!(
+                f,
+                "call at ({}, {idx}): caller-save marker accounts {got} ops, crossing analysis requires {expected}",
+                block.0
+            ),
+            CheckViolation::CalleeSaveMismatch {
+                block,
+                idx,
+                expected,
+                got,
+            } => write!(
+                f,
+                "callee-save marker at ({}, {idx}): {got} ops, expected {expected}",
+                block.0
+            ),
+            CheckViolation::ShuffleMismatch {
+                block,
+                idx,
+                expected,
+                got,
+            } => write!(
+                f,
+                "copy at ({}, {idx}): shuffle marker accounts {got} ops, expected {expected}",
+                block.0
+            ),
+            CheckViolation::OverheadMismatch {
+                kind,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "claimed {kind} overhead {claimed} differs from recomputed {actual}"
+            ),
+        }
+    }
+}
+
+/// Is `inst` one the pipeline may insert (and the skeleton match skips)?
+fn is_inserted(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::SpillLoad { .. } | Inst::SpillStore { .. } | Inst::Overhead { .. }
+    )
+}
+
+/// May `rew` stand where `orig` stood? Identical, or a spill temporary
+/// substituted for the spilled original operand.
+fn operand_ok(rewritten: &Function, orig: VReg, rew: VReg) -> bool {
+    orig == rew || rewritten.vreg(rew).is_spill_temp
+}
+
+/// Positionally matches one original instruction against its rewritten
+/// counterpart, tolerating spill-temporary operand substitution.
+fn same_shape(rewritten: &Function, o: &Inst, r: &Inst) -> bool {
+    let ok = |a: VReg, b: VReg| operand_ok(rewritten, a, b);
+    match (o, r) {
+        (Inst::IConst { dst: d1, value: v1 }, Inst::IConst { dst: d2, value: v2 }) => {
+            ok(*d1, *d2) && v1 == v2
+        }
+        (Inst::FConst { dst: d1, value: v1 }, Inst::FConst { dst: d2, value: v2 }) => {
+            ok(*d1, *d2) && v1.to_bits() == v2.to_bits()
+        }
+        (
+            Inst::Binary {
+                op: o1,
+                dst: d1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Inst::Binary {
+                op: o2,
+                dst: d2,
+                lhs: l2,
+                rhs: r2,
+            },
+        ) => o1 == o2 && ok(*d1, *d2) && ok(*l1, *l2) && ok(*r1, *r2),
+        (
+            Inst::Unary {
+                op: o1,
+                dst: d1,
+                src: s1,
+            },
+            Inst::Unary {
+                op: o2,
+                dst: d2,
+                src: s2,
+            },
+        ) => o1 == o2 && ok(*d1, *d2) && ok(*s1, *s2),
+        (
+            Inst::Cmp {
+                op: o1,
+                dst: d1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Inst::Cmp {
+                op: o2,
+                dst: d2,
+                lhs: l2,
+                rhs: r2,
+            },
+        ) => o1 == o2 && ok(*d1, *d2) && ok(*l1, *l2) && ok(*r1, *r2),
+        (
+            Inst::Load {
+                dst: d1,
+                addr: a1,
+                offset: f1,
+            },
+            Inst::Load {
+                dst: d2,
+                addr: a2,
+                offset: f2,
+            },
+        ) => ok(*d1, *d2) && ok(*a1, *a2) && f1 == f2,
+        (
+            Inst::Store {
+                src: s1,
+                addr: a1,
+                offset: f1,
+            },
+            Inst::Store {
+                src: s2,
+                addr: a2,
+                offset: f2,
+            },
+        ) => ok(*s1, *s2) && ok(*a1, *a2) && f1 == f2,
+        (Inst::Copy { dst: d1, src: s1 }, Inst::Copy { dst: d2, src: s2 }) => {
+            ok(*d1, *d2) && ok(*s1, *s2)
+        }
+        (
+            Inst::Call {
+                callee: c1,
+                args: a1,
+                ret: r1,
+            },
+            Inst::Call {
+                callee: c2,
+                args: a2,
+                ret: r2,
+            },
+        ) => {
+            c1 == c2
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(&x, &y)| ok(x, y))
+                && match (r1, r2) {
+                    (Some(x), Some(y)) => ok(*x, *y),
+                    (None, None) => true,
+                    _ => false,
+                }
+        }
+        _ => false,
+    }
+}
+
+/// One per-block positional alignment: `pairs[k] = (rewritten index,
+/// original index)` for every surviving original instruction.
+type Skeleton = HashMap<BlockId, Vec<(u32, u32)>>;
+
+/// Step 0: verify the rewritten function is the original plus inserted
+/// instructions, and compute the alignment.
+fn match_skeleton(
+    original: &Function,
+    rewritten: &Function,
+    violations: &mut Vec<CheckViolation>,
+) -> Option<Skeleton> {
+    if original.num_blocks() != rewritten.num_blocks()
+        || original.entry() != rewritten.entry()
+        || original.params() != rewritten.params()
+    {
+        violations.push(CheckViolation::SkeletonMismatch {
+            block: original.entry(),
+            detail: "block count, entry, or parameter list changed".to_string(),
+        });
+        return None;
+    }
+    let mut skeleton = Skeleton::new();
+    for (bb, ob) in original.blocks() {
+        let rb = rewritten.block(bb);
+        let mut pairs = Vec::with_capacity(ob.insts.len());
+        let mut oi = 0usize;
+        for (rj, r) in rb.insts.iter().enumerate() {
+            if is_inserted(r) {
+                continue;
+            }
+            let Some(o) = ob.insts.get(oi) else {
+                violations.push(CheckViolation::SkeletonMismatch {
+                    block: bb,
+                    detail: format!("extra non-inserted instruction at index {rj}: {r:?}"),
+                });
+                return None;
+            };
+            if !same_shape(rewritten, o, r) {
+                violations.push(CheckViolation::SkeletonMismatch {
+                    block: bb,
+                    detail: format!("instruction {oi} changed: {o:?} vs {r:?}"),
+                });
+                return None;
+            }
+            pairs.push((rj as u32, oi as u32));
+            oi += 1;
+        }
+        if oi != ob.insts.len() {
+            violations.push(CheckViolation::SkeletonMismatch {
+                block: bb,
+                detail: format!("original instruction {oi} has no counterpart"),
+            });
+            return None;
+        }
+        let term_ok = match (&ob.term, &rb.term) {
+            (Terminator::Jump(a), Terminator::Jump(b)) => a == b,
+            (
+                Terminator::Branch {
+                    cond: c1,
+                    then_bb: t1,
+                    else_bb: e1,
+                },
+                Terminator::Branch {
+                    cond: c2,
+                    then_bb: t2,
+                    else_bb: e2,
+                },
+            ) => operand_ok(rewritten, *c1, *c2) && t1 == t2 && e1 == e2,
+            (Terminator::Return(None), Terminator::Return(None)) => true,
+            (Terminator::Return(Some(a)), Terminator::Return(Some(b))) => {
+                operand_ok(rewritten, *a, *b)
+            }
+            _ => false,
+        };
+        if !term_ok {
+            violations.push(CheckViolation::SkeletonMismatch {
+                block: bb,
+                detail: format!("terminator changed: {:?} vs {:?}", ob.term, rb.term),
+            });
+            return None;
+        }
+        skeleton.insert(bb, pairs);
+    }
+    Some(skeleton)
+}
+
+/// Step 1: resolve every rewritten web to its claimed register (or none).
+fn resolve_locations(
+    rewritten: &Function,
+    webs: &Webs,
+    alloc: &FuncAllocation,
+    violations: &mut Vec<CheckViolation>,
+) -> HashMap<WebId, PhysReg> {
+    let mut loc: HashMap<WebId, PhysReg> = HashMap::new();
+    for (id, data) in webs.iter() {
+        let mut chosen: Option<PhysReg> = None;
+        let mut refs = 0usize;
+        let mut first_ref: Option<(BlockId, u32)> = None;
+        let defs = data.defs.iter().map(|&(bb, idx)| (bb, idx, true));
+        let uses = data.uses.iter().map(|&(bb, idx)| (bb, idx, false));
+        for (bb, idx, is_def) in defs.chain(uses) {
+            refs += 1;
+            if first_ref.is_none() {
+                first_ref = Some((bb, idx));
+            }
+            if let Some(&reg) = alloc.assignment.get(&(bb, idx, data.vreg, is_def)) {
+                match chosen {
+                    Some(prev) if prev != reg => {
+                        violations.push(CheckViolation::InconsistentWebLocation {
+                            vreg: data.vreg,
+                            block: bb,
+                            idx,
+                            first: prev,
+                            second: reg,
+                        });
+                    }
+                    _ => chosen = Some(reg),
+                }
+            }
+        }
+        match chosen {
+            Some(reg) => {
+                if reg.class != rewritten.class_of(data.vreg) {
+                    violations.push(CheckViolation::ClassMismatch {
+                        vreg: data.vreg,
+                        reg,
+                    });
+                }
+                loc.insert(id, reg);
+            }
+            None => {
+                // A web with no claim is in memory — legitimate only for a
+                // spilled web whose every remaining reference is the spill
+                // code itself, i.e. defs feeding `SpillStore`s (spilled or
+                // unused parameters keep a def-less web whose uses are the
+                // entry stores).
+                let all_spill_refs = data.defs.iter().chain(data.uses.iter()).all(|&(bb, idx)| {
+                    matches!(
+                        rewritten.block(bb).insts.get(idx as usize),
+                        Some(Inst::SpillStore { .. } | Inst::SpillLoad { .. })
+                    )
+                });
+                let benign_param = data.is_param && (refs == 0 || all_spill_refs);
+                if refs > 0 && !all_spill_refs && !benign_param {
+                    if let Some((bb, idx)) = first_ref {
+                        violations.push(CheckViolation::UnassignedWeb {
+                            vreg: data.vreg,
+                            block: bb,
+                            idx,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    loc
+}
+
+/// The interference facts the checker derives itself from one function:
+/// normalized interfering web pairs and, per call site, the webs live
+/// across it.
+struct ScanFacts {
+    pairs: HashSet<(WebId, WebId)>,
+    crossings: HashMap<(BlockId, u32), Vec<WebId>>,
+}
+
+/// Mirrors the allocator's backward interference scan (`build::scan_webs`)
+/// on an arbitrary function, but records raw facts instead of graph edges.
+fn scan_interference(f: &Function, webs: &Webs) -> ScanFacts {
+    let liveness = Liveness::compute(f);
+    let mut pairs: HashSet<(WebId, WebId)> = HashSet::new();
+    let mut crossings: HashMap<(BlockId, u32), Vec<WebId>> = HashMap::new();
+    let mut record = |a: WebId, b: WebId| {
+        if a != b {
+            pairs.insert((a.min(b), a.max(b)));
+        }
+    };
+    for (bb, block) in f.blocks() {
+        // Resolve each live-out vreg to the web reaching the block end.
+        let mut last_def: HashMap<VReg, WebId> = HashMap::new();
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(d) = inst.def() {
+                if let Some(w) = webs.def_web(bb, i as u32, d) {
+                    last_def.insert(d, w);
+                }
+            }
+        }
+        let mut live: HashSet<WebId> = HashSet::new();
+        for v in liveness.live_out(bb).iter() {
+            let v = VReg(v as u32);
+            let w = last_def
+                .get(&v)
+                .copied()
+                .or_else(|| webs.live_in_web(bb, v));
+            if let Some(w) = w {
+                live.insert(w);
+            }
+        }
+        if let Some(v) = block.term.use_reg() {
+            if let Some(w) = webs.use_web(bb, block.insts.len() as u32, v) {
+                live.insert(w);
+            }
+        }
+        let mut uses = Vec::new();
+        for (i, inst) in block.insts.iter().enumerate().rev() {
+            if let Some(d) = inst.def() {
+                if let Some(w) = webs.def_web(bb, i as u32, d) {
+                    // Copy sources don't interfere with the copy's target.
+                    let copy_src = match inst {
+                        Inst::Copy { src, .. } => webs.use_web(bb, i as u32, *src),
+                        _ => None,
+                    };
+                    for &l in &live {
+                        if Some(l) != copy_src {
+                            record(w, l);
+                        }
+                    }
+                    live.remove(&w);
+                }
+            }
+            if inst.is_call() {
+                let mut crossing: Vec<WebId> = live.iter().copied().collect();
+                crossing.sort_by_key(|w| w.0);
+                crossings.insert((bb, i as u32), crossing);
+            }
+            uses.clear();
+            inst.collect_uses(&mut uses);
+            for &u in &uses {
+                if let Some(w) = webs.use_web(bb, i as u32, u) {
+                    live.insert(w);
+                }
+            }
+        }
+        if bb == f.entry() {
+            // Parameters are all live on entry: they interfere with each
+            // other and with anything live at the top of the entry block.
+            let mut params: Vec<WebId> = Vec::new();
+            for &p in f.params() {
+                if let Some(w) = webs.param_web(p) {
+                    params.push(w);
+                }
+            }
+            for (i, &a) in params.iter().enumerate() {
+                for &b in &params[i + 1..] {
+                    if f.class_of(webs.web(a).vreg) == f.class_of(webs.web(b).vreg) {
+                        record(a, b);
+                    }
+                }
+                for &l in &live {
+                    record(a, l);
+                }
+            }
+        }
+    }
+    ScanFacts { pairs, crossings }
+}
+
+/// Step 2: no two interfering webs of the same class share a register.
+fn check_overlap(
+    rewritten: &Function,
+    webs: &Webs,
+    facts: &ScanFacts,
+    loc: &HashMap<WebId, PhysReg>,
+    violations: &mut Vec<CheckViolation>,
+) {
+    for &(a, b) in &facts.pairs {
+        if let (Some(&ra), Some(&rb)) = (loc.get(&a), loc.get(&b)) {
+            if ra == rb {
+                let (va, vb) = (webs.web(a).vreg, webs.web(b).vreg);
+                if rewritten.class_of(va) == rewritten.class_of(vb) {
+                    violations.push(CheckViolation::RegisterOverlap {
+                        reg: ra,
+                        a: va,
+                        b: vb,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Maps each rewritten web to the original web whose value it carries
+/// (where the skeleton alignment determines one unambiguously).
+fn map_to_original(
+    original: &Function,
+    rewritten: &Function,
+    webs_o: &Webs,
+    webs_r: &Webs,
+    skeleton: &Skeleton,
+) -> HashMap<WebId, WebId> {
+    let mut mu: HashMap<WebId, WebId> = HashMap::new();
+    let mut conflicted: HashSet<WebId> = HashSet::new();
+    let mut propose = |r: Option<WebId>, o: Option<WebId>| {
+        if let (Some(r), Some(o)) = (r, o) {
+            match mu.get(&r) {
+                Some(&prev) if prev != o => {
+                    conflicted.insert(r);
+                }
+                _ => {
+                    mu.insert(r, o);
+                }
+            }
+        }
+    };
+    for &p in original.params() {
+        propose(webs_r.param_web(p), webs_o.param_web(p));
+    }
+    for (bb, ob) in original.blocks() {
+        let Some(pairs) = skeleton.get(&bb) else {
+            continue;
+        };
+        let rb = rewritten.block(bb);
+        for &(rj, oi) in pairs {
+            let (o, r) = (&ob.insts[oi as usize], &rb.insts[rj as usize]);
+            if let (Some(od), Some(rd)) = (o.def(), r.def()) {
+                propose(webs_r.def_web(bb, rj, rd), webs_o.def_web(bb, oi, od));
+            }
+            for (ou, ru) in o.uses().into_iter().zip(r.uses()) {
+                propose(webs_r.use_web(bb, rj, ru), webs_o.use_web(bb, oi, ou));
+            }
+        }
+        if let (Some(ov), Some(rv)) = (ob.term.use_reg(), rb.term.use_reg()) {
+            propose(
+                webs_r.use_web(bb, rb.insts.len() as u32, rv),
+                webs_o.use_web(bb, ob.insts.len() as u32, ov),
+            );
+        }
+    }
+    for r in conflicted {
+        mu.remove(&r);
+    }
+    mu
+}
+
+/// What a spill slot may hold at a program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Tag {
+    /// Never written on this path.
+    Undef,
+    /// Written with a value the checker cannot attribute to an original
+    /// web (a chained re-spill temporary, for example).
+    Unknown,
+    /// Holds the value of this original web.
+    Orig(WebId),
+}
+
+/// Step 3: forward dataflow over spill slots — reads reached by writes,
+/// and no slot carrying two interfering original webs' values.
+fn check_slots(
+    rewritten: &Function,
+    webs_r: &Webs,
+    mu: &HashMap<WebId, WebId>,
+    orig_facts: &ScanFacts,
+    violations: &mut Vec<CheckViolation>,
+) {
+    let num_slots = rewritten.num_spill_slots() as usize;
+    if num_slots == 0 {
+        return;
+    }
+    let stored_tag = |bb: BlockId, j: u32, src: VReg| -> Tag {
+        match webs_r.use_web(bb, j, src).and_then(|w| mu.get(&w)) {
+            Some(&o) => Tag::Orig(o),
+            None => Tag::Unknown,
+        }
+    };
+    // Block-entry states; the entry block starts all-Undef, everything else
+    // starts empty (empty = not yet reached).
+    let empty: Vec<HashSet<Tag>> = vec![HashSet::new(); num_slots];
+    let mut state_in: HashMap<BlockId, Vec<HashSet<Tag>>> = HashMap::new();
+    for bb in rewritten.block_ids() {
+        state_in.insert(bb, empty.clone());
+    }
+    if let Some(s) = state_in.get_mut(&rewritten.entry()) {
+        for slot in s.iter_mut() {
+            slot.insert(Tag::Undef);
+        }
+    }
+    let transfer = |bb: BlockId, mut state: Vec<HashSet<Tag>>| -> Vec<HashSet<Tag>> {
+        for (j, inst) in rewritten.block(bb).insts.iter().enumerate() {
+            if let Inst::SpillStore { slot, src } = inst {
+                let tag = stored_tag(bb, j as u32, *src);
+                let s = &mut state[slot.index()];
+                s.clear();
+                s.insert(tag);
+            }
+        }
+        state
+    };
+    let reached = |state: &[HashSet<Tag>]| state.iter().any(|s| !s.is_empty());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bb in rewritten.block_ids() {
+            let Some(in_state) = state_in.get(&bb) else {
+                continue;
+            };
+            if !reached(in_state) && bb != rewritten.entry() {
+                continue;
+            }
+            let out = transfer(bb, in_state.clone());
+            for succ in rewritten.successors(bb) {
+                let Some(succ_in) = state_in.get_mut(&succ) else {
+                    continue;
+                };
+                for (slot, tags) in out.iter().enumerate() {
+                    for &t in tags {
+                        if succ_in[slot].insert(t) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Reporting walk.
+    for bb in rewritten.block_ids() {
+        let Some(in_state) = state_in.get(&bb) else {
+            continue;
+        };
+        if !reached(in_state) && bb != rewritten.entry() {
+            continue;
+        }
+        let mut state = in_state.clone();
+        for (j, inst) in rewritten.block(bb).insts.iter().enumerate() {
+            match inst {
+                Inst::SpillLoad { dst, slot } => {
+                    let tags = &state[slot.index()];
+                    let has_value = tags
+                        .iter()
+                        .any(|t| matches!(t, Tag::Orig(_) | Tag::Unknown));
+                    if tags.contains(&Tag::Undef) && !has_value {
+                        violations.push(CheckViolation::SpillLoadBeforeStore {
+                            slot: *slot,
+                            block: bb,
+                            idx: j as u32,
+                        });
+                    }
+                    let expected = webs_r.def_web(bb, j as u32, *dst).and_then(|w| mu.get(&w));
+                    if let Some(&exp) = expected {
+                        for t in tags {
+                            if let Tag::Orig(w) = t {
+                                let key = (exp.min(*w), exp.max(*w));
+                                if *w != exp && orig_facts.pairs.contains(&key) {
+                                    violations.push(CheckViolation::SlotAliased {
+                                        slot: *slot,
+                                        block: bb,
+                                        idx: j as u32,
+                                    });
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                Inst::SpillStore { slot, src } => {
+                    let tag = stored_tag(bb, j as u32, *src);
+                    let s = &mut state[slot.index()];
+                    s.clear();
+                    s.insert(tag);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Resolves the register location of one instruction reference.
+fn ref_loc(
+    webs: &Webs,
+    loc: &HashMap<WebId, PhysReg>,
+    bb: BlockId,
+    idx: u32,
+    v: VReg,
+    is_def: bool,
+) -> Option<PhysReg> {
+    let w = if is_def {
+        webs.def_web(bb, idx, v)
+    } else {
+        webs.use_web(bb, idx, v)
+    };
+    w.and_then(|w| loc.get(&w).copied())
+}
+
+/// Step 4: save/restore and shuffle markers are exactly where the crossing
+/// analysis and the final coloring say they must be.
+fn check_markers(
+    rewritten: &Function,
+    webs_r: &Webs,
+    rew_facts: &ScanFacts,
+    loc: &HashMap<WebId, PhysReg>,
+    alloc: &FuncAllocation,
+    violations: &mut Vec<CheckViolation>,
+) {
+    // Callee-save: a marker of `ops == claimed` as the entry block's first
+    // instruction and as every return block's last instruction — nowhere
+    // else — and the distinct callee-save registers actually assigned must
+    // fit within the claimed count.
+    let claimed = alloc.callee_regs_used as u32;
+    let mut distinct: HashSet<PhysReg> = HashSet::new();
+    for reg in loc.values() {
+        if reg.kind == SaveKind::CalleeSave {
+            distinct.insert(*reg);
+        }
+    }
+    if distinct.len() as u32 > claimed {
+        violations.push(CheckViolation::CalleeSaveMismatch {
+            block: rewritten.entry(),
+            idx: 0,
+            expected: distinct.len() as u32,
+            got: claimed,
+        });
+    }
+    for (bb, block) in rewritten.blocks() {
+        let is_return = matches!(block.term, Terminator::Return(_));
+        let last = block.insts.len().saturating_sub(1);
+        for (j, inst) in block.insts.iter().enumerate() {
+            let Inst::Overhead { kind, ops } = inst else {
+                continue;
+            };
+            match kind {
+                OverheadKind::CalleeSave => {
+                    let at_entry = bb == rewritten.entry() && j == 0;
+                    let at_exit = is_return && j == last;
+                    if !(at_entry || at_exit) || *ops != claimed || claimed == 0 {
+                        violations.push(CheckViolation::CalleeSaveMismatch {
+                            block: bb,
+                            idx: j as u32,
+                            expected: if at_entry || at_exit { claimed } else { 0 },
+                            got: *ops,
+                        });
+                    }
+                }
+                OverheadKind::CallerSave => {
+                    // Must front a call; its ops are validated below.
+                    let fronts_call = block.insts.get(j + 1).map(|n| n.is_call()).unwrap_or(false);
+                    if !fronts_call {
+                        violations.push(CheckViolation::CallerSaveMismatch {
+                            block: bb,
+                            idx: j as u32,
+                            expected: 0,
+                            got: *ops,
+                        });
+                    }
+                }
+                OverheadKind::Shuffle => {
+                    // Must front a copy needing one; validated below.
+                    let fronts_copy = block.insts.get(j + 1).map(Inst::is_copy).unwrap_or(false);
+                    if !fronts_copy {
+                        violations.push(CheckViolation::ShuffleMismatch {
+                            block: bb,
+                            idx: j as u32,
+                            expected: 0,
+                            got: *ops,
+                        });
+                    }
+                }
+                OverheadKind::Spill => {}
+            }
+        }
+        if claimed > 0 {
+            if bb == rewritten.entry()
+                && !matches!(
+                    block.insts.first(),
+                    Some(Inst::Overhead {
+                        kind: OverheadKind::CalleeSave,
+                        ..
+                    })
+                )
+            {
+                violations.push(CheckViolation::CalleeSaveMismatch {
+                    block: bb,
+                    idx: 0,
+                    expected: claimed,
+                    got: 0,
+                });
+            }
+            if is_return
+                && !matches!(
+                    block.insts.last(),
+                    Some(Inst::Overhead {
+                        kind: OverheadKind::CalleeSave,
+                        ..
+                    })
+                )
+            {
+                violations.push(CheckViolation::CalleeSaveMismatch {
+                    block: bb,
+                    idx: last as u32,
+                    expected: claimed,
+                    got: 0,
+                });
+            }
+        }
+        // Caller-save around calls, shuffle before copies.
+        for (j, inst) in block.insts.iter().enumerate() {
+            if inst.is_call() {
+                let crossing = rew_facts
+                    .crossings
+                    .get(&(bb, j as u32))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                // Coalesced webs share one register and one save/restore
+                // pair, so count distinct registers, not webs.
+                let live_caller: HashSet<PhysReg> = crossing
+                    .iter()
+                    .filter_map(|w| loc.get(w).copied())
+                    .filter(|r| r.kind == SaveKind::CallerSave)
+                    .collect();
+                let expected = 2 * live_caller.len() as u32;
+                let got = match j.checked_sub(1).and_then(|k| block.insts.get(k)) {
+                    Some(Inst::Overhead {
+                        kind: OverheadKind::CallerSave,
+                        ops,
+                    }) => *ops,
+                    _ => 0,
+                };
+                if got != expected {
+                    violations.push(CheckViolation::CallerSaveMismatch {
+                        block: bb,
+                        idx: j as u32,
+                        expected,
+                        got,
+                    });
+                }
+            }
+            if let Inst::Copy { dst, src } = inst {
+                let dl = ref_loc(webs_r, loc, bb, j as u32, *dst, true);
+                let sl = ref_loc(webs_r, loc, bb, j as u32, *src, false);
+                let expected = match (dl, sl) {
+                    (Some(a), Some(b)) if a != b => 1u32,
+                    _ => 0,
+                };
+                let got = match j.checked_sub(1).and_then(|k| block.insts.get(k)) {
+                    Some(Inst::Overhead {
+                        kind: OverheadKind::Shuffle,
+                        ops,
+                    }) => *ops,
+                    _ => 0,
+                };
+                if got != expected {
+                    violations.push(CheckViolation::ShuffleMismatch {
+                        block: bb,
+                        idx: j as u32,
+                        expected,
+                        got,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Step 5: the claimed overhead equals the overhead recomputed from the
+/// rewritten instruction stream.
+fn check_overhead(
+    rewritten: &Function,
+    freq: &FuncFreq,
+    alloc: &FuncAllocation,
+    violations: &mut Vec<CheckViolation>,
+) {
+    let actual = crate::accounting::weighted_overhead(rewritten, freq);
+    let claimed = &alloc.overhead;
+    for (kind, c, a) in [
+        ("spill", claimed.spill, actual.spill),
+        ("caller_save", claimed.caller_save, actual.caller_save),
+        ("callee_save", claimed.callee_save, actual.callee_save),
+        ("shuffle", claimed.shuffle, actual.shuffle),
+    ] {
+        if (c - a).abs() > 1e-6 {
+            violations.push(CheckViolation::OverheadMismatch {
+                kind,
+                claimed: c,
+                actual: a,
+            });
+        }
+    }
+}
+
+/// Independently verifies one finished allocation.
+///
+/// `original` must be the pre-allocation function (no spill instructions or
+/// overhead markers), `rewritten` and `alloc` the outputs of
+/// [`crate::allocate_function`] (or the degraded fallback) for it, and
+/// `freq` the same frequency information the allocator saw.
+///
+/// # Errors
+///
+/// Returns every invariant violation found. A skeleton mismatch aborts the
+/// remaining checks (they would be meaningless against a rewrite that is
+/// not the original program).
+pub fn check_allocation(
+    original: &Function,
+    rewritten: &Function,
+    freq: &FuncFreq,
+    alloc: &FuncAllocation,
+) -> Result<(), Vec<CheckViolation>> {
+    let mut violations = Vec::new();
+    let Some(skeleton) = match_skeleton(original, rewritten, &mut violations) else {
+        return Err(violations);
+    };
+    let webs_r = Webs::compute(rewritten);
+    let webs_o = Webs::compute(original);
+    let loc = resolve_locations(rewritten, &webs_r, alloc, &mut violations);
+    let rew_facts = scan_interference(rewritten, &webs_r);
+    let orig_facts = scan_interference(original, &webs_o);
+    check_overlap(rewritten, &webs_r, &rew_facts, &loc, &mut violations);
+    let mu = map_to_original(original, rewritten, &webs_o, &webs_r, &skeleton);
+    check_slots(rewritten, &webs_r, &mu, &orig_facts, &mut violations);
+    check_markers(rewritten, &webs_r, &rew_facts, &loc, alloc, &mut violations);
+    check_overhead(rewritten, freq, alloc, &mut violations);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::allocate_function;
+    use crate::types::AllocatorConfig;
+    use ccra_analysis::FrequencyInfo;
+    use ccra_machine::{CostModel, RegisterFile};
+    use ccra_workloads::{random_program, FuzzConfig};
+
+    fn checked_setup() -> (ccra_ir::Program, ccra_ir::FuncId, FrequencyInfo) {
+        let p = random_program(7, &FuzzConfig::default());
+        let id = p.main().expect("main set");
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        (p, id, freq)
+    }
+
+    #[test]
+    fn clean_allocation_passes() {
+        let (p, id, freq) = checked_setup();
+        let f = p.function(id);
+        let (body, alloc) = allocate_function(
+            f,
+            freq.func(id),
+            &RegisterFile::new(6, 4, 2, 2),
+            &AllocatorConfig::improved(),
+            &CostModel::paper(),
+        )
+        .expect("allocation succeeds");
+        let res = check_allocation(f, &body, freq.func(id), &alloc);
+        assert_eq!(res, Ok(()), "checker must accept a clean allocation");
+    }
+
+    #[test]
+    fn corrupted_overhead_claim_is_rejected() {
+        let (p, id, freq) = checked_setup();
+        let f = p.function(id);
+        let (body, mut alloc) = allocate_function(
+            f,
+            freq.func(id),
+            &RegisterFile::new(6, 4, 2, 2),
+            &AllocatorConfig::improved(),
+            &CostModel::paper(),
+        )
+        .expect("allocation succeeds");
+        alloc.overhead.spill += 100.0;
+        let violations =
+            check_allocation(f, &body, freq.func(id), &alloc).expect_err("must reject");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, CheckViolation::OverheadMismatch { kind: "spill", .. })),
+            "expected a spill OverheadMismatch, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn mutated_program_fails_skeleton_check() {
+        let (p, id, freq) = checked_setup();
+        let f = p.function(id);
+        let (mut body, alloc) = allocate_function(
+            f,
+            freq.func(id),
+            &RegisterFile::new(6, 4, 2, 2),
+            &AllocatorConfig::improved(),
+            &CostModel::paper(),
+        )
+        .expect("allocation succeeds");
+        // Drop the first real (non-inserted) instruction anywhere.
+        let (bb, pos) = body
+            .block_ids()
+            .find_map(|bb| {
+                body.block(bb)
+                    .insts
+                    .iter()
+                    .position(|i| !super::is_inserted(i))
+                    .map(|pos| (bb, pos))
+            })
+            .expect("some block has a real instruction");
+        body.block_mut(bb).insts.remove(pos);
+        let violations =
+            check_allocation(f, &body, freq.func(id), &alloc).expect_err("must reject");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, CheckViolation::SkeletonMismatch { .. })),
+            "expected SkeletonMismatch, got {violations:?}"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Typed allocation failures.
+//!
+//! Every allocator entry point returns `Result<_, AllocError>`. Each
+//! variant names the exact invariant that broke and the web/node/register
+//! involved, so a failure in a thousand-function build pinpoints its cause
+//! without a debugger. The pipeline treats every variant as recoverable:
+//! [`crate::allocate_program`] falls back to the degraded spill-everything
+//! allocation (see [`crate::degraded_allocation`]) and emits a `Degraded`
+//! telemetry event rather than aborting the whole program.
+
+use ccra_ir::{BlockId, RegClass, VReg};
+
+/// A register-allocation failure.
+///
+/// Variants are specific by design: the checker and the fallback policy
+/// both need to know *which* invariant failed, and a grab-bag `Internal`
+/// variant would hide exactly the information the telemetry layer exists
+/// to surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// Web analysis found no def web for a defined register — the du-chain
+    /// computation and the instruction stream disagree.
+    MissingDefWeb {
+        /// The defined register with no web.
+        vreg: VReg,
+        /// The block of the defining instruction.
+        block: BlockId,
+        /// The instruction index within the block.
+        idx: u32,
+    },
+    /// Spill insertion had to redirect the def of a call that returns
+    /// nothing — the spilled node's def refs point at a non-defining call.
+    CallWithoutReturn {
+        /// The block of the call.
+        block: BlockId,
+        /// The instruction index within the block.
+        idx: u32,
+    },
+    /// Spill insertion had to redirect the def of an instruction that
+    /// defines nothing (a store or an overhead marker).
+    NoDefToReplace {
+        /// The block of the instruction.
+        block: BlockId,
+        /// The instruction index within the block.
+        idx: u32,
+    },
+    /// Two spilled nodes both claim the def of one instruction — the
+    /// interference graph handed spill insertion overlapping def refs.
+    DuplicateSpilledDef {
+        /// The block of the twice-claimed instruction.
+        block: BlockId,
+        /// The instruction index within the block.
+        idx: u32,
+        /// The register whose def was claimed twice.
+        vreg: VReg,
+    },
+    /// Simplification tried to decrement the degree of a node the bank's
+    /// degree table does not contain — the graph has an edge into another
+    /// bank or a stale node.
+    DegreeUnderflow {
+        /// The node whose removal was being propagated.
+        node: u32,
+        /// The neighbor missing from the degree table.
+        neighbor: u32,
+    },
+    /// Coloring was blocked but no live range was eligible for spilling
+    /// (every candidate is an unspillable spill temporary).
+    NoSpillCandidate {
+        /// The register bank that got stuck.
+        class: RegClass,
+    },
+    /// The spill loop hit its round cap without converging — the register
+    /// file is too small for the instruction shapes, or spilling failed to
+    /// reduce pressure.
+    SpillRoundsExceeded {
+        /// The function that failed to converge.
+        func: String,
+        /// Rounds executed (== the configured cap).
+        rounds: u32,
+        /// Live ranges still uncolored at the last round.
+        remaining_uncolored: usize,
+    },
+    /// The degraded spill-everything fallback itself failed to color the
+    /// residue (parameters and spill temporaries) — the register file
+    /// cannot hold even single-instruction live ranges.
+    DegradedAllocationFailed {
+        /// The function the fallback gave up on.
+        func: String,
+        /// Live ranges still uncolored after spilling everything.
+        remaining_uncolored: usize,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::MissingDefWeb { vreg, block, idx } => {
+                write!(f, "no def web for {vreg} at {block}:{idx}")
+            }
+            AllocError::CallWithoutReturn { block, idx } => {
+                write!(
+                    f,
+                    "spilled def points at a call with no return register at {block}:{idx}"
+                )
+            }
+            AllocError::NoDefToReplace { block, idx } => {
+                write!(
+                    f,
+                    "spilled def points at a non-defining instruction at {block}:{idx}"
+                )
+            }
+            AllocError::DuplicateSpilledDef { block, idx, vreg } => {
+                write!(
+                    f,
+                    "two spilled nodes claim the def of {vreg} at {block}:{idx}"
+                )
+            }
+            AllocError::DegreeUnderflow { node, neighbor } => {
+                write!(
+                    f,
+                    "degree table is missing node {neighbor}, a neighbor of removed node {node}"
+                )
+            }
+            AllocError::NoSpillCandidate { class } => {
+                write!(
+                    f,
+                    "coloring blocked in the {class:?} bank with no spillable live range"
+                )
+            }
+            AllocError::SpillRoundsExceeded {
+                func,
+                rounds,
+                remaining_uncolored,
+            } => {
+                write!(
+                    f,
+                    "allocation of `{func}` did not converge in {rounds} rounds \
+                     ({remaining_uncolored} live ranges still uncolored)"
+                )
+            }
+            AllocError::DegradedAllocationFailed {
+                func,
+                remaining_uncolored,
+            } => {
+                write!(
+                    f,
+                    "degraded allocation of `{func}` left {remaining_uncolored} live ranges \
+                     uncolored"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_entities_involved() {
+        let e = AllocError::MissingDefWeb {
+            vreg: VReg(3),
+            block: BlockId(1),
+            idx: 4,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("v3"), "{msg}");
+        let e = AllocError::SpillRoundsExceeded {
+            func: "main".into(),
+            rounds: 60,
+            remaining_uncolored: 2,
+        };
+        assert!(format!("{e}").contains("main"));
+        assert!(format!("{e}").contains("60"));
+    }
+}

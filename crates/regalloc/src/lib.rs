@@ -49,10 +49,19 @@
 //!
 //! let freq = FrequencyInfo::profile(&program)?;
 //! let out = allocate_program(&program, &freq, RegisterFile::new(8, 4, 2, 2),
-//!                            &AllocatorConfig::improved());
+//!                            &AllocatorConfig::improved())
+//!     .expect("allocation succeeds");
 //! assert!(out.overhead.total() >= 0.0);
 //! # Ok::<(), ccra_analysis::InterpError>(())
 //! ```
+//!
+//! # Robustness
+//!
+//! Every entry point returns `Result<_, `[`AllocError`]`>` with variants
+//! naming the exact web, node, or register involved. The program-level
+//! drivers recover from per-function failures via [`degraded_allocation`],
+//! and the [`check`] module verifies any finished allocation independently
+//! of the allocator that produced it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,6 +70,8 @@ mod accounting;
 mod build;
 mod cbh;
 mod chaitin;
+pub mod check;
+mod error;
 mod graph;
 mod node;
 mod pipeline;
@@ -77,16 +88,18 @@ pub use cbh::{allocate_bank_cbh, allocate_bank_cbh_traced};
 pub use chaitin::{
     allocate_bank_chaitin, allocate_bank_chaitin_traced, preference_decision, BankResult,
 };
+pub use check::{check_allocation, CheckViolation};
+pub use error::AllocError;
 pub use graph::InterferenceGraph;
 pub use node::{CallSite, NodeInfo, SPILL_TEMP_COST};
 pub use pipeline::{
     allocate_function, allocate_function_traced, allocate_program, allocate_program_traced,
-    allocate_program_with, allocate_program_with_traced, count_kinds, FuncAllocation,
-    ProgramAllocation, RangeSummary,
+    allocate_program_with, allocate_program_with_traced, count_kinds, degraded_allocation,
+    FuncAllocation, ProgramAllocation, RangeSummary, RefAssignment,
 };
 pub use priority::{allocate_bank_priority, allocate_bank_priority_traced};
 pub use reconstruct::{reconstruct_context, reconstruct_context_traced};
-pub use rewrite::{insert_overhead_markers, FinalAssignment};
+pub use rewrite::{insert_overhead_markers, FinalAssignment, MarkerRewrite};
 pub use spill::{
     insert_spill_code, insert_spill_code_instrumented, insert_spill_code_traced, SpillRewrite,
     TempRef,

@@ -1,24 +1,44 @@
 //! The end-to-end allocation pipeline of Figure 1: build → coalesce →
 //! order → assign → (reconstruct ∘ spill)* → shuffle/save-restore code.
+//!
+//! Every entry point returns `Result<_, `[`AllocError`]`>`. The
+//! per-function allocators ([`allocate_function`]) are *strict*: any
+//! internal inconsistency or a spill loop that fails to converge within
+//! [`AllocatorConfig::max_spill_rounds`] surfaces as a typed error. The
+//! program-level drivers ([`allocate_program`]) are *resilient*: a function
+//! whose allocation fails falls back to [`degraded_allocation`] — spill
+//! everything, then color the tiny residue — which is always constructible
+//! on any sane register file, and the failure is reported through the
+//! telemetry sink as a `degraded` event instead of aborting the build.
 
 use std::collections::HashMap;
 
 use ccra_analysis::{FrequencyInfo, FuncFreq};
-use ccra_ir::{FuncId, Function, Program, RegClass};
+use ccra_ir::{BlockId, FuncId, Function, Program, RegClass, VReg};
 use ccra_machine::{CostModel, PhysReg, RegisterFile, SaveKind};
 
 use crate::build::{build_context_traced, FuncContext};
 use crate::cbh::allocate_bank_cbh_traced;
 use crate::chaitin::{allocate_bank_chaitin_traced, BankResult};
+use crate::error::AllocError;
 use crate::priority::allocate_bank_priority_traced;
-use crate::rewrite::{insert_overhead_markers, FinalAssignment};
+use crate::rewrite::{insert_overhead_markers, FinalAssignment, MarkerRewrite};
 use crate::trace::{
-    span_start, AllocEvent, AllocSink, FuncSummary, NoopSink, ProgramSummary, RoundStats, TraceCtx,
+    span_start, AllocEvent, AllocSink, DegradedInfo, FuncSummary, NoopSink, ProgramSummary,
+    RoundStats, TraceCtx,
 };
 use crate::types::{AllocatorConfig, AllocatorKind, Loc, Overhead};
 
-/// Hard cap on spill iterations; exceeded only by pathological inputs.
-const MAX_ROUNDS: u32 = 60;
+/// Per-reference register claims of one allocation: the physical register
+/// holding each def and use of every colored live range, keyed by its
+/// `(block, instruction index, vreg, is_def)` site in the **final rewritten
+/// body** (spill code and overhead markers included; terminator references
+/// carry `idx == insts.len()`). The `is_def` flag disambiguates an
+/// instruction that defs and uses the same vreg — those references belong
+/// to two different webs, which may be in different registers. The
+/// independent checker ([`crate::check`]) joins these claims by webs it
+/// recomputes itself.
+pub type RefAssignment = HashMap<(BlockId, u32, VReg, bool), PhysReg>;
 
 /// A summary of one colored live range, for inspection and tests.
 #[derive(Debug, Clone)]
@@ -53,6 +73,11 @@ pub struct FuncAllocation {
     /// Final-round live ranges with their locations (spill temporaries from
     /// earlier rounds included).
     pub ranges: Vec<RangeSummary>,
+    /// The final per-reference register claims (see [`RefAssignment`]).
+    pub assignment: RefAssignment,
+    /// Whether this allocation came from the [`degraded_allocation`]
+    /// fallback rather than the configured allocator.
+    pub degraded: bool,
 }
 
 /// The result of allocating a whole program.
@@ -78,22 +103,45 @@ fn allocate_banks_traced(
     file: &RegisterFile,
     config: &AllocatorConfig,
     tr: &mut TraceCtx<'_>,
-) -> BankResult {
+) -> Result<BankResult, AllocError> {
     let mut merged = BankResult::default();
     for class in RegClass::ALL {
         let res = match config.kind {
             AllocatorKind::Chaitin | AllocatorKind::Optimistic => {
-                allocate_bank_chaitin_traced(ctx, class, file, config, tr)
+                allocate_bank_chaitin_traced(ctx, class, file, config, tr)?
             }
             AllocatorKind::Priority(ordering) => {
-                allocate_bank_priority_traced(ctx, class, file, ordering, tr)
+                allocate_bank_priority_traced(ctx, class, file, ordering, tr)?
             }
-            AllocatorKind::Cbh => allocate_bank_cbh_traced(ctx, class, file, tr),
+            AllocatorKind::Cbh => allocate_bank_cbh_traced(ctx, class, file, tr)?,
         };
         merged.colors.extend(res.colors);
         merged.spilled.extend(res.spilled);
     }
-    merged
+    Ok(merged)
+}
+
+/// Collects the per-reference register claims of the final coloring,
+/// remapped through the marker rewrite onto the final instruction stream.
+fn claim_refs(
+    body: &Function,
+    ctx: &FuncContext,
+    colors: &HashMap<u32, PhysReg>,
+    rw: &MarkerRewrite,
+) -> RefAssignment {
+    let mut refs = RefAssignment::new();
+    for (n, node) in ctx.nodes.iter().enumerate() {
+        let Some(&reg) = colors.get(&(n as u32)) else {
+            continue;
+        };
+        for (refs_of_kind, is_def) in [(&node.defs, true), (&node.uses, false)] {
+            for &(bb, idx, v) in refs_of_kind {
+                let term_idx = body.block(bb).insts.len() as u32;
+                refs.insert((bb, rw.remap(bb, idx, term_idx), v, is_def), reg);
+            }
+        }
+    }
+    refs
 }
 
 /// Allocates registers for one function, iterating spill rounds until no
@@ -102,18 +150,21 @@ fn allocate_banks_traced(
 /// Returns the rewritten function (spill code plus overhead markers) and
 /// the allocation summary.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the allocation does not converge within 60 rounds
-/// (which would indicate a register file too small for the instruction
-/// shapes — impossible at the MIPS calling-convention minimum).
+/// Returns [`AllocError::SpillRoundsExceeded`] if the allocation does not
+/// converge within [`AllocatorConfig::max_spill_rounds`] rounds (a register
+/// file too small for the instruction shapes — impossible at the MIPS
+/// calling-convention minimum), and propagates any internal-consistency
+/// error from the phases. The program-level [`allocate_program`] recovers
+/// from all of these via [`degraded_allocation`].
 pub fn allocate_function(
     f: &Function,
     freq: &FuncFreq,
     file: &RegisterFile,
     config: &AllocatorConfig,
     cost: &CostModel,
-) -> (Function, FuncAllocation) {
+) -> Result<(Function, FuncAllocation), AllocError> {
     let mut sink = NoopSink;
     allocate_function_traced(f, freq, file, config, cost, &mut sink)
 }
@@ -128,22 +179,17 @@ pub fn allocate_function_traced(
     config: &AllocatorConfig,
     cost: &CostModel,
     sink: &mut dyn AllocSink,
-) -> (Function, FuncAllocation) {
+) -> Result<(Function, FuncAllocation), AllocError> {
     let name = f.name().to_string();
     let mut body = f.clone();
     let mut spilled_ranges = 0usize;
     let mut rounds = 0u32;
     let mut ctx = {
         let mut tr = TraceCtx::new(sink, &name, 1);
-        build_context_traced(&body, freq, cost, &mut tr)
+        build_context_traced(&body, freq, cost, &mut tr)?
     };
     loop {
         rounds += 1;
-        assert!(
-            rounds <= MAX_ROUNDS,
-            "register allocation of `{}` did not converge in {MAX_ROUNDS} rounds",
-            f.name()
-        );
         let mut tr = TraceCtx::new(sink, &name, rounds);
         if tr.enabled() {
             let max_degree = (0..ctx.nodes.len() as u32)
@@ -158,13 +204,14 @@ pub fn allocate_function_traced(
                 max_degree,
             }));
         }
-        let result = allocate_banks_traced(&ctx, file, config, &mut tr);
+        let result = allocate_banks_traced(&ctx, file, config, &mut tr)?;
         if result.spilled.is_empty() {
             let assignment = FinalAssignment {
                 colors: result.colors.clone(),
             };
             let callee_regs_used = assignment.callee_regs_used().len();
-            insert_overhead_markers(&mut body, &ctx, &assignment);
+            let marker_rw = insert_overhead_markers(&mut body, &ctx, &assignment);
+            let refs = claim_refs(&body, &ctx, &result.colors, &marker_rw);
             let overhead = crate::accounting::weighted_overhead(&body, freq);
             let ranges = summarize(&ctx, &result.colors);
             if tr.enabled() {
@@ -185,12 +232,25 @@ pub fn allocate_function_traced(
                 spilled_ranges,
                 callee_regs_used,
                 ranges,
+                assignment: refs,
+                degraded: false,
             };
-            return (body, alloc);
+            return Ok((body, alloc));
+        }
+        if rounds >= config.max_spill_rounds {
+            return Err(AllocError::SpillRoundsExceeded {
+                func: name,
+                rounds,
+                remaining_uncolored: result.spilled.len(),
+            });
         }
         spilled_ranges += result.spilled.len();
-        let rewrite =
-            crate::spill::insert_spill_code_instrumented(&mut body, &ctx, &result.spilled, &mut tr);
+        let rewrite = crate::spill::insert_spill_code_instrumented(
+            &mut body,
+            &ctx,
+            &result.spilled,
+            &mut tr,
+        )?;
         ctx = if config.incremental_reconstruction {
             crate::reconstruct::reconstruct_context_traced(
                 &ctx,
@@ -201,9 +261,91 @@ pub fn allocate_function_traced(
             )
         } else {
             let mut tr = TraceCtx::new(sink, &name, rounds + 1);
-            build_context_traced(&body, freq, cost, &mut tr)
+            build_context_traced(&body, freq, cost, &mut tr)?
         };
     }
+}
+
+/// The spill-everything fallback: always constructible, always
+/// checker-clean, never cost-directed.
+///
+/// Round one spills **every** live range; round two colors the residue —
+/// parameter webs and single-instruction spill temporaries — with the base
+/// allocator, which colors tiny ranges on any register file meeting the
+/// calling-convention minimum. Used by [`allocate_program`] when the
+/// configured allocator returns an error.
+///
+/// # Errors
+///
+/// Returns [`AllocError::DegradedAllocationFailed`] if even the residue
+/// cannot be colored (a register file below the ABI minimum for the
+/// instruction shapes), and propagates context-construction errors.
+pub fn degraded_allocation(
+    f: &Function,
+    freq: &FuncFreq,
+    file: &RegisterFile,
+    cost: &CostModel,
+    sink: &mut dyn AllocSink,
+) -> Result<(Function, FuncAllocation), AllocError> {
+    let name = f.name().to_string();
+    let mut body = f.clone();
+
+    // Round 1: spill every live range.
+    let spilled_ranges;
+    {
+        let mut tr = TraceCtx::new(sink, &name, 1);
+        let ctx = build_context_traced(&body, freq, cost, &mut tr)?;
+        let all: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
+        spilled_ranges = all.len();
+        crate::spill::insert_spill_code_instrumented(&mut body, &ctx, &all, &mut tr)?;
+    }
+
+    // Round 2: color the residue (parameter webs and spill temporaries,
+    // all spanning a single instruction) with the base allocator, which
+    // never spills a range that fits a register.
+    let config = AllocatorConfig::base();
+    let mut tr = TraceCtx::new(sink, &name, 2);
+    let ctx = build_context_traced(&body, freq, cost, &mut tr)?;
+    let result = allocate_banks_traced(&ctx, file, &config, &mut tr)?;
+    if !result.spilled.is_empty() {
+        return Err(AllocError::DegradedAllocationFailed {
+            func: name,
+            remaining_uncolored: result.spilled.len(),
+        });
+    }
+
+    let assignment = FinalAssignment {
+        colors: result.colors.clone(),
+    };
+    let callee_regs_used = assignment.callee_regs_used().len();
+    let marker_rw = insert_overhead_markers(&mut body, &ctx, &assignment);
+    let refs = claim_refs(&body, &ctx, &result.colors, &marker_rw);
+    let overhead = crate::accounting::weighted_overhead(&body, freq);
+    let ranges = summarize(&ctx, &result.colors);
+    if tr.enabled() {
+        tr.emit(AllocEvent::Func(FuncSummary {
+            func: name.clone(),
+            rounds: 2,
+            spilled_ranges,
+            callee_regs_used,
+            spill: overhead.spill,
+            caller_save: overhead.caller_save,
+            callee_save: overhead.callee_save,
+            shuffle: overhead.shuffle,
+        }));
+    }
+    Ok((
+        body,
+        FuncAllocation {
+            overhead,
+            rounds: 2,
+            spilled_ranges,
+            callee_regs_used,
+            ranges,
+            assignment: refs,
+            degraded: true,
+        },
+    ))
 }
 
 fn summarize(ctx: &FuncContext, colors: &HashMap<u32, PhysReg>) -> Vec<RangeSummary> {
@@ -229,12 +371,18 @@ fn summarize(ctx: &FuncContext, colors: &HashMap<u32, PhysReg>) -> Vec<RangeSumm
 /// Register allocation is intra-procedural, exactly as in the paper: each
 /// function is colored independently; the frequencies supply the
 /// inter-procedural weights (invocation counts drive callee-save cost).
+///
+/// # Errors
+///
+/// A function whose allocation fails falls back to
+/// [`degraded_allocation`]; only a failure of the fallback itself (a
+/// register file below the ABI minimum) surfaces as an error.
 pub fn allocate_program(
     program: &Program,
     freq: &FrequencyInfo,
     file: RegisterFile,
     config: &AllocatorConfig,
-) -> ProgramAllocation {
+) -> Result<ProgramAllocation, AllocError> {
     allocate_program_with(program, freq, file, config, &CostModel::paper())
 }
 
@@ -245,7 +393,7 @@ pub fn allocate_program_with(
     file: RegisterFile,
     config: &AllocatorConfig,
     cost: &CostModel,
-) -> ProgramAllocation {
+) -> Result<ProgramAllocation, AllocError> {
     let mut sink = NoopSink;
     allocate_program_with_traced(program, freq, file, config, cost, &mut sink)
 }
@@ -260,14 +408,16 @@ pub fn allocate_program_traced(
     file: RegisterFile,
     config: &AllocatorConfig,
     sink: &mut dyn AllocSink,
-) -> ProgramAllocation {
+) -> Result<ProgramAllocation, AllocError> {
     allocate_program_with_traced(program, freq, file, config, &CostModel::paper(), sink)
 }
 
 /// Like [`allocate_program_with`], emitting telemetry through `sink`: the
 /// full per-function event stream of [`allocate_function_traced`] plus a
 /// closing [`ProgramSummary`] carrying the whole-program overhead and the
-/// total allocation wall-clock time.
+/// total allocation wall-clock time. A function that falls back to
+/// [`degraded_allocation`] additionally emits a `degraded` event naming
+/// the error that triggered the fallback.
 pub fn allocate_program_with_traced(
     program: &Program,
     freq: &FrequencyInfo,
@@ -275,13 +425,25 @@ pub fn allocate_program_with_traced(
     config: &AllocatorConfig,
     cost: &CostModel,
     sink: &mut dyn AllocSink,
-) -> ProgramAllocation {
+) -> Result<ProgramAllocation, AllocError> {
     let start = span_start(sink);
     let mut rewritten = Program::new();
     let mut per_func = Vec::with_capacity(program.num_functions());
     let mut overhead = Overhead::zero();
     for (id, f) in program.functions() {
-        let (body, alloc) = allocate_function_traced(f, freq.func(id), &file, config, cost, sink);
+        let strict = allocate_function_traced(f, freq.func(id), &file, config, cost, sink);
+        let (body, alloc) = match strict {
+            Ok(done) => done,
+            Err(err) => {
+                if sink.enabled() {
+                    sink.emit(AllocEvent::Degraded(DegradedInfo {
+                        func: f.name().to_string(),
+                        reason: err.to_string(),
+                    }));
+                }
+                degraded_allocation(f, freq.func(id), &file, cost, sink)?
+            }
+        };
         overhead += alloc.overhead;
         rewritten.add_function(body);
         per_func.push(alloc);
@@ -300,11 +462,11 @@ pub fn allocate_program_with_traced(
             micros: t.elapsed().as_micros() as u64,
         }));
     }
-    ProgramAllocation {
+    Ok(ProgramAllocation {
         program: rewritten,
         per_func,
         overhead,
-    }
+    })
 }
 
 /// Counts how many caller-save registers of each bank the final coloring
@@ -324,6 +486,7 @@ pub fn count_kinds(alloc: &FuncAllocation) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::RecordingSink;
     use ccra_analysis::{InterpConfig, Value};
     use ccra_ir::{BinOp, Callee, CmpOp, FunctionBuilder, RegClass};
 
@@ -369,10 +532,10 @@ mod tests {
     fn allocation_preserves_semantics_under_all_allocators() {
         let p = workload(9, 13);
         let expect = ccra_analysis::run(&p, &InterpConfig::default())
-            .unwrap()
+            .expect("program runs")
             .result;
         assert_eq!(expect, Some(Value::Int(9 * 10 / 2 * 13)));
-        let freq = FrequencyInfo::profile(&p).unwrap();
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
         let file = RegisterFile::new(6, 4, 1, 0); // tight: forces spills
         for config in [
             AllocatorConfig::base(),
@@ -382,9 +545,10 @@ mod tests {
             AllocatorConfig::priority(crate::PriorityOrdering::Sorting),
             AllocatorConfig::cbh(),
         ] {
-            let out = allocate_program(&p, &freq, file, &config);
-            out.program.verify().unwrap();
-            let stats = ccra_analysis::run(&out.program, &InterpConfig::default()).unwrap();
+            let out = allocate_program(&p, &freq, file, &config).expect("allocation succeeds");
+            out.program.verify().expect("rewritten program verifies");
+            let stats =
+                ccra_analysis::run(&out.program, &InterpConfig::default()).expect("program runs");
             assert_eq!(stats.result, expect, "{config:?} changed semantics");
         }
     }
@@ -392,11 +556,12 @@ mod tests {
     #[test]
     fn measured_overhead_matches_weighted_overhead() {
         let p = workload(10, 17);
-        let freq = FrequencyInfo::profile(&p).unwrap();
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
         let file = RegisterFile::new(6, 4, 2, 0);
         for config in [AllocatorConfig::base(), AllocatorConfig::improved()] {
-            let out = allocate_program(&p, &freq, file, &config);
-            let stats = ccra_analysis::run(&out.program, &InterpConfig::default()).unwrap();
+            let out = allocate_program(&p, &freq, file, &config).expect("allocation succeeds");
+            let stats =
+                ccra_analysis::run(&out.program, &InterpConfig::default()).expect("program runs");
             let measured = crate::accounting::measured_overhead(&stats);
             let analytic = out.overhead;
             for (m, a) in [
@@ -456,13 +621,15 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
         // Caller-save registers only: the base allocator must keep the cold
         // values (which cross 100 call executions) in caller-save registers
         // at 200 ops each; improved spills them at 2 ops each.
         let file = RegisterFile::new(12, 4, 0, 0);
-        let base = allocate_program(&p, &freq, file, &AllocatorConfig::base());
-        let improved = allocate_program(&p, &freq, file, &AllocatorConfig::improved());
+        let base =
+            allocate_program(&p, &freq, file, &AllocatorConfig::base()).expect("base allocates");
+        let improved = allocate_program(&p, &freq, file, &AllocatorConfig::improved())
+            .expect("improved allocates");
         assert!(
             improved.overhead.total() * 1.5 < base.overhead.total(),
             "improved {} vs base {}",
@@ -476,14 +643,15 @@ mod tests {
     #[test]
     fn count_kinds_reports_distinct_registers() {
         let p = workload(6, 5);
-        let freq = FrequencyInfo::profile(&p).unwrap();
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
         let out = allocate_program(
             &p,
             &freq,
             RegisterFile::new(8, 6, 3, 2),
             &AllocatorConfig::base(),
-        );
-        let fa = out.func(p.main().unwrap());
+        )
+        .expect("allocation succeeds");
+        let fa = out.func(p.main().expect("main set"));
         let (caller, callee) = count_kinds(fa);
         assert!(caller + callee > 0, "something must be in registers");
         assert_eq!(callee, fa.callee_regs_used);
@@ -493,29 +661,33 @@ mod tests {
     #[test]
     fn rounds_and_spills_reported() {
         let p = workload(12, 5);
-        let freq = FrequencyInfo::profile(&p).unwrap();
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
         let file = RegisterFile::new(6, 4, 0, 0);
-        let out = allocate_program(&p, &freq, file, &AllocatorConfig::base());
-        let fa = out.func(p.main().unwrap());
+        let out =
+            allocate_program(&p, &freq, file, &AllocatorConfig::base()).expect("base allocates");
+        let fa = out.func(p.main().expect("main set"));
         assert!(fa.rounds >= 2, "spilling requires another round");
         assert!(fa.spilled_ranges > 0);
         assert!(fa.overhead.spill > 0.0);
+        assert!(!fa.degraded);
     }
 
     #[test]
     fn incremental_reconstruction_preserves_semantics_and_quality() {
         let p = workload(12, 9);
         let expect = ccra_analysis::run(&p, &InterpConfig::default())
-            .unwrap()
+            .expect("program runs")
             .result;
-        let freq = FrequencyInfo::profile(&p).unwrap();
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
         for file in [RegisterFile::new(6, 4, 0, 0), RegisterFile::new(8, 6, 2, 2)] {
             for base_config in [AllocatorConfig::base(), AllocatorConfig::improved()] {
-                let rebuilt = allocate_program(&p, &freq, file, &base_config);
-                let recon = allocate_program(&p, &freq, file, &base_config.with_reconstruction());
-                recon.program.verify().unwrap();
+                let rebuilt =
+                    allocate_program(&p, &freq, file, &base_config).expect("rebuild allocates");
+                let recon = allocate_program(&p, &freq, file, &base_config.with_reconstruction())
+                    .expect("reconstruction allocates");
+                recon.program.verify().expect("rewritten program verifies");
                 let got = ccra_analysis::run(&recon.program, &InterpConfig::default())
-                    .unwrap()
+                    .expect("program runs")
                     .result;
                 assert_eq!(got, expect, "reconstruction changed semantics");
                 // The conservative graph may cost somewhat more, never an
@@ -537,21 +709,117 @@ mod tests {
         // analysis spills when memory is cheaper than any register) but
         // must never end up with a higher total.
         let p = workload(8, 10);
-        let freq = FrequencyInfo::profile(&p).unwrap();
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
         let base = allocate_program(
             &p,
             &freq,
             RegisterFile::mips_full(),
             &AllocatorConfig::base(),
-        );
+        )
+        .expect("base allocates");
         assert_eq!(base.overhead.spill, 0.0);
-        assert_eq!(base.func(p.main().unwrap()).rounds, 1);
+        assert_eq!(base.func(p.main().expect("main set")).rounds, 1);
         let improved = allocate_program(
             &p,
             &freq,
             RegisterFile::mips_full(),
             &AllocatorConfig::improved(),
-        );
+        )
+        .expect("improved allocates");
         assert!(improved.overhead.total() <= base.overhead.total());
+    }
+
+    #[test]
+    fn spill_round_cap_returns_typed_error() {
+        let p = workload(12, 5);
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        let file = RegisterFile::new(6, 4, 0, 0); // tight: round 1 spills
+        let config = AllocatorConfig::base().with_max_spill_rounds(1);
+        let id = p.main().expect("main set");
+        let err = allocate_function(
+            p.function(id),
+            freq.func(id),
+            &file,
+            &config,
+            &ccra_machine::CostModel::paper(),
+        )
+        .expect_err("one round cannot converge");
+        match err {
+            AllocError::SpillRoundsExceeded {
+                func,
+                rounds,
+                remaining_uncolored,
+            } => {
+                assert_eq!(func, "main");
+                assert_eq!(rounds, 1);
+                assert!(remaining_uncolored > 0);
+            }
+            other => unreachable!("expected SpillRoundsExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_allocation_degrades_instead_of_failing() {
+        let p = workload(12, 5);
+        let expect = ccra_analysis::run(&p, &InterpConfig::default())
+            .expect("program runs")
+            .result;
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        let file = RegisterFile::new(6, 4, 0, 0);
+        let config = AllocatorConfig::base().with_max_spill_rounds(1);
+        let mut sink = RecordingSink::new();
+        let out = allocate_program_traced(&p, &freq, file, &config, &mut sink)
+            .expect("the degraded fallback absorbs the round-cap failure");
+        let fa = out.func(p.main().expect("main set"));
+        assert!(fa.degraded, "the fallback must report itself");
+        assert!(
+            sink.events
+                .iter()
+                .any(|e| matches!(e, AllocEvent::Degraded(d) if d.func == "main")),
+            "a degraded event names the function"
+        );
+        out.program.verify().expect("rewritten program verifies");
+        let got = ccra_analysis::run(&out.program, &InterpConfig::default())
+            .expect("program runs")
+            .result;
+        assert_eq!(got, expect, "the degraded allocation changed semantics");
+    }
+
+    #[test]
+    fn assignment_claims_cover_register_references() {
+        let p = workload(5, 7);
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        let out = allocate_program(
+            &p,
+            &freq,
+            RegisterFile::mips_full(),
+            &AllocatorConfig::improved(),
+        )
+        .expect("allocation succeeds");
+        let id = p.main().expect("main set");
+        let fa = out.func(id);
+        assert!(!fa.assignment.is_empty());
+        // Every claim addresses a real reference in the rewritten body.
+        let f = out.program.function(id);
+        for &(bb, idx, v, is_def) in fa.assignment.keys() {
+            let insts = &f.block(bb).insts;
+            if (idx as usize) < insts.len() {
+                let inst = &insts[idx as usize];
+                let mut uses = Vec::new();
+                inst.collect_uses(&mut uses);
+                assert!(
+                    if is_def {
+                        inst.def() == Some(v)
+                    } else {
+                        uses.contains(&v)
+                    },
+                    "claim ({bb:?},{idx},{v:?},{is_def}) does not match {inst:?}"
+                );
+            } else {
+                assert_eq!(idx as usize, insts.len(), "terminator claims use len()");
+                assert_eq!(f.block(bb).term.use_reg(), Some(v));
+                assert!(!is_def, "terminator references are uses");
+            }
+        }
     }
 }

@@ -8,6 +8,7 @@ use ccra_machine::{PhysReg, RegisterFile, SaveKind};
 
 use crate::build::FuncContext;
 use crate::chaitin::{emit_bank_decisions, BankResult, DecisionMeta};
+use crate::error::AllocError;
 use crate::trace::{Phase, TraceCtx};
 use crate::types::PriorityOrdering;
 
@@ -39,7 +40,7 @@ pub fn allocate_bank_priority(
     class: RegClass,
     file: &RegisterFile,
     ordering: PriorityOrdering,
-) -> BankResult {
+) -> Result<BankResult, AllocError> {
     let mut sink = crate::trace::NoopSink;
     let mut tr = TraceCtx::new(&mut sink, "", 1);
     allocate_bank_priority_traced(ctx, class, file, ordering, &mut tr)
@@ -53,7 +54,7 @@ pub fn allocate_bank_priority_traced(
     file: &RegisterFile,
     ordering: PriorityOrdering,
     tr: &mut TraceCtx<'_>,
-) -> BankResult {
+) -> Result<BankResult, AllocError> {
     let bank = ctx.bank_nodes(class);
     let n_colors = file.bank_size(class);
     if n_colors == 0 {
@@ -69,7 +70,7 @@ pub fn allocate_bank_priority_traced(
             };
             emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
         }
-        return result;
+        return Ok(result);
     }
 
     // Build the color stack bottom-to-top.
@@ -107,18 +108,24 @@ pub fn allocate_bank_priority_traced(
                 if unconstrained.is_empty() {
                     break;
                 }
-                match ordering {
-                    PriorityOrdering::RemovingUnconstrained => unconstrained.sort_unstable(),
-                    PriorityOrdering::SortingUnconstrained => {
-                        sort_by_priority(ctx, &mut unconstrained)
-                    }
-                    PriorityOrdering::Sorting => unreachable!(),
+                if ordering == PriorityOrdering::SortingUnconstrained {
+                    sort_by_priority(ctx, &mut unconstrained);
+                } else {
+                    unconstrained.sort_unstable();
                 }
                 let n = unconstrained[0];
                 alive.remove(&n);
                 for &m in ctx.graph.neighbors(n) {
                     if alive.contains(&m) {
-                        *degree.get_mut(&m).unwrap() -= 1;
+                        match degree.get_mut(&m) {
+                            Some(d) => *d -= 1,
+                            None => {
+                                return Err(AllocError::DegreeUnderflow {
+                                    node: n,
+                                    neighbor: m,
+                                })
+                            }
+                        }
                     }
                 }
                 stack.push(n);
@@ -201,7 +208,7 @@ pub fn allocate_bank_priority_traced(
         };
         emit_bank_decisions(tr, ctx, class, &result, &reasons, &meta);
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -216,8 +223,8 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(f);
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        build_context(p.function(id), freq.func(id), &CostModel::paper())
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        build_context(p.function(id), freq.func(id), &CostModel::paper()).expect("context builds")
     }
 
     /// k values live at once, with value j referenced `w[j]` times inside a
@@ -272,7 +279,8 @@ mod tests {
             PriorityOrdering::SortingUnconstrained,
             PriorityOrdering::Sorting,
         ] {
-            let res = allocate_bank_priority(&ctx, RegClass::Int, &file, ordering);
+            let res = allocate_bank_priority(&ctx, RegClass::Int, &file, ordering)
+                .expect("bank allocates");
             for (&a, &ra) in &res.colors {
                 for (&b, &rb) in &res.colors {
                     if a != b && ctx.graph.interferes(a, b) {
@@ -289,7 +297,8 @@ mod tests {
         // keep the hottest values in registers and spill the coldest.
         let ctx = ctx_for(weighted_pressure(&[1, 1, 1, 1, 1, 1, 1, 10, 10, 10]));
         let file = RegisterFile::new(6, 4, 0, 0);
-        let res = allocate_bank_priority(&ctx, RegClass::Int, &file, PriorityOrdering::Sorting);
+        let res = allocate_bank_priority(&ctx, RegClass::Int, &file, PriorityOrdering::Sorting)
+            .expect("bank allocates");
         assert!(!res.spilled.is_empty());
         let hottest = ctx
             .bank_nodes(RegClass::Int)
@@ -298,9 +307,9 @@ mod tests {
                 ctx.nodes[a as usize]
                     .priority()
                     .partial_cmp(&ctx.nodes[b as usize].priority())
-                    .unwrap()
+                    .expect("priorities are comparable")
             })
-            .unwrap();
+            .expect("bank is non-empty");
         assert!(
             res.colors.contains_key(&hottest),
             "the highest-priority node must receive a register"
@@ -368,8 +377,9 @@ mod tests {
         let main_id = p.add_function(b.finish());
         p.set_main(main_id);
 
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(g_id), freq.func(g_id), &CostModel::paper());
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        let ctx = build_context(p.function(g_id), freq.func(g_id), &CostModel::paper())
+            .expect("context builds");
         // x is defined by the first instruction of g's entry block.
         let x_node = ctx
             .def_node(p.function(g_id).entry(), 0, x)
@@ -383,7 +393,8 @@ mod tests {
             ctx.nodes[x_node as usize].callee_cost
         );
         let file = RegisterFile::new(8, 4, 4, 0);
-        let res = allocate_bank_priority(&ctx, RegClass::Int, &file, PriorityOrdering::Sorting);
+        let res = allocate_bank_priority(&ctx, RegClass::Int, &file, PriorityOrdering::Sorting)
+            .expect("bank allocates");
         assert!(res.spilled.contains(&x_node));
     }
 }

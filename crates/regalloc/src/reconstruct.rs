@@ -250,19 +250,21 @@ mod tests {
     #[test]
     fn reconstruction_is_a_superset_of_rebuild() {
         let p = sample_program();
-        let id = p.main().unwrap();
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let id = p.main().expect("main set");
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         // Spill two mid-cost nodes.
         let spilled: Vec<u32> = (0..ctx.nodes.len() as u32)
             .filter(|&n| !ctx.nodes[n as usize].is_spill_temp)
             .take(2)
             .collect();
         let mut body = p.function(id).clone();
-        let rw = insert_spill_code_traced(&mut body, &ctx, &spilled);
+        let rw = insert_spill_code_traced(&mut body, &ctx, &spilled).expect("spill code inserts");
         assert!(rw.inserted > 0);
         let recon = reconstruct_context(&ctx, &rw, &spilled, &body);
-        let rebuilt = build_context(&body, freq.func(id), &CostModel::paper());
+        let rebuilt =
+            build_context(&body, freq.func(id), &CostModel::paper()).expect("context builds");
 
         assert_eq!(
             recon.nodes.len(),
@@ -286,7 +288,7 @@ mod tests {
                 .iter()
                 .chain(&node.uses)
                 .find_map(|&(bb, i, v)| recon_of_ref.get(&(bb.0, i, v.0)).copied())
-                .unwrap_or_else(|| panic!("rebuilt node {n} has no counterpart: {node:?}"))
+                .unwrap_or_else(|| unreachable!("rebuilt node {n} has no counterpart: {node:?}"))
         };
         for a in 0..rebuilt.nodes.len() as u32 {
             for &b in rebuilt.graph.neighbors(a) {
@@ -304,14 +306,15 @@ mod tests {
     #[test]
     fn reconstruction_remaps_callsites() {
         let p = sample_program();
-        let id = p.main().unwrap();
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let id = p.main().expect("main set");
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         let spilled: Vec<u32> = (0..2u32)
             .filter(|&n| !ctx.nodes[n as usize].is_spill_temp)
             .collect();
         let mut body = p.function(id).clone();
-        let rw = insert_spill_code_traced(&mut body, &ctx, &spilled);
+        let rw = insert_spill_code_traced(&mut body, &ctx, &spilled).expect("spill code inserts");
         let recon = reconstruct_context(&ctx, &rw, &spilled, &body);
         for site in &recon.callsites {
             assert!(

@@ -40,15 +40,40 @@ impl FinalAssignment {
     }
 }
 
+/// How marker insertion rewrote the instruction stream.
+#[derive(Debug, Clone, Default)]
+pub struct MarkerRewrite {
+    /// Marker instructions inserted.
+    pub inserted: usize,
+    /// Per block: new index of each pre-marker instruction. A reference
+    /// recorded at the old `insts.len()` (a terminator use) maps to the new
+    /// `insts.len()`.
+    pub index_maps: HashMap<BlockId, Vec<u32>>,
+}
+
+impl MarkerRewrite {
+    /// Maps a pre-marker instruction index in `bb` to its post-marker
+    /// index; indices past the end of the map (terminator uses) map to
+    /// `term_idx`, the new `insts.len()`.
+    pub fn remap(&self, bb: BlockId, idx: u32, term_idx: u32) -> u32 {
+        match self.index_maps.get(&bb).and_then(|m| m.get(idx as usize)) {
+            Some(&new_idx) => new_idx,
+            None => term_idx,
+        }
+    }
+}
+
 /// Inserts overhead markers into `f` according to the final assignment.
 ///
 /// `ctx` must describe the *current* body of `f`. Returns the number of
-/// marker instructions inserted.
+/// marker instructions inserted and the per-block index remapping (so
+/// per-reference claims recorded against the pre-marker stream can be
+/// carried over to the final one).
 pub fn insert_overhead_markers(
     f: &mut Function,
     ctx: &FuncContext,
     assignment: &FinalAssignment,
-) -> usize {
+) -> MarkerRewrite {
     // Caller-save pairs per call site: 2 ops per crossing caller-save node.
     let mut call_ops: HashMap<(BlockId, u32), u32> = HashMap::new();
     for (n, node) in ctx.nodes.iter().enumerate() {
@@ -66,11 +91,12 @@ pub fn insert_overhead_markers(
 
     let callee_count = assignment.callee_regs_used().len() as u32;
 
-    let mut inserted = 0usize;
+    let mut rewrite = MarkerRewrite::default();
     let blocks: Vec<BlockId> = f.block_ids().collect();
     for bb in blocks {
         let old = std::mem::take(&mut f.block_mut(bb).insts);
         let mut new_insts: Vec<Inst> = Vec::with_capacity(old.len() + 2);
+        let mut index_map: Vec<u32> = Vec::with_capacity(old.len());
 
         // Callee-save saves at entry.
         if bb == f.entry() && callee_count > 0 {
@@ -78,7 +104,7 @@ pub fn insert_overhead_markers(
                 kind: OverheadKind::CalleeSave,
                 ops: callee_count,
             });
-            inserted += 1;
+            rewrite.inserted += 1;
         }
 
         for (i, inst) in old.into_iter().enumerate() {
@@ -88,7 +114,7 @@ pub fn insert_overhead_markers(
                     kind: OverheadKind::CallerSave,
                     ops,
                 });
-                inserted += 1;
+                rewrite.inserted += 1;
             }
             // Shuffle moves: copies whose ends live in different registers.
             if let Inst::Copy { dst, src } = inst {
@@ -102,11 +128,12 @@ pub fn insert_overhead_markers(
                                 kind: OverheadKind::Shuffle,
                                 ops: 1,
                             });
-                            inserted += 1;
+                            rewrite.inserted += 1;
                         }
                     }
                 }
             }
+            index_map.push(new_insts.len() as u32);
             new_insts.push(inst);
         }
 
@@ -116,12 +143,13 @@ pub fn insert_overhead_markers(
                 kind: OverheadKind::CalleeSave,
                 ops: callee_count,
             });
-            inserted += 1;
+            rewrite.inserted += 1;
         }
 
+        rewrite.index_maps.insert(bb, index_map);
         f.block_mut(bb).insts = new_insts;
     }
-    inserted
+    rewrite
 }
 
 #[cfg(test)]
@@ -144,19 +172,21 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let freq = FrequencyInfo::profile(&p).expect("ok");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         let file = RegisterFile::minimum();
         let res = crate::chaitin::allocate_bank_chaitin(
             &ctx,
             RegClass::Int,
             &file,
             &crate::AllocatorConfig::base(),
-        );
+        )
+        .expect("bank allocates");
         assert!(res.spilled.is_empty());
         let assignment = FinalAssignment { colors: res.colors };
         let mut f = p.function(id).clone();
-        let inserted = insert_overhead_markers(&mut f, &ctx, &assignment);
+        let inserted = insert_overhead_markers(&mut f, &ctx, &assignment).inserted;
         // x crosses the call in a caller-save register (no callee regs
         // exist at the ABI minimum), so exactly one marker appears.
         assert_eq!(inserted, 1);
@@ -166,7 +196,7 @@ mod tests {
             .insts
             .iter()
             .position(|i| i.is_call())
-            .unwrap();
+            .expect("ok");
         assert!(matches!(
             f.block(entry).insts[call_pos - 1],
             Inst::Overhead {
@@ -188,8 +218,9 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let freq = FrequencyInfo::profile(&p).expect("ok");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         // With callee-save registers available, the base allocator parks
         // the crossing value in one.
         let file = RegisterFile::new(6, 4, 2, 2);
@@ -198,7 +229,8 @@ mod tests {
             RegClass::Int,
             &file,
             &crate::AllocatorConfig::base(),
-        );
+        )
+        .expect("bank allocates");
         let assignment = FinalAssignment { colors: res.colors };
         assert_eq!(assignment.callee_regs_used().len(), 1);
         let mut f = p.function(id).clone();

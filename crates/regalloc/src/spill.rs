@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use ccra_ir::{BlockId, Function, Inst, SpillSlot, Terminator, VReg};
 
 use crate::build::FuncContext;
+use crate::error::AllocError;
 
 /// Replaces every *use* of `from` in `inst` with `to`.
 fn replace_uses(inst: &mut Inst, from: VReg, to: VReg) {
@@ -39,12 +40,11 @@ fn replace_uses(inst: &mut Inst, from: VReg, to: VReg) {
     }
 }
 
-/// Redirects the *def* of `inst` to `to`.
+/// Redirects the *def* of `inst` (at `block:idx`, for diagnostics) to `to`.
 ///
-/// # Panics
-///
-/// Panics if the instruction defines nothing.
-fn replace_def(inst: &mut Inst, to: VReg) {
+/// Errors if the instruction defines nothing: the spilled node's def refs
+/// then disagree with the instruction stream.
+fn replace_def(inst: &mut Inst, to: VReg, block: BlockId, idx: u32) -> Result<(), AllocError> {
     match inst {
         Inst::IConst { dst, .. }
         | Inst::FConst { dst, .. }
@@ -54,14 +54,15 @@ fn replace_def(inst: &mut Inst, to: VReg) {
         | Inst::Load { dst, .. }
         | Inst::Copy { dst, .. }
         | Inst::SpillLoad { dst, .. } => *dst = to,
-        Inst::Call { ret, .. } => {
-            *ret.as_mut()
-                .expect("call has no return register to replace") = to;
-        }
+        Inst::Call { ret, .. } => match ret.as_mut() {
+            Some(r) => *r = to,
+            None => return Err(AllocError::CallWithoutReturn { block, idx }),
+        },
         Inst::Store { .. } | Inst::SpillStore { .. } | Inst::Overhead { .. } => {
-            panic!("instruction has no def to replace")
+            return Err(AllocError::NoDefToReplace { block, idx })
         }
     }
+    Ok(())
 }
 
 /// A spill temporary created by spill-code insertion, with its location in
@@ -100,8 +101,12 @@ pub struct SpillRewrite {
 /// built from the *current* body of `f` (indices in its node refs address
 /// the pre-rewrite instruction stream). For incremental graph
 /// reconstruction use [`insert_spill_code_traced`].
-pub fn insert_spill_code(f: &mut Function, ctx: &FuncContext, spilled: &[u32]) -> usize {
-    insert_spill_code_traced(f, ctx, spilled).inserted
+pub fn insert_spill_code(
+    f: &mut Function,
+    ctx: &FuncContext,
+    spilled: &[u32],
+) -> Result<usize, AllocError> {
+    Ok(insert_spill_code_traced(f, ctx, spilled)?.inserted)
 }
 
 /// Like [`insert_spill_code_traced`], additionally emitting a
@@ -112,9 +117,9 @@ pub fn insert_spill_code_instrumented(
     ctx: &FuncContext,
     spilled: &[u32],
     tr: &mut crate::trace::TraceCtx<'_>,
-) -> SpillRewrite {
+) -> Result<SpillRewrite, AllocError> {
     let span = tr.span();
-    let rewrite = insert_spill_code_traced(f, ctx, spilled);
+    let rewrite = insert_spill_code_traced(f, ctx, spilled)?;
     tr.span_end(span, crate::trace::Phase::SpillInsert);
     if tr.enabled() {
         tr.emit(crate::trace::AllocEvent::Spill(crate::trace::SpillStats {
@@ -125,7 +130,7 @@ pub fn insert_spill_code_instrumented(
             temps: rewrite.temps.len(),
         }));
     }
-    rewrite
+    Ok(rewrite)
 }
 
 /// Like [`insert_spill_code`], additionally reporting the index remapping
@@ -135,7 +140,7 @@ pub fn insert_spill_code_traced(
     f: &mut Function,
     ctx: &FuncContext,
     spilled: &[u32],
-) -> SpillRewrite {
+) -> Result<SpillRewrite, AllocError> {
     let slots: HashMap<u32, SpillSlot> = spilled.iter().map(|&n| (n, f.new_spill_slot())).collect();
 
     // Original block lengths: terminator uses carry index == insts.len().
@@ -157,7 +162,13 @@ pub fn insert_spill_code_traced(
         }
         for &(bb, i, v) in &node.defs {
             let prev = def_plan.insert((bb, i), (v, slot, n));
-            debug_assert!(prev.is_none(), "two spilled defs at one instruction");
+            if prev.is_some() {
+                return Err(AllocError::DuplicateSpilledDef {
+                    block: bb,
+                    idx: i,
+                    vreg: v,
+                });
+            }
         }
         for &p in &node.param_vregs {
             param_stores.push((p, slot));
@@ -210,7 +221,7 @@ pub fn insert_spill_code_traced(
             match def_plan.get(&key) {
                 Some(&(v, slot, parent)) => {
                     let t = f.new_spill_temp(f.class_of(v));
-                    replace_def(&mut inst, t);
+                    replace_def(&mut inst, t, bb, i as u32)?;
                     new_insts.push(inst);
                     new_insts.push(Inst::SpillStore { slot, src: t });
                     rewrite.inserted += 1;
@@ -252,7 +263,7 @@ pub fn insert_spill_code_traced(
         block.insts = new_insts;
         block.term = term;
     }
-    rewrite
+    Ok(rewrite)
 }
 
 #[cfg(test)]
@@ -278,22 +289,23 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let before = ccra_analysis::run(&p, &InterpConfig::default()).unwrap();
+        let before = ccra_analysis::run(&p, &InterpConfig::default()).expect("ok");
         assert_eq!(before.result, Some(Value::Int(48)));
 
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let freq = FrequencyInfo::profile(&p).expect("ok");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         // Spill every node.
         let all: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
         let mut f = p.function(id).clone();
-        let inserted = insert_spill_code(&mut f, &ctx, &all);
+        let inserted = insert_spill_code(&mut f, &ctx, &all).expect("spill code inserts");
         assert!(inserted > 0);
-        ccra_ir::verify_function(&f).unwrap();
+        ccra_ir::verify_function(&f).expect("ok");
 
         let mut p2 = Program::new();
         let id2 = p2.add_function(f);
         p2.set_main(id2);
-        let after = ccra_analysis::run(&p2, &InterpConfig::default()).unwrap();
+        let after = ccra_analysis::run(&p2, &InterpConfig::default()).expect("ok");
         assert_eq!(after.result, Some(Value::Int(48)));
         assert_eq!(
             after.overhead(ccra_ir::OverheadKind::Spill) as usize,
@@ -312,16 +324,17 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let freq = FrequencyInfo::profile(&p).expect("ok");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         let param_node = (0..ctx.nodes.len() as u32)
             .find(|&n| !ctx.nodes[n as usize].param_vregs.is_empty())
-            .unwrap();
+            .expect("ok");
         let mut f = p.function(id).clone();
-        insert_spill_code(&mut f, &ctx, &[param_node]);
+        insert_spill_code(&mut f, &ctx, &[param_node]).expect("spill code inserts");
         let entry = f.entry();
         assert!(matches!(f.block(entry).insts[0], Inst::SpillStore { .. }));
-        ccra_ir::verify_function(&f).unwrap();
+        ccra_ir::verify_function(&f).expect("ok");
     }
 
     #[test]
@@ -333,23 +346,24 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let freq = FrequencyInfo::profile(&p).expect("ok");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         let mut f = p.function(id).clone();
-        insert_spill_code(&mut f, &ctx, &[0]);
+        insert_spill_code(&mut f, &ctx, &[0]).expect("spill code inserts");
         // ret operand must now be a spill temp, reloaded just before.
         let entry = f.entry();
-        let last = f.block(entry).insts.last().unwrap();
+        let last = f.block(entry).insts.last().expect("ok");
         assert!(matches!(last, Inst::SpillLoad { .. }));
         if let Terminator::Return(Some(r)) = f.block(entry).term {
             assert!(f.vreg(r).is_spill_temp);
         } else {
-            panic!("expected return with value");
+            unreachable!("expected return with value");
         }
         let mut p2 = Program::new();
         let id2 = p2.add_function(f);
         p2.set_main(id2);
-        let stats = ccra_analysis::run(&p2, &InterpConfig::default()).unwrap();
+        let stats = ccra_analysis::run(&p2, &InterpConfig::default()).expect("ok");
         assert_eq!(stats.result, Some(Value::Int(9)));
     }
 
@@ -367,16 +381,17 @@ mod tests {
         let mut p = Program::new();
         let id = p.add_function(b.finish());
         p.set_main(id);
-        let freq = FrequencyInfo::profile(&p).unwrap();
-        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper());
+        let freq = FrequencyInfo::profile(&p).expect("ok");
+        let ctx = build_context(p.function(id), freq.func(id), &CostModel::paper())
+            .expect("context builds");
         let all: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
         let mut f = p.function(id).clone();
-        insert_spill_code(&mut f, &ctx, &all);
-        ccra_ir::verify_function(&f).unwrap();
+        insert_spill_code(&mut f, &ctx, &all).expect("spill code inserts");
+        ccra_ir::verify_function(&f).expect("ok");
         let mut p2 = Program::new();
         let id2 = p2.add_function(f);
         p2.set_main(id2);
-        let stats = ccra_analysis::run(&p2, &InterpConfig::default()).unwrap();
+        let stats = ccra_analysis::run(&p2, &InterpConfig::default()).expect("ok");
         assert_eq!(stats.result, Some(Value::Int(12)));
     }
 }

@@ -186,9 +186,19 @@ impl ProgramSummary {
     }
 }
 
+/// A function whose allocation failed and fell back to the degraded
+/// spill-everything allocation (see [`crate::degraded_allocation`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedInfo {
+    /// The function.
+    pub func: String,
+    /// The [`crate::AllocError`] that triggered the fallback, rendered.
+    pub reason: String,
+}
+
 /// One telemetry event. Serializes as a flat JSON object carrying an
-/// `"event"` tag (`"phase"`, `"round"`, `"decision"`, `"spill"`, `"func"`,
-/// `"program"`) alongside the variant's fields.
+/// `"event"` tag (`"phase"`, `"round"`, `"decision"`, `"spill"`,
+/// `"degraded"`, `"func"`, `"program"`) alongside the variant's fields.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AllocEvent {
     /// A [`PhaseSpan`].
@@ -199,6 +209,8 @@ pub enum AllocEvent {
     Decision(Decision),
     /// A [`SpillStats`].
     Spill(SpillStats),
+    /// A [`DegradedInfo`].
+    Degraded(DegradedInfo),
     /// A [`FuncSummary`].
     Func(FuncSummary),
     /// A [`ProgramSummary`].
@@ -213,6 +225,7 @@ impl AllocEvent {
             AllocEvent::Round(_) => "round",
             AllocEvent::Decision(_) => "decision",
             AllocEvent::Spill(_) => "spill",
+            AllocEvent::Degraded(_) => "degraded",
             AllocEvent::Func(_) => "func",
             AllocEvent::Program(_) => "program",
         }
@@ -238,6 +251,7 @@ impl Serialize for AllocEvent {
             AllocEvent::Round(e) => e.to_value(),
             AllocEvent::Decision(e) => e.to_value(),
             AllocEvent::Spill(e) => e.to_value(),
+            AllocEvent::Degraded(e) => e.to_value(),
             AllocEvent::Func(e) => e.to_value(),
             AllocEvent::Program(e) => e.to_value(),
         };
@@ -262,6 +276,7 @@ impl Deserialize for AllocEvent {
             "round" => RoundStats::from_value(value).map(AllocEvent::Round),
             "decision" => Decision::from_value(value).map(AllocEvent::Decision),
             "spill" => SpillStats::from_value(value).map(AllocEvent::Spill),
+            "degraded" => DegradedInfo::from_value(value).map(AllocEvent::Degraded),
             "func" => FuncSummary::from_value(value).map(AllocEvent::Func),
             "program" => ProgramSummary::from_value(value).map(AllocEvent::Program),
             other => Err(Error::new(format!("unknown event type `{other}`"))),
@@ -485,6 +500,10 @@ mod tests {
                 inserted: 9,
                 temps: 6,
             }),
+            AllocEvent::Degraded(DegradedInfo {
+                func: "f".into(),
+                reason: "allocation of `f` did not converge in 60 rounds".into(),
+            }),
             AllocEvent::Func(FuncSummary {
                 func: "f".into(),
                 rounds: 2,
@@ -506,7 +525,7 @@ mod tests {
             }),
         ];
         let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
-        let parsed = parse_jsonl(&text).unwrap();
+        let parsed = parse_jsonl(&text).expect("events parse back");
         assert_eq!(parsed, events);
     }
 
@@ -574,10 +593,10 @@ mod tests {
             edges: 1,
             max_degree: 1,
         }));
-        let bytes = sink.finish().unwrap();
-        let text = String::from_utf8(bytes).unwrap();
+        let bytes = sink.finish().expect("writer flushes");
+        let text = String::from_utf8(bytes).expect("output is utf-8");
         assert_eq!(text.lines().count(), 2);
-        let parsed = parse_jsonl(&text).unwrap();
+        let parsed = parse_jsonl(&text).expect("lines parse");
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0], AllocEvent::Decision(sample_decision()));
     }

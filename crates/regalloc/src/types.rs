@@ -117,9 +117,16 @@ pub struct AllocatorConfig {
     /// Figure 1; a compile-time optimization — see
     /// [`crate::reconstruct_context`]).
     pub incremental_reconstruction: bool,
+    /// Iteration guard on the spill loop: after this many build→color→spill
+    /// rounds the pipeline stops with
+    /// [`crate::AllocError::SpillRoundsExceeded`] instead of livelocking on
+    /// an adversarial input.
+    pub max_spill_rounds: u32,
 }
 
 impl AllocatorConfig {
+    /// Default spill-round cap; exceeded only by pathological inputs.
+    pub const DEFAULT_MAX_SPILL_ROUNDS: u32 = 60;
     /// The base Chaitin-style allocator with the simple cost model of
     /// Section 3.1 (the denominator of every ratio in the paper).
     pub fn base() -> Self {
@@ -130,6 +137,7 @@ impl AllocatorConfig {
             benefit_simplify: None,
             preference: false,
             incremental_reconstruction: false,
+            max_spill_rounds: Self::DEFAULT_MAX_SPILL_ROUNDS,
         }
     }
 
@@ -143,6 +151,7 @@ impl AllocatorConfig {
             benefit_simplify: Some(BsKey::BenefitDelta),
             preference: true,
             incremental_reconstruction: false,
+            max_spill_rounds: Self::DEFAULT_MAX_SPILL_ROUNDS,
         }
     }
 
@@ -188,6 +197,7 @@ impl AllocatorConfig {
             benefit_simplify: if bs { Some(BsKey::BenefitDelta) } else { None },
             preference: pr,
             incremental_reconstruction: false,
+            max_spill_rounds: Self::DEFAULT_MAX_SPILL_ROUNDS,
         }
     }
 
@@ -196,6 +206,14 @@ impl AllocatorConfig {
     pub fn with_reconstruction(self) -> Self {
         AllocatorConfig {
             incremental_reconstruction: true,
+            ..self
+        }
+    }
+
+    /// Returns this configuration with the given spill-round cap.
+    pub fn with_max_spill_rounds(self, rounds: u32) -> Self {
+        AllocatorConfig {
+            max_spill_rounds: rounds,
             ..self
         }
     }

@@ -1,0 +1,316 @@
+//! The independent checker's contract, from both sides:
+//!
+//! * **acceptance** — every allocation produced by any allocator on any
+//!   fuzzed program passes, including the degraded fallback;
+//! * **rejection** — one deliberately corrupted allocation per invariant
+//!   class is caught: swapped register assignments (register exclusivity),
+//!   a dropped restore (save/restore placement), aliased spill slots (slot
+//!   discipline), and falsified overhead claims (honest accounting).
+
+use std::collections::HashMap;
+
+use ccra_analysis::{FrequencyInfo, Webs};
+use ccra_ir::{BinOp, Callee, CmpOp, FunctionBuilder, Inst, OverheadKind, Program, RegClass};
+use ccra_machine::{CostModel, PhysReg, RegisterFile};
+use ccra_regalloc::{
+    allocate_function, check_allocation, degraded_allocation, AllocatorConfig, CheckViolation,
+    FuncAllocation, NoopSink, PriorityOrdering,
+};
+use ccra_workloads::{random_program, FuzzConfig};
+use proptest::prelude::*;
+
+/// A loop summing `k` live values with a call inside: enough pressure to
+/// force spills on tight files and callee-save usage on larger ones.
+fn pressure_program(k: usize, trips: i64) -> Program {
+    let mut b = FunctionBuilder::new("main");
+    let vs: Vec<_> = (0..k).map(|_| b.new_vreg(RegClass::Int)).collect();
+    for (j, &v) in vs.iter().enumerate() {
+        b.iconst(v, j as i64 + 1);
+    }
+    let i = b.new_vreg(RegClass::Int);
+    let n = b.new_vreg(RegClass::Int);
+    let one = b.new_vreg(RegClass::Int);
+    let acc = b.new_vreg(RegClass::Int);
+    b.iconst(i, 0);
+    b.iconst(n, trips);
+    b.iconst(one, 1);
+    b.iconst(acc, 0);
+    let head = b.reserve_block();
+    let body = b.reserve_block();
+    let exit = b.reserve_block();
+    b.jump(head);
+    b.switch_to(head);
+    let c = b.new_vreg(RegClass::Int);
+    b.cmp(CmpOp::Lt, c, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    b.call(Callee::External("g"), vec![], None);
+    for &v in &vs {
+        b.binary(BinOp::Add, acc, acc, v);
+    }
+    b.binary(BinOp::Add, i, i, one);
+    b.jump(head);
+    b.switch_to(exit);
+    b.ret(Some(acc));
+    let mut p = Program::new();
+    let id = p.add_function(b.finish());
+    p.set_main(id);
+    p
+}
+
+fn allocate(
+    p: &Program,
+    file: RegisterFile,
+    config: &AllocatorConfig,
+) -> (ccra_ir::Function, FuncAllocation, FrequencyInfo) {
+    let id = p.main().expect("main set");
+    let freq = FrequencyInfo::profile(p).expect("profile runs");
+    let (body, alloc) = allocate_function(
+        p.function(id),
+        freq.func(id),
+        &file,
+        config,
+        &CostModel::paper(),
+    )
+    .expect("allocation succeeds");
+    (body, alloc, freq)
+}
+
+/// Resolves each rewritten web's claimed register, as the checker does.
+fn web_locs(
+    body: &ccra_ir::Function,
+    webs: &Webs,
+    alloc: &FuncAllocation,
+) -> HashMap<ccra_analysis::WebId, PhysReg> {
+    let mut locs = HashMap::new();
+    for (id, data) in webs.iter() {
+        let defs = data.defs.iter().map(|&(bb, i)| (bb, i, true));
+        let uses = data.uses.iter().map(|&(bb, i)| (bb, i, false));
+        for (bb, i, is_def) in defs.chain(uses) {
+            if let Some(&reg) = alloc.assignment.get(&(bb, i, data.vreg, is_def)) {
+                assert_eq!(reg.class, body.class_of(data.vreg));
+                locs.insert(id, reg);
+            }
+        }
+    }
+    locs
+}
+
+/// Invariant class 1 (register exclusivity): retargeting one web's claims
+/// onto another web's register must surface as `RegisterOverlap` for at
+/// least one (interfering) pair.
+#[test]
+fn checker_rejects_swapped_register_assignments() {
+    let p = pressure_program(10, 5);
+    let id = p.main().expect("main set");
+    let (body, alloc, freq) = allocate(&p, RegisterFile::mips_full(), &AllocatorConfig::improved());
+    check_allocation(p.function(id), &body, freq.func(id), &alloc).expect("clean passes");
+
+    let webs = Webs::compute(&body);
+    let locs = web_locs(&body, &webs, &alloc);
+    let mut caught = false;
+    'outer: for (wa, da) in webs.iter() {
+        let Some(&ra) = locs.get(&wa) else { continue };
+        for (wb, _) in webs.iter() {
+            let Some(&rb) = locs.get(&wb) else { continue };
+            if ra == rb || ra.class != rb.class {
+                continue;
+            }
+            // Move web A into web B's register.
+            let mut corrupt = alloc.clone();
+            let defs = da.defs.iter().map(|&(bb, i)| (bb, i, true));
+            let uses = da.uses.iter().map(|&(bb, i)| (bb, i, false));
+            for (bb, i, is_def) in defs.chain(uses) {
+                corrupt.assignment.insert((bb, i, da.vreg, is_def), rb);
+            }
+            if let Err(violations) =
+                check_allocation(p.function(id), &body, freq.func(id), &corrupt)
+            {
+                if violations
+                    .iter()
+                    .any(|v| matches!(v, CheckViolation::RegisterOverlap { .. }))
+                {
+                    caught = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(
+        caught,
+        "no register-swap mutation produced a RegisterOverlap violation"
+    );
+}
+
+/// Invariant class 2 (save/restore placement): deleting the callee-save
+/// restore from a return block must surface as `CalleeSaveMismatch`.
+#[test]
+fn checker_rejects_dropped_restore() {
+    let p = pressure_program(10, 5);
+    let id = p.main().expect("main set");
+    let (mut body, alloc, freq) =
+        allocate(&p, RegisterFile::mips_full(), &AllocatorConfig::improved());
+    assert!(
+        alloc.callee_regs_used > 0,
+        "the workload must exercise callee-save registers"
+    );
+    let target = body
+        .block_ids()
+        .find(|&bb| {
+            matches!(
+                body.block(bb).insts.last(),
+                Some(Inst::Overhead {
+                    kind: OverheadKind::CalleeSave,
+                    ..
+                })
+            )
+        })
+        .expect("a return block carries a restore marker");
+    body.block_mut(target).insts.pop();
+    let violations =
+        check_allocation(p.function(id), &body, freq.func(id), &alloc).expect_err("must reject");
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, CheckViolation::CalleeSaveMismatch { .. })),
+        "expected CalleeSaveMismatch, got {violations:?}"
+    );
+}
+
+/// Invariant class 3 (slot discipline): retargeting a spill store onto a
+/// different slot must surface as `SlotAliased` (the victim slot now mixes
+/// two interfering webs' values) for at least one store/slot pair.
+#[test]
+fn checker_rejects_aliased_spill_slots() {
+    // Tight integer bank: plenty of spill traffic.
+    let p = pressure_program(12, 5);
+    let id = p.main().expect("main set");
+    let (body, alloc, freq) = allocate(
+        &p,
+        RegisterFile::new(6, 4, 0, 0),
+        &AllocatorConfig::improved(),
+    );
+    let num_slots = body.num_spill_slots();
+    assert!(num_slots >= 2, "need at least two slots to alias");
+    check_allocation(p.function(id), &body, freq.func(id), &alloc).expect("clean passes");
+
+    let mut caught = false;
+    'outer: for bb in body.block_ids() {
+        for j in 0..body.block(bb).insts.len() {
+            let Inst::SpillStore { slot, .. } = body.block(bb).insts[j] else {
+                continue;
+            };
+            for other in 0..num_slots {
+                let other = ccra_ir::SpillSlot(other);
+                if other == slot {
+                    continue;
+                }
+                let mut mutated = body.clone();
+                match &mut mutated.block_mut(bb).insts[j] {
+                    Inst::SpillStore { slot, .. } => *slot = other,
+                    _ => unreachable!("index addressed a spill store"),
+                }
+                if let Err(violations) =
+                    check_allocation(p.function(id), &mutated, freq.func(id), &alloc)
+                {
+                    if violations
+                        .iter()
+                        .any(|v| matches!(v, CheckViolation::SlotAliased { .. }))
+                    {
+                        caught = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        caught,
+        "no slot-retarget mutation produced a SlotAliased violation"
+    );
+}
+
+/// Invariant class 4 (honest accounting): falsifying any claimed overhead
+/// component must surface as `OverheadMismatch` naming that component.
+#[test]
+fn checker_rejects_falsified_overhead_claims() {
+    let p = pressure_program(10, 5);
+    let id = p.main().expect("main set");
+    let (body, alloc, freq) = allocate(&p, RegisterFile::mips_full(), &AllocatorConfig::improved());
+    for kind in ["spill", "caller_save", "callee_save", "shuffle"] {
+        let mut corrupt = alloc.clone();
+        match kind {
+            "spill" => corrupt.overhead.spill += 7.0,
+            "caller_save" => corrupt.overhead.caller_save += 7.0,
+            "callee_save" => corrupt.overhead.callee_save += 7.0,
+            _ => corrupt.overhead.shuffle += 7.0,
+        }
+        let violations = check_allocation(p.function(id), &body, freq.func(id), &corrupt)
+            .expect_err("must reject");
+        assert!(
+            violations.iter().any(
+                |v| matches!(v, CheckViolation::OverheadMismatch { kind: k, .. } if *k == kind)
+            ),
+            "expected OverheadMismatch for {kind}, got {violations:?}"
+        );
+    }
+}
+
+/// The degraded (spill-everything) fallback is always checker-clean.
+#[test]
+fn degraded_allocation_is_checker_clean() {
+    let p = pressure_program(12, 5);
+    let id = p.main().expect("main set");
+    let freq = FrequencyInfo::profile(&p).expect("profile runs");
+    let mut sink = NoopSink;
+    let (body, alloc) = degraded_allocation(
+        p.function(id),
+        freq.func(id),
+        &RegisterFile::new(6, 4, 0, 0),
+        &CostModel::paper(),
+        &mut sink,
+    )
+    .expect("degraded allocation always constructs");
+    assert!(alloc.degraded);
+    let res = check_allocation(p.function(id), &body, freq.func(id), &alloc);
+    assert_eq!(res, Ok(()), "degraded allocation must pass the checker");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Acceptance: every allocator's output on fuzzed programs, at varying
+    /// register files, passes the checker for every function.
+    #[test]
+    fn checker_accepts_all_allocators_on_fuzzed_programs(
+        seed in 0u64..10_000,
+        which in 0usize..4,
+        file_ix in 0usize..3,
+    ) {
+        let program = random_program(seed, &FuzzConfig::default());
+        let freq = FrequencyInfo::profile(&program).expect("profile runs");
+        let config = [
+            AllocatorConfig::improved(),
+            AllocatorConfig::improved_optimistic(),
+            AllocatorConfig::priority(PriorityOrdering::Sorting),
+            AllocatorConfig::cbh(),
+        ][which];
+        let file = [
+            RegisterFile::minimum(),
+            RegisterFile::new(6, 4, 1, 0),
+            RegisterFile::mips_full(),
+        ][file_ix];
+        for (id, f) in program.functions() {
+            let (body, alloc) = allocate_function(
+                f,
+                freq.func(id),
+                &file,
+                &config,
+                &CostModel::paper(),
+            )
+            .expect("allocation succeeds");
+            let res = check_allocation(f, &body, freq.func(id), &alloc);
+            prop_assert!(res.is_ok(), "{}: {:?}", f.name(), res.err());
+        }
+    }
+}

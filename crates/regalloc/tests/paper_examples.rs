@@ -53,7 +53,8 @@ fn synthetic_ctx(
         &f,
         freq.func(ccra_ir::FuncId(0)),
         &ccra_machine::CostModel::paper(),
-    );
+    )
+    .expect("context builds");
     FuncContext {
         nodes,
         graph,
@@ -112,7 +113,8 @@ fn figure_3_simplification_order() {
                                               // is arbitrary (ascending ids: x, y, z — z ends on top and steals a
                                               // callee-save register).
     let sc_only = AllocatorConfig::with_improvements(true, false, false);
-    let without_bs = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &sc_only);
+    let without_bs =
+        allocate_bank_chaitin(&ctx, RegClass::Int, &file, &sc_only).expect("bank allocates");
     assert_eq!(
         savings(&ctx, &without_bs),
         2000.0 + 200.0 + 1000.0,
@@ -120,7 +122,7 @@ fn figure_3_simplification_order() {
     );
 
     let with_bs = AllocatorConfig::with_improvements(true, true, false);
-    let best = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &with_bs);
+    let best = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &with_bs).expect("bank allocates");
     assert_eq!(
         savings(&ctx, &best),
         2000.0 + 2000.0 + 100.0,
@@ -155,8 +157,8 @@ fn figure_4_key_choice_changes_savings() {
         benefit_simplify: Some(ccra_regalloc::BsKey::BenefitDelta),
         ..AllocatorConfig::with_improvements(true, true, false)
     };
-    let r1 = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &key1);
-    let r2 = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &key2);
+    let r1 = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &key1).expect("bank allocates");
+    let r2 = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &key2).expect("bank allocates");
     // Key 1 gives the callee-save registers to x and y: 2000+2000+500 = 4500.
     assert_eq!(savings(&ctx, &r1), 4500.0);
     // Key 2 protects z (its wrong-kind penalty is largest): 2000+1800+1500 = 5300.
@@ -194,7 +196,8 @@ fn figure_5_preference_decision() {
         RegClass::Int,
         &file,
         &AllocatorConfig::with_improvements(true, false, false),
-    );
+    )
+    .expect("bank allocates");
     // With PR: z is the cheaper of the two candidates (caller_cost 300 vs
     // 3900), so it is forced to prefer caller-save and u gets the register.
     let with_pr = allocate_bank_chaitin(
@@ -202,7 +205,8 @@ fn figure_5_preference_decision() {
         RegClass::Int,
         &file,
         &AllocatorConfig::with_improvements(true, false, true),
-    );
+    )
+    .expect("bank allocates");
     let (s_without, s_with) = (savings(&ctx, &without_pr), savings(&ctx, &with_pr));
     assert!(
         s_with > s_without + 3000.0,
@@ -260,7 +264,8 @@ fn figure_8_optimistic_wrong_kind() {
     // pressure nodes have degree 9 ≥ 8: simplification blocks immediately.
     let file = RegisterFile::new(7, 4, 1, 0);
 
-    let chaitin = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base());
+    let chaitin = allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::base())
+        .expect("bank allocates");
     assert!(
         chaitin.spilled.contains(&2),
         "Chaitin spills the cheapest live range (z): {:?}",
@@ -268,7 +273,8 @@ fn figure_8_optimistic_wrong_kind() {
     );
 
     let optimistic =
-        allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::optimistic());
+        allocate_bank_chaitin(&ctx, RegClass::Int, &file, &AllocatorConfig::optimistic())
+            .expect("bank allocates");
     assert!(optimistic.spilled.is_empty(), "the graph is 8-colorable");
     let z_reg = optimistic.colors[&2];
     assert_eq!(

@@ -18,7 +18,10 @@ fn main() {
         ("base", AllocatorConfig::base()),
         ("improved", AllocatorConfig::improved()),
         ("optimistic", AllocatorConfig::optimistic()),
-        ("priority", AllocatorConfig::priority(PriorityOrdering::Sorting)),
+        (
+            "priority",
+            AllocatorConfig::priority(PriorityOrdering::Sorting),
+        ),
         ("CBH", AllocatorConfig::cbh()),
     ];
 
@@ -26,7 +29,10 @@ fn main() {
     headers.extend(configs.iter().map(|(n, _)| n.to_string()));
     headers.push("best".to_string());
     let mut table = Table::new(
-        format!("Total overhead operations at {file} (dynamic frequencies, scale {})", scale.0),
+        format!(
+            "Total overhead operations at {file} (dynamic frequencies, scale {})",
+            scale.0
+        ),
         headers,
     );
 

@@ -27,9 +27,12 @@ fn main() {
     for callee_int in 0..=9u8 {
         let callee_float = (callee_int * 10 / 16).min(6);
         let file = RegisterFile::new(16 - callee_int, 10 - callee_float, callee_int, callee_float);
-        let base = bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::base()).total();
-        let improved =
-            bench.overhead(FreqMode::Dynamic, file, &AllocatorConfig::improved()).total();
+        let base = bench
+            .overhead(FreqMode::Dynamic, file, &AllocatorConfig::base())
+            .total();
+        let improved = bench
+            .overhead(FreqMode::Dynamic, file, &AllocatorConfig::improved())
+            .total();
         table.push_row(vec![
             file.to_string(),
             format!("{base:.0}"),

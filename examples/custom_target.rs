@@ -29,10 +29,13 @@ fn main() {
     };
 
     println!("compress on a tiny embedded core {tiny}:\n");
-    for (label, cost) in [("MIPS-like cost model", CostModel::paper()), ("slow-memory cost model", slow_memory)]
-    {
+    for (label, cost) in [
+        ("MIPS-like cost model", CostModel::paper()),
+        ("slow-memory cost model", slow_memory),
+    ] {
         for config in [AllocatorConfig::base(), AllocatorConfig::improved()] {
-            let out = allocate_program_with(&program, &freq, tiny, &config, &cost);
+            let out = allocate_program_with(&program, &freq, tiny, &config, &cost)
+                .expect("allocation succeeds");
             println!("  {label:<24} {:<9} -> {}", config.label(), out.overhead);
         }
         println!();

@@ -55,7 +55,8 @@ fn main() {
     let file = RegisterFile::new(8, 6, 2, 2);
 
     for config in [AllocatorConfig::base(), AllocatorConfig::improved()] {
-        let out = ccra_regalloc::allocate_program(&program, &profile, file, &config);
+        let out = ccra_regalloc::allocate_program(&program, &profile, file, &config)
+            .expect("allocation succeeds");
         println!(
             "== {} allocator on {file} ==\n  overhead: {}\n  rounds: {}, ranges spilled: {}, callee-save registers used: {}",
             config.label(),
@@ -67,12 +68,9 @@ fn main() {
     }
 
     // The rewritten program still runs — and measures its own overhead.
-    let out = ccra_regalloc::allocate_program(
-        &program,
-        &profile,
-        file,
-        &AllocatorConfig::improved(),
-    );
+    let out =
+        ccra_regalloc::allocate_program(&program, &profile, file, &AllocatorConfig::improved())
+            .expect("allocation succeeds");
     let stats = ccra_analysis::run(&out.program, &ccra_analysis::InterpConfig::default())
         .expect("allocated program runs");
     println!(

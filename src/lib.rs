@@ -26,7 +26,8 @@
 //! let program = ccra_workloads::spec_program(SpecProgram::Eqntott);
 //! let profile = FrequencyInfo::profile(&program).expect("program runs");
 //! let file = RegisterFile::mips_full();
-//! let outcome = allocate_program(&program, &profile, file, &AllocatorConfig::improved());
+//! let outcome = allocate_program(&program, &profile, file, &AllocatorConfig::improved())
+//!     .expect("allocation succeeds");
 //! assert!(outcome.overhead.total() >= 0.0);
 //! ```
 

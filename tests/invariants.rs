@@ -24,7 +24,8 @@ fn measured_overhead_equals_analytic_overhead() {
             AllocatorConfig::cbh(),
         ] {
             let file = ccra_machine::RegisterFile::new(8, 6, 2, 2);
-            let out = ccra_regalloc::allocate_program(&ir, &freq, file, &config);
+            let out = ccra_regalloc::allocate_program(&ir, &freq, file, &config)
+                .expect("allocation succeeds");
             let stats = run(&out.program, &InterpConfig::default()).unwrap();
             let measured = measured_overhead(&stats);
             let analytic = out.overhead;
@@ -61,7 +62,8 @@ fn final_colorings_are_conflict_free() {
                     &file,
                     &config,
                     &ccra_machine::CostModel::paper(),
-                );
+                )
+                .expect("allocation succeeds");
                 // Recompute the context of the *final* body and check the
                 // summaries are structurally sane.
                 assert_eq!(
@@ -94,7 +96,8 @@ fn overhead_component_sanity() {
     let ir = spec_program_scaled(SpecProgram::Tomcatv, SCALE);
     let freq = FrequencyInfo::profile(&ir).unwrap();
     let file = ccra_machine::RegisterFile::new(8, 6, 2, 2);
-    let out = ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::base());
+    let out = ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::base())
+        .expect("allocation succeeds");
     assert_eq!(out.overhead.caller_save, 0.0, "tomcatv has no calls");
     let max_callee = 2.0
         * (file.count(ccra_ir::RegClass::Int, SaveKind::CalleeSave)
@@ -122,7 +125,8 @@ fn allocators_beat_spilling_everything() {
             &freq,
             ccra_machine::RegisterFile::minimum(),
             &AllocatorConfig::base(),
-        );
+        )
+        .expect("allocation succeeds");
         assert!(
             out.overhead.total() < ref_bound,
             "{prog}: overhead {} exceeds the all-spill bound {ref_bound}",
@@ -144,9 +148,11 @@ fn improved_wins_where_the_paper_says_it_does() {
     ] {
         let ir = spec_program_scaled(prog, SCALE);
         let freq = FrequencyInfo::profile(&ir).unwrap();
-        let base = ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::base());
+        let base = ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::base())
+            .expect("allocation succeeds");
         let improved =
-            ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::improved());
+            ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::improved())
+                .expect("allocation succeeds");
         let ratio = base.overhead.total() / improved.overhead.total().max(1e-9);
         assert!(
             ratio >= min_ratio,
@@ -156,8 +162,10 @@ fn improved_wins_where_the_paper_says_it_does() {
     // tomcatv: nothing to improve (class 4).
     let ir = spec_program_scaled(SpecProgram::Tomcatv, SCALE);
     let freq = FrequencyInfo::profile(&ir).unwrap();
-    let base = ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::base());
-    let improved = ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::improved());
+    let base = ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::base())
+        .expect("allocation succeeds");
+    let improved = ccra_regalloc::allocate_program(&ir, &freq, file, &AllocatorConfig::improved())
+        .expect("allocation succeeds");
     let ratio = base.overhead.total().max(1.0) / improved.overhead.total().max(1.0);
     assert!((0.99..=1.01).contains(&ratio), "tomcatv ratio {ratio}");
 }

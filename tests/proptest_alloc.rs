@@ -39,7 +39,8 @@ proptest! {
             AllocatorConfig::priority(PriorityOrdering::Sorting),
             AllocatorConfig::cbh(),
         ][which];
-        let out = ccra_regalloc::allocate_program(&program, &freq, file, &config);
+        let out = ccra_regalloc::allocate_program(&program, &freq, file, &config)
+            .expect("allocation succeeds");
         prop_assert!(out.program.verify().is_ok());
         let got = run(&out.program, &interp()).unwrap().result;
         prop_assert_eq!(got, expect);
@@ -55,7 +56,8 @@ proptest! {
             &freq,
             RegisterFile::new(6, 4, 2, 2),
             &AllocatorConfig::improved(),
-        );
+        )
+        .expect("allocation succeeds");
         let o = out.overhead;
         prop_assert!(o.spill >= 0.0 && o.caller_save >= 0.0);
         prop_assert!(o.callee_save >= 0.0 && o.shuffle >= 0.0);
@@ -80,7 +82,8 @@ proptest! {
             &freq,
             RegisterFile::new(7, 5, 1, 1),
             &config,
-        );
+        )
+        .expect("allocation succeeds");
         let stats = run(&out.program, &interp()).unwrap();
         let measured = ccra_regalloc::measured_overhead(&stats);
         prop_assert!((measured.total() - out.overhead.total()).abs() < 1e-6,
@@ -93,8 +96,10 @@ proptest! {
         let program = random_program(seed, &FuzzConfig { stmts_per_fn: 12, ..Default::default() });
         let freq = FrequencyInfo::profile(&program).unwrap();
         let file = RegisterFile::new(8, 6, 2, 2);
-        let a = ccra_regalloc::allocate_program(&program, &freq, file, &AllocatorConfig::improved());
-        let b = ccra_regalloc::allocate_program(&program, &freq, file, &AllocatorConfig::improved());
+        let a = ccra_regalloc::allocate_program(&program, &freq, file, &AllocatorConfig::improved())
+            .expect("allocation succeeds");
+        let b = ccra_regalloc::allocate_program(&program, &freq, file, &AllocatorConfig::improved())
+            .expect("allocation succeeds");
         prop_assert_eq!(a.overhead.total(), b.overhead.total());
         prop_assert_eq!(a.program, b.program);
     }
@@ -107,9 +112,11 @@ proptest! {
         let program = random_program(seed, &FuzzConfig { stmts_per_fn: 20, ..Default::default() });
         let freq = FrequencyInfo::profile(&program).unwrap();
         let small = ccra_regalloc::allocate_program(
-            &program, &freq, RegisterFile::new(6, 4, 0, 0), &AllocatorConfig::base());
+            &program, &freq, RegisterFile::new(6, 4, 0, 0), &AllocatorConfig::base())
+            .expect("allocation succeeds");
         let large = ccra_regalloc::allocate_program(
-            &program, &freq, RegisterFile::mips_full(), &AllocatorConfig::base());
+            &program, &freq, RegisterFile::mips_full(), &AllocatorConfig::base())
+            .expect("allocation succeeds");
         prop_assert!(large.overhead.spill <= small.overhead.spill + 1e-9,
             "spill grew from {} to {}", small.overhead.spill, large.overhead.spill);
     }

@@ -36,7 +36,8 @@ fn allocated_functions_roundtrip() {
         &freq,
         RegisterFile::new(6, 4, 1, 1),
         &AllocatorConfig::improved(),
-    );
+    )
+    .expect("allocation succeeds");
     for (_, f) in out.program.functions() {
         let text = display_function(f);
         let parsed = parse_function(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));

@@ -39,7 +39,8 @@ fn every_workload_survives_every_allocator() {
         let freq = FrequencyInfo::profile(&ir).unwrap();
         for config in all_configs() {
             for file in files {
-                let out = ccra_regalloc::allocate_program(&ir, &freq, file, &config);
+                let out = ccra_regalloc::allocate_program(&ir, &freq, file, &config)
+                    .unwrap_or_else(|e| panic!("{prog}/{}/{file}: {e}", config.label()));
                 out.program
                     .verify()
                     .unwrap_or_else(|e| panic!("{prog}/{}/{file}: {e}", config.label()));
@@ -69,7 +70,8 @@ fn static_frequencies_also_preserve_semantics() {
             &freq,
             ccra_machine::RegisterFile::new(7, 5, 1, 1),
             &AllocatorConfig::improved(),
-        );
+        )
+        .expect("allocation succeeds");
         let got = run(&out.program, &InterpConfig::default()).unwrap().result;
         assert_eq!(got, expect, "{prog}");
     }

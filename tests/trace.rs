@@ -16,7 +16,8 @@ fn traced_run(prog: SpecProgram, config: &AllocatorConfig) -> (ProgramAllocation
     let ir = spec_program_scaled(prog, SCALE);
     let freq = FrequencyInfo::profile(&ir).unwrap();
     let mut sink = RecordingSink::new();
-    let out = allocate_program_traced(&ir, &freq, RegisterFile::mips_full(), config, &mut sink);
+    let out = allocate_program_traced(&ir, &freq, RegisterFile::mips_full(), config, &mut sink)
+        .expect("allocation succeeds");
     (out, sink)
 }
 
@@ -51,7 +52,8 @@ fn tracing_does_not_change_the_allocation() {
     ] {
         let ir = spec_program_scaled(SpecProgram::Eqntott, SCALE);
         let freq = FrequencyInfo::profile(&ir).unwrap();
-        let plain = allocate_program(&ir, &freq, RegisterFile::mips_full(), &config);
+        let plain = allocate_program(&ir, &freq, RegisterFile::mips_full(), &config)
+            .expect("allocation succeeds");
         let (traced, sink) = traced_run(SpecProgram::Eqntott, &config);
         assert_eq!(fingerprint(&plain), fingerprint(&traced), "{config:?}");
         assert_eq!(

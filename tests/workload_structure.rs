@@ -56,7 +56,8 @@ fn fpppp_has_huge_basic_blocks() {
         &freq,
         RegisterFile::new(9, 7, 3, 3),
         &AllocatorConfig::base(),
-    );
+    )
+    .expect("allocation succeeds");
     assert!(out.overhead.spill > 0.0, "fpppp spills at (9,7,3,3)");
 }
 
@@ -203,13 +204,15 @@ fn float_bank_pressure_is_real() {
             &freq,
             RegisterFile::minimum(),
             &AllocatorConfig::improved(),
-        );
+        )
+        .expect("allocation succeeds");
         let full = ccra_regalloc::allocate_program(
             &p,
             &freq,
             RegisterFile::mips_full(),
             &AllocatorConfig::improved(),
-        );
+        )
+        .expect("allocation succeeds");
         assert!(
             starved.overhead.total() > full.overhead.total(),
             "{prog}: starved {} vs full {}",
