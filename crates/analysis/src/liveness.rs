@@ -9,6 +9,7 @@ pub struct Liveness {
     live_in: EntityVec<BlockId, BitSet>,
     live_out: EntityVec<BlockId, BitSet>,
     num_vregs: usize,
+    iterations: u32,
 }
 
 impl Liveness {
@@ -51,9 +52,11 @@ impl Liveness {
         // approximation of postorder for builder-generated CFGs).
         let ids: Vec<BlockId> = f.block_ids().collect();
         let mut changed = true;
+        let mut iterations = 0u32;
         let mut out_buf = BitSet::new(nv);
         while changed {
             changed = false;
+            iterations += 1;
             for &bb in ids.iter().rev() {
                 out_buf.clear();
                 for succ in f.successors(bb) {
@@ -77,7 +80,14 @@ impl Liveness {
             live_in,
             live_out,
             num_vregs: nv,
+            iterations,
         }
+    }
+
+    /// How many sweeps the backward fixpoint took to converge (at least 1;
+    /// the final sweep is the one that observes no change).
+    pub fn iterations(&self) -> u32 {
+        self.iterations
     }
 
     /// The registers live on entry to `bb`.

@@ -318,6 +318,12 @@ impl Webs {
         self.webs.is_empty()
     }
 
+    /// Total def+use references across all webs — the size of the
+    /// allocation problem, as self-profiling reports it.
+    pub fn total_refs(&self) -> usize {
+        self.webs.iter().map(WebData::ref_count).sum()
+    }
+
     /// The data of web `id`.
     pub fn web(&self, id: WebId) -> &WebData {
         &self.webs[id.index()]

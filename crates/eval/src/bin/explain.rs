@@ -1,0 +1,173 @@
+//! Explains one allocation function by function: for every web, the
+//! storage-class costs that placed it (benefit_caller vs benefit_callee),
+//! the BS key it was simplified under, its preference votes, and a
+//! human-readable sentence saying why it ended up colored or spilled.
+//!
+//! ```text
+//! explain <workload> [--config <name>] [--scale <f64>]
+//!         [--regs Ri Ei Rf Ef] [--func <name>] [--json]
+//! ```
+//!
+//! * `<workload>` — a SPEC92-like program name (`eqntott`, `ear`, …).
+//! * `--config` — `base`, `improved`, `optimistic`, `improved-optimistic`,
+//!   `priority`, or `cbh` (default `improved`).
+//! * `--regs` — caller-int, callee-int, caller-float, callee-float bank
+//!   sizes (default the full MIPS file).
+//! * `--func` — report only the named function.
+//! * `--json` — emit the reports as JSON instead of text tables.
+
+use std::process::ExitCode;
+
+use ccra_analysis::FrequencyInfo;
+use ccra_eval::explain;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::{allocate_program_traced, AllocatorConfig, PriorityOrdering, RecordingSink};
+use ccra_workloads::{spec_program_scaled, Scale, SpecProgram};
+
+struct Args {
+    program: SpecProgram,
+    config: AllocatorConfig,
+    scale: Scale,
+    file: RegisterFile,
+    func: Option<String>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explain <workload> [--config base|improved|optimistic|\
+         improved-optimistic|priority|cbh] [--scale <f64>] \
+         [--regs <caller-int> <callee-int> <caller-float> <callee-float>] \
+         [--func <name>] [--json]"
+    );
+    eprintln!(
+        "workloads: {}",
+        SpecProgram::ALL.map(|p| p.name()).join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_config(name: &str) -> Option<AllocatorConfig> {
+    Some(match name {
+        "base" => AllocatorConfig::base(),
+        "improved" => AllocatorConfig::improved(),
+        "optimistic" => AllocatorConfig::optimistic(),
+        "improved-optimistic" => AllocatorConfig::improved_optimistic(),
+        "priority" => AllocatorConfig::priority(PriorityOrdering::Sorting),
+        "cbh" => AllocatorConfig::cbh(),
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut program = None;
+    let mut config = AllocatorConfig::improved();
+    let mut scale = Scale(1.0);
+    let mut file = RegisterFile::mips_full();
+    let mut func = None;
+    let mut json = false;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| -> &str {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--config" => {
+                config = parse_config(take(i)).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scale" => {
+                scale = Scale(take(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--regs" => {
+                let v: Vec<u8> = argv[i + 1..]
+                    .iter()
+                    .take(4)
+                    .filter_map(|s| s.parse().ok())
+                    .collect();
+                if v.len() != 4 {
+                    usage();
+                }
+                if v[0] < 6 || v[2] < 4 {
+                    eprintln!(
+                        "error: --regs {} {} {} {} is below the MIPS calling-convention \
+                         minimum (caller-int >= 6, caller-float >= 4)",
+                        v[0], v[1], v[2], v[3]
+                    );
+                    std::process::exit(2);
+                }
+                file = RegisterFile::new(v[0], v[2], v[1], v[3]);
+                i += 5;
+            }
+            "--func" => {
+                func = Some(take(i).to_string());
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            name if program.is_none() && !name.starts_with('-') => {
+                program = SpecProgram::ALL.into_iter().find(|p| p.name() == name);
+                if program.is_none() {
+                    eprintln!("unknown workload `{name}`");
+                    usage();
+                }
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(program) = program else { usage() };
+    Args {
+        program,
+        config,
+        scale,
+        file,
+        func,
+        json,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let ir = spec_program_scaled(args.program, args.scale);
+    let freq = match FrequencyInfo::profile(&ir) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{}: failed to profile: {e}", args.program);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut sink = RecordingSink::new();
+    if let Err(e) = allocate_program_traced(&ir, &freq, args.file, &args.config, &mut sink) {
+        eprintln!("{}: allocation failed: {e}", args.program);
+        return ExitCode::FAILURE;
+    }
+
+    let mut reports = explain::build_reports(&sink.events);
+    if let Some(name) = &args.func {
+        reports.retain(|r| &r.func == name);
+        if reports.is_empty() {
+            eprintln!("{}: no function named `{name}`", args.program);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.json {
+        println!("{}", explain::reports_to_json(&reports));
+    } else {
+        for r in &reports {
+            println!("{}", explain::report_table(r));
+        }
+    }
+    ExitCode::SUCCESS
+}

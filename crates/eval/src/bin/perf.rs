@@ -1,0 +1,189 @@
+//! Runs the fixed allocator-performance matrix and writes a
+//! schema-versioned snapshot (`BENCH_<version>.json`), optionally gating
+//! against a committed baseline.
+//!
+//! ```text
+//! perf [--scale <f64>] [--iters <n>] [--out <file.json>]
+//!      [--check <baseline.json>] [--threshold <pct>]
+//! ```
+//!
+//! * `--scale` — workload scale (default 1.0, or the `BENCH_SCALE`
+//!   environment variable; the flag wins).
+//! * `--iters` — timed iterations per matrix cell; the fastest is kept
+//!   (default 3).
+//! * `--out` — snapshot path (default `BENCH_1.json`).
+//! * `--check` — compare against a baseline snapshot; exit 1 when
+//!   aggregate throughput (instructions allocated per second) drops more
+//!   than `--threshold` percent (default 15). Scale and schema version
+//!   must match the baseline.
+
+use std::process::ExitCode;
+
+use ccra_eval::perfsnap::{self, BenchSnapshot, BENCH_SCHEMA_VERSION};
+use ccra_workloads::Scale;
+use serde::Serialize;
+
+struct Args {
+    scale: Scale,
+    iters: u32,
+    out: String,
+    check: Option<String>,
+    threshold: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--scale <f64>] [--iters <n>] [--out <file.json>] \
+         [--check <baseline.json>] [--threshold <pct>]"
+    );
+    eprintln!("the BENCH_SCALE environment variable sets the default scale");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map_or(Scale(1.0), Scale);
+    let mut iters = 3u32;
+    let mut out = format!("BENCH_{BENCH_SCHEMA_VERSION}.json");
+    let mut check = None;
+    let mut threshold = 15.0;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| -> &str {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = Scale(take(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--iters" => {
+                iters = take(i).parse().unwrap_or_else(|_| usage());
+                if iters == 0 {
+                    usage();
+                }
+                i += 2;
+            }
+            "--out" => {
+                out = take(i).to_string();
+                i += 2;
+            }
+            "--check" => {
+                check = Some(take(i).to_string());
+                i += 2;
+            }
+            "--threshold" => {
+                threshold = take(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    Args {
+        scale,
+        iters,
+        out,
+        check,
+        threshold,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    eprintln!(
+        "perf: schema v{BENCH_SCHEMA_VERSION}, scale {}, {} iteration(s) per cell",
+        args.scale.0, args.iters
+    );
+    let snapshot = perfsnap::run_matrix(args.scale, args.iters, |e| {
+        eprintln!(
+            "  {:>8} [{:^10}] {:>5}: {:>9} instrs in {:>8} us ({:>12.0} instrs/sec, \
+             {} round(s), {} spill(s))",
+            e.workload,
+            e.config,
+            e.regs,
+            e.instrs,
+            e.micros,
+            e.instrs_per_sec,
+            e.rounds,
+            e.spilled_ranges
+        );
+    });
+    eprintln!(
+        "aggregate: {:.0} instrs/sec over {} cells ({} us total)",
+        snapshot.aggregate_instrs_per_sec(),
+        snapshot.entries.len(),
+        snapshot.total_micros()
+    );
+
+    if let Err(e) = std::fs::write(&args.out, snapshot.to_json() + "\n") {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.out);
+
+    if let Some(path) = &args.check {
+        return check_against(path, &snapshot, args.threshold);
+    }
+    ExitCode::SUCCESS
+}
+
+fn check_against(path: &str, current: &BenchSnapshot, threshold: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match perfsnap::parse_snapshot(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmp = match perfsnap::compare_snapshots(&baseline, current, threshold) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot compare against {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &cmp.per_entry {
+        let quality = if d.overhead_changed {
+            "  [overhead changed!]"
+        } else {
+            ""
+        };
+        eprintln!(
+            "  {:<28} {:>12.0} -> {:>12.0} instrs/sec ({:+.1}%){}",
+            d.key, d.baseline_ips, d.current_ips, d.delta_pct, quality
+        );
+    }
+    for key in &cmp.missing {
+        eprintln!("  {key:<28} missing from this run");
+    }
+    if cmp.regressed {
+        eprintln!(
+            "REGRESSION: aggregate {:.0} instrs/sec vs baseline {:.0} \
+             ({:+.1}% < -{threshold:.1}% threshold)",
+            cmp.current_ips, cmp.baseline_ips, cmp.delta_pct
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "ok: aggregate {:.0} instrs/sec vs baseline {:.0} ({:+.1}%, \
+             threshold {threshold:.1}%)",
+            cmp.current_ips, cmp.baseline_ips, cmp.delta_pct
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -28,8 +28,10 @@ fn fig2_produces_component_breakdown() {
     let t = fig2::run_one(SpecProgram::Eqntott, S);
     assert_full_sweep(&t, 6);
     // total = sum of components in every row.
-    for row in &t.rows {
-        let vals: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+    for (i, row) in t.rows.iter().enumerate() {
+        let vals = t
+            .parse_row_from(i, 1)
+            .unwrap_or_else(|e| panic!("malformed table output: {e}"));
         let total: f64 = vals[..4].iter().sum();
         assert!(
             (total - vals[4]).abs() <= 2.0,
@@ -49,9 +51,11 @@ fn fig6_has_six_combinations() {
 fn fig7_ratio_column_is_positive() {
     let t = fig7::run_one(SpecProgram::Ear, S);
     assert_full_sweep(&t, 7);
-    for row in &t.rows {
-        let ratio: f64 = row[6].parse().unwrap();
-        assert!(ratio > 0.0);
+    for i in 0..t.rows.len() {
+        let ratio = t
+            .parse_cell(i, 6)
+            .unwrap_or_else(|e| panic!("malformed table output: {e}"));
+        assert!(ratio > 0.0, "{:?}", t.rows[i]);
     }
 }
 

@@ -1,0 +1,281 @@
+//! Per-function allocation explanations.
+//!
+//! The allocator's decision records ([`Decision`]) say *what* happened to
+//! each web — its storage class, its caller/callee benefits, its BS key,
+//! its preference votes, and its final location. This module turns a
+//! recorded event stream into per-function reports that also say *why*, in
+//! a sentence a person can read: which cost comparison put the web in the
+//! caller- or callee-save bank, and which mechanism colored or spilled it.
+//!
+//! The `explain` binary renders these reports as aligned text tables or as
+//! JSON.
+
+use ccra_regalloc::trace::{AllocEvent, Decision, FuncSummary};
+use serde::{Deserialize, Serialize};
+
+use crate::Table;
+
+/// One web's decision record plus its human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainedDecision {
+    /// The build→color→spill round the decision was made in.
+    pub round: u32,
+    /// The interference-graph node (web) id.
+    pub node: u32,
+    /// The register class (`"int"` / `"float"`).
+    pub class: String,
+    /// Estimated save/restore cost if caller-save ([`Decision`]).
+    pub benefit_caller: f64,
+    /// Estimated save/restore cost if callee-save.
+    pub benefit_callee: f64,
+    /// The benefit-driven simplification key used, if BS was on.
+    pub bs_key: String,
+    /// The BS key's value for this web, if BS was on.
+    pub bs_value: Option<f64>,
+    /// Preference votes this web received (PR).
+    pub pref_votes: u32,
+    /// Whether preference forced this web caller-save.
+    pub pref_forced: bool,
+    /// The final location (`"r3"`, `"spilled"`, …).
+    pub loc: String,
+    /// The allocator's machine-readable reason tag.
+    pub reason: String,
+    /// The human-readable explanation derived from the record.
+    pub why: String,
+}
+
+/// One function's allocation, explained web by web.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncReport {
+    /// The function's name.
+    pub func: String,
+    /// Rounds the allocation took (0 when no summary event was present).
+    pub rounds: u32,
+    /// Live ranges left spilled.
+    pub spilled_ranges: u64,
+    /// Callee-save registers the function ended up using.
+    pub callee_regs_used: u64,
+    /// Total weighted overhead of this function's allocation.
+    pub overhead_total: f64,
+    /// Every decision record, in emission order (final round last — the
+    /// last record for a node id is the decision that stuck).
+    pub decisions: Vec<ExplainedDecision>,
+}
+
+/// The reason-tag → prose mapping behind [`explain_decision`].
+fn why(d: &Decision) -> String {
+    let bank = if d.benefit_callee < d.benefit_caller {
+        format!(
+            "callee-save is cheaper ({:.1} vs {:.1})",
+            d.benefit_callee, d.benefit_caller
+        )
+    } else {
+        format!(
+            "caller-save is cheaper ({:.1} vs {:.1})",
+            d.benefit_caller, d.benefit_callee
+        )
+    };
+    let sc = if d.pref_forced {
+        format!("forced caller-save by {} preference vote(s)", d.pref_votes)
+    } else {
+        bank
+    };
+    match d.reason.as_str() {
+        "colored" => format!("colored to {}: {}", d.loc, sc),
+        "no_color" => {
+            format!("spilled: simplification could not remove it and no color was left ({sc})")
+        }
+        "pressure_spill" => format!(
+            "spilled during simplification: cheapest spill metric ({}={}) under pressure",
+            d.bs_key,
+            d.bs_value.map_or("-".to_string(), |v| format!("{v:.2}")),
+        ),
+        "sc_caller_spill" => {
+            format!("spilled from the caller-save bank: {sc}, but the bank ran out")
+        }
+        "sc_callee_first_spill" | "callee_first_spill" => {
+            format!("spilled from the callee-save bank before costlier webs: {sc}")
+        }
+        "sc_shared_spill" => format!("spilled from the shared bank: {sc}"),
+        "bank_empty" => "spilled: its bank has no registers at all".to_string(),
+        "negative_priority" => {
+            "spilled: its priority (benefit per reference) is negative".to_string()
+        }
+        "no_free_reg" => "spilled: every register in its bank was live across it".to_string(),
+        "spilled" => format!("spilled ({sc})"),
+        other => format!("{other} ({sc})"),
+    }
+}
+
+/// Explains one decision record.
+pub fn explain_decision(d: &Decision) -> ExplainedDecision {
+    ExplainedDecision {
+        round: d.round,
+        node: d.node,
+        class: d.class.clone(),
+        benefit_caller: d.benefit_caller,
+        benefit_callee: d.benefit_callee,
+        bs_key: d.bs_key.clone(),
+        bs_value: d.bs_value,
+        pref_votes: d.pref_votes,
+        pref_forced: d.pref_forced,
+        loc: d.loc.clone(),
+        reason: d.reason.clone(),
+        why: why(d),
+    }
+}
+
+/// Groups a recorded event stream into per-function reports, in the order
+/// functions first appear in the stream.
+pub fn build_reports(events: &[AllocEvent]) -> Vec<FuncReport> {
+    let mut reports: Vec<FuncReport> = Vec::new();
+    let report_for = |func: &str, reports: &mut Vec<FuncReport>| -> usize {
+        match reports.iter().position(|r| r.func == func) {
+            Some(i) => i,
+            None => {
+                reports.push(FuncReport {
+                    func: func.to_string(),
+                    rounds: 0,
+                    spilled_ranges: 0,
+                    callee_regs_used: 0,
+                    overhead_total: 0.0,
+                    decisions: Vec::new(),
+                });
+                reports.len() - 1
+            }
+        }
+    };
+    for e in events {
+        match e {
+            AllocEvent::Decision(d) => {
+                let i = report_for(&d.func, &mut reports);
+                reports[i].decisions.push(explain_decision(d));
+            }
+            AllocEvent::Func(FuncSummary {
+                func,
+                rounds,
+                spilled_ranges,
+                callee_regs_used,
+                spill,
+                caller_save,
+                callee_save,
+                shuffle,
+            }) => {
+                let i = report_for(func, &mut reports);
+                reports[i].rounds = *rounds;
+                reports[i].spilled_ranges = *spilled_ranges as u64;
+                reports[i].callee_regs_used = *callee_regs_used as u64;
+                reports[i].overhead_total = spill + caller_save + callee_save + shuffle;
+            }
+            _ => {}
+        }
+    }
+    reports
+}
+
+/// Renders one report as an aligned text table.
+pub fn report_table(r: &FuncReport) -> Table {
+    let mut t = Table::new(
+        format!(
+            "{} — {} round(s), {} spilled range(s), {} callee reg(s), overhead {:.2}",
+            r.func, r.rounds, r.spilled_ranges, r.callee_regs_used, r.overhead_total
+        ),
+        ["round", "node", "class", "loc", "why"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for d in &r.decisions {
+        t.push_row(vec![
+            d.round.to_string(),
+            d.node.to_string(),
+            d.class.clone(),
+            d.loc.clone(),
+            d.why.clone(),
+        ]);
+    }
+    t
+}
+
+/// Serialises a report set as a JSON array.
+pub fn reports_to_json(reports: &[FuncReport]) -> String {
+    let items: Vec<String> = reports.iter().map(Serialize::to_json).collect();
+    format!("[{}]", items.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_analysis::FrequencyInfo;
+    use ccra_machine::RegisterFile;
+    use ccra_regalloc::{allocate_program_traced, AllocatorConfig, RecordingSink};
+    use ccra_workloads::{spec_program_scaled, Scale, SpecProgram};
+
+    fn record(config: &AllocatorConfig, file: RegisterFile) -> Vec<AllocEvent> {
+        let ir = spec_program_scaled(SpecProgram::Eqntott, Scale(0.03));
+        let freq = FrequencyInfo::profile(&ir).expect("profiles");
+        let mut sink = RecordingSink::new();
+        allocate_program_traced(&ir, &freq, file, config, &mut sink).expect("allocates");
+        sink.events
+    }
+
+    #[test]
+    fn reports_cover_every_function_and_decision() {
+        let events = record(&AllocatorConfig::improved(), RegisterFile::new(8, 6, 2, 2));
+        let reports = build_reports(&events);
+        let funcs = events
+            .iter()
+            .filter(|e| matches!(e, AllocEvent::Func(_)))
+            .count();
+        assert_eq!(reports.len(), funcs, "one report per function summary");
+        let decisions = events
+            .iter()
+            .filter(|e| matches!(e, AllocEvent::Decision(_)))
+            .count();
+        let explained: usize = reports.iter().map(|r| r.decisions.len()).sum();
+        assert_eq!(explained, decisions, "every decision is explained");
+        for r in &reports {
+            assert!(r.rounds > 0, "{}: summary attached", r.func);
+            for d in &r.decisions {
+                assert!(!d.why.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn colored_and_spilled_webs_get_distinct_prose() {
+        // A tight file forces both outcomes.
+        let events = record(&AllocatorConfig::improved(), RegisterFile::new(6, 4, 1, 0));
+        let reports = build_reports(&events);
+        let all: Vec<&ExplainedDecision> = reports.iter().flat_map(|r| &r.decisions).collect();
+        assert!(
+            all.iter()
+                .any(|d| d.reason == "colored" && d.why.starts_with("colored to")),
+            "colored webs explained"
+        );
+        assert!(
+            all.iter()
+                .any(|d| d.loc == "spilled" && d.why.contains("spilled")),
+            "spilled webs explained"
+        );
+    }
+
+    #[test]
+    fn reports_roundtrip_through_json() {
+        let events = record(&AllocatorConfig::improved(), RegisterFile::new(8, 6, 2, 2));
+        let reports = build_reports(&events);
+        let json = reports_to_json(&reports);
+        let value = serde::json::parse(&json).expect("valid JSON");
+        let back = Vec::<FuncReport>::from_value(&value).expect("parses back");
+        assert_eq!(back, reports);
+    }
+
+    #[test]
+    fn tables_render_one_row_per_decision() {
+        let events = record(&AllocatorConfig::improved(), RegisterFile::new(8, 6, 2, 2));
+        let reports = build_reports(&events);
+        let r = &reports[0];
+        let t = report_table(r);
+        assert_eq!(t.rows.len(), r.decisions.len());
+        assert!(t.title.contains(&r.func));
+    }
+}

@@ -7,10 +7,14 @@
 //! and `all_experiments`) print them. Every binary accepts an optional
 //! `--scale <f64>` argument that shrinks the workloads proportionally.
 //!
-//! The `trace` binary is different: it runs one allocation with telemetry
-//! enabled and emits the raw event stream as JSON Lines (see
+//! Three binaries are not experiments. `trace` runs one allocation with
+//! telemetry enabled and emits the raw event stream as JSON Lines (see
 //! [`telemetry`]), optionally diffing the run against a checked-in
-//! baseline and failing on overhead regressions.
+//! baseline and failing on overhead regressions. `perf` runs the fixed
+//! allocator-performance matrix and writes a schema-versioned snapshot,
+//! gating aggregate throughput against a committed baseline (see
+//! [`perfsnap`]). `explain` renders per-function reports saying why each
+//! web got its storage class and final location (see [`explain`]).
 //!
 //! | Experiment | Paper content | Module |
 //! |---|---|---|
@@ -40,12 +44,18 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod explain;
+pub mod perfsnap;
 pub mod plot;
 mod table;
 pub mod telemetry;
 
 pub use bench::{load_all, Bench};
-pub use table::{ratio, Table};
+pub use perfsnap::{
+    compare_snapshots, parse_snapshot, run_matrix, BenchEntry, BenchSnapshot, PerfComparison,
+    BENCH_SCHEMA_VERSION,
+};
+pub use table::{ratio, CellParseError, Table};
 
 use ccra_workloads::Scale;
 

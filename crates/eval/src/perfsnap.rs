@@ -1,0 +1,500 @@
+//! Allocator performance snapshots: the `BENCH_*.json` format, the fixed
+//! workload × allocator × register-file matrix the `perf` binary runs, and
+//! the snapshot comparison behind its `--check` regression gate.
+//!
+//! A snapshot records, per matrix entry, the allocation wall-clock time,
+//! throughput (functions/sec and instructions/sec), the per-phase time
+//! breakdown (from the [`ccra_regalloc::metrics`] histograms), and the
+//! resulting overhead — so a snapshot answers both "how fast is the
+//! allocator" and "did speed come at the cost of allocation quality".
+//! Snapshots are schema-versioned ([`BENCH_SCHEMA_VERSION`]); the gate
+//! refuses to compare across schema or scale mismatches.
+
+use std::time::Instant;
+
+use ccra_analysis::{FreqMode, FrequencyInfo};
+use ccra_ir::Program;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::trace::Phase;
+use ccra_regalloc::{allocate_program_instrumented, AllocatorConfig, MetricsRegistry, NoopSink};
+use ccra_workloads::{spec_program_scaled, Scale, SpecProgram};
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+
+/// The `BENCH_*.json` schema version this crate reads and writes.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The workloads of the fixed perf matrix: a spread over the shapes the
+/// suite contains — call-heavy integer code (eqntott, li), mixed DSP (ear),
+/// a huge basic-block floating-point function (fpppp), and a call-free
+/// vectorizable loop nest (tomcatv).
+pub const MATRIX_WORKLOADS: [SpecProgram; 5] = [
+    SpecProgram::Eqntott,
+    SpecProgram::Ear,
+    SpecProgram::Li,
+    SpecProgram::Fpppp,
+    SpecProgram::Tomcatv,
+];
+
+/// The allocator configurations of the fixed perf matrix.
+pub fn matrix_configs() -> Vec<AllocatorConfig> {
+    vec![
+        AllocatorConfig::base(),
+        AllocatorConfig::improved(),
+        AllocatorConfig::improved_optimistic(),
+        AllocatorConfig::priority(ccra_regalloc::PriorityOrdering::Sorting),
+        AllocatorConfig::cbh(),
+    ]
+}
+
+/// The register files of the fixed perf matrix, with stable labels.
+pub fn matrix_files() -> Vec<(String, RegisterFile)> {
+    vec![
+        ("mips".to_string(), RegisterFile::mips_full()),
+        ("tight".to_string(), RegisterFile::new(8, 6, 2, 2)),
+    ]
+}
+
+/// One phase's share of an entry's allocation time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTime {
+    /// The phase name (see [`Phase::name`]).
+    pub phase: String,
+    /// Total microseconds spent in this phase across the run.
+    pub micros: u64,
+}
+
+/// One cell of the perf matrix: a workload under one allocator on one
+/// register file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// The workload name.
+    pub workload: String,
+    /// The allocator configuration label (e.g. `"SC+BS+PR"`).
+    pub config: String,
+    /// The register-file label (see [`matrix_files`]).
+    pub regs: String,
+    /// Functions in the workload.
+    pub funcs: u64,
+    /// Instructions (terminators included) in the workload.
+    pub instrs: u64,
+    /// Best-of-N allocation wall-clock microseconds.
+    pub micros: u64,
+    /// Functions allocated per second (from the best iteration).
+    pub funcs_per_sec: f64,
+    /// Instructions allocated per second (from the best iteration).
+    pub instrs_per_sec: f64,
+    /// Build→color→spill rounds executed.
+    pub rounds: u64,
+    /// Live ranges spilled.
+    pub spilled_ranges: u64,
+    /// Total weighted overhead of the result — deterministic, so any
+    /// change between snapshots is an allocation-quality change.
+    pub overhead_total: f64,
+    /// Per-phase time breakdown of the best iteration.
+    pub phases: Vec<PhaseTime>,
+}
+
+/// A schema-versioned performance snapshot (`BENCH_*.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// The `BENCH_*.json` schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The workload scale the matrix ran at.
+    pub scale: f64,
+    /// Timed iterations per entry (the best one is recorded).
+    pub iters: u32,
+    /// One entry per matrix cell.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchSnapshot {
+    /// Aggregate throughput: total instructions allocated per second,
+    /// weighting every entry by its size (total work / total time).
+    pub fn aggregate_instrs_per_sec(&self) -> f64 {
+        let instrs: u64 = self.entries.iter().map(|e| e.instrs).sum();
+        let micros: u64 = self.entries.iter().map(|e| e.micros).sum();
+        if micros == 0 {
+            0.0
+        } else {
+            instrs as f64 / (micros as f64 / 1e6)
+        }
+    }
+
+    /// Total allocation time across all entries, microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.entries.iter().map(|e| e.micros).sum()
+    }
+
+    /// Looks up an entry by matrix coordinates.
+    pub fn entry(&self, workload: &str, config: &str, regs: &str) -> Option<&BenchEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.workload == workload && e.config == config && e.regs == regs)
+    }
+}
+
+/// The size of a program as the snapshot reports it: functions and
+/// instructions (block terminators included).
+pub fn program_size(p: &Program) -> (u64, u64) {
+    let mut funcs = 0u64;
+    let mut instrs = 0u64;
+    for (_, f) in p.functions() {
+        funcs += 1;
+        for (_, block) in f.blocks() {
+            instrs += block.insts.len() as u64 + 1; // + terminator
+        }
+    }
+    (funcs, instrs)
+}
+
+/// Runs one matrix cell: `iters` timed allocations of an already-profiled
+/// workload, keeping the fastest iteration's time and phase breakdown.
+pub fn run_entry(
+    workload: &str,
+    ir: &Program,
+    freq: &FrequencyInfo,
+    config: &AllocatorConfig,
+    regs_label: &str,
+    file: RegisterFile,
+    iters: u32,
+) -> BenchEntry {
+    let (funcs, instrs) = program_size(ir);
+    let mut best_micros = u64::MAX;
+    let mut best_metrics = MetricsRegistry::disabled();
+    let mut rounds = 0u64;
+    let mut spilled_ranges = 0u64;
+    let mut overhead_total = 0.0;
+    for _ in 0..iters.max(1) {
+        let mut metrics = MetricsRegistry::new();
+        let start = Instant::now();
+        let out = allocate_program_instrumented(
+            ir,
+            freq,
+            file,
+            config,
+            &ccra_machine::CostModel::paper(),
+            &mut NoopSink,
+            &mut metrics,
+        )
+        .expect("benchmark programs allocate");
+        let micros = start.elapsed().as_micros() as u64;
+        if micros < best_micros {
+            best_micros = micros;
+            best_metrics = metrics;
+        }
+        rounds = best_metrics.counter("alloc_rounds_total");
+        spilled_ranges = out.per_func.iter().map(|fa| fa.spilled_ranges as u64).sum();
+        overhead_total = out.overhead.total();
+    }
+    let secs = (best_micros.max(1)) as f64 / 1e6;
+    let phases = Phase::ALL
+        .iter()
+        .filter_map(|ph| {
+            best_metrics.histogram(ph.metric_name()).map(|h| PhaseTime {
+                phase: ph.name().to_string(),
+                micros: h.sum(),
+            })
+        })
+        .collect();
+    BenchEntry {
+        workload: workload.to_string(),
+        config: config.label(),
+        regs: regs_label.to_string(),
+        funcs,
+        instrs,
+        micros: best_micros,
+        funcs_per_sec: funcs as f64 / secs,
+        instrs_per_sec: instrs as f64 / secs,
+        rounds,
+        spilled_ranges,
+        overhead_total,
+        phases,
+    }
+}
+
+/// Runs the full fixed matrix at `scale`, timing each cell `iters` times.
+/// Calls `progress` after each finished entry (for CLI feedback).
+pub fn run_matrix(
+    scale: Scale,
+    iters: u32,
+    mut progress: impl FnMut(&BenchEntry),
+) -> BenchSnapshot {
+    let mut entries = Vec::new();
+    for program in MATRIX_WORKLOADS {
+        let ir = spec_program_scaled(program, scale);
+        let freq = FrequencyInfo::profile(&ir)
+            .unwrap_or_else(|e| panic!("{program} failed to profile: {e}"));
+        debug_assert_eq!(freq.mode(), FreqMode::Dynamic);
+        for config in matrix_configs() {
+            for (regs_label, file) in matrix_files() {
+                let entry = run_entry(
+                    program.name(),
+                    &ir,
+                    &freq,
+                    &config,
+                    &regs_label,
+                    file,
+                    iters,
+                );
+                progress(&entry);
+                entries.push(entry);
+            }
+        }
+    }
+    BenchSnapshot {
+        schema_version: BENCH_SCHEMA_VERSION,
+        scale: scale.0,
+        iters,
+        entries,
+    }
+}
+
+/// One entry's baseline-vs-current delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryDelta {
+    /// `workload/config/regs` matrix coordinates.
+    pub key: String,
+    /// Baseline instructions/sec.
+    pub baseline_ips: f64,
+    /// Current instructions/sec.
+    pub current_ips: f64,
+    /// Throughput change in percent (negative = slower).
+    pub delta_pct: f64,
+    /// Whether the deterministic overhead total changed — an
+    /// allocation-quality change, not a perf one.
+    pub overhead_changed: bool,
+}
+
+/// The verdict of comparing a current snapshot against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfComparison {
+    /// Baseline aggregate throughput (instrs/sec).
+    pub baseline_ips: f64,
+    /// Current aggregate throughput (instrs/sec).
+    pub current_ips: f64,
+    /// Aggregate throughput change in percent (negative = slower).
+    pub delta_pct: f64,
+    /// Whether the aggregate slowdown exceeds the threshold.
+    pub regressed: bool,
+    /// Per-entry deltas for every matrix cell present in both snapshots.
+    pub per_entry: Vec<EntryDelta>,
+    /// Matrix cells in the baseline but missing from the current run.
+    pub missing: Vec<String>,
+}
+
+/// Compares a current snapshot against a baseline, failing the gate when
+/// aggregate throughput drops more than `threshold_pct` percent.
+///
+/// # Errors
+///
+/// Refuses (with a message) to compare snapshots of different schema
+/// versions or scales, or when no matrix cells overlap.
+pub fn compare_snapshots(
+    baseline: &BenchSnapshot,
+    current: &BenchSnapshot,
+    threshold_pct: f64,
+) -> Result<PerfComparison, String> {
+    if baseline.schema_version != current.schema_version {
+        return Err(format!(
+            "schema mismatch: baseline v{} vs current v{}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if baseline.scale != current.scale {
+        return Err(format!(
+            "scale mismatch: baseline ran at {} but this run is at {} — \
+             rerun with --scale {} (or regenerate the baseline)",
+            baseline.scale, current.scale, baseline.scale
+        ));
+    }
+    let mut per_entry = Vec::new();
+    let mut missing = Vec::new();
+    for b in &baseline.entries {
+        let key = format!("{}/{}/{}", b.workload, b.config, b.regs);
+        match current.entry(&b.workload, &b.config, &b.regs) {
+            None => missing.push(key),
+            Some(c) => per_entry.push(EntryDelta {
+                key,
+                baseline_ips: b.instrs_per_sec,
+                current_ips: c.instrs_per_sec,
+                delta_pct: pct_change(b.instrs_per_sec, c.instrs_per_sec),
+                overhead_changed: (b.overhead_total - c.overhead_total).abs() > 1e-9,
+            }),
+        }
+    }
+    if per_entry.is_empty() {
+        return Err("no matrix cells overlap between baseline and current".to_string());
+    }
+    let baseline_ips = baseline.aggregate_instrs_per_sec();
+    let current_ips = current.aggregate_instrs_per_sec();
+    let delta_pct = pct_change(baseline_ips, current_ips);
+    Ok(PerfComparison {
+        baseline_ips,
+        current_ips,
+        delta_pct,
+        regressed: delta_pct < -threshold_pct,
+        per_entry,
+        missing,
+    })
+}
+
+fn pct_change(base: f64, cur: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (cur - base) / base * 100.0
+    }
+}
+
+/// Parses a snapshot from JSON text.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, a missing field, or an unsupported
+/// `schema_version`.
+pub fn parse_snapshot(text: &str) -> Result<BenchSnapshot, String> {
+    let value = serde::json::parse(text).map_err(|e| format!("malformed snapshot JSON: {e}"))?;
+    let version = value
+        .get("schema_version")
+        .and_then(Value::as_i64)
+        .ok_or("snapshot has no schema_version")?;
+    if version != i64::from(BENCH_SCHEMA_VERSION) {
+        return Err(format!(
+            "unsupported snapshot schema v{version} (this build reads v{BENCH_SCHEMA_VERSION})"
+        ));
+    }
+    BenchSnapshot::from_value(&value).map_err(|e| format!("malformed snapshot: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(workload: &str, config: &str, regs: &str, micros: u64, instrs: u64) -> BenchEntry {
+        BenchEntry {
+            workload: workload.to_string(),
+            config: config.to_string(),
+            regs: regs.to_string(),
+            funcs: 3,
+            instrs,
+            micros,
+            funcs_per_sec: 3.0 / (micros as f64 / 1e6),
+            instrs_per_sec: instrs as f64 / (micros as f64 / 1e6),
+            rounds: 4,
+            spilled_ranges: 2,
+            overhead_total: 123.0,
+            phases: vec![PhaseTime {
+                phase: "build".to_string(),
+                micros: micros / 2,
+            }],
+        }
+    }
+
+    fn snapshot(entries: Vec<BenchEntry>) -> BenchSnapshot {
+        BenchSnapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            scale: 0.1,
+            iters: 3,
+            entries,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let snap = snapshot(vec![entry("eqntott", "base", "mips", 1000, 5000)]);
+        let json = snap.to_json();
+        assert!(json.contains("\"schema_version\":1"));
+        let back = parse_snapshot(&json).expect("snapshot parses back");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_schema_versions() {
+        let snap = snapshot(vec![]);
+        let json = snap
+            .to_json()
+            .replace("\"schema_version\":1", "\"schema_version\":99");
+        let err = parse_snapshot(&json).expect_err("v99 is unreadable");
+        assert!(err.contains("v99"), "{err}");
+        assert!(parse_snapshot("{").is_err());
+        assert!(parse_snapshot("{}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_threshold() {
+        let base = snapshot(vec![entry("eqntott", "base", "mips", 1000, 10000)]);
+        // 25% slower: 1000us -> 1333us for the same work.
+        let slow = snapshot(vec![entry("eqntott", "base", "mips", 1333, 10000)]);
+        let cmp = compare_snapshots(&base, &slow, 15.0).expect("comparable");
+        assert!(cmp.regressed, "25% slowdown trips a 15% gate");
+        assert!(cmp.delta_pct < -15.0);
+        // 5% slower passes the gate.
+        let ok = snapshot(vec![entry("eqntott", "base", "mips", 1050, 10000)]);
+        let cmp = compare_snapshots(&base, &ok, 15.0).expect("comparable");
+        assert!(!cmp.regressed);
+        assert_eq!(cmp.per_entry.len(), 1);
+        assert!(!cmp.per_entry[0].overhead_changed);
+    }
+
+    #[test]
+    fn compare_refuses_mismatched_scale_and_schema() {
+        let base = snapshot(vec![entry("eqntott", "base", "mips", 1000, 10000)]);
+        let mut other = base.clone();
+        other.scale = 0.5;
+        assert!(compare_snapshots(&base, &other, 15.0)
+            .expect_err("scale mismatch")
+            .contains("scale mismatch"));
+        let mut other = base.clone();
+        other.schema_version = 2;
+        assert!(compare_snapshots(&base, &other, 15.0)
+            .expect_err("schema mismatch")
+            .contains("schema mismatch"));
+        let disjoint = snapshot(vec![entry("li", "base", "mips", 1000, 10000)]);
+        let err = compare_snapshots(&base, &disjoint, 15.0).expect_err("no overlap");
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn compare_reports_missing_cells_and_overhead_changes() {
+        let base = snapshot(vec![
+            entry("eqntott", "base", "mips", 1000, 10000),
+            entry("li", "base", "mips", 1000, 10000),
+        ]);
+        let mut cur = snapshot(vec![entry("eqntott", "base", "mips", 1000, 10000)]);
+        cur.entries[0].overhead_total += 5.0;
+        let cmp = compare_snapshots(&base, &cur, 15.0).expect("comparable");
+        assert_eq!(cmp.missing, vec!["li/base/mips".to_string()]);
+        assert!(cmp.per_entry[0].overhead_changed);
+    }
+
+    #[test]
+    fn matrix_runs_at_tiny_scale() {
+        // One workload's worth of matrix at minuscule scale, to keep the
+        // test fast: drive run_entry directly.
+        let ir = spec_program_scaled(SpecProgram::Tomcatv, Scale(0.02));
+        let freq = FrequencyInfo::profile(&ir).expect("profiles");
+        let e = run_entry(
+            "tomcatv",
+            &ir,
+            &freq,
+            &AllocatorConfig::improved(),
+            "mips",
+            RegisterFile::mips_full(),
+            2,
+        );
+        assert!(e.funcs > 0 && e.instrs > 0);
+        assert!(e.micros > 0);
+        assert!(e.instrs_per_sec > 0.0);
+        assert!(!e.phases.is_empty(), "phase breakdown present");
+        assert!(
+            e.phases.iter().any(|p| p.phase == "build"),
+            "build phase timed"
+        );
+        let total_phase: u64 = e.phases.iter().map(|p| p.micros).sum();
+        assert!(
+            total_phase <= e.micros * 2,
+            "phase totals are plausible vs wall clock"
+        );
+    }
+}

@@ -28,6 +28,34 @@ impl Table {
         self.rows.push(row);
     }
 
+    /// Parses one cell as a number, naming the offending table, row, and
+    /// column on failure instead of panicking.
+    pub fn parse_cell(&self, row: usize, col: usize) -> Result<f64, CellParseError> {
+        let cell = self
+            .rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .ok_or_else(|| CellParseError {
+                table: self.title.clone(),
+                row,
+                col,
+                cell: "<missing>".to_string(),
+            })?;
+        cell.trim().parse().map_err(|_| CellParseError {
+            table: self.title.clone(),
+            row,
+            col,
+            cell: cell.clone(),
+        })
+    }
+
+    /// Parses every cell of one row from `from_col` to the end as numbers
+    /// (see [`Table::parse_cell`]).
+    pub fn parse_row_from(&self, row: usize, from_col: usize) -> Result<Vec<f64>, CellParseError> {
+        let width = self.rows.get(row).map_or(0, Vec::len);
+        (from_col..width).map(|c| self.parse_cell(row, c)).collect()
+    }
+
     /// Renders the table as CSV (headers first).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -54,6 +82,32 @@ impl Table {
         out
     }
 }
+
+/// A table cell that could not be parsed as a number: names the table,
+/// the 0-based row and column, and the cell's content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellParseError {
+    /// The table's title.
+    pub table: String,
+    /// The 0-based row index.
+    pub row: usize,
+    /// The 0-based column index.
+    pub col: usize,
+    /// The offending cell content (`"<missing>"` if out of bounds).
+    pub cell: String,
+}
+
+impl std::fmt::Display for CellParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "table `{}`: cell at row {}, column {} is not a number: `{}`",
+            self.table, self.row, self.col, self.cell
+        )
+    }
+}
+
+impl std::error::Error for CellParseError {}
 
 /// Serialises tables to a JSON array (hand-rolled; the tables are plain
 /// strings, so no serialisation framework is needed).
@@ -175,6 +229,23 @@ mod tests {
         assert!(json.contains("va\\nlue"));
         assert!(json.starts_with('['));
         assert!(json.ends_with(']'));
+    }
+
+    #[test]
+    fn parse_cell_names_the_offender() {
+        let mut t = Table::new("Fig X", vec!["k".into(), "v".into()]);
+        t.push_row(vec!["a".into(), "1.5".into()]);
+        t.push_row(vec!["b".into(), "oops".into()]);
+        assert_eq!(t.parse_cell(0, 1), Ok(1.5));
+        let err = t.parse_cell(1, 1).expect_err("non-numeric cell");
+        assert_eq!((err.row, err.col), (1, 1));
+        assert_eq!(err.cell, "oops");
+        let msg = err.to_string();
+        assert!(msg.contains("Fig X") && msg.contains("row 1") && msg.contains("column 1"));
+        let missing = t.parse_cell(5, 0).expect_err("out-of-bounds cell");
+        assert_eq!(missing.cell, "<missing>");
+        assert_eq!(t.parse_row_from(0, 1), Ok(vec![1.5]));
+        assert!(t.parse_row_from(1, 0).is_err());
     }
 
     #[test]

@@ -268,6 +268,9 @@ pub fn build_context_traced(
     let webs = Webs::compute(f);
     let scan = scan_webs(f, &live, &webs, freq)?;
     tr.span_end(span, crate::trace::Phase::Build);
+    tr.observe("analysis_liveness_iterations", live.iterations() as u64);
+    tr.observe("analysis_webs", webs.len() as u64);
+    tr.count("analysis_web_refs_total", webs.total_refs() as u64);
 
     let span = tr.span();
     let roots = coalesce(webs.len(), &scan);
@@ -366,6 +369,11 @@ pub fn build_context_traced(
         webs,
     };
     tr.span_end(span, crate::trace::Phase::Coalesce);
+    tr.count(
+        "coalesce_merged_webs_total",
+        (ctx.webs.len() - ctx.nodes.len()) as u64,
+    );
+    tr.observe("build_callsites", ctx.callsites.len() as u64);
     Ok(ctx)
 }
 

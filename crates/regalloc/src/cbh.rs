@@ -188,6 +188,7 @@ pub fn allocate_bank_cbh_traced(
         }
     }
     tr.span_end(span, Phase::Simplify);
+    tr.count("cbh_banks_total", 1);
 
     // Color assignment: callee-save registers are usable only if freed;
     // call-crossing nodes may not use caller-save registers at all.
@@ -231,6 +232,8 @@ pub fn allocate_bank_cbh_traced(
     tr.span_end(span, Phase::Select);
 
     let result = BankResult { colors, spilled };
+    tr.count("select_colored_total", result.colors.len() as u64);
+    tr.count("select_spilled_total", result.spilled.len() as u64);
     if let Some(reasons) = reasons {
         let meta = DecisionMeta {
             bs: None,

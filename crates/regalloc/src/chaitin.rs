@@ -387,6 +387,9 @@ pub fn allocate_bank_chaitin_traced(
     };
     let (stack, pre_spilled) = simplify(ctx, class, &bank, n_colors, config)?;
     tr.span_end(span, Phase::Simplify);
+    tr.count("chaitin_banks_total", 1);
+    tr.count("pref_forced_total", forced_caller.len() as u64);
+    tr.count("simplify_pressure_spills_total", pre_spilled.len() as u64);
 
     let span = tr.span();
     let mut reasons: Option<Reasons> = tr
@@ -403,6 +406,8 @@ pub fn allocate_bank_chaitin_traced(
         reasons.as_mut(),
     );
     tr.span_end(span, Phase::Select);
+    tr.count("select_colored_total", result.colors.len() as u64);
+    tr.count("select_spilled_total", result.spilled.len() as u64);
 
     if let Some(reasons) = reasons {
         let meta = DecisionMeta {

@@ -1073,6 +1073,26 @@ pub fn check_allocation(
     }
 }
 
+/// Like [`check_allocation`], self-profiling into `metrics`: observes the
+/// checker's wall-clock time in the `phase_check_micros` histogram and
+/// counts `check_runs_total` / `check_violations_total`.
+pub fn check_allocation_metered(
+    original: &Function,
+    rewritten: &Function,
+    freq: &FuncFreq,
+    alloc: &FuncAllocation,
+    metrics: &mut crate::metrics::MetricsRegistry,
+) -> Result<(), Vec<CheckViolation>> {
+    let timer = metrics.timer();
+    let result = check_allocation(original, rewritten, freq, alloc);
+    metrics.observe_elapsed(crate::trace::Phase::Check.metric_name(), timer);
+    metrics.inc("check_runs_total");
+    if let Err(violations) = &result {
+        metrics.add("check_violations_total", violations.len() as u64);
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,6 +73,7 @@ mod chaitin;
 pub mod check;
 mod error;
 mod graph;
+pub mod metrics;
 mod node;
 mod pipeline;
 mod priority;
@@ -88,14 +89,17 @@ pub use cbh::{allocate_bank_cbh, allocate_bank_cbh_traced};
 pub use chaitin::{
     allocate_bank_chaitin, allocate_bank_chaitin_traced, preference_decision, BankResult,
 };
+pub use check::check_allocation_metered;
 pub use check::{check_allocation, CheckViolation};
 pub use error::AllocError;
 pub use graph::InterferenceGraph;
+pub use metrics::{Histogram, MetricsRegistry};
 pub use node::{CallSite, NodeInfo, SPILL_TEMP_COST};
 pub use pipeline::{
-    allocate_function, allocate_function_traced, allocate_program, allocate_program_traced,
-    allocate_program_with, allocate_program_with_traced, count_kinds, degraded_allocation,
-    FuncAllocation, ProgramAllocation, RangeSummary, RefAssignment,
+    allocate_function, allocate_function_instrumented, allocate_function_traced, allocate_program,
+    allocate_program_instrumented, allocate_program_traced, allocate_program_with,
+    allocate_program_with_traced, count_kinds, degraded_allocation, FuncAllocation,
+    ProgramAllocation, RangeSummary, RefAssignment,
 };
 pub use priority::{allocate_bank_priority, allocate_bank_priority_traced};
 pub use reconstruct::{reconstruct_context, reconstruct_context_traced};

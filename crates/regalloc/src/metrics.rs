@@ -1,0 +1,515 @@
+//! Aggregate allocator self-profiling: counters, gauges, and log-bucketed
+//! histograms collected in a [`MetricsRegistry`].
+//!
+//! Where [`crate::trace`] records *individual* events (one JSON object per
+//! decision), this module records *aggregates*: how many rounds ran, how
+//! the interference-graph sizes distribute, where the wall-clock time went
+//! per phase. The two layers share a philosophy:
+//!
+//! * **No globals.** A registry is threaded through the pipeline exactly
+//!   like an [`crate::AllocSink`] — callers own it, tests can run many in
+//!   parallel, and nothing leaks between allocations unless merged
+//!   explicitly with [`MetricsRegistry::merge`].
+//! * **Zero cost when disabled.** Every mutator gates on
+//!   [`MetricsRegistry::enabled`] internally, so a disabled registry costs
+//!   one branch per site: no `Instant::now()`, no map insertion, no
+//!   allocation. Timers use [`MetricsRegistry::timer`], which returns
+//!   `None` when disabled.
+//!
+//! Metric names are `&'static str` so recording never allocates for keys;
+//! the `BTreeMap` storage makes both exporters ([`MetricsRegistry::to_prometheus_text`]
+//! and [`MetricsRegistry::to_json_value`]) deterministic — stable key order,
+//! byte-identical output for identical contents.
+//!
+//! Histograms bucket by powers of two ([`Histogram::bucket_index`]): bucket
+//! 0 holds exact zeros, bucket *i* holds values in `[2^(i-1), 2^i - 1]`.
+//! That is the right shape for the quantities the allocator observes —
+//! graph sizes and phase latencies span four orders of magnitude across the
+//! workload matrix, and relative (not absolute) resolution is what a
+//! regression gate needs.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::json::Value;
+
+/// Number of histogram buckets: bucket 0 plus one per power of two up to
+/// `2^30`, with everything larger clamped into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A log2-bucketed histogram of `u64` observations.
+///
+/// Bucket 0 counts exact zeros; bucket `i >= 1` counts values in
+/// `[2^(i-1), 2^i - 1]` (see [`Histogram::bucket_bound`] for the inclusive
+/// upper bound). The exact sum and count are kept alongside, so means are
+/// exact even though individual values are bucketed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of a bucket: 0 for bucket 0, `2^i - 1`
+    /// for bucket `i` (the last bucket has no upper bound; its nominal
+    /// bound is still reported for exporters).
+    pub fn bucket_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            (1u64 << index.min(63)) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The per-bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Adds another histogram bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Mutators are no-ops on a [`MetricsRegistry::disabled`] registry, so
+/// instrumentation sites call them unconditionally; only sites whose
+/// *inputs* are expensive to compute (e.g. a max-degree scan) need to gate
+/// on [`MetricsRegistry::enabled`] themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty, enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// An empty registry that ignores all recordings — the metrics analog
+    /// of [`crate::NoopSink`].
+    pub fn disabled() -> Self {
+        MetricsRegistry {
+            enabled: false,
+            ..MetricsRegistry::new()
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        if self.enabled {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Sets a gauge to a value.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        if self.enabled {
+            self.gauges.insert(name, value);
+        }
+    }
+
+    /// Raises a gauge to `value` if it exceeds the current reading.
+    pub fn gauge_max(&mut self, name: &'static str, value: f64) {
+        if self.enabled {
+            let g = self.gauges.entry(name).or_insert(f64::NEG_INFINITY);
+            if value > *g {
+                *g = value;
+            }
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        if self.enabled {
+            self.histograms.entry(name).or_default().observe(value);
+        }
+    }
+
+    /// Starts a wall-clock timer iff enabled — the metrics analog of
+    /// [`crate::trace::span_start`].
+    pub fn timer(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Ends a timer started by [`MetricsRegistry::timer`], observing the
+    /// elapsed microseconds into a histogram.
+    pub fn observe_elapsed(&mut self, name: &'static str, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.observe(name, t.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// A counter's value (0 when never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram, if any observation was recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Folds another registry into this one: counters sum, histograms add
+    /// bucket-wise, gauges keep the maximum. Merging ignores the *other*
+    /// registry's enabled flag (its contents are already final) but still
+    /// respects this one's.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        if !self.enabled {
+            return;
+        }
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, &v) in &other.gauges {
+            let g = self.gauges.entry(name).or_insert(f64::NEG_INFINITY);
+            if v > *g {
+                *g = v;
+            }
+        }
+        for (&name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    ///
+    /// Counters render as `<name> <value>` with a `# TYPE` header;
+    /// histograms render cumulative `_bucket{le="..."}` series (up to the
+    /// highest non-empty bucket, then `+Inf`) plus `_sum` and `_count`.
+    /// Output is deterministic: names are emitted in sorted order.
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let top = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+            let mut cum = 0u64;
+            for i in 0..=top {
+                cum += h.buckets[i];
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cum}",
+                    Histogram::bucket_bound(i)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON value:
+    ///
+    /// ```json
+    /// {"counters": {...}, "gauges": {...},
+    ///  "histograms": {"name": {"count": 3, "sum": 12,
+    ///                          "buckets": [{"le": 3, "n": 2}, ...]}}}
+    /// ```
+    ///
+    /// Empty buckets are omitted; key order is sorted, so identical
+    /// contents render to identical bytes.
+    pub fn to_json_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), Value::Int(v as i64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), Value::Float(v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(&k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        Value::Obj(vec![
+                            (
+                                "le".to_string(),
+                                Value::Int(Histogram::bucket_bound(i) as i64),
+                            ),
+                            ("n".to_string(), Value::Int(c as i64)),
+                        ])
+                    })
+                    .collect();
+                let obj = Value::Obj(vec![
+                    ("count".to_string(), Value::Int(h.count as i64)),
+                    ("sum".to_string(), Value::Int(h.sum as i64)),
+                    ("buckets".to_string(), Value::Arr(buckets)),
+                ]);
+                (k.to_string(), obj)
+            })
+            .collect();
+        Value::Obj(vec![
+            ("counters".to_string(), Value::Obj(counters)),
+            ("gauges".to_string(), Value::Obj(gauges)),
+            ("histograms".to_string(), Value::Obj(histograms)),
+        ])
+    }
+
+    /// [`MetricsRegistry::to_json_value`] rendered to a string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every bucket's bound is the largest value it admits.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_bound(i)), i);
+            assert_eq!(
+                Histogram::bucket_index(Histogram::bucket_bound(i) + 1),
+                i + 1
+            );
+        }
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(1), 1);
+        assert_eq!(Histogram::bucket_bound(4), 15);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_count_and_sum() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 5, 900] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 907);
+        assert!((h.mean() - 181.4).abs() < 1e-9);
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[1], 2); // the ones
+        assert_eq!(h.buckets()[3], 1); // 5 ∈ [4,7]
+        assert_eq!(h.buckets()[10], 1); // 900 ∈ [512,1023]
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::disabled();
+        assert!(!m.enabled());
+        m.inc("a");
+        m.add("b", 10);
+        m.gauge_set("g", 1.0);
+        m.gauge_max("g2", 2.0);
+        m.observe("h", 42);
+        assert!(m.timer().is_none());
+        m.observe_elapsed("t", None);
+        let other = {
+            let mut o = MetricsRegistry::new();
+            o.inc("x");
+            o
+        };
+        m.merge(&other);
+        assert!(m.is_empty());
+        assert_eq!(m.counter("a"), 0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms_and_maxes_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", 3);
+        a.add("only_a", 1);
+        a.gauge_max("g", 5.0);
+        a.observe("h", 2);
+        let mut b = MetricsRegistry::new();
+        b.add("c", 4);
+        b.gauge_max("g", 9.0);
+        b.gauge_set("only_b", -1.0);
+        b.observe("h", 700);
+        b.observe("h2", 1);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 7);
+        assert_eq!(a.counter("only_a"), 1);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.gauge("only_b"), Some(-1.0));
+        let h = a.histogram("h").expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 702);
+        assert_eq!(a.histogram("h2").map(Histogram::count), Some(1));
+    }
+
+    #[test]
+    fn exporters_are_deterministic_and_sorted() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            // Insert deliberately out of name order.
+            m.add("zeta", 1);
+            m.add("alpha", 2);
+            m.gauge_set("mid", 0.5);
+            m.observe("lat", 0);
+            m.observe("lat", 3);
+            m.observe("lat", 100);
+            m
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.to_prometheus_text(), b.to_prometheus_text());
+        assert_eq!(a.to_json(), b.to_json());
+        let text = a.to_prometheus_text();
+        let alpha = text.find("alpha 2").expect("alpha rendered");
+        let zeta = text.find("zeta 1").expect("zeta rendered");
+        assert!(alpha < zeta, "counters render in sorted order");
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"0\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_sum 103"));
+        assert!(text.contains("lat_count 3"));
+        let json = a.to_json();
+        assert!(json.starts_with("{\"counters\":{\"alpha\":2"));
+        // And the JSON parses back as a value.
+        let v = serde::json::parse(&json).expect("exporter output parses");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("zeta"))
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut m = MetricsRegistry::new();
+        m.observe("h", 1);
+        m.observe("h", 1);
+        m.observe("h", 6);
+        let text = m.to_prometheus_text();
+        assert!(text.contains("h_bucket{le=\"1\"} 2"));
+        assert!(text.contains("h_bucket{le=\"3\"} 2"));
+        assert!(text.contains("h_bucket{le=\"7\"} 3"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3"));
+    }
+}

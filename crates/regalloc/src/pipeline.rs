@@ -21,10 +21,11 @@ use crate::build::{build_context_traced, FuncContext};
 use crate::cbh::allocate_bank_cbh_traced;
 use crate::chaitin::{allocate_bank_chaitin_traced, BankResult};
 use crate::error::AllocError;
+use crate::metrics::MetricsRegistry;
 use crate::priority::allocate_bank_priority_traced;
 use crate::rewrite::{insert_overhead_markers, FinalAssignment, MarkerRewrite};
 use crate::trace::{
-    span_start, AllocEvent, AllocSink, DegradedInfo, FuncSummary, NoopSink, ProgramSummary,
+    span_start, AllocEvent, AllocSink, DegradedInfo, FuncSummary, NoopSink, Phase, ProgramSummary,
     RoundStats, TraceCtx,
 };
 use crate::types::{AllocatorConfig, AllocatorKind, Loc, Overhead};
@@ -180,29 +181,85 @@ pub fn allocate_function_traced(
     cost: &CostModel,
     sink: &mut dyn AllocSink,
 ) -> Result<(Function, FuncAllocation), AllocError> {
+    allocate_function_instrumented(
+        f,
+        freq,
+        file,
+        config,
+        cost,
+        sink,
+        &mut MetricsRegistry::disabled(),
+    )
+}
+
+/// Like [`allocate_function_traced`], additionally aggregating counters,
+/// sizes, and per-phase wall-clock histograms into `metrics` (see
+/// [`crate::metrics`]). Either layer can be off independently: a
+/// [`NoopSink`] with an enabled registry profiles without the event
+/// stream's serialization cost.
+pub fn allocate_function_instrumented(
+    f: &Function,
+    freq: &FuncFreq,
+    file: &RegisterFile,
+    config: &AllocatorConfig,
+    cost: &CostModel,
+    sink: &mut dyn AllocSink,
+    metrics: &mut MetricsRegistry,
+) -> Result<(Function, FuncAllocation), AllocError> {
+    let timer = metrics.timer();
+    let result = allocate_function_impl(f, freq, file, config, cost, sink, metrics);
+    if let Ok((_, alloc)) = &result {
+        metrics.inc("alloc_functions_total");
+        metrics.observe_elapsed("func_alloc_micros", timer);
+        metrics.observe("func_rounds", alloc.rounds as u64);
+        metrics.observe("func_spilled_ranges", alloc.spilled_ranges as u64);
+        metrics.observe("func_callee_regs_used", alloc.callee_regs_used as u64);
+    }
+    result
+}
+
+fn allocate_function_impl(
+    f: &Function,
+    freq: &FuncFreq,
+    file: &RegisterFile,
+    config: &AllocatorConfig,
+    cost: &CostModel,
+    sink: &mut dyn AllocSink,
+    metrics: &mut MetricsRegistry,
+) -> Result<(Function, FuncAllocation), AllocError> {
     let name = f.name().to_string();
     let mut body = f.clone();
     let mut spilled_ranges = 0usize;
     let mut rounds = 0u32;
     let mut ctx = {
-        let mut tr = TraceCtx::new(sink, &name, 1);
+        let mut tr = TraceCtx::with_metrics(sink, metrics, &name, 1);
         build_context_traced(&body, freq, cost, &mut tr)?
     };
     loop {
         rounds += 1;
-        let mut tr = TraceCtx::new(sink, &name, rounds);
-        if tr.enabled() {
+        metrics.inc("alloc_rounds_total");
+        let mut tr = TraceCtx::with_metrics(sink, metrics, &name, rounds);
+        if tr.enabled() || tr.metrics_enabled() {
             let max_degree = (0..ctx.nodes.len() as u32)
                 .map(|n| ctx.graph.degree(n))
                 .max()
                 .unwrap_or(0);
-            tr.emit(AllocEvent::Round(RoundStats {
-                func: name.clone(),
-                round: rounds,
-                nodes: ctx.nodes.len(),
-                edges: ctx.graph.num_edges(),
-                max_degree,
-            }));
+            tr.observe("graph_nodes", ctx.nodes.len() as u64);
+            tr.observe("graph_edges", ctx.graph.num_edges() as u64);
+            tr.observe("graph_max_degree", max_degree as u64);
+            if let Some(m) = tr.metrics() {
+                m.gauge_max("graph_nodes_peak", ctx.nodes.len() as f64);
+                m.gauge_max("graph_max_degree_peak", max_degree as f64);
+            }
+            if tr.enabled() {
+                tr.emit(AllocEvent::Round(RoundStats {
+                    func: name.clone(),
+                    round: rounds,
+                    nodes: ctx.nodes.len(),
+                    edges: ctx.graph.num_edges(),
+                    max_degree,
+                }));
+            }
         }
         let result = allocate_banks_traced(&ctx, file, config, &mut tr)?;
         if result.spilled.is_empty() {
@@ -210,8 +267,10 @@ pub fn allocate_function_traced(
                 colors: result.colors.clone(),
             };
             let callee_regs_used = assignment.callee_regs_used().len();
+            let span = tr.span();
             let marker_rw = insert_overhead_markers(&mut body, &ctx, &assignment);
             let refs = claim_refs(&body, &ctx, &result.colors, &marker_rw);
+            tr.span_end(span, Phase::Rewrite);
             let overhead = crate::accounting::weighted_overhead(&body, freq);
             let ranges = summarize(&ctx, &result.colors);
             if tr.enabled() {
@@ -260,7 +319,7 @@ pub fn allocate_function_traced(
                 &mut tr,
             )
         } else {
-            let mut tr = TraceCtx::new(sink, &name, rounds + 1);
+            let mut tr = TraceCtx::with_metrics(sink, metrics, &name, rounds + 1);
             build_context_traced(&body, freq, cost, &mut tr)?
         };
     }
@@ -287,13 +346,26 @@ pub fn degraded_allocation(
     cost: &CostModel,
     sink: &mut dyn AllocSink,
 ) -> Result<(Function, FuncAllocation), AllocError> {
+    degraded_allocation_instrumented(f, freq, file, cost, sink, &mut MetricsRegistry::disabled())
+}
+
+/// Like [`degraded_allocation`], aggregating into `metrics` (counted under
+/// `alloc_degraded_total` rather than `alloc_functions_total`).
+pub fn degraded_allocation_instrumented(
+    f: &Function,
+    freq: &FuncFreq,
+    file: &RegisterFile,
+    cost: &CostModel,
+    sink: &mut dyn AllocSink,
+    metrics: &mut MetricsRegistry,
+) -> Result<(Function, FuncAllocation), AllocError> {
     let name = f.name().to_string();
     let mut body = f.clone();
 
     // Round 1: spill every live range.
     let spilled_ranges;
     {
-        let mut tr = TraceCtx::new(sink, &name, 1);
+        let mut tr = TraceCtx::with_metrics(sink, metrics, &name, 1);
         let ctx = build_context_traced(&body, freq, cost, &mut tr)?;
         let all: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
         spilled_ranges = all.len();
@@ -304,7 +376,7 @@ pub fn degraded_allocation(
     // all spanning a single instruction) with the base allocator, which
     // never spills a range that fits a register.
     let config = AllocatorConfig::base();
-    let mut tr = TraceCtx::new(sink, &name, 2);
+    let mut tr = TraceCtx::with_metrics(sink, metrics, &name, 2);
     let ctx = build_context_traced(&body, freq, cost, &mut tr)?;
     let result = allocate_banks_traced(&ctx, file, &config, &mut tr)?;
     if !result.spilled.is_empty() {
@@ -318,8 +390,10 @@ pub fn degraded_allocation(
         colors: result.colors.clone(),
     };
     let callee_regs_used = assignment.callee_regs_used().len();
+    let span = tr.span();
     let marker_rw = insert_overhead_markers(&mut body, &ctx, &assignment);
     let refs = claim_refs(&body, &ctx, &result.colors, &marker_rw);
+    tr.span_end(span, Phase::Rewrite);
     let overhead = crate::accounting::weighted_overhead(&body, freq);
     let ranges = summarize(&ctx, &result.colors);
     if tr.enabled() {
@@ -334,6 +408,9 @@ pub fn degraded_allocation(
             shuffle: overhead.shuffle,
         }));
     }
+    metrics.inc("alloc_degraded_total");
+    metrics.observe("func_rounds", 2);
+    metrics.observe("func_spilled_ranges", spilled_ranges as u64);
     Ok((
         body,
         FuncAllocation {
@@ -426,12 +503,40 @@ pub fn allocate_program_with_traced(
     cost: &CostModel,
     sink: &mut dyn AllocSink,
 ) -> Result<ProgramAllocation, AllocError> {
+    allocate_program_instrumented(
+        program,
+        freq,
+        file,
+        config,
+        cost,
+        sink,
+        &mut MetricsRegistry::disabled(),
+    )
+}
+
+/// Like [`allocate_program_with_traced`], additionally aggregating the
+/// whole run into `metrics`: every counter and histogram of
+/// [`allocate_function_instrumented`] across all functions, plus
+/// `alloc_programs_total` and the `program_alloc_micros` histogram. This
+/// is the entry point the `ccra-eval` `perf` harness drives with a
+/// [`NoopSink`] — aggregate profiling without per-event serialization.
+pub fn allocate_program_instrumented(
+    program: &Program,
+    freq: &FrequencyInfo,
+    file: RegisterFile,
+    config: &AllocatorConfig,
+    cost: &CostModel,
+    sink: &mut dyn AllocSink,
+    metrics: &mut MetricsRegistry,
+) -> Result<ProgramAllocation, AllocError> {
     let start = span_start(sink);
+    let prog_timer = metrics.timer();
     let mut rewritten = Program::new();
     let mut per_func = Vec::with_capacity(program.num_functions());
     let mut overhead = Overhead::zero();
     for (id, f) in program.functions() {
-        let strict = allocate_function_traced(f, freq.func(id), &file, config, cost, sink);
+        let strict =
+            allocate_function_instrumented(f, freq.func(id), &file, config, cost, sink, metrics);
         let (body, alloc) = match strict {
             Ok(done) => done,
             Err(err) => {
@@ -441,7 +546,7 @@ pub fn allocate_program_with_traced(
                         reason: err.to_string(),
                     }));
                 }
-                degraded_allocation(f, freq.func(id), &file, cost, sink)?
+                degraded_allocation_instrumented(f, freq.func(id), &file, cost, sink, metrics)?
             }
         };
         overhead += alloc.overhead;
@@ -451,6 +556,8 @@ pub fn allocate_program_with_traced(
     if let Some(main) = program.main() {
         rewritten.set_main(main);
     }
+    metrics.inc("alloc_programs_total");
+    metrics.observe_elapsed("program_alloc_micros", prog_timer);
     if let Some(t) = start {
         sink.emit(AllocEvent::Program(ProgramSummary {
             config: config.label(),

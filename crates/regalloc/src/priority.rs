@@ -138,6 +138,7 @@ pub fn allocate_bank_priority_traced(
         }
     }
     tr.span_end(span, Phase::Simplify);
+    tr.count("priority_banks_total", 1);
 
     // Color assignment: highest priority first; spill on failure.
     let span = tr.span();
@@ -201,6 +202,8 @@ pub fn allocate_bank_priority_traced(
     tr.span_end(span, Phase::Select);
 
     let result = BankResult { colors, spilled };
+    tr.count("select_colored_total", result.colors.len() as u64);
+    tr.count("select_spilled_total", result.spilled.len() as u64);
     if let Some(reasons) = reasons {
         let meta = DecisionMeta {
             bs: None,

@@ -43,6 +43,8 @@ pub fn reconstruct_context_traced(
     let span = tr.span();
     let out = reconstruct_context(ctx, rewrite, spilled, f);
     tr.span_end(span, crate::trace::Phase::Reconstruct);
+    tr.count("reconstruct_rounds_total", 1);
+    tr.count("reconstruct_temps_total", rewrite.temps.len() as u64);
     out
 }
 

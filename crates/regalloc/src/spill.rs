@@ -121,6 +121,9 @@ pub fn insert_spill_code_instrumented(
     let span = tr.span();
     let rewrite = insert_spill_code_traced(f, ctx, spilled)?;
     tr.span_end(span, crate::trace::Phase::SpillInsert);
+    tr.count("spill_ranges_total", spilled.len() as u64);
+    tr.count("spill_insts_total", rewrite.inserted as u64);
+    tr.count("spill_temps_total", rewrite.temps.len() as u64);
     if tr.enabled() {
         tr.emit(crate::trace::AllocEvent::Spill(crate::trace::SpillStats {
             func: tr.func().to_string(),

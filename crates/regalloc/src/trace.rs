@@ -48,9 +48,25 @@ pub enum Phase {
     SpillInsert,
     /// Incremental graph reconstruction.
     Reconstruct,
+    /// Final rewrite: overhead markers and reference claims.
+    Rewrite,
+    /// The independent allocation checker.
+    Check,
 }
 
 impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Build,
+        Phase::Coalesce,
+        Phase::Simplify,
+        Phase::Select,
+        Phase::SpillInsert,
+        Phase::Reconstruct,
+        Phase::Rewrite,
+        Phase::Check,
+    ];
+
     /// The snake_case name used in serialized events.
     pub fn name(self) -> &'static str {
         match self {
@@ -60,6 +76,23 @@ impl Phase {
             Phase::Select => "select",
             Phase::SpillInsert => "spill_insert",
             Phase::Reconstruct => "reconstruct",
+            Phase::Rewrite => "rewrite",
+            Phase::Check => "check",
+        }
+    }
+
+    /// The histogram this phase's wall-clock observations land in (see
+    /// [`crate::metrics::MetricsRegistry`]).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Phase::Build => "phase_build_micros",
+            Phase::Coalesce => "phase_coalesce_micros",
+            Phase::Simplify => "phase_simplify_micros",
+            Phase::Select => "phase_select_micros",
+            Phase::SpillInsert => "phase_spill_insert_micros",
+            Phase::Reconstruct => "phase_reconstruct_micros",
+            Phase::Rewrite => "phase_rewrite_micros",
+            Phase::Check => "phase_check_micros",
         }
     }
 }
@@ -343,9 +376,14 @@ impl AllocSink for RecordingSink {
 }
 
 /// Streams events as JSON Lines — one compact JSON object per event.
+///
+/// Telemetry must never abort an allocation, so [`JsonlSink::emit`] does
+/// not return write failures; it counts them ([`JsonlSink::write_errors`])
+/// and [`JsonlSink::finish`] reports how many events were lost.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: W,
+    write_errors: usize,
 }
 
 impl JsonlSink<BufWriter<std::fs::File>> {
@@ -353,6 +391,7 @@ impl JsonlSink<BufWriter<std::fs::File>> {
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(JsonlSink {
             writer: BufWriter::new(std::fs::File::create(path)?),
+            write_errors: 0,
         })
     }
 }
@@ -360,21 +399,40 @@ impl JsonlSink<BufWriter<std::fs::File>> {
 impl<W: Write> JsonlSink<W> {
     /// Wraps any writer.
     pub fn new(writer: W) -> Self {
-        JsonlSink { writer }
+        JsonlSink {
+            writer,
+            write_errors: 0,
+        }
+    }
+
+    /// How many events failed to write so far.
+    pub fn write_errors(&self) -> usize {
+        self.write_errors
     }
 
     /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the flush fails, or if any earlier [`JsonlSink::emit`]
+    /// dropped events on a write error — the error message says how many.
     pub fn finish(mut self) -> io::Result<W> {
         self.writer.flush()?;
+        if self.write_errors > 0 {
+            return Err(io::Error::other(format!(
+                "{} telemetry event(s) were lost to write errors",
+                self.write_errors
+            )));
+        }
         Ok(self.writer)
     }
 }
 
 impl<W: Write> AllocSink for JsonlSink<W> {
     fn emit(&mut self, event: AllocEvent) {
-        // Telemetry must not abort an allocation; I/O errors surface at
-        // `finish()` via the writer's sticky error state instead.
-        let _ = writeln!(self.writer, "{}", event.to_json());
+        if writeln!(self.writer, "{}", event.to_json()).is_err() {
+            self.write_errors += 1;
+        }
     }
 }
 
@@ -388,22 +446,73 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<AllocEvent>, Error> {
 }
 
 /// The tracing context threaded through one round of bank allocation: the
-/// sink plus the function/round coordinates every event carries.
+/// sink, an optional [`MetricsRegistry`], and the function/round
+/// coordinates every event carries.
+///
+/// [`MetricsRegistry`]: crate::metrics::MetricsRegistry
 pub struct TraceCtx<'a> {
     sink: &'a mut dyn AllocSink,
+    metrics: Option<&'a mut crate::metrics::MetricsRegistry>,
     func: &'a str,
     round: u32,
 }
 
 impl<'a> TraceCtx<'a> {
-    /// Binds a sink to one function and round.
+    /// Binds a sink to one function and round, with no metrics.
     pub fn new(sink: &'a mut dyn AllocSink, func: &'a str, round: u32) -> Self {
-        TraceCtx { sink, func, round }
+        TraceCtx {
+            sink,
+            metrics: None,
+            func,
+            round,
+        }
+    }
+
+    /// Binds a sink *and* a metrics registry to one function and round.
+    /// Spans then both emit [`PhaseSpan`] events (if the sink is enabled)
+    /// and feed the per-phase wall-clock histograms (if the registry is).
+    pub fn with_metrics(
+        sink: &'a mut dyn AllocSink,
+        metrics: &'a mut crate::metrics::MetricsRegistry,
+        func: &'a str,
+        round: u32,
+    ) -> Self {
+        TraceCtx {
+            sink,
+            metrics: Some(metrics),
+            func,
+            round,
+        }
     }
 
     /// Whether instrumentation sites should construct events.
     pub fn enabled(&self) -> bool {
         self.sink.enabled()
+    }
+
+    /// Whether metrics are being collected.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.as_ref().is_some_and(|m| m.enabled())
+    }
+
+    /// The metrics registry, if one is attached.
+    pub fn metrics(&mut self) -> Option<&mut crate::metrics::MetricsRegistry> {
+        self.metrics.as_deref_mut()
+    }
+
+    /// Adds `n` to a metrics counter (no-op without an enabled registry).
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.add(name, n);
+        }
+    }
+
+    /// Records a metrics histogram observation (no-op without an enabled
+    /// registry).
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.observe(name, value);
+        }
     }
 
     /// The function being allocated.
@@ -421,14 +530,29 @@ impl<'a> TraceCtx<'a> {
         self.sink.emit(event);
     }
 
-    /// Starts a wall-clock span iff the sink wants events.
+    /// Starts a wall-clock span iff the sink or the metrics registry wants
+    /// it.
     pub fn span(&self) -> Option<Instant> {
-        span_start(self.sink)
+        (self.sink.enabled() || self.metrics_enabled()).then(Instant::now)
     }
 
-    /// Ends a span started by [`TraceCtx::span`].
+    /// Ends a span started by [`TraceCtx::span`]: emits a [`PhaseSpan`]
+    /// through an enabled sink and observes the phase's wall-clock
+    /// histogram in an enabled registry.
     pub fn span_end(&mut self, start: Option<Instant>, phase: Phase) {
-        span_end(self.sink, start, self.func, self.round, phase);
+        let Some(t) = start else { return };
+        let micros = t.elapsed().as_micros() as u64;
+        if self.sink.enabled() {
+            self.sink.emit(AllocEvent::Phase(PhaseSpan {
+                func: self.func.to_string(),
+                round: self.round,
+                phase: phase.name().to_string(),
+                micros,
+            }));
+        }
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.observe(phase.metric_name(), micros);
+        }
     }
 }
 
@@ -580,6 +704,86 @@ mod tests {
             AllocEvent::Phase(p) => assert_eq!(p.micros, 0),
             _ => unreachable!(),
         }
+    }
+
+    /// A writer that fails after `ok_writes` successful writes.
+    #[derive(Debug)]
+    struct FlakyWriter {
+        ok_writes: usize,
+        buf: Vec<u8>,
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.ok_writes -= 1;
+            self.buf.extend_from_slice(data);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_and_reports_write_errors() {
+        // One `emit` is two writes (payload + newline): allow exactly the
+        // first event through, then fail.
+        let mut sink = JsonlSink::new(FlakyWriter {
+            ok_writes: 2,
+            buf: Vec::new(),
+        });
+        sink.emit(AllocEvent::Decision(sample_decision())); // succeeds
+        sink.emit(AllocEvent::Decision(sample_decision())); // fails
+        sink.emit(AllocEvent::Decision(sample_decision())); // fails
+        assert_eq!(sink.write_errors(), 2);
+        let err = sink.finish().expect_err("lost events surface at finish");
+        assert!(
+            err.to_string().contains("2 telemetry event(s)"),
+            "error names the loss count: {err}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_finish_is_clean_without_errors() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(AllocEvent::Decision(sample_decision()));
+        assert_eq!(sink.write_errors(), 0);
+        assert!(sink.finish().is_ok());
+    }
+
+    #[test]
+    fn trace_ctx_spans_feed_metrics_without_a_sink() {
+        let mut sink = NoopSink;
+        let mut metrics = crate::metrics::MetricsRegistry::new();
+        let mut tr = TraceCtx::with_metrics(&mut sink, &mut metrics, "f", 1);
+        assert!(!tr.enabled());
+        assert!(tr.metrics_enabled());
+        let span = tr.span();
+        assert!(span.is_some(), "metrics alone keep spans alive");
+        tr.span_end(span, Phase::Build);
+        tr.count("c", 2);
+        tr.observe("h", 5);
+        assert_eq!(
+            metrics
+                .histogram(Phase::Build.metric_name())
+                .map(|h| h.count()),
+            Some(1)
+        );
+        assert_eq!(metrics.counter("c"), 2);
+    }
+
+    #[test]
+    fn trace_ctx_span_is_none_when_both_layers_are_off() {
+        let mut sink = NoopSink;
+        let mut metrics = crate::metrics::MetricsRegistry::disabled();
+        let tr = TraceCtx::with_metrics(&mut sink, &mut metrics, "f", 1);
+        assert!(tr.span().is_none());
+        let tr2 = TraceCtx::new(&mut sink, "f", 1);
+        assert!(tr2.span().is_none());
     }
 
     #[test]
