@@ -271,7 +271,14 @@ impl Webs {
                 }
             }
         }
-        for (&(bb, i, v), &rep) in &use_reaching {
+        // Site order, not hash order: fresh web ids are allocated inside
+        // this loop, so its iteration order decides the WebId numbering —
+        // and everything downstream (node ids, spill-slot numbering) keys
+        // off that. Sorting keeps Webs::compute a pure function of the IR.
+        let mut use_sites: Vec<((BlockId, InstIdx, VReg), Option<u32>)> =
+            use_reaching.iter().map(|(&k, &r)| (k, r)).collect();
+        use_sites.sort_unstable_by_key(|&((bb, i, v), _)| (bb, i, v));
+        for ((bb, i, v), rep) in use_sites {
             let id = match rep {
                 Some(g) => {
                     let root = uf.find(g);

@@ -1,25 +1,34 @@
-//! Runs the fixed allocator-performance matrix and writes a
-//! schema-versioned snapshot (`BENCH_<version>.json`), optionally gating
-//! against a committed baseline.
+//! Sweeps the parallel allocation driver over worker counts
+//! ([`ccra_eval::SWEEP_WORKER_COUNTS`]), verifies the parallel output is
+//! byte-identical to the serial pipeline on every workload, and writes a
+//! schema-versioned snapshot with the measurements in its `parallel`
+//! section.
 //!
 //! ```text
-//! perf [--scale <f64>] [--iters <n>] [--out <file.json>]
-//!      [--check <baseline.json>] [--threshold <pct>]
+//! par [--scale <f64>] [--iters <n>] [--out <file.json>]
+//!     [--check <baseline.json>] [--threshold <pct>] [--w1-threshold <pct>]
 //! ```
 //!
 //! * `--scale` — workload scale (default 1.0, or the `BENCH_SCALE`
 //!   environment variable; the flag wins).
-//! * `--iters` — timed iterations per matrix cell; the fastest is kept
+//! * `--iters` — timed iterations per cell; the fastest is kept
 //!   (default 3).
 //! * `--out` — snapshot path (default `BENCH_<version>.json`).
-//! * `--check` — compare against a baseline snapshot; exit 1 when
-//!   aggregate throughput (instructions allocated per second) drops more
-//!   than `--threshold` percent (default 15). Scale and schema version
-//!   must match the baseline.
+//! * `--check` — compare the sweep against a baseline snapshot's
+//!   `parallel` section; exit 1 when aggregate throughput drops more than
+//!   `--threshold` percent (default 25 — loose, the sweep is
+//!   scheduling-sensitive).
+//! * `--w1-threshold` — always enforced, baseline or not: the driver at
+//!   `workers = 1` must not be slower than the serial pipeline by more
+//!   than this many percent (default 10).
+//!
+//! Speedups are wall-clock honest: on a single-core machine every worker
+//! count measures ≈ 1.0×, and that is the number recorded.
 
 use std::process::ExitCode;
 
 use ccra_eval::perfsnap::{self, BenchSnapshot, BENCH_SCHEMA_VERSION};
+use ccra_eval::{compare_parallel, parsweep, workers1_gate};
 use ccra_workloads::Scale;
 use serde::Serialize;
 
@@ -29,12 +38,13 @@ struct Args {
     out: String,
     check: Option<String>,
     threshold: f64,
+    w1_threshold: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: perf [--scale <f64>] [--iters <n>] [--out <file.json>] \
-         [--check <baseline.json>] [--threshold <pct>]"
+        "usage: par [--scale <f64>] [--iters <n>] [--out <file.json>] \
+         [--check <baseline.json>] [--threshold <pct>] [--w1-threshold <pct>]"
     );
     eprintln!("the BENCH_SCALE environment variable sets the default scale");
     std::process::exit(2);
@@ -49,7 +59,8 @@ fn parse_args() -> Args {
     let mut iters = 3u32;
     let mut out = format!("BENCH_{BENCH_SCHEMA_VERSION}.json");
     let mut check = None;
-    let mut threshold = 15.0;
+    let mut threshold = 25.0;
+    let mut w1_threshold = 10.0;
 
     let mut i = 0;
     while i < argv.len() {
@@ -82,6 +93,10 @@ fn parse_args() -> Args {
                 threshold = take(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--w1-threshold" => {
+                w1_threshold = take(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -92,6 +107,7 @@ fn parse_args() -> Args {
         out,
         check,
         threshold,
+        w1_threshold,
     }
 }
 
@@ -99,35 +115,41 @@ fn main() -> ExitCode {
     let args = parse_args();
 
     eprintln!(
-        "perf: schema v{BENCH_SCHEMA_VERSION}, scale {}, {} iteration(s) per cell",
-        args.scale.0, args.iters
+        "par: schema v{BENCH_SCHEMA_VERSION}, scale {}, {} iteration(s) per cell, \
+         worker counts {:?}",
+        args.scale.0,
+        args.iters,
+        parsweep::SWEEP_WORKER_COUNTS
     );
-    let snapshot = perfsnap::run_matrix(args.scale, args.iters, |e| {
+    let parallel = parsweep::run_par_sweep(args.scale, args.iters, |e| {
         eprintln!(
-            "  {:>8} [{:^10}] {:>5}: {:>9} instrs in {:>8} us ({:>12.0} instrs/sec, \
-             {} round(s), {} spill(s))",
-            e.workload,
-            e.config,
-            e.regs,
-            e.instrs,
-            e.micros,
-            e.instrs_per_sec,
-            e.rounds,
-            e.spilled_ranges
+            "  {:>8} [{:^10}] w={}: {:>9} instrs in {:>8} us ({:>12.0} instrs/sec, \
+             {:.2}x vs serial)",
+            e.workload, e.config, e.workers, e.instrs, e.micros, e.instrs_per_sec, e.speedup
         );
     });
-    eprintln!(
-        "aggregate: {:.0} instrs/sec over {} cells ({} us total)",
-        snapshot.aggregate_instrs_per_sec(),
-        snapshot.entries.len(),
-        snapshot.total_micros()
-    );
 
+    let snapshot = BenchSnapshot {
+        schema_version: BENCH_SCHEMA_VERSION,
+        scale: args.scale.0,
+        iters: args.iters,
+        entries: Vec::new(),
+        parallel,
+    };
     if let Err(e) = std::fs::write(&args.out, snapshot.to_json() + "\n") {
         eprintln!("cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", args.out);
+
+    if let Err(e) = workers1_gate(&snapshot.parallel, args.w1_threshold) {
+        eprintln!("GATE FAILED: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "ok: workers=1 within {:.0}% of the serial pipeline on every workload",
+        args.w1_threshold
+    );
 
     if let Some(path) = &args.check {
         return check_against(path, &snapshot, args.threshold);
@@ -150,24 +172,20 @@ fn check_against(path: &str, current: &BenchSnapshot, threshold: f64) -> ExitCod
             return ExitCode::FAILURE;
         }
     };
-    let cmp = match perfsnap::compare_snapshots(&baseline, current, threshold) {
+    if baseline.scale != current.scale {
+        eprintln!(
+            "baseline {path} is at scale {}, this run is at scale {} — not comparable",
+            baseline.scale, current.scale
+        );
+        return ExitCode::FAILURE;
+    }
+    let cmp = match compare_parallel(&baseline.parallel, &current.parallel, threshold) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot compare against {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    for d in &cmp.per_entry {
-        let quality = if d.overhead_changed {
-            "  [overhead changed!]"
-        } else {
-            ""
-        };
-        eprintln!(
-            "  {:<28} {:>12.0} -> {:>12.0} instrs/sec ({:+.1}%){}",
-            d.key, d.baseline_ips, d.current_ips, d.delta_pct, quality
-        );
-    }
     for key in &cmp.missing {
         eprintln!("  {key:<28} missing from this run");
     }

@@ -13,7 +13,10 @@
 //! baseline and failing on overhead regressions. `perf` runs the fixed
 //! allocator-performance matrix and writes a schema-versioned snapshot,
 //! gating aggregate throughput against a committed baseline (see
-//! [`perfsnap`]). `explain` renders per-function reports saying why each
+//! [`perfsnap`]). `par` sweeps the parallel allocation driver over worker
+//! counts, verifies parallel-equals-serial on every workload, and records
+//! the speedups into the snapshot's `parallel` section (see [`parsweep`]).
+//! `explain` renders per-function reports saying why each
 //! web got its storage class and final location (see [`explain`]).
 //!
 //! | Experiment | Paper content | Module |
@@ -45,15 +48,19 @@
 pub mod bench;
 pub mod experiments;
 pub mod explain;
+pub mod parsweep;
 pub mod perfsnap;
 pub mod plot;
 mod table;
 pub mod telemetry;
 
 pub use bench::{load_all, Bench};
+pub use parsweep::{
+    compare_parallel, run_par_sweep, workers1_gate, ParComparison, SWEEP_WORKER_COUNTS,
+};
 pub use perfsnap::{
-    compare_snapshots, parse_snapshot, run_matrix, BenchEntry, BenchSnapshot, PerfComparison,
-    BENCH_SCHEMA_VERSION,
+    compare_snapshots, parse_snapshot, run_matrix, BenchEntry, BenchSnapshot, ParEntry,
+    PerfComparison, BENCH_SCHEMA_VERSION,
 };
 pub use table::{ratio, CellParseError, Table};
 

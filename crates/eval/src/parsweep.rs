@@ -1,0 +1,331 @@
+//! The parallel-driver worker sweep behind the `par` binary: time each
+//! workload through [`ParallelDriver`] at worker counts
+//! [`SWEEP_WORKER_COUNTS`] against the serial pipeline, verify the outputs
+//! are identical along the way, and gate the results.
+//!
+//! Two gates ride on the sweep:
+//!
+//! * [`workers1_gate`] — the driver at `workers = 1` must not be slower
+//!   than the serial pipeline by more than a small tolerance: the sharding
+//!   machinery itself has to be near-free;
+//! * [`compare_parallel`] — a loose throughput comparison against the
+//!   committed baseline's `parallel` section, same spirit as
+//!   [`crate::perfsnap::compare_snapshots`] but per (workload, workers)
+//!   cell.
+//!
+//! Speedup numbers are honest wall-clock measurements on whatever machine
+//! runs the sweep — on a single-core container the sweep records ≈ 1.0×
+//! at every worker count (and that is the *correct* answer there, which is
+//! why the CI gate bounds only the `workers = 1` overhead, not a speedup
+//! floor).
+
+use std::time::Instant;
+
+use ccra_analysis::FrequencyInfo;
+use ccra_ir::Program;
+use ccra_machine::{CostModel, RegisterFile};
+use ccra_regalloc::{
+    allocate_program_instrumented, AllocRequest, AllocatorConfig, MetricsRegistry, NoopSink,
+    ParallelDriver,
+};
+use ccra_workloads::{random_program, spec_program_scaled, FuzzConfig, Scale};
+
+use crate::perfsnap::{program_size, ParEntry, MATRIX_WORKLOADS};
+
+/// The worker counts the sweep measures.
+pub const SWEEP_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The seed and shape of the many-function fuzz workload: the spec
+/// programs have 1–4 functions each, so sharding needs a wide program to
+/// show; 64 functions give every worker count in the sweep real work.
+pub const FUZZ_WORKLOAD_FUNCS: usize = 64;
+
+/// One named workload of the sweep.
+pub struct ParWorkload {
+    /// The name recorded in [`ParEntry::workload`].
+    pub name: String,
+    /// The program.
+    pub program: Program,
+}
+
+/// The sweep's workloads: the five perf-matrix spec programs at `scale`,
+/// plus a deterministic 64-function fuzz program (scale-independent —
+/// its point is function *count*, which the spec programs lack).
+pub fn par_workloads(scale: Scale) -> Vec<ParWorkload> {
+    let mut out: Vec<ParWorkload> = MATRIX_WORKLOADS
+        .iter()
+        .map(|&w| ParWorkload {
+            name: w.name().to_string(),
+            program: spec_program_scaled(w, scale),
+        })
+        .collect();
+    out.push(ParWorkload {
+        name: format!("fuzz{FUZZ_WORKLOAD_FUNCS}"),
+        program: random_program(
+            1997,
+            &FuzzConfig {
+                functions: FUZZ_WORKLOAD_FUNCS,
+                stmts_per_fn: 12,
+                max_loop_depth: 1,
+                max_trips: 4,
+            },
+        ),
+    });
+    out
+}
+
+/// Runs the sweep: for each workload, a best-of-`iters` serial reference
+/// and a best-of-`iters` [`ParallelDriver`] run per worker count, each
+/// verified byte-identical to the serial result. Calls `progress` after
+/// each finished entry.
+///
+/// # Panics
+///
+/// Panics if a workload fails to profile or allocate, or if a parallel
+/// result ever differs from the serial one — the sweep doubles as a
+/// determinism check on real workloads.
+pub fn run_par_sweep(
+    scale: Scale,
+    iters: u32,
+    mut progress: impl FnMut(&ParEntry),
+) -> Vec<ParEntry> {
+    let config = AllocatorConfig::improved();
+    let cost = CostModel::paper();
+    let file = RegisterFile::mips_full();
+    let mut entries = Vec::new();
+    for workload in par_workloads(scale) {
+        let freq = FrequencyInfo::profile(&workload.program)
+            .unwrap_or_else(|e| panic!("{} failed to profile: {e}", workload.name));
+        let (funcs, instrs) = program_size(&workload.program);
+
+        let mut serial_micros = u64::MAX;
+        let mut serial_alloc = None;
+        for _ in 0..iters.max(1) {
+            let start = Instant::now();
+            let out = allocate_program_instrumented(
+                &workload.program,
+                &freq,
+                file,
+                &config,
+                &cost,
+                &mut NoopSink,
+                &mut MetricsRegistry::disabled(),
+            )
+            .unwrap_or_else(|e| panic!("{} failed to allocate: {e}", workload.name));
+            serial_micros = serial_micros.min(start.elapsed().as_micros() as u64);
+            serial_alloc = Some(out);
+        }
+        let serial_alloc = serial_alloc.expect("at least one serial iteration ran");
+
+        for workers in SWEEP_WORKER_COUNTS {
+            let driver = ParallelDriver::new(workers);
+            let mut best_micros = u64::MAX;
+            for _ in 0..iters.max(1) {
+                let req = AllocRequest {
+                    program: &workload.program,
+                    freq: &freq,
+                    file,
+                    config: &config,
+                    cost: &cost,
+                };
+                let start = Instant::now();
+                let out = driver
+                    .allocate_program_instrumented(
+                        &req,
+                        &mut NoopSink,
+                        &mut MetricsRegistry::disabled(),
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("{} failed on {workers} worker(s): {e}", workload.name)
+                    });
+                best_micros = best_micros.min(start.elapsed().as_micros() as u64);
+                assert!(
+                    out == serial_alloc,
+                    "{}: parallel result at {workers} worker(s) differs from serial",
+                    workload.name
+                );
+            }
+            let secs = best_micros.max(1) as f64 / 1e6;
+            let entry = ParEntry {
+                workload: workload.name.clone(),
+                config: config.label(),
+                regs: "mips".to_string(),
+                workers: workers as u64,
+                funcs,
+                instrs,
+                micros: best_micros,
+                instrs_per_sec: instrs as f64 / secs,
+                speedup: serial_micros as f64 / best_micros.max(1) as f64,
+            };
+            progress(&entry);
+            entries.push(entry);
+        }
+    }
+    entries
+}
+
+/// The `workers = 1` overhead gate: the driver with one worker runs jobs
+/// inline, so it must stay within `threshold_pct` percent of the serial
+/// pipeline on every workload.
+///
+/// # Errors
+///
+/// Returns a message naming every workload whose `workers = 1` entry was
+/// more than `threshold_pct` percent slower than serial
+/// (`speedup < 1 - threshold_pct/100`).
+pub fn workers1_gate(parallel: &[ParEntry], threshold_pct: f64) -> Result<(), String> {
+    let floor = 1.0 - threshold_pct / 100.0;
+    let offenders: Vec<String> = parallel
+        .iter()
+        .filter(|e| e.workers == 1 && e.speedup < floor)
+        .map(|e| format!("{} ({:.2}x)", e.workload, e.speedup))
+        .collect();
+    if offenders.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "parallel driver at workers=1 slower than serial by more than \
+             {threshold_pct:.0}%: {}",
+            offenders.join(", ")
+        ))
+    }
+}
+
+/// The verdict of comparing a current sweep against a baseline's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParComparison {
+    /// Baseline aggregate throughput over overlapping cells (instrs/sec).
+    pub baseline_ips: f64,
+    /// Current aggregate throughput over overlapping cells (instrs/sec).
+    pub current_ips: f64,
+    /// Aggregate throughput change in percent (negative = slower).
+    pub delta_pct: f64,
+    /// Whether the aggregate slowdown exceeds the threshold.
+    pub regressed: bool,
+    /// Sweep cells in the baseline but missing from the current run.
+    pub missing: Vec<String>,
+}
+
+/// Compares a current sweep against a baseline's `parallel` section,
+/// failing when aggregate throughput over the overlapping cells drops
+/// more than `threshold_pct` percent.
+///
+/// # Errors
+///
+/// Fails when no sweep cells overlap.
+pub fn compare_parallel(
+    baseline: &[ParEntry],
+    current: &[ParEntry],
+    threshold_pct: f64,
+) -> Result<ParComparison, String> {
+    let mut base_micros = 0u64;
+    let mut base_instrs = 0u64;
+    let mut cur_micros = 0u64;
+    let mut cur_instrs = 0u64;
+    let mut missing = Vec::new();
+    for b in baseline {
+        let key = format!("{}/w{}", b.workload, b.workers);
+        match current.iter().find(|c| {
+            c.workload == b.workload
+                && c.config == b.config
+                && c.regs == b.regs
+                && c.workers == b.workers
+        }) {
+            None => missing.push(key),
+            Some(c) => {
+                base_micros += b.micros;
+                base_instrs += b.instrs;
+                cur_micros += c.micros;
+                cur_instrs += c.instrs;
+            }
+        }
+    }
+    if base_micros == 0 || cur_micros == 0 {
+        return Err("no parallel sweep cells overlap between baseline and current".to_string());
+    }
+    let baseline_ips = base_instrs as f64 / (base_micros as f64 / 1e6);
+    let current_ips = cur_instrs as f64 / (cur_micros as f64 / 1e6);
+    let delta_pct = if baseline_ips == 0.0 {
+        0.0
+    } else {
+        (current_ips - baseline_ips) / baseline_ips * 100.0
+    };
+    Ok(ParComparison {
+        baseline_ips,
+        current_ips,
+        delta_pct,
+        regressed: delta_pct < -threshold_pct,
+        missing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn par(workload: &str, workers: u64, micros: u64, speedup: f64) -> ParEntry {
+        ParEntry {
+            workload: workload.to_string(),
+            config: "SC+BS+PR".to_string(),
+            regs: "mips".to_string(),
+            workers,
+            funcs: 4,
+            instrs: 1000,
+            micros,
+            instrs_per_sec: 1000.0 / (micros as f64 / 1e6),
+            speedup,
+        }
+    }
+
+    #[test]
+    fn workers1_gate_flags_only_slow_workers1_entries() {
+        let sweep = vec![
+            par("eqntott", 1, 100, 0.97),
+            par("eqntott", 4, 80, 1.25), // other worker counts never gate
+            par("ear", 1, 100, 0.80),
+        ];
+        workers1_gate(&sweep, 10.0).expect_err("ear at 0.80x trips a 10% gate");
+        let err = workers1_gate(&sweep, 10.0).unwrap_err();
+        assert!(err.contains("ear") && !err.contains("eqntott"), "{err}");
+        workers1_gate(&sweep, 25.0).expect("0.80x passes a 25% gate");
+        workers1_gate(&[], 10.0).expect("empty sweep passes vacuously");
+    }
+
+    #[test]
+    fn compare_parallel_flags_aggregate_slowdowns() {
+        let base = vec![par("eqntott", 1, 100, 1.0), par("eqntott", 4, 100, 1.0)];
+        let slow = vec![par("eqntott", 1, 150, 1.0), par("eqntott", 4, 150, 1.0)];
+        let cmp = compare_parallel(&base, &slow, 20.0).expect("comparable");
+        assert!(cmp.regressed, "50% more time trips a 20% gate");
+        let cmp = compare_parallel(&base, &base.clone(), 20.0).expect("comparable");
+        assert!(!cmp.regressed);
+        assert_eq!(cmp.delta_pct, 0.0);
+        let partial = vec![par("eqntott", 1, 100, 1.0)];
+        let cmp = compare_parallel(&base, &partial, 20.0).expect("comparable");
+        assert_eq!(cmp.missing, vec!["eqntott/w4".to_string()]);
+        assert!(compare_parallel(&base, &[], 20.0).is_err(), "no overlap");
+    }
+
+    #[test]
+    fn sweep_runs_at_tiny_scale_and_matches_serial() {
+        // The full sweep at minuscule scale: exercises the
+        // parallel-equals-serial assertion inside run_par_sweep on every
+        // workload (fuzz64 included) at all four worker counts.
+        let mut seen = Vec::new();
+        let entries = run_par_sweep(Scale(0.02), 1, |e| seen.push(e.workload.clone()));
+        assert_eq!(
+            entries.len(),
+            par_workloads(Scale(0.02)).len() * SWEEP_WORKER_COUNTS.len()
+        );
+        assert_eq!(seen.len(), entries.len());
+        for e in &entries {
+            assert!(e.micros > 0 && e.instrs > 0 && e.speedup > 0.0);
+        }
+        let fuzz: Vec<_> = entries
+            .iter()
+            .filter(|e| e.workload.starts_with("fuzz"))
+            .collect();
+        assert_eq!(fuzz.len(), SWEEP_WORKER_COUNTS.len());
+        assert_eq!(fuzz[0].funcs, FUZZ_WORKLOAD_FUNCS as u64);
+    }
+}

@@ -22,7 +22,11 @@ use serde::json::Value;
 use serde::{Deserialize, Serialize};
 
 /// The `BENCH_*.json` schema version this crate reads and writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `parallel` section: worker-count sweep entries from the
+/// `par` binary ([`ParEntry`]). v1 snapshots (no such section) are
+/// rejected — regenerate the baseline.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// The workloads of the fixed perf matrix: a spread over the shapes the
 /// suite contains — call-heavy integer code (eqntott, li), mixed DSP (ear),
@@ -95,6 +99,31 @@ pub struct BenchEntry {
     pub phases: Vec<PhaseTime>,
 }
 
+/// One cell of the parallel sweep: a workload allocated through
+/// [`ccra_regalloc::ParallelDriver`] at one worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParEntry {
+    /// The workload name.
+    pub workload: String,
+    /// The allocator configuration label.
+    pub config: String,
+    /// The register-file label (see [`matrix_files`]).
+    pub regs: String,
+    /// Worker threads the driver was configured with.
+    pub workers: u64,
+    /// Functions in the workload.
+    pub funcs: u64,
+    /// Instructions (terminators included) in the workload.
+    pub instrs: u64,
+    /// Best-of-N parallel allocation wall-clock microseconds.
+    pub micros: u64,
+    /// Instructions allocated per second (from the best iteration).
+    pub instrs_per_sec: f64,
+    /// Serial-pipeline time divided by this entry's time (> 1 = the
+    /// driver was faster than `allocate_program`).
+    pub speedup: f64,
+}
+
 /// A schema-versioned performance snapshot (`BENCH_*.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSnapshot {
@@ -106,6 +135,9 @@ pub struct BenchSnapshot {
     pub iters: u32,
     /// One entry per matrix cell.
     pub entries: Vec<BenchEntry>,
+    /// The parallel-driver worker sweep (empty when only the serial
+    /// matrix ran; filled by the `par` binary).
+    pub parallel: Vec<ParEntry>,
 }
 
 impl BenchSnapshot {
@@ -247,6 +279,7 @@ pub fn run_matrix(
         scale: scale.0,
         iters,
         entries,
+        parallel: Vec::new(),
     }
 }
 
@@ -397,14 +430,27 @@ mod tests {
             scale: 0.1,
             iters: 3,
             entries,
+            parallel: Vec::new(),
         }
     }
 
     #[test]
     fn snapshot_roundtrips_through_json() {
-        let snap = snapshot(vec![entry("eqntott", "base", "mips", 1000, 5000)]);
+        let mut snap = snapshot(vec![entry("eqntott", "base", "mips", 1000, 5000)]);
+        snap.parallel.push(ParEntry {
+            workload: "eqntott".to_string(),
+            config: "SC+BS+PR".to_string(),
+            regs: "mips".to_string(),
+            workers: 4,
+            funcs: 3,
+            instrs: 5000,
+            micros: 900,
+            instrs_per_sec: 5000.0 / (900.0 / 1e6),
+            speedup: 1.11,
+        });
         let json = snap.to_json();
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"parallel\":["));
         let back = parse_snapshot(&json).expect("snapshot parses back");
         assert_eq!(back, snap);
     }
@@ -414,9 +460,13 @@ mod tests {
         let snap = snapshot(vec![]);
         let json = snap
             .to_json()
-            .replace("\"schema_version\":1", "\"schema_version\":99");
+            .replace("\"schema_version\":2", "\"schema_version\":99");
         let err = parse_snapshot(&json).expect_err("v99 is unreadable");
         assert!(err.contains("v99"), "{err}");
+        // A v1 snapshot has no `parallel` section; even with the version
+        // field forged, the body does not parse as v2.
+        let forged_v1 = snap.to_json().replace(",\"parallel\":[]", "");
+        assert!(parse_snapshot(&forged_v1).is_err());
         assert!(parse_snapshot("{").is_err());
         assert!(parse_snapshot("{}").is_err());
     }
@@ -446,7 +496,7 @@ mod tests {
             .expect_err("scale mismatch")
             .contains("scale mismatch"));
         let mut other = base.clone();
-        other.schema_version = 2;
+        other.schema_version = 1;
         assert!(compare_snapshots(&base, &other, 15.0)
             .expect_err("schema mismatch")
             .contains("schema mismatch"));

@@ -9,6 +9,16 @@ use crate::inst::{Callee, Inst};
 /// Register allocation is intra-procedural (one [`Function`] at a time, as in
 /// the paper), but frequency estimation and profiling are whole-program: how
 /// often a function is *entered* determines its callee-save cost.
+///
+/// # Ordering invariant
+///
+/// [`FuncId`]s are **dense and assigned in insertion order**:
+/// [`Program::add_function`] hands out ids `0, 1, 2, …`, functions are
+/// never removed or reordered, and [`Program::functions`] /
+/// [`Program::func_ids`] iterate in ascending id order. This is a stable,
+/// documented invariant — the allocation drivers report per-function
+/// results indexed by id, and the parallel driver's deterministic merge
+/// reassembles programs in id order relying on it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     functions: EntityVec<FuncId, Function>,
@@ -24,7 +34,8 @@ impl Program {
         }
     }
 
-    /// Adds a function and returns its id.
+    /// Adds a function and returns its id — the next dense id in
+    /// insertion order (see the ordering invariant on [`Program`]).
     pub fn add_function(&mut self, f: Function) -> FuncId {
         self.functions.push(f)
     }
@@ -55,12 +66,13 @@ impl Program {
         self.functions.len()
     }
 
-    /// Iterates over `(id, function)` pairs.
+    /// Iterates over `(id, function)` pairs, in ascending id (= insertion)
+    /// order.
     pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
         self.functions.iter()
     }
 
-    /// All function ids.
+    /// All function ids, in ascending (= insertion) order.
     pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
         self.functions.ids()
     }
@@ -151,6 +163,23 @@ mod tests {
     fn set_main_validates() {
         let mut p = Program::new();
         p.set_main(FuncId(3));
+    }
+
+    #[test]
+    fn function_ids_are_dense_and_in_insertion_order() {
+        let mut p = Program::new();
+        let names = ["c", "a", "b", "z"];
+        let ids: Vec<FuncId> = names.iter().map(|n| p.add_function(leaf(n))).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i, "ids are dense, in insertion order");
+        }
+        let iterated: Vec<(FuncId, &str)> = p.functions().map(|(id, f)| (id, f.name())).collect();
+        assert_eq!(
+            iterated,
+            ids.iter().copied().zip(names).collect::<Vec<_>>(),
+            "iteration follows insertion order, not name order"
+        );
+        assert_eq!(p.func_ids().collect::<Vec<_>>(), ids);
     }
 
     #[test]

@@ -313,6 +313,10 @@ fn assign(
     // if its users' combined spill cost exceeds the save/restore cost.
     if config.storage_class && config.callee_cost_model == CalleeCostModel::Shared {
         let callee_cost = ctx.entry_freq * 2.0;
+        // Register order, not hash order: this loop pushes into `spilled`,
+        // whose order numbers the spill slots downstream.
+        let mut delta: Vec<(PhysReg, Vec<u32>)> = delta.into_iter().collect();
+        delta.sort_unstable_by_key(|&(r, _)| r);
         for (_, users) in delta {
             let users: Vec<u32> = users
                 .into_iter()

@@ -1,0 +1,260 @@
+//! The batch service front-end: submit many [`Program`]s, collect
+//! per-job results.
+//!
+//! Where [`crate::driver::ParallelDriver`] parallelizes *within* one
+//! program (per-function sharding), [`BatchService`] parallelizes *across*
+//! programs — the compile-service shape: a bounded submission queue with
+//! blocking backpressure ([`BatchService::submit`]) or caller-side load
+//! shedding ([`BatchService::try_submit`]), a fixed pool of service
+//! workers, and a status per job ([`BatchStatus`]) so one failed
+//! submission never hides or poisons its siblings. The two layers compose:
+//! [`BatchConfig::shard_workers`] > 1 gives every service worker its own
+//! [`ParallelDriver`] for the functions of each program it picks up.
+//!
+//! Results are collected with [`BatchService::shutdown`], which closes the
+//! queue, drains it, joins the workers, and returns results **sorted by
+//! submission id** — deterministic presentation over a nondeterministic
+//! execution order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ccra_analysis::FrequencyInfo;
+use ccra_ir::Program;
+use ccra_machine::{CostModel, RegisterFile};
+
+use crate::driver::parallel::{AllocRequest, ParallelDriver};
+use crate::driver::queue::{BoundedQueue, PushError};
+use crate::metrics::MetricsRegistry;
+use crate::pipeline::ProgramAllocation;
+use crate::trace::NoopSink;
+use crate::types::AllocatorConfig;
+
+/// Sizing knobs for a [`BatchService`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Service workers — whole programs allocated concurrently (≥ 1).
+    pub workers: usize,
+    /// Submission-queue capacity; submitters beyond it block (≥ 1).
+    pub queue_capacity: usize,
+    /// Per-program [`ParallelDriver`] workers (1 = allocate each
+    /// program's functions serially within its service worker).
+    pub shard_workers: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: 2,
+            queue_capacity: 16,
+            shard_workers: 1,
+        }
+    }
+}
+
+/// One submission: a program plus the allocation parameters to run it
+/// under.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// A caller-chosen label, echoed in the result.
+    pub name: String,
+    /// The program to allocate.
+    pub program: Program,
+    /// The register file.
+    pub file: RegisterFile,
+    /// The allocator configuration.
+    pub config: AllocatorConfig,
+}
+
+/// How one batch job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// Every function allocated strictly.
+    Ok,
+    /// The program allocated, but some functions fell back to the
+    /// degraded spill-everything allocation.
+    Degraded {
+        /// How many functions degraded.
+        funcs: usize,
+    },
+    /// The job produced no allocation (profiling failed, or the degraded
+    /// fallback itself failed).
+    Failed {
+        /// The rendered error.
+        error: String,
+    },
+}
+
+/// The outcome of one submission.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// The submission id [`BatchService::submit`] returned.
+    pub id: u64,
+    /// The label from the [`BatchJob`].
+    pub name: String,
+    /// How the job ended.
+    pub status: BatchStatus,
+    /// The allocation, absent when [`BatchStatus::Failed`].
+    pub allocation: Option<ProgramAllocation>,
+    /// Wall-clock microseconds the job took (profiling included).
+    pub micros: u64,
+}
+
+struct Shared {
+    queue: BoundedQueue<(u64, BatchJob)>,
+    results: Mutex<Vec<BatchResult>>,
+    cost: CostModel,
+    shard_workers: usize,
+}
+
+/// The batch allocation service (see the module docs).
+pub struct BatchService {
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn run_batch_job(id: u64, job: BatchJob, cost: &CostModel, shard_workers: usize) -> BatchResult {
+    let start = Instant::now();
+    let driver = ParallelDriver::new(shard_workers);
+    let (status, allocation) = match FrequencyInfo::profile(&job.program) {
+        Err(e) => (
+            BatchStatus::Failed {
+                error: format!("profiling failed: {e}"),
+            },
+            None,
+        ),
+        Ok(freq) => {
+            let req = AllocRequest {
+                program: &job.program,
+                freq: &freq,
+                file: job.file,
+                config: &job.config,
+                cost,
+            };
+            match driver.allocate_program_detailed(
+                &req,
+                &mut NoopSink,
+                &mut MetricsRegistry::disabled(),
+            ) {
+                Err(e) => (
+                    BatchStatus::Failed {
+                        error: e.to_string(),
+                    },
+                    None,
+                ),
+                Ok((alloc, report)) => {
+                    let degraded = report.degraded_funcs();
+                    let status = if degraded == 0 {
+                        BatchStatus::Ok
+                    } else {
+                        BatchStatus::Degraded { funcs: degraded }
+                    };
+                    (status, Some(alloc))
+                }
+            }
+        }
+    };
+    BatchResult {
+        id,
+        name: job.name,
+        status,
+        allocation,
+        micros: start.elapsed().as_micros() as u64,
+    }
+}
+
+impl BatchService {
+    /// Starts the service: spawns [`BatchConfig::workers`] threads that
+    /// drain the submission queue until [`BatchService::shutdown`]. Uses
+    /// the paper's cost model; see [`BatchService::start_with_cost`].
+    pub fn start(config: BatchConfig) -> Self {
+        BatchService::start_with_cost(config, CostModel::paper())
+    }
+
+    /// Like [`BatchService::start`] with an explicit cost model.
+    pub fn start_with_cost(config: BatchConfig, cost: CostModel) -> Self {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            results: Mutex::new(Vec::new()),
+            cost,
+            shard_workers: config.shard_workers.max(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some((id, job)) = shared.queue.pop() {
+                        let result = run_batch_job(id, job, &shared.cost, shared.shard_workers);
+                        shared
+                            .results
+                            .lock()
+                            .expect("batch results lock")
+                            .push(result);
+                    }
+                })
+            })
+            .collect();
+        BatchService {
+            shared,
+            next_id: AtomicU64::new(0),
+            workers,
+        }
+    }
+
+    /// Submits a job, blocking while the queue is at capacity
+    /// (backpressure). Returns the submission id its result will carry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back if the queue is closed (the service is
+    /// shutting down).
+    pub fn submit(&self, job: BatchJob) -> Result<u64, BatchJob> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .queue
+            .push((id, job))
+            .map(|()| id)
+            .map_err(|e| e.into_inner().1)
+    }
+
+    /// Submits without blocking; the caller sheds load on a full queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when the queue is full or closed.
+    ///
+    /// Submission ids are unique and increasing but may have gaps (a
+    /// rejected submission consumes one).
+    pub fn try_submit(&self, job: BatchJob) -> Result<u64, PushError<BatchJob>> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .queue
+            .try_push((id, job))
+            .map(|()| id)
+            .map_err(|e| match e {
+                PushError::Full((_, j)) => PushError::Full(j),
+                PushError::Closed((_, j)) => PushError::Closed(j),
+            })
+    }
+
+    /// Jobs queued but not yet picked up.
+    pub fn pending(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Closes the queue, drains the remaining jobs, joins the workers,
+    /// and returns every result sorted by submission id.
+    pub fn shutdown(self) -> Vec<BatchResult> {
+        self.shared.queue.close();
+        for handle in self.workers {
+            handle.join().expect("batch workers do not panic");
+        }
+        let mut results =
+            std::mem::take(&mut *self.shared.results.lock().expect("batch results lock"));
+        results.sort_by_key(|r| r.id);
+        results
+    }
+}

@@ -1,0 +1,35 @@
+//! The concurrency subsystem: parallel per-function allocation and the
+//! batch service front-end.
+//!
+//! Register allocation is embarrassingly parallel at function granularity —
+//! each function's webs, interference graph, and SC/BS/PR decisions are
+//! self-contained; only the frequency weights are whole-program, and those
+//! are read-only by allocation time. This module family exploits that on
+//! `std` alone (the offline environment vendors no concurrency crates):
+//!
+//! * [`pool`] — a scoped thread pool with per-worker deques and work
+//!   stealing, absorbing the wild per-function cost variance;
+//! * [`ParallelDriver`] — shards a [`ccra_ir::Program`] into per-function
+//!   jobs and merges results **deterministically**: byte-identical output
+//!   at any worker count, equal to the serial pipeline, with telemetry
+//!   fanned in function order and per-job failures (errors *and* panics)
+//!   degraded in place instead of killing the batch;
+//! * [`BatchService`] — submit many programs against a bounded queue with
+//!   backpressure, collect per-job statuses;
+//! * [`queue`] — the bounded MPMC queue underneath the service.
+//!
+//! The `ccra-eval` `par` binary sweeps worker counts over the perf
+//! workloads with the driver and records the speedup into the
+//! `BENCH_2.json` snapshot.
+
+pub mod batch;
+mod parallel;
+pub mod pool;
+pub mod queue;
+
+pub use batch::{BatchConfig, BatchJob, BatchResult, BatchService, BatchStatus};
+pub use parallel::{
+    AllocJob, AllocRequest, DefaultJob, DriverReport, JobCtx, JobStatus, ParallelDriver,
+};
+pub use pool::{run_jobs, JobOutcome, PoolStats};
+pub use queue::{BoundedQueue, PushError};

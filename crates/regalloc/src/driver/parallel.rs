@@ -1,0 +1,428 @@
+//! The parallel allocation driver: shard a [`Program`] into per-function
+//! jobs, allocate them on the work-stealing pool, and merge the results
+//! deterministically.
+//!
+//! # Determinism
+//!
+//! Per-function allocation is a pure function of `(function, frequencies,
+//! register file, config, cost model)` — exactly the property the serial
+//! pipeline already has — so the driver recovers byte-identical output at
+//! any worker count by confining nondeterminism to *scheduling* and
+//! merging in **function-id order** (a documented invariant of
+//! [`Program`]: ids are dense and in insertion order):
+//!
+//! * rewritten bodies and [`FuncAllocation`]s are placed by id, so the
+//!   result equals [`crate::allocate_program_instrumented`]'s exactly;
+//! * each job records telemetry into a private [`RecordingSink`] and a
+//!   private [`MetricsRegistry`]; the driver fans events into the program
+//!   sink and merges registries in id order, so the merged event stream
+//!   (wall-clock normalized) and every merged counter equal the serial
+//!   run's;
+//! * scheduling facts (which worker ran what, steal counts) never touch
+//!   the allocation result or the program registry — they live in
+//!   [`DriverReport`] only.
+//!
+//! # Failure isolation
+//!
+//! A job whose strict allocation returns an [`AllocError`] falls back to
+//! [`crate::degraded_allocation`] *inside the job*, exactly like the
+//! serial driver. A job that **panics** is caught by the pool; the driver
+//! then runs the degraded fallback for that function on the calling
+//! thread. Either way the function is flagged ([`JobStatus::Degraded`],
+//! plus the usual `degraded` telemetry event) and every sibling job
+//! completes untouched. Only a failure of the fallback itself — a register
+//! file below the ABI minimum — aborts the batch, mirroring the serial
+//! contract.
+
+use ccra_analysis::{FrequencyInfo, FuncFreq};
+use ccra_ir::{Function, Program};
+use ccra_machine::{CostModel, RegisterFile};
+
+use crate::driver::pool::{run_jobs, JobOutcome};
+use crate::error::AllocError;
+use crate::metrics::MetricsRegistry;
+use crate::pipeline::{
+    allocate_function_instrumented, degraded_allocation_instrumented, FuncAllocation,
+    ProgramAllocation,
+};
+use crate::trace::{
+    span_start, AllocEvent, AllocSink, DegradedInfo, NoopSink, ProgramSummary, RecordingSink,
+};
+use crate::types::{AllocatorConfig, Overhead};
+
+/// Everything one per-function job needs, bundled so job implementations
+/// stay readable (and clippy-clean).
+pub struct JobCtx<'a> {
+    /// The function to allocate.
+    pub func: &'a Function,
+    /// Its execution frequencies.
+    pub freq: &'a FuncFreq,
+    /// The register file.
+    pub file: &'a RegisterFile,
+    /// The allocator configuration.
+    pub config: &'a AllocatorConfig,
+    /// The cost model.
+    pub cost: &'a CostModel,
+}
+
+/// The strict per-function allocation one driver job runs.
+///
+/// The default ([`DefaultJob`]) is [`crate::allocate_function_instrumented`];
+/// tests and experiments plug alternatives in through
+/// [`ParallelDriver::allocate_program_with_job`] — most usefully jobs that
+/// *fail* on selected functions, which is how the fault-isolation tests
+/// exercise the degraded path without a contrived register file.
+///
+/// An `Err` triggers the degraded fallback for that function; a panic is
+/// caught by the pool and triggers the same fallback.
+pub trait AllocJob: Sync {
+    /// Allocates one function, emitting telemetry into job-local layers.
+    fn run(
+        &self,
+        ctx: &JobCtx<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<(Function, FuncAllocation), AllocError>;
+}
+
+impl<F> AllocJob for F
+where
+    F: Fn(
+            &JobCtx<'_>,
+            &mut dyn AllocSink,
+            &mut MetricsRegistry,
+        ) -> Result<(Function, FuncAllocation), AllocError>
+        + Sync,
+{
+    fn run(
+        &self,
+        ctx: &JobCtx<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<(Function, FuncAllocation), AllocError> {
+        self(ctx, sink, metrics)
+    }
+}
+
+/// The default job: the strict serial pipeline,
+/// [`crate::allocate_function_instrumented`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultJob;
+
+impl AllocJob for DefaultJob {
+    fn run(
+        &self,
+        ctx: &JobCtx<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<(Function, FuncAllocation), AllocError> {
+        allocate_function_instrumented(
+            ctx.func, ctx.freq, ctx.file, ctx.config, ctx.cost, sink, metrics,
+        )
+    }
+}
+
+/// One whole-program allocation request — the inputs
+/// [`crate::allocate_program_with`] takes, bundled.
+pub struct AllocRequest<'a> {
+    /// The program to allocate.
+    pub program: &'a Program,
+    /// Whole-program execution frequencies.
+    pub freq: &'a FrequencyInfo,
+    /// The register file.
+    pub file: RegisterFile,
+    /// The allocator configuration.
+    pub config: &'a AllocatorConfig,
+    /// The cost model.
+    pub cost: &'a CostModel,
+}
+
+/// How one function's job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The strict allocator succeeded.
+    Ok,
+    /// The function fell back to the degraded spill-everything allocation.
+    Degraded {
+        /// The strict failure (an [`AllocError`] rendering, or
+        /// `"worker panicked: …"`).
+        reason: String,
+    },
+}
+
+impl JobStatus {
+    /// Whether this job degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, JobStatus::Degraded { .. })
+    }
+}
+
+/// What the driver did, beyond the allocation itself: per-job statuses
+/// (deterministic, in function-id order) and the scheduling facts
+/// (nondeterministic — diagnostics only).
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Jobs each worker executed.
+    pub jobs_per_worker: Vec<u64>,
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+    /// Per-function outcome, indexed by function id.
+    pub statuses: Vec<JobStatus>,
+}
+
+impl DriverReport {
+    /// How many functions degraded.
+    pub fn degraded_funcs(&self) -> usize {
+        self.statuses.iter().filter(|s| s.is_degraded()).count()
+    }
+}
+
+/// What one job sends back to the merge: its result (or the fallback's
+/// own failure), its recorded event substream, and its metrics.
+struct JobReturn {
+    result: Result<(Function, FuncAllocation, JobStatus), AllocError>,
+    events: Vec<AllocEvent>,
+    metrics: MetricsRegistry,
+}
+
+/// The parallel allocation driver (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelDriver {
+    workers: usize,
+}
+
+impl ParallelDriver {
+    /// A driver using up to `workers` threads (clamped to ≥ 1; also
+    /// clamped per batch to the function count).
+    pub fn new(workers: usize) -> Self {
+        ParallelDriver {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Allocates every function of a program in parallel with the paper's
+    /// cost model. Mirrors [`crate::allocate_program`].
+    ///
+    /// # Errors
+    ///
+    /// Only a failure of the degraded fallback itself surfaces (see the
+    /// module docs).
+    pub fn allocate_program(
+        &self,
+        program: &Program,
+        freq: &FrequencyInfo,
+        file: RegisterFile,
+        config: &AllocatorConfig,
+    ) -> Result<ProgramAllocation, AllocError> {
+        self.allocate_program_with(program, freq, file, config, &CostModel::paper())
+    }
+
+    /// Like [`ParallelDriver::allocate_program`] with an explicit cost
+    /// model. Mirrors [`crate::allocate_program_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDriver::allocate_program`].
+    pub fn allocate_program_with(
+        &self,
+        program: &Program,
+        freq: &FrequencyInfo,
+        file: RegisterFile,
+        config: &AllocatorConfig,
+        cost: &CostModel,
+    ) -> Result<ProgramAllocation, AllocError> {
+        let req = AllocRequest {
+            program,
+            freq,
+            file,
+            config,
+            cost,
+        };
+        self.allocate_program_instrumented(&req, &mut NoopSink, &mut MetricsRegistry::disabled())
+    }
+
+    /// Like [`ParallelDriver::allocate_program_with`], emitting telemetry
+    /// through `sink` and aggregating into `metrics`. Mirrors
+    /// [`crate::allocate_program_instrumented`]: the merged event stream
+    /// (wall-clock normalized) and the merged counters equal the serial
+    /// run's.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDriver::allocate_program`].
+    pub fn allocate_program_instrumented(
+        &self,
+        req: &AllocRequest<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<ProgramAllocation, AllocError> {
+        self.allocate_program_detailed(req, sink, metrics)
+            .map(|(alloc, _)| alloc)
+    }
+
+    /// Like [`ParallelDriver::allocate_program_instrumented`], also
+    /// returning the [`DriverReport`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDriver::allocate_program`].
+    pub fn allocate_program_detailed(
+        &self,
+        req: &AllocRequest<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<(ProgramAllocation, DriverReport), AllocError> {
+        self.allocate_program_with_job(req, sink, metrics, &DefaultJob)
+    }
+
+    /// The fully general entry point: allocates with a custom per-function
+    /// [`AllocJob`]. Everything else on the driver delegates here with
+    /// [`DefaultJob`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (in function-id order) failure of the degraded
+    /// fallback; strict-allocation failures and job panics degrade instead
+    /// (see the module docs).
+    pub fn allocate_program_with_job(
+        &self,
+        req: &AllocRequest<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+        job: &dyn AllocJob,
+    ) -> Result<(ProgramAllocation, DriverReport), AllocError> {
+        let start = span_start(sink);
+        let prog_timer = metrics.timer();
+        let sink_on = sink.enabled();
+        let metrics_on = metrics.enabled();
+        let program = req.program;
+        let ids: Vec<ccra_ir::FuncId> = program.func_ids().collect();
+
+        let (outcomes, stats) = run_jobs(self.workers, &ids, |_, &id| {
+            let func = program.function(id);
+            let ctx = JobCtx {
+                func,
+                freq: req.freq.func(id),
+                file: &req.file,
+                config: req.config,
+                cost: req.cost,
+            };
+            let mut recorder = sink_on.then(RecordingSink::new);
+            let mut noop = NoopSink;
+            let job_sink: &mut dyn AllocSink = match recorder.as_mut() {
+                Some(r) => r,
+                None => &mut noop,
+            };
+            let mut job_metrics = if metrics_on {
+                MetricsRegistry::new()
+            } else {
+                MetricsRegistry::disabled()
+            };
+            let result = match job.run(&ctx, job_sink, &mut job_metrics) {
+                Ok((body, alloc)) => Ok((body, alloc, JobStatus::Ok)),
+                Err(err) => {
+                    let reason = err.to_string();
+                    if job_sink.enabled() {
+                        job_sink.emit(AllocEvent::Degraded(DegradedInfo {
+                            func: func.name().to_string(),
+                            reason: reason.clone(),
+                        }));
+                    }
+                    degraded_allocation_instrumented(
+                        func,
+                        ctx.freq,
+                        ctx.file,
+                        ctx.cost,
+                        job_sink,
+                        &mut job_metrics,
+                    )
+                    .map(|(body, alloc)| (body, alloc, JobStatus::Degraded { reason }))
+                }
+            };
+            JobReturn {
+                result,
+                events: recorder.map(|r| r.events).unwrap_or_default(),
+                metrics: job_metrics,
+            }
+        });
+
+        // Deterministic merge: strictly in function-id order, regardless
+        // of which worker finished when.
+        let mut rewritten = Program::new();
+        let mut per_func = Vec::with_capacity(ids.len());
+        let mut statuses = Vec::with_capacity(ids.len());
+        let mut overhead = Overhead::zero();
+        for (&id, outcome) in ids.iter().zip(outcomes) {
+            let (body, alloc, status) = match outcome {
+                JobOutcome::Completed(ret) => {
+                    for event in ret.events {
+                        sink.emit(event);
+                    }
+                    metrics.merge(&ret.metrics);
+                    ret.result?
+                }
+                JobOutcome::Panicked(msg) => {
+                    // The job's partial telemetry died with it; recover on
+                    // the calling thread against the program-level layers.
+                    let func = program.function(id);
+                    let reason = format!("worker panicked: {msg}");
+                    if sink.enabled() {
+                        sink.emit(AllocEvent::Degraded(DegradedInfo {
+                            func: func.name().to_string(),
+                            reason: reason.clone(),
+                        }));
+                    }
+                    let (body, alloc) = degraded_allocation_instrumented(
+                        func,
+                        req.freq.func(id),
+                        &req.file,
+                        req.cost,
+                        sink,
+                        metrics,
+                    )?;
+                    (body, alloc, JobStatus::Degraded { reason })
+                }
+            };
+            overhead += alloc.overhead;
+            rewritten.add_function(body);
+            per_func.push(alloc);
+            statuses.push(status);
+        }
+        if let Some(main) = program.main() {
+            rewritten.set_main(main);
+        }
+        metrics.inc("alloc_programs_total");
+        metrics.observe_elapsed("program_alloc_micros", prog_timer);
+        if let Some(t) = start {
+            sink.emit(AllocEvent::Program(ProgramSummary {
+                config: req.config.label(),
+                funcs: per_func.len(),
+                spill: overhead.spill,
+                caller_save: overhead.caller_save,
+                callee_save: overhead.callee_save,
+                shuffle: overhead.shuffle,
+                micros: t.elapsed().as_micros() as u64,
+            }));
+        }
+        Ok((
+            ProgramAllocation {
+                program: rewritten,
+                per_func,
+                overhead,
+            },
+            DriverReport {
+                workers: stats.workers,
+                jobs_per_worker: stats.jobs_per_worker,
+                steals: stats.steals,
+                statuses,
+            },
+        ))
+    }
+}

@@ -1,0 +1,257 @@
+//! A dependency-free scoped thread pool with per-worker deques and work
+//! stealing.
+//!
+//! The pool exists for one job shape: a fixed batch of independent items,
+//! each producing one result, with wildly varying per-item cost — exactly
+//! what per-function register allocation looks like (the spill-everywhere
+//! complexity results remind us that per-function worst cases differ by
+//! orders of magnitude). Items are dealt round-robin onto per-worker
+//! deques; a worker pops its own deque LIFO (newest first, for cache
+//! warmth) and, when empty, steals FIFO from its neighbours (oldest first,
+//! so the largest unstarted chunks migrate).
+//!
+//! Two properties the drivers build on:
+//!
+//! * **Deterministic results.** [`run_jobs`] returns outcomes indexed by
+//!   item position, independent of which worker ran what and in which
+//!   order. Scheduling nondeterminism is confined to [`PoolStats`].
+//! * **Panic isolation.** A panicking job is caught ([`std::panic::catch_unwind`])
+//!   and surfaces as [`JobOutcome::Panicked`] with the panic message; the
+//!   worker and every sibling job keep running.
+//!
+//! With one worker (or one item) the pool runs inline on the calling
+//! thread — no threads are spawned, so `workers = 1` costs only the
+//! per-job `catch_unwind`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What one job produced.
+#[derive(Debug)]
+pub enum JobOutcome<R> {
+    /// The job ran to completion.
+    Completed(R),
+    /// The job panicked; the payload is the panic message (or a
+    /// placeholder for non-string payloads).
+    Panicked(String),
+}
+
+impl<R> JobOutcome<R> {
+    /// The completed result, if the job did not panic.
+    pub fn completed(self) -> Option<R> {
+        match self {
+            JobOutcome::Completed(r) => Some(r),
+            JobOutcome::Panicked(_) => None,
+        }
+    }
+}
+
+/// Scheduling statistics of one [`run_jobs`] batch.
+///
+/// Everything here is scheduling-dependent and therefore nondeterministic
+/// across runs — it must never feed into allocation results or merged
+/// metrics, only into diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads actually used (clamped to the item count).
+    pub workers: usize,
+    /// Jobs each worker executed (sums to the item count).
+    pub jobs_per_worker: Vec<u64>,
+    /// Jobs a worker took from another worker's deque.
+    pub steals: u64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_one<T, R>(job: &(impl Fn(usize, &T) -> R + Sync), index: usize, item: &T) -> JobOutcome<R> {
+    match catch_unwind(AssertUnwindSafe(|| job(index, item))) {
+        Ok(r) => JobOutcome::Completed(r),
+        Err(payload) => JobOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+/// Pops work for worker `w`: its own deque first (LIFO), then a steal
+/// sweep over the other workers' deques (FIFO). Returns `None` when every
+/// deque is empty — jobs never enqueue new jobs, so an empty sweep means
+/// the batch is drained.
+fn pop_or_steal(deques: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -> Option<usize> {
+    if let Some(i) = deques[w].lock().expect("pool deque lock").pop_back() {
+        return Some(i);
+    }
+    let n = deques.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        if let Some(i) = deques[victim].lock().expect("pool deque lock").pop_front() {
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Runs `job` over every item on up to `workers` threads, returning one
+/// [`JobOutcome`] per item **in item order** plus the batch's
+/// [`PoolStats`].
+///
+/// The worker count is clamped to `[1, items.len()]`; at one worker the
+/// batch runs inline on the calling thread. The outcome vector is
+/// byte-for-byte independent of the worker count whenever `job` is a pure
+/// function of `(index, item)`.
+pub fn run_jobs<T, R, F>(workers: usize, items: &[T], job: F) -> (Vec<JobOutcome<R>>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        let outcomes = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_one(&job, i, item))
+            .collect();
+        return (
+            outcomes,
+            PoolStats {
+                workers: 1,
+                jobs_per_worker: vec![items.len() as u64],
+                steals: 0,
+            },
+        );
+    }
+
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..items.len() {
+        deques[i % workers]
+            .lock()
+            .expect("pool deque lock")
+            .push_back(i);
+    }
+    let steals = AtomicU64::new(0);
+
+    let per_worker: Vec<Vec<(usize, JobOutcome<R>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let steals = &steals;
+                let job = &job;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    while let Some(i) = pop_or_steal(deques, w, steals) {
+                        done.push((i, run_one(job, i, &items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool workers catch job panics"))
+            .collect()
+    });
+
+    let jobs_per_worker = per_worker.iter().map(|v| v.len() as u64).collect();
+    let mut outcomes: Vec<Option<JobOutcome<R>>> = (0..items.len()).map(|_| None).collect();
+    for (i, outcome) in per_worker.into_iter().flatten() {
+        debug_assert!(outcomes[i].is_none(), "job {i} ran twice");
+        outcomes[i] = Some(outcome);
+    }
+    let outcomes = outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| o.unwrap_or_else(|| unreachable!("job {i} never ran")))
+        .collect();
+    (
+        outcomes,
+        PoolStats {
+            workers,
+            jobs_per_worker,
+            steals: steals.into_inner(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_item_order_at_every_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        for workers in [1, 2, 4, 8, 200] {
+            let (outcomes, stats) = run_jobs(workers, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let got: Vec<u64> = outcomes
+                .into_iter()
+                .map(|o| o.completed().expect("no panic"))
+                .collect();
+            let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(got, want, "workers={workers}");
+            assert_eq!(stats.jobs_per_worker.iter().sum::<u64>(), 97);
+            assert!(stats.workers <= 97);
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let items: Vec<u32> = Vec::new();
+        let (outcomes, stats) = run_jobs(4, &items, |_, &x| x);
+        assert!(outcomes.is_empty());
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_job() {
+        let items: Vec<u32> = (0..10).collect();
+        let (outcomes, _) = run_jobs(4, &items, |_, &x| {
+            if x == 3 {
+                panic!("boom on {x}");
+            }
+            x + 1
+        });
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                JobOutcome::Panicked(msg) => {
+                    assert_eq!(i, 3);
+                    assert!(msg.contains("boom on 3"), "{msg}");
+                }
+                JobOutcome::Completed(r) => assert_eq!(r, i as u32 + 1),
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_jobs_all_complete() {
+        // One item is ~1000x the work of the rest; stealing (or not) must
+        // never change the result vector.
+        let items: Vec<u64> = (0..33).collect();
+        let work = |_, &x: &u64| -> u64 {
+            let spins = if x == 0 { 200_000 } else { 200 };
+            (0..spins).fold(x, |acc, v| acc.wrapping_mul(31).wrapping_add(v))
+        };
+        let (serial, _) = run_jobs(1, &items, work);
+        let (parallel, stats) = run_jobs(8, &items, work);
+        let serial: Vec<u64> = serial.into_iter().map(|o| o.completed().unwrap()).collect();
+        let parallel: Vec<u64> = parallel
+            .into_iter()
+            .map(|o| o.completed().unwrap())
+            .collect();
+        assert_eq!(serial, parallel);
+        assert_eq!(stats.workers, 8);
+        assert_eq!(stats.jobs_per_worker.iter().sum::<u64>(), 33);
+    }
+}

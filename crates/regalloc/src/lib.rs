@@ -62,6 +62,14 @@
 //! drivers recover from per-function failures via [`degraded_allocation`],
 //! and the [`check`] module verifies any finished allocation independently
 //! of the allocator that produced it.
+//!
+//! # Parallelism
+//!
+//! The [`driver`] module allocates a program's functions in parallel on a
+//! dependency-free work-stealing pool with a deterministic merge —
+//! [`ParallelDriver`] output is byte-identical at any worker count and
+//! equal to the serial pipeline — and [`BatchService`] fronts many-program
+//! workloads with a bounded queue and per-job statuses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,6 +79,7 @@ mod build;
 mod cbh;
 mod chaitin;
 pub mod check;
+pub mod driver;
 mod error;
 mod graph;
 pub mod metrics;
@@ -91,6 +100,10 @@ pub use chaitin::{
 };
 pub use check::check_allocation_metered;
 pub use check::{check_allocation, CheckViolation};
+pub use driver::{
+    AllocRequest, BatchConfig, BatchJob, BatchResult, BatchService, BatchStatus, DriverReport,
+    JobStatus, ParallelDriver,
+};
 pub use error::AllocError;
 pub use graph::InterferenceGraph;
 pub use metrics::{Histogram, MetricsRegistry};

@@ -42,7 +42,7 @@ use crate::types::{AllocatorConfig, AllocatorKind, Loc, Overhead};
 pub type RefAssignment = HashMap<(BlockId, u32, VReg, bool), PhysReg>;
 
 /// A summary of one colored live range, for inspection and tests.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RangeSummary {
     /// The register bank.
     pub class: RegClass,
@@ -61,7 +61,7 @@ pub struct RangeSummary {
 /// The result of allocating one function. The rewritten function itself is
 /// returned alongside (by [`allocate_function`]) or moved into the
 /// rewritten [`Program`] (by [`allocate_program`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuncAllocation {
     /// The weighted overhead (Section 3 cost) of this function.
     pub overhead: Overhead,
@@ -82,9 +82,19 @@ pub struct FuncAllocation {
 }
 
 /// The result of allocating a whole program.
-#[derive(Debug, Clone)]
+///
+/// # Ordering invariant
+///
+/// Function ordering is explicit and stable: [`Program`] assigns dense,
+/// insertion-ordered [`FuncId`]s, the rewritten program reuses the input
+/// program's ids unchanged, and `per_func[id.index()]` is the result for
+/// the function `id` names in **both** programs. Every program-level
+/// driver — serial ([`allocate_program`]) and parallel
+/// ([`crate::driver::ParallelDriver`]) — upholds this, which is what makes
+/// the parallel merge's byte-identical-to-serial guarantee testable.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramAllocation {
-    /// The rewritten program (every function allocated).
+    /// The rewritten program (every function allocated, ids preserved).
     pub program: Program,
     /// Per-function results, indexed by function id.
     pub per_func: Vec<FuncAllocation>,
@@ -448,6 +458,9 @@ fn summarize(ctx: &FuncContext, colors: &HashMap<u32, PhysReg>) -> Vec<RangeSumm
 /// Register allocation is intra-procedural, exactly as in the paper: each
 /// function is colored independently; the frequencies supply the
 /// inter-procedural weights (invocation counts drive callee-save cost).
+///
+/// Functions are processed and reported **in function-id order** — see the
+/// ordering invariant on [`ProgramAllocation`].
 ///
 /// # Errors
 ///
@@ -890,6 +903,44 @@ mod tests {
             .expect("program runs")
             .result;
         assert_eq!(got, expect, "the degraded allocation changed semantics");
+    }
+
+    #[test]
+    fn function_ordering_is_a_stable_invariant() {
+        // The documented invariant the parallel merge tests against: the
+        // rewritten program carries the same functions under the same ids
+        // in the same order, and per_func is indexed by id.
+        let mut p = Program::new();
+        let mut ids = Vec::new();
+        for name in ["zeta", "alpha", "mid"] {
+            let mut b = FunctionBuilder::new(name);
+            let x = b.new_vreg(RegClass::Int);
+            b.iconst(x, 1);
+            b.ret(Some(x));
+            ids.push(p.add_function(b.finish()));
+        }
+        p.set_main(ids[2]);
+        let freq = FrequencyInfo::profile(&p).expect("profile runs");
+        let out = allocate_program(
+            &p,
+            &freq,
+            RegisterFile::mips_full(),
+            &AllocatorConfig::improved(),
+        )
+        .expect("allocation succeeds");
+        assert_eq!(out.per_func.len(), 3);
+        assert_eq!(out.program.main(), p.main());
+        let names: Vec<&str> = out.program.functions().map(|(_, f)| f.name()).collect();
+        assert_eq!(
+            names,
+            ["zeta", "alpha", "mid"],
+            "insertion order, not name order"
+        );
+        for &id in &ids {
+            assert_eq!(out.program.function(id).name(), p.function(id).name());
+            // per_func is reachable by the same id.
+            let _ = &out.per_func[id.index()];
+        }
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! The parallel driver's contract, end to end:
+//!
+//! * **determinism** — at worker counts {1, 2, 4, 8} the driver produces a
+//!   [`ProgramAllocation`] equal to the serial pipeline's, byte-identical
+//!   rewritten function bodies, the same normalized trace stream, and the
+//!   same merged metrics — on the paper's fig. 7 workloads and on fuzzed
+//!   many-function programs;
+//! * **fault isolation** — a job whose allocator returns an [`AllocError`]
+//!   and a job that panics inside a worker both yield a degraded, flagged
+//!   result for that function only; every sibling completes strictly and
+//!   checker-clean;
+//! * **batch service** — submissions drain under backpressure and come
+//!   back sorted by id with honest per-job statuses, a failed job never
+//!   poisoning its siblings.
+
+use ccra_analysis::FrequencyInfo;
+use ccra_ir::{display_function, BinOp, Callee, CmpOp, FunctionBuilder, Program, RegClass};
+use ccra_machine::{CostModel, RegisterFile};
+use ccra_regalloc::driver::{AllocJob, DefaultJob, JobCtx};
+use ccra_regalloc::trace::AllocSink;
+use ccra_regalloc::{
+    allocate_program_instrumented, check_allocation, AllocError, AllocEvent, AllocRequest,
+    AllocatorConfig, BatchConfig, BatchJob, BatchService, BatchStatus, MetricsRegistry,
+    ParallelDriver, ProgramAllocation, RecordingSink,
+};
+use ccra_workloads::{random_program, spec_program_scaled, FuzzConfig, Scale, SpecProgram};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A serial reference run: allocation, recorded events, populated metrics.
+fn serial_reference(
+    program: &Program,
+    freq: &FrequencyInfo,
+    file: RegisterFile,
+    config: &AllocatorConfig,
+) -> (ProgramAllocation, Vec<AllocEvent>, MetricsRegistry) {
+    let mut sink = RecordingSink::new();
+    let mut metrics = MetricsRegistry::new();
+    let alloc = allocate_program_instrumented(
+        program,
+        freq,
+        file,
+        config,
+        &CostModel::paper(),
+        &mut sink,
+        &mut metrics,
+    )
+    .expect("serial allocation succeeds");
+    (alloc, sink.events, metrics)
+}
+
+/// Asserts one parallel run reproduces the serial reference exactly.
+fn assert_matches_serial(
+    label: &str,
+    workers: usize,
+    program: &Program,
+    freq: &FrequencyInfo,
+    file: RegisterFile,
+    config: &AllocatorConfig,
+    serial: &(ProgramAllocation, Vec<AllocEvent>, MetricsRegistry),
+) {
+    let (serial_alloc, serial_events, serial_metrics) = serial;
+    let driver = ParallelDriver::new(workers);
+    let req = AllocRequest {
+        program,
+        freq,
+        file,
+        config: &config.clone(),
+        cost: &CostModel::paper(),
+    };
+    let mut sink = RecordingSink::new();
+    let mut metrics = MetricsRegistry::new();
+    let (alloc, report) = driver
+        .allocate_program_detailed(&req, &mut sink, &mut metrics)
+        .expect("parallel allocation succeeds");
+
+    // The allocation itself is equal, field for field.
+    assert_eq!(
+        &alloc, serial_alloc,
+        "{label}: workers={workers} allocation differs from serial"
+    );
+    // Rewritten bodies are byte-identical.
+    for id in program.func_ids() {
+        assert_eq!(
+            display_function(alloc.program.function(id)),
+            display_function(serial_alloc.program.function(id)),
+            "{label}: workers={workers} body of function {id:?} differs"
+        );
+    }
+    // The merged trace stream equals the serial one once wall-clock
+    // fields are normalized away.
+    let par_norm: Vec<AllocEvent> = sink.events.iter().map(|e| e.clone().normalized()).collect();
+    let ser_norm: Vec<AllocEvent> = serial_events
+        .iter()
+        .map(|e| e.clone().normalized())
+        .collect();
+    assert_eq!(
+        par_norm, ser_norm,
+        "{label}: workers={workers} normalized event stream differs"
+    );
+    // Every merged counter equals the serial registry's.
+    for (name, value) in serial_metrics.counters() {
+        assert_eq!(
+            metrics.counter(name),
+            value,
+            "{label}: workers={workers} counter {name} differs"
+        );
+    }
+    for (name, _) in metrics.counters() {
+        assert!(
+            serial_metrics.counters().any(|(n, _)| n == name),
+            "{label}: workers={workers} invents counter {name}"
+        );
+    }
+    // Deterministic histograms merge bucket-for-bucket; timing ones agree
+    // on observation counts.
+    for (name, h) in serial_metrics.histograms() {
+        let m = metrics
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{label}: histogram {name} present"));
+        assert_eq!(m.count(), h.count(), "{label}: histogram {name} count");
+        if !name.ends_with("_micros") {
+            assert_eq!(m.sum(), h.sum(), "{label}: histogram {name} sum");
+            assert_eq!(
+                m.buckets(),
+                h.buckets(),
+                "{label}: histogram {name} buckets"
+            );
+        }
+    }
+    // Scheduling facts stay in the report and account for every job.
+    assert_eq!(report.statuses.len(), program.num_functions());
+    assert_eq!(report.degraded_funcs(), 0, "{label}: nothing degrades");
+    let executed: u64 = report.jobs_per_worker.iter().sum();
+    assert_eq!(executed, program.num_functions() as u64);
+}
+
+fn fig7_workloads() -> Vec<(&'static str, Program)> {
+    vec![
+        (
+            "eqntott",
+            spec_program_scaled(SpecProgram::Eqntott, Scale(1.0)),
+        ),
+        ("ear", spec_program_scaled(SpecProgram::Ear, Scale(1.0))),
+        ("li", spec_program_scaled(SpecProgram::Li, Scale(1.0))),
+    ]
+}
+
+fn many_function_fuzz(seed: u64, functions: usize) -> Program {
+    random_program(
+        seed,
+        &FuzzConfig {
+            functions,
+            stmts_per_fn: 14,
+            max_loop_depth: 2,
+            max_trips: 5,
+        },
+    )
+}
+
+#[test]
+fn fig7_workloads_are_deterministic_at_every_worker_count() {
+    for (name, program) in fig7_workloads() {
+        let freq = FrequencyInfo::profile(&program).expect("profile runs");
+        for (config_label, config) in [
+            ("improved", AllocatorConfig::improved()),
+            ("base", AllocatorConfig::base()),
+        ] {
+            for file in [RegisterFile::new(8, 6, 2, 2), RegisterFile::new(6, 4, 0, 0)] {
+                let serial = serial_reference(&program, &freq, file, &config);
+                for workers in WORKER_COUNTS {
+                    assert_matches_serial(
+                        &format!("{name}/{config_label}"),
+                        workers,
+                        &program,
+                        &freq,
+                        file,
+                        &config,
+                        &serial,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzzed_many_function_programs_are_deterministic_at_every_worker_count() {
+    for seed in [7, 1997] {
+        let program = many_function_fuzz(seed, 17);
+        let freq = FrequencyInfo::profile(&program).expect("profile runs");
+        let config = AllocatorConfig::improved();
+        let file = RegisterFile::new(6, 4, 1, 1); // tight: spill rounds happen
+        let serial = serial_reference(&program, &freq, file, &config);
+        for workers in WORKER_COUNTS {
+            assert_matches_serial(
+                &format!("fuzz-{seed}"),
+                workers,
+                &program,
+                &freq,
+                file,
+                &config,
+                &serial,
+            );
+        }
+    }
+}
+
+/// Four functions with enough shape that allocation is non-trivial.
+fn four_func_program() -> Program {
+    let mut p = Program::new();
+    for (i, name) in ["main", "beta", "gamma", "delta"].iter().enumerate() {
+        let mut b = FunctionBuilder::new(*name);
+        let vs: Vec<_> = (0..6).map(|_| b.new_vreg(RegClass::Int)).collect();
+        for (j, &v) in vs.iter().enumerate() {
+            b.iconst(v, (i + j) as i64 + 1);
+        }
+        let iv = b.new_vreg(RegClass::Int);
+        let n = b.new_vreg(RegClass::Int);
+        let one = b.new_vreg(RegClass::Int);
+        let acc = b.new_vreg(RegClass::Int);
+        b.iconst(iv, 0);
+        b.iconst(n, 4);
+        b.iconst(one, 1);
+        b.iconst(acc, 0);
+        let head = b.reserve_block();
+        let body = b.reserve_block();
+        let exit = b.reserve_block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.new_vreg(RegClass::Int);
+        b.cmp(CmpOp::Lt, c, iv, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.call(Callee::External("g"), vec![], None);
+        for &v in &vs {
+            b.binary(BinOp::Add, acc, acc, v);
+        }
+        b.binary(BinOp::Add, iv, iv, one);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        let id = p.add_function(b.finish());
+        if *name == "main" {
+            p.set_main(id);
+        }
+    }
+    p
+}
+
+/// A job that fails (or panics) on one function by name, delegating the
+/// rest to the real allocator.
+struct FaultyOn {
+    victim: &'static str,
+    panic: bool,
+}
+
+impl AllocJob for FaultyOn {
+    fn run(
+        &self,
+        ctx: &JobCtx<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<(ccra_ir::Function, ccra_regalloc::FuncAllocation), AllocError> {
+        if ctx.func.name() == self.victim {
+            if self.panic {
+                panic!("injected fault in {}", self.victim);
+            }
+            return Err(AllocError::SpillRoundsExceeded {
+                func: self.victim.to_string(),
+                rounds: 1,
+                remaining_uncolored: 7,
+            });
+        }
+        DefaultJob.run(ctx, sink, metrics)
+    }
+}
+
+fn run_faulty(victim: &'static str, panic: bool, workers: usize) {
+    let program = four_func_program();
+    let freq = FrequencyInfo::profile(&program).expect("profile runs");
+    let file = RegisterFile::new(8, 6, 2, 2);
+    let config = AllocatorConfig::improved();
+    let req = AllocRequest {
+        program: &program,
+        freq: &freq,
+        file,
+        config: &config,
+        cost: &CostModel::paper(),
+    };
+    let driver = ParallelDriver::new(workers);
+    let mut sink = RecordingSink::new();
+    let mut metrics = MetricsRegistry::new();
+    let (alloc, report) = driver
+        .allocate_program_with_job(&req, &mut sink, &mut metrics, &FaultyOn { victim, panic })
+        .expect("one faulty job must not sink the program");
+
+    let victim_id = program.find(victim).expect("victim exists");
+    assert_eq!(report.degraded_funcs(), 1, "exactly the victim degrades");
+    assert!(report.statuses[victim_id.index()].is_degraded());
+    assert!(alloc.per_func[victim_id.index()].degraded, "result flagged");
+    let degraded_events: Vec<&AllocEvent> = sink
+        .events
+        .iter()
+        .filter(|e| matches!(e, AllocEvent::Degraded(_)))
+        .collect();
+    assert_eq!(degraded_events.len(), 1, "one degraded event");
+    if panic {
+        match degraded_events[0] {
+            AllocEvent::Degraded(info) => {
+                assert_eq!(info.func, victim);
+                assert!(
+                    info.reason.contains("worker panicked")
+                        && info.reason.contains("injected fault"),
+                    "reason names the panic: {}",
+                    info.reason
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+    assert_eq!(metrics.counter("alloc_degraded_total"), 1);
+
+    // Every sibling completed strictly, and every function — the degraded
+    // one included — passes the independent checker.
+    for (id, f) in program.functions() {
+        if id != victim_id {
+            assert_eq!(
+                report.statuses[id.index()],
+                ccra_regalloc::JobStatus::Ok,
+                "sibling {} unaffected",
+                f.name()
+            );
+            assert!(!alloc.per_func[id.index()].degraded);
+        }
+        check_allocation(
+            f,
+            alloc.program.function(id),
+            freq.func(id),
+            &alloc.per_func[id.index()],
+        )
+        .unwrap_or_else(|v| panic!("function {} checker-clean: {v:?}", f.name()));
+    }
+}
+
+#[test]
+fn an_alloc_error_degrades_only_its_function() {
+    for workers in [1, 4] {
+        run_faulty("gamma", false, workers);
+    }
+}
+
+#[test]
+fn a_worker_panic_degrades_only_its_function() {
+    for workers in [1, 4] {
+        run_faulty("beta", true, workers);
+    }
+}
+
+#[test]
+fn batch_service_round_trips_jobs_and_isolates_failures() {
+    let file = RegisterFile::new(8, 6, 2, 2);
+    let service = BatchService::start(BatchConfig {
+        workers: 2,
+        queue_capacity: 4,
+        shard_workers: 2,
+    });
+    let mut expected = Vec::new();
+    for (i, seed) in [3u64, 11, 42].iter().enumerate() {
+        let name = format!("fuzz-{seed}");
+        let id = service
+            .submit(BatchJob {
+                name: name.clone(),
+                program: many_function_fuzz(*seed, 5),
+                file,
+                config: AllocatorConfig::improved(),
+            })
+            .expect("queue open");
+        assert_eq!(id, i as u64, "ids are sequential");
+        expected.push((id, name, true));
+    }
+    // A program with no main cannot be profiled: the job fails, honestly
+    // and alone.
+    let id = service
+        .submit(BatchJob {
+            name: "no-main".to_string(),
+            program: Program::new(),
+            file,
+            config: AllocatorConfig::base(),
+        })
+        .expect("queue open");
+    expected.push((id, "no-main".to_string(), false));
+
+    let results = service.shutdown();
+    assert_eq!(results.len(), expected.len());
+    for (result, (id, name, ok)) in results.iter().zip(&expected) {
+        assert_eq!(result.id, *id, "results sorted by submission id");
+        assert_eq!(&result.name, name);
+        if *ok {
+            assert_eq!(result.status, BatchStatus::Ok);
+            let alloc = result.allocation.as_ref().expect("allocation present");
+            assert!(alloc.overhead.total() >= 0.0);
+        } else {
+            match &result.status {
+                BatchStatus::Failed { error } => {
+                    assert!(error.contains("profiling failed"), "honest error: {error}");
+                }
+                other => panic!("no-main job must fail, got {other:?}"),
+            }
+            assert!(result.allocation.is_none());
+        }
+    }
+}
+
+#[test]
+fn batch_service_shutdown_with_nothing_submitted_is_clean() {
+    let service = BatchService::start(BatchConfig::default());
+    assert_eq!(service.pending(), 0);
+    assert!(service.shutdown().is_empty());
+}
