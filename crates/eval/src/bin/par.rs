@@ -27,7 +27,7 @@
 
 use std::process::ExitCode;
 
-use ccra_eval::perfsnap::{self, BenchSnapshot, BENCH_SCHEMA_VERSION};
+use ccra_eval::perfsnap::{self, BenchSnapshot, HostInfo, BENCH_SCHEMA_VERSION};
 use ccra_eval::{compare_parallel, parsweep, workers1_gate};
 use ccra_workloads::Scale;
 use serde::Serialize;
@@ -121,18 +121,20 @@ fn main() -> ExitCode {
         args.iters,
         parsweep::SWEEP_WORKER_COUNTS
     );
-    let parallel = parsweep::run_par_sweep(args.scale, args.iters, |e| {
+    let parallel = parsweep::run_par_sweep(args.scale, args.iters, |e, summary| {
         eprintln!(
             "  {:>8} [{:^10}] w={}: {:>9} instrs in {:>8} us ({:>12.0} instrs/sec, \
              {:.2}x vs serial)",
             e.workload, e.config, e.workers, e.instrs, e.micros, e.instrs_per_sec, e.speedup
         );
+        eprintln!("           driver: {summary}");
     });
 
     let snapshot = BenchSnapshot {
         schema_version: BENCH_SCHEMA_VERSION,
         scale: args.scale.0,
         iters: args.iters,
+        host: HostInfo::detect(&parsweep::SWEEP_WORKER_COUNTS),
         entries: Vec::new(),
         parallel,
     };

@@ -1,0 +1,183 @@
+//! Captures a driver timeline: runs one workload through
+//! [`ccra_regalloc::ParallelDriver`] with timeline collection enabled and
+//! writes the merged per-worker schedule as Chrome Trace Event Format
+//! JSON — load the file in [Perfetto](https://ui.perfetto.dev) or
+//! `chrome://tracing` to see one lane per worker, job spans with nested
+//! pipeline phases, steal instants, and queue-depth counter tracks.
+//!
+//! ```text
+//! timeline [<workload>] [--workers <n>] [--config <name>] [--scale <f64>]
+//!          [--out <trace.json>] [--stats]
+//! ```
+//!
+//! * `<workload>` — a SPEC92-like program name, or `fuzzN` for a
+//!   deterministic N-function program (default `li`, the widest fig-7
+//!   workload: 4 functions, so 4 workers all get a job).
+//! * `--workers` — driver threads (default 4; clamped to the function
+//!   count, and the validation tracks the actual count used).
+//! * `--config` — allocator configuration label (default `improved`).
+//! * `--scale` — workload scale (default 1.0).
+//! * `--out` — where to write the trace JSON (default `trace.json`).
+//! * `--stats` — print the per-worker busy/idle/steal breakdown and the
+//!   slowest job (the batch's tail latency) on stderr.
+//!
+//! The binary validates its own output before exiting — the written file
+//! is re-read, parsed, and checked for one lane per worker plus the
+//! driver lane, job spans, nested phase spans, and a queue-depth counter
+//! track — so CI's smoke step is just running it.
+
+use std::process::ExitCode;
+
+use ccra_eval::timeline::{build_workload, run_traced, validate_chrome_trace, DEFAULT_WORKLOAD};
+use ccra_regalloc::trace::chrometrace::to_chrome_trace_json;
+use ccra_regalloc::{AllocatorConfig, PriorityOrdering};
+use ccra_workloads::{Scale, SpecProgram};
+
+struct Args {
+    workload: String,
+    workers: usize,
+    config: AllocatorConfig,
+    scale: Scale,
+    out: String,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: timeline [<workload>] [--workers <n>] [--config base|improved|optimistic|\
+         improved-optimistic|priority|cbh] [--scale <f64>] [--out <trace.json>] [--stats]"
+    );
+    eprintln!(
+        "workloads: {}, fuzzN (default {DEFAULT_WORKLOAD})",
+        SpecProgram::ALL.map(|p| p.name()).join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_config(name: &str) -> Option<AllocatorConfig> {
+    Some(match name {
+        "base" => AllocatorConfig::base(),
+        "improved" => AllocatorConfig::improved(),
+        "optimistic" => AllocatorConfig::optimistic(),
+        "improved-optimistic" => AllocatorConfig::improved_optimistic(),
+        "priority" => AllocatorConfig::priority(PriorityOrdering::Sorting),
+        "cbh" => AllocatorConfig::cbh(),
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = None;
+    let mut workers = 4usize;
+    let mut config = AllocatorConfig::improved();
+    let mut scale = Scale(1.0);
+    let mut out = "trace.json".to_string();
+    let mut stats = false;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| -> &str {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--workers" => {
+                workers = take(i).parse().unwrap_or_else(|_| usage());
+                if workers == 0 {
+                    usage();
+                }
+                i += 2;
+            }
+            "--config" => {
+                config = parse_config(take(i)).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scale" => {
+                scale = Scale(take(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--out" => {
+                out = take(i).to_string();
+                i += 2;
+            }
+            "--stats" => {
+                stats = true;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            name if workload.is_none() && !name.starts_with('-') => {
+                workload = Some(name.to_string());
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    Args {
+        workload: workload.unwrap_or_else(|| DEFAULT_WORKLOAD.to_string()),
+        workers,
+        config,
+        scale,
+        out,
+        stats,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let Some(program) = build_workload(&args.workload, args.scale) else {
+        eprintln!("unknown workload `{}`", args.workload);
+        usage();
+    };
+    let (timeline, report) = match run_traced(&program, args.workers, &args.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: {e}", args.workload);
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.workers != args.workers {
+        eprintln!(
+            "note: {} has {} function(s); using {} worker(s)",
+            args.workload,
+            report.statuses.len(),
+            report.workers
+        );
+    }
+
+    let json = to_chrome_trace_json(&timeline);
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    // Validate what actually landed on disk, so CI can trust the file by
+    // trusting the exit code.
+    let written = match std::fs::read_to_string(&args.out) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot re-read {}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_chrome_trace(&written, report.workers) {
+        eprintln!("{}: invalid trace: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "{} [{}] @ scale {}: {} timeline event(s) -> {}",
+        args.workload,
+        args.config.label(),
+        args.scale.0,
+        timeline.events.len(),
+        args.out
+    );
+    eprintln!("driver: {}", report.summary());
+    if args.stats {
+        eprintln!("{}", timeline.summary());
+    }
+    ExitCode::SUCCESS
+}

@@ -53,13 +53,14 @@ pub mod perfsnap;
 pub mod plot;
 mod table;
 pub mod telemetry;
+pub mod timeline;
 
 pub use bench::{load_all, Bench};
 pub use parsweep::{
     compare_parallel, run_par_sweep, workers1_gate, ParComparison, SWEEP_WORKER_COUNTS,
 };
 pub use perfsnap::{
-    compare_snapshots, parse_snapshot, run_matrix, BenchEntry, BenchSnapshot, ParEntry,
+    compare_snapshots, parse_snapshot, run_matrix, BenchEntry, BenchSnapshot, HostInfo, ParEntry,
     PerfComparison, BENCH_SCHEMA_VERSION,
 };
 pub use table::{ratio, CellParseError, Table};

@@ -25,8 +25,8 @@ use ccra_analysis::FrequencyInfo;
 use ccra_ir::Program;
 use ccra_machine::{CostModel, RegisterFile};
 use ccra_regalloc::{
-    allocate_program_instrumented, AllocRequest, AllocatorConfig, MetricsRegistry, NoopSink,
-    ParallelDriver,
+    allocate_program_instrumented, AllocRequest, AllocatorConfig, DriverSummary, MetricsRegistry,
+    NoopSink, ParallelDriver,
 };
 use ccra_workloads::{random_program, spec_program_scaled, FuzzConfig, Scale};
 
@@ -77,7 +77,9 @@ pub fn par_workloads(scale: Scale) -> Vec<ParWorkload> {
 /// Runs the sweep: for each workload, a best-of-`iters` serial reference
 /// and a best-of-`iters` [`ParallelDriver`] run per worker count, each
 /// verified byte-identical to the serial result. Calls `progress` after
-/// each finished entry.
+/// each finished entry with the entry and the final iteration's
+/// [`DriverSummary`] (job/degraded/panic counts are deterministic; the
+/// steal count is a scheduling fact).
 ///
 /// # Panics
 ///
@@ -87,7 +89,7 @@ pub fn par_workloads(scale: Scale) -> Vec<ParWorkload> {
 pub fn run_par_sweep(
     scale: Scale,
     iters: u32,
-    mut progress: impl FnMut(&ParEntry),
+    mut progress: impl FnMut(&ParEntry, &DriverSummary),
 ) -> Vec<ParEntry> {
     let config = AllocatorConfig::improved();
     let cost = CostModel::paper();
@@ -120,6 +122,7 @@ pub fn run_par_sweep(
         for workers in SWEEP_WORKER_COUNTS {
             let driver = ParallelDriver::new(workers);
             let mut best_micros = u64::MAX;
+            let mut summary = None;
             for _ in 0..iters.max(1) {
                 let req = AllocRequest {
                     program: &workload.program,
@@ -129,8 +132,8 @@ pub fn run_par_sweep(
                     cost: &cost,
                 };
                 let start = Instant::now();
-                let out = driver
-                    .allocate_program_instrumented(
+                let (out, report) = driver
+                    .allocate_program_detailed(
                         &req,
                         &mut NoopSink,
                         &mut MetricsRegistry::disabled(),
@@ -144,7 +147,9 @@ pub fn run_par_sweep(
                     "{}: parallel result at {workers} worker(s) differs from serial",
                     workload.name
                 );
+                summary = Some(report.summary());
             }
+            let summary = summary.expect("at least one parallel iteration ran");
             let secs = best_micros.max(1) as f64 / 1e6;
             let entry = ParEntry {
                 workload: workload.name.clone(),
@@ -157,7 +162,7 @@ pub fn run_par_sweep(
                 instrs_per_sec: instrs as f64 / secs,
                 speedup: serial_micros as f64 / best_micros.max(1) as f64,
             };
-            progress(&entry);
+            progress(&entry, &summary);
             entries.push(entry);
         }
     }
@@ -312,7 +317,13 @@ mod tests {
         // parallel-equals-serial assertion inside run_par_sweep on every
         // workload (fuzz64 included) at all four worker counts.
         let mut seen = Vec::new();
-        let entries = run_par_sweep(Scale(0.02), 1, |e| seen.push(e.workload.clone()));
+        let entries = run_par_sweep(Scale(0.02), 1, |e, summary| {
+            assert_eq!(summary.total_jobs, e.funcs, "summary counts every job");
+            assert_eq!(summary.degraded, 0);
+            assert_eq!(summary.panics, 0);
+            assert_eq!(summary.workers as u64, e.workers.min(e.funcs));
+            seen.push(e.workload.clone());
+        });
         assert_eq!(
             entries.len(),
             par_workloads(Scale(0.02)).len() * SWEEP_WORKER_COUNTS.len()

@@ -23,10 +23,13 @@ use serde::{Deserialize, Serialize};
 
 /// The `BENCH_*.json` schema version this crate reads and writes.
 ///
-/// v2 added the `parallel` section: worker-count sweep entries from the
-/// `par` binary ([`ParEntry`]). v1 snapshots (no such section) are
+/// v3 added the `host` section ([`HostInfo`]): the machine's available
+/// parallelism and the worker counts the run used, so a snapshot states
+/// what hardware class produced its numbers. v2 added the `parallel`
+/// section: worker-count sweep entries from the `par` binary
+/// ([`ParEntry`]). Older snapshots (missing either section) are
 /// rejected — regenerate the baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// The workloads of the fixed perf matrix: a spread over the shapes the
 /// suite contains — call-heavy integer code (eqntott, li), mixed DSP (ear),
@@ -124,6 +127,31 @@ pub struct ParEntry {
     pub speedup: f64,
 }
 
+/// Host metadata recorded in a snapshot: what machine class and worker
+/// configuration produced the numbers. Speedups and throughput are
+/// meaningless without it — a 1-vCPU runner legitimately measures ≈ 1.0×
+/// at every worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// `std::thread::available_parallelism()` at snapshot time (0 when
+    /// the platform cannot report it).
+    pub available_parallelism: u64,
+    /// The driver worker counts the run measured (empty for the
+    /// serial-only matrix).
+    pub worker_counts: Vec<u64>,
+}
+
+impl HostInfo {
+    /// Detects the current host, recording the given worker counts.
+    pub fn detect(worker_counts: &[usize]) -> Self {
+        HostInfo {
+            available_parallelism: std::thread::available_parallelism()
+                .map_or(0, |n| n.get() as u64),
+            worker_counts: worker_counts.iter().map(|&w| w as u64).collect(),
+        }
+    }
+}
+
 /// A schema-versioned performance snapshot (`BENCH_*.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSnapshot {
@@ -133,6 +161,8 @@ pub struct BenchSnapshot {
     pub scale: f64,
     /// Timed iterations per entry (the best one is recorded).
     pub iters: u32,
+    /// The machine and worker configuration that produced the numbers.
+    pub host: HostInfo,
     /// One entry per matrix cell.
     pub entries: Vec<BenchEntry>,
     /// The parallel-driver worker sweep (empty when only the serial
@@ -278,6 +308,7 @@ pub fn run_matrix(
         schema_version: BENCH_SCHEMA_VERSION,
         scale: scale.0,
         iters,
+        host: HostInfo::detect(&[]),
         entries,
         parallel: Vec::new(),
     }
@@ -429,6 +460,10 @@ mod tests {
             schema_version: BENCH_SCHEMA_VERSION,
             scale: 0.1,
             iters: 3,
+            host: HostInfo {
+                available_parallelism: 8,
+                worker_counts: vec![1, 4],
+            },
             entries,
             parallel: Vec::new(),
         }
@@ -449,8 +484,9 @@ mod tests {
             speedup: 1.11,
         });
         let json = snap.to_json();
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
         assert!(json.contains("\"parallel\":["));
+        assert!(json.contains("\"available_parallelism\":8"));
         let back = parse_snapshot(&json).expect("snapshot parses back");
         assert_eq!(back, snap);
     }
@@ -460,15 +496,33 @@ mod tests {
         let snap = snapshot(vec![]);
         let json = snap
             .to_json()
-            .replace("\"schema_version\":2", "\"schema_version\":99");
+            .replace("\"schema_version\":3", "\"schema_version\":99");
         let err = parse_snapshot(&json).expect_err("v99 is unreadable");
         assert!(err.contains("v99"), "{err}");
         // A v1 snapshot has no `parallel` section; even with the version
-        // field forged, the body does not parse as v2.
+        // field forged, the body does not parse as v3.
         let forged_v1 = snap.to_json().replace(",\"parallel\":[]", "");
         assert!(parse_snapshot(&forged_v1).is_err());
+        // A v2 snapshot has no `host` section.
+        let forged_v2 = snap.to_json().replace(
+            ",\"host\":{\"available_parallelism\":8,\"worker_counts\":[1,4]}",
+            "",
+        );
+        assert_ne!(forged_v2, snap.to_json(), "host section was stripped");
+        assert!(parse_snapshot(&forged_v2).is_err());
         assert!(parse_snapshot("{").is_err());
         assert!(parse_snapshot("{}").is_err());
+    }
+
+    #[test]
+    fn host_detect_reports_the_machine() {
+        let host = HostInfo::detect(&[1, 2, 4, 8]);
+        assert!(
+            host.available_parallelism > 0,
+            "the test machine reports its parallelism"
+        );
+        assert_eq!(host.worker_counts, vec![1, 2, 4, 8]);
+        assert_eq!(HostInfo::detect(&[]).worker_counts, Vec::<u64>::new());
     }
 
     #[test]

@@ -15,6 +15,17 @@
 //! queue, drains it, joins the workers, and returns results **sorted by
 //! submission id** — deterministic presentation over a nondeterministic
 //! execution order.
+//!
+//! # Observation
+//!
+//! The service keeps its own [`MetricsRegistry`] (the `batch_*` names
+//! below): submissions, completions by status, backpressure stalls, queue
+//! wait and job run histograms. A cloneable [`BatchHandle`]
+//! ([`BatchService::handle`]) reads live state — queue depth, in-flight
+//! count, per-job statuses so far, and a metrics snapshot with scrape-time
+//! gauges — without touching the service's lifecycle; it is what the
+//! [`crate::driver::status`] HTTP endpoint serves. Service metrics are
+//! wall-clock and scheduling facts: they stay out of allocation results.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -24,13 +35,29 @@ use std::time::Instant;
 use ccra_analysis::FrequencyInfo;
 use ccra_ir::Program;
 use ccra_machine::{CostModel, RegisterFile};
+use serde::json::Value;
 
 use crate::driver::parallel::{AllocRequest, ParallelDriver};
-use crate::driver::queue::{BoundedQueue, PushError};
+use crate::driver::queue::{BoundedQueue, PushError, QueueStats};
 use crate::metrics::MetricsRegistry;
 use crate::pipeline::ProgramAllocation;
 use crate::trace::NoopSink;
 use crate::types::AllocatorConfig;
+
+/// Service counter: jobs accepted by `submit`/`try_submit`.
+pub const METRIC_SUBMITTED: &str = "batch_jobs_submitted_total";
+/// Service counter: jobs that completed with [`BatchStatus::Ok`].
+pub const METRIC_COMPLETED: &str = "batch_jobs_completed_total";
+/// Service counter: jobs that completed with [`BatchStatus::Degraded`].
+pub const METRIC_DEGRADED: &str = "batch_jobs_degraded_total";
+/// Service counter: jobs that completed with [`BatchStatus::Failed`].
+pub const METRIC_FAILED: &str = "batch_jobs_failed_total";
+/// Service counter: blocking submits that found the queue full and stalled.
+pub const METRIC_STALLS: &str = "batch_backpressure_stalls_total";
+/// Service histogram: microseconds a job sat in the submission queue.
+pub const METRIC_QUEUE_WAIT: &str = "batch_queue_wait_micros";
+/// Service histogram: microseconds a job took to run (profiling included).
+pub const METRIC_JOB_MICROS: &str = "batch_job_micros";
 
 /// Sizing knobs for a [`BatchService`].
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +114,18 @@ pub enum BatchStatus {
     },
 }
 
+impl BatchStatus {
+    /// A short status label (`"ok"`, `"degraded"`, `"failed"`) for
+    /// serialized views.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchStatus::Ok => "ok",
+            BatchStatus::Degraded { .. } => "degraded",
+            BatchStatus::Failed { .. } => "failed",
+        }
+    }
+}
+
 /// The outcome of one submission.
 #[derive(Debug, Clone)]
 pub struct BatchResult {
@@ -103,8 +142,10 @@ pub struct BatchResult {
 }
 
 struct Shared {
-    queue: BoundedQueue<(u64, BatchJob)>,
+    queue: BoundedQueue<(u64, Instant, BatchJob)>,
     results: Mutex<Vec<BatchResult>>,
+    metrics: Mutex<MetricsRegistry>,
+    in_flight: AtomicU64,
     cost: CostModel,
     shard_workers: usize,
 }
@@ -166,6 +207,163 @@ fn run_batch_job(id: u64, job: BatchJob, cost: &CostModel, shard_workers: usize)
     }
 }
 
+impl Shared {
+    fn note_completion(&self, queued_at: Instant, result: &BatchResult) {
+        let mut m = self.metrics.lock().expect("batch metrics lock");
+        m.observe(
+            METRIC_QUEUE_WAIT,
+            queued_at
+                .elapsed()
+                .as_micros()
+                .saturating_sub(result.micros as u128) as u64,
+        );
+        m.observe(METRIC_JOB_MICROS, result.micros);
+        m.inc(match result.status {
+            BatchStatus::Ok => METRIC_COMPLETED,
+            BatchStatus::Degraded { .. } => METRIC_DEGRADED,
+            BatchStatus::Failed { .. } => METRIC_FAILED,
+        });
+    }
+}
+
+/// A cloneable, read-only view of a live [`BatchService`] (see
+/// [`BatchService::handle`]).
+///
+/// The handle holds the service's shared state but not its lifecycle:
+/// dropping it does nothing, and after [`BatchService::shutdown`] it keeps
+/// answering (with an empty result set, since shutdown hands the results
+/// to its caller).
+#[derive(Clone)]
+pub struct BatchHandle {
+    shared: Arc<Shared>,
+}
+
+impl BatchHandle {
+    /// Jobs queued but not yet picked up.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Jobs a worker is running right now.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The submission queue's traffic counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.shared.queue.stats()
+    }
+
+    /// Per-job statuses of every completed job so far, sorted by
+    /// submission id.
+    pub fn statuses(&self) -> Vec<(u64, String, BatchStatus)> {
+        let results = self.shared.results.lock().expect("batch results lock");
+        let mut out: Vec<(u64, String, BatchStatus)> = results
+            .iter()
+            .map(|r| (r.id, r.name.clone(), r.status.clone()))
+            .collect();
+        out.sort_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// Total functions that degraded across completed jobs.
+    pub fn degraded_funcs(&self) -> usize {
+        self.shared
+            .results
+            .lock()
+            .expect("batch results lock")
+            .iter()
+            .map(|r| match r.status {
+                BatchStatus::Degraded { funcs } => funcs,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The service metrics plus scrape-time gauges (queue depth and
+    /// occupancy, in-flight count, queue high-water and blocked pushes).
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut m = self
+            .shared
+            .metrics
+            .lock()
+            .expect("batch metrics lock")
+            .clone();
+        let stats = self.shared.queue.stats();
+        m.gauge_set("batch_queue_depth", stats.depth as f64);
+        m.gauge_set(
+            "batch_queue_occupancy",
+            stats.depth as f64 / stats.capacity as f64,
+        );
+        m.gauge_set("batch_queue_high_water", stats.high_water as f64);
+        m.gauge_set("batch_queue_blocked_pushes", stats.blocked_pushes as f64);
+        m.gauge_set("batch_in_flight", self.in_flight() as f64);
+        m
+    }
+
+    /// [`BatchHandle::metrics_snapshot`] in the Prometheus text format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus_text()
+    }
+
+    /// The live status document served at `/status`:
+    ///
+    /// ```json
+    /// {"queue_depth": 0, "in_flight": 1, "completed": 2,
+    ///  "degraded_funcs": 0,
+    ///  "jobs": [{"id": 0, "name": "eqntott", "status": "ok",
+    ///            "degraded_funcs": 0, "micros": 1234}, ...]}
+    /// ```
+    ///
+    /// Failed jobs carry an extra `"error"` string.
+    pub fn status_value(&self) -> Value {
+        let statuses = self.statuses();
+        let results = self.shared.results.lock().expect("batch results lock");
+        let micros_of = |id: u64| {
+            results
+                .iter()
+                .find(|r| r.id == id)
+                .map_or(0, |r| r.micros as i64)
+        };
+        let jobs = statuses
+            .iter()
+            .map(|(id, name, status)| {
+                let mut fields = vec![
+                    ("id".to_string(), Value::Int(*id as i64)),
+                    ("name".to_string(), Value::Str(name.clone())),
+                    ("status".to_string(), Value::Str(status.label().to_string())),
+                    (
+                        "degraded_funcs".to_string(),
+                        Value::Int(match status {
+                            BatchStatus::Degraded { funcs } => *funcs as i64,
+                            _ => 0,
+                        }),
+                    ),
+                    ("micros".to_string(), Value::Int(micros_of(*id))),
+                ];
+                if let BatchStatus::Failed { error } = status {
+                    fields.push(("error".to_string(), Value::Str(error.clone())));
+                }
+                Value::Obj(fields)
+            })
+            .collect();
+        drop(results);
+        Value::Obj(vec![
+            (
+                "queue_depth".to_string(),
+                Value::Int(self.queue_depth() as i64),
+            ),
+            ("in_flight".to_string(), Value::Int(self.in_flight() as i64)),
+            ("completed".to_string(), Value::Int(statuses.len() as i64)),
+            (
+                "degraded_funcs".to_string(),
+                Value::Int(self.degraded_funcs() as i64),
+            ),
+            ("jobs".to_string(), Value::Arr(jobs)),
+        ])
+    }
+}
+
 impl BatchService {
     /// Starts the service: spawns [`BatchConfig::workers`] threads that
     /// drain the submission queue until [`BatchService::shutdown`]. Uses
@@ -179,6 +377,8 @@ impl BatchService {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             results: Mutex::new(Vec::new()),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            in_flight: AtomicU64::new(0),
             cost,
             shard_workers: config.shard_workers.max(1),
         });
@@ -186,13 +386,16 @@ impl BatchService {
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
-                    while let Some((id, job)) = shared.queue.pop() {
+                    while let Some((id, queued_at, job)) = shared.queue.pop() {
+                        shared.in_flight.fetch_add(1, Ordering::Relaxed);
                         let result = run_batch_job(id, job, &shared.cost, shared.shard_workers);
+                        shared.note_completion(queued_at, &result);
                         shared
                             .results
                             .lock()
                             .expect("batch results lock")
                             .push(result);
+                        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                     }
                 })
             })
@@ -201,6 +404,14 @@ impl BatchService {
             shared,
             next_id: AtomicU64::new(0),
             workers,
+        }
+    }
+
+    /// A read-only live view of the service (cheap to clone; see
+    /// [`BatchHandle`]).
+    pub fn handle(&self) -> BatchHandle {
+        BatchHandle {
+            shared: Arc::clone(&self.shared),
         }
     }
 
@@ -213,11 +424,31 @@ impl BatchService {
     /// shutting down).
     pub fn submit(&self, job: BatchJob) -> Result<u64, BatchJob> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Try the fast path first so a stall (queue at capacity) is
+        // observable as a metric before we block.
+        let job = match self.shared.queue.try_push((id, Instant::now(), job)) {
+            Ok(()) => {
+                self.note_submit();
+                return Ok(id);
+            }
+            Err(PushError::Closed((_, _, job))) => return Err(job),
+            Err(PushError::Full((_, _, job))) => {
+                self.shared
+                    .metrics
+                    .lock()
+                    .expect("batch metrics lock")
+                    .inc(METRIC_STALLS);
+                job
+            }
+        };
         self.shared
             .queue
-            .push((id, job))
-            .map(|()| id)
-            .map_err(|e| e.into_inner().1)
+            .push((id, Instant::now(), job))
+            .map(|()| {
+                self.note_submit();
+                id
+            })
+            .map_err(|e| e.into_inner().2)
     }
 
     /// Submits without blocking; the caller sheds load on a full queue.
@@ -232,12 +463,23 @@ impl BatchService {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.shared
             .queue
-            .try_push((id, job))
-            .map(|()| id)
-            .map_err(|e| match e {
-                PushError::Full((_, j)) => PushError::Full(j),
-                PushError::Closed((_, j)) => PushError::Closed(j),
+            .try_push((id, Instant::now(), job))
+            .map(|()| {
+                self.note_submit();
+                id
             })
+            .map_err(|e| match e {
+                PushError::Full((_, _, j)) => PushError::Full(j),
+                PushError::Closed((_, _, j)) => PushError::Closed(j),
+            })
+    }
+
+    fn note_submit(&self) {
+        self.shared
+            .metrics
+            .lock()
+            .expect("batch metrics lock")
+            .inc(METRIC_SUBMITTED);
     }
 
     /// Jobs queued but not yet picked up.

@@ -16,20 +16,31 @@
 //!   degraded in place instead of killing the batch;
 //! * [`BatchService`] — submit many programs against a bounded queue with
 //!   backpressure, collect per-job statuses;
-//! * [`queue`] — the bounded MPMC queue underneath the service.
+//! * [`queue`] — the bounded MPMC queue underneath the service;
+//! * [`timeline`] — per-worker span/instant/counter collection for the
+//!   pool and driver (exported as a Chrome trace by
+//!   [`crate::trace::chrometrace`]);
+//! * [`status`] — a std-only HTTP endpoint serving a live
+//!   [`BatchHandle`] view (`/metrics`, `/healthz`, `/status`).
 //!
 //! The `ccra-eval` `par` binary sweeps worker counts over the perf
 //! workloads with the driver and records the speedup into the
-//! `BENCH_2.json` snapshot.
+//! `BENCH_3.json` snapshot; the `timeline` binary captures one traced
+//! batch as a Perfetto-loadable timeline.
 
 pub mod batch;
 mod parallel;
 pub mod pool;
 pub mod queue;
+pub mod status;
+pub mod timeline;
 
-pub use batch::{BatchConfig, BatchJob, BatchResult, BatchService, BatchStatus};
+pub use batch::{BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus};
 pub use parallel::{
-    AllocJob, AllocRequest, DefaultJob, DriverReport, JobCtx, JobStatus, ParallelDriver,
+    AllocJob, AllocRequest, DefaultJob, DriverReport, DriverSummary, JobCtx, JobStatus,
+    ParallelDriver,
 };
-pub use pool::{run_jobs, JobOutcome, PoolStats};
-pub use queue::{BoundedQueue, PushError};
+pub use pool::{run_jobs, run_jobs_observed, JobOutcome, PoolStats, WorkerScratch};
+pub use queue::{BoundedQueue, PushError, QueueStats};
+pub use status::StatusServer;
+pub use timeline::{Timeline, TimelineCollector, TimelineEvent, TimelineSummary};

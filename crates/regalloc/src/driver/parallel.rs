@@ -18,9 +18,20 @@
 //!   sink and merges registries in id order, so the merged event stream
 //!   (wall-clock normalized) and every merged counter equal the serial
 //!   run's;
-//! * scheduling facts (which worker ran what, steal counts) never touch
-//!   the allocation result or the program registry — they live in
-//!   [`DriverReport`] only.
+//! * scheduling facts (which worker ran what, steal counts, scheduler
+//!   metrics, the timeline) never touch the allocation result or the
+//!   program registry — they live in [`DriverReport`] and the returned
+//!   [`Timeline`] only.
+//!
+//! # Observation
+//!
+//! [`ParallelDriver::allocate_program_traced`] runs the same batch with a
+//! [`TimelineCollector`] tap: each worker records job/steal/idle spans on
+//! a private lane (see [`crate::driver::timeline`]), each job's
+//! [`PhaseSpan`] events are mirrored as nested phase spans on the worker's
+//! lane, and the drained scheduler-metric shards merge into
+//! [`DriverReport::scheduler`]. The untraced entry points delegate with a
+//! disabled collector, so they pay one branch per event site.
 //!
 //! # Failure isolation
 //!
@@ -38,7 +49,8 @@ use ccra_analysis::{FrequencyInfo, FuncFreq};
 use ccra_ir::{Function, Program};
 use ccra_machine::{CostModel, RegisterFile};
 
-use crate::driver::pool::{run_jobs, JobOutcome};
+use crate::driver::pool::{run_jobs_observed, JobOutcome};
+use crate::driver::timeline::{Lane, SpanKind, Timeline, TimelineCollector};
 use crate::error::AllocError;
 use crate::metrics::MetricsRegistry;
 use crate::pipeline::{
@@ -46,7 +58,8 @@ use crate::pipeline::{
     ProgramAllocation,
 };
 use crate::trace::{
-    span_start, AllocEvent, AllocSink, DegradedInfo, NoopSink, ProgramSummary, RecordingSink,
+    span_start, AllocEvent, AllocSink, DegradedInfo, NoopSink, PhaseSpan, ProgramSummary,
+    RecordingSink,
 };
 use crate::types::{AllocatorConfig, Overhead};
 
@@ -155,6 +168,11 @@ impl JobStatus {
     pub fn is_degraded(&self) -> bool {
         matches!(self, JobStatus::Degraded { .. })
     }
+
+    /// Whether this job degraded because its worker panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, JobStatus::Degraded { reason } if reason.starts_with("worker panicked"))
+    }
 }
 
 /// What the driver did, beyond the allocation itself: per-job statuses
@@ -170,12 +188,60 @@ pub struct DriverReport {
     pub steals: u64,
     /// Per-function outcome, indexed by function id.
     pub statuses: Vec<JobStatus>,
+    /// Scheduler metrics (the `driver_*` names of [`crate::driver::pool`]),
+    /// merged across worker shards. Empty unless the batch ran traced.
+    /// Scheduling-dependent, like everything else here except `statuses` —
+    /// keep it out of merged program metrics.
+    pub scheduler: MetricsRegistry,
 }
 
 impl DriverReport {
     /// How many functions degraded.
     pub fn degraded_funcs(&self) -> usize {
         self.statuses.iter().filter(|s| s.is_degraded()).count()
+    }
+
+    /// The report folded into a [`DriverSummary`].
+    ///
+    /// `total_jobs`, `panics`, and `degraded` are deterministic (they
+    /// derive from the per-function statuses, which are merged in id
+    /// order) and safe to assert exactly in tests; `steals` is a
+    /// scheduling fact and only safe to assert loosely.
+    pub fn summary(&self) -> DriverSummary {
+        DriverSummary {
+            workers: self.workers,
+            total_jobs: self.statuses.len() as u64,
+            degraded: self.degraded_funcs(),
+            panics: self.statuses.iter().filter(|s| s.is_panicked()).count(),
+            steals: self.steals,
+        }
+    }
+}
+
+/// A [`DriverReport`] folded down to the numbers worth printing after a
+/// batch (see [`DriverReport::summary`] for which are deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverSummary {
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Functions allocated.
+    pub total_jobs: u64,
+    /// Functions that fell back to the degraded allocation (includes the
+    /// panicked ones).
+    pub degraded: usize,
+    /// Functions whose job panicked (a subset of `degraded`).
+    pub panics: usize,
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+}
+
+impl std::fmt::Display for DriverSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} job(s) on {} worker(s): {} degraded ({} panicked), {} steal(s)",
+            self.total_jobs, self.workers, self.degraded, self.panics, self.steals
+        )
     }
 }
 
@@ -185,6 +251,44 @@ struct JobReturn {
     result: Result<(Function, FuncAllocation, JobStatus), AllocError>,
     events: Vec<AllocEvent>,
     metrics: MetricsRegistry,
+}
+
+/// An [`AllocSink`] shim that mirrors [`PhaseSpan`] events onto a timeline
+/// lane as nested phase spans (back-dated: the event is emitted right as
+/// the phase ends, so `start = now - micros`) while forwarding everything
+/// to the job's recorder, if any.
+struct PhaseTap<'a> {
+    inner: Option<&'a mut RecordingSink>,
+    lane: &'a mut Lane,
+}
+
+impl AllocSink for PhaseTap<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.is_some() || self.lane.enabled()
+    }
+
+    fn emit(&mut self, event: AllocEvent) {
+        if self.lane.enabled() {
+            if let AllocEvent::Phase(PhaseSpan {
+                phase,
+                round,
+                micros,
+                ..
+            }) = &event
+            {
+                let (phase, round, micros) = (phase.clone(), *round, *micros);
+                self.lane.backdated_span(
+                    SpanKind::Phase,
+                    micros,
+                    || phase,
+                    || Some(format!("round {round}")),
+                );
+            }
+        }
+        if let Some(r) = self.inner.as_mut() {
+            r.emit(event);
+        }
+    }
 }
 
 /// The parallel allocation driver (see the module docs).
@@ -282,15 +386,13 @@ impl ParallelDriver {
         self.allocate_program_with_job(req, sink, metrics, &DefaultJob)
     }
 
-    /// The fully general entry point: allocates with a custom per-function
-    /// [`AllocJob`]. Everything else on the driver delegates here with
-    /// [`DefaultJob`].
+    /// Allocates with a custom per-function [`AllocJob`]. Delegates to
+    /// [`ParallelDriver::allocate_program_traced`] with a disabled
+    /// collector, discarding the (empty) timeline.
     ///
     /// # Errors
     ///
-    /// Propagates the first (in function-id order) failure of the degraded
-    /// fallback; strict-allocation failures and job panics degrade instead
-    /// (see the module docs).
+    /// See [`ParallelDriver::allocate_program_traced`].
     pub fn allocate_program_with_job(
         &self,
         req: &AllocRequest<'_>,
@@ -298,6 +400,33 @@ impl ParallelDriver {
         metrics: &mut MetricsRegistry,
         job: &dyn AllocJob,
     ) -> Result<(ProgramAllocation, DriverReport), AllocError> {
+        let collector = TimelineCollector::disabled();
+        self.allocate_program_traced(req, sink, metrics, job, &collector)
+            .map(|(alloc, report, _)| (alloc, report))
+    }
+
+    /// The fully general entry point: allocates with a custom per-function
+    /// [`AllocJob`] under a [`TimelineCollector`], returning the merged
+    /// driver [`Timeline`] alongside the allocation and report. Everything
+    /// else on the driver delegates here.
+    ///
+    /// Worker lanes are `0..workers`; the driver thread's merge span lands
+    /// on lane `workers`. With a disabled collector the timeline comes
+    /// back empty and [`DriverReport::scheduler`] stays empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (in function-id order) failure of the degraded
+    /// fallback; strict-allocation failures and job panics degrade instead
+    /// (see the module docs).
+    pub fn allocate_program_traced(
+        &self,
+        req: &AllocRequest<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+        job: &dyn AllocJob,
+        collector: &TimelineCollector,
+    ) -> Result<(ProgramAllocation, DriverReport, Timeline), AllocError> {
         let start = span_start(sink);
         let prog_timer = metrics.timer();
         let sink_on = sink.enabled();
@@ -305,53 +434,70 @@ impl ParallelDriver {
         let program = req.program;
         let ids: Vec<ccra_ir::FuncId> = program.func_ids().collect();
 
-        let (outcomes, stats) = run_jobs(self.workers, &ids, |_, &id| {
-            let func = program.function(id);
-            let ctx = JobCtx {
-                func,
-                freq: req.freq.func(id),
-                file: &req.file,
-                config: req.config,
-                cost: req.cost,
-            };
-            let mut recorder = sink_on.then(RecordingSink::new);
-            let mut noop = NoopSink;
-            let job_sink: &mut dyn AllocSink = match recorder.as_mut() {
-                Some(r) => r,
-                None => &mut noop,
-            };
-            let mut job_metrics = if metrics_on {
-                MetricsRegistry::new()
-            } else {
-                MetricsRegistry::disabled()
-            };
-            let result = match job.run(&ctx, job_sink, &mut job_metrics) {
-                Ok((body, alloc)) => Ok((body, alloc, JobStatus::Ok)),
-                Err(err) => {
-                    let reason = err.to_string();
-                    if job_sink.enabled() {
-                        job_sink.emit(AllocEvent::Degraded(DegradedInfo {
-                            func: func.name().to_string(),
-                            reason: reason.clone(),
-                        }));
-                    }
-                    degraded_allocation_instrumented(
-                        func,
-                        ctx.freq,
-                        ctx.file,
-                        ctx.cost,
-                        job_sink,
-                        &mut job_metrics,
-                    )
-                    .map(|(body, alloc)| (body, alloc, JobStatus::Degraded { reason }))
+        let (outcomes, stats, scratches) =
+            run_jobs_observed(self.workers, &ids, collector, |_, &id, scratch| {
+                let func = program.function(id);
+                if scratch.lane.enabled() {
+                    scratch.job_label = Some(func.name().to_string());
                 }
-            };
-            JobReturn {
-                result,
-                events: recorder.map(|r| r.events).unwrap_or_default(),
-                metrics: job_metrics,
-            }
-        });
+                let ctx = JobCtx {
+                    func,
+                    freq: req.freq.func(id),
+                    file: &req.file,
+                    config: req.config,
+                    cost: req.cost,
+                };
+                let mut recorder = sink_on.then(RecordingSink::new);
+                let mut tap = PhaseTap {
+                    inner: recorder.as_mut(),
+                    lane: &mut scratch.lane,
+                };
+                let mut job_metrics = if metrics_on {
+                    MetricsRegistry::new()
+                } else {
+                    MetricsRegistry::disabled()
+                };
+                let result = match job.run(&ctx, &mut tap, &mut job_metrics) {
+                    Ok((body, alloc)) => Ok((body, alloc, JobStatus::Ok)),
+                    Err(err) => {
+                        let reason = err.to_string();
+                        if tap.enabled() {
+                            tap.emit(AllocEvent::Degraded(DegradedInfo {
+                                func: func.name().to_string(),
+                                reason: reason.clone(),
+                            }));
+                        }
+                        degraded_allocation_instrumented(
+                            func,
+                            ctx.freq,
+                            ctx.file,
+                            ctx.cost,
+                            &mut tap,
+                            &mut job_metrics,
+                        )
+                        .map(|(body, alloc)| (body, alloc, JobStatus::Degraded { reason }))
+                    }
+                };
+                JobReturn {
+                    result,
+                    events: recorder.map(|r| r.events).unwrap_or_default(),
+                    metrics: job_metrics,
+                }
+            });
+
+        // The scheduling facts drain into the report's quarantine.
+        let mut scheduler = if collector.is_enabled() {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let mut lanes: Vec<Vec<_>> = Vec::with_capacity(scratches.len() + 1);
+        for scratch in scratches {
+            scheduler.merge(&scratch.scheduler);
+            lanes.push(scratch.lane.into_events());
+        }
+        let mut driver_lane = collector.lane(stats.workers as u32);
+        let merge_span = driver_lane.start();
 
         // Deterministic merge: strictly in function-id order, regardless
         // of which worker finished when.
@@ -411,6 +557,8 @@ impl ParallelDriver {
                 micros: t.elapsed().as_micros() as u64,
             }));
         }
+        driver_lane.end_span(merge_span, SpanKind::Merge, || "merge".to_string());
+        lanes.push(driver_lane.into_events());
         Ok((
             ProgramAllocation {
                 program: rewritten,
@@ -422,7 +570,9 @@ impl ParallelDriver {
                 jobs_per_worker: stats.jobs_per_worker,
                 steals: stats.steals,
                 statuses,
+                scheduler,
             },
+            Timeline::merge(stats.workers, lanes),
         ))
     }
 }

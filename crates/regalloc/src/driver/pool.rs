@@ -14,7 +14,8 @@
 //!
 //! * **Deterministic results.** [`run_jobs`] returns outcomes indexed by
 //!   item position, independent of which worker ran what and in which
-//!   order. Scheduling nondeterminism is confined to [`PoolStats`].
+//!   order. Scheduling nondeterminism is confined to [`PoolStats`] (and,
+//!   when observing, to [`WorkerScratch`]).
 //! * **Panic isolation.** A panicking job is caught ([`std::panic::catch_unwind`])
 //!   and surfaces as [`JobOutcome::Panicked`] with the panic message; the
 //!   worker and every sibling job keep running.
@@ -22,11 +23,40 @@
 //! With one worker (or one item) the pool runs inline on the calling
 //! thread — no threads are spawned, so `workers = 1` costs only the
 //! per-job `catch_unwind`.
+//!
+//! # Observation
+//!
+//! [`run_jobs_observed`] is the same scheduler with a telemetry tap: each
+//! worker owns a [`WorkerScratch`] — a timeline [`Lane`] plus a
+//! scheduler-side [`MetricsRegistry`] shard — written with zero
+//! cross-thread contention and merged by the caller after the pool joins.
+//! [`run_jobs`] delegates to it with a disabled collector, so the
+//! unobserved path stays one branch per event site. The pool never parks:
+//! a worker that runs out of local work sweeps the other deques and exits
+//! when the sweep comes up empty, so "idle" spans measure work-search
+//! (steal-sweep and final-drain) time, not blocking.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use super::timeline::{InstantKind, Lane, SpanKind, TimelineCollector};
+use crate::metrics::MetricsRegistry;
+
+/// Scheduler counter: jobs taken from another worker's deque.
+pub const METRIC_STEALS: &str = "driver_steals_total";
+/// Scheduler counter: steal sweeps that found every deque empty.
+pub const METRIC_STEAL_MISSES: &str = "driver_steal_misses_total";
+/// Scheduler counter: jobs executed.
+pub const METRIC_JOBS: &str = "driver_jobs_total";
+/// Scheduler gauge: highest own-deque depth any worker observed.
+pub const METRIC_QUEUE_HIGH_WATER: &str = "driver_queue_depth_high_water";
+/// Scheduler histogram: microseconds a job waited between batch start and
+/// being popped by a worker.
+pub const METRIC_JOB_WAIT: &str = "driver_job_wait_micros";
+/// Scheduler histogram: microseconds a job spent running.
+pub const METRIC_JOB_RUN: &str = "driver_job_run_micros";
 
 /// What one job produced.
 #[derive(Debug)]
@@ -63,6 +93,43 @@ pub struct PoolStats {
     pub steals: u64,
 }
 
+/// One worker's private telemetry buffers, handed to the job closure and
+/// returned (in worker-id order) by [`run_jobs_observed`].
+///
+/// Both halves follow the lane discipline: exactly one worker writes a
+/// scratch, so recording never contends, and everything gates on the
+/// collector's enabled flag, so the disabled path performs no timing, no
+/// formatting, and no allocation.
+#[derive(Debug)]
+pub struct WorkerScratch {
+    /// The worker's timeline lane.
+    pub lane: Lane,
+    /// The worker's scheduler-metrics shard (counters/histograms named by
+    /// the `METRIC_*` constants in this module). Enabled iff the batch's
+    /// [`TimelineCollector`] is. Callers merge shards with
+    /// [`MetricsRegistry::merge`]; scheduler metrics are nondeterministic
+    /// scheduling facts and must stay out of merged program metrics.
+    pub scheduler: MetricsRegistry,
+    /// A label the job closure may set while running; the pool names the
+    /// job's timeline span with it (falling back to `"job <index>"`) and
+    /// clears it between jobs.
+    pub job_label: Option<String>,
+}
+
+impl WorkerScratch {
+    fn new(collector: &TimelineCollector, tid: u32) -> Self {
+        WorkerScratch {
+            lane: collector.lane(tid),
+            scheduler: if collector.is_enabled() {
+                MetricsRegistry::new()
+            } else {
+                MetricsRegistry::disabled()
+            },
+            job_label: None,
+        }
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -73,30 +140,124 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn run_one<T, R>(job: &(impl Fn(usize, &T) -> R + Sync), index: usize, item: &T) -> JobOutcome<R> {
-    match catch_unwind(AssertUnwindSafe(|| job(index, item))) {
+/// Runs one job under `catch_unwind`, recording its span (named by
+/// whatever label the closure left in the scratch) and its run-time
+/// histogram sample.
+fn run_one<T, R>(
+    job: &(impl Fn(usize, &T, &mut WorkerScratch) -> R + Sync),
+    index: usize,
+    item: &T,
+    scratch: &mut WorkerScratch,
+) -> JobOutcome<R> {
+    scratch.job_label = None;
+    let span = scratch.lane.start();
+    let timer = scratch.scheduler.timer();
+    let outcome = match catch_unwind(AssertUnwindSafe(|| job(index, item, &mut *scratch))) {
         Ok(r) => JobOutcome::Completed(r),
         Err(payload) => JobOutcome::Panicked(panic_message(payload)),
-    }
+    };
+    scratch.scheduler.observe_elapsed(METRIC_JOB_RUN, timer);
+    scratch.scheduler.inc(METRIC_JOBS);
+    let label = scratch.job_label.take();
+    let panicked = matches!(outcome, JobOutcome::Panicked(_));
+    scratch.lane.end_span_detailed(
+        span,
+        SpanKind::Job,
+        || label.unwrap_or_else(|| format!("job {index}")),
+        || panicked.then(|| "panicked".to_string()),
+    );
+    outcome
 }
 
-/// Pops work for worker `w`: its own deque first (LIFO), then a steal
-/// sweep over the other workers' deques (FIFO). Returns `None` when every
-/// deque is empty — jobs never enqueue new jobs, so an empty sweep means
-/// the batch is drained.
-fn pop_or_steal(deques: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -> Option<usize> {
-    if let Some(i) = deques[w].lock().expect("pool deque lock").pop_back() {
-        return Some(i);
-    }
+/// Pops the worker's own deque (LIFO), reporting the depth left behind so
+/// the caller can sample it as a counter series.
+fn pop_own(deques: &[Mutex<VecDeque<usize>>], w: usize) -> (Option<usize>, usize) {
+    let mut d = deques[w].lock().expect("pool deque lock");
+    let popped = d.pop_back();
+    (popped, d.len())
+}
+
+/// Sweeps the other workers' deques FIFO. Returns the stolen index and its
+/// victim, or `None` when every deque is empty — jobs never enqueue new
+/// jobs, so an empty sweep means the batch is drained.
+fn steal_sweep(
+    deques: &[Mutex<VecDeque<usize>>],
+    w: usize,
+    steals: &AtomicU64,
+) -> Option<(usize, usize)> {
     let n = deques.len();
     for off in 1..n {
         let victim = (w + off) % n;
         if let Some(i) = deques[victim].lock().expect("pool deque lock").pop_front() {
             steals.fetch_add(1, Ordering::Relaxed);
-            return Some(i);
+            return Some((i, victim));
         }
     }
     None
+}
+
+/// One worker's drain loop: pop own work, steal when dry, record the
+/// scheduling facts into the worker's scratch.
+fn drain_worker<T, R>(
+    deques: &[Mutex<VecDeque<usize>>],
+    w: usize,
+    steals: &AtomicU64,
+    batch_start: std::time::Instant,
+    items: &[T],
+    job: &(impl Fn(usize, &T, &mut WorkerScratch) -> R + Sync),
+    scratch: &mut WorkerScratch,
+) -> Vec<(usize, JobOutcome<R>)> {
+    let worker_span = scratch.lane.start();
+    let mut done = Vec::new();
+    loop {
+        let (own, depth) = pop_own(deques, w);
+        if scratch.lane.enabled() {
+            scratch
+                .lane
+                .counter(|| format!("queue depth w{w}"), depth as u64);
+            scratch
+                .scheduler
+                .gauge_max(METRIC_QUEUE_HIGH_WATER, depth as f64);
+        }
+        let index = match own {
+            Some(i) => i,
+            None => {
+                // Own deque dry: the time from here until we find (or fail
+                // to find) work elsewhere is the worker's idle span.
+                let idle = scratch.lane.start();
+                let stolen = steal_sweep(deques, w, steals);
+                scratch
+                    .lane
+                    .end_span(idle, SpanKind::Idle, || "find work".to_string());
+                match stolen {
+                    Some((i, victim)) => {
+                        scratch.scheduler.inc(METRIC_STEALS);
+                        scratch
+                            .lane
+                            .instant(InstantKind::Steal, || format!("steal <- w{victim}"));
+                        i
+                    }
+                    None => {
+                        scratch.scheduler.inc(METRIC_STEAL_MISSES);
+                        scratch
+                            .lane
+                            .instant(InstantKind::StealMiss, || "batch drained".to_string());
+                        break;
+                    }
+                }
+            }
+        };
+        if scratch.scheduler.enabled() {
+            scratch
+                .scheduler
+                .observe(METRIC_JOB_WAIT, batch_start.elapsed().as_micros() as u64);
+        }
+        done.push((index, run_one(job, index, &items[index], scratch)));
+    }
+    scratch
+        .lane
+        .end_span(worker_span, SpanKind::Worker, || format!("worker {w}"));
+    done
 }
 
 /// Runs `job` over every item on up to `workers` threads, returning one
@@ -113,13 +274,62 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let collector = TimelineCollector::disabled();
+    let (outcomes, stats, _) =
+        run_jobs_observed(workers, items, &collector, |i, item, _scratch| job(i, item));
+    (outcomes, stats)
+}
+
+/// [`run_jobs`] with a telemetry tap: every worker records its scheduling
+/// events into a private [`WorkerScratch`] created from `collector`, and
+/// the scratches come back in worker-id order for the caller to merge.
+///
+/// The job closure receives its worker's scratch — to set
+/// [`WorkerScratch::job_label`], to record nested timeline spans on the
+/// worker's lane, or to add scheduler metrics. With a
+/// [`TimelineCollector::disabled`] collector every recording site reduces
+/// to one branch, which is how [`run_jobs`] keeps the unobserved path
+/// inside the workers=1 overhead gate.
+pub fn run_jobs_observed<T, R, F>(
+    workers: usize,
+    items: &[T],
+    collector: &TimelineCollector,
+    job: F,
+) -> (Vec<JobOutcome<R>>, PoolStats, Vec<WorkerScratch>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &mut WorkerScratch) -> R + Sync,
+{
     let workers = workers.clamp(1, items.len().max(1));
+    let batch_start = std::time::Instant::now();
     if workers == 1 {
+        let mut scratch = WorkerScratch::new(collector, 0);
+        let worker_span = scratch.lane.start();
         let outcomes = items
             .iter()
             .enumerate()
-            .map(|(i, item)| run_one(&job, i, item))
+            .map(|(i, item)| {
+                if scratch.scheduler.enabled() {
+                    scratch
+                        .scheduler
+                        .observe(METRIC_JOB_WAIT, batch_start.elapsed().as_micros() as u64);
+                    scratch
+                        .scheduler
+                        .gauge_max(METRIC_QUEUE_HIGH_WATER, (items.len() - 1 - i) as f64);
+                }
+                if scratch.lane.enabled() {
+                    scratch.lane.counter(
+                        || "queue depth w0".to_string(),
+                        (items.len() - 1 - i) as u64,
+                    );
+                }
+                run_one(&job, i, item, &mut scratch)
+            })
             .collect();
+        scratch
+            .lane
+            .end_span(worker_span, SpanKind::Worker, || "worker 0".to_string());
         return (
             outcomes,
             PoolStats {
@@ -127,6 +337,7 @@ where
                 jobs_per_worker: vec![items.len() as u64],
                 steals: 0,
             },
+            vec![scratch],
         );
     }
 
@@ -140,18 +351,18 @@ where
     }
     let steals = AtomicU64::new(0);
 
-    let per_worker: Vec<Vec<(usize, JobOutcome<R>)>> = std::thread::scope(|scope| {
+    type WorkerDone<R> = (Vec<(usize, JobOutcome<R>)>, WorkerScratch);
+    let per_worker: Vec<WorkerDone<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let deques = &deques;
                 let steals = &steals;
                 let job = &job;
+                let mut scratch = WorkerScratch::new(collector, w as u32);
                 scope.spawn(move || {
-                    let mut done = Vec::new();
-                    while let Some(i) = pop_or_steal(deques, w, steals) {
-                        done.push((i, run_one(job, i, &items[i])));
-                    }
-                    done
+                    let done =
+                        drain_worker(deques, w, steals, batch_start, items, job, &mut scratch);
+                    (done, scratch)
                 })
             })
             .collect();
@@ -161,11 +372,15 @@ where
             .collect()
     });
 
-    let jobs_per_worker = per_worker.iter().map(|v| v.len() as u64).collect();
+    let jobs_per_worker = per_worker.iter().map(|(v, _)| v.len() as u64).collect();
+    let mut scratches = Vec::with_capacity(workers);
     let mut outcomes: Vec<Option<JobOutcome<R>>> = (0..items.len()).map(|_| None).collect();
-    for (i, outcome) in per_worker.into_iter().flatten() {
-        debug_assert!(outcomes[i].is_none(), "job {i} ran twice");
-        outcomes[i] = Some(outcome);
+    for (done, scratch) in per_worker {
+        scratches.push(scratch);
+        for (i, outcome) in done {
+            debug_assert!(outcomes[i].is_none(), "job {i} ran twice");
+            outcomes[i] = Some(outcome);
+        }
     }
     let outcomes = outcomes
         .into_iter()
@@ -179,11 +394,13 @@ where
             jobs_per_worker,
             steals: steals.into_inner(),
         },
+        scratches,
     )
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::timeline::{Timeline, TimelineEvent};
     use super::*;
 
     #[test]
@@ -253,5 +470,138 @@ mod tests {
         assert_eq!(serial, parallel);
         assert_eq!(stats.workers, 8);
         assert_eq!(stats.jobs_per_worker.iter().sum::<u64>(), 33);
+    }
+
+    #[test]
+    fn disabled_collector_leaves_no_events_and_no_metrics() {
+        let items: Vec<u32> = (0..16).collect();
+        let collector = TimelineCollector::disabled();
+        let (_, _, scratches) = run_jobs_observed(4, &items, &collector, |_, &x, scratch| {
+            assert!(!scratch.lane.enabled());
+            x
+        });
+        assert_eq!(scratches.len(), 4);
+        for s in scratches {
+            assert!(s.lane.is_empty());
+            assert!(s.scheduler.is_empty());
+        }
+    }
+
+    #[test]
+    fn observed_batches_record_job_spans_per_worker() {
+        let items: Vec<u32> = (0..24).collect();
+        let collector = TimelineCollector::enabled();
+        let (outcomes, stats, scratches) =
+            run_jobs_observed(4, &items, &collector, |i, &x, scratch| {
+                scratch.job_label = Some(format!("item {x}"));
+                (0..500u64).fold(i as u64, |a, v| a.wrapping_add(v))
+            });
+        assert_eq!(outcomes.len(), 24);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(scratches.len(), 4);
+
+        let mut scheduler = MetricsRegistry::new();
+        for s in &scratches {
+            scheduler.merge(&s.scheduler);
+        }
+        assert_eq!(scheduler.counter(METRIC_JOBS), 24);
+        assert_eq!(
+            scheduler.histogram(METRIC_JOB_RUN).map(|h| h.count()),
+            Some(24)
+        );
+        assert_eq!(
+            scheduler.histogram(METRIC_JOB_WAIT).map(|h| h.count()),
+            Some(24)
+        );
+
+        let timeline = Timeline::merge(
+            4,
+            scratches
+                .into_iter()
+                .map(|s| s.lane.into_events())
+                .collect(),
+        );
+        assert_eq!(timeline.lane_ids(), vec![0, 1, 2, 3]);
+        let job_spans = timeline
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TimelineEvent::Span {
+                        kind: SpanKind::Job,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(job_spans, 24);
+        let labelled = timeline
+            .events
+            .iter()
+            .any(|e| matches!(e, TimelineEvent::Span { name, .. } if name.starts_with("item ")));
+        assert!(labelled, "job_label names the job span");
+        let summary = timeline.summary();
+        assert_eq!(summary.lanes.iter().map(|l| l.jobs).sum::<u64>(), 24);
+        assert!(summary.slowest_job.is_some());
+    }
+
+    #[test]
+    fn workers1_observed_records_a_single_lane() {
+        let items: Vec<u32> = (0..5).collect();
+        let collector = TimelineCollector::enabled();
+        let (_, stats, scratches) = run_jobs_observed(1, &items, &collector, |_, &x, _scratch| x);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(scratches.len(), 1);
+        let scheduler = &scratches[0].scheduler;
+        assert_eq!(scheduler.counter(METRIC_JOBS), 5);
+        assert_eq!(scheduler.counter(METRIC_STEALS), 0);
+        let timeline = Timeline::merge(
+            1,
+            scratches
+                .into_iter()
+                .map(|s| s.lane.into_events())
+                .collect(),
+        );
+        assert_eq!(timeline.lane_ids(), vec![0]);
+        assert_eq!(timeline.summary().lanes[0].jobs, 5);
+    }
+
+    #[test]
+    fn steals_show_up_as_instants_and_metrics() {
+        // Deal everything heavy to worker 0's deque position by making one
+        // item dominate: with 8 workers and 9 items, workers finishing
+        // early must steal or miss, so some instant event appears.
+        let items: Vec<u64> = (0..64).collect();
+        let collector = TimelineCollector::enabled();
+        let (_, stats, scratches) = run_jobs_observed(8, &items, &collector, |_, &x, _s| {
+            let spins = if x % 8 == 0 { 50_000 } else { 50 };
+            (0..spins).fold(x, |a, v| a.wrapping_mul(31).wrapping_add(v))
+        });
+        let mut scheduler = MetricsRegistry::new();
+        let mut lanes = Vec::new();
+        for s in scratches {
+            scheduler.merge(&s.scheduler);
+            lanes.push(s.lane.into_events());
+        }
+        // Scheduler metrics agree with the pool's own steal count.
+        assert_eq!(scheduler.counter(METRIC_STEALS), stats.steals);
+        // Every worker that drained records a miss when the batch empties.
+        assert!(scheduler.counter(METRIC_STEAL_MISSES) >= 1);
+        let timeline = Timeline::merge(8, lanes);
+        let steal_instants = timeline
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TimelineEvent::Instant {
+                        kind: InstantKind::Steal,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert_eq!(steal_instants, stats.steals);
     }
 }

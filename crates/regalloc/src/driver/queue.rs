@@ -35,9 +35,43 @@ impl<T> PushError<T> {
     }
 }
 
+/// A point-in-time snapshot of a queue's traffic counters (see
+/// [`BoundedQueue::stats`]).
+///
+/// Counters are updated under the queue lock, so a snapshot is internally
+/// consistent; they are always on — each costs one integer bump under a
+/// lock the operation already holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Items currently queued.
+    pub depth: usize,
+    /// The queue's capacity.
+    pub capacity: usize,
+    /// Successful pushes (blocking and non-blocking).
+    pub pushes: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Blocking pushes that found the queue at capacity and had to wait
+    /// (counted once per push, not per wakeup).
+    pub blocked_pushes: u64,
+    /// The highest depth the queue ever reached.
+    pub high_water: usize,
+}
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+    pushes: u64,
+    pops: u64,
+    blocked_pushes: u64,
+    high_water: usize,
+}
+
+impl<T> State<T> {
+    fn note_push(&mut self) {
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.items.len());
+    }
 }
 
 /// A bounded blocking queue (see the module docs).
@@ -55,6 +89,10 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(State {
                 items: VecDeque::new(),
                 closed: false,
+                pushes: 0,
+                pops: 0,
+                blocked_pushes: 0,
+                high_water: 0,
             }),
             capacity: capacity.max(1),
             not_full: Condvar::new(),
@@ -85,14 +123,20 @@ impl<T> BoundedQueue<T> {
     /// becomes, while waiting — closed.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue lock");
+        let mut counted_block = false;
         loop {
             if state.closed {
                 return Err(PushError::Closed(item));
             }
             if state.items.len() < self.capacity {
                 state.items.push_back(item);
+                state.note_push();
                 self.not_empty.notify_one();
                 return Ok(());
+            }
+            if !counted_block {
+                state.blocked_pushes += 1;
+                counted_block = true;
             }
             state = self.not_full.wait(state).expect("queue lock");
         }
@@ -113,6 +157,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         state.items.push_back(item);
+        state.note_push();
         self.not_empty.notify_one();
         Ok(())
     }
@@ -123,6 +168,7 @@ impl<T> BoundedQueue<T> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if let Some(item) = state.items.pop_front() {
+                state.pops += 1;
                 self.not_full.notify_one();
                 return Some(item);
             }
@@ -130,6 +176,19 @@ impl<T> BoundedQueue<T> {
                 return None;
             }
             state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// A consistent snapshot of the queue's traffic counters.
+    pub fn stats(&self) -> QueueStats {
+        let state = self.state.lock().expect("queue lock");
+        QueueStats {
+            depth: state.items.len(),
+            capacity: self.capacity,
+            pushes: state.pushes,
+            pops: state.pops,
+            blocked_pushes: state.blocked_pushes,
+            high_water: state.high_water,
         }
     }
 
@@ -208,6 +267,50 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         producer.join().expect("producer finishes");
         assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn stats_count_traffic_and_high_water() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(
+            q.stats(),
+            QueueStats {
+                capacity: 2,
+                ..QueueStats::default()
+            }
+        );
+        q.try_push(1).expect("fits");
+        q.try_push(2).expect("fits");
+        let _ = q.try_push(3); // Full: not a push, not a blocked push.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).expect("fits after a pop");
+        let s = q.stats();
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.pushes, 3);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.blocked_pushes, 0);
+        assert_eq!(s.high_water, 2);
+    }
+
+    #[test]
+    fn blocking_pushes_count_once() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).expect("fits");
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).map_err(|_| ()).expect("space opens up"))
+        };
+        // Wait until the producer has registered its blocked push, then
+        // release it.
+        while q.stats().blocked_pushes == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(q.pop(), Some(0));
+        producer.join().expect("producer finishes");
+        let s = q.stats();
+        assert_eq!(s.blocked_pushes, 1);
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.high_water, 1);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! A live status endpoint for [`BatchService`]: a minimal HTTP/1.0 server
+//! on `std::net::TcpListener` alone.
+//!
+//! The server wraps a [`BatchHandle`] and answers three `GET` routes:
+//!
+//! * `/healthz` — `200 text/plain`, body `ok`;
+//! * `/metrics` — the service metrics plus scrape-time gauges in the
+//!   Prometheus text exposition format
+//!   ([`BatchHandle::metrics_text`]);
+//! * `/status` — a JSON document with the live queue depth, in-flight
+//!   count, per-job [`BatchStatus`] and degraded-function total
+//!   ([`BatchHandle::status_value`]).
+//!
+//! Anything else is `404`; non-`GET` methods are `405`. Every response
+//! closes the connection (`Connection: close`), which is all HTTP/1.0
+//! promises anyway — no keep-alive, no chunking, no TLS. That is exactly
+//! enough for `curl` and a Prometheus scraper, and it keeps the server at
+//! one short, auditable accept loop.
+//!
+//! Bind to port 0 for an ephemeral port (tests do); read the actual
+//! address back with [`StatusServer::local_addr`]. Shutdown is graceful
+//! and idempotent: [`StatusServer::shutdown`] (or drop) sets a stop flag,
+//! wakes the accept loop with a self-connection, and joins the thread.
+//!
+//! [`BatchService`]: crate::driver::BatchService
+//! [`BatchStatus`]: crate::driver::BatchStatus
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::driver::batch::BatchHandle;
+
+/// How long a connection may dribble its request before being dropped.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The status HTTP server (see the module docs).
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `handle` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(handle: BatchHandle, addr: &str) -> io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &handle, &stop))
+        };
+        Ok(StatusServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address actually bound (the real port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins the server
+    /// thread. Called by drop too; explicit shutdown just makes the join
+    /// visible in the caller.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag between connections;
+        // poke it with one so it observes it now.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &BatchHandle, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A failed accept or a misbehaving client never kills the server.
+        if let Ok(stream) = stream {
+            let _ = serve_connection(stream, handle);
+        }
+    }
+}
+
+/// Reads one request, writes one response, closes.
+fn serve_connection(stream: TcpStream, handle: &BatchHandle) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; HTTP/1.0 GETs carry no body.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(&mut stream, 400, "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    match path {
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4",
+            &handle.metrics_text(),
+        ),
+        "/status" => {
+            let body = handle.status_value().to_json() + "\n";
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::batch::{BatchConfig, BatchService};
+
+    /// A bare-hands HTTP/1.0 client: one request, the whole response.
+    fn fetch(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to status server");
+        stream.write_all(request.as_bytes()).expect("write request");
+        let mut response = String::new();
+        io::Read::read_to_string(&mut stream, &mut response).expect("read response");
+        response
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        fetch(addr, &format!("GET {path} HTTP/1.0\r\n\r\n"))
+    }
+
+    #[test]
+    fn routes_respond_and_shutdown_joins() {
+        let service = BatchService::start(BatchConfig {
+            workers: 1,
+            queue_capacity: 4,
+            shard_workers: 1,
+        });
+        let server = StatusServer::bind(service.handle(), "127.0.0.1:0").expect("bind :0");
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "ephemeral port resolved");
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200"), "{metrics}");
+        assert!(metrics.contains("batch_queue_depth"), "{metrics}");
+
+        let status = get(addr, "/status");
+        assert!(status.contains("application/json"), "{status}");
+        let body = status
+            .split("\r\n\r\n")
+            .nth(1)
+            .expect("response has a body");
+        let value = serde::json::parse(body.trim()).expect("status body parses");
+        assert!(value.get("queue_depth").is_some());
+        assert!(value.get("jobs").is_some());
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.0 404"));
+        let post = fetch(addr, "POST /status HTTP/1.0\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.0 405"), "{post}");
+
+        server.shutdown();
+        // The port stops answering (connect may still succeed briefly on
+        // some stacks, but the listener is gone once shutdown returned).
+        drop(service.shutdown());
+    }
+
+    #[test]
+    fn drop_is_a_graceful_shutdown_too() {
+        let service = BatchService::start(BatchConfig::default());
+        let addr = {
+            let server = StatusServer::bind(service.handle(), "127.0.0.1:0").expect("bind :0");
+            let addr = server.local_addr();
+            assert!(get(addr, "/healthz").starts_with("HTTP/1.0 200"));
+            addr
+        };
+        // Dropped: connecting may succeed at the TCP level on a reused
+        // port, but the server thread has been joined — nothing serves.
+        let _ = addr;
+        drop(service.shutdown());
+    }
+}

@@ -1,0 +1,622 @@
+//! Driver timeline tracing: per-worker scheduling events on a shared
+//! wall-clock, buffered lane-locally with zero cross-thread contention.
+//!
+//! The parallel driver made allocation fast but opaque: which worker ran
+//! what, how long jobs waited, where stealing paid off, and how much time
+//! a worker spent sweeping empty deques are all invisible outside the
+//! quarantined [`DriverReport`]. This module records those facts as a
+//! *timeline* — timestamped spans and instants per worker lane — in the
+//! same discipline as [`crate::trace`] and [`crate::metrics`]:
+//!
+//! * **No globals.** A [`TimelineCollector`] is created by the caller and
+//!   threaded into the driver; lanes ([`Lane`]) are per-worker buffers
+//!   created from it, so recording never takes a lock and never shares a
+//!   cache line between workers. Lanes are merged once, after the pool
+//!   joins, in worker-id order.
+//! * **Zero cost when disabled.** Every recording method gates on
+//!   [`Lane::enabled`]; a disabled lane performs no `Instant::now()`, no
+//!   formatting, and no allocation. Callers whose *inputs* are expensive
+//!   (e.g. a `format!` for a span name) gate on [`Lane::enabled`]
+//!   themselves, exactly like [`crate::AllocSink::enabled`] sites.
+//!
+//! Timestamps are microseconds since the collector's epoch (its creation
+//! instant), so one driver run shares a single clock across lanes and the
+//! merged timeline is directly renderable as a Chrome trace (see
+//! [`crate::trace::chrometrace`]).
+//!
+//! The timeline is a *scheduling* artifact: it is nondeterministic across
+//! runs by nature and must never feed into allocation results or the
+//! merged program metrics. It rides next to [`DriverReport`], never inside
+//! [`crate::ProgramAllocation`].
+//!
+//! [`DriverReport`]: crate::driver::DriverReport
+
+use std::time::Instant;
+
+/// What a timeline span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A worker thread's whole lifetime within one batch.
+    Worker,
+    /// One job (one function's allocation), start to finish.
+    Job,
+    /// One pipeline phase inside a job (tapped from
+    /// [`crate::trace::PhaseSpan`] events).
+    Phase,
+    /// Time a worker spent looking for work (its own deque was empty).
+    Idle,
+    /// The driver's deterministic merge of per-job results.
+    Merge,
+}
+
+impl SpanKind {
+    /// The category label used in serialized traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Worker => "worker",
+            SpanKind::Job => "job",
+            SpanKind::Phase => "phase",
+            SpanKind::Idle => "idle",
+            SpanKind::Merge => "merge",
+        }
+    }
+}
+
+/// What a timeline instant marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstantKind {
+    /// A job was taken from another worker's deque.
+    Steal,
+    /// A full steal sweep found every deque empty.
+    StealMiss,
+}
+
+impl InstantKind {
+    /// The category label used in serialized traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstantKind::Steal => "steal",
+            InstantKind::StealMiss => "steal_miss",
+        }
+    }
+}
+
+/// One timeline event. Timestamps are microseconds since the collector's
+/// epoch; `tid` is the lane (worker index, or one past the last worker for
+/// the driver thread).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineEvent {
+    /// A duration on one lane.
+    Span {
+        /// The lane the span belongs to.
+        tid: u32,
+        /// What the span covers.
+        kind: SpanKind,
+        /// A human-readable name (function name, phase name, …).
+        name: String,
+        /// Free-form detail rendered into trace `args` (e.g. `"round 2"`).
+        detail: Option<String>,
+        /// Start, microseconds since the epoch.
+        start_us: u64,
+        /// Duration in microseconds.
+        dur_us: u64,
+    },
+    /// A point event on one lane.
+    Instant {
+        /// The lane the instant belongs to.
+        tid: u32,
+        /// What the instant marks.
+        kind: InstantKind,
+        /// A human-readable name (e.g. `"steal <- w2"`).
+        name: String,
+        /// Timestamp, microseconds since the epoch.
+        ts_us: u64,
+    },
+    /// A sampled counter value (one series per `name`).
+    Counter {
+        /// The lane that sampled the counter.
+        tid: u32,
+        /// The series name (e.g. `"queue depth w0"`).
+        name: String,
+        /// Timestamp, microseconds since the epoch.
+        ts_us: u64,
+        /// The sampled value.
+        value: u64,
+    },
+}
+
+impl TimelineEvent {
+    /// The lane this event belongs to.
+    pub fn tid(&self) -> u32 {
+        match self {
+            TimelineEvent::Span { tid, .. }
+            | TimelineEvent::Instant { tid, .. }
+            | TimelineEvent::Counter { tid, .. } => *tid,
+        }
+    }
+
+    /// The event's timestamp (a span's start), microseconds since epoch.
+    pub fn ts_us(&self) -> u64 {
+        match self {
+            TimelineEvent::Span { start_us, .. } => *start_us,
+            TimelineEvent::Instant { ts_us, .. } | TimelineEvent::Counter { ts_us, .. } => *ts_us,
+        }
+    }
+}
+
+/// The shared clock and on/off switch of one driver run's timeline.
+///
+/// Create one per batch ([`TimelineCollector::enabled`] or
+/// [`TimelineCollector::disabled`]) and hand per-worker [`Lane`]s out of
+/// it; recording happens lane-locally, merging happens once at the end
+/// ([`Timeline::merge`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineCollector {
+    on: bool,
+    epoch: Instant,
+}
+
+impl TimelineCollector {
+    /// A collector that records.
+    pub fn enabled() -> Self {
+        TimelineCollector {
+            on: true,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A collector whose lanes drop everything at zero cost — the timeline
+    /// analog of [`crate::NoopSink`].
+    pub fn disabled() -> Self {
+        TimelineCollector {
+            on: false,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether lanes created from this collector record.
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Microseconds elapsed since the collector was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// A fresh recording lane for one worker (or the driver thread).
+    pub fn lane(&self, tid: u32) -> Lane {
+        Lane {
+            on: self.on,
+            epoch: self.epoch,
+            tid,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// One lane's private event buffer. `Lane` is `Send` but deliberately not
+/// `Sync`: exactly one worker writes it, so recording is contention-free.
+#[derive(Debug)]
+pub struct Lane {
+    on: bool,
+    epoch: Instant,
+    tid: u32,
+    events: Vec<TimelineEvent>,
+}
+
+impl Lane {
+    /// Whether this lane records. Call sites whose event construction is
+    /// itself expensive (names built with `format!`, depth scans) must
+    /// gate on this, mirroring [`crate::AllocSink::enabled`].
+    pub fn enabled(&self) -> bool {
+        self.on
+    }
+
+    /// The lane id events carry.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Starts a span iff the lane records (the timeline analog of
+    /// [`crate::trace::span_start`]).
+    pub fn start(&self) -> Option<Instant> {
+        self.on.then(Instant::now)
+    }
+
+    /// Ends a span started by [`Lane::start`].
+    pub fn end_span(
+        &mut self,
+        start: Option<Instant>,
+        kind: SpanKind,
+        name: impl FnOnce() -> String,
+    ) {
+        self.end_span_detailed(start, kind, name, || None);
+    }
+
+    /// Ends a span started by [`Lane::start`], attaching free-form detail.
+    pub fn end_span_detailed(
+        &mut self,
+        start: Option<Instant>,
+        kind: SpanKind,
+        name: impl FnOnce() -> String,
+        detail: impl FnOnce() -> Option<String>,
+    ) {
+        let Some(t) = start else { return };
+        let start_us = t.duration_since(self.epoch).as_micros() as u64;
+        let dur_us = t.elapsed().as_micros() as u64;
+        self.events.push(TimelineEvent::Span {
+            tid: self.tid,
+            kind,
+            name: name(),
+            detail: detail(),
+            start_us,
+            dur_us,
+        });
+    }
+
+    /// Records a span that ends *now* and lasted `dur_us` — how
+    /// [`crate::trace::PhaseSpan`] events (which carry only a duration)
+    /// become child spans: the phase event is emitted right as the phase
+    /// ends, so `start = now - dur` is accurate.
+    pub fn backdated_span(
+        &mut self,
+        kind: SpanKind,
+        dur_us: u64,
+        name: impl FnOnce() -> String,
+        detail: impl FnOnce() -> Option<String>,
+    ) {
+        if !self.on {
+            return;
+        }
+        let now = self.epoch.elapsed().as_micros() as u64;
+        self.events.push(TimelineEvent::Span {
+            tid: self.tid,
+            kind,
+            name: name(),
+            detail: detail(),
+            start_us: now.saturating_sub(dur_us),
+            dur_us,
+        });
+    }
+
+    /// Records a point event.
+    pub fn instant(&mut self, kind: InstantKind, name: impl FnOnce() -> String) {
+        if !self.on {
+            return;
+        }
+        self.events.push(TimelineEvent::Instant {
+            tid: self.tid,
+            kind,
+            name: name(),
+            ts_us: self.epoch.elapsed().as_micros() as u64,
+        });
+    }
+
+    /// Samples a counter series.
+    pub fn counter(&mut self, name: impl FnOnce() -> String, value: u64) {
+        if !self.on {
+            return;
+        }
+        self.events.push(TimelineEvent::Counter {
+            tid: self.tid,
+            name: name(),
+            ts_us: self.epoch.elapsed().as_micros() as u64,
+            value,
+        });
+    }
+
+    /// The recorded events, consuming the lane.
+    pub fn into_events(self) -> Vec<TimelineEvent> {
+        self.events
+    }
+
+    /// How many events the lane holds.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the lane recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A merged driver timeline: every lane's events on one shared clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// Worker threads the batch actually used (lane ids `0..workers`; the
+    /// driver thread's lane is `workers`).
+    pub workers: usize,
+    /// All events, lanes concatenated in lane-id order (each lane's events
+    /// stay in emission order).
+    pub events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// An empty timeline (what a disabled collector yields).
+    pub fn empty() -> Self {
+        Timeline::default()
+    }
+
+    /// Merges per-worker lanes (in the order given — callers pass
+    /// worker-id order) plus the driver lane into one timeline.
+    pub fn merge(workers: usize, lanes: Vec<Vec<TimelineEvent>>) -> Self {
+        Timeline {
+            workers,
+            events: lanes.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Whether any event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The distinct lane ids present, sorted.
+    pub fn lane_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.events.iter().map(TimelineEvent::tid).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Aggregates the per-worker busy/idle/steal breakdown and the tail
+    /// latency of the slowest job.
+    pub fn summary(&self) -> TimelineSummary {
+        let mut lanes: Vec<LaneStats> = Vec::new();
+        let mut slowest: Option<SlowestJob> = None;
+        let mut end_us = 0u64;
+        for e in &self.events {
+            match e {
+                TimelineEvent::Span {
+                    tid,
+                    kind,
+                    name,
+                    start_us,
+                    dur_us,
+                    ..
+                } => {
+                    end_us = end_us.max(start_us + dur_us);
+                    let lane = lane_mut(&mut lanes, *tid);
+                    match kind {
+                        SpanKind::Job => {
+                            lane.jobs += 1;
+                            lane.busy_us += dur_us;
+                            if slowest.as_ref().is_none_or(|s| *dur_us > s.dur_us) {
+                                slowest = Some(SlowestJob {
+                                    tid: *tid,
+                                    name: name.clone(),
+                                    dur_us: *dur_us,
+                                });
+                            }
+                        }
+                        SpanKind::Idle => lane.idle_us += dur_us,
+                        SpanKind::Worker | SpanKind::Phase | SpanKind::Merge => {}
+                    }
+                }
+                TimelineEvent::Instant {
+                    tid, kind, ts_us, ..
+                } => {
+                    end_us = end_us.max(*ts_us);
+                    let lane = lane_mut(&mut lanes, *tid);
+                    match kind {
+                        InstantKind::Steal => lane.steals += 1,
+                        InstantKind::StealMiss => lane.steal_misses += 1,
+                    }
+                }
+                TimelineEvent::Counter { ts_us, .. } => end_us = end_us.max(*ts_us),
+            }
+        }
+        lanes.sort_by_key(|l| l.tid);
+        TimelineSummary {
+            span_us: end_us,
+            lanes,
+            slowest_job: slowest,
+        }
+    }
+}
+
+fn lane_mut(lanes: &mut Vec<LaneStats>, tid: u32) -> &mut LaneStats {
+    if let Some(i) = lanes.iter().position(|l| l.tid == tid) {
+        &mut lanes[i]
+    } else {
+        lanes.push(LaneStats {
+            tid,
+            ..LaneStats::default()
+        });
+        lanes.last_mut().expect("just pushed")
+    }
+}
+
+/// One lane's aggregate scheduling facts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// The lane id.
+    pub tid: u32,
+    /// Jobs the lane ran.
+    pub jobs: u64,
+    /// Microseconds spent inside job spans.
+    pub busy_us: u64,
+    /// Microseconds spent in idle (work-search) spans.
+    pub idle_us: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Fully-empty steal sweeps.
+    pub steal_misses: u64,
+}
+
+/// The text-summary aggregate behind `ccra-eval timeline --stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineSummary {
+    /// Wall-clock span of the whole timeline, microseconds.
+    pub span_us: u64,
+    /// Per-lane breakdown, in lane-id order.
+    pub lanes: Vec<LaneStats>,
+    /// The single slowest job — the batch's tail latency.
+    pub slowest_job: Option<SlowestJob>,
+}
+
+/// The slowest job of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowestJob {
+    /// The lane that ran it.
+    pub tid: u32,
+    /// The job's name (the function it allocated).
+    pub name: String,
+    /// Its duration, microseconds.
+    pub dur_us: u64,
+}
+
+impl std::fmt::Display for TimelineSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "timeline span: {} us", self.span_us)?;
+        for l in &self.lanes {
+            writeln!(
+                f,
+                "  lane {:>2}: {:>3} job(s), busy {:>8} us, idle {:>6} us, \
+                 {} steal(s), {} miss(es)",
+                l.tid, l.jobs, l.busy_us, l.idle_us, l.steals, l.steal_misses
+            )?;
+        }
+        match &self.slowest_job {
+            Some(s) => write!(
+                f,
+                "  slowest job: {} ({} us, lane {})",
+                s.name, s.dur_us, s.tid
+            ),
+            None => write!(f, "  slowest job: none"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_lanes_record_nothing_and_never_time() {
+        let tl = TimelineCollector::disabled();
+        assert!(!tl.is_enabled());
+        let mut lane = tl.lane(0);
+        assert!(!lane.enabled());
+        assert!(lane.start().is_none());
+        lane.end_span(None, SpanKind::Job, || unreachable!("gated"));
+        lane.backdated_span(SpanKind::Phase, 10, || unreachable!(), || unreachable!());
+        lane.instant(InstantKind::Steal, || unreachable!());
+        lane.counter(|| unreachable!(), 3);
+        assert!(lane.is_empty());
+        assert!(lane.into_events().is_empty());
+    }
+
+    #[test]
+    fn spans_instants_and_counters_share_the_epoch() {
+        let tl = TimelineCollector::enabled();
+        let mut a = tl.lane(0);
+        let mut b = tl.lane(1);
+        let t = a.start();
+        assert!(t.is_some());
+        a.end_span_detailed(
+            t,
+            SpanKind::Job,
+            || "f".to_string(),
+            || Some("round 1".to_string()),
+        );
+        b.instant(InstantKind::Steal, || "steal <- w0".to_string());
+        b.counter(|| "queue depth w1".to_string(), 2);
+        let timeline = Timeline::merge(2, vec![a.into_events(), b.into_events()]);
+        assert_eq!(timeline.events.len(), 3);
+        assert_eq!(timeline.lane_ids(), vec![0, 1]);
+        match &timeline.events[0] {
+            TimelineEvent::Span {
+                tid, kind, detail, ..
+            } => {
+                assert_eq!(*tid, 0);
+                assert_eq!(*kind, SpanKind::Job);
+                assert_eq!(detail.as_deref(), Some("round 1"));
+            }
+            other => unreachable!("span first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backdated_spans_end_now() {
+        let tl = TimelineCollector::enabled();
+        let mut lane = tl.lane(3);
+        lane.backdated_span(SpanKind::Phase, 1_000_000, || "build".to_string(), || None);
+        match &lane.events[0] {
+            TimelineEvent::Span {
+                start_us, dur_us, ..
+            } => {
+                assert_eq!(*dur_us, 1_000_000);
+                // The epoch is recent, so a 1s-backdated span clamps to 0.
+                assert_eq!(*start_us, 0);
+            }
+            other => unreachable!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_per_lane_and_finds_the_tail() {
+        let events = vec![
+            TimelineEvent::Span {
+                tid: 0,
+                kind: SpanKind::Job,
+                name: "f".into(),
+                detail: None,
+                start_us: 0,
+                dur_us: 50,
+            },
+            TimelineEvent::Span {
+                tid: 0,
+                kind: SpanKind::Idle,
+                name: "steal sweep".into(),
+                detail: None,
+                start_us: 50,
+                dur_us: 5,
+            },
+            TimelineEvent::Span {
+                tid: 1,
+                kind: SpanKind::Job,
+                name: "g".into(),
+                detail: None,
+                start_us: 10,
+                dur_us: 300,
+            },
+            TimelineEvent::Instant {
+                tid: 1,
+                kind: InstantKind::Steal,
+                name: "steal <- w0".into(),
+                ts_us: 8,
+            },
+            TimelineEvent::Counter {
+                tid: 0,
+                name: "queue depth w0".into(),
+                ts_us: 4,
+                value: 1,
+            },
+        ];
+        let t = Timeline { workers: 2, events };
+        let s = t.summary();
+        assert_eq!(s.span_us, 310);
+        assert_eq!(s.lanes.len(), 2);
+        assert_eq!(s.lanes[0].jobs, 1);
+        assert_eq!(s.lanes[0].busy_us, 50);
+        assert_eq!(s.lanes[0].idle_us, 5);
+        assert_eq!(s.lanes[1].steals, 1);
+        let slow = s.slowest_job.as_ref().expect("a job ran");
+        assert_eq!(slow.name, "g");
+        assert_eq!(slow.dur_us, 300);
+        let text = s.to_string();
+        assert!(text.contains("slowest job: g"), "{text}");
+    }
+
+    #[test]
+    fn empty_timeline_summary_is_calm() {
+        let s = Timeline::empty().summary();
+        assert_eq!(s.span_us, 0);
+        assert!(s.lanes.is_empty());
+        assert!(s.slowest_job.is_none());
+        assert!(s.to_string().contains("slowest job: none"));
+    }
+}

@@ -101,8 +101,9 @@ pub use chaitin::{
 pub use check::check_allocation_metered;
 pub use check::{check_allocation, CheckViolation};
 pub use driver::{
-    AllocRequest, BatchConfig, BatchJob, BatchResult, BatchService, BatchStatus, DriverReport,
-    JobStatus, ParallelDriver,
+    AllocRequest, BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus,
+    DriverReport, DriverSummary, JobStatus, ParallelDriver, StatusServer, Timeline,
+    TimelineCollector, TimelineEvent, TimelineSummary,
 };
 pub use error::AllocError;
 pub use graph::InterferenceGraph;

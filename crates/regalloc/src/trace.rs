@@ -25,6 +25,12 @@
 //! line, the format the `ccra-eval` `trace` binary emits and diffs.
 //!
 //! [`Loc`]: crate::Loc
+//!
+//! The [`chrometrace`] submodule serializes a driver
+//! [`crate::driver::Timeline`] into the Chrome Trace Event Format for
+//! Perfetto / `chrome://tracing`.
+
+pub mod chrometrace;
 
 use std::io::{self, BufWriter, Write};
 use std::path::Path;

@@ -1,0 +1,308 @@
+//! Chrome Trace Event Format export for driver [`Timeline`]s.
+//!
+//! The output is the JSON-object form of the [Trace Event Format] that
+//! Perfetto and `chrome://tracing` load directly: a `traceEvents` array
+//! plus `displayTimeUnit`. The mapping is:
+//!
+//! * one **lane** (a `tid` under one shared `pid`) per pool worker, named
+//!   `worker N` via `thread_name` metadata events, plus a `driver` lane
+//!   for the merge span;
+//! * [`TimelineEvent::Span`] → a complete event (`"ph": "X"`) with the
+//!   span kind as its category — phase spans nest inside their job span
+//!   visually because Chrome nests `X` events on one thread by time range;
+//! * [`TimelineEvent::Instant`] → a thread-scoped instant
+//!   (`"ph": "i", "s": "t"`) — one per steal or failed sweep;
+//! * [`TimelineEvent::Counter`] → a counter sample (`"ph": "C"`) — one
+//!   series per queue-depth counter name.
+//!
+//! Timestamps are the timeline's native microseconds, which is exactly the
+//! unit the format's `ts`/`dur` fields expect.
+//!
+//! Everything renders through the vendored [`serde::json::Value`], so the
+//! output is deterministic for a given timeline: same events, same bytes.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde::json::Value;
+
+use crate::driver::timeline::{Timeline, TimelineEvent};
+
+/// The process id every lane shares (the format wants one; the driver is
+/// one process).
+const PID: i64 = 1;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The name a lane renders under: `worker N` for pool lanes, `driver` for
+/// the lane past the last worker (where the merge span lives).
+pub fn lane_name(workers: usize, tid: u32) -> String {
+    if (tid as usize) < workers {
+        format!("worker {tid}")
+    } else {
+        "driver".to_string()
+    }
+}
+
+fn metadata_event(workers: usize, tid: u32) -> Value {
+    obj(vec![
+        ("name", Value::Str("thread_name".to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::Int(PID)),
+        ("tid", Value::Int(tid as i64)),
+        (
+            "args",
+            obj(vec![("name", Value::Str(lane_name(workers, tid)))]),
+        ),
+    ])
+}
+
+fn event_value(event: &TimelineEvent) -> Value {
+    match event {
+        TimelineEvent::Span {
+            tid,
+            kind,
+            name,
+            detail,
+            start_us,
+            dur_us,
+        } => {
+            let mut fields = vec![
+                ("name", Value::Str(name.clone())),
+                ("cat", Value::Str(kind.name().to_string())),
+                ("ph", Value::Str("X".to_string())),
+                ("pid", Value::Int(PID)),
+                ("tid", Value::Int(*tid as i64)),
+                ("ts", Value::Int(*start_us as i64)),
+                ("dur", Value::Int(*dur_us as i64)),
+            ];
+            if let Some(detail) = detail {
+                fields.push(("args", obj(vec![("detail", Value::Str(detail.clone()))])));
+            }
+            obj(fields)
+        }
+        TimelineEvent::Instant {
+            tid,
+            kind,
+            name,
+            ts_us,
+        } => obj(vec![
+            ("name", Value::Str(name.clone())),
+            ("cat", Value::Str(kind.name().to_string())),
+            ("ph", Value::Str("i".to_string())),
+            ("s", Value::Str("t".to_string())),
+            ("pid", Value::Int(PID)),
+            ("tid", Value::Int(*tid as i64)),
+            ("ts", Value::Int(*ts_us as i64)),
+        ]),
+        TimelineEvent::Counter {
+            tid,
+            name,
+            ts_us,
+            value,
+        } => obj(vec![
+            ("name", Value::Str(name.clone())),
+            ("ph", Value::Str("C".to_string())),
+            ("pid", Value::Int(PID)),
+            ("tid", Value::Int(*tid as i64)),
+            ("ts", Value::Int(*ts_us as i64)),
+            ("args", obj(vec![("value", Value::Int(*value as i64))])),
+        ]),
+    }
+}
+
+/// Renders a timeline as a Chrome Trace Event Format JSON value: lane
+/// `thread_name` metadata first (every lane that recorded anything, plus
+/// every worker lane `0..workers` even if it recorded nothing — a lane per
+/// worker is part of the export contract), then the events in timeline
+/// order.
+pub fn to_chrome_trace(timeline: &Timeline) -> Value {
+    let mut lane_ids = timeline.lane_ids();
+    for tid in 0..timeline.workers as u32 {
+        if !lane_ids.contains(&tid) {
+            lane_ids.push(tid);
+        }
+    }
+    lane_ids.sort_unstable();
+    let mut events: Vec<Value> = lane_ids
+        .iter()
+        .map(|&tid| metadata_event(timeline.workers, tid))
+        .collect();
+    events.extend(timeline.events.iter().map(event_value));
+    obj(vec![
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ])
+}
+
+/// [`to_chrome_trace`] rendered to a JSON string.
+pub fn to_chrome_trace_json(timeline: &Timeline) -> String {
+    to_chrome_trace(timeline).to_json()
+}
+
+/// Counts the `thread_name` lanes declared in a parsed Chrome trace —
+/// what the `ccra-eval` `timeline` binary (and CI) validate after a
+/// round-trip through the file.
+pub fn lane_count(trace: &Value) -> usize {
+    let Some(Value::Arr(events)) = trace.get("traceEvents") else {
+        return 0;
+    };
+    events
+        .iter()
+        .filter(|e| {
+            matches!(e.get("ph"), Some(Value::Str(ph)) if ph == "M")
+                && matches!(e.get("name"), Some(Value::Str(n)) if n == "thread_name")
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::timeline::{InstantKind, SpanKind};
+
+    fn sample_timeline() -> Timeline {
+        Timeline {
+            workers: 2,
+            events: vec![
+                TimelineEvent::Span {
+                    tid: 0,
+                    kind: SpanKind::Job,
+                    name: "f".into(),
+                    detail: None,
+                    start_us: 10,
+                    dur_us: 100,
+                },
+                TimelineEvent::Span {
+                    tid: 0,
+                    kind: SpanKind::Phase,
+                    name: "build".into(),
+                    detail: Some("round 1".into()),
+                    start_us: 12,
+                    dur_us: 30,
+                },
+                TimelineEvent::Instant {
+                    tid: 1,
+                    kind: InstantKind::Steal,
+                    name: "steal <- w0".into(),
+                    ts_us: 40,
+                },
+                TimelineEvent::Counter {
+                    tid: 0,
+                    name: "queue depth w0".into(),
+                    ts_us: 5,
+                    value: 3,
+                },
+                TimelineEvent::Span {
+                    tid: 2,
+                    kind: SpanKind::Merge,
+                    name: "merge".into(),
+                    detail: None,
+                    start_us: 120,
+                    dur_us: 8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_parses_back_with_one_lane_per_worker_plus_driver() {
+        let json = to_chrome_trace_json(&sample_timeline());
+        let parsed = serde::json::parse(&json).expect("chrome trace JSON parses");
+        assert_eq!(lane_count(&parsed), 3, "2 workers + driver lane");
+        let Some(Value::Arr(events)) = parsed.get("traceEvents") else {
+            unreachable!("traceEvents array")
+        };
+        // 3 metadata + 5 timeline events.
+        assert_eq!(events.len(), 8);
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn spans_render_as_complete_events_with_category_and_args() {
+        let trace = to_chrome_trace(&sample_timeline());
+        let Some(Value::Arr(events)) = trace.get("traceEvents") else {
+            unreachable!()
+        };
+        let phase = events
+            .iter()
+            .find(|e| matches!(e.get("cat"), Some(Value::Str(c)) if c == "phase"))
+            .expect("phase span exported");
+        assert_eq!(phase.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(phase.get("ts").and_then(Value::as_f64), Some(12.0));
+        assert_eq!(phase.get("dur").and_then(Value::as_f64), Some(30.0));
+        assert_eq!(
+            phase
+                .get("args")
+                .and_then(|a| a.get("detail"))
+                .and_then(Value::as_str),
+            Some("round 1")
+        );
+        // A phase span nests inside its job span: same tid, contained
+        // time range.
+        let job = events
+            .iter()
+            .find(|e| matches!(e.get("cat"), Some(Value::Str(c)) if c == "job"))
+            .expect("job span exported");
+        assert_eq!(job.get("tid"), phase.get("tid"));
+        let (jts, jdur) = (
+            job.get("ts").and_then(Value::as_f64).unwrap(),
+            job.get("dur").and_then(Value::as_f64).unwrap(),
+        );
+        let (pts, pdur) = (12.0, 30.0);
+        assert!(jts <= pts && pts + pdur <= jts + jdur);
+    }
+
+    #[test]
+    fn instants_and_counters_render_their_phases() {
+        let trace = to_chrome_trace(&sample_timeline());
+        let Some(Value::Arr(events)) = trace.get("traceEvents") else {
+            unreachable!()
+        };
+        let steal = events
+            .iter()
+            .find(|e| matches!(e.get("cat"), Some(Value::Str(c)) if c == "steal"))
+            .expect("steal instant exported");
+        assert_eq!(steal.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(steal.get("s").and_then(Value::as_str), Some("t"));
+        let counter = events
+            .iter()
+            .find(|e| matches!(e.get("ph"), Some(Value::Str(p)) if p == "C"))
+            .expect("counter sample exported");
+        assert_eq!(
+            counter
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Value::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn empty_worker_lanes_still_get_metadata() {
+        let timeline = Timeline {
+            workers: 4,
+            events: vec![TimelineEvent::Span {
+                tid: 0,
+                kind: SpanKind::Job,
+                name: "only one lane recorded".into(),
+                detail: None,
+                start_us: 0,
+                dur_us: 1,
+            }],
+        };
+        let trace = to_chrome_trace(&timeline);
+        assert_eq!(lane_count(&trace), 4);
+        assert_eq!(lane_name(4, 3), "worker 3");
+        assert_eq!(lane_name(4, 4), "driver");
+    }
+}

@@ -16,12 +16,13 @@
 use ccra_analysis::FrequencyInfo;
 use ccra_ir::{display_function, BinOp, Callee, CmpOp, FunctionBuilder, Program, RegClass};
 use ccra_machine::{CostModel, RegisterFile};
+use ccra_regalloc::driver::timeline::SpanKind;
 use ccra_regalloc::driver::{AllocJob, DefaultJob, JobCtx};
 use ccra_regalloc::trace::AllocSink;
 use ccra_regalloc::{
     allocate_program_instrumented, check_allocation, AllocError, AllocEvent, AllocRequest,
     AllocatorConfig, BatchConfig, BatchJob, BatchService, BatchStatus, MetricsRegistry,
-    ParallelDriver, ProgramAllocation, RecordingSink,
+    ParallelDriver, ProgramAllocation, RecordingSink, TimelineCollector, TimelineEvent,
 };
 use ccra_workloads::{random_program, spec_program_scaled, FuzzConfig, Scale, SpecProgram};
 
@@ -341,6 +342,119 @@ fn run_faulty(victim: &'static str, panic: bool, workers: usize) {
         )
         .unwrap_or_else(|v| panic!("function {} checker-clean: {v:?}", f.name()));
     }
+}
+
+/// Tracing a batch never changes its result: the allocation still equals
+/// the serial reference, no scheduler counter leaks into the program
+/// metrics, the timeline accounts for every job, and the report's summary
+/// is deterministic in everything but the steal count.
+#[test]
+fn traced_batches_match_serial_and_summarize() {
+    let program = four_func_program();
+    let freq = FrequencyInfo::profile(&program).expect("profile runs");
+    let file = RegisterFile::new(8, 6, 2, 2);
+    let config = AllocatorConfig::improved();
+    let serial = serial_reference(&program, &freq, file, &config);
+
+    for workers in [1, 4] {
+        let driver = ParallelDriver::new(workers);
+        let req = AllocRequest {
+            program: &program,
+            freq: &freq,
+            file,
+            config: &config,
+            cost: &CostModel::paper(),
+        };
+        let collector = TimelineCollector::enabled();
+        let mut sink = RecordingSink::new();
+        let mut metrics = MetricsRegistry::new();
+        let (alloc, report, timeline) = driver
+            .allocate_program_traced(&req, &mut sink, &mut metrics, &DefaultJob, &collector)
+            .expect("traced allocation succeeds");
+
+        assert_eq!(&alloc, &serial.0, "tracing never changes the result");
+        for (name, value) in serial.2.counters() {
+            assert_eq!(
+                metrics.counter(name),
+                value,
+                "workers={workers}: counter {name} differs under tracing"
+            );
+        }
+        for (name, _) in metrics.counters() {
+            assert!(
+                serial.2.counters().any(|(n, _)| n == name),
+                "workers={workers}: tracing leaks counter {name} into program metrics"
+            );
+        }
+
+        assert_eq!(timeline.workers, workers);
+        let job_spans = timeline
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TimelineEvent::Span {
+                        kind: SpanKind::Job,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(job_spans, 4, "one job span per function");
+        assert!(
+            timeline.events.iter().any(|e| matches!(
+                e,
+                TimelineEvent::Span {
+                    kind: SpanKind::Phase,
+                    ..
+                }
+            )),
+            "phase spans nest inside the job spans"
+        );
+        for tid in timeline.lane_ids() {
+            assert!(
+                (tid as usize) <= workers,
+                "lane {tid} beyond the driver lane"
+            );
+        }
+
+        let summary = report.summary();
+        assert_eq!(summary.workers, workers);
+        assert_eq!(summary.total_jobs, 4);
+        assert_eq!(summary.degraded, 0);
+        assert_eq!(summary.panics, 0);
+        assert_eq!(summary.steals, report.steals);
+        assert!(summary.to_string().contains("4 job(s)"), "{summary}");
+
+        // The scheduler shard carries the driver_* names — and only here.
+        assert_eq!(report.scheduler.counter("driver_jobs_total"), 4);
+        assert_eq!(
+            report.scheduler.counter("driver_steals_total"),
+            report.steals
+        );
+    }
+
+    // A disabled collector is free: no events, no scheduler metrics.
+    let driver = ParallelDriver::new(4);
+    let req = AllocRequest {
+        program: &program,
+        freq: &freq,
+        file,
+        config: &config,
+        cost: &CostModel::paper(),
+    };
+    let (_, report, timeline) = driver
+        .allocate_program_traced(
+            &req,
+            &mut RecordingSink::new(),
+            &mut MetricsRegistry::new(),
+            &DefaultJob,
+            &TimelineCollector::disabled(),
+        )
+        .expect("untraced allocation succeeds");
+    assert!(timeline.is_empty(), "disabled collector records nothing");
+    assert!(report.scheduler.is_empty(), "no scheduler shard either");
 }
 
 #[test]

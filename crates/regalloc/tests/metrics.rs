@@ -274,6 +274,58 @@ fn per_function_registries_merge_to_the_program_registry() {
     }
 }
 
+/// Drift guard: `Phase::ALL` and the per-phase names stay in lockstep
+/// with the enum. The `match` below is deliberately exhaustive with no
+/// wildcard — adding a `Phase` variant fails to compile right here,
+/// forcing `EXPECTED_PHASES`, `Phase::ALL`, and the name tables to be
+/// extended together.
+#[test]
+fn every_phase_is_in_all_with_a_unique_metric_name() {
+    const EXPECTED_PHASES: usize = 8;
+    fn witness(p: Phase) {
+        match p {
+            Phase::Build
+            | Phase::Coalesce
+            | Phase::Simplify
+            | Phase::Select
+            | Phase::SpillInsert
+            | Phase::Reconstruct
+            | Phase::Rewrite
+            | Phase::Check => {}
+        }
+    }
+    assert_eq!(
+        Phase::ALL.len(),
+        EXPECTED_PHASES,
+        "a Phase variant was added without extending Phase::ALL"
+    );
+    for p in Phase::ALL {
+        witness(p);
+    }
+    let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+    let mut metric_names: Vec<&str> = Phase::ALL.iter().map(|p| p.metric_name()).collect();
+    names.sort_unstable();
+    metric_names.sort_unstable();
+    names.dedup();
+    metric_names.dedup();
+    assert_eq!(names.len(), EXPECTED_PHASES, "phase names are unique");
+    assert_eq!(
+        metric_names.len(),
+        EXPECTED_PHASES,
+        "phase metric names are unique"
+    );
+    for (p, m) in Phase::ALL
+        .iter()
+        .zip(Phase::ALL.iter().map(|p| p.metric_name()))
+    {
+        assert!(
+            m.starts_with("phase_") && m.ends_with("_micros"),
+            "{:?} metric name {m} follows the phase_*_micros convention",
+            p
+        );
+    }
+}
+
 #[test]
 fn metered_checker_reports_into_metrics() {
     let p = two_func_program(6, 3);

@@ -1,0 +1,166 @@
+//! The live status endpoint, end to end over a real TCP socket: a
+//! [`BatchService`] works through real submissions while a
+//! [`StatusServer`] bound to an ephemeral port serves
+//!
+//! * `/metrics` — Prometheus text whose counters agree with the finished
+//!   jobs (every sample line parses as `name value`);
+//! * `/healthz` — a liveness probe;
+//! * `/status` — JSON whose `jobs` array matches the handle's live
+//!   [`BatchStatus`] view, failed job included.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use ccra_ir::Program;
+use ccra_machine::RegisterFile;
+use ccra_regalloc::{
+    AllocatorConfig, BatchConfig, BatchJob, BatchService, BatchStatus, StatusServer,
+};
+use ccra_workloads::{random_program, FuzzConfig};
+use serde::json::Value;
+
+/// One HTTP/1.0 GET: status code, raw headers, body.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to status server");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("write request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read full response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let code = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status line carries a code");
+    (code, head.to_string(), body.to_string())
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn endpoint_serves_live_service_state_over_a_real_socket() {
+    let service = BatchService::start(BatchConfig {
+        workers: 2,
+        queue_capacity: 8,
+        shard_workers: 1,
+    });
+    let handle = service.handle();
+    let server = StatusServer::bind(service.handle(), "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Two healthy jobs and one that cannot be profiled (no main).
+    for (i, seed) in [5u64, 23].iter().enumerate() {
+        service
+            .submit(BatchJob {
+                name: format!("fuzz-{i}"),
+                program: random_program(
+                    *seed,
+                    &FuzzConfig {
+                        functions: 4,
+                        stmts_per_fn: 10,
+                        max_loop_depth: 1,
+                        max_trips: 4,
+                    },
+                ),
+                file: RegisterFile::new(8, 6, 2, 2),
+                config: AllocatorConfig::improved(),
+            })
+            .expect("queue open");
+    }
+    service
+        .submit(BatchJob {
+            name: "no-main".to_string(),
+            program: Program::new(),
+            file: RegisterFile::new(8, 6, 2, 2),
+            config: AllocatorConfig::base(),
+        })
+        .expect("queue open");
+    wait_until("all three jobs to complete", || {
+        handle.statuses().len() == 3 && handle.in_flight() == 0
+    });
+
+    // /healthz: a plain liveness probe.
+    let (code, head, body) = http_get(addr, "/healthz");
+    assert_eq!(code, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    assert_eq!(body, "ok\n");
+
+    // /metrics: Prometheus text exposition, counters matching the jobs.
+    let (code, head, body) = http_get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(head.contains("text/plain"), "{head}");
+    assert!(
+        body.contains("# TYPE batch_jobs_submitted_total counter"),
+        "{body}"
+    );
+    assert!(body.contains("batch_jobs_submitted_total 3"), "{body}");
+    assert!(body.contains("batch_jobs_completed_total 2"), "{body}");
+    assert!(body.contains("batch_jobs_failed_total 1"), "{body}");
+    for gauge in [
+        "batch_queue_depth",
+        "batch_in_flight",
+        "batch_queue_occupancy",
+    ] {
+        assert!(body.contains(gauge), "scrape gauge {gauge} served: {body}");
+    }
+    // Every sample line is `name value` (histogram series included) — the
+    // shape a Prometheus scraper parses.
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let mut parts = line.split_whitespace();
+        let (name, value) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        assert!(
+            !name.is_empty() && value.parse::<f64>().is_ok() && parts.next().is_none(),
+            "unparseable sample line: {line:?}"
+        );
+    }
+
+    // /status: JSON matching the handle's live view.
+    let (code, head, body) = http_get(addr, "/status");
+    assert_eq!(code, 200);
+    assert!(head.contains("application/json"), "{head}");
+    let value = serde::json::parse(body.trim()).expect("status body is valid JSON");
+    assert_eq!(value.get("queue_depth").and_then(Value::as_i64), Some(0));
+    assert_eq!(value.get("in_flight").and_then(Value::as_i64), Some(0));
+    assert_eq!(value.get("completed").and_then(Value::as_i64), Some(3));
+    let Some(Value::Arr(jobs)) = value.get("jobs") else {
+        panic!("status document has a jobs array: {body}");
+    };
+    let live = handle.statuses();
+    assert_eq!(jobs.len(), live.len());
+    for (job, (id, name, status)) in jobs.iter().zip(&live) {
+        assert_eq!(job.get("id").and_then(Value::as_i64), Some(*id as i64));
+        assert_eq!(job.get("name").and_then(Value::as_str), Some(name.as_str()));
+        assert_eq!(
+            job.get("status").and_then(Value::as_str),
+            Some(status.label()),
+            "wire status matches the live BatchStatus for {name}"
+        );
+        match status {
+            BatchStatus::Failed { error } => {
+                let wire_error = job.get("error").and_then(Value::as_str);
+                assert_eq!(wire_error, Some(error.as_str()));
+            }
+            _ => assert!(job.get("error").is_none(), "healthy jobs carry no error"),
+        }
+    }
+
+    // Unknown routes and methods stay polite.
+    assert_eq!(http_get(addr, "/nope").0, 404);
+
+    server.shutdown();
+    let results = service.shutdown();
+    assert_eq!(results.len(), 3);
+}
