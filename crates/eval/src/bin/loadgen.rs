@@ -1,0 +1,161 @@
+//! Drives a live [`ccra_regalloc::BatchService`] open-loop and records
+//! the serving-path latency SLOs (queue-wait / service / end-to-end p50,
+//! p95, p99) into the `latency` section of a `BENCH_*.json` snapshot —
+//! see [`ccra_eval::loadgen`] for the arrival and job-size model.
+//!
+//! ```text
+//! loadgen [--jobs <n>] [--workers <n>] [--shard-workers <n>]
+//!         [--queue <n>] [--mean-gap-us <n>] [--seed <n>]
+//!         [--out <file.json>] [--into <bench.json>]
+//! ```
+//!
+//! * `--jobs` — submissions (default 64).
+//! * `--workers` — service workers (default 2).
+//! * `--shard-workers` — per-program driver workers (default 1).
+//! * `--queue` — submission-queue capacity (default 16).
+//! * `--mean-gap-us` — mean exponential inter-arrival gap (default 500;
+//!   0 = submit flat out).
+//! * `--seed` — job-stream seed (default 1997).
+//! * `--out` — write a standalone schema-versioned snapshot holding only
+//!   the latency section (default `BENCH_<version>_latency.json`).
+//! * `--into` — instead of a standalone file, merge the measured series
+//!   into an existing snapshot's `latency` section (replacing any prior
+//!   entries at the same worker count) and rewrite it in place.
+//!
+//! Exits 1 if any submission id is lost or duplicated — the run doubles
+//! as an accounting check on the batch service.
+
+use std::process::ExitCode;
+
+use ccra_eval::loadgen::{run_loadgen, LoadgenConfig};
+use ccra_eval::perfsnap::{self, BenchSnapshot, HostInfo, BENCH_SCHEMA_VERSION};
+use serde::Serialize;
+
+struct Args {
+    cfg: LoadgenConfig,
+    out: String,
+    into: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--jobs <n>] [--workers <n>] [--shard-workers <n>] \
+         [--queue <n>] [--mean-gap-us <n>] [--seed <n>] \
+         [--out <file.json>] [--into <bench.json>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = LoadgenConfig::default();
+    let mut out = format!("BENCH_{BENCH_SCHEMA_VERSION}_latency.json");
+    let mut into = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| -> &str {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--jobs" => cfg.jobs = take(i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = take(i).parse().unwrap_or_else(|_| usage()),
+            "--shard-workers" => cfg.shard_workers = take(i).parse().unwrap_or_else(|_| usage()),
+            "--queue" => cfg.queue_capacity = take(i).parse().unwrap_or_else(|_| usage()),
+            "--mean-gap-us" => cfg.mean_gap_us = take(i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = take(i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out = take(i).to_string(),
+            "--into" => into = Some(take(i).to_string()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if cfg.jobs == 0 {
+        usage();
+    }
+    Args { cfg, out, into }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    eprintln!(
+        "loadgen: {} job(s), {} worker(s) (shard {}), queue {}, \
+         mean gap {} us, seed {}",
+        args.cfg.jobs,
+        args.cfg.workers,
+        args.cfg.shard_workers,
+        args.cfg.queue_capacity,
+        args.cfg.mean_gap_us,
+        args.cfg.seed
+    );
+    let (report, _results) = run_loadgen(&args.cfg, |submitted, depth| {
+        eprintln!("  submitted {submitted:>5}, queue depth {depth}");
+    });
+
+    eprintln!(
+        "completed {}/{} (ok {}, degraded {}, failed {})",
+        report.completed, report.submitted, report.ok, report.degraded, report.failed
+    );
+    for l in &report.latency {
+        eprintln!(
+            "  {:>10}: p50 {:>8} us, p95 {:>8} us, p99 {:>8} us \
+             (mean {:>10.1} us over {} job(s))",
+            l.series, l.p50_us, l.p95_us, l.p99_us, l.mean_us, l.jobs
+        );
+    }
+    if !report.accounting_clean() {
+        eprintln!(
+            "ACCOUNTING FAILED: lost ids {:?}, duplicated ids {:?}",
+            report.lost, report.duplicated
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("ok: every submission id came back exactly once");
+
+    let write_result = match &args.into {
+        Some(path) => merge_into(path, &report.latency),
+        None => {
+            let snapshot = BenchSnapshot {
+                schema_version: BENCH_SCHEMA_VERSION,
+                scale: 0.0,
+                iters: 1,
+                host: HostInfo::detect(&[args.cfg.workers]),
+                entries: Vec::new(),
+                parallel: Vec::new(),
+                latency: report.latency.clone(),
+            };
+            std::fs::write(&args.out, snapshot.to_json() + "\n")
+                .map(|()| args.out.clone())
+                .map_err(|e| format!("cannot write {}: {e}", args.out))
+        }
+    };
+    match write_result {
+        Ok(path) => {
+            eprintln!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replaces the latency entries at this run's worker count inside an
+/// existing snapshot and rewrites it.
+fn merge_into(path: &str, latency: &[ccra_eval::perfsnap::LatencyEntry]) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut snapshot = perfsnap::parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
+    let workers: Vec<u64> = latency.iter().map(|l| l.workers).collect();
+    snapshot.latency.retain(|l| !workers.contains(&l.workers));
+    snapshot.latency.extend_from_slice(latency);
+    snapshot
+        .latency
+        .sort_by(|a, b| (a.workers, &a.series).cmp(&(b.workers, &b.series)));
+    std::fs::write(path, snapshot.to_json() + "\n")
+        .map(|()| path.to_string())
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}

@@ -137,6 +137,7 @@ fn main() -> ExitCode {
         host: HostInfo::detect(&parsweep::SWEEP_WORKER_COUNTS),
         entries: Vec::new(),
         parallel,
+        latency: Vec::new(),
     };
     if let Err(e) = std::fs::write(&args.out, snapshot.to_json() + "\n") {
         eprintln!("cannot write {}: {e}", args.out);

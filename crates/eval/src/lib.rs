@@ -16,8 +16,11 @@
 //! [`perfsnap`]). `par` sweeps the parallel allocation driver over worker
 //! counts, verifies parallel-equals-serial on every workload, and records
 //! the speedups into the snapshot's `parallel` section (see [`parsweep`]).
-//! `explain` renders per-function reports saying why each
-//! web got its storage class and final location (see [`explain`]).
+//! `loadgen` drives a live batch service open-loop and records the
+//! queue-wait / service / end-to-end latency quantiles into the
+//! snapshot's `latency` section (see [`loadgen`]). `explain` renders
+//! per-function reports saying why each web got its storage class and
+//! final location (see [`explain`]).
 //!
 //! | Experiment | Paper content | Module |
 //! |---|---|---|
@@ -48,6 +51,7 @@
 pub mod bench;
 pub mod experiments;
 pub mod explain;
+pub mod loadgen;
 pub mod parsweep;
 pub mod perfsnap;
 pub mod plot;
@@ -56,12 +60,13 @@ pub mod telemetry;
 pub mod timeline;
 
 pub use bench::{load_all, Bench};
+pub use loadgen::{job_stream, run_loadgen, LoadgenConfig, LoadgenReport};
 pub use parsweep::{
     compare_parallel, run_par_sweep, workers1_gate, ParComparison, SWEEP_WORKER_COUNTS,
 };
 pub use perfsnap::{
-    compare_snapshots, parse_snapshot, run_matrix, BenchEntry, BenchSnapshot, HostInfo, ParEntry,
-    PerfComparison, BENCH_SCHEMA_VERSION,
+    compare_snapshots, parse_snapshot, run_matrix, BenchEntry, BenchSnapshot, HostInfo,
+    LatencyEntry, ParEntry, PerfComparison, BENCH_SCHEMA_VERSION,
 };
 pub use table::{ratio, CellParseError, Table};
 

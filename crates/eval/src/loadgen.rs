@@ -1,0 +1,316 @@
+//! The open-loop load generator behind the `loadgen` binary: drive a live
+//! [`BatchService`] the way a compile service is actually loaded and
+//! measure the serving-path latency SLOs.
+//!
+//! Closed-loop benchmarks (submit, wait, submit) measure service time but
+//! hide queueing: the submitter politely waits, so the queue never grows
+//! and queue-wait reads as zero. The load generator is **open-loop**:
+//! submission times come from an exponential inter-arrival clock that does
+//! not care whether the service keeps up, so when arrivals outpace
+//! service, jobs genuinely queue and the queue-wait histogram measures
+//! something real. Job sizes are heavy-tailed (a bounded Pareto over
+//! function counts) because compile workloads are: most programs are
+//! small, a few are not, and the tail is what SLOs are about.
+//!
+//! The run double-checks the service's bookkeeping: every submission id
+//! must come back exactly once ([`LoadgenReport::lost`] /
+//! [`LoadgenReport::duplicated`] stay empty), which CI asserts at several
+//! worker counts.
+//!
+//! Everything is deterministic except the clock: the job stream derives
+//! from [`LoadgenConfig::seed`] alone, so two runs submit byte-identical
+//! programs; only the measured latencies differ.
+
+use std::time::Duration;
+
+use ccra_machine::RegisterFile;
+use ccra_regalloc::driver::batch::{METRIC_E2E, METRIC_JOB_MICROS, METRIC_QUEUE_WAIT};
+use ccra_regalloc::{AllocatorConfig, BatchConfig, BatchJob, BatchResult, BatchService};
+use ccra_workloads::{random_program, FuzzConfig};
+
+use crate::perfsnap::LatencyEntry;
+
+/// The three latency series a load-generator run measures, with the
+/// service histogram each reads.
+pub const LATENCY_SERIES: [(&str, &str); 3] = [
+    ("queue_wait", METRIC_QUEUE_WAIT),
+    ("service", METRIC_JOB_MICROS),
+    ("e2e", METRIC_E2E),
+];
+
+/// Sizing and shape knobs of one load-generator run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Jobs to submit.
+    pub jobs: usize,
+    /// Service workers ([`BatchConfig::workers`]).
+    pub workers: usize,
+    /// Per-program shard workers ([`BatchConfig::shard_workers`]).
+    pub shard_workers: usize,
+    /// Submission-queue capacity ([`BatchConfig::queue_capacity`]).
+    pub queue_capacity: usize,
+    /// Mean inter-arrival gap, microseconds (the exponential clock's
+    /// mean; 0 = submit as fast as the queue accepts).
+    pub mean_gap_us: u64,
+    /// The RNG seed the whole job stream derives from.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            jobs: 64,
+            workers: 2,
+            shard_workers: 1,
+            queue_capacity: 16,
+            mean_gap_us: 500,
+            seed: 1997,
+        }
+    }
+}
+
+/// What one load-generator run measured and verified.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Service workers the run used.
+    pub workers: u64,
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Results collected.
+    pub completed: u64,
+    /// Results with [`ccra_regalloc::BatchStatus::Ok`].
+    pub ok: u64,
+    /// Results that degraded.
+    pub degraded: u64,
+    /// Results that failed outright.
+    pub failed: u64,
+    /// Submission ids that never produced a result (must be empty).
+    pub lost: Vec<u64>,
+    /// Submission ids that produced more than one result (must be empty).
+    pub duplicated: Vec<u64>,
+    /// The measured queue-wait / service / end-to-end series, ready for a
+    /// snapshot's `latency` section.
+    pub latency: Vec<LatencyEntry>,
+}
+
+impl LoadgenReport {
+    /// Whether every submission came back exactly once.
+    pub fn accounting_clean(&self) -> bool {
+        self.lost.is_empty() && self.duplicated.is_empty()
+    }
+}
+
+/// A splitmix-style generator: good enough to schedule arrivals and size
+/// jobs, and dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1].
+    fn unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponentially distributed with the given mean.
+    fn exponential_us(&mut self, mean_us: u64) -> u64 {
+        (-self.unit().ln() * mean_us as f64) as u64
+    }
+
+    /// A bounded Pareto (shape 1.5) over `[lo, hi]` — mostly `lo`, with a
+    /// heavy tail toward `hi`.
+    fn pareto(&mut self, lo: u64, hi: u64) -> u64 {
+        let sized = (lo as f64 * self.unit().powf(-1.0 / 1.5)) as u64;
+        sized.clamp(lo, hi)
+    }
+}
+
+/// The deterministic job stream of a run: `jobs` fuzz programs whose
+/// function counts follow the bounded Pareto. Exposed so tests can assert
+/// the stream is a pure function of the seed.
+pub fn job_stream(cfg: &LoadgenConfig) -> Vec<BatchJob> {
+    let mut rng = Rng(cfg.seed);
+    (0..cfg.jobs)
+        .map(|i| {
+            let functions = rng.pareto(2, 24) as usize;
+            let program = random_program(
+                cfg.seed.wrapping_add(i as u64),
+                &FuzzConfig {
+                    functions,
+                    stmts_per_fn: 10,
+                    max_loop_depth: 1,
+                    max_trips: 4,
+                },
+            );
+            BatchJob {
+                name: format!("load-{i}"),
+                program,
+                file: RegisterFile::mips_full(),
+                config: AllocatorConfig::improved(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the load generator: submits the seeded job stream open-loop
+/// (blocking on backpressure), shuts the service down, verifies the
+/// id accounting, and reads the latency histograms. Calls `progress`
+/// every `jobs / 8`-ish submissions with (submitted, queue depth).
+pub fn run_loadgen(
+    cfg: &LoadgenConfig,
+    mut progress: impl FnMut(usize, usize),
+) -> (LoadgenReport, Vec<BatchResult>) {
+    let service = BatchService::start(BatchConfig {
+        workers: cfg.workers.max(1),
+        queue_capacity: cfg.queue_capacity.max(1),
+        shard_workers: cfg.shard_workers.max(1),
+        ..BatchConfig::default()
+    });
+    let handle = service.handle();
+    let mut rng = Rng(cfg.seed ^ 0xc1f0);
+    let stride = (cfg.jobs / 8).max(1);
+    let mut submitted_ids = Vec::with_capacity(cfg.jobs);
+    for (i, job) in job_stream(cfg).into_iter().enumerate() {
+        // Open loop: the gap is drawn before submit and slept regardless
+        // of how the service is doing; `submit` then blocks only if the
+        // queue is at capacity (that stall is the backpressure metric).
+        if cfg.mean_gap_us > 0 {
+            std::thread::sleep(Duration::from_micros(rng.exponential_us(cfg.mean_gap_us)));
+        }
+        let id = service.submit(job).expect("queue open while submitting");
+        submitted_ids.push(id);
+        if (i + 1) % stride == 0 {
+            progress(i + 1, handle.queue_depth());
+        }
+    }
+    let results = service.shutdown();
+
+    let mut lost = Vec::new();
+    let mut duplicated = Vec::new();
+    for &id in &submitted_ids {
+        match results.iter().filter(|r| r.id == id).count() {
+            0 => lost.push(id),
+            1 => {}
+            _ => duplicated.push(id),
+        }
+    }
+    let metrics = handle.metrics_snapshot();
+    let latency = LATENCY_SERIES
+        .iter()
+        .map(|&(series, metric)| {
+            let (p50, p95, p99, mean, count) =
+                metrics.histogram(metric).map_or((0, 0, 0, 0.0, 0), |h| {
+                    (
+                        h.quantile(0.5),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                        h.mean(),
+                        h.count(),
+                    )
+                });
+            LatencyEntry {
+                series: series.to_string(),
+                workers: cfg.workers as u64,
+                jobs: count,
+                p50_us: p50,
+                p95_us: p95,
+                p99_us: p99,
+                mean_us: mean,
+            }
+        })
+        .collect();
+    let count_status = |pred: fn(&ccra_regalloc::BatchStatus) -> bool| {
+        results.iter().filter(|r| pred(&r.status)).count() as u64
+    };
+    let report = LoadgenReport {
+        workers: cfg.workers as u64,
+        submitted: submitted_ids.len() as u64,
+        completed: results.len() as u64,
+        ok: count_status(|s| matches!(s, ccra_regalloc::BatchStatus::Ok)),
+        degraded: count_status(|s| matches!(s, ccra_regalloc::BatchStatus::Degraded { .. })),
+        failed: count_status(|s| matches!(s, ccra_regalloc::BatchStatus::Failed { .. })),
+        lost,
+        duplicated,
+        latency,
+    };
+    (report, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LoadgenConfig {
+        LoadgenConfig {
+            jobs: 12,
+            workers: 2,
+            shard_workers: 1,
+            queue_capacity: 4,
+            mean_gap_us: 0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn job_stream_is_a_pure_function_of_the_seed() {
+        let a = job_stream(&tiny());
+        let b = job_stream(&tiny());
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.program, y.program);
+        }
+        let other = job_stream(&LoadgenConfig { seed: 43, ..tiny() });
+        assert!(
+            a.iter().zip(&other).any(|(x, y)| x.program != y.program),
+            "a different seed changes the stream"
+        );
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed_but_bounded() {
+        let stream = job_stream(&LoadgenConfig { jobs: 64, ..tiny() });
+        let sizes: Vec<usize> = stream
+            .iter()
+            .map(|j| j.program.functions().count())
+            .collect();
+        assert!(sizes.iter().all(|&s| (2..=24).contains(&s)), "{sizes:?}");
+        assert!(sizes.contains(&2), "the mode is the minimum");
+        assert!(sizes.iter().any(|&s| s > 4), "the tail exists");
+    }
+
+    #[test]
+    fn run_accounts_for_every_job_and_measures_latency() {
+        let (report, results) = run_loadgen(&tiny(), |_, _| {});
+        assert_eq!(report.submitted, 12);
+        assert_eq!(report.completed, 12);
+        assert!(report.accounting_clean(), "{report:?}");
+        assert_eq!(report.ok + report.degraded + report.failed, 12);
+        assert_eq!(results.len(), 12);
+        assert_eq!(report.latency.len(), 3);
+        for l in &report.latency {
+            assert_eq!(l.jobs, 12, "{l:?}");
+            assert!(l.p50_us <= l.p95_us && l.p95_us <= l.p99_us, "{l:?}");
+        }
+        let e2e = report
+            .latency
+            .iter()
+            .find(|l| l.series == "e2e")
+            .expect("e2e series present");
+        let service = report
+            .latency
+            .iter()
+            .find(|l| l.series == "service")
+            .expect("service series present");
+        assert!(
+            e2e.p99_us >= service.p99_us,
+            "end-to-end dominates service time: {e2e:?} vs {service:?}"
+        );
+    }
+}

@@ -7,7 +7,9 @@
 //!
 //! * [`workers1_gate`] — the driver at `workers = 1` must not be slower
 //!   than the serial pipeline by more than a small tolerance: the sharding
-//!   machinery itself has to be near-free;
+//!   machinery itself has to be near-free. The sweep runs with the flight
+//!   recorder **enabled**, so this gate prices the always-on recorder,
+//!   not an idealized recorder-free driver;
 //! * [`compare_parallel`] — a loose throughput comparison against the
 //!   committed baseline's `parallel` section, same spirit as
 //!   [`crate::perfsnap::compare_snapshots`] but per (workload, workers)
@@ -24,9 +26,10 @@ use std::time::Instant;
 use ccra_analysis::FrequencyInfo;
 use ccra_ir::Program;
 use ccra_machine::{CostModel, RegisterFile};
+use ccra_regalloc::driver::DefaultJob;
 use ccra_regalloc::{
-    allocate_program_instrumented, AllocRequest, AllocatorConfig, DriverSummary, MetricsRegistry,
-    NoopSink, ParallelDriver,
+    allocate_program_instrumented, AllocRequest, AllocatorConfig, DriverSummary, FlightRecorder,
+    MetricsRegistry, NoopSink, ParallelDriver, TimelineCollector,
 };
 use ccra_workloads::{random_program, spec_program_scaled, FuzzConfig, Scale};
 
@@ -121,6 +124,10 @@ pub fn run_par_sweep(
 
         for workers in SWEEP_WORKER_COUNTS {
             let driver = ParallelDriver::new(workers);
+            // Enabled on purpose: the sweep's timings (and the workers=1
+            // gate) must include the always-on flight recorder's cost.
+            let flight = FlightRecorder::new(workers + 1);
+            let collector = TimelineCollector::disabled();
             let mut best_micros = u64::MAX;
             let mut summary = None;
             for _ in 0..iters.max(1) {
@@ -132,11 +139,14 @@ pub fn run_par_sweep(
                     cost: &cost,
                 };
                 let start = Instant::now();
-                let (out, report) = driver
-                    .allocate_program_detailed(
+                let (out, report, _timeline) = driver
+                    .allocate_program_observed(
                         &req,
                         &mut NoopSink,
                         &mut MetricsRegistry::disabled(),
+                        &DefaultJob,
+                        &collector,
+                        flight.view(0),
                     )
                     .unwrap_or_else(|e| {
                         panic!("{} failed on {workers} worker(s): {e}", workload.name)

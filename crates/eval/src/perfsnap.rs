@@ -23,13 +23,15 @@ use serde::{Deserialize, Serialize};
 
 /// The `BENCH_*.json` schema version this crate reads and writes.
 ///
-/// v3 added the `host` section ([`HostInfo`]): the machine's available
-/// parallelism and the worker counts the run used, so a snapshot states
-/// what hardware class produced its numbers. v2 added the `parallel`
-/// section: worker-count sweep entries from the `par` binary
-/// ([`ParEntry`]). Older snapshots (missing either section) are
-/// rejected — regenerate the baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// v4 added the `latency` section ([`LatencyEntry`]): serving-path SLO
+/// quantiles measured by the `loadgen` binary against a live
+/// [`ccra_regalloc::BatchService`]. v3 added the `host` section
+/// ([`HostInfo`]): the machine's available parallelism and the worker
+/// counts the run used, so a snapshot states what hardware class produced
+/// its numbers. v2 added the `parallel` section: worker-count sweep
+/// entries from the `par` binary ([`ParEntry`]). Older snapshots (missing
+/// any section) are rejected — regenerate the baseline.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// The workloads of the fixed perf matrix: a spread over the shapes the
 /// suite contains — call-heavy integer code (eqntott, li), mixed DSP (ear),
@@ -127,6 +129,28 @@ pub struct ParEntry {
     pub speedup: f64,
 }
 
+/// One latency series of the serving path, measured by the `loadgen`
+/// binary driving a live [`ccra_regalloc::BatchService`] open-loop at one
+/// worker count. Quantiles are log2-bucket upper bounds
+/// ([`ccra_regalloc::Histogram::quantile`]), microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyEntry {
+    /// Which latency: `"queue_wait"`, `"service"`, or `"e2e"`.
+    pub series: String,
+    /// Service workers the batch ran with.
+    pub workers: u64,
+    /// Jobs the run completed (the histogram's sample count).
+    pub jobs: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Arithmetic mean, microseconds.
+    pub mean_us: f64,
+}
+
 /// Host metadata recorded in a snapshot: what machine class and worker
 /// configuration produced the numbers. Speedups and throughput are
 /// meaningless without it — a 1-vCPU runner legitimately measures ≈ 1.0×
@@ -168,6 +192,9 @@ pub struct BenchSnapshot {
     /// The parallel-driver worker sweep (empty when only the serial
     /// matrix ran; filled by the `par` binary).
     pub parallel: Vec<ParEntry>,
+    /// Serving-path latency SLO series (empty until the `loadgen` binary
+    /// fills them).
+    pub latency: Vec<LatencyEntry>,
 }
 
 impl BenchSnapshot {
@@ -311,6 +338,7 @@ pub fn run_matrix(
         host: HostInfo::detect(&[]),
         entries,
         parallel: Vec::new(),
+        latency: Vec::new(),
     }
 }
 
@@ -466,6 +494,7 @@ mod tests {
             },
             entries,
             parallel: Vec::new(),
+            latency: Vec::new(),
         }
     }
 
@@ -483,9 +512,20 @@ mod tests {
             instrs_per_sec: 5000.0 / (900.0 / 1e6),
             speedup: 1.11,
         });
+        snap.latency.push(LatencyEntry {
+            series: "e2e".to_string(),
+            workers: 4,
+            jobs: 64,
+            p50_us: 511,
+            p95_us: 2047,
+            p99_us: 4095,
+            mean_us: 700.5,
+        });
         let json = snap.to_json();
-        assert!(json.contains("\"schema_version\":3"));
+        assert!(json.contains("\"schema_version\":4"));
         assert!(json.contains("\"parallel\":["));
+        assert!(json.contains("\"latency\":["));
+        assert!(json.contains("\"p99_us\":4095"));
         assert!(json.contains("\"available_parallelism\":8"));
         let back = parse_snapshot(&json).expect("snapshot parses back");
         assert_eq!(back, snap);
@@ -496,11 +536,11 @@ mod tests {
         let snap = snapshot(vec![]);
         let json = snap
             .to_json()
-            .replace("\"schema_version\":3", "\"schema_version\":99");
+            .replace("\"schema_version\":4", "\"schema_version\":99");
         let err = parse_snapshot(&json).expect_err("v99 is unreadable");
         assert!(err.contains("v99"), "{err}");
         // A v1 snapshot has no `parallel` section; even with the version
-        // field forged, the body does not parse as v3.
+        // field forged, the body does not parse as v4.
         let forged_v1 = snap.to_json().replace(",\"parallel\":[]", "");
         assert!(parse_snapshot(&forged_v1).is_err());
         // A v2 snapshot has no `host` section.
@@ -510,6 +550,10 @@ mod tests {
         );
         assert_ne!(forged_v2, snap.to_json(), "host section was stripped");
         assert!(parse_snapshot(&forged_v2).is_err());
+        // A v3 snapshot has no `latency` section.
+        let forged_v3 = snap.to_json().replace(",\"latency\":[]", "");
+        assert_ne!(forged_v3, snap.to_json(), "latency section was stripped");
+        assert!(parse_snapshot(&forged_v3).is_err());
         assert!(parse_snapshot("{").is_err());
         assert!(parse_snapshot("{}").is_err());
     }

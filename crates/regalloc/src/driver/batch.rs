@@ -20,13 +20,41 @@
 //!
 //! The service keeps its own [`MetricsRegistry`] (the `batch_*` names
 //! below): submissions, completions by status, backpressure stalls, queue
-//! wait and job run histograms. A cloneable [`BatchHandle`]
+//! wait, job run, and end-to-end histograms. A cloneable [`BatchHandle`]
 //! ([`BatchService::handle`]) reads live state — queue depth, in-flight
 //! count, per-job statuses so far, and a metrics snapshot with scrape-time
 //! gauges — without touching the service's lifecycle; it is what the
 //! [`crate::driver::status`] HTTP endpoint serves. Service metrics are
 //! wall-clock and scheduling facts: they stay out of allocation results.
+//!
+//! # Request-scoped tracing
+//!
+//! Every submission gets a trace identity — its submission id, rendered
+//! `req-<id>` — and, unless [`BatchConfig::trace_requests`] is off, a
+//! [`RequestTrace`]: queue-wait / service / end-to-end durations plus a
+//! per-request [`Timeline`] whose clock starts at the submission instant
+//! ([`TimelineCollector::enabled_since`]). The timeline carries the
+//! queue-wait span, the shard workers' job and phase spans, the driver's
+//! merge span, the whole service span, and a reply instant — renderable
+//! directly by [`crate::trace::chrometrace`] and served per request at
+//! `/trace/<id>`. Traces ride on [`BatchResult::trace`] and in a bounded
+//! recent-trace buffer ([`BatchConfig::trace_capacity`]); like every other
+//! scheduling fact they are quarantined — program output stays
+//! byte-identical to serial whether or not tracing is on.
+//!
+//! # Flight recorder
+//!
+//! The service owns an always-on [`FlightRecorder`]: lane 0 belongs to the
+//! submission path (submit / backpressure events), and each service worker
+//! gets a contiguous lane block (its shard workers, then its driver +
+//! service lane) via [`FlightRecorder::view`]. When a job completes with
+//! any status but [`BatchStatus::Ok`], the recorder is dumped
+//! automatically and the JSON retained in a small ring of recent dumps —
+//! queryable, together with the live recorder, at `/debug/flightrec`.
+//!
+//! [`TimelineCollector::enabled_since`]: crate::driver::timeline::TimelineCollector::enabled_since
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -37,10 +65,13 @@ use ccra_ir::Program;
 use ccra_machine::{CostModel, RegisterFile};
 use serde::json::Value;
 
-use crate::driver::parallel::{AllocRequest, ParallelDriver};
+use crate::driver::flightrec::{FlightKind, FlightRecorder, FlightView};
+use crate::driver::parallel::{AllocRequest, DefaultJob, ParallelDriver};
 use crate::driver::queue::{BoundedQueue, PushError, QueueStats};
+use crate::driver::timeline::{InstantKind, SpanKind, Timeline, TimelineCollector};
 use crate::metrics::MetricsRegistry;
 use crate::pipeline::ProgramAllocation;
+use crate::trace::chrometrace::to_chrome_trace;
 use crate::trace::NoopSink;
 use crate::types::AllocatorConfig;
 
@@ -58,6 +89,12 @@ pub const METRIC_STALLS: &str = "batch_backpressure_stalls_total";
 pub const METRIC_QUEUE_WAIT: &str = "batch_queue_wait_micros";
 /// Service histogram: microseconds a job took to run (profiling included).
 pub const METRIC_JOB_MICROS: &str = "batch_job_micros";
+/// Service histogram: microseconds from submission to stored result —
+/// queue wait plus service time, the submitter-visible latency.
+pub const METRIC_E2E: &str = "batch_e2e_micros";
+
+/// How many automatic flight-record dumps the service retains.
+const FLIGHT_DUMP_KEEP: usize = 8;
 
 /// Sizing knobs for a [`BatchService`].
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +106,15 @@ pub struct BatchConfig {
     /// Per-program [`ParallelDriver`] workers (1 = allocate each
     /// program's functions serially within its service worker).
     pub shard_workers: usize,
+    /// Whether each submission records a [`RequestTrace`] (a per-request
+    /// timeline on the submission clock). Off, requests still get ids,
+    /// latency histograms, and flight-recorder coverage — just no
+    /// timeline.
+    pub trace_requests: bool,
+    /// How many recent [`RequestTrace`]s the service retains for
+    /// `/trace/<id>` queries (per-result copies on [`BatchResult::trace`]
+    /// are unaffected).
+    pub trace_capacity: usize,
 }
 
 impl Default for BatchConfig {
@@ -77,6 +123,8 @@ impl Default for BatchConfig {
             workers: 2,
             queue_capacity: 16,
             shard_workers: 1,
+            trace_requests: true,
+            trace_capacity: 32,
         }
     }
 }
@@ -126,6 +174,55 @@ impl BatchStatus {
     }
 }
 
+/// The request-scoped observability record of one submission: its trace
+/// identity, queue-wait / service / end-to-end durations, and a timeline
+/// whose clock starts at the submission instant.
+///
+/// Everything here is wall-clock and scheduling-dependent — quarantined
+/// next to the result like [`crate::driver::DriverReport`], never inside
+/// the allocation.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// The submission id (the trace identity; rendered `req-<id>`).
+    pub id: u64,
+    /// The job's label.
+    pub name: String,
+    /// Microseconds the submission sat in the queue.
+    pub queue_us: u64,
+    /// Microseconds the service worker spent on it (profiling included).
+    pub service_us: u64,
+    /// Microseconds from submission to stored result.
+    pub e2e_us: u64,
+    /// The per-request timeline: queue-wait span, shard job/phase spans,
+    /// driver merge, service span, reply instant. `ts = 0` is the
+    /// submission instant.
+    pub timeline: Timeline,
+}
+
+impl RequestTrace {
+    /// The trace id as served by `/trace/<id>`.
+    pub fn trace_id(&self) -> String {
+        format!("req-{}", self.id)
+    }
+
+    /// The trace as a Chrome Trace Event Format value
+    /// ([`crate::trace::chrometrace::to_chrome_trace`]) with the request's
+    /// identity and latency split as extra top-level fields (Perfetto
+    /// ignores unknown keys, so the object stays directly loadable).
+    pub fn to_chrome_value(&self) -> Value {
+        let mut fields = match to_chrome_trace(&self.timeline) {
+            Value::Obj(fields) => fields,
+            other => return other,
+        };
+        fields.push(("requestId".to_string(), Value::Str(self.trace_id())));
+        fields.push(("requestName".to_string(), Value::Str(self.name.clone())));
+        fields.push(("queueUs".to_string(), Value::Int(self.queue_us as i64)));
+        fields.push(("serviceUs".to_string(), Value::Int(self.service_us as i64)));
+        fields.push(("e2eUs".to_string(), Value::Int(self.e2e_us as i64)));
+        Value::Obj(fields)
+    }
+}
+
 /// The outcome of one submission.
 #[derive(Debug, Clone)]
 pub struct BatchResult {
@@ -139,6 +236,9 @@ pub struct BatchResult {
     pub allocation: Option<ProgramAllocation>,
     /// Wall-clock microseconds the job took (profiling included).
     pub micros: u64,
+    /// The request-scoped trace, absent when
+    /// [`BatchConfig::trace_requests`] is off.
+    pub trace: Option<RequestTrace>,
 }
 
 struct Shared {
@@ -148,6 +248,11 @@ struct Shared {
     in_flight: AtomicU64,
     cost: CostModel,
     shard_workers: usize,
+    trace_requests: bool,
+    trace_capacity: usize,
+    traces: Mutex<VecDeque<RequestTrace>>,
+    flight: FlightRecorder,
+    dumps: Mutex<VecDeque<(u64, Value)>>,
 }
 
 /// The batch allocation service (see the module docs).
@@ -157,15 +262,51 @@ pub struct BatchService {
     workers: Vec<JoinHandle<()>>,
 }
 
-fn run_batch_job(id: u64, job: BatchJob, cost: &CostModel, shard_workers: usize) -> BatchResult {
+/// Runs one submission on a service worker: builds the request-scoped
+/// collector (clock zero = the submission instant), records the
+/// queue-wait and service spans plus service-level flight events, shards
+/// the program through [`ParallelDriver`], and assembles the
+/// [`BatchResult`] with its [`RequestTrace`].
+///
+/// `flight` is the worker's lane block: shard workers record on view
+/// lanes `0..shard_workers`, the service-level events land on view lane
+/// `shard_workers` (written only by this thread, before the pool spawns
+/// and after it joins).
+fn run_batch_job(
+    id: u64,
+    job: BatchJob,
+    shared: &Shared,
+    flight: FlightView<'_>,
+    queued_at: Instant,
+) -> BatchResult {
     let start = Instant::now();
+    let shard_workers = shared.shard_workers;
+    let service_tid = shard_workers as u32 + 1;
+    let collector = if shared.trace_requests {
+        TimelineCollector::enabled_since(queued_at)
+    } else {
+        TimelineCollector::disabled()
+    };
+    let mut lane = collector.lane(service_tid);
+    // The queue-wait span: submission (the epoch) to pick-up (now).
+    let queue_us = collector.now_us();
+    lane.backdated_span(
+        SpanKind::Queue,
+        queue_us,
+        || "queue wait".to_string(),
+        || None,
+    );
+    flight.record(shard_workers as u32, FlightKind::JobStart, id, 0);
+    let service_span = lane.start();
+
     let driver = ParallelDriver::new(shard_workers);
-    let (status, allocation) = match FrequencyInfo::profile(&job.program) {
+    let (status, allocation, timeline) = match FrequencyInfo::profile(&job.program) {
         Err(e) => (
             BatchStatus::Failed {
                 error: format!("profiling failed: {e}"),
             },
             None,
+            Timeline::empty(),
         ),
         Ok(freq) => {
             let req = AllocRequest {
@@ -173,56 +314,111 @@ fn run_batch_job(id: u64, job: BatchJob, cost: &CostModel, shard_workers: usize)
                 freq: &freq,
                 file: job.file,
                 config: &job.config,
-                cost,
+                cost: &shared.cost,
             };
-            match driver.allocate_program_detailed(
+            match driver.allocate_program_observed(
                 &req,
                 &mut NoopSink,
                 &mut MetricsRegistry::disabled(),
+                &DefaultJob,
+                &collector,
+                flight,
             ) {
                 Err(e) => (
                     BatchStatus::Failed {
                         error: e.to_string(),
                     },
                     None,
+                    Timeline::empty(),
                 ),
-                Ok((alloc, report)) => {
+                Ok((alloc, report, timeline)) => {
                     let degraded = report.degraded_funcs();
                     let status = if degraded == 0 {
                         BatchStatus::Ok
                     } else {
                         BatchStatus::Degraded { funcs: degraded }
                     };
-                    (status, Some(alloc))
+                    (status, Some(alloc), timeline)
                 }
             }
         }
     };
+
+    let name = job.name;
+    let service_us = start.elapsed().as_micros() as u64;
+    let (end_kind, end_payload) = match &status {
+        BatchStatus::Ok => (FlightKind::JobOk, 0),
+        BatchStatus::Degraded { funcs } => (FlightKind::JobDegraded, *funcs as u64),
+        BatchStatus::Failed { .. } => (FlightKind::JobFailed, 0),
+    };
+    flight.record(shard_workers as u32, end_kind, id, end_payload);
+    lane.end_span(service_span, SpanKind::Service, || {
+        format!("req-{id} {name}")
+    });
+    lane.instant(InstantKind::Reply, || "reply".to_string());
+    let e2e_us = collector.now_us();
+
+    let trace = if shared.trace_requests {
+        let mut timeline = timeline;
+        timeline.events.extend(lane.into_events());
+        Some(RequestTrace {
+            id,
+            name: name.clone(),
+            queue_us,
+            service_us,
+            e2e_us,
+            timeline,
+        })
+    } else {
+        None
+    };
     BatchResult {
         id,
-        name: job.name,
+        name,
         status,
         allocation,
-        micros: start.elapsed().as_micros() as u64,
+        micros: service_us,
+        trace,
     }
 }
 
 impl Shared {
     fn note_completion(&self, queued_at: Instant, result: &BatchResult) {
+        let e2e = queued_at.elapsed().as_micros();
         let mut m = self.metrics.lock().expect("batch metrics lock");
         m.observe(
             METRIC_QUEUE_WAIT,
-            queued_at
-                .elapsed()
-                .as_micros()
-                .saturating_sub(result.micros as u128) as u64,
+            e2e.saturating_sub(result.micros as u128) as u64,
         );
         m.observe(METRIC_JOB_MICROS, result.micros);
+        m.observe(METRIC_E2E, e2e as u64);
         m.inc(match result.status {
             BatchStatus::Ok => METRIC_COMPLETED,
             BatchStatus::Degraded { .. } => METRIC_DEGRADED,
             BatchStatus::Failed { .. } => METRIC_FAILED,
         });
+    }
+
+    /// Retains a completed request's trace in the bounded recent-trace
+    /// buffer and, when the job ended with anything but
+    /// [`BatchStatus::Ok`], snapshots the flight recorder into the dump
+    /// ring.
+    fn note_observability(&self, result: &BatchResult) {
+        if let Some(trace) = &result.trace {
+            let mut traces = self.traces.lock().expect("batch traces lock");
+            while traces.len() >= self.trace_capacity.max(1) {
+                traces.pop_front();
+            }
+            traces.push_back(trace.clone());
+        }
+        if result.status != BatchStatus::Ok {
+            let dump = self.flight.dump();
+            let mut dumps = self.dumps.lock().expect("batch dumps lock");
+            while dumps.len() >= FLIGHT_DUMP_KEEP {
+                dumps.pop_front();
+            }
+            dumps.push_back((result.id, dump));
+        }
     }
 }
 
@@ -306,6 +502,51 @@ impl BatchHandle {
         self.metrics_snapshot().to_prometheus_text()
     }
 
+    /// The [`RequestTrace`] of submission `id`, if the service still holds
+    /// it — first from the bounded recent-trace buffer, then from the
+    /// stored results.
+    pub fn trace(&self, id: u64) -> Option<RequestTrace> {
+        let traces = self.shared.traces.lock().expect("batch traces lock");
+        if let Some(t) = traces.iter().find(|t| t.id == id) {
+            return Some(t.clone());
+        }
+        drop(traces);
+        self.shared
+            .results
+            .lock()
+            .expect("batch results lock")
+            .iter()
+            .find(|r| r.id == id)
+            .and_then(|r| r.trace.clone())
+    }
+
+    /// The trace of submission `id` rendered as Chrome-trace JSON
+    /// ([`RequestTrace::to_chrome_value`]) — what `/trace/<id>` serves.
+    pub fn trace_chrome_json(&self, id: u64) -> Option<String> {
+        self.trace(id).map(|t| t.to_chrome_value().to_json())
+    }
+
+    /// The flight-recorder document served at `/debug/flightrec`: the live
+    /// recorder dump plus the retained automatic dumps (most recent last),
+    /// each tagged with the submission id that triggered it.
+    pub fn flightrec_value(&self) -> Value {
+        let dumps = self.shared.dumps.lock().expect("batch dumps lock");
+        let retained = dumps
+            .iter()
+            .map(|(id, dump)| {
+                Value::Obj(vec![
+                    ("id".to_string(), Value::Int(*id as i64)),
+                    ("dump".to_string(), dump.clone()),
+                ])
+            })
+            .collect();
+        drop(dumps);
+        Value::Obj(vec![
+            ("live".to_string(), self.shared.flight.dump()),
+            ("dumps".to_string(), Value::Arr(retained)),
+        ])
+    }
+
     /// The live status document served at `/status`:
     ///
     /// ```json
@@ -315,7 +556,15 @@ impl BatchHandle {
     ///            "degraded_funcs": 0, "micros": 1234}, ...]}
     /// ```
     ///
-    /// Failed jobs carry an extra `"error"` string.
+    /// Failed jobs carry an extra `"error"` string. A `"latency"` object
+    /// reports the queue-wait / service / end-to-end SLO quantiles
+    /// (log2-bucket upper bounds, microseconds) alongside the mean and
+    /// sample count:
+    ///
+    /// ```json
+    /// {"latency": {"queue_wait": {"p50": 15, "p95": 63, "p99": 63,
+    ///                             "mean_us": 21.5, "count": 4}, ...}}
+    /// ```
     pub fn status_value(&self) -> Value {
         let statuses = self.statuses();
         let results = self.shared.results.lock().expect("batch results lock");
@@ -348,6 +597,31 @@ impl BatchHandle {
             })
             .collect();
         drop(results);
+        let m = self.shared.metrics.lock().expect("batch metrics lock");
+        let latency_of = |name: &str| {
+            let (p50, p95, p99, mean, count) = m.histogram(name).map_or((0, 0, 0, 0.0, 0), |h| {
+                (
+                    h.quantile(0.5),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.mean(),
+                    h.count(),
+                )
+            });
+            Value::Obj(vec![
+                ("p50".to_string(), Value::Int(p50 as i64)),
+                ("p95".to_string(), Value::Int(p95 as i64)),
+                ("p99".to_string(), Value::Int(p99 as i64)),
+                ("mean_us".to_string(), Value::Float(mean)),
+                ("count".to_string(), Value::Int(count as i64)),
+            ])
+        };
+        let latency = Value::Obj(vec![
+            ("queue_wait".to_string(), latency_of(METRIC_QUEUE_WAIT)),
+            ("service".to_string(), latency_of(METRIC_JOB_MICROS)),
+            ("e2e".to_string(), latency_of(METRIC_E2E)),
+        ]);
+        drop(m);
         Value::Obj(vec![
             (
                 "queue_depth".to_string(),
@@ -359,6 +633,7 @@ impl BatchHandle {
                 "degraded_funcs".to_string(),
                 Value::Int(self.degraded_funcs() as i64),
             ),
+            ("latency".to_string(), latency),
             ("jobs".to_string(), Value::Arr(jobs)),
         ])
     }
@@ -374,22 +649,36 @@ impl BatchService {
 
     /// Like [`BatchService::start`] with an explicit cost model.
     pub fn start_with_cost(config: BatchConfig, cost: CostModel) -> Self {
+        let service_workers = config.workers.max(1);
+        let shard_workers = config.shard_workers.max(1);
+        // Flight lanes: lane 0 is the submission path; each service worker
+        // `w` owns the contiguous block starting at `1 + w * (shard + 1)`
+        // (its shard workers, then its driver/service lane).
+        let flight_lanes = 1 + service_workers * (shard_workers + 1);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             results: Mutex::new(Vec::new()),
             metrics: Mutex::new(MetricsRegistry::new()),
             in_flight: AtomicU64::new(0),
             cost,
-            shard_workers: config.shard_workers.max(1),
+            shard_workers,
+            trace_requests: config.trace_requests,
+            trace_capacity: config.trace_capacity.max(1),
+            traces: Mutex::new(VecDeque::new()),
+            flight: FlightRecorder::new(flight_lanes),
+            dumps: Mutex::new(VecDeque::new()),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
+        let workers = (0..service_workers)
+            .map(|w| {
                 let shared = Arc::clone(&shared);
+                let lane_base = (1 + w * (shard_workers + 1)) as u32;
                 std::thread::spawn(move || {
                     while let Some((id, queued_at, job)) = shared.queue.pop() {
                         shared.in_flight.fetch_add(1, Ordering::Relaxed);
-                        let result = run_batch_job(id, job, &shared.cost, shared.shard_workers);
+                        let flight = shared.flight.view(lane_base);
+                        let result = run_batch_job(id, job, &shared, flight, queued_at);
                         shared.note_completion(queued_at, &result);
+                        shared.note_observability(&result);
                         shared
                             .results
                             .lock()
@@ -428,7 +717,7 @@ impl BatchService {
         // observable as a metric before we block.
         let job = match self.shared.queue.try_push((id, Instant::now(), job)) {
             Ok(()) => {
-                self.note_submit();
+                self.note_submit(id);
                 return Ok(id);
             }
             Err(PushError::Closed((_, _, job))) => return Err(job),
@@ -438,6 +727,9 @@ impl BatchService {
                     .lock()
                     .expect("batch metrics lock")
                     .inc(METRIC_STALLS);
+                self.shared
+                    .flight
+                    .record(0, FlightKind::BackpressureEngage, id, 0);
                 job
             }
         };
@@ -445,7 +737,10 @@ impl BatchService {
             .queue
             .push((id, Instant::now(), job))
             .map(|()| {
-                self.note_submit();
+                self.shared
+                    .flight
+                    .record(0, FlightKind::BackpressureRelease, id, 0);
+                self.note_submit(id);
                 id
             })
             .map_err(|e| e.into_inner().2)
@@ -465,7 +760,7 @@ impl BatchService {
             .queue
             .try_push((id, Instant::now(), job))
             .map(|()| {
-                self.note_submit();
+                self.note_submit(id);
                 id
             })
             .map_err(|e| match e {
@@ -474,7 +769,8 @@ impl BatchService {
             })
     }
 
-    fn note_submit(&self) {
+    fn note_submit(&self, id: u64) {
+        self.shared.flight.record(0, FlightKind::Submit, id, 0);
         self.shared
             .metrics
             .lock()

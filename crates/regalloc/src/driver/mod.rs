@@ -20,22 +20,32 @@
 //! * [`timeline`] — per-worker span/instant/counter collection for the
 //!   pool and driver (exported as a Chrome trace by
 //!   [`crate::trace::chrometrace`]);
+//! * [`flightrec`] — the always-on flight recorder: fixed-size per-lane
+//!   rings of recent compact scheduling events, dumped as JSON when a job
+//!   degrades or panics;
 //! * [`status`] — a std-only HTTP endpoint serving a live
-//!   [`BatchHandle`] view (`/metrics`, `/healthz`, `/status`).
+//!   [`BatchHandle`] view (`/metrics`, `/healthz`, `/status`, per-request
+//!   `/trace/<id>`, `/debug/flightrec`).
 //!
 //! The `ccra-eval` `par` binary sweeps worker counts over the perf
 //! workloads with the driver and records the speedup into the
-//! `BENCH_3.json` snapshot; the `timeline` binary captures one traced
-//! batch as a Perfetto-loadable timeline.
+//! `BENCH_4.json` snapshot; the `timeline` binary captures one traced
+//! batch as a Perfetto-loadable timeline; the `loadgen` binary drives the
+//! batch service open-loop and records the latency section of the same
+//! snapshot.
 
 pub mod batch;
+pub mod flightrec;
 mod parallel;
 pub mod pool;
 pub mod queue;
 pub mod status;
 pub mod timeline;
 
-pub use batch::{BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus};
+pub use batch::{
+    BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus, RequestTrace,
+};
+pub use flightrec::{FlightEvent, FlightKind, FlightRecorder, FlightView};
 pub use parallel::{
     AllocJob, AllocRequest, DefaultJob, DriverReport, DriverSummary, JobCtx, JobStatus,
     ParallelDriver,

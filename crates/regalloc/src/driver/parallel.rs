@@ -33,6 +33,13 @@
 //! [`DriverReport::scheduler`]. The untraced entry points delegate with a
 //! disabled collector, so they pay one branch per event site.
 //!
+//! [`ParallelDriver::allocate_program_observed`] additionally threads a
+//! [`FlightView`] through the pool: job start/end, steal, and degrade
+//! events land in the always-on flight recorder, and a batch in which any
+//! job degraded snapshots the recorder into [`DriverReport::flight_dump`]
+//! as JSON. Like the timeline, flight data is scheduling quarantine — it
+//! never touches allocation results.
+//!
 //! # Failure isolation
 //!
 //! A job whose strict allocation returns an [`AllocError`] falls back to
@@ -49,6 +56,7 @@ use ccra_analysis::{FrequencyInfo, FuncFreq};
 use ccra_ir::{Function, Program};
 use ccra_machine::{CostModel, RegisterFile};
 
+use crate::driver::flightrec::{FlightKind, FlightRecorder, FlightView};
 use crate::driver::pool::{run_jobs_observed, JobOutcome};
 use crate::driver::timeline::{Lane, SpanKind, Timeline, TimelineCollector};
 use crate::error::AllocError;
@@ -193,6 +201,11 @@ pub struct DriverReport {
     /// Scheduling-dependent, like everything else here except `statuses` —
     /// keep it out of merged program metrics.
     pub scheduler: MetricsRegistry,
+    /// A JSON flight-record dump, captured automatically when any job
+    /// degraded (or panicked) and the batch ran with an enabled
+    /// [`crate::driver::FlightRecorder`]. Scheduling-dependent quarantine,
+    /// like the rest of the report.
+    pub flight_dump: Option<String>,
 }
 
 impl DriverReport {
@@ -405,20 +418,13 @@ impl ParallelDriver {
             .map(|(alloc, report, _)| (alloc, report))
     }
 
-    /// The fully general entry point: allocates with a custom per-function
-    /// [`AllocJob`] under a [`TimelineCollector`], returning the merged
-    /// driver [`Timeline`] alongside the allocation and report. Everything
-    /// else on the driver delegates here.
-    ///
-    /// Worker lanes are `0..workers`; the driver thread's merge span lands
-    /// on lane `workers`. With a disabled collector the timeline comes
-    /// back empty and [`DriverReport::scheduler`] stays empty.
+    /// Like [`ParallelDriver::allocate_program_observed`] without a flight
+    /// recorder (a disabled one is supplied), for callers that only want
+    /// the timeline.
     ///
     /// # Errors
     ///
-    /// Propagates the first (in function-id order) failure of the degraded
-    /// fallback; strict-allocation failures and job panics degrade instead
-    /// (see the module docs).
+    /// See [`ParallelDriver::allocate_program_observed`].
     pub fn allocate_program_traced(
         &self,
         req: &AllocRequest<'_>,
@@ -427,6 +433,37 @@ impl ParallelDriver {
         job: &dyn AllocJob,
         collector: &TimelineCollector,
     ) -> Result<(ProgramAllocation, DriverReport, Timeline), AllocError> {
+        let flight = FlightRecorder::disabled();
+        self.allocate_program_observed(req, sink, metrics, job, collector, flight.view(0))
+    }
+
+    /// The fully general entry point: allocates with a custom per-function
+    /// [`AllocJob`] under a [`TimelineCollector`] and a flight-recorder
+    /// window, returning the merged driver [`Timeline`] alongside the
+    /// allocation and report. Everything else on the driver delegates
+    /// here.
+    ///
+    /// Worker lanes are `0..workers`; the driver thread's merge span lands
+    /// on lane `workers`. With a disabled collector the timeline comes
+    /// back empty and [`DriverReport::scheduler`] stays empty. Flight
+    /// lanes mirror timeline lanes (worker `w` records on view lane `w`);
+    /// when any job degrades under an enabled recorder, the run's flight
+    /// record is dumped into [`DriverReport::flight_dump`] automatically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (in function-id order) failure of the degraded
+    /// fallback; strict-allocation failures and job panics degrade instead
+    /// (see the module docs).
+    pub fn allocate_program_observed(
+        &self,
+        req: &AllocRequest<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+        job: &dyn AllocJob,
+        collector: &TimelineCollector,
+        flight: FlightView<'_>,
+    ) -> Result<(ProgramAllocation, DriverReport, Timeline), AllocError> {
         let start = span_start(sink);
         let prog_timer = metrics.timer();
         let sink_on = sink.enabled();
@@ -434,9 +471,14 @@ impl ParallelDriver {
         let program = req.program;
         let ids: Vec<ccra_ir::FuncId> = program.func_ids().collect();
 
-        let (outcomes, stats, scratches) =
-            run_jobs_observed(self.workers, &ids, collector, |_, &id, scratch| {
+        let (outcomes, stats, scratches) = run_jobs_observed(
+            self.workers,
+            &ids,
+            collector,
+            flight,
+            |index, &id, scratch| {
                 let func = program.function(id);
+                let tid = scratch.lane.tid();
                 if scratch.lane.enabled() {
                     scratch.job_label = Some(func.name().to_string());
                 }
@@ -461,6 +503,7 @@ impl ParallelDriver {
                     Ok((body, alloc)) => Ok((body, alloc, JobStatus::Ok)),
                     Err(err) => {
                         let reason = err.to_string();
+                        flight.record(tid, FlightKind::JobDegraded, index as u64, 0);
                         if tap.enabled() {
                             tap.emit(AllocEvent::Degraded(DegradedInfo {
                                 func: func.name().to_string(),
@@ -483,7 +526,8 @@ impl ParallelDriver {
                     events: recorder.map(|r| r.events).unwrap_or_default(),
                     metrics: job_metrics,
                 }
-            });
+            },
+        );
 
         // The scheduling facts drain into the report's quarantine.
         let mut scheduler = if collector.is_enabled() {
@@ -559,6 +603,11 @@ impl ParallelDriver {
         }
         driver_lane.end_span(merge_span, SpanKind::Merge, || "merge".to_string());
         lanes.push(driver_lane.into_events());
+        // Something degraded under an enabled recorder: snapshot the
+        // flight record now, while the batch's history is still in the
+        // rings.
+        let flight_dump = (flight.enabled() && statuses.iter().any(JobStatus::is_degraded))
+            .then(|| flight.dump_json());
         Ok((
             ProgramAllocation {
                 program: rewritten,
@@ -571,6 +620,7 @@ impl ParallelDriver {
                 steals: stats.steals,
                 statuses,
                 scheduler,
+                flight_dump,
             },
             Timeline::merge(stats.workers, lanes),
         ))

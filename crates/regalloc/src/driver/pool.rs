@@ -41,6 +41,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use super::flightrec::{FlightKind, FlightRecorder, FlightView};
 use super::timeline::{InstantKind, Lane, SpanKind, TimelineCollector};
 use crate::metrics::MetricsRegistry;
 
@@ -141,15 +142,18 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Runs one job under `catch_unwind`, recording its span (named by
-/// whatever label the closure left in the scratch) and its run-time
-/// histogram sample.
+/// whatever label the closure left in the scratch), its run-time histogram
+/// sample, and its start/end flight-recorder events.
 fn run_one<T, R>(
     job: &(impl Fn(usize, &T, &mut WorkerScratch) -> R + Sync),
     index: usize,
     item: &T,
     scratch: &mut WorkerScratch,
+    flight: FlightView<'_>,
 ) -> JobOutcome<R> {
     scratch.job_label = None;
+    let tid = scratch.lane.tid();
+    flight.record(tid, FlightKind::JobStart, index as u64, 0);
     let span = scratch.lane.start();
     let timer = scratch.scheduler.timer();
     let outcome = match catch_unwind(AssertUnwindSafe(|| job(index, item, &mut *scratch))) {
@@ -166,6 +170,12 @@ fn run_one<T, R>(
         || label.unwrap_or_else(|| format!("job {index}")),
         || panicked.then(|| "panicked".to_string()),
     );
+    let kind = if panicked {
+        FlightKind::JobPanicked
+    } else {
+        FlightKind::JobOk
+    };
+    flight.record(tid, kind, index as u64, 0);
     outcome
 }
 
@@ -198,6 +208,7 @@ fn steal_sweep(
 
 /// One worker's drain loop: pop own work, steal when dry, record the
 /// scheduling facts into the worker's scratch.
+#[allow(clippy::too_many_arguments)]
 fn drain_worker<T, R>(
     deques: &[Mutex<VecDeque<usize>>],
     w: usize,
@@ -206,6 +217,7 @@ fn drain_worker<T, R>(
     items: &[T],
     job: &(impl Fn(usize, &T, &mut WorkerScratch) -> R + Sync),
     scratch: &mut WorkerScratch,
+    flight: FlightView<'_>,
 ) -> Vec<(usize, JobOutcome<R>)> {
     let worker_span = scratch.lane.start();
     let mut done = Vec::new();
@@ -232,6 +244,7 @@ fn drain_worker<T, R>(
                 match stolen {
                     Some((i, victim)) => {
                         scratch.scheduler.inc(METRIC_STEALS);
+                        flight.record(w as u32, FlightKind::Steal, i as u64, victim as u64);
                         scratch
                             .lane
                             .instant(InstantKind::Steal, || format!("steal <- w{victim}"));
@@ -239,6 +252,7 @@ fn drain_worker<T, R>(
                     }
                     None => {
                         scratch.scheduler.inc(METRIC_STEAL_MISSES);
+                        flight.record(w as u32, FlightKind::StealMiss, w as u64, 0);
                         scratch
                             .lane
                             .instant(InstantKind::StealMiss, || "batch drained".to_string());
@@ -252,7 +266,7 @@ fn drain_worker<T, R>(
                 .scheduler
                 .observe(METRIC_JOB_WAIT, batch_start.elapsed().as_micros() as u64);
         }
-        done.push((index, run_one(job, index, &items[index], scratch)));
+        done.push((index, run_one(job, index, &items[index], scratch, flight)));
     }
     scratch
         .lane
@@ -275,8 +289,14 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let collector = TimelineCollector::disabled();
-    let (outcomes, stats, _) =
-        run_jobs_observed(workers, items, &collector, |i, item, _scratch| job(i, item));
+    let flight = FlightRecorder::disabled();
+    let (outcomes, stats, _) = run_jobs_observed(
+        workers,
+        items,
+        &collector,
+        flight.view(0),
+        |i, item, _scratch| job(i, item),
+    );
     (outcomes, stats)
 }
 
@@ -290,10 +310,17 @@ where
 /// [`TimelineCollector::disabled`] collector every recording site reduces
 /// to one branch, which is how [`run_jobs`] keeps the unobserved path
 /// inside the workers=1 overhead gate.
+///
+/// `flight` is the batch's always-on flight-recorder window: worker `w`
+/// records job start/end, panic, and steal events on view lane `w`
+/// (compact events, no allocation — see [`crate::driver::flightrec`]).
+/// Pass a view of a [`FlightRecorder::disabled`] recorder to opt out at
+/// one branch per event.
 pub fn run_jobs_observed<T, R, F>(
     workers: usize,
     items: &[T],
     collector: &TimelineCollector,
+    flight: FlightView<'_>,
     job: F,
 ) -> (Vec<JobOutcome<R>>, PoolStats, Vec<WorkerScratch>)
 where
@@ -324,7 +351,7 @@ where
                         (items.len() - 1 - i) as u64,
                     );
                 }
-                run_one(&job, i, item, &mut scratch)
+                run_one(&job, i, item, &mut scratch, flight)
             })
             .collect();
         scratch
@@ -360,8 +387,16 @@ where
                 let job = &job;
                 let mut scratch = WorkerScratch::new(collector, w as u32);
                 scope.spawn(move || {
-                    let done =
-                        drain_worker(deques, w, steals, batch_start, items, job, &mut scratch);
+                    let done = drain_worker(
+                        deques,
+                        w,
+                        steals,
+                        batch_start,
+                        items,
+                        job,
+                        &mut scratch,
+                        flight,
+                    );
                     (done, scratch)
                 })
             })
@@ -476,26 +511,33 @@ mod tests {
     fn disabled_collector_leaves_no_events_and_no_metrics() {
         let items: Vec<u32> = (0..16).collect();
         let collector = TimelineCollector::disabled();
-        let (_, _, scratches) = run_jobs_observed(4, &items, &collector, |_, &x, scratch| {
-            assert!(!scratch.lane.enabled());
-            x
-        });
+        let flight = FlightRecorder::disabled();
+        let (_, _, scratches) =
+            run_jobs_observed(4, &items, &collector, flight.view(0), |_, &x, scratch| {
+                assert!(!scratch.lane.enabled());
+                x
+            });
         assert_eq!(scratches.len(), 4);
         for s in scratches {
             assert!(s.lane.is_empty());
             assert!(s.scheduler.is_empty());
         }
+        assert_eq!(flight.total_events(), 0);
     }
 
     #[test]
     fn observed_batches_record_job_spans_per_worker() {
         let items: Vec<u32> = (0..24).collect();
         let collector = TimelineCollector::enabled();
+        let flight = FlightRecorder::new(4);
         let (outcomes, stats, scratches) =
-            run_jobs_observed(4, &items, &collector, |i, &x, scratch| {
+            run_jobs_observed(4, &items, &collector, flight.view(0), |i, &x, scratch| {
                 scratch.job_label = Some(format!("item {x}"));
                 (0..500u64).fold(i as u64, |a, v| a.wrapping_add(v))
             });
+        // Every job start/end landed in the flight recorder (plus however
+        // many steal/miss events scheduling produced).
+        assert!(flight.total_events() >= 48);
         assert_eq!(outcomes.len(), 24);
         assert_eq!(stats.workers, 4);
         assert_eq!(scratches.len(), 4);
@@ -550,7 +592,11 @@ mod tests {
     fn workers1_observed_records_a_single_lane() {
         let items: Vec<u32> = (0..5).collect();
         let collector = TimelineCollector::enabled();
-        let (_, stats, scratches) = run_jobs_observed(1, &items, &collector, |_, &x, _scratch| x);
+        let flight = FlightRecorder::new(1);
+        let (_, stats, scratches) =
+            run_jobs_observed(1, &items, &collector, flight.view(0), |_, &x, _scratch| x);
+        // The inline path records the same start/ok pairs as the pool.
+        assert_eq!(flight.total_events(), 10);
         assert_eq!(stats.workers, 1);
         assert_eq!(scratches.len(), 1);
         let scheduler = &scratches[0].scheduler;
@@ -574,10 +620,12 @@ mod tests {
         // early must steal or miss, so some instant event appears.
         let items: Vec<u64> = (0..64).collect();
         let collector = TimelineCollector::enabled();
-        let (_, stats, scratches) = run_jobs_observed(8, &items, &collector, |_, &x, _s| {
-            let spins = if x % 8 == 0 { 50_000 } else { 50 };
-            (0..spins).fold(x, |a, v| a.wrapping_mul(31).wrapping_add(v))
-        });
+        let flight = FlightRecorder::new(8);
+        let (_, stats, scratches) =
+            run_jobs_observed(8, &items, &collector, flight.view(0), |_, &x, _s| {
+                let spins = if x % 8 == 0 { 50_000 } else { 50 };
+                (0..spins).fold(x, |a, v| a.wrapping_mul(31).wrapping_add(v))
+            });
         let mut scheduler = MetricsRegistry::new();
         let mut lanes = Vec::new();
         for s in scratches {

@@ -1,21 +1,29 @@
 //! A live status endpoint for [`BatchService`]: a minimal HTTP/1.0 server
 //! on `std::net::TcpListener` alone.
 //!
-//! The server wraps a [`BatchHandle`] and answers three `GET` routes:
+//! The server wraps a [`BatchHandle`] and answers five `GET` routes:
 //!
 //! * `/healthz` — `200 text/plain`, body `ok`;
 //! * `/metrics` — the service metrics plus scrape-time gauges in the
 //!   Prometheus text exposition format
 //!   ([`BatchHandle::metrics_text`]);
 //! * `/status` — a JSON document with the live queue depth, in-flight
-//!   count, per-job [`BatchStatus`] and degraded-function total
-//!   ([`BatchHandle::status_value`]).
+//!   count, per-job [`BatchStatus`], degraded-function total, and the
+//!   queue-wait / service / end-to-end latency quantiles
+//!   ([`BatchHandle::status_value`]);
+//! * `/trace/<id>` — one request's Chrome-trace JSON
+//!   ([`BatchHandle::trace_chrome_json`]; `<id>` is the submission id,
+//!   with or without the `req-` prefix); `404` when the trace is gone or
+//!   was never recorded;
+//! * `/debug/flightrec` — the flight recorder: live rings plus retained
+//!   automatic dumps ([`BatchHandle::flightrec_value`]).
 //!
-//! Anything else is `404`; non-`GET` methods are `405`. Every response
-//! closes the connection (`Connection: close`), which is all HTTP/1.0
-//! promises anyway — no keep-alive, no chunking, no TLS. That is exactly
-//! enough for `curl` and a Prometheus scraper, and it keeps the server at
-//! one short, auditable accept loop.
+//! Anything else is `404`; non-`GET` methods are `405`; a request head
+//! larger than [`MAX_REQUEST_BYTES`] is `431`. Every response closes the
+//! connection (`Connection: close`), which is all HTTP/1.0 promises
+//! anyway — no keep-alive, no chunking, no TLS. That is exactly enough
+//! for `curl` and a Prometheus scraper, and it keeps the server at one
+//! short, auditable accept loop.
 //!
 //! Bind to port 0 for an ephemeral port (tests do); read the actual
 //! address back with [`StatusServer::local_addr`]. Shutdown is graceful
@@ -25,7 +33,7 @@
 //! [`BatchService`]: crate::driver::BatchService
 //! [`BatchStatus`]: crate::driver::BatchStatus
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -36,6 +44,18 @@ use crate::driver::batch::BatchHandle;
 
 /// How long a connection may dribble its request before being dropped.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The most request-head bytes (request line + headers) the server reads;
+/// anything longer is answered `431` and dropped — an unbounded
+/// `read_line` on an untrusted socket is an allocation amplifier.
+pub const MAX_REQUEST_BYTES: u64 = 8 * 1024;
+
+/// How much of an oversized request the server reads off the wire before
+/// answering `431`. Closing a socket with unread data sends a TCP reset,
+/// which can destroy the rejection response before the client reads it;
+/// draining a bounded tail lets well-meaning-but-oversized clients see
+/// the `431`. Past this, the reset is the answer.
+const DRAIN_LIMIT: u64 = 64 * 1024;
 
 /// The status HTTP server (see the module docs).
 pub struct StatusServer {
@@ -111,17 +131,34 @@ fn accept_loop(listener: &TcpListener, handle: &BatchHandle, stop: &AtomicBool) 
 /// Reads one request, writes one response, closes.
 fn serve_connection(stream: TcpStream, handle: &BatchHandle) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let mut reader = BufReader::new(stream);
+    // Cap the request head: past MAX_REQUEST_BYTES, read_line sees EOF.
+    let mut reader = BufReader::new(stream).take(MAX_REQUEST_BYTES);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
     // Drain the headers; HTTP/1.0 GETs carry no body.
+    let mut truncated = !request_line.ends_with('\n');
     loop {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+        if reader.read_line(&mut line)? == 0 {
+            truncated = truncated || reader.limit() == 0;
+            break;
+        }
+        if line.trim_end().is_empty() {
             break;
         }
     }
-    let mut stream = reader.into_inner();
+    let mut stream = reader.into_inner().into_inner();
+    if truncated {
+        let mut sink = [0u8; 4096];
+        let mut drained = 0u64;
+        while drained < DRAIN_LIMIT {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n as u64,
+            }
+        }
+        return respond(&mut stream, 431, "text/plain", "request too large\n");
+    }
 
     let mut parts = request_line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
@@ -130,6 +167,12 @@ fn serve_connection(stream: TcpStream, handle: &BatchHandle) -> io::Result<()> {
     };
     if method != "GET" {
         return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    if let Some(id) = path.strip_prefix("/trace/") {
+        return match parse_trace_id(id).and_then(|id| handle.trace_chrome_json(id)) {
+            Some(body) => respond(&mut stream, 200, "application/json", &(body + "\n")),
+            None => respond(&mut stream, 404, "text/plain", "no such trace\n"),
+        };
     }
     match path {
         "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
@@ -143,8 +186,19 @@ fn serve_connection(stream: TcpStream, handle: &BatchHandle) -> io::Result<()> {
             let body = handle.status_value().to_json() + "\n";
             respond(&mut stream, 200, "application/json", &body)
         }
+        "/debug/flightrec" => {
+            let body = handle.flightrec_value().to_json() + "\n";
+            respond(&mut stream, 200, "application/json", &body)
+        }
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
+}
+
+/// Parses a `/trace/<id>` path segment: a decimal submission id, with or
+/// without the `req-` prefix [`crate::driver::RequestTrace::trace_id`]
+/// renders.
+fn parse_trace_id(segment: &str) -> Option<u64> {
+    segment.strip_prefix("req-").unwrap_or(segment).parse().ok()
 }
 
 fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) -> io::Result<()> {
@@ -153,6 +207,7 @@ fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) ->
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
         _ => "Error",
     };
     write!(
@@ -187,7 +242,7 @@ mod tests {
         let service = BatchService::start(BatchConfig {
             workers: 1,
             queue_capacity: 4,
-            shard_workers: 1,
+            ..BatchConfig::default()
         });
         let server = StatusServer::bind(service.handle(), "127.0.0.1:0").expect("bind :0");
         let addr = server.local_addr();

@@ -47,6 +47,12 @@ pub enum SpanKind {
     Idle,
     /// The driver's deterministic merge of per-job results.
     Merge,
+    /// Time a batch submission sat in the submission queue before a
+    /// service worker picked it up.
+    Queue,
+    /// A batch submission's whole service time (profiling + allocation),
+    /// pop to completion.
+    Service,
 }
 
 impl SpanKind {
@@ -58,6 +64,8 @@ impl SpanKind {
             SpanKind::Phase => "phase",
             SpanKind::Idle => "idle",
             SpanKind::Merge => "merge",
+            SpanKind::Queue => "queue",
+            SpanKind::Service => "service",
         }
     }
 }
@@ -69,6 +77,9 @@ pub enum InstantKind {
     Steal,
     /// A full steal sweep found every deque empty.
     StealMiss,
+    /// A batch submission's result was stored — the moment a reply became
+    /// visible to the submitter.
+    Reply,
 }
 
 impl InstantKind {
@@ -77,6 +88,7 @@ impl InstantKind {
         match self {
             InstantKind::Steal => "steal",
             InstantKind::StealMiss => "steal_miss",
+            InstantKind::Reply => "reply",
         }
     }
 }
@@ -163,6 +175,14 @@ impl TimelineCollector {
             on: true,
             epoch: Instant::now(),
         }
+    }
+
+    /// A recording collector whose epoch is `epoch` rather than "now" —
+    /// how a request-scoped timeline starts its clock at *enqueue* time,
+    /// so the queue-wait span created at pop lands at `ts = 0` and every
+    /// later span reads as time-since-submission.
+    pub fn enabled_since(epoch: Instant) -> Self {
+        TimelineCollector { on: true, epoch }
     }
 
     /// A collector whose lanes drop everything at zero cost — the timeline
@@ -392,7 +412,11 @@ impl Timeline {
                             }
                         }
                         SpanKind::Idle => lane.idle_us += dur_us,
-                        SpanKind::Worker | SpanKind::Phase | SpanKind::Merge => {}
+                        SpanKind::Worker
+                        | SpanKind::Phase
+                        | SpanKind::Merge
+                        | SpanKind::Queue
+                        | SpanKind::Service => {}
                     }
                 }
                 TimelineEvent::Instant {
@@ -403,6 +427,7 @@ impl Timeline {
                     match kind {
                         InstantKind::Steal => lane.steals += 1,
                         InstantKind::StealMiss => lane.steal_misses += 1,
+                        InstantKind::Reply => {}
                     }
                 }
                 TimelineEvent::Counter { ts_us, .. } => end_us = end_us.max(*ts_us),

@@ -102,8 +102,9 @@ pub use check::check_allocation_metered;
 pub use check::{check_allocation, CheckViolation};
 pub use driver::{
     AllocRequest, BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus,
-    DriverReport, DriverSummary, JobStatus, ParallelDriver, StatusServer, Timeline,
-    TimelineCollector, TimelineEvent, TimelineSummary,
+    DriverReport, DriverSummary, FlightEvent, FlightKind, FlightRecorder, FlightView, JobStatus,
+    ParallelDriver, RequestTrace, StatusServer, Timeline, TimelineCollector, TimelineEvent,
+    TimelineSummary,
 };
 pub use error::AllocError;
 pub use graph::InterferenceGraph;

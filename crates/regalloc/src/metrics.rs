@@ -37,6 +37,10 @@ use serde::json::Value;
 /// `2^30`, with everything larger clamped into the last bucket.
 pub const HISTOGRAM_BUCKETS: usize = 32;
 
+/// The quantiles both exporters surface for every histogram, as
+/// `(label, q)` pairs — the p50/p95/p99 the latency SLO accounting reads.
+pub const QUANTILES: [(&str, f64); 3] = [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)];
+
 /// A log2-bucketed histogram of `u64` observations.
 ///
 /// Bucket 0 counts exact zeros; bucket `i >= 1` counts values in
@@ -115,6 +119,27 @@ impl Histogram {
     /// The per-bucket counts.
     pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
         &self.buckets
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets: the
+    /// inclusive upper bound ([`Histogram::bucket_bound`]) of the bucket
+    /// holding the observation of rank `ceil(q * count)`. Returns 0 for an
+    /// empty histogram. Resolution is the bucket width — a factor of two —
+    /// which is exactly the precision the bucketing admits; the exporters
+    /// surface p50/p95/p99 through this.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(HISTOGRAM_BUCKETS - 1)
     }
 
     /// Adds another histogram bucket-wise.
@@ -283,8 +308,10 @@ impl MetricsRegistry {
     ///
     /// Counters render as `<name> <value>` with a `# TYPE` header;
     /// histograms render cumulative `_bucket{le="..."}` series (up to the
-    /// highest non-empty bucket, then `+Inf`) plus `_sum` and `_count`.
-    /// Output is deterministic: names are emitted in sorted order.
+    /// highest non-empty bucket, then `+Inf`) plus `_sum`, `_count`, and
+    /// one `<name>{quantile="..."}` sample per entry of [`QUANTILES`]
+    /// (bucket-resolution, from [`Histogram::quantile`]). Output is
+    /// deterministic: names are emitted in sorted order.
     pub fn to_prometheus_text(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -309,6 +336,9 @@ impl MetricsRegistry {
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_sum {}", h.sum);
             let _ = writeln!(out, "{name}_count {}", h.count);
+            for (label, q) in QUANTILES {
+                let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.quantile(q));
+            }
         }
         out
     }
@@ -318,6 +348,7 @@ impl MetricsRegistry {
     /// ```json
     /// {"counters": {...}, "gauges": {...},
     ///  "histograms": {"name": {"count": 3, "sum": 12,
+    ///                          "p50": 3, "p95": 7, "p99": 7,
     ///                          "buckets": [{"le": 3, "n": 2}, ...]}}}
     /// ```
     ///
@@ -356,6 +387,9 @@ impl MetricsRegistry {
                 let obj = Value::Obj(vec![
                     ("count".to_string(), Value::Int(h.count as i64)),
                     ("sum".to_string(), Value::Int(h.sum as i64)),
+                    ("p50".to_string(), Value::Int(h.quantile(0.5) as i64)),
+                    ("p95".to_string(), Value::Int(h.quantile(0.95) as i64)),
+                    ("p99".to_string(), Value::Int(h.quantile(0.99) as i64)),
                     ("buckets".to_string(), Value::Arr(buckets)),
                 ]);
                 (k.to_string(), obj)
@@ -416,6 +450,84 @@ mod tests {
         assert_eq!(h.buckets()[1], 2); // the ones
         assert_eq!(h.buckets()[3], 1); // 5 ∈ [4,7]
         assert_eq!(h.buckets()[10], 1); // 900 ∈ [512,1023]
+    }
+
+    #[test]
+    fn quantiles_land_on_exact_bucket_bounds() {
+        // Empty histogram: every quantile is 0.
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+
+        // All observations in one bucket: every quantile is that bucket's
+        // inclusive upper bound, even when the raw values sit below it.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(5); // bucket [4, 7]
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7, "q={q}");
+        }
+
+        // 90 observations in [1,1], 10 in [8,15]: p50 and p90 report the
+        // low bucket's bound, anything past rank 90 the high bucket's.
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..10 {
+            h.observe(9);
+        }
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.90), 1); // rank 90 — the last low one
+        assert_eq!(h.quantile(0.95), 15); // rank 95 — in [8,15]
+        assert_eq!(h.quantile(0.99), 15);
+
+        // Exact boundary between two single-count buckets: rank math, not
+        // interpolation. Two observations; q=0.5 is rank 1, q=0.51 rank 2.
+        let mut h = Histogram::new();
+        h.observe(0); // bucket 0, bound 0
+        h.observe(1024); // bucket 11, bound 2047
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.51), 2047);
+        assert_eq!(h.quantile(1.0), 2047);
+
+        // Zeros are their own bucket with bound 0.
+        let mut h = Histogram::new();
+        h.observe(0);
+        assert_eq!(h.quantile(0.99), 0);
+
+        // The clamp bucket's nominal bound is reported for huge values.
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(
+            h.quantile(0.5),
+            Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1)
+        );
+    }
+
+    #[test]
+    fn exporters_surface_p50_p95_p99() {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..99 {
+            m.observe("lat", 3); // bucket [2, 3]
+        }
+        m.observe("lat", 900); // bucket [512, 1023]
+        let text = m.to_prometheus_text();
+        assert!(text.contains("lat{quantile=\"0.5\"} 3"), "{text}");
+        assert!(text.contains("lat{quantile=\"0.95\"} 3"), "{text}");
+        assert!(text.contains("lat{quantile=\"0.99\"} 3"), "{text}");
+        // Quantile samples still parse as `name value` pairs.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "{line:?}");
+        }
+        let json = serde::json::parse(&m.to_json()).expect("JSON exporter parses");
+        let lat = json
+            .get("histograms")
+            .and_then(|h| h.get("lat"))
+            .expect("lat histogram exported");
+        assert_eq!(lat.get("p50").and_then(Value::as_i64), Some(3));
+        assert_eq!(lat.get("p95").and_then(Value::as_i64), Some(3));
+        assert_eq!(lat.get("p99").and_then(Value::as_i64), Some(3));
     }
 
     #[test]

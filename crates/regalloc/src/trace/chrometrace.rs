@@ -41,12 +41,16 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 }
 
 /// The name a lane renders under: `worker N` for pool lanes, `driver` for
-/// the lane past the last worker (where the merge span lives).
+/// the lane one past the last worker (where the merge span lives), and
+/// `service` for anything beyond that (the batch service's request-scoped
+/// queue/service/reply lane).
 pub fn lane_name(workers: usize, tid: u32) -> String {
     if (tid as usize) < workers {
         format!("worker {tid}")
-    } else {
+    } else if tid as usize == workers {
         "driver".to_string()
+    } else {
+        "service".to_string()
     }
 }
 
@@ -304,5 +308,7 @@ mod tests {
         assert_eq!(lane_count(&trace), 4);
         assert_eq!(lane_name(4, 3), "worker 3");
         assert_eq!(lane_name(4, 4), "driver");
+        assert_eq!(lane_name(4, 5), "service");
+        assert_eq!(lane_name(1, 2), "service");
     }
 }

@@ -70,6 +70,7 @@ fn backpressure_engages_and_releases_without_losing_jobs() {
         workers: 1,
         queue_capacity: 1,
         shard_workers: 1,
+        ..BatchConfig::default()
     });
     let handle = service.handle();
 
@@ -126,6 +127,7 @@ fn concurrent_submitters_against_a_tiny_queue_each_land_exactly_once() {
         workers: 2,
         queue_capacity: 2,
         shard_workers: 1,
+        ..BatchConfig::default()
     });
     let handle = service.handle();
 
@@ -179,6 +181,7 @@ fn shutdown_with_pending_jobs_drains_and_reports_each_exactly_once() {
         workers: 1,
         queue_capacity: 16,
         shard_workers: 1,
+        ..BatchConfig::default()
     });
     let handle = service.handle();
 
@@ -241,6 +244,7 @@ fn live_statuses_converge_to_the_shutdown_report() {
         workers: 2,
         queue_capacity: 4,
         shard_workers: 1,
+        ..BatchConfig::default()
     });
     let handle: BatchHandle = service.handle();
     for i in 0..4u64 {
@@ -257,4 +261,146 @@ fn live_statuses_converge_to_the_shutdown_report() {
         assert_eq!(name, &r.name);
         assert_eq!(status, &r.status);
     }
+}
+
+/// Every traced submission carries a [`ccra_regalloc::RequestTrace`]
+/// whose Chrome rendering is valid JSON with the request's identity, and
+/// the handle serves it even after shutdown (from the recent-trace
+/// buffer).
+#[test]
+fn request_traces_ride_results_and_render_chrome_json() {
+    let service = BatchService::start(BatchConfig {
+        workers: 1,
+        queue_capacity: 4,
+        shard_workers: 2,
+        ..BatchConfig::default()
+    });
+    let handle = service.handle();
+    for i in 0..3u64 {
+        service
+            .submit(light_job(&format!("traced-{i}"), 60 + i))
+            .expect("queue open");
+    }
+    let results = service.shutdown();
+    assert_eq!(results.len(), 3);
+    for r in &results {
+        let trace = r.trace.as_ref().expect("tracing is on by default");
+        assert_eq!(trace.id, r.id);
+        assert_eq!(trace.name, r.name);
+        assert_eq!(trace.trace_id(), format!("req-{}", r.id));
+        assert!(trace.e2e_us >= trace.service_us, "{trace:?}");
+        assert!(!trace.timeline.events.is_empty(), "timeline recorded");
+    }
+
+    // Served after shutdown, from the bounded recent-trace buffer.
+    let json = handle.trace_chrome_json(1).expect("trace 1 retained");
+    let parsed = serde::json::parse(&json).expect("chrome trace is valid JSON");
+    assert_eq!(
+        parsed.get("requestId").and_then(serde::json::Value::as_str),
+        Some("req-1")
+    );
+    let Some(serde::json::Value::Arr(events)) = parsed.get("traceEvents") else {
+        panic!("chrome trace has a traceEvents array");
+    };
+    assert!(!events.is_empty());
+    // The request-scoped lanes: a queue span, a service span, and a reply
+    // instant all render by category name.
+    for cat in ["queue", "service", "reply", "job"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| { e.get("cat").and_then(serde::json::Value::as_str) == Some(cat) }),
+            "a {cat} event renders"
+        );
+    }
+    assert!(handle.trace(99).is_none(), "unknown ids stay unknown");
+}
+
+/// With [`BatchConfig::trace_requests`] off, requests still run and
+/// measure latency — they just carry no timeline.
+#[test]
+fn tracing_off_still_serves_but_records_no_timeline() {
+    let service = BatchService::start(BatchConfig {
+        workers: 1,
+        queue_capacity: 4,
+        trace_requests: false,
+        ..BatchConfig::default()
+    });
+    let handle = service.handle();
+    service
+        .submit(light_job("untraced", 77))
+        .expect("queue open");
+    let results = service.shutdown();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].status, BatchStatus::Ok);
+    assert!(results[0].trace.is_none(), "no trace when tracing is off");
+    assert!(handle.trace(0).is_none());
+    // Latency histograms observe regardless.
+    let status = handle.status_value();
+    let e2e = status
+        .get("latency")
+        .and_then(|l| l.get("e2e"))
+        .expect("latency section present");
+    assert_eq!(
+        e2e.get("count").and_then(serde::json::Value::as_i64),
+        Some(1)
+    );
+}
+
+/// A failing job automatically snapshots the flight recorder; the dump is
+/// valid JSON carrying the failure event and the submission path.
+#[test]
+fn failed_jobs_auto_dump_the_flight_recorder() {
+    let service = BatchService::start(BatchConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..BatchConfig::default()
+    });
+    let handle = service.handle();
+    service
+        .submit(light_job("healthy", 88))
+        .expect("queue open");
+    service
+        .submit(BatchJob {
+            name: "no-main".to_string(),
+            program: Program::new(),
+            file: RegisterFile::new(8, 6, 2, 2),
+            config: AllocatorConfig::base(),
+        })
+        .expect("queue open");
+    let results = service.shutdown();
+    assert_eq!(results.len(), 2);
+    assert!(matches!(results[1].status, BatchStatus::Failed { .. }));
+
+    let doc = handle.flightrec_value();
+    let text = doc.to_json();
+    let parsed = serde::json::parse(&text).expect("flightrec doc is valid JSON");
+    let Some(serde::json::Value::Arr(dumps)) = parsed.get("dumps") else {
+        panic!("flightrec doc has a dumps array");
+    };
+    assert_eq!(dumps.len(), 1, "exactly the failed job dumped");
+    assert_eq!(
+        dumps[0].get("id").and_then(serde::json::Value::as_i64),
+        Some(1)
+    );
+    let dump = dumps[0].get("dump").expect("dump payload");
+    let Some(serde::json::Value::Arr(events)) = dump.get("events") else {
+        panic!("dump has an events array");
+    };
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(serde::json::Value::as_str))
+        .collect();
+    assert!(kinds.contains(&"submit"), "{kinds:?}");
+    assert!(kinds.contains(&"job_failed"), "{kinds:?}");
+    assert!(kinds.contains(&"job_start"), "{kinds:?}");
+    // The live recorder keeps recording after the dump.
+    let live = parsed.get("live").expect("live section");
+    assert!(
+        live.get("recorded")
+            .and_then(serde::json::Value::as_i64)
+            .expect("recorded count")
+            >= 4,
+        "submit + start + end events recorded"
+    );
 }

@@ -478,6 +478,7 @@ fn batch_service_round_trips_jobs_and_isolates_failures() {
         workers: 2,
         queue_capacity: 4,
         shard_workers: 2,
+        ..BatchConfig::default()
     });
     let mut expected = Vec::new();
     for (i, seed) in [3u64, 11, 42].iter().enumerate() {
@@ -531,4 +532,143 @@ fn batch_service_shutdown_with_nothing_submitted_is_clean() {
     let service = BatchService::start(BatchConfig::default());
     assert_eq!(service.pending(), 0);
     assert!(service.shutdown().is_empty());
+}
+
+/// Full observability on — timeline collector AND flight recorder — never
+/// changes the allocation: at every worker count the observed run equals
+/// the serial reference byte for byte, and the flight record stays in the
+/// report (no dump, since nothing degraded).
+#[test]
+fn observed_runs_are_deterministic_at_every_worker_count() {
+    use ccra_regalloc::FlightRecorder;
+
+    let program = many_function_fuzz(1997, 17);
+    let freq = FrequencyInfo::profile(&program).expect("profile runs");
+    let config = AllocatorConfig::improved();
+    let file = RegisterFile::new(6, 4, 1, 1);
+    let serial = serial_reference(&program, &freq, file, &config);
+
+    for workers in WORKER_COUNTS {
+        let driver = ParallelDriver::new(workers);
+        let req = AllocRequest {
+            program: &program,
+            freq: &freq,
+            file,
+            config: &config,
+            cost: &CostModel::paper(),
+        };
+        let collector = TimelineCollector::enabled();
+        let flight = FlightRecorder::new(workers + 1);
+        let mut sink = RecordingSink::new();
+        let mut metrics = MetricsRegistry::new();
+        let (alloc, report, timeline) = driver
+            .allocate_program_observed(
+                &req,
+                &mut sink,
+                &mut metrics,
+                &DefaultJob,
+                &collector,
+                flight.view(0),
+            )
+            .expect("observed allocation succeeds");
+
+        assert_eq!(
+            &alloc, &serial.0,
+            "workers={workers}: observation changes the allocation"
+        );
+        for id in program.func_ids() {
+            assert_eq!(
+                display_function(alloc.program.function(id)),
+                display_function(serial.0.program.function(id)),
+                "workers={workers}: body of {id:?} differs under observation"
+            );
+        }
+        let par_norm: Vec<AllocEvent> =
+            sink.events.iter().map(|e| e.clone().normalized()).collect();
+        let ser_norm: Vec<AllocEvent> = serial.1.iter().map(|e| e.clone().normalized()).collect();
+        assert_eq!(
+            par_norm, ser_norm,
+            "workers={workers}: event stream differs under observation"
+        );
+        for (name, value) in serial.2.counters() {
+            assert_eq!(
+                metrics.counter(name),
+                value,
+                "workers={workers}: counter {name} differs under observation"
+            );
+        }
+        assert!(!timeline.is_empty(), "the collector recorded");
+        assert!(
+            flight.total_events() >= program.num_functions() as u64 * 2,
+            "a start and an end event per job at least"
+        );
+        assert!(
+            report.flight_dump.is_none(),
+            "workers={workers}: clean runs do not dump"
+        );
+    }
+}
+
+/// A degrading job auto-dumps the flight recorder into the report as
+/// valid JSON carrying the failure event.
+#[test]
+fn degraded_jobs_dump_the_flight_recorder_as_valid_json() {
+    use ccra_regalloc::FlightRecorder;
+
+    for (victim, panic, kind) in [
+        ("gamma", false, "job_degraded"),
+        ("beta", true, "job_panicked"),
+    ] {
+        let program = four_func_program();
+        let freq = FrequencyInfo::profile(&program).expect("profile runs");
+        let req = AllocRequest {
+            program: &program,
+            freq: &freq,
+            file: RegisterFile::new(8, 6, 2, 2),
+            config: &AllocatorConfig::improved(),
+            cost: &CostModel::paper(),
+        };
+        let driver = ParallelDriver::new(2);
+        let flight = FlightRecorder::new(3);
+        let (_, report, _) = driver
+            .allocate_program_observed(
+                &req,
+                &mut RecordingSink::new(),
+                &mut MetricsRegistry::new(),
+                &FaultyOn { victim, panic },
+                &TimelineCollector::disabled(),
+                flight.view(0),
+            )
+            .expect("the faulty job degrades, the batch survives");
+        assert_eq!(report.degraded_funcs(), 1);
+
+        let dump = report
+            .flight_dump
+            .as_ref()
+            .expect("a degraded batch dumps automatically");
+        let parsed = serde::json::parse(dump).expect("dump is valid JSON");
+        let Some(serde::json::Value::Arr(events)) = parsed.get("events") else {
+            panic!("dump has an events array");
+        };
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("kind").and_then(serde::json::Value::as_str))
+            .collect();
+        assert!(kinds.contains(&"job_start"), "victim={victim}: {kinds:?}");
+        assert!(kinds.contains(&kind), "victim={victim}: {kinds:?}");
+    }
+}
+
+/// With an enabled recorder but a *disabled* view lane check: the
+/// disabled recorder records nothing and dumps nothing, so the untraced
+/// entry points stay zero-cost.
+#[test]
+fn disabled_recorders_stay_silent() {
+    use ccra_regalloc::{FlightKind, FlightRecorder};
+
+    let rec = FlightRecorder::disabled();
+    let view = rec.view(0);
+    assert!(!view.enabled());
+    view.record(0, FlightKind::JobStart, 1, 0);
+    assert_eq!(rec.total_events(), 0);
 }

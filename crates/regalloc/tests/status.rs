@@ -53,6 +53,7 @@ fn endpoint_serves_live_service_state_over_a_real_socket() {
         workers: 2,
         queue_capacity: 8,
         shard_workers: 1,
+        ..BatchConfig::default()
     });
     let handle = service.handle();
     let server = StatusServer::bind(service.handle(), "127.0.0.1:0").expect("bind ephemeral port");
@@ -163,4 +164,195 @@ fn endpoint_serves_live_service_state_over_a_real_socket() {
     server.shutdown();
     let results = service.shutdown();
     assert_eq!(results.len(), 3);
+}
+
+/// Starts a small service with one completed healthy job and one failed
+/// job, plus a status server on an ephemeral port.
+fn served_service() -> (BatchService, StatusServer, SocketAddr) {
+    let service = BatchService::start(BatchConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..BatchConfig::default()
+    });
+    let handle = service.handle();
+    service
+        .submit(BatchJob {
+            name: "healthy".to_string(),
+            program: random_program(
+                9,
+                &FuzzConfig {
+                    functions: 3,
+                    stmts_per_fn: 8,
+                    max_loop_depth: 1,
+                    max_trips: 4,
+                },
+            ),
+            file: RegisterFile::new(8, 6, 2, 2),
+            config: AllocatorConfig::improved(),
+        })
+        .expect("queue open");
+    service
+        .submit(BatchJob {
+            name: "no-main".to_string(),
+            program: Program::new(),
+            file: RegisterFile::new(8, 6, 2, 2),
+            config: AllocatorConfig::base(),
+        })
+        .expect("queue open");
+    wait_until("both jobs to complete", || {
+        handle.statuses().len() == 2 && handle.in_flight() == 0
+    });
+    let server = StatusServer::bind(service.handle(), "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (service, server, addr)
+}
+
+/// Sends raw bytes (closing the write half so the server sees EOF) and
+/// returns the raw response text.
+fn http_raw(addr: SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to status server");
+    stream.write_all(request).expect("write request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("close the write half");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read full response");
+    response
+}
+
+/// Parses `Content-Length` out of a raw response head.
+fn content_length(head: &str) -> usize {
+    head.lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("response head carries Content-Length: {head}"))
+}
+
+#[test]
+fn hardened_against_malformed_and_oversized_requests() {
+    let (service, server, addr) = served_service();
+
+    // A garbage request line is a 400, not a hang or a panic.
+    let resp = http_raw(addr, b"nonsense\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.0 400"), "{resp}");
+
+    // A one-token request line too.
+    let resp = http_raw(addr, b"GET\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.0 400"), "{resp}");
+
+    // A non-GET method is refused politely.
+    let resp = http_raw(addr, b"DELETE /status HTTP/1.0\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+
+    // Unknown paths are 404 with a body.
+    let (code, head, body) = http_get(addr, "/definitely/not/here");
+    assert_eq!(code, 404);
+    assert_eq!(content_length(&head), body.len());
+
+    // A request head larger than the cap is answered 431 and dropped.
+    let mut oversized = Vec::from(&b"GET /status HTTP/1.0\r\n"[..]);
+    for i in 0..600 {
+        oversized.extend_from_slice(format!("X-Padding-{i}: {}\r\n", "y".repeat(64)).as_bytes());
+    }
+    oversized.extend_from_slice(b"\r\n");
+    assert!(
+        oversized.len() > 8 * 1024,
+        "payload exceeds MAX_REQUEST_BYTES"
+    );
+    let resp = http_raw(addr, &oversized);
+    assert!(resp.starts_with("HTTP/1.0 431"), "{resp}");
+
+    // The server survives all of the above and still answers.
+    assert_eq!(http_get(addr, "/healthz").0, 200);
+
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn every_response_declares_an_honest_content_length() {
+    let (service, server, addr) = served_service();
+    for path in [
+        "/healthz",
+        "/metrics",
+        "/status",
+        "/trace/0",
+        "/trace/999",
+        "/debug/flightrec",
+        "/nope",
+    ] {
+        let (_, head, body) = http_get(addr, path);
+        assert_eq!(
+            content_length(&head),
+            body.len(),
+            "Content-Length honest on {path}"
+        );
+    }
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_connections_are_each_served_completely() {
+    let (service, server, addr) = served_service();
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let path = if i % 2 == 0 { "/status" } else { "/metrics" };
+                http_get(addr, path)
+            })
+        })
+        .collect();
+    for (i, t) in threads.into_iter().enumerate() {
+        let (code, head, body) = t.join().expect("client thread survives");
+        assert_eq!(code, 200, "connection {i}");
+        assert_eq!(content_length(&head), body.len(), "connection {i}");
+        assert!(!body.is_empty(), "connection {i}");
+    }
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn trace_and_flightrec_routes_serve_observability_documents() {
+    let (service, server, addr) = served_service();
+
+    // /trace/<id> serves the Chrome-trace rendering of a kept request
+    // trace; the req- prefix is accepted too.
+    for path in ["/trace/0", "/trace/req-0"] {
+        let (code, head, body) = http_get(addr, path);
+        assert_eq!(code, 200, "{path}");
+        assert!(head.contains("application/json"), "{head}");
+        let doc = serde::json::parse(body.trim()).expect("trace body is valid JSON");
+        assert_eq!(
+            doc.get("requestId").and_then(Value::as_str),
+            Some("req-0"),
+            "{path}"
+        );
+        assert!(
+            matches!(doc.get("traceEvents"), Some(Value::Arr(events)) if !events.is_empty()),
+            "{path}: traceEvents populated"
+        );
+    }
+
+    // Unknown ids and junk ids are 404s.
+    assert_eq!(http_get(addr, "/trace/999").0, 404);
+    assert_eq!(http_get(addr, "/trace/banana").0, 404);
+
+    // /debug/flightrec serves the live ring plus the failed job's dump.
+    let (code, head, body) = http_get(addr, "/debug/flightrec");
+    assert_eq!(code, 200);
+    assert!(head.contains("application/json"), "{head}");
+    let doc = serde::json::parse(body.trim()).expect("flightrec body is valid JSON");
+    assert!(doc.get("live").is_some(), "{body}");
+    let Some(Value::Arr(dumps)) = doc.get("dumps") else {
+        panic!("flightrec document has a dumps array: {body}");
+    };
+    assert_eq!(dumps.len(), 1, "the failed job dumped");
+    assert_eq!(dumps[0].get("id").and_then(Value::as_i64), Some(1));
+
+    server.shutdown();
+    service.shutdown();
 }
