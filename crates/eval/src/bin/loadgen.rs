@@ -7,32 +7,65 @@
 //! loadgen [--jobs <n>] [--workers <n>] [--shard-workers <n>]
 //!         [--queue <n>] [--mean-gap-us <n>] [--seed <n>]
 //!         [--out <file.json>] [--into <bench.json>]
+//!         [--chaos] [--trickle <n>] [--slo-us <n>] [--max-limit <n>]
+//!         [--timeout-us <n>] [--spike-us <n>] [--cancel-every <n>]
+//!         [--p99-bound-us <n>] [--watchdog-secs <n>] [--dump <file.json>]
 //! ```
 //!
-//! * `--jobs` — submissions (default 64).
+//! * `--jobs` — submissions (default 64; chaos default 200).
 //! * `--workers` — service workers (default 2).
 //! * `--shard-workers` — per-program driver workers (default 1).
-//! * `--queue` — submission-queue capacity (default 16).
+//! * `--queue` — submission-queue capacity (default 16; chaos 32).
 //! * `--mean-gap-us` — mean exponential inter-arrival gap (default 500;
-//!   0 = submit flat out).
+//!   0 = submit flat out; chaos default 0).
 //! * `--seed` — job-stream seed (default 1997).
 //! * `--out` — write a standalone schema-versioned snapshot holding only
-//!   the latency section (default `BENCH_<version>_latency.json`).
+//!   the measured section (default `BENCH_<version>_latency.json`).
 //! * `--into` — instead of a standalone file, merge the measured series
-//!   into an existing snapshot's `latency` section (replacing any prior
-//!   entries at the same worker count) and rewrite it in place.
+//!   into an existing snapshot (replacing any prior entries at the same
+//!   worker count) and rewrite it in place.
 //!
 //! Exits 1 if any submission id is lost or duplicated — the run doubles
 //! as an accounting check on the batch service.
+//!
+//! # Chaos mode (`--chaos`)
+//!
+//! Runs the overload storm of [`ccra_eval::loadgen::run_chaosload`]
+//! instead: arrivals outpace capacity, the service has admission control,
+//! a per-job timeout, and seeded fault injection (panics, allocator
+//! errors, latency spikes) enabled, a subset of queued jobs is cancelled
+//! mid-storm, and a closed-loop trickle then verifies recovery. The run
+//! asserts, exiting 1 on any violation:
+//!
+//! * every accepted id resolves exactly once (nothing lost, duplicated,
+//!   or invented; shed submissions produce no result);
+//! * end-to-end p99 of accepted jobs stays under `--p99-bound-us` while
+//!   the limiter sheds;
+//! * interactive p99 beats background p99 (priority scheduling works
+//!   under overload);
+//! * the post-storm limiter regrows to full admission.
+//!
+//! A watchdog thread exits 3 after `--watchdog-secs` (default 300) — a
+//! hang *is* a failed run, not a stuck CI job. On assertion failure the
+//! chaos report and the service's flight-recorder dump are written to
+//! `--dump` (default `chaos_failure.json`) for upload as a CI artifact.
+//! On success the measured `admission` section is written via
+//! `--out`/`--into`.
 
 use std::process::ExitCode;
 
-use ccra_eval::loadgen::{run_loadgen, LoadgenConfig};
+use ccra_eval::loadgen::{run_chaosload, run_loadgen, ChaosloadConfig, LoadgenConfig};
 use ccra_eval::perfsnap::{self, BenchSnapshot, HostInfo, BENCH_SCHEMA_VERSION};
+use serde::json::Value;
 use serde::Serialize;
 
 struct Args {
     cfg: LoadgenConfig,
+    chaos: bool,
+    chaos_cfg: ChaosloadConfig,
+    p99_bound_us: u64,
+    watchdog_secs: u64,
+    dump: String,
     out: String,
     into: Option<String>,
 }
@@ -41,7 +74,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--jobs <n>] [--workers <n>] [--shard-workers <n>] \
          [--queue <n>] [--mean-gap-us <n>] [--seed <n>] \
-         [--out <file.json>] [--into <bench.json>]"
+         [--out <file.json>] [--into <bench.json>] \
+         [--chaos] [--trickle <n>] [--slo-us <n>] [--max-limit <n>] \
+         [--timeout-us <n>] [--spike-us <n>] [--cancel-every <n>] \
+         [--p99-bound-us <n>] [--watchdog-secs <n>] [--dump <file.json>]"
     );
     std::process::exit(2);
 }
@@ -49,6 +85,14 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = LoadgenConfig::default();
+    let mut chaos = false;
+    let mut chaos_cfg = ChaosloadConfig::default();
+    let mut jobs_set = false;
+    let mut queue_set = false;
+    let mut gap_set = false;
+    let mut p99_bound_us = 1_000_000;
+    let mut watchdog_secs = 300;
+    let mut dump = "chaos_failure.json".to_string();
     let mut out = format!("BENCH_{BENCH_SCHEMA_VERSION}_latency.json");
     let mut into = None;
 
@@ -60,12 +104,51 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| usage())
         };
         match argv[i].as_str() {
-            "--jobs" => cfg.jobs = take(i).parse().unwrap_or_else(|_| usage()),
-            "--workers" => cfg.workers = take(i).parse().unwrap_or_else(|_| usage()),
-            "--shard-workers" => cfg.shard_workers = take(i).parse().unwrap_or_else(|_| usage()),
-            "--queue" => cfg.queue_capacity = take(i).parse().unwrap_or_else(|_| usage()),
-            "--mean-gap-us" => cfg.mean_gap_us = take(i).parse().unwrap_or_else(|_| usage()),
-            "--seed" => cfg.seed = take(i).parse().unwrap_or_else(|_| usage()),
+            "--chaos" => {
+                chaos = true;
+                i += 1;
+                continue;
+            }
+            "--jobs" => {
+                cfg.jobs = take(i).parse().unwrap_or_else(|_| usage());
+                chaos_cfg.jobs = cfg.jobs;
+                jobs_set = true;
+            }
+            "--workers" => {
+                cfg.workers = take(i).parse().unwrap_or_else(|_| usage());
+                chaos_cfg.workers = cfg.workers;
+            }
+            "--shard-workers" => {
+                cfg.shard_workers = take(i).parse().unwrap_or_else(|_| usage());
+                chaos_cfg.shard_workers = cfg.shard_workers;
+            }
+            "--queue" => {
+                cfg.queue_capacity = take(i).parse().unwrap_or_else(|_| usage());
+                chaos_cfg.queue_capacity = cfg.queue_capacity;
+                queue_set = true;
+            }
+            "--mean-gap-us" => {
+                cfg.mean_gap_us = take(i).parse().unwrap_or_else(|_| usage());
+                chaos_cfg.mean_gap_us = cfg.mean_gap_us;
+                gap_set = true;
+            }
+            "--seed" => {
+                cfg.seed = take(i).parse().unwrap_or_else(|_| usage());
+                chaos_cfg.seed = cfg.seed;
+            }
+            "--trickle" => chaos_cfg.trickle = take(i).parse().unwrap_or_else(|_| usage()),
+            "--slo-us" => chaos_cfg.slo_us = take(i).parse().unwrap_or_else(|_| usage()),
+            "--max-limit" => chaos_cfg.max_limit = take(i).parse().unwrap_or_else(|_| usage()),
+            "--timeout-us" => {
+                chaos_cfg.job_timeout_us = take(i).parse().unwrap_or_else(|_| usage())
+            }
+            "--spike-us" => chaos_cfg.spike_us = take(i).parse().unwrap_or_else(|_| usage()),
+            "--cancel-every" => {
+                chaos_cfg.cancel_every = take(i).parse().unwrap_or_else(|_| usage())
+            }
+            "--p99-bound-us" => p99_bound_us = take(i).parse().unwrap_or_else(|_| usage()),
+            "--watchdog-secs" => watchdog_secs = take(i).parse().unwrap_or_else(|_| usage()),
+            "--dump" => dump = take(i).to_string(),
             "--out" => out = take(i).to_string(),
             "--into" => into = Some(take(i).to_string()),
             "--help" | "-h" => usage(),
@@ -73,14 +156,39 @@ fn parse_args() -> Args {
         }
         i += 2;
     }
-    if cfg.jobs == 0 {
+    if chaos {
+        // The chaos defaults differ from the steady ones: a flood past a
+        // wider queue. Only apply them where the user didn't override.
+        if !jobs_set {
+            chaos_cfg.jobs = ChaosloadConfig::default().jobs;
+        }
+        if !queue_set {
+            chaos_cfg.queue_capacity = ChaosloadConfig::default().queue_capacity;
+        }
+        if !gap_set {
+            chaos_cfg.mean_gap_us = ChaosloadConfig::default().mean_gap_us;
+        }
+    }
+    if cfg.jobs == 0 || (chaos && chaos_cfg.jobs == 0) {
         usage();
     }
-    Args { cfg, out, into }
+    Args {
+        cfg,
+        chaos,
+        chaos_cfg,
+        p99_bound_us,
+        watchdog_secs,
+        dump,
+        out,
+        into,
+    }
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.chaos {
+        return run_chaos_mode(&args);
+    }
     eprintln!(
         "loadgen: {} job(s), {} worker(s) (shard {}), queue {}, \
          mean gap {} us, seed {}",
@@ -116,22 +224,132 @@ fn main() -> ExitCode {
     eprintln!("ok: every submission id came back exactly once");
 
     let write_result = match &args.into {
-        Some(path) => merge_into(path, &report.latency),
+        Some(path) => merge_latency_into(path, &report.latency),
         None => {
-            let snapshot = BenchSnapshot {
-                schema_version: BENCH_SCHEMA_VERSION,
-                scale: 0.0,
-                iters: 1,
-                host: HostInfo::detect(&[args.cfg.workers]),
-                entries: Vec::new(),
-                parallel: Vec::new(),
-                latency: report.latency.clone(),
-            };
+            let mut snapshot = empty_snapshot(args.cfg.workers);
+            snapshot.latency = report.latency.clone();
             std::fs::write(&args.out, snapshot.to_json() + "\n")
                 .map(|()| args.out.clone())
                 .map_err(|e| format!("cannot write {}: {e}", args.out))
         }
     };
+    finish(write_result)
+}
+
+fn run_chaos_mode(args: &Args) -> ExitCode {
+    let cfg = args.chaos_cfg;
+    eprintln!(
+        "loadgen --chaos: {} storm job(s) + {} trickle, {} worker(s) (shard {}), \
+         queue {}, slo {} us, window {}, seed {}",
+        cfg.jobs,
+        cfg.trickle,
+        cfg.workers,
+        cfg.shard_workers,
+        cfg.queue_capacity,
+        cfg.slo_us,
+        cfg.max_limit,
+        cfg.seed
+    );
+    // A hang is a failed run: bound it, don't let CI time out opaquely.
+    let watchdog = args.watchdog_secs;
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs(watchdog));
+        eprintln!("WATCHDOG: chaos run still not finished after {watchdog}s; aborting");
+        std::process::exit(3);
+    });
+    let stride = (cfg.jobs / 8).max(1);
+    let (report, _results) = run_chaosload(&cfg, |submitted, depth| {
+        if submitted % stride == 0 {
+            eprintln!("  submitted {submitted:>5}, queue depth {depth}");
+        }
+    });
+    eprintln!(
+        "accepted {}/{} (shed {}), ok {}, degraded {} ({} timeout), failed {}, \
+         expired {}, cancelled {} ({} cancel hits)",
+        report.accepted,
+        report.submitted,
+        report.shed,
+        report.ok,
+        report.degraded,
+        report.timeouts,
+        report.failed,
+        report.expired,
+        report.cancelled,
+        report.cancel_hits
+    );
+    for p in &report.per_priority {
+        eprintln!(
+            "  {:>12}: p50 {:>8} us, p99 {:>8} us over {} job(s)",
+            p.priority, p.p50_us, p.p99_us, p.jobs
+        );
+    }
+    eprintln!(
+        "accepted e2e p99 {} us; admission window {:.1}/{:.0} after trickle",
+        report.accepted_p99_us, report.final_limit, report.max_limit
+    );
+
+    let mut violations = Vec::new();
+    if !report.accounting_clean() {
+        violations.push(format!(
+            "accounting: lost {:?}, duplicated {:?}, phantom {:?}, \
+             accepted {} vs resolved {}",
+            report.lost,
+            report.duplicated,
+            report.phantom,
+            report.accepted,
+            report.ok + report.degraded + report.failed + report.expired + report.cancelled
+        ));
+    }
+    if report.accepted_p99_us >= args.p99_bound_us {
+        violations.push(format!(
+            "accepted p99 unbounded: {} us >= {} us while shedding",
+            report.accepted_p99_us, args.p99_bound_us
+        ));
+    }
+    if !report.priorities_ordered() {
+        violations.push("interactive p99 did not beat background p99".to_string());
+    }
+    if !report.limiter_recovered() {
+        violations.push(format!(
+            "limiter did not recover: window {:.1} of {:.0} after the trickle",
+            report.final_limit, report.max_limit
+        ));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("CHAOS INVARIANT FAILED: {v}");
+        }
+        let doc = Value::Obj(vec![
+            (
+                "violations".to_string(),
+                Value::Arr(violations.iter().map(|v| Value::Str(v.clone())).collect()),
+            ),
+            ("report".to_string(), Value::Str(format!("{report:?}"))),
+            ("flightrec".to_string(), report.flight.clone()),
+        ]);
+        match std::fs::write(&args.dump, doc.to_json() + "\n") {
+            Ok(()) => eprintln!("wrote failure dump to {}", args.dump),
+            Err(e) => eprintln!("cannot write failure dump {}: {e}", args.dump),
+        }
+        return ExitCode::FAILURE;
+    }
+    eprintln!("ok: every accepted id resolved exactly once; limiter recovered");
+
+    let entry = report.admission_entry();
+    let write_result = match &args.into {
+        Some(path) => merge_admission_into(path, &entry),
+        None => {
+            let mut snapshot = empty_snapshot(cfg.workers);
+            snapshot.admission = vec![entry];
+            std::fs::write(&args.out, snapshot.to_json() + "\n")
+                .map(|()| args.out.clone())
+                .map_err(|e| format!("cannot write {}: {e}", args.out))
+        }
+    };
+    finish(write_result)
+}
+
+fn finish(write_result: Result<String, String>) -> ExitCode {
     match write_result {
         Ok(path) => {
             eprintln!("wrote {path}");
@@ -144,9 +362,25 @@ fn main() -> ExitCode {
     }
 }
 
+fn empty_snapshot(workers: usize) -> BenchSnapshot {
+    BenchSnapshot {
+        schema_version: BENCH_SCHEMA_VERSION,
+        scale: 0.0,
+        iters: 1,
+        host: HostInfo::detect(&[workers]),
+        entries: Vec::new(),
+        parallel: Vec::new(),
+        latency: Vec::new(),
+        admission: Vec::new(),
+    }
+}
+
 /// Replaces the latency entries at this run's worker count inside an
 /// existing snapshot and rewrites it.
-fn merge_into(path: &str, latency: &[ccra_eval::perfsnap::LatencyEntry]) -> Result<String, String> {
+fn merge_latency_into(
+    path: &str,
+    latency: &[ccra_eval::perfsnap::LatencyEntry],
+) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut snapshot = perfsnap::parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
     let workers: Vec<u64> = latency.iter().map(|l| l.workers).collect();
@@ -155,6 +389,22 @@ fn merge_into(path: &str, latency: &[ccra_eval::perfsnap::LatencyEntry]) -> Resu
     snapshot
         .latency
         .sort_by(|a, b| (a.workers, &a.series).cmp(&(b.workers, &b.series)));
+    std::fs::write(path, snapshot.to_json() + "\n")
+        .map(|()| path.to_string())
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Replaces the admission entry at this run's worker count inside an
+/// existing snapshot and rewrites it.
+fn merge_admission_into(
+    path: &str,
+    entry: &ccra_eval::perfsnap::AdmissionEntry,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut snapshot = perfsnap::parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
+    snapshot.admission.retain(|a| a.workers != entry.workers);
+    snapshot.admission.push(entry.clone());
+    snapshot.admission.sort_by_key(|a| a.workers);
     std::fs::write(path, snapshot.to_json() + "\n")
         .map(|()| path.to_string())
         .map_err(|e| format!("cannot write {path}: {e}"))

@@ -138,6 +138,7 @@ fn main() -> ExitCode {
         entries: Vec::new(),
         parallel,
         latency: Vec::new(),
+        admission: Vec::new(),
     };
     if let Err(e) = std::fs::write(&args.out, snapshot.to_json() + "\n") {
         eprintln!("cannot write {}: {e}", args.out);

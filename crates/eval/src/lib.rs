@@ -58,17 +58,22 @@ pub mod plot;
 mod table;
 pub mod telemetry;
 pub mod timeline;
+pub mod traffic;
 
 pub use bench::{load_all, Bench};
-pub use loadgen::{job_stream, run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{
+    job_stream, run_chaosload, run_loadgen, ChaosReport, ChaosloadConfig, LoadgenConfig,
+    LoadgenReport,
+};
 pub use parsweep::{
     compare_parallel, run_par_sweep, workers1_gate, ParComparison, SWEEP_WORKER_COUNTS,
 };
 pub use perfsnap::{
-    compare_snapshots, parse_snapshot, run_matrix, BenchEntry, BenchSnapshot, HostInfo,
-    LatencyEntry, ParEntry, PerfComparison, BENCH_SCHEMA_VERSION,
+    compare_snapshots, parse_snapshot, run_matrix, AdmissionEntry, BenchEntry, BenchSnapshot,
+    HostInfo, LatencyEntry, ParEntry, PerfComparison, PriorityLatency, BENCH_SCHEMA_VERSION,
 };
 pub use table::{ratio, CellParseError, Table};
+pub use traffic::TrafficShape;
 
 use ccra_workloads::Scale;
 

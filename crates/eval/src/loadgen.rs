@@ -10,7 +10,8 @@
 //! service, jobs genuinely queue and the queue-wait histogram measures
 //! something real. Job sizes are heavy-tailed (a bounded Pareto over
 //! function counts) because compile workloads are: most programs are
-//! small, a few are not, and the tail is what SLOs are about.
+//! small, a few are not, and the tail is what SLOs are about. The
+//! distributions live in [`crate::traffic`].
 //!
 //! The run double-checks the service's bookkeeping: every submission id
 //! must come back exactly once ([`LoadgenReport::lost`] /
@@ -20,15 +21,32 @@
 //! Everything is deterministic except the clock: the job stream derives
 //! from [`LoadgenConfig::seed`] alone, so two runs submit byte-identical
 //! programs; only the measured latencies differ.
+//!
+//! # Chaos mode
+//!
+//! [`run_chaosload`] (the binary's `--chaos` flag) is the overload
+//! variant: a storm-shaped stream ([`TrafficShape::storm`] — priority
+//! mix, deadlines on interactive jobs, burst arrivals) floods a service
+//! configured with admission control, a per-job timeout, and seeded fault
+//! injection (panics, allocator errors, latency spikes), a subset of
+//! queued jobs is cancelled mid-storm, and a closed-loop trickle then
+//! verifies the limiter recovers to full admission. The report asserts
+//! the service's core overload invariant: **every accepted id resolves
+//! exactly once** (ok / degraded / failed / expired / cancelled), no id
+//! is lost, duplicated, or invented, and shed submissions produce no
+//! result at all.
 
+use std::collections::BTreeSet;
 use std::time::Duration;
 
-use ccra_machine::RegisterFile;
 use ccra_regalloc::driver::batch::{METRIC_E2E, METRIC_JOB_MICROS, METRIC_QUEUE_WAIT};
-use ccra_regalloc::{AllocatorConfig, BatchConfig, BatchJob, BatchResult, BatchService};
-use ccra_workloads::{random_program, FuzzConfig};
+use ccra_regalloc::{
+    AdmissionConfig, BatchConfig, BatchJob, BatchResult, BatchService, BatchStatus, CancelOutcome,
+    ChaosConfig, Priority, RejectCause, SubmitError,
+};
 
-use crate::perfsnap::LatencyEntry;
+use crate::perfsnap::{AdmissionEntry, LatencyEntry, PriorityLatency};
+use crate::traffic::{arrival_gaps, job_stream as stream_for_shape, TrafficShape};
 
 /// The three latency series a load-generator run measures, with the
 /// service histogram each reads.
@@ -69,6 +87,13 @@ impl Default for LoadgenConfig {
     }
 }
 
+impl LoadgenConfig {
+    /// The steady traffic shape this config drives.
+    fn shape(&self) -> TrafficShape {
+        TrafficShape::steady(self.jobs, self.seed, self.mean_gap_us)
+    }
+}
+
 /// What one load-generator run measured and verified.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
@@ -100,62 +125,11 @@ impl LoadgenReport {
     }
 }
 
-/// A splitmix-style generator: good enough to schedule arrivals and size
-/// jobs, and dependency-free.
-struct Rng(u64);
-
-impl Rng {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in (0, 1].
-    fn unit(&mut self) -> f64 {
-        ((self.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Exponentially distributed with the given mean.
-    fn exponential_us(&mut self, mean_us: u64) -> u64 {
-        (-self.unit().ln() * mean_us as f64) as u64
-    }
-
-    /// A bounded Pareto (shape 1.5) over `[lo, hi]` — mostly `lo`, with a
-    /// heavy tail toward `hi`.
-    fn pareto(&mut self, lo: u64, hi: u64) -> u64 {
-        let sized = (lo as f64 * self.unit().powf(-1.0 / 1.5)) as u64;
-        sized.clamp(lo, hi)
-    }
-}
-
 /// The deterministic job stream of a run: `jobs` fuzz programs whose
 /// function counts follow the bounded Pareto. Exposed so tests can assert
 /// the stream is a pure function of the seed.
 pub fn job_stream(cfg: &LoadgenConfig) -> Vec<BatchJob> {
-    let mut rng = Rng(cfg.seed);
-    (0..cfg.jobs)
-        .map(|i| {
-            let functions = rng.pareto(2, 24) as usize;
-            let program = random_program(
-                cfg.seed.wrapping_add(i as u64),
-                &FuzzConfig {
-                    functions,
-                    stmts_per_fn: 10,
-                    max_loop_depth: 1,
-                    max_trips: 4,
-                },
-            );
-            BatchJob {
-                name: format!("load-{i}"),
-                program,
-                file: RegisterFile::mips_full(),
-                config: AllocatorConfig::improved(),
-            }
-        })
-        .collect()
+    stream_for_shape(&cfg.shape())
 }
 
 /// Runs the load generator: submits the seeded job stream open-loop
@@ -173,15 +147,15 @@ pub fn run_loadgen(
         ..BatchConfig::default()
     });
     let handle = service.handle();
-    let mut rng = Rng(cfg.seed ^ 0xc1f0);
+    let gaps = arrival_gaps(&cfg.shape());
     let stride = (cfg.jobs / 8).max(1);
     let mut submitted_ids = Vec::with_capacity(cfg.jobs);
-    for (i, job) in job_stream(cfg).into_iter().enumerate() {
+    for (i, (job, gap_us)) in job_stream(cfg).into_iter().zip(gaps).enumerate() {
         // Open loop: the gap is drawn before submit and slept regardless
         // of how the service is doing; `submit` then blocks only if the
         // queue is at capacity (that stall is the backpressure metric).
-        if cfg.mean_gap_us > 0 {
-            std::thread::sleep(Duration::from_micros(rng.exponential_us(cfg.mean_gap_us)));
+        if gap_us > 0 {
+            std::thread::sleep(Duration::from_micros(gap_us));
         }
         let id = service.submit(job).expect("queue open while submitting");
         submitted_ids.push(id);
@@ -191,15 +165,11 @@ pub fn run_loadgen(
     }
     let results = service.shutdown();
 
-    let mut lost = Vec::new();
-    let mut duplicated = Vec::new();
-    for &id in &submitted_ids {
-        match results.iter().filter(|r| r.id == id).count() {
-            0 => lost.push(id),
-            1 => {}
-            _ => duplicated.push(id),
-        }
-    }
+    let (lost, duplicated, phantom) = account_ids(&submitted_ids, &results);
+    assert!(
+        phantom.is_empty(),
+        "results for ids that were never submitted: {phantom:?}"
+    );
     let metrics = handle.metrics_snapshot();
     let latency = LATENCY_SERIES
         .iter()
@@ -225,19 +195,344 @@ pub fn run_loadgen(
             }
         })
         .collect();
-    let count_status = |pred: fn(&ccra_regalloc::BatchStatus) -> bool| {
-        results.iter().filter(|r| pred(&r.status)).count() as u64
-    };
+    let count_status =
+        |pred: fn(&BatchStatus) -> bool| results.iter().filter(|r| pred(&r.status)).count() as u64;
     let report = LoadgenReport {
         workers: cfg.workers as u64,
         submitted: submitted_ids.len() as u64,
         completed: results.len() as u64,
-        ok: count_status(|s| matches!(s, ccra_regalloc::BatchStatus::Ok)),
-        degraded: count_status(|s| matches!(s, ccra_regalloc::BatchStatus::Degraded { .. })),
-        failed: count_status(|s| matches!(s, ccra_regalloc::BatchStatus::Failed { .. })),
+        ok: count_status(|s| matches!(s, BatchStatus::Ok)),
+        degraded: count_status(|s| matches!(s, BatchStatus::Degraded { .. })),
+        failed: count_status(|s| matches!(s, BatchStatus::Failed { .. })),
         lost,
         duplicated,
         latency,
+    };
+    (report, results)
+}
+
+/// Exactly-once accounting: (lost, duplicated, phantom) — accepted ids
+/// with no result, accepted ids with several, and result ids that were
+/// never accepted.
+fn account_ids(accepted: &[u64], results: &[BatchResult]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let mut lost = Vec::new();
+    let mut duplicated = Vec::new();
+    for &id in accepted {
+        match results.iter().filter(|r| r.id == id).count() {
+            0 => lost.push(id),
+            1 => {}
+            _ => duplicated.push(id),
+        }
+    }
+    let phantom = results
+        .iter()
+        .map(|r| r.id)
+        .filter(|id| !accepted.contains(id))
+        .collect();
+    (lost, duplicated, phantom)
+}
+
+/// Sizing and shape knobs of one chaos-storm run ([`run_chaosload`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosloadConfig {
+    /// Storm jobs (submitted as fast as the shape's clock allows —
+    /// deliberately past capacity).
+    pub jobs: usize,
+    /// Recovery-trickle jobs submitted closed-loop after the storm.
+    pub trickle: usize,
+    /// Service workers.
+    pub workers: usize,
+    /// Per-program shard workers.
+    pub shard_workers: usize,
+    /// Submission-queue capacity.
+    pub queue_capacity: usize,
+    /// The seed the storm stream, the arrival clock, and the injected
+    /// faults all derive from.
+    pub seed: u64,
+    /// The admission limiter's end-to-end latency SLO, microseconds.
+    pub slo_us: u64,
+    /// The admission window ceiling (in-system jobs at full admission).
+    pub max_limit: usize,
+    /// The per-job service-time watchdog, microseconds.
+    pub job_timeout_us: u64,
+    /// The injected latency-spike length, microseconds. Kept under the
+    /// SLO by default so a spiked trickle job still counts on-time and
+    /// recovery stays deterministic.
+    pub spike_us: u64,
+    /// Mean storm inter-arrival gap, microseconds (0 = flood).
+    pub mean_gap_us: u64,
+    /// Every `cancel_every`-th storm submission cancels a recent pending
+    /// id (0 = no cancellations).
+    pub cancel_every: usize,
+}
+
+impl Default for ChaosloadConfig {
+    fn default() -> Self {
+        ChaosloadConfig {
+            jobs: 200,
+            trickle: 48,
+            workers: 2,
+            shard_workers: 1,
+            queue_capacity: 32,
+            seed: 1997,
+            slo_us: 30_000,
+            max_limit: 32,
+            job_timeout_us: 2_000_000,
+            spike_us: 10_000,
+            mean_gap_us: 0,
+            cancel_every: 17,
+        }
+    }
+}
+
+/// What one chaos-storm run measured and verified.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Service workers the run used.
+    pub workers: u64,
+    /// Submissions attempted (storm + trickle, sheds included).
+    pub submitted: u64,
+    /// Submissions the service accepted (an id was issued).
+    pub accepted: u64,
+    /// Submissions the admission limiter shed.
+    pub shed: u64,
+    /// Accepted jobs that completed [`BatchStatus::Ok`].
+    pub ok: u64,
+    /// Accepted jobs that degraded (injected faults and timeouts land
+    /// here).
+    pub degraded: u64,
+    /// Accepted jobs that failed outright.
+    pub failed: u64,
+    /// Accepted jobs whose deadline passed while queued.
+    pub expired: u64,
+    /// Accepted jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Jobs whose service-time watchdog fired (a subset of `degraded`).
+    pub timeouts: u64,
+    /// Cancellation calls that caught the job still queued.
+    pub cancel_hits: u64,
+    /// Accepted ids that never produced a result (must be empty).
+    pub lost: Vec<u64>,
+    /// Accepted ids that produced more than one result (must be empty).
+    pub duplicated: Vec<u64>,
+    /// Result ids that were never accepted (must be empty — a shed
+    /// submission must produce nothing).
+    pub phantom: Vec<u64>,
+    /// Per-priority end-to-end quantiles of accepted jobs that produced
+    /// an allocation.
+    pub per_priority: Vec<PriorityLatency>,
+    /// End-to-end p99 (microseconds) across accepted jobs that ran.
+    pub accepted_p99_us: u64,
+    /// The admission window after the recovery trickle.
+    pub final_limit: f64,
+    /// The admission window ceiling the run was configured with.
+    pub max_limit: f64,
+    /// The service's flight-recorder document (live dump + retained
+    /// automatic dumps) — written out as a CI artifact when an invariant
+    /// fails.
+    pub flight: serde::json::Value,
+}
+
+impl ChaosReport {
+    /// Whether every accepted id resolved exactly once — and only
+    /// accepted ids did.
+    pub fn accounting_clean(&self) -> bool {
+        self.lost.is_empty()
+            && self.duplicated.is_empty()
+            && self.phantom.is_empty()
+            && self.accepted
+                == self.ok + self.degraded + self.failed + self.expired + self.cancelled
+    }
+
+    /// Whether the limiter regrew to (essentially) full admission after
+    /// the storm — recovery is completion-driven, so a healthy trickle
+    /// must restore the window.
+    pub fn limiter_recovered(&self) -> bool {
+        self.final_limit >= 0.9 * self.max_limit
+    }
+
+    /// Whether interactive latency beat background latency at the tail —
+    /// the point of priority scheduling under overload. Vacuously true
+    /// when either class has no samples.
+    pub fn priorities_ordered(&self) -> bool {
+        let p99 = |label: &str| {
+            self.per_priority
+                .iter()
+                .find(|p| p.priority == label && p.jobs > 0)
+                .map(|p| p.p99_us)
+        };
+        match (p99("interactive"), p99("background")) {
+            (Some(i), Some(b)) => i < b,
+            _ => true,
+        }
+    }
+
+    /// The snapshot `admission` section this run measured.
+    pub fn admission_entry(&self) -> AdmissionEntry {
+        AdmissionEntry {
+            workers: self.workers,
+            submitted: self.submitted,
+            accepted: self.accepted,
+            shed: self.shed,
+            expired: self.expired,
+            cancelled: self.cancelled,
+            timeouts: self.timeouts,
+            per_priority: self.per_priority.clone(),
+        }
+    }
+}
+
+/// Runs the chaos storm (see the module docs): floods a service that has
+/// admission control, a per-job timeout, and seeded fault injection
+/// enabled, cancels a subset of queued jobs mid-storm, then trickles
+/// closed-loop until the limiter regrows. Calls `progress` with
+/// (submissions attempted, queue depth) as the storm advances.
+pub fn run_chaosload(
+    cfg: &ChaosloadConfig,
+    mut progress: impl FnMut(usize, usize),
+) -> (ChaosReport, Vec<BatchResult>) {
+    let admission = AdmissionConfig {
+        slo_us: cfg.slo_us.max(1),
+        min_limit: 1,
+        max_limit: cfg.max_limit.max(1),
+        ..AdmissionConfig::default()
+    };
+    let chaos = ChaosConfig {
+        seed: cfg.seed,
+        panic_per_mille: 40,
+        error_per_mille: 40,
+        spike_per_mille: 60,
+        spike_us: cfg.spike_us,
+    };
+    let service = BatchService::start(BatchConfig {
+        workers: cfg.workers.max(1),
+        queue_capacity: cfg.queue_capacity.max(1),
+        shard_workers: cfg.shard_workers.max(1),
+        admission: Some(admission),
+        job_timeout: Some(Duration::from_micros(cfg.job_timeout_us.max(1))),
+        chaos: Some(chaos),
+        ..BatchConfig::default()
+    });
+    let handle = service.handle();
+    let storm = TrafficShape::storm(cfg.jobs, cfg.seed, cfg.mean_gap_us);
+    let gaps = arrival_gaps(&storm);
+    let mut accepted: Vec<u64> = Vec::with_capacity(cfg.jobs);
+    let mut submitted = 0u64;
+    let mut shed = 0u64;
+    let mut cancel_hits = 0u64;
+    let mut cancelled_ids: BTreeSet<u64> = BTreeSet::new();
+    for (i, (job, gap_us)) in stream_for_shape(&storm).into_iter().zip(gaps).enumerate() {
+        if gap_us > 0 {
+            std::thread::sleep(Duration::from_micros(gap_us));
+        }
+        submitted += 1;
+        match service.submit(job) {
+            Ok(id) => accepted.push(id),
+            Err(SubmitError {
+                cause: RejectCause::Shed { .. },
+                ..
+            }) => shed += 1,
+            Err(e) => panic!("storm submit rejected unexpectedly: {e}"),
+        }
+        // Mid-storm cancellations: aim a few submissions back, where the
+        // job is plausibly still queued; any outcome (queued, in flight,
+        // done) is legitimate — the accounting check below is what must
+        // hold regardless. Cancel is idempotent, so hits count unique
+        // ids, not raw calls (the same victim can be picked twice).
+        if cfg.cancel_every > 0 && (i + 1) % cfg.cancel_every == 0 {
+            if let Some(&victim) = accepted.get(accepted.len().saturating_sub(5)) {
+                if handle.cancel(victim) == CancelOutcome::Cancelled && cancelled_ids.insert(victim)
+                {
+                    cancel_hits += 1;
+                }
+            }
+        }
+        progress(i + 1, handle.queue_depth());
+    }
+
+    // Let the backlog drain (bounded wait) before measuring recovery.
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while (handle.queue_depth() > 0 || handle.in_flight() > 0)
+        && std::time::Instant::now() < drain_deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The recovery trickle: closed-loop (each job completes before the
+    // next submit), so every on-time completion grows the window one
+    // step. Shed retries honor the limiter's hint.
+    let trickle = TrafficShape::steady(cfg.trickle, cfg.seed ^ 0x7A1C, 0);
+    for mut job in stream_for_shape(&trickle) {
+        loop {
+            submitted += 1;
+            match service.submit(job) {
+                Ok(id) => {
+                    accepted.push(id);
+                    break;
+                }
+                Err(SubmitError {
+                    job: returned,
+                    cause: RejectCause::Shed { retry_after_us },
+                }) => {
+                    shed += 1;
+                    job = returned;
+                    std::thread::sleep(Duration::from_micros(retry_after_us.clamp(100, 5_000)));
+                }
+                Err(e) => panic!("trickle submit rejected unexpectedly: {e}"),
+            }
+        }
+        let job_deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while (handle.queue_depth() > 0 || handle.in_flight() > 0)
+            && std::time::Instant::now() < job_deadline
+        {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    let final_limit = handle.admission_snapshot().map_or(0.0, |s| s.limit);
+    let flight = handle.flightrec_value();
+    let results = service.shutdown();
+    let (lost, duplicated, phantom) = account_ids(&accepted, &results);
+    let metrics = handle.metrics_snapshot();
+    let per_priority = Priority::ALL
+        .iter()
+        .map(|p| {
+            let (p50, p99, count) = metrics.histogram(p.e2e_metric()).map_or((0, 0, 0), |h| {
+                (h.quantile(0.5), h.quantile(0.99), h.count())
+            });
+            PriorityLatency {
+                priority: p.label().to_string(),
+                jobs: count,
+                p50_us: p50,
+                p99_us: p99,
+            }
+        })
+        .collect();
+    let accepted_p99_us = metrics
+        .histogram(METRIC_E2E)
+        .map_or(0, |h| h.quantile(0.99));
+    let count_status =
+        |pred: fn(&BatchStatus) -> bool| results.iter().filter(|r| pred(&r.status)).count() as u64;
+    let report = ChaosReport {
+        workers: cfg.workers as u64,
+        submitted,
+        accepted: accepted.len() as u64,
+        shed,
+        ok: count_status(|s| matches!(s, BatchStatus::Ok)),
+        degraded: count_status(|s| matches!(s, BatchStatus::Degraded { .. })),
+        failed: count_status(|s| matches!(s, BatchStatus::Failed { .. })),
+        expired: count_status(|s| matches!(s, BatchStatus::DeadlineExpired)),
+        cancelled: count_status(|s| matches!(s, BatchStatus::Cancelled)),
+        timeouts: metrics.counter("batch_jobs_timeout_total"),
+        cancel_hits,
+        lost,
+        duplicated,
+        phantom,
+        per_priority,
+        accepted_p99_us,
+        final_limit,
+        max_limit: cfg.max_limit.max(1) as f64,
+        flight,
     };
     (report, results)
 }
@@ -274,18 +569,6 @@ mod tests {
     }
 
     #[test]
-    fn sizes_are_heavy_tailed_but_bounded() {
-        let stream = job_stream(&LoadgenConfig { jobs: 64, ..tiny() });
-        let sizes: Vec<usize> = stream
-            .iter()
-            .map(|j| j.program.functions().count())
-            .collect();
-        assert!(sizes.iter().all(|&s| (2..=24).contains(&s)), "{sizes:?}");
-        assert!(sizes.contains(&2), "the mode is the minimum");
-        assert!(sizes.iter().any(|&s| s > 4), "the tail exists");
-    }
-
-    #[test]
     fn run_accounts_for_every_job_and_measures_latency() {
         let (report, results) = run_loadgen(&tiny(), |_, _| {});
         assert_eq!(report.submitted, 12);
@@ -312,5 +595,42 @@ mod tests {
             e2e.p99_us >= service.p99_us,
             "end-to-end dominates service time: {e2e:?} vs {service:?}"
         );
+    }
+
+    #[test]
+    fn chaos_storm_resolves_every_accepted_id_exactly_once() {
+        // Small and forgiving (debug-build service times are what they
+        // are): a generous SLO keeps this a determinism/accounting test,
+        // not a latency one — the overload assertions live in the
+        // release-mode `loadgen --chaos` smoke run.
+        let cfg = ChaosloadConfig {
+            jobs: 24,
+            trickle: 10,
+            workers: 2,
+            queue_capacity: 8,
+            slo_us: 2_000_000,
+            max_limit: 8,
+            job_timeout_us: 30_000_000,
+            spike_us: 1_000,
+            cancel_every: 7,
+            ..ChaosloadConfig::default()
+        };
+        let (report, results) = run_chaosload(&cfg, |_, _| {});
+        assert!(report.accounting_clean(), "{report:?}");
+        assert_eq!(
+            report.submitted,
+            report.accepted + report.shed,
+            "{report:?}"
+        );
+        assert_eq!(results.len() as u64, report.accepted);
+        assert_eq!(report.cancelled, report.cancel_hits, "{report:?}");
+        assert!(
+            report.limiter_recovered(),
+            "an idle trickle regrows the window: {report:?}"
+        );
+        // The degraded population includes the injected faults; with a
+        // 24+10-job stream at 4%+4% fault rates this is probabilistic,
+        // so only the structural invariants are asserted here.
+        assert!(report.per_priority.len() == 3);
     }
 }

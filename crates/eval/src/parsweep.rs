@@ -8,8 +8,10 @@
 //! * [`workers1_gate`] — the driver at `workers = 1` must not be slower
 //!   than the serial pipeline by more than a small tolerance: the sharding
 //!   machinery itself has to be near-free. The sweep runs with the flight
-//!   recorder **enabled**, so this gate prices the always-on recorder,
-//!   not an idealized recorder-free driver;
+//!   recorder **enabled** and takes one admission-limiter round trip
+//!   ([`ccra_regalloc::AdmissionController`]) per timed run, so this gate
+//!   prices the always-on recorder *and* the serving path's admission
+//!   bookkeeping, not an idealized bare driver;
 //! * [`compare_parallel`] — a loose throughput comparison against the
 //!   committed baseline's `parallel` section, same spirit as
 //!   [`crate::perfsnap::compare_snapshots`] but per (workload, workers)
@@ -28,8 +30,9 @@ use ccra_ir::Program;
 use ccra_machine::{CostModel, RegisterFile};
 use ccra_regalloc::driver::DefaultJob;
 use ccra_regalloc::{
-    allocate_program_instrumented, AllocRequest, AllocatorConfig, DriverSummary, FlightRecorder,
-    MetricsRegistry, NoopSink, ParallelDriver, TimelineCollector,
+    allocate_program_instrumented, AdmissionConfig, AdmissionController, AllocRequest,
+    AllocatorConfig, DriverSummary, FlightRecorder, MetricsRegistry, NoopSink, ParallelDriver,
+    TimelineCollector,
 };
 use ccra_workloads::{random_program, spec_program_scaled, FuzzConfig, Scale};
 
@@ -127,6 +130,10 @@ pub fn run_par_sweep(
             // Enabled on purpose: the sweep's timings (and the workers=1
             // gate) must include the always-on flight recorder's cost.
             let flight = FlightRecorder::new(workers + 1);
+            // One limiter round trip per timed run, like the batch
+            // service takes per job — the gate prices its bookkeeping.
+            // Closed-loop, so the window never fills and nothing sheds.
+            let admission = AdmissionController::new(AdmissionConfig::default());
             let collector = TimelineCollector::disabled();
             let mut best_micros = u64::MAX;
             let mut summary = None;
@@ -139,6 +146,9 @@ pub fn run_par_sweep(
                     cost: &cost,
                 };
                 let start = Instant::now();
+                admission
+                    .try_admit()
+                    .expect("a closed-loop sweep never fills the admission window");
                 let (out, report, _timeline) = driver
                     .allocate_program_observed(
                         &req,
@@ -151,6 +161,8 @@ pub fn run_par_sweep(
                     .unwrap_or_else(|e| {
                         panic!("{} failed on {workers} worker(s): {e}", workload.name)
                     });
+                let elapsed_us = start.elapsed().as_micros() as u64;
+                admission.on_complete(elapsed_us);
                 best_micros = best_micros.min(start.elapsed().as_micros() as u64);
                 assert!(
                     out == serial_alloc,

@@ -23,15 +23,18 @@ use serde::{Deserialize, Serialize};
 
 /// The `BENCH_*.json` schema version this crate reads and writes.
 ///
-/// v4 added the `latency` section ([`LatencyEntry`]): serving-path SLO
-/// quantiles measured by the `loadgen` binary against a live
+/// v5 added the `admission` section ([`AdmissionEntry`]): overload
+/// accounting — shed / expired / cancelled / timeout counts and
+/// per-priority latency quantiles — measured by the `loadgen --chaos`
+/// storm. v4 added the `latency` section ([`LatencyEntry`]): serving-path
+/// SLO quantiles measured by the `loadgen` binary against a live
 /// [`ccra_regalloc::BatchService`]. v3 added the `host` section
 /// ([`HostInfo`]): the machine's available parallelism and the worker
 /// counts the run used, so a snapshot states what hardware class produced
 /// its numbers. v2 added the `parallel` section: worker-count sweep
 /// entries from the `par` binary ([`ParEntry`]). Older snapshots (missing
 /// any section) are rejected — regenerate the baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// The workloads of the fixed perf matrix: a spread over the shapes the
 /// suite contains — call-heavy integer code (eqntott, li), mixed DSP (ear),
@@ -151,6 +154,56 @@ pub struct LatencyEntry {
     pub mean_us: f64,
 }
 
+/// One priority class's end-to-end latency in an overload run
+/// ([`AdmissionEntry`]). Quantiles are log2-bucket upper bounds,
+/// microseconds, over accepted jobs that produced an allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorityLatency {
+    /// The priority label (`"interactive"`, `"batch"`, `"background"`).
+    pub priority: String,
+    /// Accepted jobs of this class that ran.
+    pub jobs: u64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// The overload accounting of one `loadgen --chaos` storm at one worker
+/// count: what the admission limiter shed, what expired or was cancelled
+/// in the queue, what the watchdog timed out, and how each priority
+/// class's tail latency fared.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionEntry {
+    /// Service workers the storm ran against.
+    pub workers: u64,
+    /// Submissions attempted (sheds included).
+    pub submitted: u64,
+    /// Submissions accepted (an id was issued).
+    pub accepted: u64,
+    /// Submissions the admission limiter shed.
+    pub shed: u64,
+    /// Accepted jobs whose deadline passed while queued.
+    pub expired: u64,
+    /// Accepted jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Jobs whose service-time watchdog fired.
+    pub timeouts: u64,
+    /// Per-priority end-to-end quantiles of accepted jobs.
+    pub per_priority: Vec<PriorityLatency>,
+}
+
+impl AdmissionEntry {
+    /// The shed fraction of all attempted submissions.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+}
+
 /// Host metadata recorded in a snapshot: what machine class and worker
 /// configuration produced the numbers. Speedups and throughput are
 /// meaningless without it — a 1-vCPU runner legitimately measures ≈ 1.0×
@@ -195,6 +248,9 @@ pub struct BenchSnapshot {
     /// Serving-path latency SLO series (empty until the `loadgen` binary
     /// fills them).
     pub latency: Vec<LatencyEntry>,
+    /// Overload accounting from the `loadgen --chaos` storm (empty until
+    /// that run fills it).
+    pub admission: Vec<AdmissionEntry>,
 }
 
 impl BenchSnapshot {
@@ -339,6 +395,7 @@ pub fn run_matrix(
         entries,
         parallel: Vec::new(),
         latency: Vec::new(),
+        admission: Vec::new(),
     }
 }
 
@@ -495,6 +552,7 @@ mod tests {
             entries,
             parallel: Vec::new(),
             latency: Vec::new(),
+            admission: Vec::new(),
         }
     }
 
@@ -521,10 +579,27 @@ mod tests {
             p99_us: 4095,
             mean_us: 700.5,
         });
+        snap.admission.push(AdmissionEntry {
+            workers: 4,
+            submitted: 200,
+            accepted: 120,
+            shed: 80,
+            expired: 7,
+            cancelled: 3,
+            timeouts: 2,
+            per_priority: vec![PriorityLatency {
+                priority: "interactive".to_string(),
+                jobs: 30,
+                p50_us: 255,
+                p99_us: 1023,
+            }],
+        });
         let json = snap.to_json();
-        assert!(json.contains("\"schema_version\":4"));
+        assert!(json.contains("\"schema_version\":5"));
         assert!(json.contains("\"parallel\":["));
         assert!(json.contains("\"latency\":["));
+        assert!(json.contains("\"admission\":["));
+        assert!(json.contains("\"shed\":80"));
         assert!(json.contains("\"p99_us\":4095"));
         assert!(json.contains("\"available_parallelism\":8"));
         let back = parse_snapshot(&json).expect("snapshot parses back");
@@ -536,11 +611,11 @@ mod tests {
         let snap = snapshot(vec![]);
         let json = snap
             .to_json()
-            .replace("\"schema_version\":4", "\"schema_version\":99");
+            .replace("\"schema_version\":5", "\"schema_version\":99");
         let err = parse_snapshot(&json).expect_err("v99 is unreadable");
         assert!(err.contains("v99"), "{err}");
         // A v1 snapshot has no `parallel` section; even with the version
-        // field forged, the body does not parse as v4.
+        // field forged, the body does not parse as v5.
         let forged_v1 = snap.to_json().replace(",\"parallel\":[]", "");
         assert!(parse_snapshot(&forged_v1).is_err());
         // A v2 snapshot has no `host` section.
@@ -554,6 +629,11 @@ mod tests {
         let forged_v3 = snap.to_json().replace(",\"latency\":[]", "");
         assert_ne!(forged_v3, snap.to_json(), "latency section was stripped");
         assert!(parse_snapshot(&forged_v3).is_err());
+        // A v4 snapshot has no `admission` section; forging the version
+        // field does not make the body parse as v5.
+        let forged_v4 = snap.to_json().replace(",\"admission\":[]", "");
+        assert_ne!(forged_v4, snap.to_json(), "admission section was stripped");
+        assert!(parse_snapshot(&forged_v4).is_err());
         assert!(parse_snapshot("{").is_err());
         assert!(parse_snapshot("{}").is_err());
     }

@@ -1,0 +1,281 @@
+//! Deterministic traffic shapes for the load generator: arrival clocks,
+//! job-size distributions, and priority mixes, factored out of
+//! [`crate::loadgen`] so every run — steady-state SLO measurement and
+//! chaos storms alike — draws from one seeded source.
+//!
+//! Everything here is a pure function of a [`TrafficShape`]: the job
+//! stream ([`job_stream`]) and the arrival-gap sequence ([`arrival_gaps`])
+//! both derive from the seed alone, so two runs submit byte-identical
+//! programs on identical (intended) clocks and only the measured
+//! latencies differ. The shapes are deliberately unflattering:
+//! heavy-tailed sizes (a bounded Pareto — most programs are small, a few
+//! are not), exponential inter-arrivals, and — for storm shapes — burst
+//! arrivals that land several submissions back-to-back, because overload
+//! rarely arrives politely spaced.
+
+use std::time::Duration;
+
+use ccra_machine::RegisterFile;
+use ccra_regalloc::{AllocatorConfig, BatchJob, Priority};
+use ccra_workloads::{random_program, FuzzConfig};
+
+/// A splitmix-style generator: good enough to schedule arrivals and size
+/// jobs, and dependency-free.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1].
+    pub fn unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponentially distributed with the given mean.
+    pub fn exponential_us(&mut self, mean_us: u64) -> u64 {
+        (-self.unit().ln() * mean_us as f64) as u64
+    }
+
+    /// A bounded Pareto (shape 1.5) over `[lo, hi]` — mostly `lo`, with a
+    /// heavy tail toward `hi`.
+    pub fn pareto(&mut self, lo: u64, hi: u64) -> u64 {
+        let sized = (lo as f64 * self.unit().powf(-1.0 / 1.5)) as u64;
+        sized.clamp(lo, hi)
+    }
+
+    /// Uniform in `0..1000` — for rolling against per-mille rates.
+    pub fn per_mille(&mut self) -> u32 {
+        (self.next_u64() % 1000) as u32
+    }
+}
+
+/// The shape of one traffic run: how many jobs, on what clock, with what
+/// priority mix. The whole stream is a pure function of this struct.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficShape {
+    /// Jobs in the stream.
+    pub jobs: usize,
+    /// The seed the stream and the arrival clock derive from.
+    pub seed: u64,
+    /// Mean inter-arrival gap, microseconds (exponential; 0 = submit as
+    /// fast as the service accepts).
+    pub mean_gap_us: u64,
+    /// Per-mille of jobs submitted at [`Priority::Interactive`].
+    pub interactive_per_mille: u32,
+    /// Per-mille of jobs submitted at [`Priority::Background`] (the
+    /// remainder after interactive and background is [`Priority::Batch`]).
+    pub background_per_mille: u32,
+    /// The relative deadline attached to interactive jobs, microseconds
+    /// (`None` = no deadlines anywhere).
+    pub interactive_deadline_us: Option<u64>,
+    /// Every `burst_every`-th arrival opens a burst (0 = no bursts).
+    pub burst_every: usize,
+    /// Arrivals per burst: the first draws a gap, the rest land with zero
+    /// gap behind it.
+    pub burst_len: usize,
+}
+
+impl TrafficShape {
+    /// The steady shape: all-[`Priority::Batch`], no deadlines, no bursts
+    /// — the legacy SLO-measurement stream.
+    pub fn steady(jobs: usize, seed: u64, mean_gap_us: u64) -> Self {
+        TrafficShape {
+            jobs,
+            seed,
+            mean_gap_us,
+            interactive_per_mille: 0,
+            background_per_mille: 0,
+            interactive_deadline_us: None,
+            burst_every: 0,
+            burst_len: 0,
+        }
+    }
+
+    /// The storm shape: a realistic priority mix (~25% interactive with
+    /// deadlines, ~20% background, the rest batch) arriving in bursts —
+    /// what the chaos harness drives against an undersized service.
+    pub fn storm(jobs: usize, seed: u64, mean_gap_us: u64) -> Self {
+        TrafficShape {
+            jobs,
+            seed,
+            mean_gap_us,
+            interactive_per_mille: 250,
+            background_per_mille: 200,
+            interactive_deadline_us: Some(400_000),
+            burst_every: 16,
+            burst_len: 4,
+        }
+    }
+}
+
+/// The deterministic job stream of a shape: `jobs` fuzz programs whose
+/// function counts follow the bounded Pareto and whose priorities follow
+/// the shape's mix. A pure function of the shape (tests assert it).
+pub fn job_stream(shape: &TrafficShape) -> Vec<BatchJob> {
+    let mut rng = Rng::new(shape.seed);
+    (0..shape.jobs)
+        .map(|i| {
+            let functions = rng.pareto(2, 24) as usize;
+            let roll = rng.per_mille();
+            let program = random_program(
+                shape.seed.wrapping_add(i as u64),
+                &FuzzConfig {
+                    functions,
+                    stmts_per_fn: 10,
+                    max_loop_depth: 1,
+                    max_trips: 4,
+                },
+            );
+            let mut job = BatchJob::new(
+                format!("load-{i}"),
+                program,
+                RegisterFile::mips_full(),
+                AllocatorConfig::improved(),
+            );
+            if roll < shape.interactive_per_mille {
+                job = job.with_priority(Priority::Interactive);
+                if let Some(us) = shape.interactive_deadline_us {
+                    job = job.with_deadline(Duration::from_micros(us));
+                }
+            } else if roll < shape.interactive_per_mille + shape.background_per_mille {
+                job = job.with_priority(Priority::Background);
+            }
+            job
+        })
+        .collect()
+}
+
+/// The deterministic arrival clock of a shape: the gap (microseconds) to
+/// sleep *before* each submission. Exponential with the shape's mean,
+/// except inside a burst, where the first arrival draws a gap and the
+/// rest land with zero gap behind it. A pure function of the shape.
+pub fn arrival_gaps(shape: &TrafficShape) -> Vec<u64> {
+    if shape.mean_gap_us == 0 {
+        return vec![0; shape.jobs];
+    }
+    let mut rng = Rng::new(shape.seed ^ 0xc1f0);
+    (0..shape.jobs)
+        .map(|i| {
+            let in_burst_tail = shape.burst_every > 0
+                && i % shape.burst_every > 0
+                && i % shape.burst_every < shape.burst_len;
+            if in_burst_tail {
+                0
+            } else {
+                rng.exponential_us(shape.mean_gap_us)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TrafficShape {
+        TrafficShape::steady(12, 42, 0)
+    }
+
+    #[test]
+    fn job_stream_is_a_pure_function_of_the_seed() {
+        let a = job_stream(&tiny());
+        let b = job_stream(&tiny());
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.program, y.program);
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.deadline, y.deadline);
+        }
+        let other = job_stream(&TrafficShape { seed: 43, ..tiny() });
+        assert!(
+            a.iter().zip(&other).any(|(x, y)| x.program != y.program),
+            "a different seed changes the stream"
+        );
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed_but_bounded() {
+        let stream = job_stream(&TrafficShape { jobs: 64, ..tiny() });
+        let sizes: Vec<usize> = stream
+            .iter()
+            .map(|j| j.program.functions().count())
+            .collect();
+        assert!(sizes.iter().all(|&s| (2..=24).contains(&s)), "{sizes:?}");
+        assert!(sizes.contains(&2), "the mode is the minimum");
+        assert!(sizes.iter().any(|&s| s > 4), "the tail exists");
+    }
+
+    #[test]
+    fn steady_shapes_stay_all_batch_with_no_deadlines() {
+        let stream = job_stream(&TrafficShape::steady(32, 7, 100));
+        assert!(stream
+            .iter()
+            .all(|j| j.priority == Priority::Batch && j.deadline.is_none()));
+    }
+
+    #[test]
+    fn storm_shapes_mix_priorities_and_deadline_interactive_jobs() {
+        let stream = job_stream(&TrafficShape::storm(256, 7, 100));
+        let interactive = stream
+            .iter()
+            .filter(|j| j.priority == Priority::Interactive)
+            .count();
+        let background = stream
+            .iter()
+            .filter(|j| j.priority == Priority::Background)
+            .count();
+        let batch = stream
+            .iter()
+            .filter(|j| j.priority == Priority::Batch)
+            .count();
+        assert!(
+            interactive > 0 && background > 0 && batch > 0,
+            "all classes present"
+        );
+        assert!(batch > interactive && batch > background, "batch dominates");
+        assert!(
+            stream
+                .iter()
+                .all(|j| (j.priority == Priority::Interactive) == j.deadline.is_some()),
+            "exactly the interactive jobs carry deadlines"
+        );
+    }
+
+    #[test]
+    fn arrival_gaps_are_deterministic_and_bursts_land_back_to_back() {
+        let shape = TrafficShape::storm(64, 9, 500);
+        let a = arrival_gaps(&shape);
+        let b = arrival_gaps(&shape);
+        assert_eq!(a, b, "the clock is a pure function of the shape");
+        assert_eq!(a.len(), 64);
+        // Positions 1..burst_len of each burst window arrive instantly.
+        for start in (0..64).step_by(shape.burst_every) {
+            for (i, gap) in a
+                .iter()
+                .enumerate()
+                .take((start + shape.burst_len).min(64))
+                .skip(start + 1)
+            {
+                assert_eq!(*gap, 0, "burst tail at {i}");
+            }
+        }
+        assert!(a.iter().any(|&g| g > 0), "gaps exist outside bursts");
+        // A zero-mean shape collapses to a flood.
+        let flood = arrival_gaps(&TrafficShape::steady(8, 9, 0));
+        assert_eq!(flood, vec![0; 8]);
+    }
+}

@@ -16,14 +16,51 @@
 //! submission id** — deterministic presentation over a nondeterministic
 //! execution order.
 //!
+//! # Overload behavior
+//!
+//! Under sustained overload a bounded queue alone only bounds *memory*;
+//! the service layers four policies on top (all scheduling-side — no
+//! accepted job's allocation bytes ever depend on them):
+//!
+//! * **Admission control** ([`BatchConfig::admission`]): an AIMD limiter
+//!   ([`crate::driver::admission`]) on observed end-to-end latency vs. an
+//!   SLO target. When the window is full, `submit` **sheds** — it returns
+//!   [`RejectCause::Shed`] with a retry-after hint instead of blocking —
+//!   and the shed is counted ([`METRIC_SHED`]) and flight-recorded.
+//! * **Priority + deadline scheduling**: every [`BatchJob`] carries a
+//!   [`Priority`] and an optional relative deadline; workers pop the
+//!   queued job with the smallest (priority rank, earliest absolute
+//!   deadline, estimated cost, id) key — EDF within priority class, with
+//!   the cost estimate (Σ instrs × expected spill rounds) breaking
+//!   deadline ties toward short jobs. A job whose deadline passed while
+//!   queued resolves as [`BatchStatus::DeadlineExpired`] without running
+//!   (its backdated queue span is still recorded).
+//! * **Cancellation** ([`BatchHandle::cancel`]): queued jobs resolve as
+//!   [`BatchStatus::Cancelled`]; in-flight jobs run to completion; done
+//!   jobs are untouched — race-free via a per-id phase table that workers
+//!   and cancellers both lock.
+//! * **Per-job timeout** ([`BatchConfig::job_timeout`]): a cooperative
+//!   watchdog ([`crate::driver::TimeoutJob`]) on service time; on expiry
+//!   the remaining functions take the spill-everything degraded fallback
+//!   and the result is flagged [`DegradeCause::Timeout`] — never a lost
+//!   id, never a held worker.
+//!
+//! The invariant all four preserve: **every accepted submission id
+//! resolves exactly once** (Ok / Degraded / Failed / DeadlineExpired /
+//! Cancelled), and a shed submission is resolved synchronously at the
+//! submit call. The chaos harness ([`crate::driver::chaos`],
+//! `loadgen --chaos`) drives overload against exactly this invariant.
+//!
 //! # Observation
 //!
 //! The service keeps its own [`MetricsRegistry`] (the `batch_*` names
-//! below): submissions, completions by status, backpressure stalls, queue
-//! wait, job run, and end-to-end histograms. A cloneable [`BatchHandle`]
-//! ([`BatchService::handle`]) reads live state — queue depth, in-flight
-//! count, per-job statuses so far, and a metrics snapshot with scrape-time
-//! gauges — without touching the service's lifecycle; it is what the
+//! below): submissions, completions by status, backpressure stalls, sheds,
+//! expiries, cancellations, timeouts, queue wait, job run, end-to-end
+//! histograms, and per-priority end-to-end histograms for accepted jobs. A
+//! cloneable [`BatchHandle`] ([`BatchService::handle`]) reads live state —
+//! queue depth, in-flight count, per-job statuses so far, an admission
+//! snapshot, and a metrics snapshot with scrape-time gauges — without
+//! touching the service's lifecycle; it is what the
 //! [`crate::driver::status`] HTTP endpoint serves. Service metrics are
 //! wall-clock and scheduling facts: they stay out of allocation results.
 //!
@@ -45,28 +82,33 @@
 //! # Flight recorder
 //!
 //! The service owns an always-on [`FlightRecorder`]: lane 0 belongs to the
-//! submission path (submit / backpressure events), and each service worker
-//! gets a contiguous lane block (its shard workers, then its driver +
-//! service lane) via [`FlightRecorder::view`]. When a job completes with
-//! any status but [`BatchStatus::Ok`], the recorder is dumped
-//! automatically and the JSON retained in a small ring of recent dumps —
-//! queryable, together with the live recorder, at `/debug/flightrec`.
+//! submission path (submit / backpressure / shed events), and each service
+//! worker gets a contiguous lane block (its shard workers, then its
+//! driver + service lane) via [`FlightRecorder::view`]. When a job
+//! completes [`BatchStatus::Degraded`] or [`BatchStatus::Failed`], the
+//! recorder is dumped automatically and the JSON retained in a small ring
+//! of recent dumps — queryable, together with the live recorder, at
+//! `/debug/flightrec`. Expiries and cancellations are recorded as flight
+//! events but do not trigger dumps: under overload they are policy working
+//! as intended, not anomalies.
 //!
 //! [`TimelineCollector::enabled_since`]: crate::driver::timeline::TimelineCollector::enabled_since
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ccra_analysis::FrequencyInfo;
-use ccra_ir::Program;
+use ccra_ir::{Program, RegClass};
 use ccra_machine::{CostModel, RegisterFile};
 use serde::json::Value;
 
+use crate::driver::admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
+use crate::driver::chaos::{ChaosConfig, ChaosJob, Fault};
 use crate::driver::flightrec::{FlightKind, FlightRecorder, FlightView};
-use crate::driver::parallel::{AllocRequest, DefaultJob, ParallelDriver};
+use crate::driver::parallel::{AllocJob, AllocRequest, DefaultJob, ParallelDriver, TimeoutJob};
 use crate::driver::queue::{BoundedQueue, PushError, QueueStats};
 use crate::driver::timeline::{InstantKind, SpanKind, Timeline, TimelineCollector};
 use crate::metrics::MetricsRegistry;
@@ -85,6 +127,16 @@ pub const METRIC_DEGRADED: &str = "batch_jobs_degraded_total";
 pub const METRIC_FAILED: &str = "batch_jobs_failed_total";
 /// Service counter: blocking submits that found the queue full and stalled.
 pub const METRIC_STALLS: &str = "batch_backpressure_stalls_total";
+/// Service counter: submissions shed by the admission limiter.
+pub const METRIC_SHED: &str = "batch_jobs_shed_total";
+/// Service counter: jobs whose deadline passed while queued
+/// ([`BatchStatus::DeadlineExpired`]).
+pub const METRIC_EXPIRED: &str = "batch_jobs_expired_total";
+/// Service counter: queued jobs resolved by [`BatchHandle::cancel`].
+pub const METRIC_CANCELLED: &str = "batch_jobs_cancelled_total";
+/// Service counter: jobs whose service-time watchdog fired
+/// ([`DegradeCause::Timeout`]).
+pub const METRIC_TIMEOUTS: &str = "batch_jobs_timeout_total";
 /// Service histogram: microseconds a job sat in the submission queue.
 pub const METRIC_QUEUE_WAIT: &str = "batch_queue_wait_micros";
 /// Service histogram: microseconds a job took to run (profiling included).
@@ -92,6 +144,13 @@ pub const METRIC_JOB_MICROS: &str = "batch_job_micros";
 /// Service histogram: microseconds from submission to stored result —
 /// queue wait plus service time, the submitter-visible latency.
 pub const METRIC_E2E: &str = "batch_e2e_micros";
+/// Per-priority end-to-end histogram, accepted jobs that produced an
+/// allocation ([`Priority::Interactive`]).
+pub const METRIC_E2E_INTERACTIVE: &str = "batch_e2e_micros_interactive";
+/// Per-priority end-to-end histogram ([`Priority::Batch`]).
+pub const METRIC_E2E_BATCH: &str = "batch_e2e_micros_batch";
+/// Per-priority end-to-end histogram ([`Priority::Background`]).
+pub const METRIC_E2E_BACKGROUND: &str = "batch_e2e_micros_background";
 
 /// How many automatic flight-record dumps the service retains.
 const FLIGHT_DUMP_KEEP: usize = 8;
@@ -115,6 +174,17 @@ pub struct BatchConfig {
     /// `/trace/<id>` queries (per-result copies on [`BatchResult::trace`]
     /// are unaffected).
     pub trace_capacity: usize,
+    /// The admission limiter; `None` (the default) keeps the legacy
+    /// blocking-backpressure-only behavior. `Some` makes `submit` shed
+    /// ([`RejectCause::Shed`]) when the AIMD window is full.
+    pub admission: Option<AdmissionConfig>,
+    /// A service-time watchdog per job; on expiry remaining functions
+    /// take the degraded fallback and the result is flagged
+    /// [`DegradeCause::Timeout`]. `None` (the default) runs unbounded.
+    pub job_timeout: Option<Duration>,
+    /// Deterministic fault injection ([`crate::driver::chaos`]); `None`
+    /// (the default) injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for BatchConfig {
@@ -125,12 +195,61 @@ impl Default for BatchConfig {
             shard_workers: 1,
             trace_requests: true,
             trace_capacity: 32,
+            admission: None,
+            job_timeout: None,
+            chaos: None,
+        }
+    }
+}
+
+/// A job's scheduling class: workers serve strictly by priority, EDF
+/// within a class (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// A user is waiting (an editor, a REPL): served first.
+    Interactive,
+    /// Ordinary build traffic — the default.
+    #[default]
+    Batch,
+    /// Best-effort work (prefetch, warming): served when nothing else
+    /// waits.
+    Background,
+}
+
+impl Priority {
+    /// Every priority, highest first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::Background];
+
+    /// The scheduling rank (0 serves first).
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::Background => 2,
+        }
+    }
+
+    /// A short label for serialized views.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Background => "background",
+        }
+    }
+
+    /// The per-priority end-to-end histogram this class reports into.
+    pub fn e2e_metric(self) -> &'static str {
+        match self {
+            Priority::Interactive => METRIC_E2E_INTERACTIVE,
+            Priority::Batch => METRIC_E2E_BATCH,
+            Priority::Background => METRIC_E2E_BACKGROUND,
         }
     }
 }
 
 /// One submission: a program plus the allocation parameters to run it
-/// under.
+/// under, its scheduling class, and an optional deadline.
 #[derive(Debug, Clone)]
 pub struct BatchJob {
     /// A caller-chosen label, echoed in the result.
@@ -141,6 +260,132 @@ pub struct BatchJob {
     pub file: RegisterFile,
     /// The allocator configuration.
     pub config: AllocatorConfig,
+    /// The scheduling class ([`Priority::Batch`] by default).
+    pub priority: Priority,
+    /// A relative deadline, measured from the submit call: a job still
+    /// queued when it passes resolves [`BatchStatus::DeadlineExpired`]
+    /// without running. `None` waits indefinitely.
+    pub deadline: Option<Duration>,
+}
+
+impl BatchJob {
+    /// A default-priority job with no deadline.
+    pub fn new(
+        name: impl Into<String>,
+        program: Program,
+        file: RegisterFile,
+        config: AllocatorConfig,
+    ) -> Self {
+        BatchJob {
+            name: name.into(),
+            program,
+            file,
+            config,
+            priority: Priority::default(),
+            deadline: None,
+        }
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a relative deadline (measured from the submit call).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The scheduling cost estimate: Σ over functions of instruction
+    /// count × expected spill rounds, where the expected rounds grow with
+    /// register pressure (virtual registers per integer register). Used
+    /// to break deadline ties toward short jobs; it prices work, it never
+    /// changes any result.
+    pub fn estimated_cost(&self) -> u64 {
+        let int_regs = self.file.regs(RegClass::Int).count().max(1) as u64;
+        self.program
+            .functions()
+            .map(|(_, f)| {
+                // +1 per block for the terminator.
+                let instrs: u64 = f.blocks().map(|(_, b)| b.insts.len() as u64 + 1).sum();
+                let expected_rounds = 1 + f.num_vregs() as u64 / int_regs;
+                instrs * expected_rounds
+            })
+            .sum()
+    }
+}
+
+/// Why a submission was rejected (see [`SubmitError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// The queue is at capacity (only [`BatchService::try_submit`]
+    /// rejects with this; the blocking submit waits instead).
+    QueueFull,
+    /// The admission limiter shed the submission; retry after roughly the
+    /// hinted number of microseconds.
+    Shed {
+        /// The limiter's retry-after hint, microseconds.
+        retry_after_us: u64,
+    },
+    /// The queue is closed (the service is shutting down).
+    ShuttingDown,
+}
+
+impl RejectCause {
+    /// A short label for serialized views and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectCause::QueueFull => "queue_full",
+            RejectCause::Shed { .. } => "shed",
+            RejectCause::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A rejected submission: the job rides back to the caller (nothing is
+/// silently dropped) together with *why* it was rejected.
+#[derive(Debug)]
+pub struct SubmitError {
+    /// The rejected job, returned for retry or reporting.
+    pub job: BatchJob,
+    /// Why it was rejected.
+    pub cause: RejectCause,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cause {
+            RejectCause::QueueFull => write!(f, "submission queue is at capacity"),
+            RejectCause::Shed { retry_after_us } => write!(
+                f,
+                "shed by the admission limiter; retry after ~{retry_after_us}us"
+            ),
+            RejectCause::ShuttingDown => write!(f, "the service is shutting down"),
+        }
+    }
+}
+
+/// Why a job degraded (see [`BatchStatus::Degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeCause {
+    /// The strict allocator failed (or panicked) on the degraded
+    /// functions — the per-function fallback path.
+    Alloc,
+    /// The per-job service-time watchdog ([`BatchConfig::job_timeout`])
+    /// fired; functions not yet allocated took the fallback.
+    Timeout,
+}
+
+impl DegradeCause {
+    /// A short label for serialized views.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeCause::Alloc => "alloc",
+            DegradeCause::Timeout => "timeout",
+        }
+    }
 }
 
 /// How one batch job ended.
@@ -153,6 +398,8 @@ pub enum BatchStatus {
     Degraded {
         /// How many functions degraded.
         funcs: usize,
+        /// Why they degraded.
+        cause: DegradeCause,
     },
     /// The job produced no allocation (profiling failed, or the degraded
     /// fallback itself failed).
@@ -160,18 +407,40 @@ pub enum BatchStatus {
         /// The rendered error.
         error: String,
     },
+    /// The job's deadline passed while it was queued; it never ran.
+    DeadlineExpired,
+    /// The job was cancelled while queued; it never ran.
+    Cancelled,
 }
 
 impl BatchStatus {
-    /// A short status label (`"ok"`, `"degraded"`, `"failed"`) for
-    /// serialized views.
+    /// A short status label (`"ok"`, `"degraded"`, `"failed"`,
+    /// `"deadline_expired"`, `"cancelled"`) for serialized views.
     pub fn label(&self) -> &'static str {
         match self {
             BatchStatus::Ok => "ok",
             BatchStatus::Degraded { .. } => "degraded",
             BatchStatus::Failed { .. } => "failed",
+            BatchStatus::DeadlineExpired => "deadline_expired",
+            BatchStatus::Cancelled => "cancelled",
         }
     }
+}
+
+/// The outcome of [`BatchHandle::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: it will resolve
+    /// [`BatchStatus::Cancelled`] without running.
+    Cancelled,
+    /// A worker is running it; it runs to completion (allocation is not
+    /// interruptible mid-function, and a half-cancelled result helps
+    /// nobody).
+    InFlight,
+    /// Already resolved; cancelling is a no-op.
+    Done,
+    /// The id was never accepted (unknown, shed, or rejected).
+    Unknown,
 }
 
 /// The request-scoped observability record of one submission: its trace
@@ -232,24 +501,76 @@ pub struct BatchResult {
     pub name: String,
     /// How the job ended.
     pub status: BatchStatus,
-    /// The allocation, absent when [`BatchStatus::Failed`].
+    /// The allocation, present only when the job ran ([`BatchStatus::Ok`]
+    /// or [`BatchStatus::Degraded`]).
     pub allocation: Option<ProgramAllocation>,
-    /// Wall-clock microseconds the job took (profiling included).
+    /// Wall-clock microseconds the job took (profiling included); 0 when
+    /// it never ran.
     pub micros: u64,
     /// The request-scoped trace, absent when
     /// [`BatchConfig::trace_requests`] is off.
     pub trace: Option<RequestTrace>,
 }
 
+/// Where an accepted submission is in its lifecycle — the cancellation
+/// state machine: `Queued → Running → Resolved`, with `Queued →
+/// Resolved` for cancellations and expiries. Workers and cancellers
+/// serialize on the table's lock, so exactly one side wins each
+/// transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    Queued { cancelled: bool },
+    Running,
+    Resolved,
+}
+
+/// One accepted submission as it sits in the queue.
+struct QueuedJob {
+    id: u64,
+    queued_at: Instant,
+    deadline_at: Option<Instant>,
+    est_cost: u64,
+    job: BatchJob,
+}
+
+impl QueuedJob {
+    fn new(id: u64, job: BatchJob) -> Self {
+        let queued_at = Instant::now();
+        QueuedJob {
+            id,
+            queued_at,
+            deadline_at: job.deadline.map(|d| queued_at + d),
+            est_cost: job.estimated_cost(),
+            job,
+        }
+    }
+
+    /// The scheduling key workers pop the minimum of: priority class,
+    /// then earliest absolute deadline (deadline-less jobs sort after
+    /// every deadline in their class), then estimated cost, then
+    /// submission id.
+    fn order_key(&self) -> (u8, (u8, Instant), u64, u64) {
+        let deadline = match self.deadline_at {
+            Some(at) => (0, at),
+            None => (1, self.queued_at),
+        };
+        (self.job.priority.rank(), deadline, self.est_cost, self.id)
+    }
+}
+
 struct Shared {
-    queue: BoundedQueue<(u64, Instant, BatchJob)>,
+    queue: BoundedQueue<QueuedJob>,
     results: Mutex<Vec<BatchResult>>,
     metrics: Mutex<MetricsRegistry>,
+    phases: Mutex<HashMap<u64, JobPhase>>,
+    admission: Option<AdmissionController>,
     in_flight: AtomicU64,
     cost: CostModel,
     shard_workers: usize,
     trace_requests: bool,
     trace_capacity: usize,
+    job_timeout: Option<Duration>,
+    chaos: Option<ChaosConfig>,
     traces: Mutex<VecDeque<RequestTrace>>,
     flight: FlightRecorder,
     dumps: Mutex<VecDeque<(u64, Value)>>,
@@ -299,6 +620,34 @@ fn run_batch_job(
     flight.record(shard_workers as u32, FlightKind::JobStart, id, 0);
     let service_span = lane.start();
 
+    // Chaos: the per-submission fault is a pure function of (seed, id).
+    // A latency spike is a service-level fault, applied once before the
+    // driver; panic/error faults afflict every function via the job
+    // wrapper below.
+    let fault = shared
+        .chaos
+        .map_or(Fault::None, |chaos| chaos.fault_for(id));
+    if fault == Fault::Spike {
+        if let Some(chaos) = shared.chaos {
+            std::thread::sleep(Duration::from_micros(chaos.spike_us));
+        }
+    }
+    // The job the shard pool runs: the strict pipeline, optionally
+    // wrapped in fault injection, optionally wrapped in the service-time
+    // watchdog (the watchdog is outermost so a timed-out job cannot be
+    // held up by injected work either).
+    let default_job = DefaultJob;
+    let chaos_job = ChaosJob::new(&default_job, fault, id);
+    let inner: &dyn AllocJob = if matches!(fault, Fault::Panic | Fault::Error) {
+        &chaos_job
+    } else {
+        &default_job
+    };
+    let timeout_job = shared
+        .job_timeout
+        .map(|t| TimeoutJob::new(inner, start + t));
+    let job_ref: &dyn AllocJob = timeout_job.as_ref().map_or(inner, |t| t as &dyn AllocJob);
+
     let driver = ParallelDriver::new(shard_workers);
     let (status, allocation, timeline) = match FrequencyInfo::profile(&job.program) {
         Err(e) => (
@@ -320,7 +669,7 @@ fn run_batch_job(
                 &req,
                 &mut NoopSink,
                 &mut MetricsRegistry::disabled(),
-                &DefaultJob,
+                job_ref,
                 &collector,
                 flight,
             ) {
@@ -336,7 +685,15 @@ fn run_batch_job(
                     let status = if degraded == 0 {
                         BatchStatus::Ok
                     } else {
-                        BatchStatus::Degraded { funcs: degraded }
+                        let cause = if timeout_job.as_ref().is_some_and(|t| t.fired()) {
+                            DegradeCause::Timeout
+                        } else {
+                            DegradeCause::Alloc
+                        };
+                        BatchStatus::Degraded {
+                            funcs: degraded,
+                            cause,
+                        }
                     };
                     (status, Some(alloc), timeline)
                 }
@@ -348,8 +705,15 @@ fn run_batch_job(
     let service_us = start.elapsed().as_micros() as u64;
     let (end_kind, end_payload) = match &status {
         BatchStatus::Ok => (FlightKind::JobOk, 0),
-        BatchStatus::Degraded { funcs } => (FlightKind::JobDegraded, *funcs as u64),
+        BatchStatus::Degraded {
+            funcs,
+            cause: DegradeCause::Timeout,
+        } => (FlightKind::Timeout, *funcs as u64),
+        BatchStatus::Degraded { funcs, .. } => (FlightKind::JobDegraded, *funcs as u64),
         BatchStatus::Failed { .. } => (FlightKind::JobFailed, 0),
+        // run_batch_job only runs jobs; expiry/cancellation resolve in
+        // resolve_unrun.
+        BatchStatus::DeadlineExpired | BatchStatus::Cancelled => (FlightKind::JobFailed, 0),
     };
     flight.record(shard_workers as u32, end_kind, id, end_payload);
     lane.end_span(service_span, SpanKind::Service, || {
@@ -382,27 +746,120 @@ fn run_batch_job(
     }
 }
 
+/// Resolves a submission that never ran (deadline expiry or
+/// cancellation): no allocation, zero service time, but the backdated
+/// queue-wait span and the reply instant are still recorded so the
+/// request's trace tells the whole story.
+fn resolve_unrun(
+    id: u64,
+    job: BatchJob,
+    status: BatchStatus,
+    shared: &Shared,
+    queued_at: Instant,
+) -> BatchResult {
+    let service_tid = shared.shard_workers as u32 + 1;
+    let collector = if shared.trace_requests {
+        TimelineCollector::enabled_since(queued_at)
+    } else {
+        TimelineCollector::disabled()
+    };
+    let mut lane = collector.lane(service_tid);
+    let queue_us = collector.now_us();
+    let label = status.label();
+    lane.backdated_span(
+        SpanKind::Queue,
+        queue_us,
+        || "queue wait".to_string(),
+        || Some(label.to_string()),
+    );
+    lane.instant(InstantKind::Reply, || format!("reply ({label})"));
+    let e2e_us = collector.now_us();
+    let trace = if shared.trace_requests {
+        let mut timeline = Timeline::empty();
+        timeline.events.extend(lane.into_events());
+        Some(RequestTrace {
+            id,
+            name: job.name.clone(),
+            queue_us,
+            service_us: 0,
+            e2e_us,
+            timeline,
+        })
+    } else {
+        None
+    };
+    BatchResult {
+        id,
+        name: job.name,
+        status,
+        allocation: None,
+        micros: 0,
+        trace,
+    }
+}
+
 impl Shared {
-    fn note_completion(&self, queued_at: Instant, result: &BatchResult) {
-        let e2e = queued_at.elapsed().as_micros();
+    fn note_completion(&self, queued_at: Instant, priority: Priority, result: &BatchResult) {
+        let e2e = queued_at.elapsed().as_micros() as u64;
+        match &result.status {
+            BatchStatus::DeadlineExpired => {
+                self.metrics
+                    .lock()
+                    .expect("batch metrics lock")
+                    .inc(METRIC_EXPIRED);
+                // A deadline miss is congestion evidence: back the
+                // admission window off just like an over-SLO completion.
+                if let Some(adm) = &self.admission {
+                    adm.on_miss();
+                }
+                return;
+            }
+            BatchStatus::Cancelled => {
+                self.metrics
+                    .lock()
+                    .expect("batch metrics lock")
+                    .inc(METRIC_CANCELLED);
+                // Cancellation says nothing about load: free the slot,
+                // leave the window alone.
+                if let Some(adm) = &self.admission {
+                    adm.release();
+                }
+                return;
+            }
+            _ => {}
+        }
         let mut m = self.metrics.lock().expect("batch metrics lock");
-        m.observe(
-            METRIC_QUEUE_WAIT,
-            e2e.saturating_sub(result.micros as u128) as u64,
-        );
+        m.observe(METRIC_QUEUE_WAIT, e2e.saturating_sub(result.micros));
         m.observe(METRIC_JOB_MICROS, result.micros);
-        m.observe(METRIC_E2E, e2e as u64);
-        m.inc(match result.status {
-            BatchStatus::Ok => METRIC_COMPLETED,
-            BatchStatus::Degraded { .. } => METRIC_DEGRADED,
-            BatchStatus::Failed { .. } => METRIC_FAILED,
-        });
+        m.observe(METRIC_E2E, e2e);
+        match &result.status {
+            BatchStatus::Ok => {
+                m.inc(METRIC_COMPLETED);
+                m.observe(priority.e2e_metric(), e2e);
+            }
+            BatchStatus::Degraded { cause, .. } => {
+                m.inc(METRIC_DEGRADED);
+                if *cause == DegradeCause::Timeout {
+                    m.inc(METRIC_TIMEOUTS);
+                }
+                m.observe(priority.e2e_metric(), e2e);
+            }
+            BatchStatus::Failed { .. } => m.inc(METRIC_FAILED),
+            BatchStatus::DeadlineExpired | BatchStatus::Cancelled => {
+                unreachable!("handled above")
+            }
+        }
+        drop(m);
+        if let Some(adm) = &self.admission {
+            adm.on_complete(e2e);
+        }
     }
 
     /// Retains a completed request's trace in the bounded recent-trace
-    /// buffer and, when the job ended with anything but
-    /// [`BatchStatus::Ok`], snapshots the flight recorder into the dump
-    /// ring.
+    /// buffer and, when the job ended [`BatchStatus::Degraded`] or
+    /// [`BatchStatus::Failed`], snapshots the flight recorder into the
+    /// dump ring. Expiries and cancellations keep their traces but do not
+    /// dump: under overload they are policy, not anomaly.
     fn note_observability(&self, result: &BatchResult) {
         if let Some(trace) = &result.trace {
             let mut traces = self.traces.lock().expect("batch traces lock");
@@ -411,7 +868,10 @@ impl Shared {
             }
             traces.push_back(trace.clone());
         }
-        if result.status != BatchStatus::Ok {
+        if matches!(
+            result.status,
+            BatchStatus::Degraded { .. } | BatchStatus::Failed { .. }
+        ) {
             let dump = self.flight.dump();
             let mut dumps = self.dumps.lock().expect("batch dumps lock");
             while dumps.len() >= FLIGHT_DUMP_KEEP {
@@ -419,6 +879,20 @@ impl Shared {
             }
             dumps.push_back((result.id, dump));
         }
+    }
+
+    /// Stores a result and marks its id resolved — the single exit point
+    /// of the per-id state machine.
+    fn store_result(&self, result: BatchResult) {
+        let id = result.id;
+        self.results
+            .lock()
+            .expect("batch results lock")
+            .push(result);
+        self.phases
+            .lock()
+            .expect("batch phases lock")
+            .insert(id, JobPhase::Resolved);
     }
 }
 
@@ -450,6 +924,30 @@ impl BatchHandle {
         self.shared.queue.stats()
     }
 
+    /// Requests cancellation of submission `id` (see [`CancelOutcome`]):
+    /// still queued → resolves [`BatchStatus::Cancelled`] without
+    /// running; in flight → runs to completion; already resolved or never
+    /// accepted → no-op. Race-free: the per-id phase table serializes
+    /// this against the worker's pick-up.
+    pub fn cancel(&self, id: u64) -> CancelOutcome {
+        let mut phases = self.shared.phases.lock().expect("batch phases lock");
+        match phases.get_mut(&id) {
+            Some(JobPhase::Queued { cancelled }) => {
+                *cancelled = true;
+                CancelOutcome::Cancelled
+            }
+            Some(JobPhase::Running) => CancelOutcome::InFlight,
+            Some(JobPhase::Resolved) => CancelOutcome::Done,
+            None => CancelOutcome::Unknown,
+        }
+    }
+
+    /// The admission limiter's live snapshot, when admission control is
+    /// enabled.
+    pub fn admission_snapshot(&self) -> Option<AdmissionSnapshot> {
+        self.shared.admission.as_ref().map(|a| a.snapshot())
+    }
+
     /// Per-job statuses of every completed job so far, sorted by
     /// submission id.
     pub fn statuses(&self) -> Vec<(u64, String, BatchStatus)> {
@@ -470,14 +968,16 @@ impl BatchHandle {
             .expect("batch results lock")
             .iter()
             .map(|r| match r.status {
-                BatchStatus::Degraded { funcs } => funcs,
+                BatchStatus::Degraded { funcs, .. } => funcs,
                 _ => 0,
             })
             .sum()
     }
 
     /// The service metrics plus scrape-time gauges (queue depth and
-    /// occupancy, in-flight count, queue high-water and blocked pushes).
+    /// occupancy, in-flight count, queue high-water and blocked pushes,
+    /// and — when admission control is on — the limiter's window and
+    /// admitted count).
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
         let mut m = self
             .shared
@@ -494,6 +994,10 @@ impl BatchHandle {
         m.gauge_set("batch_queue_high_water", stats.high_water as f64);
         m.gauge_set("batch_queue_blocked_pushes", stats.blocked_pushes as f64);
         m.gauge_set("batch_in_flight", self.in_flight() as f64);
+        if let Some(snap) = self.admission_snapshot() {
+            m.gauge_set("batch_admission_limit", snap.limit);
+            m.gauge_set("batch_admission_admitted", snap.admitted as f64);
+        }
         m
     }
 
@@ -556,7 +1060,8 @@ impl BatchHandle {
     ///            "degraded_funcs": 0, "micros": 1234}, ...]}
     /// ```
     ///
-    /// Failed jobs carry an extra `"error"` string. A `"latency"` object
+    /// Failed jobs carry an extra `"error"` string; degraded jobs an extra
+    /// `"degrade_cause"` (`"alloc"` or `"timeout"`). A `"latency"` object
     /// reports the queue-wait / service / end-to-end SLO quantiles
     /// (log2-bucket upper bounds, microseconds) alongside the mean and
     /// sample count:
@@ -564,6 +1069,19 @@ impl BatchHandle {
     /// ```json
     /// {"latency": {"queue_wait": {"p50": 15, "p95": 63, "p99": 63,
     ///                             "mean_us": 21.5, "count": 4}, ...}}
+    /// ```
+    ///
+    /// An `"admission"` object reports the overload posture — the
+    /// limiter's window and in-system count (when enabled), the shed /
+    /// expired / cancelled / timeout counters, and per-priority
+    /// end-to-end quantiles for accepted jobs:
+    ///
+    /// ```json
+    /// {"admission": {"enabled": true, "limit": 12.0, "admitted": 3,
+    ///                "slo_us": 50000, "shed": 5, "expired": 2,
+    ///                "cancelled": 1, "timeouts": 0,
+    ///                "per_priority": {"interactive": {"jobs": 9,
+    ///                    "p50": 1023, "p99": 4095}, ...}}}
     /// ```
     pub fn status_value(&self) -> Value {
         let statuses = self.statuses();
@@ -584,12 +1102,18 @@ impl BatchHandle {
                     (
                         "degraded_funcs".to_string(),
                         Value::Int(match status {
-                            BatchStatus::Degraded { funcs } => *funcs as i64,
+                            BatchStatus::Degraded { funcs, .. } => *funcs as i64,
                             _ => 0,
                         }),
                     ),
                     ("micros".to_string(), Value::Int(micros_of(*id))),
                 ];
+                if let BatchStatus::Degraded { cause, .. } = status {
+                    fields.push((
+                        "degrade_cause".to_string(),
+                        Value::Str(cause.label().to_string()),
+                    ));
+                }
                 if let BatchStatus::Failed { error } = status {
                     fields.push(("error".to_string(), Value::Str(error.clone())));
                 }
@@ -621,6 +1145,51 @@ impl BatchHandle {
             ("service".to_string(), latency_of(METRIC_JOB_MICROS)),
             ("e2e".to_string(), latency_of(METRIC_E2E)),
         ]);
+        let per_priority = Value::Obj(
+            Priority::ALL
+                .iter()
+                .map(|p| {
+                    let (p50, p99, count) = m.histogram(p.e2e_metric()).map_or((0, 0, 0), |h| {
+                        (h.quantile(0.5), h.quantile(0.99), h.count())
+                    });
+                    (
+                        p.label().to_string(),
+                        Value::Obj(vec![
+                            ("jobs".to_string(), Value::Int(count as i64)),
+                            ("p50".to_string(), Value::Int(p50 as i64)),
+                            ("p99".to_string(), Value::Int(p99 as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let mut admission = vec![(
+            "enabled".to_string(),
+            Value::Bool(self.shared.admission.is_some()),
+        )];
+        if let Some(adm) = &self.shared.admission {
+            let snap = adm.snapshot();
+            admission.push(("limit".to_string(), Value::Float(snap.limit)));
+            admission.push(("admitted".to_string(), Value::Int(snap.admitted as i64)));
+            admission.push(("slo_us".to_string(), Value::Int(adm.config().slo_us as i64)));
+        }
+        admission.push((
+            "shed".to_string(),
+            Value::Int(m.counter(METRIC_SHED) as i64),
+        ));
+        admission.push((
+            "expired".to_string(),
+            Value::Int(m.counter(METRIC_EXPIRED) as i64),
+        ));
+        admission.push((
+            "cancelled".to_string(),
+            Value::Int(m.counter(METRIC_CANCELLED) as i64),
+        ));
+        admission.push((
+            "timeouts".to_string(),
+            Value::Int(m.counter(METRIC_TIMEOUTS) as i64),
+        ));
+        admission.push(("per_priority".to_string(), per_priority));
         drop(m);
         Value::Obj(vec![
             (
@@ -634,6 +1203,7 @@ impl BatchHandle {
                 Value::Int(self.degraded_funcs() as i64),
             ),
             ("latency".to_string(), latency),
+            ("admission".to_string(), Value::Obj(admission)),
             ("jobs".to_string(), Value::Arr(jobs)),
         ])
     }
@@ -659,11 +1229,15 @@ impl BatchService {
             queue: BoundedQueue::new(config.queue_capacity),
             results: Mutex::new(Vec::new()),
             metrics: Mutex::new(MetricsRegistry::new()),
+            phases: Mutex::new(HashMap::new()),
+            admission: config.admission.map(AdmissionController::new),
             in_flight: AtomicU64::new(0),
             cost,
             shard_workers,
             trace_requests: config.trace_requests,
             trace_capacity: config.trace_capacity.max(1),
+            job_timeout: config.job_timeout,
+            chaos: config.chaos,
             traces: Mutex::new(VecDeque::new()),
             flight: FlightRecorder::new(flight_lanes),
             dumps: Mutex::new(VecDeque::new()),
@@ -673,17 +1247,51 @@ impl BatchService {
                 let shared = Arc::clone(&shared);
                 let lane_base = (1 + w * (shard_workers + 1)) as u32;
                 std::thread::spawn(move || {
-                    while let Some((id, queued_at, job)) = shared.queue.pop() {
-                        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                    while let Some(queued) = shared.queue.pop_min_by_key(QueuedJob::order_key) {
+                        let QueuedJob {
+                            id,
+                            queued_at,
+                            deadline_at,
+                            job,
+                            ..
+                        } = queued;
+                        let priority = job.priority;
                         let flight = shared.flight.view(lane_base);
+                        // The pick-up transition of the state machine:
+                        // cancelled or expired jobs resolve without
+                        // running; everything else goes Running.
+                        let mut phases = shared.phases.lock().expect("batch phases lock");
+                        let cancelled =
+                            matches!(phases.get(&id), Some(JobPhase::Queued { cancelled: true }));
+                        let expired =
+                            !cancelled && deadline_at.is_some_and(|at| Instant::now() >= at);
+                        if cancelled || expired {
+                            drop(phases);
+                            let status = if cancelled {
+                                BatchStatus::Cancelled
+                            } else {
+                                BatchStatus::DeadlineExpired
+                            };
+                            let kind = if cancelled {
+                                FlightKind::Cancelled
+                            } else {
+                                FlightKind::DeadlineExpired
+                            };
+                            let queued_us = queued_at.elapsed().as_micros() as u64;
+                            flight.record(shared.shard_workers as u32, kind, id, queued_us);
+                            let result = resolve_unrun(id, job, status, &shared, queued_at);
+                            shared.note_completion(queued_at, priority, &result);
+                            shared.note_observability(&result);
+                            shared.store_result(result);
+                            continue;
+                        }
+                        phases.insert(id, JobPhase::Running);
+                        drop(phases);
+                        shared.in_flight.fetch_add(1, Ordering::Relaxed);
                         let result = run_batch_job(id, job, &shared, flight, queued_at);
-                        shared.note_completion(queued_at, &result);
+                        shared.note_completion(queued_at, priority, &result);
                         shared.note_observability(&result);
-                        shared
-                            .results
-                            .lock()
-                            .expect("batch results lock")
-                            .push(result);
+                        shared.store_result(result);
                         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                     }
                 })
@@ -704,24 +1312,77 @@ impl BatchService {
         }
     }
 
+    /// Admission + phase registration preamble shared by both submit
+    /// paths: sheds when the limiter's window is full, otherwise marks
+    /// the id `Queued` *before* the queue push so a worker can never pop
+    /// a job whose phase is unknown.
+    fn admit(&self, id: u64, job: BatchJob) -> Result<QueuedJob, SubmitError> {
+        if let Some(adm) = &self.shared.admission {
+            if let Err(retry_after_us) = adm.try_admit() {
+                self.shared
+                    .metrics
+                    .lock()
+                    .expect("batch metrics lock")
+                    .inc(METRIC_SHED);
+                self.shared
+                    .flight
+                    .record(0, FlightKind::Shed, id, retry_after_us);
+                return Err(SubmitError {
+                    job,
+                    cause: RejectCause::Shed { retry_after_us },
+                });
+            }
+        }
+        self.shared
+            .phases
+            .lock()
+            .expect("batch phases lock")
+            .insert(id, JobPhase::Queued { cancelled: false });
+        Ok(QueuedJob::new(id, job))
+    }
+
+    /// Rolls back [`BatchService::admit`] when the queue turns out to be
+    /// closed (or, for `try_submit`, full): the id leaves the phase table
+    /// and the admission slot is freed.
+    fn unadmit(&self, id: u64) {
+        self.shared
+            .phases
+            .lock()
+            .expect("batch phases lock")
+            .remove(&id);
+        if let Some(adm) = &self.shared.admission {
+            adm.release();
+        }
+    }
+
     /// Submits a job, blocking while the queue is at capacity
     /// (backpressure). Returns the submission id its result will carry.
     ///
     /// # Errors
     ///
-    /// Returns the job back if the queue is closed (the service is
-    /// shutting down).
-    pub fn submit(&self, job: BatchJob) -> Result<u64, BatchJob> {
+    /// [`RejectCause::Shed`] when the admission limiter's window is full
+    /// (with a retry-after hint) and [`RejectCause::ShuttingDown`] when
+    /// the queue is closed — in both cases [`SubmitError::job`] hands the
+    /// job back. Submission ids are unique and increasing but may have
+    /// gaps (a rejected submission consumes one).
+    pub fn submit(&self, job: BatchJob) -> Result<u64, SubmitError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let queued = self.admit(id, job)?;
         // Try the fast path first so a stall (queue at capacity) is
         // observable as a metric before we block.
-        let job = match self.shared.queue.try_push((id, Instant::now(), job)) {
+        let queued = match self.shared.queue.try_push(queued) {
             Ok(()) => {
                 self.note_submit(id);
                 return Ok(id);
             }
-            Err(PushError::Closed((_, _, job))) => return Err(job),
-            Err(PushError::Full((_, _, job))) => {
+            Err(PushError::Closed(q)) => {
+                self.unadmit(id);
+                return Err(SubmitError {
+                    job: q.job,
+                    cause: RejectCause::ShuttingDown,
+                });
+            }
+            Err(PushError::Full(q)) => {
                 self.shared
                     .metrics
                     .lock()
@@ -730,43 +1391,58 @@ impl BatchService {
                 self.shared
                     .flight
                     .record(0, FlightKind::BackpressureEngage, id, 0);
-                job
+                q
             }
         };
-        self.shared
-            .queue
-            .push((id, Instant::now(), job))
-            .map(|()| {
+        match self.shared.queue.push(queued) {
+            Ok(()) => {
                 self.shared
                     .flight
                     .record(0, FlightKind::BackpressureRelease, id, 0);
                 self.note_submit(id);
-                id
-            })
-            .map_err(|e| e.into_inner().2)
+                Ok(id)
+            }
+            Err(e) => {
+                self.unadmit(id);
+                Err(SubmitError {
+                    job: e.into_inner().job,
+                    cause: RejectCause::ShuttingDown,
+                })
+            }
+        }
     }
 
     /// Submits without blocking; the caller sheds load on a full queue.
     ///
     /// # Errors
     ///
-    /// Returns the job back when the queue is full or closed.
+    /// [`RejectCause::QueueFull`] when the queue is at capacity,
+    /// [`RejectCause::Shed`] when the admission limiter trips, and
+    /// [`RejectCause::ShuttingDown`] when the queue is closed — the job
+    /// rides back on every one.
     ///
     /// Submission ids are unique and increasing but may have gaps (a
     /// rejected submission consumes one).
-    pub fn try_submit(&self, job: BatchJob) -> Result<u64, PushError<BatchJob>> {
+    pub fn try_submit(&self, job: BatchJob) -> Result<u64, SubmitError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .queue
-            .try_push((id, Instant::now(), job))
-            .map(|()| {
+        let queued = self.admit(id, job)?;
+        match self.shared.queue.try_push(queued) {
+            Ok(()) => {
                 self.note_submit(id);
-                id
-            })
-            .map_err(|e| match e {
-                PushError::Full((_, _, j)) => PushError::Full(j),
-                PushError::Closed((_, _, j)) => PushError::Closed(j),
-            })
+                Ok(id)
+            }
+            Err(e) => {
+                self.unadmit(id);
+                let cause = match &e {
+                    PushError::Full(_) => RejectCause::QueueFull,
+                    PushError::Closed(_) => RejectCause::ShuttingDown,
+                };
+                Err(SubmitError {
+                    job: e.into_inner().job,
+                    cause,
+                })
+            }
+        }
     }
 
     fn note_submit(&self, id: u64) {
@@ -783,8 +1459,9 @@ impl BatchService {
         self.shared.queue.len()
     }
 
-    /// Closes the queue, drains the remaining jobs, joins the workers,
-    /// and returns every result sorted by submission id.
+    /// Closes the queue, drains the remaining jobs (expired and cancelled
+    /// ones resolve without running), joins the workers, and returns
+    /// every result sorted by submission id.
     pub fn shutdown(self) -> Vec<BatchResult> {
         self.shared.queue.close();
         for handle in self.workers {

@@ -1,0 +1,201 @@
+//! Deterministic fault injection for the batch service: seed-driven
+//! per-job panics, allocator errors, and latency spikes.
+//!
+//! Robustness claims need hostile inputs, and hostile inputs need to be
+//! **reproducible**: a chaos run that cannot be replayed is a flake
+//! generator, not a test. Every fault here derives from a pure hash of
+//! `(seed, submission id)` — no RNG state threads through the service, so
+//! the same seed afflicts the same submissions regardless of worker
+//! count, interleaving, or how many times the run is repeated. That is
+//! also what keeps the determinism quarantine intact: a chaos-afflicted
+//! job degrades to the same spill-everything allocation the serial
+//! pipeline produces for it, byte for byte.
+//!
+//! Three fault shapes, each exercising a different recovery path:
+//!
+//! * [`Fault::Panic`] — the job's functions panic mid-allocation; the
+//!   pool's `catch_unwind` isolation turns each into the degraded
+//!   fallback ([`crate::driver::DriverReport`] reports `panicked`).
+//! * [`Fault::Error`] — the job's functions fail with
+//!   [`crate::AllocError::FaultInjected`]; the driver degrades them in
+//!   place, exactly like a genuine allocator error.
+//! * [`Fault::Spike`] — the job's service time is inflated by a fixed
+//!   sleep before allocation, which is how queue-wait tails, deadline
+//!   expiries, and per-job timeouts get exercised under load.
+//!
+//! Burst arrivals — the fourth perturbation the chaos harness drives —
+//! are an *arrival-process* fault and live with the load generator's
+//! traffic model, not here: the service cannot inject its own arrivals.
+
+use crate::driver::parallel::{AllocJob, JobCtx};
+use crate::error::AllocError;
+use crate::metrics::MetricsRegistry;
+use crate::pipeline::FuncAllocation;
+use crate::trace::AllocSink;
+use ccra_ir::Function;
+
+/// Fault-injection knobs. The default is inert (no faults); rates are
+/// per-mille so integer configs stay exact and seed-stable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// The seed every fault decision derives from.
+    pub seed: u64,
+    /// Per-mille of submissions whose functions panic.
+    pub panic_per_mille: u32,
+    /// Per-mille of submissions whose functions fail with
+    /// [`AllocError::FaultInjected`].
+    pub error_per_mille: u32,
+    /// Per-mille of submissions whose service time is inflated by
+    /// [`ChaosConfig::spike_us`].
+    pub spike_per_mille: u32,
+    /// The latency-spike duration, microseconds.
+    pub spike_us: u64,
+}
+
+/// What chaos does to one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Left alone.
+    None,
+    /// Every function of the job panics.
+    Panic,
+    /// Every function of the job fails with
+    /// [`AllocError::FaultInjected`].
+    Error,
+    /// The job sleeps [`ChaosConfig::spike_us`] before allocating.
+    Spike,
+}
+
+impl Fault {
+    /// A short label for logs and dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::Panic => "panic",
+            Fault::Error => "error",
+            Fault::Spike => "spike",
+        }
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed pure hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaosConfig {
+    /// Whether every fault rate is zero.
+    pub fn is_inert(&self) -> bool {
+        self.panic_per_mille == 0 && self.error_per_mille == 0 && self.spike_per_mille == 0
+    }
+
+    /// The fault afflicting submission `id` — a pure function of
+    /// `(seed, id)`, so the same run replays identically at any worker
+    /// count.
+    pub fn fault_for(&self, id: u64) -> Fault {
+        if self.is_inert() {
+            return Fault::None;
+        }
+        let roll = (mix(self.seed ^ mix(id)) % 1000) as u32;
+        if roll < self.panic_per_mille {
+            Fault::Panic
+        } else if roll < self.panic_per_mille + self.error_per_mille {
+            Fault::Error
+        } else if roll < self.panic_per_mille + self.error_per_mille + self.spike_per_mille {
+            Fault::Spike
+        } else {
+            Fault::None
+        }
+    }
+}
+
+/// An [`AllocJob`] wrapper that applies a submission's [`Fault`] to every
+/// function the driver hands it. [`Fault::Spike`] is a service-level
+/// (once-per-job) fault and is a no-op here — the batch worker sleeps
+/// before invoking the driver instead.
+pub struct ChaosJob<'a> {
+    inner: &'a dyn AllocJob,
+    fault: Fault,
+    id: u64,
+}
+
+impl<'a> ChaosJob<'a> {
+    /// Wraps `inner`, afflicting every function with `fault`.
+    pub fn new(inner: &'a dyn AllocJob, fault: Fault, id: u64) -> Self {
+        ChaosJob { inner, fault, id }
+    }
+}
+
+impl AllocJob for ChaosJob<'_> {
+    fn run(
+        &self,
+        ctx: &JobCtx<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<(Function, FuncAllocation), AllocError> {
+        match self.fault {
+            Fault::Panic => panic!("chaos: injected panic (submission {})", self.id),
+            Fault::Error => Err(AllocError::FaultInjected {
+                func: ctx.func.name().to_string(),
+            }),
+            Fault::None | Fault::Spike => self.inner.run(ctx, sink, metrics),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stormy() -> ChaosConfig {
+        ChaosConfig {
+            seed: 7,
+            panic_per_mille: 100,
+            error_per_mille: 150,
+            spike_per_mille: 200,
+            spike_us: 500,
+        }
+    }
+
+    #[test]
+    fn faults_are_a_pure_function_of_seed_and_id() {
+        let cfg = stormy();
+        let first: Vec<Fault> = (0..512).map(|id| cfg.fault_for(id)).collect();
+        let second: Vec<Fault> = (0..512).map(|id| cfg.fault_for(id)).collect();
+        assert_eq!(first, second, "replay is exact");
+        let other = ChaosConfig {
+            seed: 8,
+            ..stormy()
+        };
+        let reseeded: Vec<Fault> = (0..512).map(|id| other.fault_for(id)).collect();
+        assert_ne!(first, reseeded, "a different seed afflicts differently");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored_over_many_ids() {
+        let cfg = stormy();
+        let n = 4000;
+        let count = |want: Fault| (0..n).filter(|&id| cfg.fault_for(id) == want).count();
+        let panics = count(Fault::Panic);
+        let errors = count(Fault::Error);
+        let spikes = count(Fault::Spike);
+        let none = count(Fault::None);
+        assert_eq!(panics + errors + spikes + none, n as usize);
+        // 10% / 15% / 20% nominal; accept a generous band.
+        assert!((200..=600).contains(&panics), "panics: {panics}");
+        assert!((350..=850).contains(&errors), "errors: {errors}");
+        assert!((500..=1100).contains(&spikes), "spikes: {spikes}");
+    }
+
+    #[test]
+    fn inert_config_afflicts_nothing() {
+        let cfg = ChaosConfig::default();
+        assert!(cfg.is_inert());
+        assert!((0..256).all(|id| cfg.fault_for(id) == Fault::None));
+        assert_eq!(Fault::Panic.label(), "panic");
+        assert_eq!(Fault::None.label(), "none");
+    }
+}

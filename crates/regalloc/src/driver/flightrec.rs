@@ -74,6 +74,19 @@ pub enum FlightKind {
     BackpressureEngage,
     /// A stalled submit finally enqueued (`a` = submission id).
     BackpressureRelease,
+    /// The admission limiter shed a submission (`a` = submission id,
+    /// `b` = retry-after hint, microseconds).
+    Shed,
+    /// A job's deadline passed while it was queued; it was resolved
+    /// without running (`a` = submission id, `b` = microseconds queued).
+    DeadlineExpired,
+    /// A queued job was cancelled before a worker ran it
+    /// (`a` = submission id).
+    Cancelled,
+    /// A job's service-time watchdog fired; remaining functions took the
+    /// degraded fallback (`a` = submission id, `b` = degraded function
+    /// count).
+    Timeout,
 }
 
 impl FlightKind {
@@ -90,6 +103,10 @@ impl FlightKind {
             FlightKind::StealMiss => "steal_miss",
             FlightKind::BackpressureEngage => "backpressure_engage",
             FlightKind::BackpressureRelease => "backpressure_release",
+            FlightKind::Shed => "shed",
+            FlightKind::DeadlineExpired => "deadline_expired",
+            FlightKind::Cancelled => "cancelled",
+            FlightKind::Timeout => "timeout",
         }
     }
 }

@@ -15,7 +15,15 @@
 //!   fanned in function order and per-job failures (errors *and* panics)
 //!   degraded in place instead of killing the batch;
 //! * [`BatchService`] — submit many programs against a bounded queue with
-//!   backpressure, collect per-job statuses;
+//!   backpressure, collect per-job statuses; jobs carry a priority and an
+//!   optional deadline (EDF within priority class), can be cancelled while
+//!   queued, and are bounded by an optional service-time watchdog;
+//! * [`admission`] — the latency-aware AIMD admission limiter in front of
+//!   the queue: when observed end-to-end latency blows the SLO, `submit`
+//!   sheds with a typed rejection and retry-after hint instead of
+//!   blocking;
+//! * [`chaos`] — deterministic seed-driven fault injection (per-job
+//!   panics, allocator errors, latency spikes) for overload testing;
 //! * [`queue`] — the bounded MPMC queue underneath the service;
 //! * [`timeline`] — per-worker span/instant/counter collection for the
 //!   pool and driver (exported as a Chrome trace by
@@ -29,12 +37,14 @@
 //!
 //! The `ccra-eval` `par` binary sweeps worker counts over the perf
 //! workloads with the driver and records the speedup into the
-//! `BENCH_4.json` snapshot; the `timeline` binary captures one traced
+//! `BENCH_5.json` snapshot; the `timeline` binary captures one traced
 //! batch as a Perfetto-loadable timeline; the `loadgen` binary drives the
-//! batch service open-loop and records the latency section of the same
-//! snapshot.
+//! batch service open-loop (`--chaos` adds a seeded overload storm) and
+//! records the latency and admission sections of the same snapshot.
 
+pub mod admission;
 pub mod batch;
+pub mod chaos;
 pub mod flightrec;
 mod parallel;
 pub mod pool;
@@ -42,13 +52,16 @@ pub mod queue;
 pub mod status;
 pub mod timeline;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
 pub use batch::{
-    BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus, RequestTrace,
+    BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus, CancelOutcome,
+    DegradeCause, Priority, RejectCause, RequestTrace, SubmitError,
 };
+pub use chaos::{ChaosConfig, ChaosJob, Fault};
 pub use flightrec::{FlightEvent, FlightKind, FlightRecorder, FlightView};
 pub use parallel::{
     AllocJob, AllocRequest, DefaultJob, DriverReport, DriverSummary, JobCtx, JobStatus,
-    ParallelDriver,
+    ParallelDriver, TimeoutJob,
 };
 pub use pool::{run_jobs, run_jobs_observed, JobOutcome, PoolStats, WorkerScratch};
 pub use queue::{BoundedQueue, PushError, QueueStats};

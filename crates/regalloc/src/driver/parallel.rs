@@ -52,6 +52,9 @@
 //! file below the ABI minimum — aborts the batch, mirroring the serial
 //! contract.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
 use ccra_analysis::{FrequencyInfo, FuncFreq};
 use ccra_ir::{Function, Program};
 use ccra_machine::{CostModel, RegisterFile};
@@ -140,6 +143,57 @@ impl AllocJob for DefaultJob {
         allocate_function_instrumented(
             ctx.func, ctx.freq, ctx.file, ctx.config, ctx.cost, sink, metrics,
         )
+    }
+}
+
+/// An [`AllocJob`] wrapper enforcing a service-time watchdog: once the
+/// wall-clock deadline passes, every remaining function fails with
+/// [`AllocError::DeadlineExceeded`] instead of running — which the driver
+/// turns into the spill-everything degraded fallback, so an overrunning
+/// job finishes *degraded, fast, and accounted for* rather than holding a
+/// worker indefinitely.
+///
+/// The check is cooperative and per-function: functions already allocated
+/// when the deadline fires keep their strict results (the degraded
+/// fallback is per-function, not per-job). [`TimeoutJob::fired`] reports
+/// whether the watchdog tripped, so the batch layer can label the result's
+/// degradation cause `Timeout` without parsing reason strings.
+pub struct TimeoutJob<'a> {
+    inner: &'a dyn AllocJob,
+    deadline: Instant,
+    fired: AtomicBool,
+}
+
+impl<'a> TimeoutJob<'a> {
+    /// Wraps `inner` with a wall-clock deadline.
+    pub fn new(inner: &'a dyn AllocJob, deadline: Instant) -> Self {
+        TimeoutJob {
+            inner,
+            deadline,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether any function hit the deadline.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+impl AllocJob for TimeoutJob<'_> {
+    fn run(
+        &self,
+        ctx: &JobCtx<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<(Function, FuncAllocation), AllocError> {
+        if Instant::now() >= self.deadline {
+            self.fired.store(true, Ordering::Relaxed);
+            return Err(AllocError::DeadlineExceeded {
+                func: ctx.func.name().to_string(),
+            });
+        }
+        self.inner.run(ctx, sink, metrics)
     }
 }
 

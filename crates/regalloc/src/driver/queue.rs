@@ -179,6 +179,41 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues the item whose `key` is smallest, blocking while the
+    /// queue is empty. Returns `None` once the queue is closed and fully
+    /// drained.
+    ///
+    /// This is the scheduling pop of the batch service: the key encodes
+    /// (priority, deadline, estimated cost, id), so the queue doubles as
+    /// a small priority queue without giving up the bounded/blocking
+    /// contract. Selection scans the whole queue under the lock — O(depth)
+    /// per pop, which at serving-queue capacities (tens of slots) is
+    /// noise next to one allocation. Ties keep the oldest minimal item
+    /// ([`Iterator::min_by_key`] returns the first minimum), so equal
+    /// keys degrade gracefully to FIFO.
+    pub fn pop_min_by_key<K: Ord>(&self, key: impl Fn(&T) -> K) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if !state.items.is_empty() {
+                let best = state
+                    .items
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, item)| key(item))
+                    .map(|(i, _)| i)
+                    .expect("non-empty queue has a minimum");
+                let item = state.items.remove(best).expect("selected index in range");
+                state.pops += 1;
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
     /// A consistent snapshot of the queue's traffic counters.
     pub fn stats(&self) -> QueueStats {
         let state = self.state.lock().expect("queue lock");
@@ -247,6 +282,36 @@ mod tests {
         assert_eq!(q.pop(), Some(10), "close drains what was queued");
         assert_eq!(q.pop(), None, "then reports exhaustion");
         assert_eq!(PushError::Full(7).into_inner(), 7);
+    }
+
+    #[test]
+    fn pop_min_by_key_selects_by_key_and_falls_back_to_fifo_on_ties() {
+        let q = BoundedQueue::new(8);
+        for item in [(1u8, 'a'), (0, 'b'), (2, 'c'), (0, 'd')] {
+            q.try_push(item).expect("fits");
+        }
+        // Smallest key first; the two zero-keyed items come out in
+        // arrival order.
+        assert_eq!(q.pop_min_by_key(|&(k, _)| k), Some((0, 'b')));
+        assert_eq!(q.pop_min_by_key(|&(k, _)| k), Some((0, 'd')));
+        assert_eq!(q.pop_min_by_key(|&(k, _)| k), Some((1, 'a')));
+        assert_eq!(q.pop_min_by_key(|&(k, _)| k), Some((2, 'c')));
+        assert_eq!(q.stats().pops, 4);
+    }
+
+    #[test]
+    fn pop_min_by_key_blocks_until_an_item_arrives_and_drains_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_min_by_key(|&x| x))
+        };
+        q.try_push(9).expect("fits");
+        assert_eq!(consumer.join().expect("consumer finishes"), Some(9));
+        q.try_push(5).expect("fits");
+        q.close();
+        assert_eq!(q.pop_min_by_key(|&x| x), Some(5), "close drains");
+        assert_eq!(q.pop_min_by_key(|&x| x), None, "then reports exhaustion");
     }
 
     #[test]

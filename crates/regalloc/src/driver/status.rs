@@ -8,8 +8,10 @@
 //!   Prometheus text exposition format
 //!   ([`BatchHandle::metrics_text`]);
 //! * `/status` — a JSON document with the live queue depth, in-flight
-//!   count, per-job [`BatchStatus`], degraded-function total, and the
-//!   queue-wait / service / end-to-end latency quantiles
+//!   count, per-job [`BatchStatus`], degraded-function total, the
+//!   queue-wait / service / end-to-end latency quantiles, and an
+//!   `admission` object (limiter window and admitted count, shed /
+//!   expired / cancelled / timeout totals, per-priority e2e p50/p99)
 //!   ([`BatchHandle::status_value`]);
 //! * `/trace/<id>` — one request's Chrome-trace JSON
 //!   ([`BatchHandle::trace_chrome_json`]; `<id>` is the submission id,

@@ -89,6 +89,23 @@ pub enum AllocError {
         /// Live ranges still uncolored after spilling everything.
         remaining_uncolored: usize,
     },
+    /// The serving layer's per-job watchdog
+    /// ([`crate::driver::TimeoutJob`]) expired before this function was
+    /// allocated; it falls back to the degraded allocation like any other
+    /// per-function failure. Not an allocator invariant — a service
+    /// policy decision, surfaced through the same recoverable channel.
+    DeadlineExceeded {
+        /// The function the watchdog preempted.
+        func: String,
+    },
+    /// A chaos-harness fault ([`crate::driver::chaos`]) was injected in
+    /// place of allocating this function. Only fault-injection runs
+    /// produce it; it exercises exactly the recovery path a genuine
+    /// allocator error takes.
+    FaultInjected {
+        /// The function the fault afflicted.
+        func: String,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -147,6 +164,12 @@ impl std::fmt::Display for AllocError {
                     "degraded allocation of `{func}` left {remaining_uncolored} live ranges \
                      uncolored"
                 )
+            }
+            AllocError::DeadlineExceeded { func } => {
+                write!(f, "service timeout expired before `{func}` was allocated")
+            }
+            AllocError::FaultInjected { func } => {
+                write!(f, "chaos fault injected in place of allocating `{func}`")
             }
         }
     }

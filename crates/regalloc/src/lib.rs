@@ -101,10 +101,11 @@ pub use chaitin::{
 pub use check::check_allocation_metered;
 pub use check::{check_allocation, CheckViolation};
 pub use driver::{
-    AllocRequest, BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus,
-    DriverReport, DriverSummary, FlightEvent, FlightKind, FlightRecorder, FlightView, JobStatus,
-    ParallelDriver, RequestTrace, StatusServer, Timeline, TimelineCollector, TimelineEvent,
-    TimelineSummary,
+    AdmissionConfig, AdmissionController, AdmissionSnapshot, AllocRequest, BatchConfig,
+    BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus, CancelOutcome, ChaosConfig,
+    DegradeCause, DriverReport, DriverSummary, FlightEvent, FlightKind, FlightRecorder, FlightView,
+    JobStatus, ParallelDriver, Priority, RejectCause, RequestTrace, StatusServer, SubmitError,
+    Timeline, TimelineCollector, TimelineEvent, TimelineSummary,
 };
 pub use error::AllocError;
 pub use graph::InterferenceGraph;

@@ -26,9 +26,9 @@ use ccra_regalloc::{
 use ccra_workloads::{random_program, FuzzConfig};
 
 fn fuzz_job(name: &str, seed: u64, functions: usize, stmts_per_fn: usize) -> BatchJob {
-    BatchJob {
-        name: name.to_string(),
-        program: random_program(
+    BatchJob::new(
+        name,
+        random_program(
             seed,
             &FuzzConfig {
                 functions,
@@ -37,9 +37,9 @@ fn fuzz_job(name: &str, seed: u64, functions: usize, stmts_per_fn: usize) -> Bat
                 max_trips: 5,
             },
         ),
-        file: RegisterFile::new(8, 6, 2, 2),
-        config: AllocatorConfig::improved(),
-    }
+        RegisterFile::new(8, 6, 2, 2),
+        AllocatorConfig::improved(),
+    )
 }
 
 /// A job big enough that it keeps its service worker busy for the whole
@@ -195,12 +195,12 @@ fn shutdown_with_pending_jobs_drains_and_reports_each_exactly_once() {
         expect_ok.push(id);
     }
     let failing_id = service
-        .submit(BatchJob {
-            name: "no-main".to_string(),
-            program: Program::new(),
-            file: RegisterFile::new(8, 6, 2, 2),
-            config: AllocatorConfig::base(),
-        })
+        .submit(BatchJob::new(
+            "no-main",
+            Program::new(),
+            RegisterFile::new(8, 6, 2, 2),
+            AllocatorConfig::base(),
+        ))
         .expect("queue open");
 
     let results = service.shutdown();
@@ -361,12 +361,12 @@ fn failed_jobs_auto_dump_the_flight_recorder() {
         .submit(light_job("healthy", 88))
         .expect("queue open");
     service
-        .submit(BatchJob {
-            name: "no-main".to_string(),
-            program: Program::new(),
-            file: RegisterFile::new(8, 6, 2, 2),
-            config: AllocatorConfig::base(),
-        })
+        .submit(BatchJob::new(
+            "no-main",
+            Program::new(),
+            RegisterFile::new(8, 6, 2, 2),
+            AllocatorConfig::base(),
+        ))
         .expect("queue open");
     let results = service.shutdown();
     assert_eq!(results.len(), 2);

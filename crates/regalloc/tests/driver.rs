@@ -484,12 +484,12 @@ fn batch_service_round_trips_jobs_and_isolates_failures() {
     for (i, seed) in [3u64, 11, 42].iter().enumerate() {
         let name = format!("fuzz-{seed}");
         let id = service
-            .submit(BatchJob {
-                name: name.clone(),
-                program: many_function_fuzz(*seed, 5),
+            .submit(BatchJob::new(
+                &name,
+                many_function_fuzz(*seed, 5),
                 file,
-                config: AllocatorConfig::improved(),
-            })
+                AllocatorConfig::improved(),
+            ))
             .expect("queue open");
         assert_eq!(id, i as u64, "ids are sequential");
         expected.push((id, name, true));
@@ -497,12 +497,12 @@ fn batch_service_round_trips_jobs_and_isolates_failures() {
     // A program with no main cannot be profiled: the job fails, honestly
     // and alone.
     let id = service
-        .submit(BatchJob {
-            name: "no-main".to_string(),
-            program: Program::new(),
+        .submit(BatchJob::new(
+            "no-main",
+            Program::new(),
             file,
-            config: AllocatorConfig::base(),
-        })
+            AllocatorConfig::base(),
+        ))
         .expect("queue open");
     expected.push((id, "no-main".to_string(), false));
 

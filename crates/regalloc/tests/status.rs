@@ -62,9 +62,9 @@ fn endpoint_serves_live_service_state_over_a_real_socket() {
     // Two healthy jobs and one that cannot be profiled (no main).
     for (i, seed) in [5u64, 23].iter().enumerate() {
         service
-            .submit(BatchJob {
-                name: format!("fuzz-{i}"),
-                program: random_program(
+            .submit(BatchJob::new(
+                format!("fuzz-{i}"),
+                random_program(
                     *seed,
                     &FuzzConfig {
                         functions: 4,
@@ -73,18 +73,18 @@ fn endpoint_serves_live_service_state_over_a_real_socket() {
                         max_trips: 4,
                     },
                 ),
-                file: RegisterFile::new(8, 6, 2, 2),
-                config: AllocatorConfig::improved(),
-            })
+                RegisterFile::new(8, 6, 2, 2),
+                AllocatorConfig::improved(),
+            ))
             .expect("queue open");
     }
     service
-        .submit(BatchJob {
-            name: "no-main".to_string(),
-            program: Program::new(),
-            file: RegisterFile::new(8, 6, 2, 2),
-            config: AllocatorConfig::base(),
-        })
+        .submit(BatchJob::new(
+            "no-main",
+            Program::new(),
+            RegisterFile::new(8, 6, 2, 2),
+            AllocatorConfig::base(),
+        ))
         .expect("queue open");
     wait_until("all three jobs to complete", || {
         handle.statuses().len() == 3 && handle.in_flight() == 0
@@ -176,9 +176,9 @@ fn served_service() -> (BatchService, StatusServer, SocketAddr) {
     });
     let handle = service.handle();
     service
-        .submit(BatchJob {
-            name: "healthy".to_string(),
-            program: random_program(
+        .submit(BatchJob::new(
+            "healthy",
+            random_program(
                 9,
                 &FuzzConfig {
                     functions: 3,
@@ -187,17 +187,17 @@ fn served_service() -> (BatchService, StatusServer, SocketAddr) {
                     max_trips: 4,
                 },
             ),
-            file: RegisterFile::new(8, 6, 2, 2),
-            config: AllocatorConfig::improved(),
-        })
+            RegisterFile::new(8, 6, 2, 2),
+            AllocatorConfig::improved(),
+        ))
         .expect("queue open");
     service
-        .submit(BatchJob {
-            name: "no-main".to_string(),
-            program: Program::new(),
-            file: RegisterFile::new(8, 6, 2, 2),
-            config: AllocatorConfig::base(),
-        })
+        .submit(BatchJob::new(
+            "no-main",
+            Program::new(),
+            RegisterFile::new(8, 6, 2, 2),
+            AllocatorConfig::base(),
+        ))
         .expect("queue open");
     wait_until("both jobs to complete", || {
         handle.statuses().len() == 2 && handle.in_flight() == 0
