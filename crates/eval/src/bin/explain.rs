@@ -6,6 +6,7 @@
 //! ```text
 //! explain <workload> [--config <name>] [--scale <f64>]
 //!         [--regs Ri Ei Rf Ef] [--func <name>] [--json]
+//! explain --diff <old.json> <new.json> [--json]
 //! ```
 //!
 //! * `<workload>` — a SPEC92-like program name (`eqntott`, `ear`, …).
@@ -14,7 +15,12 @@
 //! * `--regs` — caller-int, callee-int, caller-float, callee-float bank
 //!   sizes (default the full MIPS file).
 //! * `--func` — report only the named function.
-//! * `--json` — emit the reports as JSON instead of text tables.
+//! * `--json` — emit the reports (or the diff) as JSON instead of text.
+//! * `--diff` — join two previously saved `--json` report files per web
+//!   and attribute each function's overhead delta to the webs whose
+//!   SC/BS/PR/location decisions flipped between the runs. Exits 0 when
+//!   the allocations are quality-equivalent, 1 when anything changed —
+//!   so a CI step can use the diff itself as a gate.
 
 use std::process::ExitCode;
 
@@ -23,6 +29,7 @@ use ccra_eval::explain;
 use ccra_machine::RegisterFile;
 use ccra_regalloc::{allocate_program_traced, AllocatorConfig, PriorityOrdering, RecordingSink};
 use ccra_workloads::{spec_program_scaled, Scale, SpecProgram};
+use serde::{Deserialize, Serialize};
 
 struct Args {
     program: SpecProgram,
@@ -40,6 +47,7 @@ fn usage() -> ! {
          [--regs <caller-int> <callee-int> <caller-float> <callee-float>] \
          [--func <name>] [--json]"
     );
+    eprintln!("       explain --diff <old.json> <new.json> [--json]");
     eprintln!(
         "workloads: {}",
         SpecProgram::ALL.map(|p| p.name()).join(", ")
@@ -135,7 +143,43 @@ fn parse_args() -> Args {
     }
 }
 
+fn load_reports(path: &str) -> Result<Vec<explain::FuncReport>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = serde::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Vec::<explain::FuncReport>::from_value(&value).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_diff(old_path: &str, new_path: &str, json: bool) -> ExitCode {
+    let (old, new) = match (load_reports(old_path), load_reports(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = explain::diff_reports(&old, &new);
+    if json {
+        println!("{}", diff.to_json());
+    } else {
+        println!("{}", explain::diff_table(&diff));
+    }
+    let clean = diff.funcs.is_empty() && diff.only_old.is_empty() && diff.only_new.is_empty();
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = argv.iter().position(|a| a == "--diff") {
+        let (Some(old_path), Some(new_path)) = (argv.get(i + 1), argv.get(i + 2)) else {
+            usage()
+        };
+        let json = argv.iter().any(|a| a == "--json");
+        return run_diff(old_path, new_path, json);
+    }
     let args = parse_args();
 
     let ir = spec_program_scaled(args.program, args.scale);

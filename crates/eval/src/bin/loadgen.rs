@@ -372,6 +372,7 @@ fn empty_snapshot(workers: usize) -> BenchSnapshot {
         parallel: Vec::new(),
         latency: Vec::new(),
         admission: Vec::new(),
+        quality: Vec::new(),
     }
 }
 

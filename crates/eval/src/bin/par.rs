@@ -139,6 +139,7 @@ fn main() -> ExitCode {
         parallel,
         latency: Vec::new(),
         admission: Vec::new(),
+        quality: Vec::new(),
     };
     if let Err(e) = std::fs::write(&args.out, snapshot.to_json() + "\n") {
         eprintln!("cannot write {}: {e}", args.out);

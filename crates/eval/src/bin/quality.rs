@@ -1,0 +1,265 @@
+//! Runs the fixed allocation-quality matrix and writes its scores into a
+//! schema-versioned snapshot's `quality` section, optionally gating
+//! against a committed baseline.
+//!
+//! ```text
+//! quality [--scale <f64>] [--out <file.json>] [--into <file.json>]
+//!         [--check <baseline.json>] [--threshold <pct>]
+//!         [--degrade <workload>]
+//! ```
+//!
+//! * `--scale` — workload scale (default 1.0, or the `BENCH_SCALE`
+//!   environment variable; the flag wins).
+//! * `--out` — write a standalone snapshot here (default
+//!   `BENCH_<version>_quality.json`).
+//! * `--into` — instead of a standalone snapshot, replace the `quality`
+//!   section of an existing snapshot and rewrite it in place (the way a
+//!   CI run folds quality scores into the `perf` snapshot).
+//! * `--check` — compare against a baseline snapshot's `quality`
+//!   section; exit 1 when any cell (or the aggregate) estimates more
+//!   than `--threshold` percent more execution cycles (default 10).
+//!   Scale and schema version must match the baseline.
+//! * `--degrade` — allocate the named workload with the spill-everything
+//!   fallback: an injected regression that must make `--check` fail
+//!   (proving the gate fires; see the CI `quality` job).
+
+use std::process::ExitCode;
+
+use ccra_eval::perfsnap::{self, BenchSnapshot, HostInfo, BENCH_SCHEMA_VERSION};
+use ccra_eval::quality::{compare_quality, run_quality_matrix};
+use ccra_workloads::Scale;
+use serde::Serialize;
+
+struct Args {
+    scale: Scale,
+    out: String,
+    into: Option<String>,
+    check: Option<String>,
+    threshold: f64,
+    degrade: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: quality [--scale <f64>] [--out <file.json>] [--into <file.json>] \
+         [--check <baseline.json>] [--threshold <pct>] [--degrade <workload>]"
+    );
+    eprintln!("the BENCH_SCALE environment variable sets the default scale");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map_or(Scale(1.0), Scale);
+    let mut out = format!("BENCH_{BENCH_SCHEMA_VERSION}_quality.json");
+    let mut into = None;
+    let mut check = None;
+    let mut threshold = 10.0;
+    let mut degrade = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| -> &str {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = Scale(take(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--out" => {
+                out = take(i).to_string();
+                i += 2;
+            }
+            "--into" => {
+                into = Some(take(i).to_string());
+                i += 2;
+            }
+            "--check" => {
+                check = Some(take(i).to_string());
+                i += 2;
+            }
+            "--threshold" => {
+                threshold = take(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--degrade" => {
+                degrade = Some(take(i).to_string());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    Args {
+        scale,
+        out,
+        into,
+        check,
+        threshold,
+        degrade,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    eprintln!(
+        "quality: schema v{BENCH_SCHEMA_VERSION}, scale {}{}",
+        args.scale.0,
+        args.degrade
+            .as_deref()
+            .map(|w| format!(", degrading {w} (injected regression)"))
+            .unwrap_or_default()
+    );
+    let entries = match run_quality_matrix(args.scale, args.degrade.as_deref(), |e| {
+        eprintln!(
+            "  {:>8} [{:^10}] {:>5}: {:>12.0} est cycles, {:>10.0} measured overhead ops, \
+             drift {:>+7.1}%{}",
+            e.workload,
+            e.config,
+            e.regs,
+            e.estimated_cycles,
+            e.measured_overhead_ops,
+            e.drift_pct,
+            if e.replay_ok { "" } else { "  [replay failed]" }
+        );
+    }) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("allocation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total: f64 = entries.iter().map(|e| e.estimated_cycles).sum();
+    eprintln!(
+        "aggregate: {:.0} estimated cycles over {} cells",
+        total,
+        entries.len()
+    );
+
+    let write_result = match &args.into {
+        Some(path) => merge_into(path, &entries, args.scale),
+        None => {
+            let snapshot = BenchSnapshot {
+                schema_version: BENCH_SCHEMA_VERSION,
+                scale: args.scale.0,
+                iters: 1,
+                host: HostInfo::detect(&[]),
+                entries: Vec::new(),
+                parallel: Vec::new(),
+                latency: Vec::new(),
+                admission: Vec::new(),
+                quality: entries.clone(),
+            };
+            std::fs::write(&args.out, snapshot.to_json() + "\n")
+                .map(|()| args.out.clone())
+                .map_err(|e| format!("cannot write {}: {e}", args.out))
+        }
+    };
+    let written = match write_result {
+        Ok(path) => {
+            eprintln!("wrote {path}");
+            path
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &args.check {
+        return check_against(path, &entries, args.scale, args.threshold, &written);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Replaces the `quality` section of an existing snapshot in place.
+fn merge_into(
+    path: &str,
+    entries: &[perfsnap::QualityEntry],
+    scale: Scale,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut snapshot = perfsnap::parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
+    if snapshot.scale != scale.0 {
+        return Err(format!(
+            "scale mismatch: {path} was run at scale {}, this run is {}",
+            snapshot.scale, scale.0
+        ));
+    }
+    snapshot.quality = entries.to_vec();
+    std::fs::write(path, snapshot.to_json() + "\n")
+        .map(|()| path.to_string())
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn check_against(
+    path: &str,
+    entries: &[perfsnap::QualityEntry],
+    scale: Scale,
+    threshold: f64,
+    written: &str,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match perfsnap::parse_snapshot(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.scale != scale.0 {
+        eprintln!(
+            "scale mismatch: baseline {path} was run at scale {}, this run is {}",
+            baseline.scale, scale.0
+        );
+        return ExitCode::FAILURE;
+    }
+    let cmp = match compare_quality(&baseline.quality, entries, threshold) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot compare against {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &cmp.per_entry {
+        eprintln!(
+            "  {:<28} {:>12.0} -> {:>12.0} est cycles ({:+.1}%){}",
+            d.key,
+            d.baseline_cycles,
+            d.current_cycles,
+            d.delta_pct,
+            if d.exceeded { "  [regressed!]" } else { "" }
+        );
+    }
+    for key in &cmp.missing {
+        eprintln!("  {key:<28} missing from this run");
+    }
+    if cmp.regressed {
+        eprintln!(
+            "QUALITY REGRESSION: aggregate {:.0} est cycles vs baseline {:.0} \
+             ({:+.1}%, threshold {threshold:.1}%); snapshot at {written}",
+            cmp.current_cycles, cmp.baseline_cycles, cmp.delta_pct
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "ok: aggregate {:.0} est cycles vs baseline {:.0} ({:+.1}%, \
+             threshold {threshold:.1}%)",
+            cmp.current_cycles, cmp.baseline_cycles, cmp.delta_pct
+        );
+        ExitCode::SUCCESS
+    }
+}

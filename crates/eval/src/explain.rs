@@ -202,6 +202,226 @@ pub fn reports_to_json(reports: &[FuncReport]) -> String {
     format!("[{}]", items.join(",\n"))
 }
 
+/// One web whose final decision differs between two reports, with the
+/// decision dimensions that flipped (`"sc"` — the storage-class cost
+/// comparison went the other way; `"bs"` — a different
+/// benefit-driven-simplification key or value ordered it; `"pr"` — the
+/// preference verdict changed; `"loc"` — it landed somewhere else).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionFlip {
+    /// The interference-graph node (web) id.
+    pub node: u32,
+    /// The register class (`"int"` / `"float"`).
+    pub class: String,
+    /// Which decision dimensions flipped (see the struct docs).
+    pub flipped: Vec<String>,
+    /// The web's final location in the old report.
+    pub old_loc: String,
+    /// The web's final location in the new report.
+    pub new_loc: String,
+    /// The old report's explanation.
+    pub old_why: String,
+    /// The new report's explanation.
+    pub new_why: String,
+}
+
+/// One function's quality delta between two reports, attributed to the
+/// webs whose decisions flipped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncDiff {
+    /// The function's name.
+    pub func: String,
+    /// Old total weighted overhead.
+    pub old_overhead: f64,
+    /// New total weighted overhead.
+    pub new_overhead: f64,
+    /// `new_overhead - old_overhead` (positive = got costlier).
+    pub delta: f64,
+    /// Old spilled-range count.
+    pub old_spilled: u64,
+    /// New spilled-range count.
+    pub new_spilled: u64,
+    /// Webs whose final decision differs, in node order.
+    pub flips: Vec<DecisionFlip>,
+}
+
+/// The join of two report sets (see [`diff_reports`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportDiff {
+    /// Functions present in both sets whose overhead or decisions
+    /// changed, in old-report order.
+    pub funcs: Vec<FuncDiff>,
+    /// Functions only the old report has.
+    pub only_old: Vec<String>,
+    /// Functions only the new report has.
+    pub only_new: Vec<String>,
+    /// Sum of the per-function overhead deltas.
+    pub total_delta: f64,
+}
+
+/// The final (last-emitted) decision per `(node, class)` — earlier rounds'
+/// records for the same web are superseded.
+fn final_decisions(r: &FuncReport) -> Vec<&ExplainedDecision> {
+    let mut finals: Vec<&ExplainedDecision> = Vec::new();
+    for d in &r.decisions {
+        match finals
+            .iter()
+            .position(|f| f.node == d.node && f.class == d.class)
+        {
+            Some(i) => finals[i] = d,
+            None => finals.push(d),
+        }
+    }
+    finals.sort_by_key(|d| (d.class.clone(), d.node));
+    finals
+}
+
+fn flip_of(old: &ExplainedDecision, new: &ExplainedDecision) -> Option<DecisionFlip> {
+    let mut flipped = Vec::new();
+    // SC: the storage-class cost comparison — did the cheaper bank change?
+    if (old.benefit_callee < old.benefit_caller) != (new.benefit_callee < new.benefit_caller) {
+        flipped.push("sc".to_string());
+    }
+    // BS: the simplification key or its value ordered the web differently.
+    if old.bs_key != new.bs_key || old.bs_value != new.bs_value {
+        flipped.push("bs".to_string());
+    }
+    // PR: the preference verdict changed.
+    if old.pref_forced != new.pref_forced || old.pref_votes != new.pref_votes {
+        flipped.push("pr".to_string());
+    }
+    // Location: it landed somewhere else (colored ↔ spilled included).
+    if old.loc != new.loc || old.reason != new.reason {
+        flipped.push("loc".to_string());
+    }
+    if flipped.is_empty() {
+        return None;
+    }
+    Some(DecisionFlip {
+        node: old.node,
+        class: old.class.clone(),
+        flipped,
+        old_loc: old.loc.clone(),
+        new_loc: new.loc.clone(),
+        old_why: old.why.clone(),
+        new_why: new.why.clone(),
+    })
+}
+
+/// Joins two report sets per function and per web, attributing each
+/// function's overhead delta to the webs whose final SC/BS/PR/location
+/// decisions flipped between the runs. Functions whose overhead and
+/// decisions are identical are dropped — an empty diff means the two
+/// allocations are quality-equivalent.
+pub fn diff_reports(old: &[FuncReport], new: &[FuncReport]) -> ReportDiff {
+    let mut funcs = Vec::new();
+    let mut only_old = Vec::new();
+    let mut total_delta = 0.0;
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.func == o.func) else {
+            only_old.push(o.func.clone());
+            continue;
+        };
+        let old_finals = final_decisions(o);
+        let new_finals = final_decisions(n);
+        let mut flips = Vec::new();
+        for od in &old_finals {
+            if let Some(nd) = new_finals
+                .iter()
+                .find(|nd| nd.node == od.node && nd.class == od.class)
+            {
+                flips.extend(flip_of(od, nd));
+            }
+        }
+        let delta = n.overhead_total - o.overhead_total;
+        total_delta += delta;
+        if delta != 0.0 || !flips.is_empty() || o.spilled_ranges != n.spilled_ranges {
+            funcs.push(FuncDiff {
+                func: o.func.clone(),
+                old_overhead: o.overhead_total,
+                new_overhead: n.overhead_total,
+                delta,
+                old_spilled: o.spilled_ranges,
+                new_spilled: n.spilled_ranges,
+                flips,
+            });
+        }
+    }
+    let only_new = new
+        .iter()
+        .filter(|n| old.iter().all(|o| o.func != n.func))
+        .map(|n| n.func.clone())
+        .collect();
+    ReportDiff {
+        funcs,
+        only_old,
+        only_new,
+        total_delta,
+    }
+}
+
+/// Renders a diff as an aligned text table: one row per flipped web,
+/// carrying its function's overhead delta on the first row.
+pub fn diff_table(diff: &ReportDiff) -> Table {
+    let mut t = Table::new(
+        format!(
+            "quality diff — {} function(s) changed, total overhead delta {:+.2}",
+            diff.funcs.len(),
+            diff.total_delta
+        ),
+        ["func", "Δoverhead", "node", "class", "flipped", "old → new"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for f in &diff.funcs {
+        if f.flips.is_empty() {
+            t.push_row(vec![
+                f.func.clone(),
+                format!("{:+.2}", f.delta),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("(spilled {} → {})", f.old_spilled, f.new_spilled),
+            ]);
+        }
+        for (i, flip) in f.flips.iter().enumerate() {
+            t.push_row(vec![
+                f.func.clone(),
+                if i == 0 {
+                    format!("{:+.2}", f.delta)
+                } else {
+                    String::new()
+                },
+                flip.node.to_string(),
+                flip.class.clone(),
+                flip.flipped.join("+"),
+                format!("{} → {}", flip.old_loc, flip.new_loc),
+            ]);
+        }
+    }
+    for func in &diff.only_old {
+        t.push_row(vec![
+            func.clone(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "only-old".to_string(),
+            String::new(),
+        ]);
+    }
+    for func in &diff.only_new {
+        t.push_row(vec![
+            func.clone(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "only-new".to_string(),
+            String::new(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +487,57 @@ mod tests {
         let value = serde::json::parse(&json).expect("valid JSON");
         let back = Vec::<FuncReport>::from_value(&value).expect("parses back");
         assert_eq!(back, reports);
+    }
+
+    #[test]
+    fn diff_of_identical_reports_is_empty() {
+        let events = record(&AllocatorConfig::improved(), RegisterFile::new(8, 6, 2, 2));
+        let reports = build_reports(&events);
+        let diff = diff_reports(&reports, &reports);
+        assert!(diff.funcs.is_empty());
+        assert!(diff.only_old.is_empty() && diff.only_new.is_empty());
+        assert_eq!(diff.total_delta, 0.0);
+    }
+
+    #[test]
+    fn diff_attributes_config_change_to_flipped_webs() {
+        // base vs SC+BS+PR on a tight file: decisions genuinely flip.
+        let file = RegisterFile::new(6, 4, 1, 0);
+        let old = build_reports(&record(&AllocatorConfig::base(), file));
+        let new = build_reports(&record(&AllocatorConfig::improved(), file));
+        let diff = diff_reports(&old, &new);
+        assert!(!diff.funcs.is_empty(), "configs differ somewhere");
+        let flips: Vec<&DecisionFlip> = diff.funcs.iter().flat_map(|f| &f.flips).collect();
+        assert!(!flips.is_empty(), "deltas are attributed to webs");
+        for flip in &flips {
+            assert!(!flip.flipped.is_empty());
+            for kind in &flip.flipped {
+                assert!(
+                    ["sc", "bs", "pr", "loc"].contains(&kind.as_str()),
+                    "unknown flip kind {kind}"
+                );
+            }
+        }
+        // The aggregate delta matches the per-function deltas.
+        let sum: f64 = diff.funcs.iter().map(|f| f.delta).sum();
+        assert!((sum - diff.total_delta).abs() < 1e-9);
+        // And the table renders a row per flip.
+        let t = diff_table(&diff);
+        assert!(t.rows.len() >= flips.len());
+        // A missing function is reported, not silently dropped.
+        let partial = diff_reports(&old[..old.len() - 1], &new);
+        assert_eq!(partial.only_new.len(), 1);
+    }
+
+    #[test]
+    fn diff_roundtrips_through_json() {
+        let file = RegisterFile::new(6, 4, 1, 0);
+        let old = build_reports(&record(&AllocatorConfig::base(), file));
+        let new = build_reports(&record(&AllocatorConfig::improved(), file));
+        let diff = diff_reports(&old, &new);
+        let value = serde::json::parse(&diff.to_json()).expect("valid JSON");
+        let back = ReportDiff::from_value(&value).expect("parses back");
+        assert_eq!(back, diff);
     }
 
     #[test]

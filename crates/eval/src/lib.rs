@@ -55,6 +55,7 @@ pub mod loadgen;
 pub mod parsweep;
 pub mod perfsnap;
 pub mod plot;
+pub mod quality;
 mod table;
 pub mod telemetry;
 pub mod timeline;
@@ -70,7 +71,12 @@ pub use parsweep::{
 };
 pub use perfsnap::{
     compare_snapshots, parse_snapshot, run_matrix, AdmissionEntry, BenchEntry, BenchSnapshot,
-    HostInfo, LatencyEntry, ParEntry, PerfComparison, PriorityLatency, BENCH_SCHEMA_VERSION,
+    HostInfo, LatencyEntry, ParEntry, PerfComparison, PriorityLatency, QualityEntry,
+    BENCH_SCHEMA_VERSION,
+};
+pub use quality::{
+    compare_quality, degraded_program_allocation, quality_configs, run_quality_matrix,
+    QualityComparison, QualityDelta, QUALITY_WORKLOADS,
 };
 pub use table::{ratio, CellParseError, Table};
 pub use traffic::TrafficShape;

@@ -23,18 +23,22 @@ use serde::{Deserialize, Serialize};
 
 /// The `BENCH_*.json` schema version this crate reads and writes.
 ///
-/// v5 added the `admission` section ([`AdmissionEntry`]): overload
-/// accounting — shed / expired / cancelled / timeout counts and
-/// per-priority latency quantiles — measured by the `loadgen --chaos`
-/// storm. v4 added the `latency` section ([`LatencyEntry`]): serving-path
-/// SLO quantiles measured by the `loadgen` binary against a live
+/// v6 added the `quality` section ([`QualityEntry`]): allocation-quality
+/// scores — estimated cycles, replay-measured overhead ops,
+/// estimate-vs-measured drift, spill counts, save costs, and per-phase
+/// memory-profile peaks — produced by the `quality` binary. v5 added the
+/// `admission` section ([`AdmissionEntry`]): overload accounting — shed /
+/// expired / cancelled / timeout counts and per-priority latency
+/// quantiles — measured by the `loadgen --chaos` storm. v4 added the
+/// `latency` section ([`LatencyEntry`]): serving-path SLO quantiles
+/// measured by the `loadgen` binary against a live
 /// [`ccra_regalloc::BatchService`]. v3 added the `host` section
 /// ([`HostInfo`]): the machine's available parallelism and the worker
 /// counts the run used, so a snapshot states what hardware class produced
 /// its numbers. v2 added the `parallel` section: worker-count sweep
 /// entries from the `par` binary ([`ParEntry`]). Older snapshots (missing
 /// any section) are rejected — regenerate the baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// The workloads of the fixed perf matrix: a spread over the shapes the
 /// suite contains — call-heavy integer code (eqntott, li), mixed DSP (ear),
@@ -204,6 +208,53 @@ impl AdmissionEntry {
     }
 }
 
+/// One cell of the quality matrix: a workload under one allocator on one
+/// register file, scored by the allocation-quality observatory
+/// ([`ccra_regalloc::quality`]). The estimated numbers are deterministic
+/// — a pure function of workload, allocator, and register file — so any
+/// change between snapshots is an allocation-quality change, which is
+/// exactly what the `quality --check` gate trips on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityEntry {
+    /// The workload name.
+    pub workload: String,
+    /// The allocator configuration label (e.g. `"SC+BS+PR"`).
+    pub config: String,
+    /// The register-file label (see [`matrix_files`]).
+    pub regs: String,
+    /// Estimated execution cycles (weighted useful instructions plus the
+    /// estimated overhead, priced by the DECstation cycle model).
+    pub estimated_cycles: f64,
+    /// Estimated spill overhead ops (frequency-weighted).
+    pub est_spill_ops: f64,
+    /// Estimated caller-save overhead ops.
+    pub est_caller_save_ops: f64,
+    /// Estimated callee-save overhead ops.
+    pub est_callee_save_ops: f64,
+    /// Estimated shuffle-move ops.
+    pub est_shuffle_ops: f64,
+    /// Overhead operations the interpreter actually executed replaying
+    /// the allocated program (0 when the replay failed).
+    pub measured_overhead_ops: f64,
+    /// Measured execution cycles (0 when the replay failed).
+    pub measured_cycles: f64,
+    /// Estimate-vs-measured drift of total overhead ops, percent of the
+    /// measured value (0 when the replay failed or measured nothing).
+    pub drift_pct: f64,
+    /// Whether the interpreter replay succeeded.
+    pub replay_ok: bool,
+    /// Live ranges spilled across the program.
+    pub spilled_ranges: u64,
+    /// Functions that took the degraded spill-everything fallback.
+    pub degraded_funcs: u64,
+    /// Peak resident-bytes estimate across pipeline phases (the memory
+    /// profile's high-water mark; see
+    /// [`ccra_regalloc::MemProfile::peak_bytes`]).
+    pub mem_peak_bytes: u64,
+    /// Allocation events the memory profile recorded.
+    pub mem_allocs: u64,
+}
+
 /// Host metadata recorded in a snapshot: what machine class and worker
 /// configuration produced the numbers. Speedups and throughput are
 /// meaningless without it — a 1-vCPU runner legitimately measures ≈ 1.0×
@@ -251,6 +302,9 @@ pub struct BenchSnapshot {
     /// Overload accounting from the `loadgen --chaos` storm (empty until
     /// that run fills it).
     pub admission: Vec<AdmissionEntry>,
+    /// Allocation-quality scores (empty until the `quality` binary fills
+    /// them).
+    pub quality: Vec<QualityEntry>,
 }
 
 impl BenchSnapshot {
@@ -396,6 +450,7 @@ pub fn run_matrix(
         parallel: Vec::new(),
         latency: Vec::new(),
         admission: Vec::new(),
+        quality: Vec::new(),
     }
 }
 
@@ -553,6 +608,7 @@ mod tests {
             parallel: Vec::new(),
             latency: Vec::new(),
             admission: Vec::new(),
+            quality: Vec::new(),
         }
     }
 
@@ -594,12 +650,32 @@ mod tests {
                 p99_us: 1023,
             }],
         });
+        snap.quality.push(QualityEntry {
+            workload: "eqntott".to_string(),
+            config: "SC+BS+PR".to_string(),
+            regs: "mips".to_string(),
+            estimated_cycles: 123456.0,
+            est_spill_ops: 100.0,
+            est_caller_save_ops: 40.0,
+            est_callee_save_ops: 60.0,
+            est_shuffle_ops: 0.0,
+            measured_overhead_ops: 190.0,
+            measured_cycles: 120000.0,
+            drift_pct: 5.26,
+            replay_ok: true,
+            spilled_ranges: 12,
+            degraded_funcs: 0,
+            mem_peak_bytes: 65536,
+            mem_allocs: 40,
+        });
         let json = snap.to_json();
-        assert!(json.contains("\"schema_version\":5"));
+        assert!(json.contains("\"schema_version\":6"));
         assert!(json.contains("\"parallel\":["));
         assert!(json.contains("\"latency\":["));
         assert!(json.contains("\"admission\":["));
+        assert!(json.contains("\"quality\":["));
         assert!(json.contains("\"shed\":80"));
+        assert!(json.contains("\"estimated_cycles\":123456"));
         assert!(json.contains("\"p99_us\":4095"));
         assert!(json.contains("\"available_parallelism\":8"));
         let back = parse_snapshot(&json).expect("snapshot parses back");
@@ -611,11 +687,11 @@ mod tests {
         let snap = snapshot(vec![]);
         let json = snap
             .to_json()
-            .replace("\"schema_version\":5", "\"schema_version\":99");
+            .replace("\"schema_version\":6", "\"schema_version\":99");
         let err = parse_snapshot(&json).expect_err("v99 is unreadable");
         assert!(err.contains("v99"), "{err}");
         // A v1 snapshot has no `parallel` section; even with the version
-        // field forged, the body does not parse as v5.
+        // field forged, the body does not parse as v6.
         let forged_v1 = snap.to_json().replace(",\"parallel\":[]", "");
         assert!(parse_snapshot(&forged_v1).is_err());
         // A v2 snapshot has no `host` section.
@@ -629,11 +705,15 @@ mod tests {
         let forged_v3 = snap.to_json().replace(",\"latency\":[]", "");
         assert_ne!(forged_v3, snap.to_json(), "latency section was stripped");
         assert!(parse_snapshot(&forged_v3).is_err());
-        // A v4 snapshot has no `admission` section; forging the version
-        // field does not make the body parse as v5.
+        // A v4 snapshot has no `admission` section.
         let forged_v4 = snap.to_json().replace(",\"admission\":[]", "");
         assert_ne!(forged_v4, snap.to_json(), "admission section was stripped");
         assert!(parse_snapshot(&forged_v4).is_err());
+        // A v5 snapshot has no `quality` section; forging the version
+        // field does not make the body parse as v6.
+        let forged_v5 = snap.to_json().replace(",\"quality\":[]", "");
+        assert_ne!(forged_v5, snap.to_json(), "quality section was stripped");
+        assert!(parse_snapshot(&forged_v5).is_err());
         assert!(parse_snapshot("{").is_err());
         assert!(parse_snapshot("{}").is_err());
     }

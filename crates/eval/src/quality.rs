@@ -1,0 +1,361 @@
+//! Allocation-quality snapshots: the fixed workload × allocator ×
+//! register-file matrix the `quality` binary scores, and the comparison
+//! behind its `--check` regression gate.
+//!
+//! Where the `perf` matrix ([`crate::perfsnap`]) asks "how fast does the
+//! allocator run", this matrix asks "how good is the code it produces" —
+//! and whether the cost model the allocator optimizes against still
+//! predicts what the code actually does. Every cell allocates one
+//! workload, scores the result with [`ccra_regalloc::score_program`]
+//! (frequency-weighted estimate priced by the DECstation
+//! [`CycleModel`], plus an interpreter replay measuring the overhead ops
+//! the program really executes), and records both views side by side so
+//! estimate-vs-measured drift is a first-class, regression-gated number.
+//!
+//! The matrix deliberately scores under **static** frequency estimates
+//! ([`FrequencyInfo::estimate`]): a dynamic profile would make the
+//! estimate tautologically equal to the measurement. The drift column is
+//! only informative when the estimate can be wrong.
+//!
+//! Per-phase memory profiling rides along: each cell arms the allocator's
+//! thread-local tally ([`ccra_regalloc::memprof_start`]) around the
+//! allocation, so the snapshot also answers "what did the allocation
+//! cost in working-set bytes", phase by phase.
+//!
+//! The `--degrade <workload>` escape hatch replaces the configured
+//! allocator with the spill-everything fallback on one workload — an
+//! intentional quality regression used to prove the `--check` gate
+//! actually fires (see the CI `quality` job).
+
+use ccra_analysis::FrequencyInfo;
+use ccra_ir::Program;
+use ccra_machine::{CostModel, CycleModel, RegisterFile};
+use ccra_regalloc::{
+    allocate_program_with, degraded_allocation, memprof_finish, memprof_start, score_program,
+    AllocError, AllocatorConfig, NoopSink, Overhead, ProgramAllocation, QualityReport,
+};
+use ccra_workloads::{spec_program_scaled, Scale, SpecProgram};
+
+use crate::perfsnap::{matrix_files, QualityEntry};
+
+/// The workloads of the fixed quality matrix: the paper's two running
+/// examples (eqntott, ear) plus the deep call tree of li — all
+/// call-heavy, so the call-cost decisions under test dominate the score.
+/// A subset of the perf matrix: every cell pays an interpreter replay,
+/// which is far slower than the allocation itself.
+pub const QUALITY_WORKLOADS: [SpecProgram; 3] =
+    [SpecProgram::Eqntott, SpecProgram::Ear, SpecProgram::Li];
+
+/// The allocator configurations of the fixed quality matrix: the paper's
+/// base allocator, the full improvement set, and the callee-save-aware
+/// CBH variant — the three points the paper's quality claims compare.
+pub fn quality_configs() -> Vec<AllocatorConfig> {
+    vec![
+        AllocatorConfig::base(),
+        AllocatorConfig::improved(),
+        AllocatorConfig::cbh(),
+    ]
+}
+
+/// Allocates every function of `program` through the spill-everything
+/// fallback, bypassing the configured allocator — the injected quality
+/// regression behind `--degrade`.
+///
+/// # Errors
+///
+/// Propagates [`AllocError`] from the fallback itself (a register file
+/// below the ABI minimum).
+pub fn degraded_program_allocation(
+    program: &Program,
+    freq: &FrequencyInfo,
+    file: &RegisterFile,
+    cost: &CostModel,
+) -> Result<ProgramAllocation, AllocError> {
+    let mut sink = NoopSink;
+    let mut rewritten = Program::new();
+    let mut per_func = Vec::with_capacity(program.num_functions());
+    let mut overhead = Overhead::zero();
+    for (id, f) in program.functions() {
+        let (body, alloc) = degraded_allocation(f, freq.func(id), file, cost, &mut sink)?;
+        overhead += alloc.overhead;
+        rewritten.add_function(body);
+        per_func.push(alloc);
+    }
+    if let Some(main) = program.main() {
+        rewritten.set_main(main);
+    }
+    Ok(ProgramAllocation {
+        program: rewritten,
+        per_func,
+        overhead,
+    })
+}
+
+fn entry_of(
+    workload: &str,
+    config_label: &str,
+    regs: &str,
+    report: &QualityReport,
+    mem: Option<&ccra_regalloc::MemProfile>,
+) -> QualityEntry {
+    QualityEntry {
+        workload: workload.to_string(),
+        config: config_label.to_string(),
+        regs: regs.to_string(),
+        estimated_cycles: report.estimated_cycles,
+        est_spill_ops: report.estimated.spill,
+        est_caller_save_ops: report.estimated.caller_save,
+        est_callee_save_ops: report.estimated.callee_save,
+        est_shuffle_ops: report.estimated.shuffle,
+        measured_overhead_ops: report.measured.map_or(0.0, |m| m.total()),
+        measured_cycles: report.measured_cycles.unwrap_or(0.0),
+        drift_pct: report.drift_pct().unwrap_or(0.0),
+        replay_ok: report.replay_error.is_none(),
+        spilled_ranges: report.funcs.iter().map(|f| f.spilled_ranges as u64).sum(),
+        degraded_funcs: report.degraded_funcs() as u64,
+        mem_peak_bytes: mem.map_or(0, |m| m.peak_bytes()),
+        mem_allocs: mem.map_or(0, |m| m.total_allocs()),
+    }
+}
+
+/// Runs the fixed quality matrix at `scale`, invoking `progress` after
+/// each cell. `degrade` names a workload whose cells take the
+/// spill-everything fallback instead of the configured allocator (the
+/// gate-proving regression; `None` scores everything honestly).
+///
+/// Frequency info is always the static estimate (see the module docs),
+/// the cost model is the paper's, and cycles are priced by
+/// [`CycleModel::decstation`]. Deterministic: cells are scored serially
+/// in matrix order by a pure post-pass over deterministic allocations.
+///
+/// # Errors
+///
+/// Returns the first [`AllocError`] hit (only the degraded fallback can
+/// fail, and only on register files below the ABI minimum — not the
+/// matrix files).
+pub fn run_quality_matrix(
+    scale: Scale,
+    degrade: Option<&str>,
+    mut progress: impl FnMut(&QualityEntry),
+) -> Result<Vec<QualityEntry>, AllocError> {
+    let cost = CostModel::paper();
+    let cycles = CycleModel::decstation();
+    let mut entries = Vec::new();
+    for workload in QUALITY_WORKLOADS {
+        let program = spec_program_scaled(workload, scale);
+        let freq = FrequencyInfo::estimate(&program);
+        for config in quality_configs() {
+            for (regs_label, file) in matrix_files() {
+                memprof_start();
+                let alloc = if degrade == Some(workload.name()) {
+                    degraded_program_allocation(&program, &freq, &file, &cost)?
+                } else {
+                    allocate_program_with(&program, &freq, file, &config, &cost)?
+                };
+                let mem = memprof_finish();
+                let report = score_program(&alloc, &freq, &config.label(), &cycles);
+                let entry = entry_of(
+                    workload.name(),
+                    &config.label(),
+                    &regs_label,
+                    &report,
+                    mem.as_ref(),
+                );
+                progress(&entry);
+                entries.push(entry);
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// One cell's estimated-cycle delta between two quality sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityDelta {
+    /// `workload [config] regs`.
+    pub key: String,
+    /// Baseline estimated execution cycles.
+    pub baseline_cycles: f64,
+    /// Current estimated execution cycles.
+    pub current_cycles: f64,
+    /// Percent change (positive = current costs more).
+    pub delta_pct: f64,
+    /// Whether this cell alone exceeds the regression threshold.
+    pub exceeded: bool,
+}
+
+/// The verdict of comparing two quality sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityComparison {
+    /// Per-cell deltas, in baseline order.
+    pub per_entry: Vec<QualityDelta>,
+    /// Baseline cells absent from the current run.
+    pub missing: Vec<String>,
+    /// Sum of baseline estimated cycles.
+    pub baseline_cycles: f64,
+    /// Sum of current estimated cycles (over cells present in both).
+    pub current_cycles: f64,
+    /// Aggregate percent change.
+    pub delta_pct: f64,
+    /// True when any cell (or the aggregate) got more than `threshold`
+    /// percent costlier, or a baseline cell went missing.
+    pub regressed: bool,
+}
+
+fn cell_key(e: &QualityEntry) -> String {
+    format!("{} [{}] {}", e.workload, e.config, e.regs)
+}
+
+/// Compares two quality sections: exceeding `threshold` percent more
+/// estimated cycles — per cell or in aggregate — is a regression, as is
+/// a baseline cell missing from the current run. Cheaper is never a
+/// regression (the gate is one-sided, like the perf gate).
+///
+/// # Errors
+///
+/// Returns an error when the baseline has no quality section to compare
+/// against (regenerate it with the `quality` binary).
+pub fn compare_quality(
+    baseline: &[QualityEntry],
+    current: &[QualityEntry],
+    threshold: f64,
+) -> Result<QualityComparison, String> {
+    if baseline.is_empty() {
+        return Err(
+            "baseline has no quality section; regenerate it with the quality binary".to_string(),
+        );
+    }
+    let mut per_entry = Vec::new();
+    let mut missing = Vec::new();
+    let mut baseline_cycles = 0.0;
+    let mut current_cycles = 0.0;
+    let mut any_exceeded = false;
+    for b in baseline {
+        let key = cell_key(b);
+        match current.iter().find(|c| cell_key(c) == key) {
+            Some(c) => {
+                let delta_pct = if b.estimated_cycles == 0.0 {
+                    if c.estimated_cycles == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    100.0 * (c.estimated_cycles - b.estimated_cycles) / b.estimated_cycles
+                };
+                let exceeded = delta_pct > threshold;
+                any_exceeded |= exceeded;
+                baseline_cycles += b.estimated_cycles;
+                current_cycles += c.estimated_cycles;
+                per_entry.push(QualityDelta {
+                    key,
+                    baseline_cycles: b.estimated_cycles,
+                    current_cycles: c.estimated_cycles,
+                    delta_pct,
+                    exceeded,
+                });
+            }
+            None => missing.push(key),
+        }
+    }
+    let delta_pct = if baseline_cycles == 0.0 {
+        0.0
+    } else {
+        100.0 * (current_cycles - baseline_cycles) / baseline_cycles
+    };
+    let regressed = any_exceeded || delta_pct > threshold || !missing.is_empty();
+    Ok(QualityComparison {
+        per_entry,
+        missing,
+        baseline_cycles,
+        current_cycles,
+        delta_pct,
+        regressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(workload: &str, config: &str, cycles: f64) -> QualityEntry {
+        QualityEntry {
+            workload: workload.to_string(),
+            config: config.to_string(),
+            regs: "mips".to_string(),
+            estimated_cycles: cycles,
+            est_spill_ops: 0.0,
+            est_caller_save_ops: 0.0,
+            est_callee_save_ops: 0.0,
+            est_shuffle_ops: 0.0,
+            measured_overhead_ops: 0.0,
+            measured_cycles: 0.0,
+            drift_pct: 0.0,
+            replay_ok: true,
+            spilled_ranges: 0,
+            degraded_funcs: 0,
+            mem_peak_bytes: 0,
+            mem_allocs: 0,
+        }
+    }
+
+    #[test]
+    fn matrix_scores_every_cell_and_degrade_inflates_one_workload() {
+        let scale = Scale(0.05);
+        let honest = run_quality_matrix(scale, None, |_| {}).unwrap();
+        let cells = QUALITY_WORKLOADS.len() * quality_configs().len() * matrix_files().len();
+        assert_eq!(honest.len(), cells);
+        // Replay succeeds on every honest cell, and the static estimate
+        // drifts from the measurement somewhere (that is the point of
+        // scoring under estimates).
+        assert!(honest.iter().all(|e| e.replay_ok));
+        assert!(honest.iter().any(|e| e.drift_pct != 0.0));
+        // Memory profiling was armed around every allocation.
+        assert!(honest
+            .iter()
+            .all(|e| e.mem_peak_bytes > 0 && e.mem_allocs > 0));
+
+        let degraded =
+            run_quality_matrix(scale, Some(SpecProgram::Eqntott.name()), |_| {}).unwrap();
+        // The degraded workload's cells cost strictly more than their
+        // honest counterparts; other workloads are untouched.
+        for (h, d) in honest.iter().zip(&degraded) {
+            assert_eq!(cell_key(h), cell_key(d));
+            if h.workload == SpecProgram::Eqntott.name() {
+                assert!(d.estimated_cycles > h.estimated_cycles, "{}", cell_key(h));
+                assert!(d.spilled_ranges > h.spilled_ranges);
+            } else {
+                assert_eq!(h, d, "{}", cell_key(h));
+            }
+        }
+    }
+
+    #[test]
+    fn compare_flags_per_cell_and_aggregate_regressions() {
+        let baseline = vec![cell("a", "base", 1000.0), cell("b", "base", 1000.0)];
+
+        // Within threshold: not a regression.
+        let ok = vec![cell("a", "base", 1040.0), cell("b", "base", 990.0)];
+        let cmp = compare_quality(&baseline, &ok, 10.0).unwrap();
+        assert!(!cmp.regressed);
+        assert_eq!(cmp.per_entry.len(), 2);
+
+        // One cell over threshold regresses even when the aggregate is
+        // within bounds.
+        let one_bad = vec![cell("a", "base", 1200.0), cell("b", "base", 900.0)];
+        let cmp = compare_quality(&baseline, &one_bad, 10.0).unwrap();
+        assert!(cmp.regressed);
+        assert!(cmp.per_entry.iter().any(|d| d.exceeded));
+        assert!(cmp.delta_pct < 10.0);
+
+        // Cheaper is never a regression.
+        let better = vec![cell("a", "base", 500.0), cell("b", "base", 500.0)];
+        assert!(!compare_quality(&baseline, &better, 10.0).unwrap().regressed);
+
+        // A missing cell is a regression; an empty baseline is an error.
+        let cmp = compare_quality(&baseline, &[cell("a", "base", 1000.0)], 10.0).unwrap();
+        assert!(cmp.regressed);
+        assert_eq!(cmp.missing, vec!["b [base] mips".to_string()]);
+        assert!(compare_quality(&[], &ok, 10.0).is_err());
+    }
+}

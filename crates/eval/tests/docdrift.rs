@@ -1,0 +1,83 @@
+//! Doc-drift guard: every `BENCH_<n>` reference in the living docs and
+//! the CI workflow must name the current snapshot schema version.
+//!
+//! History files (CHANGES.md, ROADMAP.md, ISSUE.md) legitimately mention
+//! old snapshot names and are exempt; the files checked here describe
+//! the *current* interface, where a stale name means a reader runs the
+//! wrong command or CI gates the wrong artifact.
+
+use ccra_eval::perfsnap::BENCH_SCHEMA_VERSION;
+
+/// Repo-root-relative files that must only reference the current schema.
+const LIVING_DOCS: [&str; 4] = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    ".github/workflows/ci.yml",
+];
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/eval -> crates -> repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root exists")
+        .to_path_buf()
+}
+
+/// Every `BENCH_<digits>` occurrence in `text`, with its line number.
+fn bench_refs(text: &str) -> Vec<(usize, u32)> {
+    let mut refs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(pos) = line[i..].find("BENCH_") {
+            let start = i + pos + "BENCH_".len();
+            let digits: String = line[start..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let Ok(v) = digits.parse::<u32>() {
+                refs.push((lineno + 1, v));
+            }
+            i = start.min(bytes.len());
+        }
+    }
+    refs
+}
+
+#[test]
+fn living_docs_reference_only_the_current_bench_schema() {
+    let root = repo_root();
+    let mut stale = Vec::new();
+    let mut total = 0;
+    for doc in LIVING_DOCS {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        for (line, version) in bench_refs(&text) {
+            total += 1;
+            if version != BENCH_SCHEMA_VERSION {
+                stale.push(format!(
+                    "{doc}:{line}: BENCH_{version} (current schema is {BENCH_SCHEMA_VERSION})"
+                ));
+            }
+        }
+    }
+    assert!(
+        total > 0,
+        "no BENCH_<n> references found in {LIVING_DOCS:?} — \
+         the guard is grepping the wrong files"
+    );
+    assert!(
+        stale.is_empty(),
+        "stale BENCH_<n> references — update the docs alongside the schema bump:\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn bench_ref_extraction_is_exact() {
+    let refs = bench_refs("see BENCH_6.json and BENCH_12_par.json\nBENCH_ alone\nBENCH_3");
+    assert_eq!(refs, vec![(1, 6), (1, 12), (3, 3)]);
+}

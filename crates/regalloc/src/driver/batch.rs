@@ -102,7 +102,7 @@ use std::time::{Duration, Instant};
 
 use ccra_analysis::FrequencyInfo;
 use ccra_ir::{Program, RegClass};
-use ccra_machine::{CostModel, RegisterFile};
+use ccra_machine::{CostModel, CycleModel, RegisterFile};
 use serde::json::Value;
 
 use crate::driver::admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
@@ -113,9 +113,10 @@ use crate::driver::queue::{BoundedQueue, PushError, QueueStats};
 use crate::driver::timeline::{InstantKind, SpanKind, Timeline, TimelineCollector};
 use crate::metrics::MetricsRegistry;
 use crate::pipeline::ProgramAllocation;
+use crate::quality::score_program;
 use crate::trace::chrometrace::to_chrome_trace;
 use crate::trace::NoopSink;
-use crate::types::AllocatorConfig;
+use crate::types::{AllocatorConfig, Overhead};
 
 /// Service counter: jobs accepted by `submit`/`try_submit`.
 pub const METRIC_SUBMITTED: &str = "batch_jobs_submitted_total";
@@ -185,6 +186,14 @@ pub struct BatchConfig {
     /// Deterministic fault injection ([`crate::driver::chaos`]); `None`
     /// (the default) injects nothing.
     pub chaos: Option<ChaosConfig>,
+    /// Whether each successful job is scored through the quality
+    /// observatory ([`crate::quality`]): estimated vs replay-measured
+    /// overhead folded into the service metrics and the `/status`
+    /// `quality` object. Off (the default) costs one branch per job —
+    /// the same zero-cost-when-off discipline as tracing. Scoring is a
+    /// pure post-pass on the merged allocation, so enabling it never
+    /// changes any result's bytes.
+    pub score_quality: bool,
 }
 
 impl Default for BatchConfig {
@@ -198,6 +207,7 @@ impl Default for BatchConfig {
             admission: None,
             job_timeout: None,
             chaos: None,
+            score_quality: false,
         }
     }
 }
@@ -246,6 +256,33 @@ impl Priority {
             Priority::Background => METRIC_E2E_BACKGROUND,
         }
     }
+}
+
+/// The `per_priority` object of `/status`'s `admission` section: for each
+/// scheduling class, its completed-job count and end-to-end p50/p99 (log2
+/// bucket upper bounds, microseconds) read from the class's histogram
+/// ([`Priority::e2e_metric`]). A class that has completed nothing — its
+/// histogram absent or empty — reports `{jobs: 0, p50: 0, p99: 0}` rather
+/// than disappearing, so dashboards keyed on the class names never 404.
+pub fn per_priority_latency(m: &MetricsRegistry) -> Value {
+    Value::Obj(
+        Priority::ALL
+            .iter()
+            .map(|p| {
+                let (p50, p99, count) = m.histogram(p.e2e_metric()).map_or((0, 0, 0), |h| {
+                    (h.quantile(0.5), h.quantile(0.99), h.count())
+                });
+                (
+                    p.label().to_string(),
+                    Value::Obj(vec![
+                        ("jobs".to_string(), Value::Int(count as i64)),
+                        ("p50".to_string(), Value::Int(p50 as i64)),
+                        ("p99".to_string(), Value::Int(p99 as i64)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
 }
 
 /// One submission: a program plus the allocation parameters to run it
@@ -558,6 +595,19 @@ impl QueuedJob {
     }
 }
 
+/// The service-wide quality aggregate (jobs scored so far): sums of the
+/// per-job program scores, folded under the shared metrics lock's
+/// sibling. Deterministic given the set of scored jobs — sums commute.
+#[derive(Debug, Default, Clone)]
+struct QualityAgg {
+    jobs_scored: u64,
+    replay_failures: u64,
+    estimated: Overhead,
+    measured: Overhead,
+    estimated_cycles: f64,
+    measured_cycles: f64,
+}
+
 struct Shared {
     queue: BoundedQueue<QueuedJob>,
     results: Mutex<Vec<BatchResult>>,
@@ -571,6 +621,8 @@ struct Shared {
     trace_capacity: usize,
     job_timeout: Option<Duration>,
     chaos: Option<ChaosConfig>,
+    score_quality: bool,
+    quality: Mutex<QualityAgg>,
     traces: Mutex<VecDeque<RequestTrace>>,
     flight: FlightRecorder,
     dumps: Mutex<VecDeque<(u64, Value)>>,
@@ -681,6 +733,28 @@ fn run_batch_job(
                     Timeline::empty(),
                 ),
                 Ok((alloc, report, timeline)) => {
+                    if shared.score_quality {
+                        let quality = score_program(
+                            &alloc,
+                            &freq,
+                            &job.config.label(),
+                            &CycleModel::decstation(),
+                        );
+                        quality.export_metrics(
+                            &mut shared.metrics.lock().expect("batch metrics lock"),
+                        );
+                        let mut agg = shared.quality.lock().expect("batch quality lock");
+                        agg.jobs_scored += 1;
+                        agg.estimated += quality.estimated;
+                        agg.estimated_cycles += quality.estimated_cycles;
+                        match quality.measured {
+                            Some(measured) => {
+                                agg.measured += measured;
+                                agg.measured_cycles += quality.measured_cycles.unwrap_or(0.0);
+                            }
+                            None => agg.replay_failures += 1,
+                        }
+                    }
                     let degraded = report.degraded_funcs();
                     let status = if degraded == 0 {
                         BatchStatus::Ok
@@ -1145,24 +1219,7 @@ impl BatchHandle {
             ("service".to_string(), latency_of(METRIC_JOB_MICROS)),
             ("e2e".to_string(), latency_of(METRIC_E2E)),
         ]);
-        let per_priority = Value::Obj(
-            Priority::ALL
-                .iter()
-                .map(|p| {
-                    let (p50, p99, count) = m.histogram(p.e2e_metric()).map_or((0, 0, 0), |h| {
-                        (h.quantile(0.5), h.quantile(0.99), h.count())
-                    });
-                    (
-                        p.label().to_string(),
-                        Value::Obj(vec![
-                            ("jobs".to_string(), Value::Int(count as i64)),
-                            ("p50".to_string(), Value::Int(p50 as i64)),
-                            ("p99".to_string(), Value::Int(p99 as i64)),
-                        ]),
-                    )
-                })
-                .collect(),
-        );
+        let per_priority = per_priority_latency(&m);
         let mut admission = vec![(
             "enabled".to_string(),
             Value::Bool(self.shared.admission.is_some()),
@@ -1191,6 +1248,43 @@ impl BatchHandle {
         ));
         admission.push(("per_priority".to_string(), per_priority));
         drop(m);
+        let mut quality = vec![(
+            "enabled".to_string(),
+            Value::Bool(self.shared.score_quality),
+        )];
+        if self.shared.score_quality {
+            let agg = self.shared.quality.lock().expect("batch quality lock");
+            quality.push((
+                "jobs_scored".to_string(),
+                Value::Int(agg.jobs_scored as i64),
+            ));
+            quality.push((
+                "replay_failures".to_string(),
+                Value::Int(agg.replay_failures as i64),
+            ));
+            quality.push((
+                "estimated_ops".to_string(),
+                Value::Float(agg.estimated.total()),
+            ));
+            quality.push((
+                "measured_ops".to_string(),
+                Value::Float(agg.measured.total()),
+            ));
+            quality.push((
+                "estimated_cycles".to_string(),
+                Value::Float(agg.estimated_cycles),
+            ));
+            quality.push((
+                "measured_cycles".to_string(),
+                Value::Float(agg.measured_cycles),
+            ));
+            let drift = if agg.measured.total() > 0.0 {
+                100.0 * (agg.estimated.total() - agg.measured.total()) / agg.measured.total()
+            } else {
+                0.0
+            };
+            quality.push(("drift_pct".to_string(), Value::Float(drift)));
+        }
         Value::Obj(vec![
             (
                 "queue_depth".to_string(),
@@ -1204,6 +1298,7 @@ impl BatchHandle {
             ),
             ("latency".to_string(), latency),
             ("admission".to_string(), Value::Obj(admission)),
+            ("quality".to_string(), Value::Obj(quality)),
             ("jobs".to_string(), Value::Arr(jobs)),
         ])
     }
@@ -1238,6 +1333,8 @@ impl BatchService {
             trace_capacity: config.trace_capacity.max(1),
             job_timeout: config.job_timeout,
             chaos: config.chaos,
+            score_quality: config.score_quality,
+            quality: Mutex::new(QualityAgg::default()),
             traces: Mutex::new(VecDeque::new()),
             flight: FlightRecorder::new(flight_lanes),
             dumps: Mutex::new(VecDeque::new()),

@@ -455,4 +455,76 @@ mod tests {
             Some(DEFAULT_FLIGHT_CAPACITY as i64)
         );
     }
+
+    #[test]
+    fn default_capacity_lane_keeps_exactly_the_newest_256() {
+        // Overflow the default 256-event ring by a non-multiple of its
+        // capacity so the wrap point lands mid-ring.
+        let rec = FlightRecorder::new(1);
+        let total = DEFAULT_FLIGHT_CAPACITY as u64 * 2 + 37;
+        for i in 0..total {
+            rec.record(0, FlightKind::JobOk, i, 0);
+        }
+        assert_eq!(rec.total_events(), total);
+        let dump = rec.dump();
+        assert_eq!(
+            dump.get("recorded").and_then(Value::as_i64),
+            Some(total as i64)
+        );
+        assert_eq!(
+            dump.get("dropped").and_then(Value::as_i64),
+            Some((total - DEFAULT_FLIGHT_CAPACITY as u64) as i64)
+        );
+        let Some(Value::Arr(events)) = dump.get("events") else {
+            panic!("dump has an events array");
+        };
+        assert_eq!(events.len(), DEFAULT_FLIGHT_CAPACITY);
+        // Exactly the newest 256 survive, oldest first and contiguous.
+        let ids: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("a").and_then(Value::as_i64).expect("payload a") as u64)
+            .collect();
+        let expected: Vec<u64> = (total - DEFAULT_FLIGHT_CAPACITY as u64..total).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn concurrent_single_writer_lanes_stay_ordered_and_lose_only_the_oldest() {
+        // The single-writer-per-lane invariant: each thread owns one lane
+        // and records a strictly increasing sequence. Whatever the
+        // cross-lane interleaving, every lane's retained events must be a
+        // contiguous, in-order suffix of what its owner wrote — a torn or
+        // reordered ring would break all of flight-dump forensics.
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 700; // > 2 × capacity: every lane wraps.
+        let rec = std::sync::Arc::new(FlightRecorder::new(WRITERS));
+        let mut handles = Vec::new();
+        for lane in 0..WRITERS as u32 {
+            let rec = std::sync::Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    rec.record(lane, FlightKind::JobOk, i, u64::from(lane));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        assert_eq!(rec.total_events(), WRITERS as u64 * PER_WRITER);
+        let dump = rec.dump();
+        let Some(Value::Arr(events)) = dump.get("events") else {
+            panic!("dump has an events array");
+        };
+        for lane in 0..WRITERS as i64 {
+            let ids: Vec<u64> = events
+                .iter()
+                .filter(|e| e.get("lane").and_then(Value::as_i64) == Some(lane))
+                .map(|e| e.get("a").and_then(Value::as_i64).expect("payload a") as u64)
+                .collect();
+            assert_eq!(ids.len(), DEFAULT_FLIGHT_CAPACITY, "lane {lane}");
+            let expected: Vec<u64> =
+                (PER_WRITER - DEFAULT_FLIGHT_CAPACITY as u64..PER_WRITER).collect();
+            assert_eq!(ids, expected, "lane {lane}: newest suffix, in order");
+        }
+    }
 }

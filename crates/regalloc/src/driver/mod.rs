@@ -37,7 +37,7 @@
 //!
 //! The `ccra-eval` `par` binary sweeps worker counts over the perf
 //! workloads with the driver and records the speedup into the
-//! `BENCH_5.json` snapshot; the `timeline` binary captures one traced
+//! `BENCH_6.json` snapshot; the `timeline` binary captures one traced
 //! batch as a Perfetto-loadable timeline; the `loadgen` binary drives the
 //! batch service open-loop (`--chaos` adds a seeded overload storm) and
 //! records the latency and admission sections of the same snapshot.
@@ -54,8 +54,8 @@ pub mod timeline;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
 pub use batch::{
-    BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService, BatchStatus, CancelOutcome,
-    DegradeCause, Priority, RejectCause, RequestTrace, SubmitError,
+    per_priority_latency, BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService,
+    BatchStatus, CancelOutcome, DegradeCause, Priority, RejectCause, RequestTrace, SubmitError,
 };
 pub use chaos::{ChaosConfig, ChaosJob, Fault};
 pub use flightrec::{FlightEvent, FlightKind, FlightRecorder, FlightView};

@@ -419,6 +419,32 @@ impl ParallelDriver {
         self.allocate_program_instrumented(&req, &mut NoopSink, &mut MetricsRegistry::disabled())
     }
 
+    /// Like [`ParallelDriver::allocate_program_with`] (built from an
+    /// [`AllocRequest`]), additionally scoring the merged allocation
+    /// through the quality observatory ([`crate::quality::score_program`]
+    /// under `cycles`).
+    ///
+    /// Scoring is a pure post-pass over the deterministically merged
+    /// result, so the report is byte-identical at any worker count — the
+    /// determinism oracle extends to quality scoring for free.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDriver::allocate_program`].
+    pub fn allocate_program_scored(
+        &self,
+        req: &AllocRequest<'_>,
+        cycles: &ccra_machine::CycleModel,
+    ) -> Result<(ProgramAllocation, crate::quality::QualityReport), AllocError> {
+        let alloc = self.allocate_program_instrumented(
+            req,
+            &mut NoopSink,
+            &mut MetricsRegistry::disabled(),
+        )?;
+        let report = crate::quality::score_program(&alloc, req.freq, &req.config.label(), cycles);
+        Ok((alloc, report))
+    }
+
     /// Like [`ParallelDriver::allocate_program_with`], emitting telemetry
     /// through `sink` and aggregating into `metrics`. Mirrors
     /// [`crate::allocate_program_instrumented`]: the merged event stream

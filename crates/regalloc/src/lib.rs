@@ -86,6 +86,7 @@ pub mod metrics;
 mod node;
 mod pipeline;
 mod priority;
+pub mod quality;
 mod reconstruct;
 mod rewrite;
 mod spill;
@@ -118,6 +119,10 @@ pub use pipeline::{
     ProgramAllocation, RangeSummary, RefAssignment,
 };
 pub use priority::{allocate_bank_priority, allocate_bank_priority_traced};
+pub use quality::{
+    memprof_finish, memprof_record, memprof_start, score_program, score_program_with, FuncQuality,
+    MemProfile, PhaseMem, QualityReport,
+};
 pub use reconstruct::{reconstruct_context, reconstruct_context_traced};
 pub use rewrite::{insert_overhead_markers, FinalAssignment, MarkerRewrite};
 pub use spill::{

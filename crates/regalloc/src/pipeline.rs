@@ -228,6 +228,27 @@ pub fn allocate_function_instrumented(
     result
 }
 
+/// Records the dominant resident structures of one built [`FuncContext`]
+/// into the thread's memory-profiling tally (no-op unless
+/// [`crate::quality::memprof_start`] armed it): the node array plus both
+/// directions of the adjacency lists.
+fn memprof_context(phase: Phase, ctx: &FuncContext) {
+    crate::quality::memprof_record(
+        phase,
+        (ctx.nodes.len() * std::mem::size_of::<crate::node::NodeInfo>()
+            + ctx.graph.num_edges() * 2 * std::mem::size_of::<u32>()) as u64,
+    );
+}
+
+/// Records one rewritten body's resident instruction stream under
+/// `phase` (same gating as [`memprof_context`]).
+fn memprof_body(phase: Phase, body: &Function) {
+    crate::quality::memprof_record(
+        phase,
+        (body.num_insts() * std::mem::size_of::<ccra_ir::Inst>()) as u64,
+    );
+}
+
 fn allocate_function_impl(
     f: &Function,
     freq: &FuncFreq,
@@ -245,6 +266,7 @@ fn allocate_function_impl(
         let mut tr = TraceCtx::with_metrics(sink, metrics, &name, 1);
         build_context_traced(&body, freq, cost, &mut tr)?
     };
+    memprof_context(Phase::Build, &ctx);
     loop {
         rounds += 1;
         metrics.inc("alloc_rounds_total");
@@ -281,6 +303,7 @@ fn allocate_function_impl(
             let marker_rw = insert_overhead_markers(&mut body, &ctx, &assignment);
             let refs = claim_refs(&body, &ctx, &result.colors, &marker_rw);
             tr.span_end(span, Phase::Rewrite);
+            memprof_body(Phase::Rewrite, &body);
             let overhead = crate::accounting::weighted_overhead(&body, freq);
             let ranges = summarize(&ctx, &result.colors);
             if tr.enabled() {
@@ -320,17 +343,22 @@ fn allocate_function_impl(
             &result.spilled,
             &mut tr,
         )?;
+        memprof_body(Phase::SpillInsert, &body);
         ctx = if config.incremental_reconstruction {
-            crate::reconstruct::reconstruct_context_traced(
+            let next = crate::reconstruct::reconstruct_context_traced(
                 &ctx,
                 &rewrite,
                 &result.spilled,
                 &body,
                 &mut tr,
-            )
+            );
+            memprof_context(Phase::Reconstruct, &next);
+            next
         } else {
             let mut tr = TraceCtx::with_metrics(sink, metrics, &name, rounds + 1);
-            build_context_traced(&body, freq, cost, &mut tr)?
+            let next = build_context_traced(&body, freq, cost, &mut tr)?;
+            memprof_context(Phase::Build, &next);
+            next
         };
     }
 }
@@ -377,9 +405,11 @@ pub fn degraded_allocation_instrumented(
     {
         let mut tr = TraceCtx::with_metrics(sink, metrics, &name, 1);
         let ctx = build_context_traced(&body, freq, cost, &mut tr)?;
+        memprof_context(Phase::Build, &ctx);
         let all: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
         spilled_ranges = all.len();
         crate::spill::insert_spill_code_instrumented(&mut body, &ctx, &all, &mut tr)?;
+        memprof_body(Phase::SpillInsert, &body);
     }
 
     // Round 2: color the residue (parameter webs and spill temporaries,
@@ -404,6 +434,7 @@ pub fn degraded_allocation_instrumented(
     let marker_rw = insert_overhead_markers(&mut body, &ctx, &assignment);
     let refs = claim_refs(&body, &ctx, &result.colors, &marker_rw);
     tr.span_end(span, Phase::Rewrite);
+    memprof_body(Phase::Rewrite, &body);
     let overhead = crate::accounting::weighted_overhead(&body, freq);
     let ranges = summarize(&ctx, &result.colors);
     if tr.enabled() {

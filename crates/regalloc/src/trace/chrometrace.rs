@@ -311,4 +311,77 @@ mod tests {
         assert_eq!(lane_name(4, 5), "service");
         assert_eq!(lane_name(1, 2), "service");
     }
+
+    #[test]
+    fn empty_timeline_exports_a_valid_self_reimportable_trace() {
+        // A disabled collector yields Timeline::empty(): zero workers,
+        // zero events. The export must still be a loadable trace — an
+        // empty traceEvents array, not missing keys or invalid JSON.
+        let json = to_chrome_trace_json(&Timeline::empty());
+        let parsed = serde::json::parse(&json).expect("empty trace parses back");
+        assert_eq!(lane_count(&parsed), 0, "no lanes recorded, none declared");
+        let Some(Value::Arr(events)) = parsed.get("traceEvents") else {
+            panic!("traceEvents array present even when empty");
+        };
+        assert!(events.is_empty());
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn zero_length_spans_survive_the_roundtrip() {
+        // A span that starts and ends within one microsecond has dur 0 —
+        // legal in the format (a degenerate X event) and must not be
+        // dropped, since phase spans on fast functions really do measure
+        // 0 us.
+        let timeline = Timeline {
+            workers: 1,
+            events: vec![
+                TimelineEvent::Span {
+                    tid: 0,
+                    kind: SpanKind::Phase,
+                    name: "rewrite".into(),
+                    detail: None,
+                    start_us: 7,
+                    dur_us: 0,
+                },
+                TimelineEvent::Instant {
+                    tid: 0,
+                    kind: InstantKind::Steal,
+                    name: "at epoch".into(),
+                    ts_us: 0,
+                },
+            ],
+        };
+        let parsed =
+            serde::json::parse(&to_chrome_trace_json(&timeline)).expect("trace parses back");
+        let Some(Value::Arr(events)) = parsed.get("traceEvents") else {
+            unreachable!()
+        };
+        let span = events
+            .iter()
+            .find(|e| matches!(e.get("ph"), Some(Value::Str(p)) if p == "X"))
+            .expect("zero-length span exported");
+        assert_eq!(span.get("dur").and_then(Value::as_i64), Some(0));
+        assert_eq!(span.get("ts").and_then(Value::as_i64), Some(7));
+        let instant = events
+            .iter()
+            .find(|e| matches!(e.get("ph"), Some(Value::Str(p)) if p == "i"))
+            .expect("epoch instant exported");
+        assert_eq!(instant.get("ts").and_then(Value::as_i64), Some(0));
+    }
+
+    #[test]
+    fn reexport_of_a_parsed_trace_is_byte_identical() {
+        // Determinism contract: same timeline, same bytes — so a
+        // parse → re-render cycle of the export changes nothing. This is
+        // what lets CI diff trace artifacts across runs.
+        let json = to_chrome_trace_json(&sample_timeline());
+        let parsed = serde::json::parse(&json).expect("parses");
+        assert_eq!(parsed.to_json(), json);
+        let again = serde::json::parse(&to_chrome_trace_json(&sample_timeline())).expect("parses");
+        assert_eq!(again.to_json(), json);
+    }
 }

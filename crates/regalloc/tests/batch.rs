@@ -404,3 +404,172 @@ fn failed_jobs_auto_dump_the_flight_recorder() {
         "submit + start + end events recorded"
     );
 }
+
+/// Quality scoring through the service: off by default (`/status` says
+/// so and no quality metrics appear); on, every successful job folds
+/// into the aggregate and the metrics export — without changing any
+/// result's bytes relative to an unscored service.
+#[test]
+fn quality_scoring_is_off_by_default_and_aggregates_when_on() {
+    // Off: the default config scores nothing.
+    let service = BatchService::start(BatchConfig {
+        workers: 1,
+        ..BatchConfig::default()
+    });
+    let handle = service.handle();
+    service.submit(light_job("plain", 7)).expect("accepted");
+    wait_until("the unscored job", || handle.statuses().len() == 1);
+    let status = handle.status_value();
+    let quality = status.get("quality").expect("quality object present");
+    assert!(matches!(
+        quality.get("enabled"),
+        Some(serde::json::Value::Bool(false))
+    ));
+    assert!(quality.get("jobs_scored").is_none(), "off reports no sums");
+    assert_eq!(
+        handle.metrics_snapshot().counter("quality_reports_total"),
+        0
+    );
+    let unscored = service.shutdown();
+
+    // On: the same submission is scored and aggregated.
+    let service = BatchService::start(BatchConfig {
+        workers: 1,
+        score_quality: true,
+        ..BatchConfig::default()
+    });
+    let handle = service.handle();
+    service.submit(light_job("plain", 7)).expect("accepted");
+    wait_until("the scored job", || handle.statuses().len() == 1);
+    let status = handle.status_value();
+    let quality = status.get("quality").expect("quality object present");
+    assert!(matches!(
+        quality.get("enabled"),
+        Some(serde::json::Value::Bool(true))
+    ));
+    assert_eq!(
+        quality
+            .get("jobs_scored")
+            .and_then(serde::json::Value::as_f64),
+        Some(1.0)
+    );
+    assert!(quality
+        .get("estimated_ops")
+        .and_then(serde::json::Value::as_f64)
+        .is_some());
+    assert_eq!(
+        handle.metrics_snapshot().counter("quality_reports_total"),
+        1
+    );
+    let scored = service.shutdown();
+
+    // Scoring never perturbs the allocation itself.
+    let bytes = |results: &[ccra_regalloc::BatchResult]| {
+        results
+            .iter()
+            .map(|r| format!("{:?}", r.allocation.as_ref().map(|a| &a.overhead)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(bytes(&unscored), bytes(&scored));
+}
+
+#[test]
+fn per_priority_latency_quantiles_are_boundary_exact() {
+    use ccra_regalloc::driver::batch::per_priority_latency;
+    use ccra_regalloc::driver::Priority;
+    use ccra_regalloc::MetricsRegistry;
+    use serde::json::Value;
+
+    // Feed the interactive class a known sequence: 50 jobs at 1 us
+    // (bucket bound 1), 49 at 1000 us (bucket bound 1023), one 100000 us
+    // outlier (bucket bound 131071). With rank = ceil(q * count):
+    // p50 hits rank 50 — the LAST observation of the 1-us bucket — and
+    // p99 hits rank 99 — the last of the 1023-bucket, excluding the
+    // outlier exactly.
+    let mut m = MetricsRegistry::new();
+    for _ in 0..50 {
+        m.observe(Priority::Interactive.e2e_metric(), 1);
+    }
+    for _ in 0..49 {
+        m.observe(Priority::Interactive.e2e_metric(), 1000);
+    }
+    m.observe(Priority::Interactive.e2e_metric(), 100_000);
+
+    let v = per_priority_latency(&m);
+    let class = |name: &str, field: &str| -> i64 {
+        v.get(name)
+            .and_then(|c| c.get(field))
+            .and_then(Value::as_i64)
+            .unwrap_or_else(|| panic!("per_priority has {name}.{field}"))
+    };
+    assert_eq!(class("interactive", "jobs"), 100);
+    assert_eq!(class("interactive", "p50"), 1);
+    assert_eq!(class("interactive", "p99"), 1023);
+
+    // One more 1-us observation shifts rank 50 off the bucket edge:
+    // p50 stays 1 (rank 51 of 101 still lands in the 1-us bucket), but
+    // p99 (rank 100 of 101) now includes the outlier's bucket? No —
+    // cum(1) = 51, cum(1023) = 100 >= 100, so p99 is still 1023. The
+    // outlier only surfaces at rank 101.
+    m.observe(Priority::Interactive.e2e_metric(), 1);
+    let v = per_priority_latency(&m);
+    let p = |field: &str| {
+        v.get("interactive")
+            .and_then(|c| c.get(field))
+            .and_then(Value::as_i64)
+            .unwrap()
+    };
+    assert_eq!(p("p50"), 1);
+    assert_eq!(p("p99"), 1023);
+
+    // Tipping the majority tips the median to the next bucket bound.
+    let mut m2 = MetricsRegistry::new();
+    for _ in 0..49 {
+        m2.observe(Priority::Batch.e2e_metric(), 1);
+    }
+    for _ in 0..51 {
+        m2.observe(Priority::Batch.e2e_metric(), 1000);
+    }
+    let v2 = per_priority_latency(&m2);
+    assert_eq!(
+        v2.get("batch")
+            .and_then(|c| c.get("p50"))
+            .and_then(Value::as_i64),
+        Some(1023)
+    );
+}
+
+#[test]
+fn empty_priority_classes_report_zeros_not_absence() {
+    use ccra_regalloc::driver::batch::per_priority_latency;
+    use ccra_regalloc::driver::Priority;
+    use ccra_regalloc::MetricsRegistry;
+    use serde::json::Value;
+
+    // Only the background class has completed anything; the other two
+    // classes' histograms were never created. All three must still be
+    // present, the silent ones as explicit zeros.
+    let mut m = MetricsRegistry::new();
+    m.observe(Priority::Background.e2e_metric(), 4096);
+    let v = per_priority_latency(&m);
+    for name in ["interactive", "batch", "background"] {
+        let class = v.get(name).unwrap_or_else(|| panic!("{name} present"));
+        let field = |f: &str| class.get(f).and_then(Value::as_i64).unwrap();
+        if name == "background" {
+            assert_eq!(field("jobs"), 1);
+            assert_eq!(field("p50"), 8191, "4096 rounds up to its bucket bound");
+            assert_eq!(field("p99"), 8191);
+        } else {
+            assert_eq!((field("jobs"), field("p50"), field("p99")), (0, 0, 0));
+        }
+    }
+
+    // A completely silent registry reports all-zero classes too.
+    let empty = per_priority_latency(&MetricsRegistry::new());
+    for name in ["interactive", "batch", "background"] {
+        let class = empty.get(name).expect("class present");
+        assert_eq!(class.get("jobs").and_then(Value::as_i64), Some(0));
+        assert_eq!(class.get("p50").and_then(Value::as_i64), Some(0));
+        assert_eq!(class.get("p99").and_then(Value::as_i64), Some(0));
+    }
+}

@@ -672,3 +672,45 @@ fn disabled_recorders_stay_silent() {
     view.record(0, FlightKind::JobStart, 1, 0);
     assert_eq!(rec.total_events(), 0);
 }
+
+/// The tentpole determinism criterion of the quality observatory: scoring
+/// is a pure post-pass on the deterministically merged allocation, so the
+/// quality report's JSON is byte-identical at workers {1, 2, 4, 8} and
+/// equal to scoring the serial allocation.
+#[test]
+fn quality_reports_are_byte_identical_at_any_worker_count() {
+    use ccra_machine::CycleModel;
+    use ccra_regalloc::score_program;
+
+    let program = spec_program_scaled(SpecProgram::Eqntott, Scale(0.1));
+    let freq = FrequencyInfo::estimate(&program);
+    let file = RegisterFile::mips_full();
+    let config = AllocatorConfig::improved();
+    let cycles = CycleModel::decstation();
+
+    let serial = ccra_regalloc::allocate_program(&program, &freq, file, &config)
+        .expect("serial allocation succeeds");
+    let serial_json = score_program(&serial, &freq, &config.label(), &cycles)
+        .to_json_value()
+        .to_json();
+    assert!(!serial_json.is_empty());
+
+    for workers in WORKER_COUNTS {
+        let driver = ParallelDriver::new(workers);
+        let req = AllocRequest {
+            program: &program,
+            freq: &freq,
+            file,
+            config: &config,
+            cost: &CostModel::paper(),
+        };
+        let (_, report) = driver
+            .allocate_program_scored(&req, &cycles)
+            .expect("scored allocation succeeds");
+        assert_eq!(
+            report.to_json_value().to_json(),
+            serial_json,
+            "workers={workers}: quality report diverged from serial"
+        );
+    }
+}
