@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! loadgen [--jobs <n>] [--workers <n>] [--shard-workers <n>]
-//!         [--queue <n>] [--mean-gap-us <n>] [--seed <n>]
+//!         [--queue <n>] [--mean-gap-us <n>] [--seed <n>] [--rerun <pct>]
 //!         [--out <file.json>] [--into <bench.json>]
 //!         [--chaos] [--trickle <n>] [--slo-us <n>] [--max-limit <n>]
 //!         [--timeout-us <n>] [--spike-us <n>] [--cancel-every <n>]
@@ -19,6 +19,11 @@
 //! * `--mean-gap-us` — mean exponential inter-arrival gap (default 500;
 //!   0 = submit flat out; chaos default 0).
 //! * `--seed` — job-stream seed (default 1997).
+//! * `--rerun` — percentage of submissions that are byte-identical
+//!   re-submissions of earlier jobs in the stream (default 0). When > 0
+//!   the service gets a memo cache, and the run reports its hit/miss
+//!   counters; the rewritten stream is still a pure function of `--seed`.
+//!   Applies to the chaos storm too.
 //! * `--out` — write a standalone schema-versioned snapshot holding only
 //!   the measured section (default `BENCH_<version>_latency.json`).
 //! * `--into` — instead of a standalone file, merge the measured series
@@ -73,7 +78,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--jobs <n>] [--workers <n>] [--shard-workers <n>] \
-         [--queue <n>] [--mean-gap-us <n>] [--seed <n>] \
+         [--queue <n>] [--mean-gap-us <n>] [--seed <n>] [--rerun <pct>] \
          [--out <file.json>] [--into <bench.json>] \
          [--chaos] [--trickle <n>] [--slo-us <n>] [--max-limit <n>] \
          [--timeout-us <n>] [--spike-us <n>] [--cancel-every <n>] \
@@ -135,6 +140,14 @@ fn parse_args() -> Args {
             "--seed" => {
                 cfg.seed = take(i).parse().unwrap_or_else(|_| usage());
                 chaos_cfg.seed = cfg.seed;
+            }
+            "--rerun" => {
+                let pct: u32 = take(i).parse().unwrap_or_else(|_| usage());
+                if pct > 100 {
+                    usage();
+                }
+                cfg.rerun_per_mille = pct * 10;
+                chaos_cfg.rerun_per_mille = cfg.rerun_per_mille;
             }
             "--trickle" => chaos_cfg.trickle = take(i).parse().unwrap_or_else(|_| usage()),
             "--slo-us" => chaos_cfg.slo_us = take(i).parse().unwrap_or_else(|_| usage()),
@@ -214,6 +227,12 @@ fn main() -> ExitCode {
             l.series, l.p50_us, l.p95_us, l.p99_us, l.mean_us, l.jobs
         );
     }
+    if args.cfg.rerun_per_mille > 0 {
+        eprintln!(
+            "  memo cache: {} hit(s), {} miss(es)",
+            report.cache_hits, report.cache_misses
+        );
+    }
     if !report.accounting_clean() {
         eprintln!(
             "ACCOUNTING FAILED: lost ids {:?}, duplicated ids {:?}",
@@ -287,6 +306,12 @@ fn run_chaos_mode(args: &Args) -> ExitCode {
         "accepted e2e p99 {} us; admission window {:.1}/{:.0} after trickle",
         report.accepted_p99_us, report.final_limit, report.max_limit
     );
+    if cfg.rerun_per_mille > 0 {
+        eprintln!(
+            "  memo cache: {} hit(s), {} miss(es)",
+            report.cache_hits, report.cache_misses
+        );
+    }
 
     let mut violations = Vec::new();
     if !report.accounting_clean() {
@@ -373,6 +398,7 @@ fn empty_snapshot(workers: usize) -> BenchSnapshot {
         latency: Vec::new(),
         admission: Vec::new(),
         quality: Vec::new(),
+        cache: Vec::new(),
     }
 }
 

@@ -140,6 +140,7 @@ fn main() -> ExitCode {
         latency: Vec::new(),
         admission: Vec::new(),
         quality: Vec::new(),
+        cache: Vec::new(),
     };
     if let Err(e) = std::fs::write(&args.out, snapshot.to_json() + "\n") {
         eprintln!("cannot write {}: {e}", args.out);

@@ -156,6 +156,7 @@ fn main() -> ExitCode {
                 latency: Vec::new(),
                 admission: Vec::new(),
                 quality: entries.clone(),
+                cache: Vec::new(),
             };
             std::fs::write(&args.out, snapshot.to_json() + "\n")
                 .map(|()| args.out.clone())

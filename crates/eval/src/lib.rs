@@ -51,6 +51,7 @@
 pub mod bench;
 pub mod experiments;
 pub mod explain;
+pub mod incr;
 pub mod loadgen;
 pub mod parsweep;
 pub mod perfsnap;
@@ -62,6 +63,7 @@ pub mod timeline;
 pub mod traffic;
 
 pub use bench::{load_all, Bench};
+pub use incr::{check_cache, dirty_program, run_incr_sweep, synth_program, IncrConfig};
 pub use loadgen::{
     job_stream, run_chaosload, run_loadgen, ChaosReport, ChaosloadConfig, LoadgenConfig,
     LoadgenReport,

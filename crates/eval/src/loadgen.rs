@@ -37,12 +37,13 @@
 //! result at all.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ccra_regalloc::driver::batch::{METRIC_E2E, METRIC_JOB_MICROS, METRIC_QUEUE_WAIT};
 use ccra_regalloc::{
-    AdmissionConfig, BatchConfig, BatchJob, BatchResult, BatchService, BatchStatus, CancelOutcome,
-    ChaosConfig, Priority, RejectCause, SubmitError,
+    AdmissionConfig, AllocCache, BatchConfig, BatchJob, BatchResult, BatchService, BatchStatus,
+    CancelOutcome, ChaosConfig, Priority, RejectCause, SubmitError,
 };
 
 use crate::perfsnap::{AdmissionEntry, LatencyEntry, PriorityLatency};
@@ -72,6 +73,10 @@ pub struct LoadgenConfig {
     pub mean_gap_us: u64,
     /// The RNG seed the whole job stream derives from.
     pub seed: u64,
+    /// Per-mille of submissions that are byte-identical re-submissions of
+    /// earlier jobs ([`TrafficShape::rerun_per_mille`]). When > 0 the
+    /// service runs with a shared memo cache, so the reruns hit warm.
+    pub rerun_per_mille: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -83,6 +88,7 @@ impl Default for LoadgenConfig {
             queue_capacity: 16,
             mean_gap_us: 500,
             seed: 1997,
+            rerun_per_mille: 0,
         }
     }
 }
@@ -91,6 +97,7 @@ impl LoadgenConfig {
     /// The steady traffic shape this config drives.
     fn shape(&self) -> TrafficShape {
         TrafficShape::steady(self.jobs, self.seed, self.mean_gap_us)
+            .with_rerun_per_mille(self.rerun_per_mille)
     }
 }
 
@@ -116,6 +123,11 @@ pub struct LoadgenReport {
     /// The measured queue-wait / service / end-to-end series, ready for a
     /// snapshot's `latency` section.
     pub latency: Vec<LatencyEntry>,
+    /// Memo-cache hits over the run (0 when the run had no cache, i.e.
+    /// [`LoadgenConfig::rerun_per_mille`] was 0).
+    pub cache_hits: u64,
+    /// Memo-cache misses over the run (0 when the run had no cache).
+    pub cache_misses: u64,
 }
 
 impl LoadgenReport {
@@ -140,10 +152,14 @@ pub fn run_loadgen(
     cfg: &LoadgenConfig,
     mut progress: impl FnMut(usize, usize),
 ) -> (LoadgenReport, Vec<BatchResult>) {
+    // Rerun traffic gets a memo cache, so byte-identical re-submissions
+    // actually replay warm allocations.
+    let cache = (cfg.rerun_per_mille > 0).then(|| Arc::new(AllocCache::default()));
     let service = BatchService::start(BatchConfig {
         workers: cfg.workers.max(1),
         queue_capacity: cfg.queue_capacity.max(1),
         shard_workers: cfg.shard_workers.max(1),
+        cache: cache.clone(),
         ..BatchConfig::default()
     });
     let handle = service.handle();
@@ -207,6 +223,8 @@ pub fn run_loadgen(
         lost,
         duplicated,
         latency,
+        cache_hits: cache.as_ref().map_or(0, |c| c.stats().hits),
+        cache_misses: cache.as_ref().map_or(0, |c| c.stats().misses),
     };
     (report, results)
 }
@@ -264,6 +282,10 @@ pub struct ChaosloadConfig {
     /// Every `cancel_every`-th storm submission cancels a recent pending
     /// id (0 = no cancellations).
     pub cancel_every: usize,
+    /// Per-mille of storm submissions that are byte-identical
+    /// re-submissions ([`TrafficShape::rerun_per_mille`]); > 0 also gives
+    /// the stormed service a memo cache.
+    pub rerun_per_mille: u32,
 }
 
 impl Default for ChaosloadConfig {
@@ -281,6 +303,7 @@ impl Default for ChaosloadConfig {
             spike_us: 10_000,
             mean_gap_us: 0,
             cancel_every: 17,
+            rerun_per_mille: 0,
         }
     }
 }
@@ -327,6 +350,10 @@ pub struct ChaosReport {
     pub final_limit: f64,
     /// The admission window ceiling the run was configured with.
     pub max_limit: f64,
+    /// Memo-cache hits over the run (0 when the run had no cache).
+    pub cache_hits: u64,
+    /// Memo-cache misses over the run (0 when the run had no cache).
+    pub cache_misses: u64,
     /// The service's flight-recorder document (live dump + retained
     /// automatic dumps) — written out as a CI artifact when an invariant
     /// fails.
@@ -404,6 +431,7 @@ pub fn run_chaosload(
         spike_per_mille: 60,
         spike_us: cfg.spike_us,
     };
+    let cache = (cfg.rerun_per_mille > 0).then(|| Arc::new(AllocCache::default()));
     let service = BatchService::start(BatchConfig {
         workers: cfg.workers.max(1),
         queue_capacity: cfg.queue_capacity.max(1),
@@ -411,10 +439,12 @@ pub fn run_chaosload(
         admission: Some(admission),
         job_timeout: Some(Duration::from_micros(cfg.job_timeout_us.max(1))),
         chaos: Some(chaos),
+        cache: cache.clone(),
         ..BatchConfig::default()
     });
     let handle = service.handle();
-    let storm = TrafficShape::storm(cfg.jobs, cfg.seed, cfg.mean_gap_us);
+    let storm = TrafficShape::storm(cfg.jobs, cfg.seed, cfg.mean_gap_us)
+        .with_rerun_per_mille(cfg.rerun_per_mille);
     let gaps = arrival_gaps(&storm);
     let mut accepted: Vec<u64> = Vec::with_capacity(cfg.jobs);
     let mut submitted = 0u64;
@@ -532,6 +562,8 @@ pub fn run_chaosload(
         accepted_p99_us,
         final_limit,
         max_limit: cfg.max_limit.max(1) as f64,
+        cache_hits: cache.as_ref().map_or(0, |c| c.stats().hits),
+        cache_misses: cache.as_ref().map_or(0, |c| c.stats().misses),
         flight,
     };
     (report, results)
@@ -549,7 +581,29 @@ mod tests {
             queue_capacity: 4,
             mean_gap_us: 0,
             seed: 42,
+            rerun_per_mille: 0,
         }
+    }
+
+    #[test]
+    fn rerun_traffic_exercises_the_memo_cache() {
+        let cfg = LoadgenConfig {
+            jobs: 32,
+            rerun_per_mille: 500,
+            ..tiny()
+        };
+        let (report, results) = run_loadgen(&cfg, |_, _| {});
+        assert_eq!(report.submitted, 32);
+        assert!(report.accounting_clean(), "{report:?}");
+        assert_eq!(results.len(), 32);
+        assert!(
+            report.cache_hits > 0,
+            "re-submitted jobs hit the memo cache: {report:?}"
+        );
+        // Without reruns no cache is attached, so the counters stay zero.
+        let (quiet, _) = run_loadgen(&tiny(), |_, _| {});
+        assert_eq!(quiet.cache_hits, 0);
+        assert_eq!(quiet.cache_misses, 0);
     }
 
     #[test]

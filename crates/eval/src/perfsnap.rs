@@ -23,6 +23,11 @@ use serde::{Deserialize, Serialize};
 
 /// The `BENCH_*.json` schema version this crate reads and writes.
 ///
+/// v7 added the `cache` section ([`CacheEntry`]): incremental
+/// re-allocation sweeps — per dirty-fraction × worker-count cell, the
+/// cold and warm wall-clock times, memo-cache hit rate, resident bytes,
+/// and evictions — produced by the `incr` binary against
+/// [`ccra_regalloc::AllocCache`].
 /// v6 added the `quality` section ([`QualityEntry`]): allocation-quality
 /// scores — estimated cycles, replay-measured overhead ops,
 /// estimate-vs-measured drift, spill counts, save costs, and per-phase
@@ -38,7 +43,7 @@ use serde::{Deserialize, Serialize};
 /// its numbers. v2 added the `parallel` section: worker-count sweep
 /// entries from the `par` binary ([`ParEntry`]). Older snapshots (missing
 /// any section) are rejected — regenerate the baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 6;
+pub const BENCH_SCHEMA_VERSION: u32 = 7;
 
 /// The workloads of the fixed perf matrix: a spread over the shapes the
 /// suite contains — call-heavy integer code (eqntott, li), mixed DSP (ear),
@@ -255,6 +260,41 @@ pub struct QualityEntry {
     pub mem_allocs: u64,
 }
 
+/// One cell of the incremental re-allocation sweep: a synthetic program
+/// re-allocated through a warm [`ccra_regalloc::AllocCache`] after a
+/// given fraction of its functions were edited, at one worker count.
+/// Every cell is byte-identity-checked against an uncached cold run
+/// before it is recorded — a warm number for a wrong allocation never
+/// enters a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The workload name (e.g. `"synth1000"`).
+    pub workload: String,
+    /// Driver worker threads for both the cold and warm runs.
+    pub workers: u64,
+    /// Percentage of functions edited between the cold and warm runs
+    /// (0 = fully warm, 100 = nothing reusable).
+    pub dirty_pct: u64,
+    /// Functions in the workload.
+    pub funcs: u64,
+    /// Cold (empty-cache) allocation wall-clock microseconds.
+    pub cold_micros: u64,
+    /// Warm (populated-cache) re-allocation wall-clock microseconds.
+    pub warm_micros: u64,
+    /// Memo-cache hit rate of the warm run, 0.0–1.0.
+    pub hit_rate: f64,
+    /// Memo-cache hits of the warm run.
+    pub hits: u64,
+    /// Memo-cache misses of the warm run.
+    pub misses: u64,
+    /// Resident cache bytes after the warm run.
+    pub bytes: u64,
+    /// Entries evicted across both runs.
+    pub evictions: u64,
+    /// Cold time divided by warm time (> 1 = the cache paid off).
+    pub speedup: f64,
+}
+
 /// Host metadata recorded in a snapshot: what machine class and worker
 /// configuration produced the numbers. Speedups and throughput are
 /// meaningless without it — a 1-vCPU runner legitimately measures ≈ 1.0×
@@ -305,6 +345,9 @@ pub struct BenchSnapshot {
     /// Allocation-quality scores (empty until the `quality` binary fills
     /// them).
     pub quality: Vec<QualityEntry>,
+    /// Incremental re-allocation sweep (empty until the `incr` binary
+    /// fills it).
+    pub cache: Vec<CacheEntry>,
 }
 
 impl BenchSnapshot {
@@ -451,6 +494,7 @@ pub fn run_matrix(
         latency: Vec::new(),
         admission: Vec::new(),
         quality: Vec::new(),
+        cache: Vec::new(),
     }
 }
 
@@ -609,6 +653,7 @@ mod tests {
             latency: Vec::new(),
             admission: Vec::new(),
             quality: Vec::new(),
+            cache: Vec::new(),
         }
     }
 
@@ -668,12 +713,29 @@ mod tests {
             mem_peak_bytes: 65536,
             mem_allocs: 40,
         });
+        snap.cache.push(CacheEntry {
+            workload: "synth1000".to_string(),
+            workers: 4,
+            dirty_pct: 1,
+            funcs: 1000,
+            cold_micros: 90_000,
+            warm_micros: 9_000,
+            hit_rate: 0.99,
+            hits: 990,
+            misses: 10,
+            bytes: 4_194_304,
+            evictions: 0,
+            speedup: 10.0,
+        });
         let json = snap.to_json();
-        assert!(json.contains("\"schema_version\":6"));
+        assert!(json.contains("\"schema_version\":7"));
         assert!(json.contains("\"parallel\":["));
         assert!(json.contains("\"latency\":["));
         assert!(json.contains("\"admission\":["));
         assert!(json.contains("\"quality\":["));
+        assert!(json.contains("\"cache\":["));
+        assert!(json.contains("\"dirty_pct\":1"));
+        assert!(json.contains("\"hit_rate\":0.99"));
         assert!(json.contains("\"shed\":80"));
         assert!(json.contains("\"estimated_cycles\":123456"));
         assert!(json.contains("\"p99_us\":4095"));
@@ -687,7 +749,7 @@ mod tests {
         let snap = snapshot(vec![]);
         let json = snap
             .to_json()
-            .replace("\"schema_version\":6", "\"schema_version\":99");
+            .replace("\"schema_version\":7", "\"schema_version\":99");
         let err = parse_snapshot(&json).expect_err("v99 is unreadable");
         assert!(err.contains("v99"), "{err}");
         // A v1 snapshot has no `parallel` section; even with the version
@@ -709,11 +771,15 @@ mod tests {
         let forged_v4 = snap.to_json().replace(",\"admission\":[]", "");
         assert_ne!(forged_v4, snap.to_json(), "admission section was stripped");
         assert!(parse_snapshot(&forged_v4).is_err());
-        // A v5 snapshot has no `quality` section; forging the version
-        // field does not make the body parse as v6.
+        // A v5 snapshot has no `quality` section.
         let forged_v5 = snap.to_json().replace(",\"quality\":[]", "");
         assert_ne!(forged_v5, snap.to_json(), "quality section was stripped");
         assert!(parse_snapshot(&forged_v5).is_err());
+        // A v6 snapshot has no `cache` section; forging the version
+        // field does not make the body parse as v7.
+        let forged_v6 = snap.to_json().replace(",\"cache\":[]", "");
+        assert_ne!(forged_v6, snap.to_json(), "cache section was stripped");
+        assert!(parse_snapshot(&forged_v6).is_err());
         assert!(parse_snapshot("{").is_err());
         assert!(parse_snapshot("{}").is_err());
     }

@@ -86,6 +86,12 @@ pub struct TrafficShape {
     /// Arrivals per burst: the first draws a gap, the rest land with zero
     /// gap behind it.
     pub burst_len: usize,
+    /// Per-mille of submissions replaced by byte-identical re-submissions
+    /// of an earlier job in the stream (program, file, and config all
+    /// equal, so a memo cache serves them warm). Applied as a post-pass
+    /// over the base stream, so `0` reproduces the pre-rerun streams
+    /// byte-for-byte; still a pure function of the seed.
+    pub rerun_per_mille: u32,
 }
 
 impl TrafficShape {
@@ -101,6 +107,7 @@ impl TrafficShape {
             interactive_deadline_us: None,
             burst_every: 0,
             burst_len: 0,
+            rerun_per_mille: 0,
         }
     }
 
@@ -117,14 +124,42 @@ impl TrafficShape {
             interactive_deadline_us: Some(400_000),
             burst_every: 16,
             burst_len: 4,
+            rerun_per_mille: 0,
         }
+    }
+
+    /// Sets the re-submission rate ([`TrafficShape::rerun_per_mille`]).
+    pub fn with_rerun_per_mille(mut self, rerun_per_mille: u32) -> Self {
+        self.rerun_per_mille = rerun_per_mille;
+        self
     }
 }
 
 /// The deterministic job stream of a shape: `jobs` fuzz programs whose
 /// function counts follow the bounded Pareto and whose priorities follow
-/// the shape's mix. A pure function of the shape (tests assert it).
+/// the shape's mix, with [`TrafficShape::rerun_per_mille`] of submissions
+/// replaced by byte-identical clones of earlier jobs. A pure function of
+/// the shape (tests assert it).
 pub fn job_stream(shape: &TrafficShape) -> Vec<BatchJob> {
+    let mut stream = base_stream(shape);
+    if shape.rerun_per_mille > 0 {
+        // Post-pass on its own generator: the base stream stays identical
+        // to a rerun-free shape's, a re-submission just replaces slot `i`
+        // with a clone of a uniformly chosen earlier slot. Slot 0 has no
+        // predecessor and is never replaced.
+        let mut rng = Rng::new(shape.seed ^ 0x5eed_5eed);
+        for i in 1..stream.len() {
+            if rng.per_mille() < shape.rerun_per_mille {
+                let source = (rng.next_u64() % i as u64) as usize;
+                stream[i] = stream[source].clone();
+            }
+        }
+    }
+    stream
+}
+
+/// The rerun-free stream `job_stream` post-processes.
+fn base_stream(shape: &TrafficShape) -> Vec<BatchJob> {
     let mut rng = Rng::new(shape.seed);
     (0..shape.jobs)
         .map(|i| {
@@ -253,6 +288,51 @@ mod tests {
                 .all(|j| (j.priority == Priority::Interactive) == j.deadline.is_some()),
             "exactly the interactive jobs carry deadlines"
         );
+    }
+
+    #[test]
+    fn rerun_streams_are_pure_and_resubmit_byte_identical_jobs() {
+        let shape = TrafficShape::steady(64, 42, 0).with_rerun_per_mille(400);
+        let a = job_stream(&shape);
+        let b = job_stream(&shape);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.program, y.program, "pure function of the seed");
+        }
+        // Re-submissions are byte-identical clones of earlier slots.
+        let dupes = a
+            .iter()
+            .enumerate()
+            .filter(|(i, job)| a[..*i].iter().any(|prev| prev.program == job.program))
+            .count();
+        assert!(
+            dupes >= 64 * 250 / 1000,
+            "~40% rerun rate produces plenty of duplicates, got {dupes}"
+        );
+        for (i, job) in a.iter().enumerate() {
+            if let Some(prev) = a[..i].iter().find(|p| p.program == job.program) {
+                assert_eq!(prev.name, job.name);
+                assert_eq!(prev.file, job.file);
+                assert_eq!(prev.config, job.config);
+                assert_eq!(prev.priority, job.priority);
+                assert_eq!(prev.deadline, job.deadline);
+            }
+        }
+        // rerun = 0 reproduces the legacy stream byte-for-byte.
+        let legacy = job_stream(&TrafficShape::steady(64, 42, 0));
+        let zero = job_stream(&TrafficShape::steady(64, 42, 0).with_rerun_per_mille(0));
+        for (x, y) in legacy.iter().zip(&zero) {
+            assert_eq!(x.program, y.program);
+            assert_eq!(x.name, y.name);
+        }
+        // And the storm shape composes with reruns.
+        let storm = job_stream(&TrafficShape::storm(128, 9, 100).with_rerun_per_mille(300));
+        assert_eq!(storm.len(), 128);
+        let storm_dupes = storm
+            .iter()
+            .enumerate()
+            .filter(|(i, job)| storm[..*i].iter().any(|p| p.program == job.program))
+            .count();
+        assert!(storm_dupes > 10, "storm reruns exist, got {storm_dupes}");
     }
 
     #[test]

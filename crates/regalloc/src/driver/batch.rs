@@ -157,7 +157,7 @@ pub const METRIC_E2E_BACKGROUND: &str = "batch_e2e_micros_background";
 const FLIGHT_DUMP_KEEP: usize = 8;
 
 /// Sizing knobs for a [`BatchService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BatchConfig {
     /// Service workers — whole programs allocated concurrently (≥ 1).
     pub workers: usize,
@@ -194,6 +194,14 @@ pub struct BatchConfig {
     /// pure post-pass on the merged allocation, so enabling it never
     /// changes any result's bytes.
     pub score_quality: bool,
+    /// The content-addressed memo cache ([`crate::cache::AllocCache`]):
+    /// every submission's functions are looked up before scheduling and
+    /// strict results are inserted after, so repeat traffic replays warm
+    /// allocations byte-identically. A shared `Arc` — hand the same cache
+    /// to several services (or keep a handle to `invalidate`/`clear` it
+    /// while the service runs). `None` (the default) allocates everything
+    /// fresh.
+    pub cache: Option<Arc<crate::cache::AllocCache>>,
 }
 
 impl Default for BatchConfig {
@@ -208,6 +216,7 @@ impl Default for BatchConfig {
             job_timeout: None,
             chaos: None,
             score_quality: false,
+            cache: None,
         }
     }
 }
@@ -561,37 +570,48 @@ enum JobPhase {
     Resolved,
 }
 
+/// The scheduling key workers pop the minimum of: priority class, then
+/// earliest absolute deadline (deadline-less jobs sort after every
+/// deadline in their class), then estimated cost, then submission id.
+type OrderKey = (u8, (u8, Instant), u64, u64);
+
 /// One accepted submission as it sits in the queue.
 struct QueuedJob {
     id: u64,
     queued_at: Instant,
     deadline_at: Option<Instant>,
-    est_cost: u64,
+    order_key: OrderKey,
     job: BatchJob,
 }
 
 impl QueuedJob {
     fn new(id: u64, job: BatchJob) -> Self {
         let queued_at = Instant::now();
+        let deadline_at = job.deadline.map(|d| queued_at + d);
         QueuedJob {
             id,
             queued_at,
-            deadline_at: job.deadline.map(|d| queued_at + d),
-            est_cost: job.estimated_cost(),
+            deadline_at,
+            // The whole scheduling key is fixed at submit time, so compute
+            // it once here — [`BoundedQueue::pop_min_by_key`] evaluates
+            // the key O(depth) times per pop, and the estimated-cost term
+            // walks every instruction of the program.
+            order_key: (
+                job.priority.rank(),
+                match deadline_at {
+                    Some(at) => (0, at),
+                    None => (1, queued_at),
+                },
+                job.estimated_cost(),
+                id,
+            ),
             job,
         }
     }
 
-    /// The scheduling key workers pop the minimum of: priority class,
-    /// then earliest absolute deadline (deadline-less jobs sort after
-    /// every deadline in their class), then estimated cost, then
-    /// submission id.
-    fn order_key(&self) -> (u8, (u8, Instant), u64, u64) {
-        let deadline = match self.deadline_at {
-            Some(at) => (0, at),
-            None => (1, self.queued_at),
-        };
-        (self.job.priority.rank(), deadline, self.est_cost, self.id)
+    /// The precomputed [`OrderKey`] (see [`QueuedJob::new`]).
+    fn order_key(&self) -> OrderKey {
+        self.order_key
     }
 }
 
@@ -622,6 +642,7 @@ struct Shared {
     job_timeout: Option<Duration>,
     chaos: Option<ChaosConfig>,
     score_quality: bool,
+    cache: Option<Arc<crate::cache::AllocCache>>,
     quality: Mutex<QualityAgg>,
     traces: Mutex<VecDeque<RequestTrace>>,
     flight: FlightRecorder,
@@ -717,13 +738,14 @@ fn run_batch_job(
                 config: &job.config,
                 cost: &shared.cost,
             };
-            match driver.allocate_program_observed(
+            match driver.allocate_program_cached(
                 &req,
                 &mut NoopSink,
                 &mut MetricsRegistry::disabled(),
                 job_ref,
                 &collector,
                 flight,
+                shared.cache.as_deref(),
             ) {
                 Err(e) => (
                     BatchStatus::Failed {
@@ -1072,6 +1094,9 @@ impl BatchHandle {
             m.gauge_set("batch_admission_limit", snap.limit);
             m.gauge_set("batch_admission_admitted", snap.admitted as f64);
         }
+        if let Some(cache) = &self.shared.cache {
+            cache.publish(&mut m);
+        }
         m
     }
 
@@ -1156,6 +1181,16 @@ impl BatchHandle {
     ///                "cancelled": 1, "timeouts": 0,
     ///                "per_priority": {"interactive": {"jobs": 9,
     ///                    "p50": 1023, "p99": 4095}, ...}}}
+    /// ```
+    ///
+    /// A `"cache"` object reports the memo cache when
+    /// [`BatchConfig::cache`] is set — occupancy, traffic, and hit rate
+    /// (just `{"enabled": false}` otherwise):
+    ///
+    /// ```json
+    /// {"cache": {"enabled": true, "entries": 42, "bytes": 81920,
+    ///            "budget_bytes": 67108864, "hits": 990, "misses": 10,
+    ///            "hit_rate": 0.99, "insertions": 10, "evictions": 0}}
     /// ```
     pub fn status_value(&self) -> Value {
         let statuses = self.statuses();
@@ -1285,6 +1320,27 @@ impl BatchHandle {
             };
             quality.push(("drift_pct".to_string(), Value::Float(drift)));
         }
+        let mut cache = vec![(
+            "enabled".to_string(),
+            Value::Bool(self.shared.cache.is_some()),
+        )];
+        if let Some(c) = &self.shared.cache {
+            let stats = c.stats();
+            cache.push(("entries".to_string(), Value::Int(stats.entries as i64)));
+            cache.push(("bytes".to_string(), Value::Int(stats.bytes as i64)));
+            cache.push((
+                "budget_bytes".to_string(),
+                Value::Int(stats.byte_budget as i64),
+            ));
+            cache.push(("hits".to_string(), Value::Int(stats.hits as i64)));
+            cache.push(("misses".to_string(), Value::Int(stats.misses as i64)));
+            cache.push(("hit_rate".to_string(), Value::Float(stats.hit_rate())));
+            cache.push((
+                "insertions".to_string(),
+                Value::Int(stats.insertions as i64),
+            ));
+            cache.push(("evictions".to_string(), Value::Int(stats.evictions as i64)));
+        }
         Value::Obj(vec![
             (
                 "queue_depth".to_string(),
@@ -1299,6 +1355,7 @@ impl BatchHandle {
             ("latency".to_string(), latency),
             ("admission".to_string(), Value::Obj(admission)),
             ("quality".to_string(), Value::Obj(quality)),
+            ("cache".to_string(), Value::Obj(cache)),
             ("jobs".to_string(), Value::Arr(jobs)),
         ])
     }
@@ -1334,6 +1391,7 @@ impl BatchService {
             job_timeout: config.job_timeout,
             chaos: config.chaos,
             score_quality: config.score_quality,
+            cache: config.cache,
             quality: Mutex::new(QualityAgg::default()),
             traces: Mutex::new(VecDeque::new()),
             flight: FlightRecorder::new(flight_lanes),
@@ -1568,5 +1626,107 @@ impl BatchService {
             std::mem::take(&mut *self.shared.results.lock().expect("batch results lock"));
         results.sort_by_key(|r| r.id);
         results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccra_ir::FunctionBuilder;
+
+    fn job(name: &str, stmts: usize) -> BatchJob {
+        let mut b = FunctionBuilder::new(name);
+        let x = b.new_vreg(RegClass::Int);
+        b.iconst(x, 1);
+        for _ in 0..stmts {
+            let y = b.new_vreg(RegClass::Int);
+            b.iconst(y, 2);
+        }
+        b.ret(Some(x));
+        let mut program = Program::new();
+        let id = program.add_function(b.finish());
+        program.set_main(id);
+        BatchJob::new(
+            name,
+            program,
+            RegisterFile::mips_full(),
+            AllocatorConfig::improved(),
+        )
+    }
+
+    /// Satellite pin: precomputing the whole [`OrderKey`] at submit must
+    /// not change scheduling — popping by the stored key yields exactly
+    /// the order of recomputing the key from the job on every comparison
+    /// (the pre-change behavior).
+    #[test]
+    fn precomputed_order_key_preserves_pop_order() {
+        let make_jobs = || {
+            let mut jobs = Vec::new();
+            for (i, (priority, deadline, stmts)) in [
+                (Priority::Batch, None, 40),
+                (Priority::Interactive, Some(Duration::from_secs(5)), 10),
+                (Priority::Background, None, 5),
+                (Priority::Batch, Some(Duration::from_secs(1)), 80),
+                (Priority::Batch, None, 3),
+                (Priority::Interactive, None, 90),
+                (Priority::Batch, Some(Duration::from_secs(9)), 3),
+                (Priority::Background, Some(Duration::from_secs(2)), 60),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut j = job(&format!("job-{i}"), stmts).with_priority(priority);
+                j.deadline = deadline;
+                jobs.push(QueuedJob::new(i as u64, j));
+            }
+            jobs
+        };
+
+        // Two queues over the same submissions: one popped by the stored
+        // key, one by a key recomputed from the job every time.
+        let stored = BoundedQueue::new(16);
+        let recomputed = BoundedQueue::new(16);
+        for q in make_jobs() {
+            // Rebuild the second copy with identical timestamps so the
+            // deadline terms agree exactly.
+            recomputed
+                .try_push(QueuedJob {
+                    id: q.id,
+                    queued_at: q.queued_at,
+                    deadline_at: q.deadline_at,
+                    order_key: q.order_key,
+                    job: q.job.clone(),
+                })
+                .ok()
+                .expect("fits");
+            stored.try_push(q).ok().expect("fits");
+        }
+        let fresh_key = |q: &QueuedJob| {
+            (
+                q.job.priority.rank(),
+                match q.deadline_at {
+                    Some(at) => (0, at),
+                    None => (1, q.queued_at),
+                },
+                q.job.estimated_cost(),
+                q.id,
+            )
+        };
+        let mut stored_order = Vec::new();
+        let mut recomputed_order = Vec::new();
+        stored.close();
+        recomputed.close();
+        while let Some(q) = stored.pop_min_by_key(QueuedJob::order_key) {
+            stored_order.push(q.id);
+        }
+        while let Some(q) = recomputed.pop_min_by_key(fresh_key) {
+            recomputed_order.push(q.id);
+        }
+        assert_eq!(stored_order.len(), 8);
+        assert_eq!(stored_order, recomputed_order);
+        // And the stored key really is the recomputed key, term for term.
+        for q in make_jobs() {
+            assert_eq!(q.order_key(), fresh_key(&q));
+        }
     }
 }

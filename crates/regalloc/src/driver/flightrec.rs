@@ -87,6 +87,15 @@ pub enum FlightKind {
     /// degraded fallback (`a` = submission id, `b` = degraded function
     /// count).
     Timeout,
+    /// A function's allocation was replayed from the memo cache
+    /// (`a` = function id).
+    CacheHit,
+    /// A function missed the memo cache and was scheduled for allocation
+    /// (`a` = function id).
+    CacheMiss,
+    /// Inserting a fresh allocation evicted resident entries
+    /// (`a` = function id, `b` = entries evicted).
+    CacheEvict,
 }
 
 impl FlightKind {
@@ -107,6 +116,9 @@ impl FlightKind {
             FlightKind::DeadlineExpired => "deadline_expired",
             FlightKind::Cancelled => "cancelled",
             FlightKind::Timeout => "timeout",
+            FlightKind::CacheHit => "cache_hit",
+            FlightKind::CacheMiss => "cache_miss",
+            FlightKind::CacheEvict => "cache_evict",
         }
     }
 }

@@ -37,7 +37,7 @@
 //!
 //! The `ccra-eval` `par` binary sweeps worker counts over the perf
 //! workloads with the driver and records the speedup into the
-//! `BENCH_6.json` snapshot; the `timeline` binary captures one traced
+//! `BENCH_7.json` snapshot; the `timeline` binary captures one traced
 //! batch as a Perfetto-loadable timeline; the `loadgen` binary drives the
 //! batch service open-loop (`--chaos` adds a seeded overload storm) and
 //! records the latency and admission sections of the same snapshot.

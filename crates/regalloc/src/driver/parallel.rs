@@ -59,6 +59,7 @@ use ccra_analysis::{FrequencyInfo, FuncFreq};
 use ccra_ir::{Function, Program};
 use ccra_machine::{CostModel, RegisterFile};
 
+use crate::cache::{config_fingerprint, file_fingerprint, AllocCache, CacheKey};
 use crate::driver::flightrec::{FlightKind, FlightRecorder, FlightView};
 use crate::driver::pool::{run_jobs_observed, JobOutcome};
 use crate::driver::timeline::{Lane, SpanKind, Timeline, TimelineCollector};
@@ -251,9 +252,12 @@ pub struct DriverReport {
     /// Per-function outcome, indexed by function id.
     pub statuses: Vec<JobStatus>,
     /// Scheduler metrics (the `driver_*` names of [`crate::driver::pool`]),
-    /// merged across worker shards. Empty unless the batch ran traced.
-    /// Scheduling-dependent, like everything else here except `statuses` —
-    /// keep it out of merged program metrics.
+    /// merged across worker shards, plus the run's `cache_*` traffic
+    /// counters when a memo cache was consulted. Empty unless the batch
+    /// ran traced or cached. Scheduling-dependent, like everything else
+    /// here except `statuses` and the cache counters (hits and misses are
+    /// a pure function of cache state and program content) — keep it out
+    /// of merged program metrics.
     pub scheduler: MetricsRegistry,
     /// A JSON flight-record dump, captured automatically when any job
     /// degraded (or panicked) and the batch ran with an enabled
@@ -517,11 +521,46 @@ impl ParallelDriver {
         self.allocate_program_observed(req, sink, metrics, job, collector, flight.view(0))
     }
 
+    /// Like [`ParallelDriver::allocate_program_cached`] without a memo
+    /// cache: every function is allocated fresh. This was the most general
+    /// entry point before the cache existed; callers that don't memoize
+    /// keep using it unchanged.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelDriver::allocate_program_cached`].
+    pub fn allocate_program_observed(
+        &self,
+        req: &AllocRequest<'_>,
+        sink: &mut dyn AllocSink,
+        metrics: &mut MetricsRegistry,
+        job: &dyn AllocJob,
+        collector: &TimelineCollector,
+        flight: FlightView<'_>,
+    ) -> Result<(ProgramAllocation, DriverReport, Timeline), AllocError> {
+        self.allocate_program_cached(req, sink, metrics, job, collector, flight, None)
+    }
+
     /// The fully general entry point: allocates with a custom per-function
-    /// [`AllocJob`] under a [`TimelineCollector`] and a flight-recorder
-    /// window, returning the merged driver [`Timeline`] alongside the
-    /// allocation and report. Everything else on the driver delegates
-    /// here.
+    /// [`AllocJob`] under a [`TimelineCollector`], a flight-recorder
+    /// window, and an optional content-addressed memo cache, returning the
+    /// merged driver [`Timeline`] alongside the allocation and report.
+    /// Everything else on the driver delegates here.
+    ///
+    /// With a cache, every function is looked up before anything is
+    /// scheduled: hits replay the stored rewritten body and
+    /// [`FuncAllocation`] (status [`JobStatus::Ok`], no phase spans — the
+    /// timeline records a [`SpanKind::CacheHit`] span instead), only
+    /// misses become pool jobs, and the merge interleaves both strictly in
+    /// function-id order, so output is byte-identical to a cold run at any
+    /// worker count. Fresh strict results are inserted after merge;
+    /// degraded results are never cached. Cache lookups happen on the
+    /// calling thread, so their flight events ([`FlightKind::CacheHit`],
+    /// [`FlightKind::CacheMiss`], [`FlightKind::CacheEvict`]) land on view
+    /// lane 0. Per-run hit/miss/eviction counts drain into the
+    /// [`DriverReport::scheduler`] quarantine (never the allocation
+    /// metrics), and `alloc_functions_total` counts only functions
+    /// actually allocated.
     ///
     /// Worker lanes are `0..workers`; the driver thread's merge span lands
     /// on lane `workers`. With a disabled collector the timeline comes
@@ -535,7 +574,8 @@ impl ParallelDriver {
     /// Propagates the first (in function-id order) failure of the degraded
     /// fallback; strict-allocation failures and job panics degrade instead
     /// (see the module docs).
-    pub fn allocate_program_observed(
+    #[allow(clippy::too_many_arguments)]
+    pub fn allocate_program_cached(
         &self,
         req: &AllocRequest<'_>,
         sink: &mut dyn AllocSink,
@@ -543,17 +583,62 @@ impl ParallelDriver {
         job: &dyn AllocJob,
         collector: &TimelineCollector,
         flight: FlightView<'_>,
+        cache: Option<&AllocCache>,
     ) -> Result<(ProgramAllocation, DriverReport, Timeline), AllocError> {
         let start = span_start(sink);
         let prog_timer = metrics.timer();
         let sink_on = sink.enabled();
         let metrics_on = metrics.enabled();
         let program = req.program;
-        let ids: Vec<ccra_ir::FuncId> = program.func_ids().collect();
+        let all_ids: Vec<ccra_ir::FuncId> = program.func_ids().collect();
+
+        // Consult the memo cache before scheduling anything. `replayed`
+        // and `miss_keys` are parallel to `all_ids`; only misses reach the
+        // pool.
+        let mut replayed: Vec<Option<(Function, FuncAllocation)>>;
+        let mut miss_keys: Vec<Option<CacheKey>>;
+        let mut run_hits = 0u64;
+        let mut run_evictions = 0u64;
+        let miss_ids: Vec<ccra_ir::FuncId>;
+        if let Some(cache) = cache {
+            let cfg_fp = config_fingerprint(req.config, req.cost);
+            let file_fp = file_fingerprint(&req.file);
+            replayed = Vec::with_capacity(all_ids.len());
+            miss_keys = Vec::with_capacity(all_ids.len());
+            let mut misses = Vec::new();
+            for &id in &all_ids {
+                let key = cache.key(
+                    program.function(id),
+                    req.freq.mode(),
+                    req.freq.func(id),
+                    cfg_fp,
+                    file_fp,
+                );
+                match cache.get(&key) {
+                    Some(entry) => {
+                        flight.record(0, FlightKind::CacheHit, u64::from(id.0), 0);
+                        run_hits += 1;
+                        replayed.push(Some(entry));
+                        miss_keys.push(None);
+                    }
+                    None => {
+                        flight.record(0, FlightKind::CacheMiss, u64::from(id.0), 0);
+                        replayed.push(None);
+                        miss_keys.push(Some(key));
+                        misses.push(id);
+                    }
+                }
+            }
+            miss_ids = misses;
+        } else {
+            replayed = vec![None; all_ids.len()];
+            miss_keys = vec![None; all_ids.len()];
+            miss_ids = all_ids.clone();
+        }
 
         let (outcomes, stats, scratches) = run_jobs_observed(
             self.workers,
-            &ids,
+            &miss_ids,
             collector,
             flight,
             |index, &id, scratch| {
@@ -609,8 +694,10 @@ impl ParallelDriver {
             },
         );
 
-        // The scheduling facts drain into the report's quarantine.
-        let mut scheduler = if collector.is_enabled() {
+        // The scheduling facts drain into the report's quarantine. A
+        // cached run always gets a live registry: its cache_* counters
+        // must be reportable even untraced.
+        let mut scheduler = if collector.is_enabled() || cache.is_some() {
             MetricsRegistry::new()
         } else {
             MetricsRegistry::disabled()
@@ -624,46 +711,77 @@ impl ParallelDriver {
         let merge_span = driver_lane.start();
 
         // Deterministic merge: strictly in function-id order, regardless
-        // of which worker finished when.
+        // of which worker finished when, interleaving cache replays with
+        // fresh pool results.
         let mut rewritten = Program::new();
-        let mut per_func = Vec::with_capacity(ids.len());
-        let mut statuses = Vec::with_capacity(ids.len());
+        let mut per_func = Vec::with_capacity(all_ids.len());
+        let mut statuses = Vec::with_capacity(all_ids.len());
         let mut overhead = Overhead::zero();
-        for (&id, outcome) in ids.iter().zip(outcomes) {
-            let (body, alloc, status) = match outcome {
-                JobOutcome::Completed(ret) => {
-                    for event in ret.events {
-                        sink.emit(event);
+        let mut fresh = miss_ids.iter().zip(outcomes);
+        for (pos, &id) in all_ids.iter().enumerate() {
+            let (body, alloc, status) = if let Some((body, alloc)) = replayed[pos].take() {
+                driver_lane.backdated_span(
+                    SpanKind::CacheHit,
+                    0,
+                    || program.function(id).name().to_string(),
+                    || None,
+                );
+                (body, alloc, JobStatus::Ok)
+            } else {
+                let (&miss_id, outcome) = fresh.next().expect("one pool outcome per miss");
+                debug_assert_eq!(miss_id, id);
+                let (body, alloc, status) = match outcome {
+                    JobOutcome::Completed(ret) => {
+                        for event in ret.events {
+                            sink.emit(event);
+                        }
+                        metrics.merge(&ret.metrics);
+                        ret.result?
                     }
-                    metrics.merge(&ret.metrics);
-                    ret.result?
-                }
-                JobOutcome::Panicked(msg) => {
-                    // The job's partial telemetry died with it; recover on
-                    // the calling thread against the program-level layers.
-                    let func = program.function(id);
-                    let reason = format!("worker panicked: {msg}");
-                    if sink.enabled() {
-                        sink.emit(AllocEvent::Degraded(DegradedInfo {
-                            func: func.name().to_string(),
-                            reason: reason.clone(),
-                        }));
+                    JobOutcome::Panicked(msg) => {
+                        // The job's partial telemetry died with it; recover on
+                        // the calling thread against the program-level layers.
+                        let func = program.function(id);
+                        let reason = format!("worker panicked: {msg}");
+                        if sink.enabled() {
+                            sink.emit(AllocEvent::Degraded(DegradedInfo {
+                                func: func.name().to_string(),
+                                reason: reason.clone(),
+                            }));
+                        }
+                        let (body, alloc) = degraded_allocation_instrumented(
+                            func,
+                            req.freq.func(id),
+                            &req.file,
+                            req.cost,
+                            sink,
+                            metrics,
+                        )?;
+                        (body, alloc, JobStatus::Degraded { reason })
                     }
-                    let (body, alloc) = degraded_allocation_instrumented(
-                        func,
-                        req.freq.func(id),
-                        &req.file,
-                        req.cost,
-                        sink,
-                        metrics,
-                    )?;
-                    (body, alloc, JobStatus::Degraded { reason })
+                };
+                // Memoize only strict results: a degraded allocation is a
+                // recovery artifact, not the pure function's value.
+                if let (Some(cache), Some(key), JobStatus::Ok) = (cache, miss_keys[pos], &status) {
+                    let ins = cache.insert(key, &body, &alloc);
+                    if ins.evicted > 0 {
+                        flight.record(0, FlightKind::CacheEvict, u64::from(id.0), ins.evicted);
+                        run_evictions += ins.evicted;
+                    }
                 }
+                (body, alloc, status)
             };
             overhead += alloc.overhead;
             rewritten.add_function(body);
             per_func.push(alloc);
             statuses.push(status);
+        }
+        if cache.is_some() {
+            // Per-run cache traffic: scheduling facts, quarantined with
+            // the rest of the scheduler registry.
+            scheduler.add("cache_hits_total", run_hits);
+            scheduler.add("cache_misses_total", miss_ids.len() as u64);
+            scheduler.add("cache_evictions_total", run_evictions);
         }
         if let Some(main) = program.main() {
             rewritten.set_main(main);

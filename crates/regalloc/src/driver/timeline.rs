@@ -53,6 +53,10 @@ pub enum SpanKind {
     /// A batch submission's whole service time (profiling + allocation),
     /// pop to completion.
     Service,
+    /// One function's allocation replayed from the memo cache — recorded
+    /// in place of the [`SpanKind::Job`]/[`SpanKind::Phase`] spans the
+    /// function would have produced on a cold run.
+    CacheHit,
 }
 
 impl SpanKind {
@@ -66,6 +70,7 @@ impl SpanKind {
             SpanKind::Merge => "merge",
             SpanKind::Queue => "queue",
             SpanKind::Service => "service",
+            SpanKind::CacheHit => "cache_hit",
         }
     }
 }
@@ -416,7 +421,8 @@ impl Timeline {
                         | SpanKind::Phase
                         | SpanKind::Merge
                         | SpanKind::Queue
-                        | SpanKind::Service => {}
+                        | SpanKind::Service
+                        | SpanKind::CacheHit => {}
                     }
                 }
                 TimelineEvent::Instant {

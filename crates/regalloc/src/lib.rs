@@ -76,6 +76,7 @@
 
 mod accounting;
 mod build;
+pub mod cache;
 mod cbh;
 mod chaitin;
 pub mod check;
@@ -95,6 +96,10 @@ mod types;
 
 pub use accounting::{measured_overhead, weighted_overhead};
 pub use build::{build_context, build_context_traced, FuncContext};
+pub use cache::{
+    config_fingerprint, file_fingerprint, freq_fingerprint, AllocCache, CacheConfig, CacheKey,
+    CacheStats,
+};
 pub use cbh::{allocate_bank_cbh, allocate_bank_cbh_traced};
 pub use chaitin::{
     allocate_bank_chaitin, allocate_bank_chaitin_traced, preference_decision, BankResult,
