@@ -179,6 +179,7 @@ fn main() -> ExitCode {
                 admission: Vec::new(),
                 quality: Vec::new(),
                 cache: entries.clone(),
+                alerts: Vec::new(),
             };
             std::fs::write(&args.out, snapshot.to_json() + "\n")
                 .map(|()| args.out.clone())

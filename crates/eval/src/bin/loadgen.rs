@@ -10,6 +10,7 @@
 //!         [--chaos] [--trickle <n>] [--slo-us <n>] [--max-limit <n>]
 //!         [--timeout-us <n>] [--spike-us <n>] [--cancel-every <n>]
 //!         [--p99-bound-us <n>] [--watchdog-secs <n>] [--dump <file.json>]
+//!         [--obsv-dump <file.json>]
 //! ```
 //!
 //! * `--jobs` — submissions (default 64; chaos default 200).
@@ -48,14 +49,20 @@
 //!   the limiter sheds;
 //! * interactive p99 beats background p99 (priority scheduling works
 //!   under overload);
-//! * the post-storm limiter regrows to full admission.
+//! * the post-storm limiter regrows to full admission;
+//! * the ops observatory's SLO burn-rate alert **fired** during the
+//!   storm and stands **resolved** at the end of the run (the alert
+//!   cycle is deterministic — the harness ticks the observatory on an
+//!   injected manual clock).
 //!
 //! A watchdog thread exits 3 after `--watchdog-secs` (default 300) — a
 //! hang *is* a failed run, not a stuck CI job. On assertion failure the
 //! chaos report and the service's flight-recorder dump are written to
 //! `--dump` (default `chaos_failure.json`) for upload as a CI artifact.
-//! On success the measured `admission` section is written via
-//! `--out`/`--into`.
+//! On success the measured `admission` and `alerts` sections are written
+//! via `--out`/`--into`. `--obsv-dump <file>` additionally writes the
+//! observatory's `/alerts` document and the raw-tier history of every
+//! sampled series — the CI alerting job uploads it as an artifact.
 
 use std::process::ExitCode;
 
@@ -71,6 +78,7 @@ struct Args {
     p99_bound_us: u64,
     watchdog_secs: u64,
     dump: String,
+    obsv_dump: Option<String>,
     out: String,
     into: Option<String>,
 }
@@ -82,7 +90,8 @@ fn usage() -> ! {
          [--out <file.json>] [--into <bench.json>] \
          [--chaos] [--trickle <n>] [--slo-us <n>] [--max-limit <n>] \
          [--timeout-us <n>] [--spike-us <n>] [--cancel-every <n>] \
-         [--p99-bound-us <n>] [--watchdog-secs <n>] [--dump <file.json>]"
+         [--p99-bound-us <n>] [--watchdog-secs <n>] [--dump <file.json>] \
+         [--obsv-dump <file.json>]"
     );
     std::process::exit(2);
 }
@@ -98,6 +107,7 @@ fn parse_args() -> Args {
     let mut p99_bound_us = 1_000_000;
     let mut watchdog_secs = 300;
     let mut dump = "chaos_failure.json".to_string();
+    let mut obsv_dump = None;
     let mut out = format!("BENCH_{BENCH_SCHEMA_VERSION}_latency.json");
     let mut into = None;
 
@@ -162,6 +172,7 @@ fn parse_args() -> Args {
             "--p99-bound-us" => p99_bound_us = take(i).parse().unwrap_or_else(|_| usage()),
             "--watchdog-secs" => watchdog_secs = take(i).parse().unwrap_or_else(|_| usage()),
             "--dump" => dump = take(i).to_string(),
+            "--obsv-dump" => obsv_dump = Some(take(i).to_string()),
             "--out" => out = take(i).to_string(),
             "--into" => into = Some(take(i).to_string()),
             "--help" | "-h" => usage(),
@@ -192,6 +203,7 @@ fn parse_args() -> Args {
         p99_bound_us,
         watchdog_secs,
         dump,
+        obsv_dump,
         out,
         into,
     }
@@ -312,6 +324,14 @@ fn run_chaos_mode(args: &Args) -> ExitCode {
             report.cache_hits, report.cache_misses
         );
     }
+    for s in &report.alert_stats {
+        if s.fires > 0 {
+            eprintln!(
+                "  alert {:>20}: {} fire(s), worst {:.2}, cleared in {} us, now {:?}",
+                s.rule, s.fires, s.worst_value, s.time_to_clear_us, s.state
+            );
+        }
+    }
 
     let mut violations = Vec::new();
     if !report.accounting_clean() {
@@ -340,6 +360,13 @@ fn run_chaos_mode(args: &Args) -> ExitCode {
             report.final_limit, report.max_limit
         ));
     }
+    if !report.slo_alert_cycled() {
+        violations.push(format!(
+            "SLO burn alert did not cycle (fire during the storm, resolve \
+             after the tail): {:?}",
+            report.alert_stats
+        ));
+    }
     if !violations.is_empty() {
         for v in &violations {
             eprintln!("CHAOS INVARIANT FAILED: {v}");
@@ -358,14 +385,34 @@ fn run_chaos_mode(args: &Args) -> ExitCode {
         }
         return ExitCode::FAILURE;
     }
-    eprintln!("ok: every accepted id resolved exactly once; limiter recovered");
+    eprintln!(
+        "ok: every accepted id resolved exactly once; limiter recovered; \
+         burn alert fired and resolved"
+    );
+
+    if let Some(path) = &args.obsv_dump {
+        let doc = Value::Obj(vec![
+            ("alerts".to_string(), report.alerts_value.clone()),
+            ("history".to_string(), report.obsv_history.clone()),
+        ]);
+        match std::fs::write(path, doc.to_json() + "\n") {
+            Ok(()) => eprintln!("wrote observatory dump to {path}"),
+            Err(e) => {
+                eprintln!("cannot write observatory dump {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let entry = report.admission_entry();
+    let alerts = report.alert_entries();
     let write_result = match &args.into {
-        Some(path) => merge_admission_into(path, &entry),
+        Some(path) => merge_admission_into(path, &entry)
+            .and_then(|_| merge_alerts_into(path, cfg.workers as u64, &alerts)),
         None => {
             let mut snapshot = empty_snapshot(cfg.workers);
             snapshot.admission = vec![entry];
+            snapshot.alerts = alerts;
             std::fs::write(&args.out, snapshot.to_json() + "\n")
                 .map(|()| args.out.clone())
                 .map_err(|e| format!("cannot write {}: {e}", args.out))
@@ -399,6 +446,7 @@ fn empty_snapshot(workers: usize) -> BenchSnapshot {
         admission: Vec::new(),
         quality: Vec::new(),
         cache: Vec::new(),
+        alerts: Vec::new(),
     }
 }
 
@@ -416,6 +464,25 @@ fn merge_latency_into(
     snapshot
         .latency
         .sort_by(|a, b| (a.workers, &a.series).cmp(&(b.workers, &b.series)));
+    std::fs::write(path, snapshot.to_json() + "\n")
+        .map(|()| path.to_string())
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Replaces the alert entries at this run's worker count inside an
+/// existing snapshot and rewrites it.
+fn merge_alerts_into(
+    path: &str,
+    workers: u64,
+    alerts: &[ccra_eval::perfsnap::AlertEntry],
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut snapshot = perfsnap::parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
+    snapshot.alerts.retain(|a| a.workers != workers);
+    snapshot.alerts.extend_from_slice(alerts);
+    snapshot
+        .alerts
+        .sort_by(|a, b| (a.workers, &a.rule).cmp(&(b.workers, &b.rule)));
     std::fs::write(path, snapshot.to_json() + "\n")
         .map(|()| path.to_string())
         .map_err(|e| format!("cannot write {path}: {e}"))

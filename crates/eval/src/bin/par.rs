@@ -141,6 +141,7 @@ fn main() -> ExitCode {
         admission: Vec::new(),
         quality: Vec::new(),
         cache: Vec::new(),
+        alerts: Vec::new(),
     };
     if let Err(e) = std::fs::write(&args.out, snapshot.to_json() + "\n") {
         eprintln!("cannot write {}: {e}", args.out);

@@ -1,0 +1,135 @@
+//! Diffs two `BENCH_*.json` snapshots section by section.
+//!
+//! ```text
+//! perfdiff <baseline.json> <current.json> [--json] [--gate <pct>] [--all]
+//! ```
+//!
+//! * positional — the baseline and current snapshot files. Both must be
+//!   the current schema version and the same workload scale.
+//! * `--json` — emit the full diff as one JSON document instead of the
+//!   aligned text table.
+//! * `--gate <pct>` — exit 1 when any metric moved in its *bad*
+//!   direction (per-metric polarity: latency up, throughput down, …) by
+//!   more than `<pct>` percent of the baseline. Informational metrics
+//!   (alert fire counts, resident bytes) never gate.
+//! * `--all` — include unchanged metrics in the table (by default only
+//!   changed rows print).
+//!
+//! Unlike the `perf` / `par` / `quality` gates — which each watch one
+//! section with a purpose-built threshold — this is the general tool:
+//! *everything* that differs between the two files, with direction.
+
+use std::process::ExitCode;
+
+use ccra_eval::perfdiff::diff_snapshots;
+use ccra_eval::perfsnap::parse_snapshot;
+
+struct Args {
+    baseline: String,
+    current: String,
+    json: bool,
+    gate: Option<f64>,
+    all: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perfdiff <baseline.json> <current.json> [--json] [--gate <pct>] [--all]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut json = false;
+    let mut gate = None;
+    let mut all = false;
+
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--all" => {
+                all = true;
+                i += 1;
+            }
+            "--gate" => {
+                let pct: f64 = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if pct.is_nan() || pct < 0.0 {
+                    usage();
+                }
+                gate = Some(pct);
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(),
+            _ => {
+                positional.push(argv[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    let mut it = positional.into_iter();
+    Args {
+        baseline: it.next().unwrap(),
+        current: it.next().unwrap(),
+        json,
+        gate,
+        all,
+    }
+}
+
+fn load(path: &str) -> Result<ccra_eval::perfsnap::BenchSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("perfdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = match diff_snapshots(&baseline, &current) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perfdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        println!("{}", diff.to_value().to_json());
+    } else {
+        print!("{}", diff.render(args.all));
+    }
+
+    if let Some(pct) = args.gate {
+        let regressions = diff.regressions(pct);
+        if !regressions.is_empty() {
+            eprintln!(
+                "perfdiff: {} metric(s) regressed beyond {pct}%:",
+                regressions.len()
+            );
+            for r in regressions {
+                eprintln!(
+                    "  {} {} {}: {:.3} -> {:.3} ({:+.2}%)",
+                    r.section, r.key, r.metric, r.baseline, r.current, r.delta_pct
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("perfdiff: no regressions beyond {pct}%");
+    }
+    ExitCode::SUCCESS
+}

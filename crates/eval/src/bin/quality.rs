@@ -157,6 +157,7 @@ fn main() -> ExitCode {
                 admission: Vec::new(),
                 quality: entries.clone(),
                 cache: Vec::new(),
+                alerts: Vec::new(),
             };
             std::fs::write(&args.out, snapshot.to_json() + "\n")
                 .map(|()| args.out.clone())

@@ -54,6 +54,7 @@ pub mod explain;
 pub mod incr;
 pub mod loadgen;
 pub mod parsweep;
+pub mod perfdiff;
 pub mod perfsnap;
 pub mod plot;
 pub mod quality;
@@ -71,9 +72,10 @@ pub use loadgen::{
 pub use parsweep::{
     compare_parallel, run_par_sweep, workers1_gate, ParComparison, SWEEP_WORKER_COUNTS,
 };
+pub use perfdiff::{diff_snapshots, DiffRow, SnapshotDiff, UnmatchedRow};
 pub use perfsnap::{
-    compare_snapshots, parse_snapshot, run_matrix, AdmissionEntry, BenchEntry, BenchSnapshot,
-    HostInfo, LatencyEntry, ParEntry, PerfComparison, PriorityLatency, QualityEntry,
+    compare_snapshots, parse_snapshot, run_matrix, AdmissionEntry, AlertEntry, BenchEntry,
+    BenchSnapshot, HostInfo, LatencyEntry, ParEntry, PerfComparison, PriorityLatency, QualityEntry,
     BENCH_SCHEMA_VERSION,
 };
 pub use quality::{

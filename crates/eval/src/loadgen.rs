@@ -35,18 +35,32 @@
 //! exactly once** (ok / degraded / failed / expired / cancelled), no id
 //! is lost, duplicated, or invented, and shed submissions produce no
 //! result at all.
+//!
+//! The chaos service also runs the ops observatory
+//! ([`ccra_regalloc::Observatory`]) on an injected [`ManualClock`]: the
+//! harness ticks it at fixed points (during the storm, after the drain,
+//! through the trickle, and over an idle tail), so the SLO burn-rate
+//! alert deterministically **fires** during the storm and **resolves**
+//! once the storm interval ages out of the short burn window. The
+//! observatory's e2e SLO is pinned to half the injected spike length —
+//! the seeded latency spikes alone push the over-SLO fraction far past
+//! the burn threshold, independent of host speed. The alert cycle and
+//! the sampled history go into the report for the snapshot's `alerts`
+//! section and the CI artifacts.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
 use ccra_regalloc::driver::batch::{METRIC_E2E, METRIC_JOB_MICROS, METRIC_QUEUE_WAIT};
+use ccra_regalloc::obsv::RULE_E2E_BURN;
 use ccra_regalloc::{
-    AdmissionConfig, AllocCache, BatchConfig, BatchJob, BatchResult, BatchService, BatchStatus,
-    CancelOutcome, ChaosConfig, Priority, RejectCause, SubmitError,
+    AdmissionConfig, AlertRuleStats, AlertState, AllocCache, BatchConfig, BatchJob, BatchResult,
+    BatchService, BatchStatus, CancelOutcome, ChaosConfig, Clock, ManualClock, Observatory,
+    ObsvConfig, Priority, RejectCause, SubmitError, Tier,
 };
 
-use crate::perfsnap::{AdmissionEntry, LatencyEntry, PriorityLatency};
+use crate::perfsnap::{AdmissionEntry, AlertEntry, LatencyEntry, PriorityLatency};
 use crate::traffic::{arrival_gaps, job_stream as stream_for_shape, TrafficShape};
 
 /// The three latency series a load-generator run measures, with the
@@ -358,6 +372,13 @@ pub struct ChaosReport {
     /// automatic dumps) — written out as a CI artifact when an invariant
     /// fails.
     pub flight: serde::json::Value,
+    /// Per-rule observatory alert stats at the end of the run.
+    pub alert_stats: Vec<AlertRuleStats>,
+    /// The observatory's `/alerts` document (rules + transition log).
+    pub alerts_value: serde::json::Value,
+    /// Raw-tier history of every sampled series — the `--obsv-dump`
+    /// artifact body.
+    pub obsv_history: serde::json::Value,
 }
 
 impl ChaosReport {
@@ -392,6 +413,30 @@ impl ChaosReport {
             (Some(i), Some(b)) => i < b,
             _ => true,
         }
+    }
+
+    /// Whether the SLO burn alert completed a full cycle: fired at least
+    /// once during the storm and stands resolved at the end of the run.
+    pub fn slo_alert_cycled(&self) -> bool {
+        self.alert_stats
+            .iter()
+            .any(|s| s.rule == RULE_E2E_BURN && s.fires >= 1 && s.state == AlertState::Inactive)
+    }
+
+    /// The snapshot `alerts` section this run measured: one entry per
+    /// rule that fired.
+    pub fn alert_entries(&self) -> Vec<AlertEntry> {
+        self.alert_stats
+            .iter()
+            .filter(|s| s.fires > 0)
+            .map(|s| AlertEntry {
+                workers: self.workers,
+                rule: s.rule.clone(),
+                fires: s.fires,
+                worst_value: s.worst_value,
+                time_to_clear_us: s.time_to_clear_us,
+            })
+            .collect()
     }
 
     /// The snapshot `admission` section this run measured.
@@ -432,6 +477,22 @@ pub fn run_chaosload(
         spike_us: cfg.spike_us,
     };
     let cache = (cfg.rerun_per_mille > 0).then(|| Arc::new(AllocCache::default()));
+    // The ops observatory rides on the storm with an injected manual
+    // clock — the harness ticks it at fixed points below, so the alert
+    // timeline is the same on every host. Its e2e SLO is half the
+    // injected spike length: the seeded spikes (6% of traffic, each ≥
+    // one full spike over this SLO) guarantee an over-SLO fraction far
+    // past the 2× burn threshold during the storm, however fast the
+    // machine is.
+    let obsv_clock = Arc::new(ManualClock::new());
+    let obsv_cfg = ObsvConfig {
+        clock: Arc::clone(&obsv_clock) as Arc<dyn Clock>,
+        sampler_thread: false,
+        e2e_slo_us: (cfg.spike_us / 2).max(1),
+        ..ObsvConfig::default()
+    };
+    let tick_interval = obsv_cfg.raw_interval_us;
+    let burn_short_window = obsv_cfg.burn_short_window;
     let service = BatchService::start(BatchConfig {
         workers: cfg.workers.max(1),
         queue_capacity: cfg.queue_capacity.max(1),
@@ -440,9 +501,17 @@ pub fn run_chaosload(
         job_timeout: Some(Duration::from_micros(cfg.job_timeout_us.max(1))),
         chaos: Some(chaos),
         cache: cache.clone(),
+        obsv: Some(obsv_cfg),
         ..BatchConfig::default()
     });
     let handle = service.handle();
+    // One deterministic sample: advance the manual clock a full interval,
+    // then tick the observatory through the service handle (the handle
+    // records alert transitions into the flight recorder).
+    let obsv_tick = || {
+        obsv_clock.advance(tick_interval);
+        handle.obsv_tick();
+    };
     let storm = TrafficShape::storm(cfg.jobs, cfg.seed, cfg.mean_gap_us)
         .with_rerun_per_mille(cfg.rerun_per_mille);
     let gaps = arrival_gaps(&storm);
@@ -477,6 +546,11 @@ pub fn run_chaosload(
                 }
             }
         }
+        // Mid-storm samples: the queue-delay and burn series see the
+        // overload build up.
+        if (i + 1) % 25 == 0 {
+            obsv_tick();
+        }
         progress(i + 1, handle.queue_depth());
     }
 
@@ -487,11 +561,16 @@ pub fn run_chaosload(
     {
         std::thread::sleep(Duration::from_millis(1));
     }
+    // The post-drain sample sees every storm completion that hadn't been
+    // sampled yet — the tick where the burn alert is guaranteed to be
+    // firing.
+    obsv_tick();
 
     // The recovery trickle: closed-loop (each job completes before the
     // next submit), so every on-time completion grows the window one
     // step. Shed retries honor the limiter's hint.
     let trickle = TrafficShape::steady(cfg.trickle, cfg.seed ^ 0x7A1C, 0);
+    let mut trickled = 0usize;
     for mut job in stream_for_shape(&trickle) {
         loop {
             submitted += 1;
@@ -517,10 +596,26 @@ pub fn run_chaosload(
         {
             std::thread::sleep(Duration::from_micros(200));
         }
+        trickled += 1;
+        if trickled.is_multiple_of(4) {
+            obsv_tick();
+        }
+    }
+    // The idle tail: enough empty intervals to flush the storm (and any
+    // spiked trickle job) out of the short burn window, so the alert
+    // resolves before the run ends — an idle interval reads burn 0.
+    for _ in 0..burn_short_window + 1 {
+        obsv_tick();
     }
 
     let final_limit = handle.admission_snapshot().map_or(0.0, |s| s.limit);
     let flight = handle.flightrec_value();
+    let obsv = handle
+        .observatory()
+        .expect("chaos service runs an observatory");
+    let alert_stats = obsv.alert_stats();
+    let alerts_value = obsv.alerts_value();
+    let obsv_history = obsv_history_doc(&obsv);
     let results = service.shutdown();
     let (lost, duplicated, phantom) = account_ids(&accepted, &results);
     let metrics = handle.metrics_snapshot();
@@ -565,8 +660,25 @@ pub fn run_chaosload(
         cache_hits: cache.as_ref().map_or(0, |c| c.stats().hits),
         cache_misses: cache.as_ref().map_or(0, |c| c.stats().misses),
         flight,
+        alert_stats,
+        alerts_value,
+        obsv_history,
     };
     (report, results)
+}
+
+/// Every sampled series' raw-tier history as one document — the body of
+/// the `--obsv-dump` CI artifact.
+fn obsv_history_doc(obsv: &Observatory) -> serde::json::Value {
+    let series = obsv
+        .series_names()
+        .into_iter()
+        .filter_map(|name| obsv.history_value(&name, Tier::Raw))
+        .collect();
+    serde::json::Value::Obj(vec![(
+        "series".to_string(),
+        serde::json::Value::Arr(series),
+    )])
 }
 
 #[cfg(test)]
@@ -686,5 +798,32 @@ mod tests {
         // 24+10-job stream at 4%+4% fault rates this is probabilistic,
         // so only the structural invariants are asserted here.
         assert!(report.per_priority.len() == 3);
+        // The observatory rode along on the manual clock: the SLO burn
+        // alert fired during the storm (the observatory SLO is spike/2 =
+        // 500us here, which debug-build service times blow through on
+        // every job) and resolved over the idle tail.
+        assert!(
+            report.slo_alert_cycled(),
+            "burn alert fires and resolves: {:?}",
+            report.alert_stats
+        );
+        let entries = report.alert_entries();
+        let burn = entries
+            .iter()
+            .find(|e| e.rule == RULE_E2E_BURN)
+            .expect("burn rule entry present");
+        assert!(burn.fires >= 1 && burn.worst_value > 2.0, "{burn:?}");
+        assert!(burn.time_to_clear_us > 0, "{burn:?}");
+        // The alert transitions are in the flight recorder dump and the
+        // /alerts document.
+        let flight = report.flight.to_json();
+        assert!(flight.contains("\"alert_fire\""), "fire in flightrec");
+        let alerts = report.alerts_value.to_json();
+        assert!(alerts.contains("\"fire\""), "fire in transition log");
+        assert!(alerts.contains("\"clear\""), "clear in transition log");
+        // And the history artifact has the derived series.
+        let history = report.obsv_history.to_json();
+        assert!(history.contains("derived:queue_delay_slope_us_per_s"));
+        assert!(history.contains("derived:e2e_burn_short"));
     }
 }

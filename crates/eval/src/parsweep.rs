@@ -8,10 +8,13 @@
 //! * [`workers1_gate`] — the driver at `workers = 1` must not be slower
 //!   than the serial pipeline by more than a small tolerance: the sharding
 //!   machinery itself has to be near-free. The sweep runs with the flight
-//!   recorder **enabled** and takes one admission-limiter round trip
-//!   ([`ccra_regalloc::AdmissionController`]) per timed run, so this gate
-//!   prices the always-on recorder *and* the serving path's admission
-//!   bookkeeping, not an idealized bare driver;
+//!   recorder **enabled**, takes one admission-limiter round trip
+//!   ([`ccra_regalloc::AdmissionController`]) per timed run, and polls an
+//!   enabled [`ccra_regalloc::Observatory`] once per timed run (the same
+//!   interval-gated `maybe_tick` the background sampler calls), so this
+//!   gate prices the always-on recorder, the serving path's admission
+//!   bookkeeping, *and* the ops observatory's sampling path — not an
+//!   idealized bare driver;
 //! * [`compare_parallel`] — a loose throughput comparison against the
 //!   committed baseline's `parallel` section, same spirit as
 //!   [`crate::perfsnap::compare_snapshots`] but per (workload, workers)
@@ -31,8 +34,8 @@ use ccra_machine::{CostModel, RegisterFile};
 use ccra_regalloc::driver::DefaultJob;
 use ccra_regalloc::{
     allocate_program_instrumented, AdmissionConfig, AdmissionController, AllocRequest,
-    AllocatorConfig, DriverSummary, FlightRecorder, MetricsRegistry, NoopSink, ParallelDriver,
-    TimelineCollector,
+    AllocatorConfig, DriverSummary, FlightRecorder, MetricsRegistry, NoopSink, Observatory,
+    ObsvConfig, ParallelDriver, TimelineCollector,
 };
 use ccra_workloads::{random_program, spec_program_scaled, FuzzConfig, Scale};
 
@@ -134,6 +137,15 @@ pub fn run_par_sweep(
             // service takes per job — the gate prices its bookkeeping.
             // Closed-loop, so the window never fills and nothing sheds.
             let admission = AdmissionController::new(AdmissionConfig::default());
+            // An enabled observatory, polled once per timed run exactly
+            // like the background sampler polls it — mostly the cheap
+            // interval-gate branch, occasionally a real sample — so the
+            // workers=1 gate prices the sampling path too.
+            let obsv = Observatory::new(ObsvConfig {
+                sampler_thread: false,
+                ..ObsvConfig::default()
+            });
+            let scrape = MetricsRegistry::disabled();
             let collector = TimelineCollector::disabled();
             let mut best_micros = u64::MAX;
             let mut summary = None;
@@ -163,6 +175,7 @@ pub fn run_par_sweep(
                     });
                 let elapsed_us = start.elapsed().as_micros() as u64;
                 admission.on_complete(elapsed_us);
+                obsv.maybe_tick(&scrape);
                 best_micros = best_micros.min(start.elapsed().as_micros() as u64);
                 assert!(
                     out == serial_alloc,

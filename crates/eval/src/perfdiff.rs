@@ -1,0 +1,593 @@
+//! Section-by-section diffing of two `BENCH_*.json` snapshots — the
+//! `perfdiff` binary's engine.
+//!
+//! The perf / par / quality gates each compare one section of a snapshot
+//! against a committed baseline with their own thresholds. `perfdiff`
+//! answers the complementary question a human asks after a run: *what
+//! actually changed between these two snapshot files, everywhere?* It
+//! walks every section ([`SECTIONS`]), matches rows by their natural key
+//! (matrix coordinates, worker count, series name, …), and emits one
+//! [`DiffRow`] per metric with the absolute and percentage delta.
+//!
+//! Each metric carries a polarity: `higher_is_better` true (throughput,
+//! speedup, hit rate), false (latency, spills, time), or `None` for
+//! informational metrics (alert fire counts, resident bytes) that a gate
+//! should never trip on. [`regressions`] filters the rows whose delta
+//! moves in the *bad* direction by more than a threshold — the binary's
+//! `--gate <pct>` exits 1 when any survive.
+
+use crate::perfsnap::BenchSnapshot;
+use serde::json::Value;
+
+/// The snapshot sections the diff walks, in report order.
+pub const SECTIONS: [&str; 7] = [
+    "entries",
+    "parallel",
+    "latency",
+    "admission",
+    "quality",
+    "cache",
+    "alerts",
+];
+
+/// One metric's baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// The snapshot section (one of [`SECTIONS`]).
+    pub section: String,
+    /// The row's natural key within its section (e.g.
+    /// `eqntott/SC+BS+PR/mips` or `e2e/w4`).
+    pub key: String,
+    /// The metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current - baseline`.
+    pub delta: f64,
+    /// Delta as a percentage of the baseline (0 when the baseline is 0).
+    pub delta_pct: f64,
+    /// Metric polarity: `Some(true)` = higher is better, `Some(false)` =
+    /// higher is worse, `None` = informational (never gates).
+    pub higher_is_better: Option<bool>,
+}
+
+impl DiffRow {
+    /// Whether this row moved in the bad direction by more than
+    /// `threshold_pct` percent of the baseline.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        match self.higher_is_better {
+            Some(true) => self.delta_pct < -threshold_pct,
+            Some(false) => self.delta_pct > threshold_pct,
+            None => false,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("section".to_string(), Value::Str(self.section.clone())),
+            ("key".to_string(), Value::Str(self.key.clone())),
+            ("metric".to_string(), Value::Str(self.metric.clone())),
+            ("baseline".to_string(), Value::Float(self.baseline)),
+            ("current".to_string(), Value::Float(self.current)),
+            ("delta".to_string(), Value::Float(self.delta)),
+            ("delta_pct".to_string(), Value::Float(self.delta_pct)),
+            (
+                "higher_is_better".to_string(),
+                match self.higher_is_better {
+                    Some(b) => Value::Bool(b),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// A keyed row in one section present on only one side of the diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnmatchedRow {
+    /// The snapshot section.
+    pub section: String,
+    /// The row's natural key.
+    pub key: String,
+    /// `true` when the row exists only in the baseline (dropped by the
+    /// current run); `false` when it is new in the current run.
+    pub only_in_baseline: bool,
+}
+
+/// The full section-by-section diff of two snapshots.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotDiff {
+    /// One row per (section, key, metric) present on both sides.
+    pub rows: Vec<DiffRow>,
+    /// Keyed rows present on only one side.
+    pub unmatched: Vec<UnmatchedRow>,
+}
+
+impl SnapshotDiff {
+    /// The rows that moved in the bad direction by more than
+    /// `threshold_pct`.
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.regressed(threshold_pct))
+            .collect()
+    }
+
+    /// The diff as one JSON document.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "rows".to_string(),
+                Value::Arr(self.rows.iter().map(DiffRow::to_value).collect()),
+            ),
+            (
+                "unmatched".to_string(),
+                Value::Arr(
+                    self.unmatched
+                        .iter()
+                        .map(|u| {
+                            Value::Obj(vec![
+                                ("section".to_string(), Value::Str(u.section.clone())),
+                                ("key".to_string(), Value::Str(u.key.clone())),
+                                (
+                                    "only_in_baseline".to_string(),
+                                    Value::Bool(u.only_in_baseline),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the diff as an aligned plain-text table, one line per
+    /// metric, omitting metrics that did not change (unless
+    /// `include_unchanged`).
+    pub fn render(&self, include_unchanged: bool) -> String {
+        let mut out = String::new();
+        let mut section = "";
+        let shown: Vec<&DiffRow> = self
+            .rows
+            .iter()
+            .filter(|r| include_unchanged || r.delta.abs() > 1e-12)
+            .collect();
+        if shown.is_empty() && self.unmatched.is_empty() {
+            return "no differences\n".to_string();
+        }
+        let key_w = shown
+            .iter()
+            .map(|r| r.key.len())
+            .chain([3])
+            .max()
+            .unwrap_or(3);
+        let metric_w = shown
+            .iter()
+            .map(|r| r.metric.len())
+            .chain([6])
+            .max()
+            .unwrap_or(6);
+        for r in &shown {
+            if r.section != section {
+                section = &r.section;
+                out.push_str(&format!("[{section}]\n"));
+            }
+            let dir = match r.higher_is_better {
+                Some(true) if r.delta < 0.0 => "worse",
+                Some(false) if r.delta > 0.0 => "worse",
+                Some(_) if r.delta.abs() > 1e-12 => "better",
+                _ => "",
+            };
+            out.push_str(&format!(
+                "  {:<key_w$}  {:<metric_w$}  {:>14.3} -> {:>14.3}  {:>+10.3} ({:>+7.2}%) {}\n",
+                r.key, r.metric, r.baseline, r.current, r.delta, r.delta_pct, dir
+            ));
+        }
+        for u in &self.unmatched {
+            out.push_str(&format!(
+                "[{}] {} only in {}\n",
+                u.section,
+                u.key,
+                if u.only_in_baseline {
+                    "baseline"
+                } else {
+                    "current"
+                }
+            ));
+        }
+        out
+    }
+}
+
+fn pct(base: f64, cur: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (cur - base) / base * 100.0
+    }
+}
+
+/// One side of a keyed metric table: `(key, [(metric, value, polarity)])`.
+type KeyedRows = Vec<(String, Vec<(&'static str, f64, Option<bool>)>)>;
+
+fn diff_section(out: &mut SnapshotDiff, section: &str, base: KeyedRows, cur: KeyedRows) {
+    for (key, base_metrics) in &base {
+        match cur.iter().find(|(k, _)| k == key) {
+            None => out.unmatched.push(UnmatchedRow {
+                section: section.to_string(),
+                key: key.clone(),
+                only_in_baseline: true,
+            }),
+            Some((_, cur_metrics)) => {
+                for (metric, b, polarity) in base_metrics {
+                    let Some((_, c, _)) = cur_metrics.iter().find(|(m, _, _)| m == metric) else {
+                        continue;
+                    };
+                    out.rows.push(DiffRow {
+                        section: section.to_string(),
+                        key: key.clone(),
+                        metric: (*metric).to_string(),
+                        baseline: *b,
+                        current: *c,
+                        delta: c - b,
+                        delta_pct: pct(*b, *c),
+                        higher_is_better: *polarity,
+                    });
+                }
+            }
+        }
+    }
+    for (key, _) in &cur {
+        if !base.iter().any(|(k, _)| k == key) {
+            out.unmatched.push(UnmatchedRow {
+                section: section.to_string(),
+                key: key.clone(),
+                only_in_baseline: false,
+            });
+        }
+    }
+}
+
+/// Diffs two parsed snapshots section by section.
+///
+/// # Errors
+///
+/// Refuses to diff snapshots of different schema versions or scales —
+/// the numbers would not be comparable.
+pub fn diff_snapshots(
+    baseline: &BenchSnapshot,
+    current: &BenchSnapshot,
+) -> Result<SnapshotDiff, String> {
+    if baseline.schema_version != current.schema_version {
+        return Err(format!(
+            "schema mismatch: baseline v{} vs current v{}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if baseline.scale != current.scale {
+        return Err(format!(
+            "scale mismatch: baseline ran at {} but current ran at {}",
+            baseline.scale, current.scale
+        ));
+    }
+    let mut out = SnapshotDiff::default();
+
+    let entries = |s: &BenchSnapshot| -> KeyedRows {
+        s.entries
+            .iter()
+            .map(|e| {
+                (
+                    format!("{}/{}/{}", e.workload, e.config, e.regs),
+                    vec![
+                        ("micros", e.micros as f64, Some(false)),
+                        ("instrs_per_sec", e.instrs_per_sec, Some(true)),
+                        ("overhead_total", e.overhead_total, Some(false)),
+                        ("spilled_ranges", e.spilled_ranges as f64, Some(false)),
+                    ],
+                )
+            })
+            .collect()
+    };
+    diff_section(&mut out, "entries", entries(baseline), entries(current));
+
+    let parallel = |s: &BenchSnapshot| -> KeyedRows {
+        s.parallel
+            .iter()
+            .map(|p| {
+                (
+                    format!("{}/w{}", p.workload, p.workers),
+                    vec![
+                        ("micros", p.micros as f64, Some(false)),
+                        ("instrs_per_sec", p.instrs_per_sec, Some(true)),
+                        ("speedup", p.speedup, Some(true)),
+                    ],
+                )
+            })
+            .collect()
+    };
+    diff_section(&mut out, "parallel", parallel(baseline), parallel(current));
+
+    let latency = |s: &BenchSnapshot| -> KeyedRows {
+        s.latency
+            .iter()
+            .map(|l| {
+                (
+                    format!("{}/w{}", l.series, l.workers),
+                    vec![
+                        ("p50_us", l.p50_us as f64, Some(false)),
+                        ("p95_us", l.p95_us as f64, Some(false)),
+                        ("p99_us", l.p99_us as f64, Some(false)),
+                        ("mean_us", l.mean_us, Some(false)),
+                    ],
+                )
+            })
+            .collect()
+    };
+    diff_section(&mut out, "latency", latency(baseline), latency(current));
+
+    let admission = |s: &BenchSnapshot| -> KeyedRows {
+        s.admission
+            .iter()
+            .map(|a| {
+                (
+                    format!("w{}", a.workers),
+                    vec![
+                        ("shed_rate", a.shed_rate(), Some(false)),
+                        ("expired", a.expired as f64, Some(false)),
+                        ("timeouts", a.timeouts as f64, Some(false)),
+                        ("accepted", a.accepted as f64, None),
+                        ("cancelled", a.cancelled as f64, None),
+                    ],
+                )
+            })
+            .collect()
+    };
+    diff_section(
+        &mut out,
+        "admission",
+        admission(baseline),
+        admission(current),
+    );
+
+    let quality = |s: &BenchSnapshot| -> KeyedRows {
+        s.quality
+            .iter()
+            .map(|q| {
+                (
+                    format!("{}/{}/{}", q.workload, q.config, q.regs),
+                    vec![
+                        ("estimated_cycles", q.estimated_cycles, Some(false)),
+                        ("measured_cycles", q.measured_cycles, Some(false)),
+                        ("spilled_ranges", q.spilled_ranges as f64, Some(false)),
+                        ("mem_peak_bytes", q.mem_peak_bytes as f64, None),
+                        ("drift_pct", q.drift_pct, None),
+                    ],
+                )
+            })
+            .collect()
+    };
+    diff_section(&mut out, "quality", quality(baseline), quality(current));
+
+    let cache = |s: &BenchSnapshot| -> KeyedRows {
+        s.cache
+            .iter()
+            .map(|c| {
+                (
+                    format!("{}/w{}/d{}", c.workload, c.workers, c.dirty_pct),
+                    vec![
+                        ("warm_micros", c.warm_micros as f64, Some(false)),
+                        ("hit_rate", c.hit_rate, Some(true)),
+                        ("speedup", c.speedup, Some(true)),
+                        ("bytes", c.bytes as f64, None),
+                        ("evictions", c.evictions as f64, None),
+                    ],
+                )
+            })
+            .collect()
+    };
+    diff_section(&mut out, "cache", cache(baseline), cache(current));
+
+    let alerts = |s: &BenchSnapshot| -> KeyedRows {
+        s.alerts
+            .iter()
+            .map(|a| {
+                (
+                    format!("w{}/{}", a.workers, a.rule),
+                    vec![
+                        ("fires", a.fires as f64, None),
+                        ("worst_value", a.worst_value, None),
+                        ("time_to_clear_us", a.time_to_clear_us as f64, Some(false)),
+                    ],
+                )
+            })
+            .collect()
+    };
+    diff_section(&mut out, "alerts", alerts(baseline), alerts(current));
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfsnap::{
+        AdmissionEntry, AlertEntry, BenchEntry, CacheEntry, HostInfo, LatencyEntry, ParEntry,
+        BENCH_SCHEMA_VERSION,
+    };
+
+    fn snap() -> BenchSnapshot {
+        BenchSnapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            scale: 0.1,
+            iters: 1,
+            host: HostInfo {
+                available_parallelism: 8,
+                worker_counts: vec![1, 4],
+            },
+            entries: vec![BenchEntry {
+                workload: "eqntott".to_string(),
+                config: "base".to_string(),
+                regs: "mips".to_string(),
+                funcs: 3,
+                instrs: 1000,
+                micros: 1000,
+                funcs_per_sec: 3000.0,
+                instrs_per_sec: 1_000_000.0,
+                rounds: 4,
+                spilled_ranges: 2,
+                overhead_total: 100.0,
+                phases: Vec::new(),
+            }],
+            parallel: vec![ParEntry {
+                workload: "eqntott".to_string(),
+                config: "SC+BS+PR".to_string(),
+                regs: "mips".to_string(),
+                workers: 4,
+                funcs: 3,
+                instrs: 1000,
+                micros: 400,
+                instrs_per_sec: 2_500_000.0,
+                speedup: 2.5,
+            }],
+            latency: vec![LatencyEntry {
+                series: "e2e".to_string(),
+                workers: 4,
+                jobs: 64,
+                p50_us: 500,
+                p95_us: 2000,
+                p99_us: 4000,
+                mean_us: 700.0,
+            }],
+            admission: vec![AdmissionEntry {
+                workers: 4,
+                submitted: 200,
+                accepted: 150,
+                shed: 50,
+                expired: 5,
+                cancelled: 3,
+                timeouts: 2,
+                per_priority: Vec::new(),
+            }],
+            quality: Vec::new(),
+            cache: vec![CacheEntry {
+                workload: "synth1000".to_string(),
+                workers: 4,
+                dirty_pct: 1,
+                funcs: 1000,
+                cold_micros: 90_000,
+                warm_micros: 9_000,
+                hit_rate: 0.99,
+                hits: 990,
+                misses: 10,
+                bytes: 1 << 22,
+                evictions: 0,
+                speedup: 10.0,
+            }],
+            alerts: vec![AlertEntry {
+                workers: 4,
+                rule: "e2e_p99_slo_burn".to_string(),
+                fires: 1,
+                worst_value: 40.0,
+                time_to_clear_us: 10_000_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_diff_to_all_zero_deltas() {
+        let s = snap();
+        let diff = diff_snapshots(&s, &s).expect("comparable");
+        assert!(!diff.rows.is_empty());
+        assert!(diff.rows.iter().all(|r| r.delta == 0.0));
+        assert!(diff.unmatched.is_empty());
+        assert!(diff.regressions(0.0).is_empty());
+        assert_eq!(diff.render(false), "no differences\n");
+        assert!(diff.render(true).contains("[entries]"));
+    }
+
+    #[test]
+    fn polarity_decides_what_counts_as_a_regression() {
+        let base = snap();
+        let mut cur = snap();
+        // Latency up 50% (higher-worse) and throughput down 20%
+        // (higher-better): both regress past a 10% gate.
+        cur.latency[0].p99_us = 6000;
+        cur.entries[0].instrs_per_sec = 800_000.0;
+        // Alert fires doubling is informational — never a regression.
+        cur.alerts[0].fires = 2;
+        let diff = diff_snapshots(&base, &cur).expect("comparable");
+        let regs = diff.regressions(10.0);
+        let keys: Vec<String> = regs
+            .iter()
+            .map(|r| format!("{}:{}", r.section, r.metric))
+            .collect();
+        assert!(keys.contains(&"latency:p99_us".to_string()), "{keys:?}");
+        assert!(
+            keys.contains(&"entries:instrs_per_sec".to_string()),
+            "{keys:?}"
+        );
+        assert!(!keys.iter().any(|k| k.starts_with("alerts:")), "{keys:?}");
+        // The same deltas pass a 60% gate.
+        assert!(diff.regressions(60.0).is_empty());
+        // Improvements never gate: a faster current run is clean.
+        let mut faster = snap();
+        faster.latency[0].p99_us = 1000;
+        faster.entries[0].instrs_per_sec = 2_000_000.0;
+        let diff = diff_snapshots(&base, &faster).expect("comparable");
+        assert!(diff.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn unmatched_rows_are_reported_not_diffed() {
+        let base = snap();
+        let mut cur = snap();
+        cur.parallel[0].workers = 8; // key changes: w4 dropped, w8 new
+        let diff = diff_snapshots(&base, &cur).expect("comparable");
+        let dropped: Vec<_> = diff
+            .unmatched
+            .iter()
+            .filter(|u| u.section == "parallel")
+            .collect();
+        assert_eq!(dropped.len(), 2, "{dropped:?}");
+        assert!(dropped
+            .iter()
+            .any(|u| u.only_in_baseline && u.key == "eqntott/w4"));
+        assert!(dropped
+            .iter()
+            .any(|u| !u.only_in_baseline && u.key == "eqntott/w8"));
+        assert!(!diff.rows.iter().any(|r| r.section == "parallel"));
+        let rendered = diff.render(false);
+        assert!(rendered.contains("only in baseline"), "{rendered}");
+        assert!(rendered.contains("only in current"), "{rendered}");
+    }
+
+    #[test]
+    fn refuses_mismatched_schema_or_scale() {
+        let base = snap();
+        let mut other = snap();
+        other.scale = 0.5;
+        assert!(diff_snapshots(&base, &other)
+            .expect_err("scale mismatch")
+            .contains("scale mismatch"));
+        let mut other = snap();
+        other.schema_version = 7;
+        assert!(diff_snapshots(&base, &other)
+            .expect_err("schema mismatch")
+            .contains("schema mismatch"));
+    }
+
+    #[test]
+    fn json_document_carries_every_row() {
+        let base = snap();
+        let mut cur = snap();
+        cur.cache[0].hit_rate = 0.5;
+        let diff = diff_snapshots(&base, &cur).expect("comparable");
+        let json = diff.to_value().to_json();
+        assert!(json.contains("\"section\":\"cache\""));
+        assert!(json.contains("\"metric\":\"hit_rate\""));
+        assert!(json.contains("\"higher_is_better\":true"));
+        assert!(json.contains("\"higher_is_better\":null"));
+    }
+}

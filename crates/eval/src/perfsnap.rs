@@ -23,6 +23,10 @@ use serde::{Deserialize, Serialize};
 
 /// The `BENCH_*.json` schema version this crate reads and writes.
 ///
+/// v8 added the `alerts` section ([`AlertEntry`]): per worker count, the
+/// SLO burn-rate alert cycle the ops observatory observed during the
+/// `loadgen --chaos` storm — fire count, worst burn rate, and
+/// time-to-clear — produced against [`ccra_regalloc::Observatory`].
 /// v7 added the `cache` section ([`CacheEntry`]): incremental
 /// re-allocation sweeps — per dirty-fraction × worker-count cell, the
 /// cold and warm wall-clock times, memo-cache hit rate, resident bytes,
@@ -43,7 +47,7 @@ use serde::{Deserialize, Serialize};
 /// its numbers. v2 added the `parallel` section: worker-count sweep
 /// entries from the `par` binary ([`ParEntry`]). Older snapshots (missing
 /// any section) are rejected — regenerate the baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 7;
+pub const BENCH_SCHEMA_VERSION: u32 = 8;
 
 /// The workloads of the fixed perf matrix: a spread over the shapes the
 /// suite contains — call-heavy integer code (eqntott, li), mixed DSP (ear),
@@ -213,6 +217,26 @@ impl AdmissionEntry {
     }
 }
 
+/// One alert rule's activity during a `loadgen --chaos` storm at one
+/// worker count, as the ops observatory saw it: how many times the rule
+/// fired, the worst value it observed while firing (for the SLO rule,
+/// the peak burn rate — a multiple of the error budget), and how long
+/// the last cycle took to clear after the storm subsided.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertEntry {
+    /// Service workers the storm ran against.
+    pub workers: u64,
+    /// The alert rule name (e.g. `"e2e_p99_slo_burn"`).
+    pub rule: String,
+    /// Fire transitions across the run.
+    pub fires: u64,
+    /// Worst (largest-magnitude) value observed while firing.
+    pub worst_value: f64,
+    /// Microseconds from the last fire to its clear (0 if never fired
+    /// or still firing at snapshot time).
+    pub time_to_clear_us: u64,
+}
+
 /// One cell of the quality matrix: a workload under one allocator on one
 /// register file, scored by the allocation-quality observatory
 /// ([`ccra_regalloc::quality`]). The estimated numbers are deterministic
@@ -348,6 +372,9 @@ pub struct BenchSnapshot {
     /// Incremental re-allocation sweep (empty until the `incr` binary
     /// fills it).
     pub cache: Vec<CacheEntry>,
+    /// Ops-observatory alert activity during the `loadgen --chaos` storm
+    /// (empty until that run fills it).
+    pub alerts: Vec<AlertEntry>,
 }
 
 impl BenchSnapshot {
@@ -495,6 +522,7 @@ pub fn run_matrix(
         admission: Vec::new(),
         quality: Vec::new(),
         cache: Vec::new(),
+        alerts: Vec::new(),
     }
 }
 
@@ -654,6 +682,7 @@ mod tests {
             admission: Vec::new(),
             quality: Vec::new(),
             cache: Vec::new(),
+            alerts: Vec::new(),
         }
     }
 
@@ -727,13 +756,23 @@ mod tests {
             evictions: 0,
             speedup: 10.0,
         });
+        snap.alerts.push(AlertEntry {
+            workers: 4,
+            rule: "e2e_p99_slo_burn".to_string(),
+            fires: 1,
+            worst_value: 48.5,
+            time_to_clear_us: 12_000_000,
+        });
         let json = snap.to_json();
-        assert!(json.contains("\"schema_version\":7"));
+        assert!(json.contains("\"schema_version\":8"));
         assert!(json.contains("\"parallel\":["));
         assert!(json.contains("\"latency\":["));
         assert!(json.contains("\"admission\":["));
         assert!(json.contains("\"quality\":["));
         assert!(json.contains("\"cache\":["));
+        assert!(json.contains("\"alerts\":["));
+        assert!(json.contains("\"rule\":\"e2e_p99_slo_burn\""));
+        assert!(json.contains("\"worst_value\":48.5"));
         assert!(json.contains("\"dirty_pct\":1"));
         assert!(json.contains("\"hit_rate\":0.99"));
         assert!(json.contains("\"shed\":80"));
@@ -749,7 +788,7 @@ mod tests {
         let snap = snapshot(vec![]);
         let json = snap
             .to_json()
-            .replace("\"schema_version\":7", "\"schema_version\":99");
+            .replace("\"schema_version\":8", "\"schema_version\":99");
         let err = parse_snapshot(&json).expect_err("v99 is unreadable");
         assert!(err.contains("v99"), "{err}");
         // A v1 snapshot has no `parallel` section; even with the version
@@ -775,11 +814,15 @@ mod tests {
         let forged_v5 = snap.to_json().replace(",\"quality\":[]", "");
         assert_ne!(forged_v5, snap.to_json(), "quality section was stripped");
         assert!(parse_snapshot(&forged_v5).is_err());
-        // A v6 snapshot has no `cache` section; forging the version
-        // field does not make the body parse as v7.
+        // A v6 snapshot has no `cache` section.
         let forged_v6 = snap.to_json().replace(",\"cache\":[]", "");
         assert_ne!(forged_v6, snap.to_json(), "cache section was stripped");
         assert!(parse_snapshot(&forged_v6).is_err());
+        // A v7 snapshot has no `alerts` section; forging the version
+        // field does not make the body parse as v8.
+        let forged_v7 = snap.to_json().replace(",\"alerts\":[]", "");
+        assert_ne!(forged_v7, snap.to_json(), "alerts section was stripped");
+        assert!(parse_snapshot(&forged_v7).is_err());
         assert!(parse_snapshot("{").is_err());
         assert!(parse_snapshot("{}").is_err());
     }

@@ -95,7 +95,7 @@
 //! [`TimelineCollector::enabled_since`]: crate::driver::timeline::TimelineCollector::enabled_since
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -112,6 +112,7 @@ use crate::driver::parallel::{AllocJob, AllocRequest, DefaultJob, ParallelDriver
 use crate::driver::queue::{BoundedQueue, PushError, QueueStats};
 use crate::driver::timeline::{InstantKind, SpanKind, Timeline, TimelineCollector};
 use crate::metrics::MetricsRegistry;
+use crate::obsv::{AlertTransition, Observatory};
 use crate::pipeline::ProgramAllocation;
 use crate::quality::score_program;
 use crate::trace::chrometrace::to_chrome_trace;
@@ -155,6 +156,10 @@ pub const METRIC_E2E_BACKGROUND: &str = "batch_e2e_micros_background";
 
 /// How many automatic flight-record dumps the service retains.
 const FLIGHT_DUMP_KEEP: usize = 8;
+
+/// Version of the `/status` document shape. v1 was the pre-observatory
+/// document; v2 added `uptime_us` and this `build` object.
+pub const STATUS_SCHEMA_VERSION: u32 = 2;
 
 /// Sizing knobs for a [`BatchService`].
 #[derive(Debug, Clone)]
@@ -202,6 +207,17 @@ pub struct BatchConfig {
     /// while the service runs). `None` (the default) allocates everything
     /// fresh.
     pub cache: Option<Arc<crate::cache::AllocCache>>,
+    /// The ops observatory ([`crate::obsv`]): a sampler that snapshots
+    /// the service metrics into bounded time-series rings and evaluates
+    /// alert rules each tick. With
+    /// [`ObsvConfig::sampler_thread`](crate::obsv::ObsvConfig::sampler_thread)
+    /// set, the service owns a background sampler thread for the
+    /// observatory's lifetime; otherwise the caller drives
+    /// [`BatchHandle::obsv_tick`] by hand (deterministic tests, chaos
+    /// harness). `None` (the default) samples nothing. The observatory
+    /// only reads service state — enabling it never changes any result's
+    /// bytes.
+    pub obsv: Option<crate::obsv::ObsvConfig>,
 }
 
 impl Default for BatchConfig {
@@ -217,6 +233,7 @@ impl Default for BatchConfig {
             chaos: None,
             score_quality: false,
             cache: None,
+            obsv: None,
         }
     }
 }
@@ -647,6 +664,74 @@ struct Shared {
     traces: Mutex<VecDeque<RequestTrace>>,
     flight: FlightRecorder,
     dumps: Mutex<VecDeque<(u64, Value)>>,
+    obsv: Option<Arc<Observatory>>,
+    /// The flight lane alert transitions record on (the last lane).
+    /// Single-writer discipline: whoever drives ticks — the background
+    /// sampler thread or the manual `obsv_tick` caller — writes it.
+    obsv_lane: u32,
+    started: Instant,
+}
+
+impl Shared {
+    /// The live metrics plus scrape-time gauges — the one snapshot shape
+    /// both [`BatchHandle::metrics_snapshot`] and the observatory sampler
+    /// read.
+    fn scraped_metrics(&self) -> MetricsRegistry {
+        let mut m = self.metrics.lock().expect("batch metrics lock").clone();
+        let stats = self.queue.stats();
+        m.gauge_set("batch_queue_depth", stats.depth as f64);
+        m.gauge_set(
+            "batch_queue_occupancy",
+            stats.depth as f64 / stats.capacity as f64,
+        );
+        m.gauge_set("batch_queue_high_water", stats.high_water as f64);
+        m.gauge_set("batch_queue_blocked_pushes", stats.blocked_pushes as f64);
+        m.gauge_set(
+            "batch_in_flight",
+            self.in_flight.load(Ordering::Relaxed) as f64,
+        );
+        if let Some(adm) = &self.admission {
+            let snap = adm.snapshot();
+            m.gauge_set("batch_admission_limit", snap.limit);
+            m.gauge_set("batch_admission_admitted", snap.admitted as f64);
+        }
+        if let Some(cache) = &self.cache {
+            cache.publish(&mut m);
+        }
+        m
+    }
+
+    /// Samples the observatory unconditionally (no-op without one) and
+    /// lands this tick's alert transitions in the flight recorder.
+    fn obsv_tick(&self) -> Vec<AlertTransition> {
+        let Some(obsv) = &self.obsv else {
+            return Vec::new();
+        };
+        let transitions = obsv.tick(&self.scraped_metrics());
+        self.record_alert_transitions(&transitions);
+        transitions
+    }
+
+    /// The interval-gated variant the background sampler polls.
+    fn obsv_maybe_tick(&self) {
+        if let Some(obsv) = &self.obsv {
+            let transitions = obsv.maybe_tick(&self.scraped_metrics());
+            self.record_alert_transitions(&transitions);
+        }
+    }
+
+    fn record_alert_transitions(&self, transitions: &[AlertTransition]) {
+        for t in transitions {
+            let kind = if t.fired {
+                FlightKind::AlertFire
+            } else {
+                FlightKind::AlertClear
+            };
+            let value = t.value.abs().min(u64::MAX as f64) as u64;
+            self.flight
+                .record(self.obsv_lane, kind, t.rule_index as u64, value);
+        }
+    }
 }
 
 /// The batch allocation service (see the module docs).
@@ -654,6 +739,8 @@ pub struct BatchService {
     shared: Arc<Shared>,
     next_id: AtomicU64,
     workers: Vec<JoinHandle<()>>,
+    sampler_stop: Arc<AtomicBool>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 /// Runs one submission on a service worker: builds the request-scoped
@@ -1075,29 +1162,35 @@ impl BatchHandle {
     /// and — when admission control is on — the limiter's window and
     /// admitted count).
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
-        let mut m = self
-            .shared
-            .metrics
-            .lock()
-            .expect("batch metrics lock")
-            .clone();
-        let stats = self.shared.queue.stats();
-        m.gauge_set("batch_queue_depth", stats.depth as f64);
-        m.gauge_set(
-            "batch_queue_occupancy",
-            stats.depth as f64 / stats.capacity as f64,
-        );
-        m.gauge_set("batch_queue_high_water", stats.high_water as f64);
-        m.gauge_set("batch_queue_blocked_pushes", stats.blocked_pushes as f64);
-        m.gauge_set("batch_in_flight", self.in_flight() as f64);
-        if let Some(snap) = self.admission_snapshot() {
-            m.gauge_set("batch_admission_limit", snap.limit);
-            m.gauge_set("batch_admission_admitted", snap.admitted as f64);
-        }
-        if let Some(cache) = &self.shared.cache {
-            cache.publish(&mut m);
-        }
-        m
+        self.shared.scraped_metrics()
+    }
+
+    /// The service's observatory, when [`BatchConfig::obsv`] was set.
+    pub fn observatory(&self) -> Option<Arc<Observatory>> {
+        self.shared.obsv.clone()
+    }
+
+    /// Drives one observatory sample tick by hand: snapshots the live
+    /// metrics, pushes series, evaluates alert rules, and records the
+    /// returned transitions into the flight recorder. This is how
+    /// deterministic callers (tests, `loadgen --chaos`) sample — a
+    /// service whose config asked for the background sampler thread
+    /// should not also call this (the observatory lane is single-writer
+    /// by discipline). Returns the tick's transitions; a no-op without an
+    /// observatory.
+    pub fn obsv_tick(&self) -> Vec<AlertTransition> {
+        self.shared.obsv_tick()
+    }
+
+    /// The name of a critical alert rule currently firing, if any —
+    /// what flips `/healthz` to 503.
+    pub fn critical_alert(&self) -> Option<String> {
+        self.shared.obsv.as_ref()?.critical_firing()
+    }
+
+    /// Microseconds since the service started.
+    pub fn uptime_us(&self) -> u64 {
+        self.shared.started.elapsed().as_micros() as u64
     }
 
     /// [`BatchHandle::metrics_snapshot`] in the Prometheus text format.
@@ -1153,7 +1246,9 @@ impl BatchHandle {
     /// The live status document served at `/status`:
     ///
     /// ```json
-    /// {"queue_depth": 0, "in_flight": 1, "completed": 2,
+    /// {"uptime_us": 1234567,
+    ///  "build": {"crate_version": "0.1.0", "status_schema": 2},
+    ///  "queue_depth": 0, "in_flight": 1, "completed": 2,
     ///  "degraded_funcs": 0,
     ///  "jobs": [{"id": 0, "name": "eqntott", "status": "ok",
     ///            "degraded_funcs": 0, "micros": 1234}, ...]}
@@ -1342,6 +1437,20 @@ impl BatchHandle {
             cache.push(("evictions".to_string(), Value::Int(stats.evictions as i64)));
         }
         Value::Obj(vec![
+            ("uptime_us".to_string(), Value::Int(self.uptime_us() as i64)),
+            (
+                "build".to_string(),
+                Value::Obj(vec![
+                    (
+                        "crate_version".to_string(),
+                        Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+                    ),
+                    (
+                        "status_schema".to_string(),
+                        Value::Int(STATUS_SCHEMA_VERSION as i64),
+                    ),
+                ]),
+            ),
             (
                 "queue_depth".to_string(),
                 Value::Int(self.queue_depth() as i64),
@@ -1375,8 +1484,11 @@ impl BatchService {
         let shard_workers = config.shard_workers.max(1);
         // Flight lanes: lane 0 is the submission path; each service worker
         // `w` owns the contiguous block starting at `1 + w * (shard + 1)`
-        // (its shard workers, then its driver/service lane).
-        let flight_lanes = 1 + service_workers * (shard_workers + 1);
+        // (its shard workers, then its driver/service lane). With an
+        // observatory, one extra lane at the end takes alert transitions.
+        let obsv = config.obsv.map(|c| Arc::new(Observatory::new(c)));
+        let base_lanes = 1 + service_workers * (shard_workers + 1);
+        let flight_lanes = base_lanes + usize::from(obsv.is_some());
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             results: Mutex::new(Vec::new()),
@@ -1396,6 +1508,9 @@ impl BatchService {
             traces: Mutex::new(VecDeque::new()),
             flight: FlightRecorder::new(flight_lanes),
             dumps: Mutex::new(VecDeque::new()),
+            obsv,
+            obsv_lane: (flight_lanes - 1) as u32,
+            started: Instant::now(),
         });
         let workers = (0..service_workers)
             .map(|w| {
@@ -1452,10 +1567,36 @@ impl BatchService {
                 })
             })
             .collect();
+        // The background sampler: polls well under the sample interval and
+        // lets the observatory's own interval gate decide when to tick.
+        // Only spawned when the config asks for it — deterministic callers
+        // (tests, the chaos harness) drive `BatchHandle::obsv_tick` instead.
+        let sampler_stop = Arc::new(AtomicBool::new(false));
+        let sampler = shared
+            .obsv
+            .as_ref()
+            .is_some_and(|o| o.wants_sampler_thread())
+            .then(|| {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&sampler_stop);
+                let interval = shared
+                    .obsv
+                    .as_ref()
+                    .map_or(2_000_000, |o| o.config().raw_interval_us);
+                let poll = Duration::from_micros((interval / 8).clamp(1_000, 250_000));
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        shared.obsv_maybe_tick();
+                        std::thread::sleep(poll);
+                    }
+                })
+            });
         BatchService {
             shared,
             next_id: AtomicU64::new(0),
             workers,
+            sampler_stop,
+            sampler,
         }
     }
 
@@ -1621,6 +1762,10 @@ impl BatchService {
         self.shared.queue.close();
         for handle in self.workers {
             handle.join().expect("batch workers do not panic");
+        }
+        self.sampler_stop.store(true, Ordering::Relaxed);
+        if let Some(sampler) = self.sampler {
+            sampler.join().expect("observatory sampler does not panic");
         }
         let mut results =
             std::mem::take(&mut *self.shared.results.lock().expect("batch results lock"));

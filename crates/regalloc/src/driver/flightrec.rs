@@ -96,6 +96,14 @@ pub enum FlightKind {
     /// Inserting a fresh allocation evicted resident entries
     /// (`a` = function id, `b` = entries evicted).
     CacheEvict,
+    /// An observatory alert rule transitioned to firing
+    /// (`a` = rule index in the configured rule list, `b` = the rule's
+    /// observed value at fire time, rounded to an integer).
+    AlertFire,
+    /// A firing observatory alert rule resolved (`a` = rule index,
+    /// `b` = the rule's observed value at clear time, rounded to an
+    /// integer).
+    AlertClear,
 }
 
 impl FlightKind {
@@ -119,6 +127,8 @@ impl FlightKind {
             FlightKind::CacheHit => "cache_hit",
             FlightKind::CacheMiss => "cache_miss",
             FlightKind::CacheEvict => "cache_evict",
+            FlightKind::AlertFire => "alert_fire",
+            FlightKind::AlertClear => "alert_clear",
         }
     }
 }

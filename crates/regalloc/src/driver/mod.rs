@@ -37,7 +37,7 @@
 //!
 //! The `ccra-eval` `par` binary sweeps worker counts over the perf
 //! workloads with the driver and records the speedup into the
-//! `BENCH_7.json` snapshot; the `timeline` binary captures one traced
+//! `BENCH_8.json` snapshot; the `timeline` binary captures one traced
 //! batch as a Perfetto-loadable timeline; the `loadgen` binary drives the
 //! batch service open-loop (`--chaos` adds a seeded overload storm) and
 //! records the latency and admission sections of the same snapshot.
@@ -56,6 +56,7 @@ pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
 pub use batch::{
     per_priority_latency, BatchConfig, BatchHandle, BatchJob, BatchResult, BatchService,
     BatchStatus, CancelOutcome, DegradeCause, Priority, RejectCause, RequestTrace, SubmitError,
+    STATUS_SCHEMA_VERSION,
 };
 pub use chaos::{ChaosConfig, ChaosJob, Fault};
 pub use flightrec::{FlightEvent, FlightKind, FlightRecorder, FlightView};

@@ -1,9 +1,10 @@
 //! A live status endpoint for [`BatchService`]: a minimal HTTP/1.0 server
 //! on `std::net::TcpListener` alone.
 //!
-//! The server wraps a [`BatchHandle`] and answers five `GET` routes:
+//! The server wraps a [`BatchHandle`] and answers these `GET` routes:
 //!
-//! * `/healthz` — `200 text/plain`, body `ok`;
+//! * `/healthz` — `200 text/plain`, body `ok`; `503` with a body naming
+//!   the rule while any critical observatory alert is firing;
 //! * `/metrics` — the service metrics plus scrape-time gauges in the
 //!   Prometheus text exposition format
 //!   ([`BatchHandle::metrics_text`]);
@@ -18,7 +19,12 @@
 //!   with or without the `req-` prefix); `404` when the trace is gone or
 //!   was never recorded;
 //! * `/debug/flightrec` — the flight recorder: live rings plus retained
-//!   automatic dumps ([`BatchHandle::flightrec_value`]).
+//!   automatic dumps ([`BatchHandle::flightrec_value`]);
+//! * `/history?series=<name>&tier=<raw|ds>` — one observatory series'
+//!   retained points as JSON `{ts_us, value}` pairs (`tier` defaults to
+//!   `raw`; `404` without an observatory or for an unknown series);
+//! * `/alerts` — observatory alert rule states plus the recent
+//!   transition log (`404` without an observatory).
 //!
 //! Anything else is `404`; non-`GET` methods are `405`; a request head
 //! larger than [`MAX_REQUEST_BYTES`] is `431`. Every response closes the
@@ -43,6 +49,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::driver::batch::BatchHandle;
+use crate::obsv::Tier;
 
 /// How long a connection may dribble its request before being dropped.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
@@ -176,8 +183,60 @@ fn serve_connection(stream: TcpStream, handle: &BatchHandle) -> io::Result<()> {
             None => respond(&mut stream, 404, "text/plain", "no such trace\n"),
         };
     }
-    match path {
-        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path, ""),
+    };
+    if route == "/history" {
+        return match handle.observatory() {
+            None => respond(&mut stream, 404, "text/plain", "observatory disabled\n"),
+            Some(obsv) => {
+                let Some(series) = query_param(query, "series") else {
+                    return respond(&mut stream, 400, "text/plain", "missing series parameter\n");
+                };
+                let tier = match query_param(query, "tier") {
+                    None => Tier::Raw,
+                    Some(t) => match Tier::parse(t) {
+                        Some(t) => t,
+                        None => {
+                            return respond(
+                                &mut stream,
+                                400,
+                                "text/plain",
+                                "tier must be raw or ds\n",
+                            )
+                        }
+                    },
+                };
+                match obsv.history_value(series, tier) {
+                    Some(doc) => respond(
+                        &mut stream,
+                        200,
+                        "application/json",
+                        &(doc.to_json() + "\n"),
+                    ),
+                    None => respond(&mut stream, 404, "text/plain", "no such series\n"),
+                }
+            }
+        };
+    }
+    match route {
+        "/healthz" => match handle.critical_alert() {
+            Some(rule) => respond(
+                &mut stream,
+                503,
+                "text/plain",
+                &format!("critical alert firing: {rule}\n"),
+            ),
+            None => respond(&mut stream, 200, "text/plain", "ok\n"),
+        },
+        "/alerts" => match handle.observatory() {
+            Some(obsv) => {
+                let body = obsv.alerts_value().to_json() + "\n";
+                respond(&mut stream, 200, "application/json", &body)
+            }
+            None => respond(&mut stream, 404, "text/plain", "observatory disabled\n"),
+        },
         "/metrics" => respond(
             &mut stream,
             200,
@@ -203,6 +262,15 @@ fn parse_trace_id(segment: &str) -> Option<u64> {
     segment.strip_prefix("req-").unwrap_or(segment).parse().ok()
 }
 
+/// Finds `key=value` in a query string. No percent-decoding — series
+/// names use `:` and `_`, which travel verbatim.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
 fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) -> io::Result<()> {
     let reason = match code {
         200 => "OK",
@@ -210,6 +278,7 @@ fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) ->
         404 => "Not Found",
         405 => "Method Not Allowed",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     write!(
@@ -275,6 +344,134 @@ mod tests {
         server.shutdown();
         // The port stops answering (connect may still succeed briefly on
         // some stacks, but the listener is gone once shutdown returned).
+        drop(service.shutdown());
+    }
+
+    #[test]
+    fn history_and_alerts_routes_serve_the_observatory() {
+        use crate::obsv::{Clock, ManualClock, ObsvConfig};
+        use std::sync::Arc;
+
+        let clock = Arc::new(ManualClock::new());
+        let service = BatchService::start(BatchConfig {
+            workers: 1,
+            obsv: Some(ObsvConfig {
+                clock: clock.clone() as Arc<dyn Clock>,
+                sampler_thread: false,
+                ..ObsvConfig::default()
+            }),
+            ..BatchConfig::default()
+        });
+        let handle = service.handle();
+        let server = StatusServer::bind(handle.clone(), "127.0.0.1:0").expect("bind :0");
+        let addr = server.local_addr();
+
+        // Before any tick: /alerts answers, /history 404s unknown series.
+        let alerts = get(addr, "/alerts");
+        assert!(alerts.starts_with("HTTP/1.0 200"), "{alerts}");
+        assert!(alerts.contains("\"rules\""), "{alerts}");
+        let missing = get(addr, "/history?series=rate:nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        assert!(get(addr, "/history").starts_with("HTTP/1.0 400"));
+        assert!(get(addr, "/history?series=x&tier=weekly").starts_with("HTTP/1.0 400"));
+
+        // One manual tick makes the derived series queryable at both tiers.
+        clock.set(2_000_000);
+        handle.obsv_tick();
+        for (path, expect_points) in [
+            ("/history?series=derived:queue_delay_slope_us_per_s", true),
+            (
+                "/history?series=derived:queue_delay_slope_us_per_s&tier=raw",
+                true,
+            ),
+            // ds tier exists but has no aggregated point yet: empty array.
+            (
+                "/history?series=derived:queue_delay_slope_us_per_s&tier=ds",
+                false,
+            ),
+        ] {
+            let resp = get(addr, path);
+            assert!(resp.starts_with("HTTP/1.0 200"), "{path}: {resp}");
+            let body = resp.split("\r\n\r\n").nth(1).expect("body");
+            let doc = serde::json::parse(body.trim()).expect("history parses");
+            let points = match doc.get("points") {
+                Some(serde::json::Value::Arr(a)) => a.len(),
+                other => panic!("points array expected, got {other:?}"),
+            };
+            assert_eq!(points > 0, expect_points, "{path}");
+        }
+
+        server.shutdown();
+        drop(service.shutdown());
+    }
+
+    #[test]
+    fn healthz_goes_503_naming_the_firing_critical_rule() {
+        use crate::obsv::{AlertCondition, AlertRule, Clock, ManualClock, ObsvConfig};
+        use std::sync::Arc;
+
+        let clock = Arc::new(ManualClock::new());
+        // A critical rule that fires on the first tick: queue occupancy is
+        // always >= 0, so `above: -1` violates immediately.
+        let rule = AlertRule {
+            name: "always_on_probe".to_string(),
+            condition: AlertCondition::Above {
+                series: "gauge:batch_queue_depth".to_string(),
+                above: -1.0,
+                clear_below: -2.0,
+            },
+            pending_us: 0,
+            resolve_us: 0,
+            critical: true,
+        };
+        let service = BatchService::start(BatchConfig {
+            workers: 1,
+            obsv: Some(ObsvConfig {
+                clock: clock.clone() as Arc<dyn Clock>,
+                sampler_thread: false,
+                rules: Some(vec![rule]),
+                ..ObsvConfig::default()
+            }),
+            ..BatchConfig::default()
+        });
+        let handle = service.handle();
+        let server = StatusServer::bind(handle.clone(), "127.0.0.1:0").expect("bind :0");
+        let addr = server.local_addr();
+
+        assert!(
+            get(addr, "/healthz").starts_with("HTTP/1.0 200"),
+            "healthy before any tick"
+        );
+        clock.set(2_000_000);
+        let fired = handle.obsv_tick();
+        assert_eq!(fired.len(), 1, "probe rule fires on the first tick");
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 503"), "{health}");
+        assert!(
+            health.ends_with("critical alert firing: always_on_probe\n"),
+            "{health}"
+        );
+
+        // /status carries uptime and the build object.
+        let status = get(addr, "/status");
+        let body = status.split("\r\n\r\n").nth(1).expect("body");
+        let doc = serde::json::parse(body.trim()).expect("status parses");
+        assert!(doc.get("uptime_us").is_some());
+        let build = doc.get("build").expect("build object");
+        assert_eq!(
+            build
+                .get("crate_version")
+                .and_then(serde::json::Value::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            build
+                .get("status_schema")
+                .and_then(serde::json::Value::as_i64),
+            Some(crate::driver::batch::STATUS_SCHEMA_VERSION as i64)
+        );
+
+        server.shutdown();
         drop(service.shutdown());
     }
 

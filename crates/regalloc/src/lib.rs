@@ -85,6 +85,7 @@ mod error;
 mod graph;
 pub mod metrics;
 mod node;
+pub mod obsv;
 mod pipeline;
 mod priority;
 pub mod quality;
@@ -115,8 +116,12 @@ pub use driver::{
 };
 pub use error::AllocError;
 pub use graph::InterferenceGraph;
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{CounterSnapshot, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use node::{CallSite, NodeInfo, SPILL_TEMP_COST};
+pub use obsv::{
+    AlertCondition, AlertRule, AlertRuleStats, AlertState, AlertTransition, Clock, ManualClock,
+    Observatory, ObsvConfig, Tier, WallClock,
+};
 pub use pipeline::{
     allocate_function, allocate_function_instrumented, allocate_function_traced, allocate_program,
     allocate_program_instrumented, allocate_program_traced, allocate_program_with,

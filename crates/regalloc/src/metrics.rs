@@ -150,6 +150,104 @@ impl Histogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
     }
+
+    /// How many observations certainly exceeded `threshold`: the sum of
+    /// every bucket whose *lower* bound is above it. Observations in the
+    /// bucket straddling the threshold are not counted — a conservative
+    /// undercount bounded by one bucket (a factor of two), which is the
+    /// resolution the bucketing admits. SLO burn-rate accounting uses this
+    /// to classify per-interval latency observations as over-budget.
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(i, _)| Self::bucket_bound(i - 1) >= threshold)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
+/// A point-in-time copy of one counter, for per-interval delta math.
+///
+/// Counters are cumulative; a sampler that wants a *rate* must difference
+/// two snapshots. [`CounterSnapshot::delta`] saturates at zero, so a
+/// registry that was swapped or reset between snapshots yields a zero
+/// delta instead of a wrapped astronomically large one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    value: u64,
+}
+
+impl CounterSnapshot {
+    /// Snapshots one counter's current value (0 when never recorded).
+    pub fn of(metrics: &MetricsRegistry, name: &str) -> Self {
+        CounterSnapshot {
+            value: metrics.counter(name),
+        }
+    }
+
+    /// The captured cumulative value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Observations since `earlier`, clamped at zero — never wraps even if
+    /// `earlier` was taken from a fresher registry.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> u64 {
+        self.value.saturating_sub(earlier.value)
+    }
+}
+
+/// A point-in-time copy of one histogram, for per-interval delta math.
+///
+/// [`HistogramSnapshot::delta`] returns a full [`Histogram`] holding only
+/// the observations recorded between the two snapshots, so interval means
+/// and quantiles come from the ordinary histogram machinery. Every field
+/// differences with `saturating_sub` — a reset registry yields an empty
+/// delta, never a wrapped one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Snapshots one histogram's current contents (empty when absent).
+    pub fn of(metrics: &MetricsRegistry, name: &str) -> Self {
+        match metrics.histogram(name) {
+            Some(h) => HistogramSnapshot {
+                buckets: *h.buckets(),
+                count: h.count(),
+                sum: h.sum(),
+            },
+            None => HistogramSnapshot::default(),
+        }
+    }
+
+    /// The captured cumulative observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The captured cumulative sum.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The observations recorded since `earlier`, as a histogram. Each
+    /// bucket (and the count and sum) differences monotonically: any
+    /// component where `earlier` reads higher clamps to zero.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (&now, &was)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            out.buckets[i] = now.saturating_sub(was);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
 }
 
 /// A registry of named counters, gauges, and histograms.
@@ -610,6 +708,69 @@ mod tests {
                 .and_then(Value::as_f64),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn count_over_sums_only_buckets_entirely_above_the_threshold() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(100); // bucket [64, 127]
+        h.observe(100);
+        h.observe(5000); // bucket [4096, 8191]
+                         // Threshold below the [64,127] bucket's lower bound: both buckets count.
+        assert_eq!(h.count_over(63), 3);
+        // Threshold inside [64,127]: that straddling bucket is excluded.
+        assert_eq!(h.count_over(100), 1);
+        assert_eq!(h.count_over(127), 1);
+        // Threshold above everything observed.
+        assert_eq!(h.count_over(1 << 20), 0);
+        assert_eq!(Histogram::new().count_over(0), 0);
+    }
+
+    #[test]
+    fn counter_snapshot_deltas_are_monotone_and_wraparound_free() {
+        let mut m = MetricsRegistry::new();
+        m.add("jobs", 10);
+        let t0 = CounterSnapshot::of(&m, "jobs");
+        assert_eq!(t0.value(), 10);
+        m.add("jobs", 7);
+        let t1 = CounterSnapshot::of(&m, "jobs");
+        assert_eq!(t1.delta(&t0), 7);
+        assert_eq!(t1.delta(&t1), 0);
+        // A "later" snapshot that reads lower (registry reset) clamps to 0
+        // rather than wrapping to ~u64::MAX.
+        assert_eq!(t0.delta(&t1), 0);
+        // Never-recorded counters snapshot as zero.
+        assert_eq!(CounterSnapshot::of(&m, "missing").value(), 0);
+    }
+
+    #[test]
+    fn histogram_snapshot_delta_isolates_the_interval() {
+        let mut m = MetricsRegistry::new();
+        m.observe("lat", 5);
+        m.observe("lat", 5);
+        let t0 = HistogramSnapshot::of(&m, "lat");
+        m.observe("lat", 5);
+        m.observe("lat", 900);
+        let t1 = HistogramSnapshot::of(&m, "lat");
+        let d = t1.delta(&t0);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 905);
+        assert_eq!(d.buckets()[Histogram::bucket_index(5)], 1);
+        assert_eq!(d.buckets()[Histogram::bucket_index(900)], 1);
+        // The interval's own quantiles, not the cumulative ones.
+        assert_eq!(d.quantile(0.5), 7); // bucket [4,7] bound
+        assert_eq!(d.quantile(0.99), 1023); // bucket [512,1023] bound
+                                            // Reversed order clamps every component to zero.
+        let rev = t0.delta(&t1);
+        assert_eq!(rev.count(), 0);
+        assert_eq!(rev.sum(), 0);
+        assert!(rev.buckets().iter().all(|&b| b == 0));
+        // Absent histograms snapshot empty.
+        let none = HistogramSnapshot::of(&m, "missing");
+        assert_eq!(none.count(), 0);
+        assert_eq!(none.delta(&HistogramSnapshot::default()).count(), 0);
     }
 
     #[test]
